@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once under pytest-benchmark
+(``rounds=1``): the interesting output is the *model* metrics printed as
+tables (the paper's figures regenerated), with wall-clock time as a
+secondary signal.  Run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

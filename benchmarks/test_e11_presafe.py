@@ -1,0 +1,77 @@
+"""E11 — tactic coordination: the Pre-Safe causal chain (Sec. I).
+
+Paper claim: "Virtual gateways permit tactic coordination and
+exploitation of redundancy without having to fuse different control
+functions into a single DAS" — the Mercedes Pre-Safe example correlates
+existing dynamics sensors and actuates across subsystem boundaries.
+
+Regenerated figure: the skid→detection→belt→roof-closed latency chain
+through two gateways, swept over the dynamics-import temporal accuracy
+(the coordination degrades gracefully as the imported state is allowed
+to age), plus the strict-separation control (the function vanishes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Series, Table
+from repro.apps import CarConfig, build_car
+from repro.sim import MS, SEC
+
+
+def run_point(d_acc_dynamics: int, presafe_import: bool = True) -> dict:
+    cfg = CarConfig(presafe_import=presafe_import,
+                    d_acc_dynamics=d_acc_dynamics,
+                    dashboard_import=False, nav_import=False)
+    car = build_car(cfg)
+    car.run_for(18 * SEC)
+    onset = car.vehicle.skid_onsets()[0]
+    out: dict = {"detected": bool(car.presafe.detections)}
+    if car.presafe.detections:
+        detect = car.presafe.detections[0]
+        out["detect_latency"] = detect - onset
+        belts = car.belt.reception_times("msgBeltCommand")
+        out["belt_latency"] = belts[0] - onset if belts else None
+        cmds = car.roof.close_commands_received
+        out["roof_cmd_latency"] = cmds[0] - onset if cmds else None
+        out["roof_closed_latency"] = (car.roof.closed_at - onset
+                                      if car.roof.closed_at else None)
+    return out
+
+
+def run_experiment() -> dict:
+    sweep = {d: run_point(d * MS) for d in (20, 50, 100, 400)}
+    return {"sweep": sweep, "separated": run_point(100 * MS, presafe_import=False)}
+
+
+def test_e11_presafe(run_once):
+    r = run_once(run_experiment)
+
+    table = Table("E11: Pre-Safe reaction chain through two gateways",
+                  ["d_acc dynamics (ms)", "detected", "detect (ms)",
+                   "belt (ms)", "roof cmd (ms)", "roof closed (ms)"])
+    series = Series("E11 (figure): detection latency vs import accuracy",
+                    "d_acc (ms)", "skid->detect latency (ms)")
+    for d, p in r["sweep"].items():
+        table.add_row(
+            d, p["detected"],
+            round(p["detect_latency"] / MS, 1),
+            round(p["belt_latency"] / MS, 1) if p["belt_latency"] else "-",
+            round(p["roof_cmd_latency"] / MS, 1) if p["roof_cmd_latency"] else "-",
+            round(p["roof_closed_latency"] / MS, 1) if p["roof_closed_latency"] else "-",
+        )
+        series.add("detect", d, round(p["detect_latency"] / MS, 1))
+    table.add_row("strict separation", r["separated"]["detected"],
+                  "-", "-", "-", "-")
+    table.print()
+    series.print()
+
+    # Shape: detection within tens of ms at every accuracy setting; the
+    # full chain (roof closed) inside a second; and without the import
+    # the coordinated function simply does not exist.
+    for d, p in r["sweep"].items():
+        assert p["detected"]
+        assert p["detect_latency"] <= 50 * MS
+        assert p["belt_latency"] is not None and p["belt_latency"] <= 100 * MS
+        assert p["roof_closed_latency"] is not None
+        assert p["roof_closed_latency"] <= 1 * SEC
+    assert r["separated"]["detected"] is False

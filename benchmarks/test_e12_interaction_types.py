@@ -1,0 +1,134 @@
+"""E12 — the interaction-type matrix and the b_req request protocol.
+
+Paper claims (Sec. II-E, IV-A): ports refine into push/pull inputs and
+outputs by the orientation of control vs data flow; the gateway
+repository carries a boolean request variable ``b_req`` per convertible
+element so "the gateway side sending messages to an event-triggered
+virtual network can request convertible element instances from the
+other virtual network" and "the gateway side receiving messages from an
+event-triggered virtual network can initiate receptions conditionally,
+based on the value of the request variable."
+
+Regenerated table: each of the four interaction types exercised across
+one gateway, plus the b_req cycle (construction fails → request set →
+element arrives → construction fires → request cleared).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.gateway import GatewayRepository
+from repro.messaging import (
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Semantics,
+)
+from repro.platform import Partition, PartitionWindow, Job
+from repro.sim import MS, Simulator
+from repro.spec import Direction, InteractionType, PortSpec
+from repro.vn import EventPort, StatePort, make_port
+
+
+def mtype(name="msgX", semantics=Semantics.STATE) -> MessageType:
+    return MessageType(name, elements=(
+        ElementDef("Data", convertible=True, semantics=semantics,
+                   fields=(FieldDef("v", IntType(16)),)),
+    ))
+
+
+def spec(direction, interaction, semantics=Semantics.STATE):
+    return PortSpec(message_type=mtype(semantics=semantics),
+                    direction=direction, semantics=semantics,
+                    interaction=interaction, queue_depth=8)
+
+
+def run_experiment() -> dict:
+    r: dict = {}
+    sim = Simulator()
+    part = Partition(sim, "p", "d", PartitionWindow(offset=0, duration=MS))
+
+    pushed: list[str] = []
+
+    class PushJob(Job):
+        def on_message(self, port_name, instance, arrival):
+            pushed.append(port_name)
+
+    job = PushJob(sim, "j", "d", part)
+
+    # receiver-push: delivery notifies the owner job through its window.
+    push_in = make_port(sim, spec(Direction.INPUT, InteractionType.PUSH))
+    job.bind_port(push_in)
+    push_in.deliver_from_network(mtype().instance(Data={"v": 1}), 0)
+    before = list(pushed)
+    part.execute_window()
+    r["receiver_push"] = (before == [] and pushed == ["msgX"])
+
+    # receiver-pull: delivery stays in the port until the consumer asks.
+    pull_in = make_port(sim, spec(Direction.INPUT, InteractionType.PULL))
+    pull_in.deliver_from_network(mtype().instance(Data={"v": 2}), 0)
+    val, _ = pull_in.read()
+    r["receiver_pull"] = val.get("Data", "v") == 2 and isinstance(pull_in, StatePort)
+
+    # sender-push: the job hands the instance over on its own request.
+    push_out = make_port(sim, spec(Direction.OUTPUT, InteractionType.PUSH,
+                                   semantics=Semantics.EVENT))
+    assert isinstance(push_out, EventPort)
+    push_out.enqueue(mtype(semantics=Semantics.EVENT).instance(Data={"v": 3}))
+    r["sender_push"] = push_out.collect().get("Data", "v") == 3
+
+    # sender-pull: the communication system samples the output state at
+    # ITS instants (the TT dispatch discipline).
+    pull_out = make_port(sim, spec(Direction.OUTPUT, InteractionType.PULL))
+    assert isinstance(pull_out, StatePort)
+    pull_out.write(mtype().instance(Data={"v": 4}))
+    sample, t = pull_out.sample()
+    r["sender_pull"] = sample.get("Data", "v") == 4
+
+    # ---------------- the b_req protocol ----------------------------
+    repo = GatewayRepository()
+    repo.declare("A", Semantics.STATE, d_acc=50 * MS)
+    repo.declare("B", Semantics.EVENT, depth=4)
+    repo.store("A", {"v": 1}, now=0)
+    r["breq_initially_clear"] = repo.requested() == []
+    # Construction attempt: B missing -> its request variable is set.
+    ok = repo.all_available(["A", "B"], now=1 * MS)
+    r["breq_set_on_missing"] = (not ok) and repo.is_requested("B") \
+        and not repo.is_requested("A")
+    # The receiving side polls b_req and conditionally imports B.
+    imported = False
+    if repo.is_requested("B"):
+        repo.store("B", {"delta": 5}, now=2 * MS)
+        imported = True
+    r["breq_conditional_import"] = imported
+    # Now the construction fires and consumes B exactly once, clearing
+    # the request.
+    ok2 = repo.all_available(["A", "B"], now=3 * MS)
+    taken = repo.take("B", now=3 * MS)
+    r["breq_cleared_after_take"] = ok2 and taken == {"delta": 5} \
+        and not repo.is_requested("B")
+    return r
+
+
+def test_e12_interaction_types(run_once):
+    r = run_once(run_experiment)
+
+    table = Table("E12: interaction types (Sec. II-E) and b_req (Sec. IV-A)",
+                  ["mechanism", "behaviour verified"])
+    rows = [
+        ("push input port (receiver-push)", "receiver_push"),
+        ("pull input port (receiver-pull)", "receiver_pull"),
+        ("push output port (sender-push)", "sender_push"),
+        ("pull output port (sender-pull)", "sender_pull"),
+        ("b_req initially clear", "breq_initially_clear"),
+        ("b_req set on failed construction", "breq_set_on_missing"),
+        ("conditional import on b_req", "breq_conditional_import"),
+        ("b_req cleared after exactly-once take", "breq_cleared_after_take"),
+    ]
+    for label, key in rows:
+        table.add_row(label, r[key])
+    table.print()
+
+    for _, key in rows:
+        assert r[key], key

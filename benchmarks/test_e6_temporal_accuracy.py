@@ -1,0 +1,142 @@
+"""E6 — Fig. 5's repository semantics: temporal accuracy and queues.
+
+Paper claims (Sec. IV-A): state elements carry ``d_acc``/``t_update``
+meta information "to ensure that only temporally accurate real-time
+images are forwarded by the gateway" (Eq. 1, direction-corrected — see
+repro.gateway.repository); ``horizon(m)`` (Eq. 2) is the minimum
+remaining validity; event elements are consumed exactly once from
+queues whose size derives from the interarrival/service relationship.
+
+Regenerated figures: (a) forwarded fraction vs. d_acc for a producer
+that goes quiet — the gateway must stop forwarding stale images at
+exactly the configured horizon; (b) event loss vs. queue depth under an
+interarrival/service imbalance, compared against the analytic sizing
+rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Series, Table
+from repro.gateway import GatewayRepository
+from repro.messaging import Semantics
+from repro.sim import MS, SEC
+from repro.spec import ETTiming
+
+
+# ----------------------------------------------------------------------
+# (a) temporal accuracy sweep
+# ----------------------------------------------------------------------
+def accuracy_sweep(d_acc_values) -> list[dict]:
+    """Producer updates every 10 ms for 1 s, then goes silent; a TT
+    consumer samples every 10 ms for 3 s.  Count forwarded samples."""
+    out = []
+    for d_acc in d_acc_values:
+        repo = GatewayRepository()
+        repo.declare("Image", Semantics.STATE, d_acc=d_acc)
+        forwarded = 0
+        attempts = 0
+        t = 0
+        while t < 3 * SEC:
+            if t <= 1 * SEC:
+                repo.store("Image", {"v": t}, t)
+            attempts += 1
+            if repo.available("Image", t):
+                forwarded += 1
+            t += 10 * MS
+        # Analytic expectation: forwards until 1 s + d_acc.
+        expected = min(3 * SEC, 1 * SEC + d_acc) // (10 * MS)
+        out.append({"d_acc": d_acc, "forwarded": forwarded,
+                    "attempts": attempts, "expected": expected})
+    return out
+
+
+# ----------------------------------------------------------------------
+# (b) event queue sizing
+# ----------------------------------------------------------------------
+def queue_sweep(depths, bursts=50, burst_size=6) -> list[dict]:
+    """Temporary imbalance (Sec. IV): bursts of ``burst_size`` arrivals
+    1 ms apart every 100 ms; the consumer services one instance every
+    3 ms continuously.  Loss vs. queue depth, against ETTiming's
+    analytic sizing (margin 2 covers the burst tail)."""
+    et = ETTiming(min_interarrival=1 * MS, service_time=3 * MS)
+    suggestion = et.suggested_queue_depth(margin=2.0)
+    out = []
+    total = bursts * burst_size
+    for depth in depths:
+        repo = GatewayRepository()
+        repo.declare("Ev", Semantics.EVENT, depth=depth)
+        lost = 0
+        next_service = 0
+        for k in range(bursts):
+            for j in range(burst_size):
+                t = k * 100 * MS + j * 1 * MS
+                while next_service <= t:
+                    repo.take("Ev", next_service)
+                    next_service += 3 * MS
+                if not repo.store("Ev", {"n": (k, j)}, t):
+                    lost += 1
+        out.append({"depth": depth, "lost": lost, "stored": total - lost,
+                    "suggested": suggestion})
+    return out
+
+
+# ----------------------------------------------------------------------
+# (c) horizon (Eq. 2)
+# ----------------------------------------------------------------------
+def horizon_check() -> dict:
+    repo = GatewayRepository()
+    repo.declare("A", Semantics.STATE, d_acc=50 * MS)
+    repo.declare("B", Semantics.STATE, d_acc=20 * MS)
+    repo.declare("E", Semantics.EVENT)
+    repo.store("A", {"v": 1}, 0)
+    repo.store("B", {"v": 2}, 10 * MS)
+    now = 15 * MS
+    h = repo.horizon(["A", "B", "E"], now)
+    return {"horizon": h, "expected": min(50 * MS - now, 10 * MS + 20 * MS - now)}
+
+
+def run_experiment() -> dict:
+    return {
+        "accuracy": accuracy_sweep([20 * MS, 100 * MS, 500 * MS, 2 * SEC]),
+        "queues": queue_sweep([1, 2, 3, 4, 8]),
+        "horizon": horizon_check(),
+    }
+
+
+def test_e6_temporal_accuracy(run_once):
+    r = run_once(run_experiment)
+
+    t1 = Table("E6a: stale-image gating vs d_acc (Eq. 1; producer stops at 1 s)",
+               ["d_acc (ms)", "samples forwarded", "analytic expectation",
+                "sampling attempts"])
+    s1 = Series("E6a (figure): forwarded samples vs d_acc",
+                "d_acc (ms)", "forwarded")
+    for row in r["accuracy"]:
+        t1.add_row(row["d_acc"] // MS, row["forwarded"], row["expected"],
+                   row["attempts"])
+        s1.add("forwarded", row["d_acc"] // MS, row["forwarded"])
+    t1.print()
+    s1.print()
+
+    t2 = Table("E6b: event loss vs queue depth (1 ms arrivals, 3 ms service)",
+               ["queue depth", "events lost", "events kept",
+                "analytic minimum depth"])
+    for row in r["queues"]:
+        t2.add_row(row["depth"], row["lost"], row["stored"], row["suggested"])
+    t2.print()
+
+    print(f"\nE6c: horizon(m) = {r['horizon']['horizon'] / MS:.0f} ms "
+          f"(expected {r['horizon']['expected'] / MS:.0f} ms, Eq. 2)")
+
+    # Shape assertions.
+    for row in r["accuracy"]:
+        assert abs(row["forwarded"] - row["expected"]) <= 1
+    # Loss decreases monotonically with depth and hits ~0 at the
+    # analytic sizing.
+    losses = [row["lost"] for row in r["queues"]]
+    assert all(a >= b for a, b in zip(losses, losses[1:]))
+    assert losses[0] > 0  # depth 1 cannot absorb the burst
+    at_suggested = next(row for row in r["queues"]
+                        if row["depth"] >= row["suggested"])
+    assert at_suggested["lost"] == 0  # the analytic sizing suffices
+    assert r["horizon"]["horizon"] == r["horizon"]["expected"]

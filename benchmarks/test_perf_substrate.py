@@ -1,0 +1,109 @@
+"""P1 — substrate performance (simulator throughput, not paper figures).
+
+These are conventional pytest-benchmark microbenchmarks (multiple
+rounds) so regressions in the hot paths — the event kernel, the bit
+codec, the TDMA pipeline, the gateway pipeline — show up as wall-clock
+changes.  They complement the E-experiments, which assert model
+*behaviour* rather than speed.
+"""
+
+from __future__ import annotations
+
+from repro.core_network import ClusterBuilder, FrameChunk, NodeConfig
+from repro.messaging import Namespace
+from repro.sim import MS, Simulator
+from repro.spec import TTTiming
+from repro.vn import TTVirtualNetwork
+
+
+def test_perf_kernel_event_throughput(benchmark):
+    """Schedule+execute 50k self-rescheduling events."""
+
+    def run() -> int:
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 50_000:
+                sim.after(10, tick)
+
+        sim.at(0, tick)
+        sim.run()
+        return count["n"]
+
+    assert benchmark(run) == 50_000
+
+
+def test_perf_codec_roundtrip(benchmark):
+    """Encode+decode 2000 instances of the Fig. 6 message."""
+    from repro.spec import FIG6_CANONICAL, parse_link_spec
+
+    mt = parse_link_spec(FIG6_CANONICAL).message_types()["msgSlidingRoof"]
+    inst = mt.instance(MovementEvent={"ValueChange": 5, "EventTime": 123})
+
+    def run() -> int:
+        n = 0
+        for _ in range(2000):
+            out = mt.decode(mt.encode(inst))
+            n += out.get("MovementEvent", "ValueChange")
+        return n
+
+    assert benchmark(run) == 10_000
+
+
+def test_perf_tdma_cluster(benchmark):
+    """One simulated second of a 4-node TT cluster with traffic."""
+
+    def run() -> int:
+        sim = Simulator()
+        builder = ClusterBuilder(sim)
+        for i in range(4):
+            builder.add_node(NodeConfig(f"n{i}", slot_capacity_bytes=32,
+                                        reservations={"v": 20}))
+        cluster = builder.build()
+        cluster.start()
+        cluster.controller("n0").register_chunk_source(
+            "v", lambda slot, budget: [FrameChunk(vn="v", message="m",
+                                                  data=b"\x01\x02")])
+        got = {"n": 0}
+        cluster.controller("n1").register_receiver(
+            "v", lambda c, t: got.__setitem__("n", got["n"] + 1))
+        sim.run_until(1_000 * MS)
+        return got["n"]
+
+    assert benchmark(run) > 1_000
+
+
+def test_perf_tt_vn_pipeline(benchmark):
+    """One simulated second of a TT VN delivering through the stack."""
+
+    def run() -> int:
+        sim = Simulator()
+        builder = ClusterBuilder(sim)
+        builder.add_node(NodeConfig("a", slot_capacity_bytes=48,
+                                    reservations={"das": 30}))
+        builder.add_node(NodeConfig("b", slot_capacity_bytes=48,
+                                    reservations={"das": 30}))
+        cluster = builder.build()
+        cluster.start()
+        cyc = cluster.schedule.cycle_length
+        from repro.messaging import ElementDef, FieldDef, IntType, MessageType, Semantics
+
+        mt = MessageType("m", elements=(
+            ElementDef("D", convertible=True, semantics=Semantics.STATE,
+                       fields=(FieldDef("v", IntType(32)),)),
+        ))
+        ns = Namespace("das")
+        ns.register(mt)
+        vn = TTVirtualNetwork(sim, "das", cluster, ns)
+        k = {"n": 0}
+        vn.attach_gateway_producer(
+            "m", "a", provider=lambda: mt.instance(D={"v": k["n"]}))
+        vn.set_timing("m", TTTiming(period=cyc))
+        vn.tap("m", "b", lambda m, i, t: k.__setitem__("n", k["n"] + 1))
+        vn.start()
+        sim.run_until(1_000 * MS)
+        return k["n"]
+
+    assert benchmark(run) > 1_000

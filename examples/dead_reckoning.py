@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Sensor reuse across DASs: ABS wheel speeds feed the navigation DAS.
+
+The paper's Sec. I example: "the speed sensors from the factory
+installed Antilock Braking System (ABS) can be exploited to estimate
+the car's heading for the navigation system during periods of GPS
+unavailability."
+
+We drive the full integrated car through a curve with a 10-second GPS
+outage, twice: with the abs->navigation gateway, and with strict DAS
+separation.  The position error during the outage tells the story.
+
+Run:  python examples/dead_reckoning.py
+"""
+
+from repro.analysis import Table
+from repro.apps import CarConfig, Phase, VehicleModel, build_car
+from repro.sim import SEC
+
+
+def run(nav_import: bool) -> tuple[float, float, int]:
+    vehicle = VehicleModel([
+        Phase(duration=5 * SEC, accel=3.0),
+        Phase(duration=15 * SEC, yaw_rate=0.05),
+    ])
+    cfg = CarConfig(
+        vehicle=vehicle,
+        gps_outages=[(8 * SEC, 18 * SEC)],
+        nav_import=nav_import,
+        presafe_import=False, roof_command_export=False,
+        dashboard_import=False, roof_motion_plan=[],
+    )
+    car = build_car(cfg)
+    car.run_for(20 * SEC)
+    outage_err = car.navigator.error_during(9 * SEC, 18 * SEC)
+    return max(outage_err), sum(outage_err) / len(outage_err), \
+        car.navigator.dead_reckoning_steps
+
+
+def main() -> None:
+    with_gw = run(nav_import=True)
+    without = run(nav_import=False)
+    table = Table("Dead reckoning during a 10 s GPS outage",
+                  ["configuration", "max error (m)", "mean error (m)",
+                   "dead-reckoning steps", "extra sensors needed"])
+    table.add_row("gateway import (ABS wheel speeds)",
+                  round(with_gw[0], 2), round(with_gw[1], 2), with_gw[2], 0)
+    table.add_row("strict separation (coast on last fix)",
+                  round(without[0], 2), round(without[1], 2), without[2],
+                  "4 (own wheel sensors)")
+    table.print()
+    assert with_gw[0] < without[0] / 3
+    print("\nThe gateway import keeps the estimate bounded; without it the")
+    print("navigation DAS would need its own redundant wheel-speed sensors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Temporal independence of virtual networks over one physical bus.
+
+Two DASs share the TT backbone: a safety-critical TT virtual network
+("xbywire") and a chatty event-triggered one ("infotainment").  We
+sweep the ET load from idle to saturation and show that the TT VN's
+delivery grid never moves — the encapsulation the DECOS architecture
+promises (Sec. II-A: "a virtual network exhibits specified temporal
+properties, which are independent from the communication activities in
+other virtual networks").
+
+Run:  python examples/virtual_networks_demo.py
+"""
+
+from repro.analysis import Series, jitter
+from repro.messaging import (
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Namespace,
+    Semantics,
+    UIntType,
+)
+from repro.core_network import ClusterBuilder, NodeConfig
+from repro.sim import MS, SEC, Simulator
+from repro.spec import TTTiming
+from repro.vn import ETVirtualNetwork, TTVirtualNetwork
+
+
+def control_type() -> MessageType:
+    return MessageType("msgControl", elements=(
+        ElementDef("Cmd", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("u", IntType(32)),)),
+    ))
+
+
+def chatter_type() -> MessageType:
+    return MessageType("msgChatter", elements=(
+        ElementDef("Blob", convertible=True, semantics=Semantics.EVENT,
+                   fields=(FieldDef("seq", UIntType(32)),)),
+    ))
+
+
+def run(et_rate_hz: int) -> tuple[int, int, float]:
+    """Returns (TT jitter ns, TT deliveries, ET delivery ratio)."""
+    sim = Simulator(seed=42)
+    builder = ClusterBuilder(sim)
+    builder.add_node(NodeConfig("ctrl-ecu", slot_capacity_bytes=48,
+                                reservations={"xbywire": 20, "infotainment": 20}))
+    builder.add_node(NodeConfig("sink-ecu", slot_capacity_bytes=48,
+                                reservations={"xbywire": 20, "infotainment": 20}))
+    cluster = builder.build()
+    cluster.start()
+    cyc = cluster.schedule.cycle_length
+
+    # TT VN: one control message per cluster cycle.
+    ns_tt = Namespace("xbywire")
+    ns_tt.register(control_type())
+    vn_tt = TTVirtualNetwork(sim, "xbywire", cluster, ns_tt)
+    counter = {"k": 0}
+
+    def provider():
+        counter["k"] += 1
+        return control_type().instance(Cmd={"u": counter["k"]})
+
+    vn_tt.attach_gateway_producer("msgControl", "ctrl-ecu", provider=provider)
+    vn_tt.set_timing("msgControl", TTTiming(period=cyc))
+    arrivals: list[int] = []
+    vn_tt.tap("msgControl", "sink-ecu", lambda m, i, t: arrivals.append(t))
+    vn_tt.start()
+
+    # ET VN: Poisson-ish chatter at the requested rate.
+    ns_et = Namespace("infotainment")
+    ns_et.register(chatter_type())
+    vn_et = ETVirtualNetwork(sim, "infotainment", cluster, ns_et)
+    vn_et.attach_gateway_producer("msgChatter", "ctrl-ecu")
+    received = {"n": 0}
+    vn_et.tap("msgChatter", "sink-ecu", lambda m, i, t: received.__setitem__("n", received["n"] + 1))
+    vn_et.start()
+    sent = {"n": 0}
+    if et_rate_hz > 0:
+        period = SEC // et_rate_hz
+
+        def chat():
+            sent["n"] += 1
+            vn_et.send("msgChatter", chatter_type().instance(Blob={"seq": sent["n"] % 2**32}))
+
+        sim.every(period, chat, start=period)
+
+    sim.run_until(2 * SEC)
+    intervals = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    ratio = received["n"] / sent["n"] if sent["n"] else 1.0
+    return jitter(intervals), len(arrivals), ratio
+
+
+def main() -> None:
+    series = Series("TT delivery jitter vs. ET load on the shared bus",
+                    "ET load (msgs/s)", "TT inter-arrival jitter (ns)")
+    print("ET load sweep (2 simulated seconds each):")
+    for rate in (0, 100, 1000, 5000, 20000):
+        jit, n, ratio = run(rate)
+        series.add("tt-jitter", rate, jit)
+        print(f"  ET {rate:>6} msg/s: TT deliveries={n:>4} TT jitter={jit} ns, "
+              f"ET delivered ratio={ratio:.2f}")
+        assert jit == 0, "TT virtual network must be unaffected by ET load"
+    series.print()
+    print("\nThe TT virtual network's grid is untouched at every ET load —")
+    print("bandwidth reservations make the overlays temporally independent.")
+
+
+if __name__ == "__main__":
+    main()

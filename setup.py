@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which build a wheel) fail.  Keeping a setup.py lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+``setup.py develop``, which needs only setuptools.  All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

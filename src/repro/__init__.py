@@ -1,0 +1,80 @@
+"""repro — Virtual Gateways in the DECOS Integrated Architecture.
+
+A discrete-event-simulation reproduction of Obermaisser, Peti & Kopetz,
+*Virtual Gateways in the DECOS Integrated Architecture* (IPPS 2005):
+the full DECOS stack — time-triggered core network with clock sync,
+guardians and membership; components/partitions/jobs; TT and ET virtual
+networks as overlays; and the paper\'s contribution, hidden virtual
+gateways parameterized by XML link specifications (syntactic part,
+deterministic timed automata, transfer semantics).
+
+Quick start::
+
+    from repro.systems import SystemBuilder, GatewayDecl
+    from repro.spec import ControlParadigm
+    # see examples/quickstart.py for a complete two-DAS gateway system
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event kernel (integer-ns time).
+``repro.core_network``
+    TDMA bus, guardians, controllers, clock sync, membership (C1-C4).
+``repro.platform``
+    Components, partitions (temporal/spatial isolation), jobs.
+``repro.messaging``
+    Typed fields/elements/messages, bit codec, namespaces.
+``repro.spec``
+    Port/link/VN specifications, transfer semantics, Fig. 6 XML I/O.
+``repro.automata``
+    Deterministic timed automata: guards, port labels, runtime.
+``repro.vn``
+    Runtime ports and the TT/ET virtual-network overlays.
+``repro.gateway``
+    The virtual gateway: repository, filters, monitors, orchestration.
+``repro.faults``
+    Fault injection per the paper\'s fault hypothesis.
+``repro.apps``
+    The exemplary automotive system (ABS, navigation, Pre-Safe, ...).
+``repro.systems``
+    System assembly, naive-bridge baseline, resource inventories.
+``repro.analysis``
+    Probes, statistics, and the tables/series the benchmarks print.
+"""
+
+from . import (  # noqa: F401
+    analysis,
+    apps,
+    automata,
+    core_network,
+    errors,
+    faults,
+    gateway,
+    messaging,
+    platform,
+    sim,
+    spec,
+    systems,
+    vn,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "core_network",
+    "platform",
+    "messaging",
+    "spec",
+    "automata",
+    "vn",
+    "gateway",
+    "faults",
+    "apps",
+    "systems",
+    "analysis",
+    "errors",
+    "ReproError",
+    "__version__",
+]

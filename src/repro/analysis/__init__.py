@@ -1,0 +1,26 @@
+"""Analysis & reporting (substrate S13).
+
+Latency/bandwidth/count probes over the trace log, integer-ns summary
+statistics, and the ASCII table/series renderers every benchmark uses.
+"""
+
+from .export import to_jsonl, write_csv, write_jsonl
+from .probes import BandwidthProbe, CountProbe, LatencyProbe
+from .report import Series, Table, banner
+from .stats import SampleStats, jitter, percentile, summarize
+
+__all__ = [
+    "LatencyProbe",
+    "BandwidthProbe",
+    "CountProbe",
+    "SampleStats",
+    "summarize",
+    "jitter",
+    "percentile",
+    "Table",
+    "Series",
+    "banner",
+    "to_jsonl",
+    "write_jsonl",
+    "write_csv",
+]

@@ -1,0 +1,71 @@
+"""Trace export: JSONL and CSV dumps of the structured trace log.
+
+Experiments often want to post-process traces outside the simulator
+(pandas, gnuplot, spreadsheets).  These helpers serialize
+:class:`~repro.sim.trace.TraceRecord` streams with stable field order;
+detail values that are not JSON-native are stringified.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from ..sim import TraceLog, TraceRecord
+
+__all__ = ["to_jsonl", "write_jsonl", "write_csv"]
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def to_jsonl(records: Iterable[TraceRecord]) -> str:
+    """Render records as one JSON object per line."""
+    lines = []
+    for rec in records:
+        lines.append(json.dumps({
+            "time": rec.time,
+            "category": rec.category,
+            "source": rec.source,
+            **{k: _jsonable(v) for k, v in sorted(rec.detail.items())},
+        }, separators=(",", ":")))
+    return "\n".join(lines)
+
+
+def write_jsonl(trace: TraceLog, path: str | Path,
+                category: str | None = None) -> int:
+    """Write (optionally filtered) records to ``path``; returns count."""
+    records = trace.records(category=category)
+    Path(path).write_text(to_jsonl(records) + ("\n" if records else ""))
+    return len(records)
+
+
+def write_csv(trace: TraceLog, path: str | Path,
+              category: str | None = None) -> int:
+    """CSV with the union of detail keys as columns; returns count."""
+    records = trace.records(category=category)
+    keys: list[str] = []
+    seen = set()
+    for rec in records:
+        for k in rec.detail:
+            if k not in seen:
+                seen.add(k)
+                keys.append(k)
+    with open(path, "w", newline="") as fh:  # type: IO[str]
+        writer = csv.writer(fh)
+        writer.writerow(["time", "category", "source", *keys])
+        for rec in records:
+            writer.writerow([
+                rec.time, rec.category, rec.source,
+                *[_jsonable(rec.detail.get(k, "")) for k in keys],
+            ])
+    return len(records)

@@ -1,0 +1,92 @@
+"""Measurement probes.
+
+Probes observe a running system without perturbing it: they subscribe
+to the trace log or wrap port delivery, and they accumulate integer
+samples that :mod:`repro.analysis.stats` summarizes afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim import Simulator, TraceCategory, TraceRecord
+from .stats import SampleStats, summarize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vn.port import Port
+
+__all__ = ["LatencyProbe", "BandwidthProbe", "CountProbe"]
+
+
+class LatencyProbe:
+    """Records (arrival - send_time) for every delivery at a port."""
+
+    def __init__(self, port: "Port", name: str = "") -> None:
+        self.port = port
+        self.name = name or f"latency.{port.name}"
+        self.samples: list[int] = []
+        self.arrivals: list[int] = []
+        original = port.deliver_from_network
+
+        def wrapped(instance, arrival):
+            if instance.send_time is not None:
+                self.samples.append(arrival - instance.send_time)
+            self.arrivals.append(arrival)
+            original(instance, arrival)
+
+        port.deliver_from_network = wrapped  # type: ignore[method-assign]
+
+    def stats(self) -> SampleStats:
+        return summarize(self.samples)
+
+    def interarrivals(self) -> list[int]:
+        return [b - a for a, b in zip(self.arrivals, self.arrivals[1:])]
+
+
+class BandwidthProbe:
+    """Accumulates per-VN bytes on the physical bus from frame traces."""
+
+    def __init__(self, sim: Simulator, name: str = "bandwidth") -> None:
+        self.sim = sim
+        self.name = name
+        self.bytes_by_source: dict[str, int] = {}
+        self.frames = 0
+        self._unsub = sim.trace.subscribe(self._on_record)
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        if rec.category != TraceCategory.FRAME_TX:
+            return
+        nbytes = rec.get("bytes")
+        if nbytes is None:
+            return
+        sender = rec.get("sender", "?")
+        self.bytes_by_source[sender] = self.bytes_by_source.get(sender, 0) + nbytes
+        self.frames += 1
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_source.values())
+
+    def close(self) -> None:
+        self._unsub()
+
+
+class CountProbe:
+    """Counts trace records matching a category/source filter, live."""
+
+    def __init__(self, sim: Simulator, category: str, source: str | None = None) -> None:
+        self.category = category
+        self.source = source
+        self.count = 0
+        self.times: list[int] = []
+        self._unsub = sim.trace.subscribe(self._on_record)
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        if rec.category != self.category:
+            return
+        if self.source is not None and rec.source != self.source:
+            return
+        self.count += 1
+        self.times.append(rec.time)
+
+    def close(self) -> None:
+        self._unsub()

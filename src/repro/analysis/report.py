@@ -1,0 +1,84 @@
+"""ASCII tables and series rendering for the experiment harness.
+
+Every benchmark prints its result through :class:`Table` (the paper has
+no numeric tables, so these are the tables the *reproduction* reports:
+paper-claim vs measured) and :class:`Series` (figure-like sweeps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["Table", "Series", "banner"]
+
+
+def banner(title: str, width: int = 72) -> str:
+    """Center ``title`` in a ``width``-wide ruler of equals signs."""
+    pad = max(width - len(title) - 2, 0)
+    left = pad // 2
+    return f"{'=' * left} {title} {'=' * (pad - left)}"
+
+
+class Table:
+    """Fixed-column ASCII table with type-aware formatting."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, bool):
+            return "yes" if v else "no"
+        if isinstance(v, float):
+            return f"{v:,.3f}" if abs(v) < 1000 else f"{v:,.1f}"
+        if isinstance(v, int):
+            return f"{v:,}"
+        return str(v)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        out = [banner(self.title), " | ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        ), sep]
+        for row in self.rows:
+            out.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(out)
+
+    def print(self) -> None:
+        print("\n" + self.render())
+
+
+class Series:
+    """A labelled (x, y) sweep — the textual analogue of a figure."""
+
+    def __init__(self, title: str, x_label: str, y_label: str) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.lines: dict[str, list[tuple[Any, Any]]] = {}
+
+    def add(self, line: str, x: Any, y: Any) -> None:
+        self.lines.setdefault(line, []).append((x, y))
+
+    def render(self) -> str:
+        out = [banner(self.title), f"x = {self.x_label}, y = {self.y_label}"]
+        for line, points in self.lines.items():
+            pts = "  ".join(f"({Table._fmt(x)}, {Table._fmt(y)})" for x, y in points)
+            out.append(f"  {line}: {pts}")
+        return "\n".join(out)
+
+    def print(self) -> None:
+        print("\n" + self.render())

@@ -1,0 +1,74 @@
+"""Summary statistics over integer-nanosecond samples.
+
+Floats enter the codebase here — at the reporting boundary — and only
+here.  All statistics are computed with numpy for speed on the long
+sample vectors the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SampleStats", "summarize", "jitter", "percentile"]
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Five-number-plus summary of a sample vector (ns units)."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: int
+    p50: float
+    p95: float
+    p99: float
+    maximum: int
+
+    def describe(self, unit_div: float = 1_000.0, unit: str = "us") -> str:
+        if self.count == 0:
+            return "no samples"
+        return (
+            f"n={self.count} mean={self.mean / unit_div:.2f}{unit} "
+            f"p50={self.p50 / unit_div:.2f}{unit} p95={self.p95 / unit_div:.2f}{unit} "
+            f"p99={self.p99 / unit_div:.2f}{unit} max={self.maximum / unit_div:.2f}{unit}"
+        )
+
+
+_EMPTY = SampleStats(count=0, mean=0.0, std=0.0, minimum=0, p50=0.0,
+                     p95=0.0, p99=0.0, maximum=0)
+
+
+def summarize(samples: Iterable[int]) -> SampleStats:
+    """Full summary; safe on empty input."""
+    arr = np.asarray(list(samples), dtype=np.int64)
+    if arr.size == 0:
+        return _EMPTY
+    return SampleStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=int(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=int(arr.max()),
+    )
+
+
+def jitter(samples: Sequence[int]) -> int:
+    """Peak-to-peak variation (max - min); 0 for fewer than 2 samples."""
+    if len(samples) < 2:
+        return 0
+    arr = np.asarray(samples, dtype=np.int64)
+    return int(arr.max() - arr.min())
+
+
+def percentile(samples: Sequence[int], q: float) -> float:
+    """Single percentile; 0.0 on empty input."""
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.int64), q))

@@ -1,0 +1,34 @@
+"""Automotive application DASs (substrate S11, Section V substitute).
+
+Vehicle dynamics ground truth, sensor/control/comfort/navigation jobs,
+and the full-car assembler with all of the paper's motivating couplings
+(ABS→navigation reuse, Pre-Safe correlation, Fig. 6 roof→dashboard).
+"""
+
+from .abs_das import DynamicsSensor, WheelSpeedSensor
+from .car import CarConfig, CarSystem, build_car
+from .comfort_das import SlidingRoofController
+from .common import RecorderJob
+from .navigation_das import GpsReceiver, NavigationEstimator
+from .presafe_das import PreSafeController
+from .vehicle import Phase, VehicleModel, VehicleState, skid_trip, standard_trip
+from .xbywire_das import BrakeByWireController
+
+__all__ = [
+    "WheelSpeedSensor",
+    "DynamicsSensor",
+    "GpsReceiver",
+    "NavigationEstimator",
+    "SlidingRoofController",
+    "PreSafeController",
+    "BrakeByWireController",
+    "RecorderJob",
+    "Phase",
+    "VehicleModel",
+    "VehicleState",
+    "standard_trip",
+    "skid_trip",
+    "CarConfig",
+    "CarSystem",
+    "build_car",
+]

@@ -1,0 +1,231 @@
+"""Message catalog of the exemplary automotive system (Sec. V substitute).
+
+All message types the automotive DASs exchange, with fixed-point wire
+encodings (integer fields; physical units noted per field):
+
+* ``msgWheelSpeed`` — ABS DAS: four wheel speeds (mm/s) + timestamp.
+* ``msgVehicleDynamics`` — ABS DAS: yaw rate (mrad/s) + brake pressure
+  (0.1% units) + timestamp.
+* ``msgOdometry`` — navigation DAS's *imported* view of wheel speeds
+  (renamed across the gateway: incoherent naming resolved).
+* ``msgDynamicsPreSafe`` — Pre-Safe DAS's imported dynamics view.
+* ``msgGpsFix`` — navigation DAS: absolute position (cm) + validity.
+* ``msgSlidingRoof`` — comfort DAS: Fig. 6's event message.
+* ``msgRoofState`` — dashboard's state view of the roof (Fig. 6's
+  MovementState conversion target).
+* ``msgRoofCommand`` / ``msgBeltCommand`` — Pre-Safe actuation events.
+* ``msgBrakeCmd`` — X-by-wire DAS: brake force command (state, TT).
+
+Conversion helpers translate between SI floats (vehicle model) and the
+wire fixed-point units.
+"""
+
+from __future__ import annotations
+
+from ..messaging import (
+    BoolType,
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Semantics,
+    TimestampType,
+    UIntType,
+)
+
+__all__ = [
+    "wheel_speed_type",
+    "vehicle_dynamics_type",
+    "odometry_type",
+    "dynamics_presafe_type",
+    "gps_fix_type",
+    "sliding_roof_type",
+    "roof_state_type",
+    "roof_command_type",
+    "belt_command_type",
+    "brake_cmd_type",
+    "mm_per_s",
+    "from_mm_per_s",
+    "mrad_per_s",
+    "from_mrad_per_s",
+    "cm",
+    "from_cm",
+    "obs_time",
+    "from_obs_time",
+]
+
+
+# ----------------------------------------------------------------------
+# fixed-point conversions
+# ----------------------------------------------------------------------
+def mm_per_s(v: float) -> int:
+    """m/s -> wire mm/s."""
+    return max(0, min(2**31 - 1, round(v * 1000)))
+
+
+def from_mm_per_s(raw: int) -> float:
+    """Wire mm/s -> m/s."""
+    return raw / 1000.0
+
+
+def mrad_per_s(v: float) -> int:
+    """rad/s -> wire mrad/s (signed)."""
+    return max(-(2**15), min(2**15 - 1, round(v * 1000)))
+
+
+def from_mrad_per_s(raw: int) -> float:
+    """Wire mrad/s -> rad/s."""
+    return raw / 1000.0
+
+
+def cm(v: float) -> int:
+    """m -> wire cm (signed 32-bit)."""
+    return max(-(2**31), min(2**31 - 1, round(v * 100)))
+
+
+def from_cm(raw: int) -> float:
+    """Wire cm -> m."""
+    return raw / 100.0
+
+
+def obs_time(t_ns: int) -> int:
+    """Simulation ns -> wire observation timestamp (µs, 32-bit wrap).
+
+    Microsecond granularity keeps a 32-bit timestamp valid for ~71
+    minutes of mission time; nanoseconds would wrap after 4.3 s.
+    """
+    return (t_ns // 1_000) % (2**32)
+
+
+def from_obs_time(raw: int) -> int:
+    """Wire µs timestamp -> ns (within the first wrap period)."""
+    return raw * 1_000
+
+
+# ----------------------------------------------------------------------
+# message types
+# ----------------------------------------------------------------------
+def _key(name_id: int) -> ElementDef:
+    return ElementDef("Name", key=True,
+                      fields=(FieldDef("ID", IntType(16), static=True, static_value=name_id),))
+
+
+def wheel_speed_type() -> MessageType:
+    """ABS DAS: four wheel speeds (mm/s) + observation time."""
+    return MessageType("msgWheelSpeed", elements=(
+        _key(101),
+        ElementDef("WheelSpeeds", convertible=True, semantics=Semantics.STATE, fields=(
+            FieldDef("fl", UIntType(32)),
+            FieldDef("fr", UIntType(32)),
+            FieldDef("rl", UIntType(32)),
+            FieldDef("rr", UIntType(32)),
+            FieldDef("t_obs", TimestampType(32)),
+        )),
+    ))
+
+
+def vehicle_dynamics_type() -> MessageType:
+    """ABS DAS: yaw rate (mrad/s) + brake pressure (0.1%)."""
+    return MessageType("msgVehicleDynamics", elements=(
+        _key(102),
+        ElementDef("Dynamics", convertible=True, semantics=Semantics.STATE, fields=(
+            FieldDef("yaw_rate", IntType(16)),
+            FieldDef("brake", UIntType(16)),
+            FieldDef("t_obs", TimestampType(32)),
+        )),
+    ))
+
+
+def odometry_type() -> MessageType:
+    """The navigation DAS's name for imported wheel speeds."""
+    return MessageType("msgOdometry", elements=(
+        _key(201),
+        ElementDef("WheelSpeeds", convertible=True, semantics=Semantics.STATE, fields=(
+            FieldDef("fl", UIntType(32)),
+            FieldDef("fr", UIntType(32)),
+            FieldDef("rl", UIntType(32)),
+            FieldDef("rr", UIntType(32)),
+            FieldDef("t_obs", TimestampType(32)),
+        )),
+    ))
+
+
+def dynamics_presafe_type() -> MessageType:
+    """Pre-Safe's name for the imported vehicle dynamics."""
+    return MessageType("msgDynamicsPreSafe", elements=(
+        _key(301),
+        ElementDef("Dynamics", convertible=True, semantics=Semantics.STATE, fields=(
+            FieldDef("yaw_rate", IntType(16)),
+            FieldDef("brake", UIntType(16)),
+            FieldDef("t_obs", TimestampType(32)),
+        )),
+    ))
+
+
+def gps_fix_type() -> MessageType:
+    """Navigation DAS: absolute position fix (cm) + validity."""
+    return MessageType("msgGpsFix", elements=(
+        _key(202),
+        ElementDef("Fix", convertible=True, semantics=Semantics.STATE, fields=(
+            FieldDef("x", IntType(32)),
+            FieldDef("y", IntType(32)),
+            FieldDef("valid", BoolType()),
+            FieldDef("t_obs", TimestampType(32)),
+        )),
+    ))
+
+
+def sliding_roof_type() -> MessageType:
+    """Fig. 6's message, canonical casing."""
+    return MessageType("msgSlidingRoof", elements=(
+        _key(731),
+        ElementDef("MovementEvent", convertible=True, semantics=Semantics.EVENT, fields=(
+            FieldDef("ValueChange", IntType(16)),
+            FieldDef("EventTime", TimestampType(32)),
+        )),
+        ElementDef("FullClosure", fields=(FieldDef("Trigger", BoolType()),)),
+    ))
+
+
+def roof_state_type() -> MessageType:
+    """Dashboard DAS: absolute roof position (Fig. 6 conversion target)."""
+    return MessageType("msgRoofState", elements=(
+        _key(732),
+        ElementDef("MovementState", convertible=True, semantics=Semantics.STATE, fields=(
+            FieldDef("StateValue", IntType(32)),
+            FieldDef("ObservationTime", TimestampType(32)),
+        )),
+    ))
+
+
+def roof_command_type() -> MessageType:
+    """Pre-Safe -> comfort: close-the-roof actuation event."""
+    return MessageType("msgRoofCommand", elements=(
+        _key(401),
+        ElementDef("Command", convertible=True, semantics=Semantics.EVENT, fields=(
+            FieldDef("close", BoolType()),
+            FieldDef("t_cmd", TimestampType(32)),
+        )),
+    ))
+
+
+def belt_command_type() -> MessageType:
+    """Pre-Safe: seat-belt tension actuation event."""
+    return MessageType("msgBeltCommand", elements=(
+        _key(402),
+        ElementDef("Command", convertible=True, semantics=Semantics.EVENT, fields=(
+            FieldDef("tension", UIntType(16)),
+            FieldDef("t_cmd", TimestampType(32)),
+        )),
+    ))
+
+
+def brake_cmd_type() -> MessageType:
+    """X-by-wire DAS: commanded brake force (TT state)."""
+    return MessageType("msgBrakeCmd", elements=(
+        _key(501),
+        ElementDef("Brake", convertible=True, semantics=Semantics.STATE, fields=(
+            FieldDef("force", UIntType(16)),
+            FieldDef("t_obs", TimestampType(32)),
+        )),
+    ))

@@ -1,0 +1,187 @@
+"""Synthetic vehicle dynamics — the sensors' ground truth.
+
+The paper evaluates on a real car's sensor suite; we substitute a
+kinematic single-track model driven by a scenario script (documented in
+DESIGN.md's substitution table).  The model is precomputed at a fixed
+1 ms grid at construction, so sensor jobs sample it with O(1) lookups
+and every run is deterministic.
+
+A scenario is a list of :class:`Phase` segments with constant
+acceleration and commanded yaw rate; a phase can be marked ``skid``,
+which locks the rear wheels (wheel-speed divergence) and superimposes a
+yaw-rate spike — the signature Pre-Safe's correlation logic looks for
+(Sec. I's Mercedes example: "skidding, emergency braking, or avoidance
+maneuvers").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim import MS, SEC
+
+__all__ = ["Phase", "VehicleState", "VehicleModel", "standard_trip", "skid_trip"]
+
+_GRID = 1 * MS  # precomputation step
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One scenario segment."""
+
+    duration: int  # ns
+    accel: float = 0.0  # m/s^2
+    yaw_rate: float = 0.0  # rad/s commanded
+    skid: bool = False
+    braking: float = 0.0  # 0..1 brake pedal
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("phase duration must be positive")
+        if not 0.0 <= self.braking <= 1.0:
+            raise ConfigurationError("braking must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """Ground truth at one instant (SI units)."""
+
+    t: int
+    x: float
+    y: float
+    heading: float  # rad
+    speed: float  # m/s
+    yaw_rate: float  # rad/s
+    wheel_fl: float  # m/s at the contact patch
+    wheel_fr: float
+    wheel_rl: float
+    wheel_rr: float
+    braking: float
+    skidding: bool
+
+
+class VehicleModel:
+    """Precomputed kinematics over a scenario."""
+
+    def __init__(
+        self,
+        phases: list[Phase],
+        initial_speed: float = 0.0,
+        track_width: float = 1.6,
+        skid_yaw_spike: float = 0.8,
+        skid_wheel_lock: float = 0.25,
+    ) -> None:
+        if not phases:
+            raise ConfigurationError("scenario needs at least one phase")
+        self.phases = list(phases)
+        self.track_width = track_width
+        self.horizon = sum(p.duration for p in phases)
+        n = self.horizon // _GRID + 1
+        self._t = np.arange(n, dtype=np.int64) * _GRID
+        speed = np.zeros(n)
+        heading = np.zeros(n)
+        yaw = np.zeros(n)
+        x = np.zeros(n)
+        y = np.zeros(n)
+        braking = np.zeros(n)
+        skid = np.zeros(n, dtype=bool)
+
+        v = initial_speed
+        h = 0.0
+        px = py = 0.0
+        idx = 0
+        dt = _GRID / SEC
+        for phase in phases:
+            steps = phase.duration // _GRID
+            yr = phase.yaw_rate + (skid_yaw_spike if phase.skid else 0.0)
+            for _ in range(steps):
+                if idx >= n:
+                    break
+                speed[idx] = v
+                heading[idx] = h
+                yaw[idx] = yr if v > 0.1 else 0.0
+                x[idx] = px
+                y[idx] = py
+                braking[idx] = phase.braking
+                skid[idx] = phase.skid
+                px += v * math.cos(h) * dt
+                py += v * math.sin(h) * dt
+                h += yaw[idx] * dt
+                v = max(0.0, v + phase.accel * dt)
+                idx += 1
+        # fill the tail (exact horizon instant)
+        while idx < n:
+            speed[idx] = v
+            heading[idx] = h
+            x[idx] = px
+            y[idx] = py
+            idx += 1
+        self._speed, self._heading, self._yaw = speed, heading, yaw
+        self._x, self._y = x, y
+        self._braking, self._skid = braking, skid
+        self._skid_lock = skid_wheel_lock
+
+    # ------------------------------------------------------------------
+    def state_at(self, t: int) -> VehicleState:
+        """Ground truth at simulation time ``t`` (clamped to horizon)."""
+        i = min(max(t, 0) // _GRID, len(self._t) - 1)
+        v = float(self._speed[i])
+        yr = float(self._yaw[i])
+        half = self.track_width / 2.0
+        # Outer wheels travel faster in a turn.
+        d = yr * half
+        fl, fr = max(0.0, v - d), max(0.0, v + d)
+        rl, rr = fl, fr
+        if self._skid[i]:
+            rl *= self._skid_lock
+            rr *= self._skid_lock
+        return VehicleState(
+            t=int(self._t[i]),
+            x=float(self._x[i]),
+            y=float(self._y[i]),
+            heading=float(self._heading[i]),
+            speed=v,
+            yaw_rate=yr,
+            wheel_fl=fl, wheel_fr=fr, wheel_rl=rl, wheel_rr=rr,
+            braking=float(self._braking[i]),
+            skidding=bool(self._skid[i]),
+        )
+
+    def skid_onsets(self) -> list[int]:
+        """Instants where a skid phase begins (hazard ground truth)."""
+        onsets = []
+        prev = False
+        for i, s in enumerate(self._skid):
+            if s and not prev:
+                onsets.append(int(self._t[i]))
+            prev = bool(s)
+        return onsets
+
+
+def standard_trip(seconds: float = 60.0) -> VehicleModel:
+    """Accelerate, cruise with gentle curves, brake — no hazards."""
+    s = SEC
+    phases = [
+        Phase(duration=int(8 * s), accel=2.5),
+        Phase(duration=int(10 * s), yaw_rate=0.05),
+        Phase(duration=int(10 * s), yaw_rate=-0.05),
+        Phase(duration=int(max(seconds - 33, 1) * s)),
+        Phase(duration=int(5 * s), accel=-3.0, braking=0.5),
+    ]
+    return VehicleModel(phases, initial_speed=0.0)
+
+
+def skid_trip() -> VehicleModel:
+    """Cruise, then a skid + emergency-brake event (Pre-Safe trigger)."""
+    s = SEC
+    phases = [
+        Phase(duration=int(5 * s), accel=3.0),
+        Phase(duration=int(10 * s)),
+        Phase(duration=int(2 * s), yaw_rate=0.3, skid=True, braking=1.0, accel=-6.0),
+        Phase(duration=int(8 * s), braking=0.2, accel=-1.0),
+    ]
+    return VehicleModel(phases, initial_speed=0.0)

@@ -1,0 +1,51 @@
+"""Deterministic timed automata (substrate S7).
+
+Guard/assignment expression language, automaton structure with port
+interaction labels (``m!``/``m?``), a fluent builder, and a runtime
+executor with error-state semantics used by virtual gateways for
+protocol control and error containment (Sec. IV-B.2 of the paper).
+"""
+
+from .automaton import (
+    ActionKind,
+    Assignment,
+    AutomatonBuilder,
+    Guard,
+    PortAction,
+    TimedAutomaton,
+    Transition,
+)
+from .expr import (
+    BinOp,
+    Call,
+    Const,
+    EvalContext,
+    Expr,
+    Neg,
+    Var,
+    parse_assignment,
+    parse_expr,
+)
+from .runtime import AutomatonEnvironment, AutomatonRuntime, SimpleEnvironment
+
+__all__ = [
+    "ActionKind",
+    "Assignment",
+    "AutomatonBuilder",
+    "Guard",
+    "PortAction",
+    "TimedAutomaton",
+    "Transition",
+    "Expr",
+    "Const",
+    "Var",
+    "BinOp",
+    "Neg",
+    "Call",
+    "EvalContext",
+    "parse_expr",
+    "parse_assignment",
+    "AutomatonEnvironment",
+    "AutomatonRuntime",
+    "SimpleEnvironment",
+]

@@ -1,0 +1,394 @@
+"""Deterministic timed automata (structure).
+
+The temporal part of a link specification "is a set of deterministic
+timed automata that express the protocol for interacting with the ports
+to a particular virtual network" (Sec. IV-B.2).  Transitions carry
+
+* a **guard** — conjunction of comparisons over clock variables, state
+  variables, and the built-ins ``t_now``, ``horizon(m)``, ``requ(m)``;
+  plus the paper's ``~`` marker ("no message pending"),
+* **assignments** — ``x := expr`` effects, including clock resets,
+* an optional **port interaction** — ``m!`` (send; the edge is guarded
+  by availability of all convertible elements of ``m`` in the gateway
+  repository) or ``m?`` (receive; the edge is taken when an instance of
+  ``m`` is present at the input port),
+* and a target location.  A dedicated **error location** represents a
+  violation of the temporal specification (Sec. IV-B.2); reaching it
+  lets the gateway perform error handling such as a service restart.
+
+This module defines the static structure and its validation;
+:mod:`repro.automata.runtime` executes it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import AutomatonError
+from .expr import Expr, parse_assignment, parse_expr
+
+__all__ = [
+    "ActionKind",
+    "PortAction",
+    "Guard",
+    "Assignment",
+    "Transition",
+    "TimedAutomaton",
+    "AutomatonBuilder",
+]
+
+#: Marker used in guard strings for "no message pending" (Fig. 6's ``~``).
+NO_MESSAGE_MARKER = "~"
+
+
+class ActionKind(str, Enum):
+    """Port interaction on a transition (Sec. IV-B.2)."""
+
+    SEND = "send"  # m!
+    RECEIVE = "receive"  # m?
+    SILENT = "silent"  # no port interaction
+
+
+@dataclass(frozen=True)
+class PortAction:
+    """The ``m!``/``m?`` label of a transition."""
+
+    kind: ActionKind
+    message: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ActionKind.SILENT and self.message is not None:
+            raise AutomatonError("silent action cannot name a message")
+        if self.kind is not ActionKind.SILENT and not self.message:
+            raise AutomatonError(f"{self.kind.value} action needs a message name")
+
+    @classmethod
+    def parse(cls, label: str) -> "PortAction":
+        """Parse ``m!`` / ``m?`` / empty into an action."""
+        label = label.strip()
+        if not label:
+            return cls(ActionKind.SILENT)
+        if label.endswith("!"):
+            return cls(ActionKind.SEND, label[:-1].strip())
+        if label.endswith("?"):
+            return cls(ActionKind.RECEIVE, label[:-1].strip())
+        raise AutomatonError(f"port action must end in '!' or '?': {label!r}")
+
+    def __str__(self) -> str:
+        if self.kind is ActionKind.SILENT:
+            return ""
+        return f"{self.message}{'!' if self.kind is ActionKind.SEND else '?'}"
+
+
+SILENT = PortAction(ActionKind.SILENT)
+
+
+@dataclass(frozen=True)
+class Guard:
+    """Conjunction of comparison terms plus the ``~`` no-message flag."""
+
+    terms: tuple[Expr, ...] = ()
+    no_message: bool = False
+    source_text: str = ""
+
+    @classmethod
+    def parse(cls, text: str) -> "Guard":
+        """Parse a comma-separated conjunction, e.g. ``x<tmax, ~``."""
+        text = (text or "").strip()
+        if not text:
+            return cls(source_text="")
+        terms: list[Expr] = []
+        no_message = False
+        for part in _split_top_level(text):
+            part = part.strip()
+            if not part:
+                continue
+            if part == NO_MESSAGE_MARKER:
+                no_message = True
+                continue
+            terms.append(parse_expr(part))
+        return cls(terms=tuple(terms), no_message=no_message, source_text=text)
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for t in self.terms:
+            out |= t.variables()
+        return out
+
+    def is_trivial(self) -> bool:
+        return not self.terms and not self.no_message
+
+    def __str__(self) -> str:
+        parts = [str(t) for t in self.terms]
+        if self.no_message:
+            parts.append(NO_MESSAGE_MARKER)
+        return ", ".join(parts)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas not inside parentheses (function args stay intact)."""
+    parts: list[str] = []
+    depth = 0
+    cur: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    parts.append("".join(cur))
+    return parts
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``target := expr`` effect."""
+
+    target: str
+    value: Expr
+    source_text: str = ""
+
+    @classmethod
+    def parse(cls, text: str) -> "Assignment":
+        target, value = parse_assignment(text)
+        return cls(target=target, value=value, source_text=text)
+
+    @classmethod
+    def parse_list(cls, text: str) -> tuple["Assignment", ...]:
+        """Parse ``x:=0; y:=y+1`` (semicolon- or comma-separated)."""
+        text = (text or "").strip()
+        if not text:
+            return ()
+        chunks = re.split(r"[;\n]", text)
+        out: list[Assignment] = []
+        for chunk in chunks:
+            chunk = chunk.strip()
+            if chunk:
+                out.append(cls.parse(chunk))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return f"{self.target} := {self.value}"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of the automaton."""
+
+    source: str
+    target: str
+    guard: Guard = Guard()
+    action: PortAction = SILENT
+    assignments: tuple[Assignment, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"{self.source}->{self.target}"]
+        if not self.guard.is_trivial():
+            bits.append(f"[{self.guard}]")
+        if self.action.kind is not ActionKind.SILENT:
+            bits.append(str(self.action))
+        if self.assignments:
+            bits.append("{" + "; ".join(map(str, self.assignments)) + "}")
+        return " ".join(bits)
+
+
+class TimedAutomaton:
+    """A validated deterministic timed automaton.
+
+    Parameters
+    ----------
+    name:
+        Identifier within the link specification.
+    locations:
+        All location names.
+    initial:
+        Starting location.
+    error:
+        The designated error location (optional but required for
+        monitors used in error containment).
+    transitions:
+        The edges.
+    clocks:
+        Names of clock variables.  Clocks advance with global time and
+        can be reset by assignments (``x := 0``).
+    parameters:
+        Named constants usable in guards (e.g. ``tmin``, ``tmax``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        locations: tuple[str, ...],
+        initial: str,
+        transitions: tuple[Transition, ...],
+        error: str | None = None,
+        clocks: tuple[str, ...] = ("x",),
+        parameters: dict[str, int | float] | None = None,
+    ) -> None:
+        self.name = name
+        self.locations = tuple(locations)
+        self.initial = initial
+        self.error = error
+        self.transitions = tuple(transitions)
+        self.clocks = tuple(clocks)
+        self.parameters = dict(parameters or {})
+        self._validate()
+        self._by_source: dict[str, tuple[Transition, ...]] = {}
+        for loc in self.locations:
+            self._by_source[loc] = tuple(t for t in self.transitions if t.source == loc)
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.name:
+            raise AutomatonError("automaton needs a name")
+        if len(set(self.locations)) != len(self.locations):
+            raise AutomatonError(f"duplicate locations in {self.name!r}")
+        locset = set(self.locations)
+        if self.initial not in locset:
+            raise AutomatonError(f"initial location {self.initial!r} not declared")
+        if self.error is not None and self.error not in locset:
+            raise AutomatonError(f"error location {self.error!r} not declared")
+        if len(set(self.clocks)) != len(self.clocks):
+            raise AutomatonError(f"duplicate clocks in {self.name!r}")
+        known = set(self.clocks) | set(self.parameters) | {"t_now"}
+        for t in self.transitions:
+            if t.source not in locset:
+                raise AutomatonError(f"transition from unknown location {t.source!r}")
+            if t.target not in locset:
+                raise AutomatonError(f"transition to unknown location {t.target!r}")
+            for a in t.assignments:
+                if a.target in self.parameters:
+                    raise AutomatonError(f"cannot assign to parameter {a.target!r}")
+                if a.target == "t_now":
+                    raise AutomatonError("cannot assign to t_now")
+            # Guard variables beyond clocks/params/t_now are state
+            # variables provided by the environment; we cannot validate
+            # them statically, but guard *syntax* is checked at parse.
+            _ = known
+
+    # ------------------------------------------------------------------
+    def outgoing(self, location: str) -> tuple[Transition, ...]:
+        try:
+            return self._by_source[location]
+        except KeyError:
+            raise AutomatonError(f"unknown location {location!r}") from None
+
+    def receive_messages(self) -> set[str]:
+        """All message names this automaton receives (``m?``)."""
+        return {
+            t.action.message  # type: ignore[misc]
+            for t in self.transitions
+            if t.action.kind is ActionKind.RECEIVE
+        }
+
+    def send_messages(self) -> set[str]:
+        """All message names this automaton sends (``m!``)."""
+        return {
+            t.action.message  # type: ignore[misc]
+            for t in self.transitions
+            if t.action.kind is ActionKind.SEND
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TimedAutomaton {self.name!r} |L|={len(self.locations)} "
+            f"|T|={len(self.transitions)}>"
+        )
+
+
+class AutomatonBuilder:
+    """Fluent construction of :class:`TimedAutomaton`.
+
+    Example::
+
+        auto = (
+            AutomatonBuilder("msgSlidingRoofReception")
+            .parameter("tmin", 1_000_000)
+            .parameter("tmax", 10_000_000)
+            .location("statePassive", initial=True)
+            .location("stateActive")
+            .location("stateError", error=True)
+            .on_receive("msgSlidingRoof", "statePassive", "stateActive",
+                        guard="x >= tmin", assign="x := 0")
+            .transition("stateActive", "statePassive", guard="x < tmax")
+            .transition("stateActive", "stateError", guard="x >= tmax")
+            .on_receive("msgSlidingRoof", "statePassive", "stateError",
+                        guard="x < tmin")
+            .build()
+        )
+    """
+
+    def __init__(self, name: str, clocks: tuple[str, ...] = ("x",)) -> None:
+        self._name = name
+        self._clocks = clocks
+        self._locations: list[str] = []
+        self._initial: str | None = None
+        self._error: str | None = None
+        self._transitions: list[Transition] = []
+        self._parameters: dict[str, int | float] = {}
+
+    def parameter(self, name: str, value: int | float) -> "AutomatonBuilder":
+        self._parameters[name] = value
+        return self
+
+    def location(self, name: str, initial: bool = False, error: bool = False) -> "AutomatonBuilder":
+        if name in self._locations:
+            raise AutomatonError(f"location {name!r} already declared")
+        self._locations.append(name)
+        if initial:
+            if self._initial is not None:
+                raise AutomatonError("initial location already declared")
+            self._initial = name
+        if error:
+            if self._error is not None:
+                raise AutomatonError("error location already declared")
+            self._error = name
+        return self
+
+    def transition(
+        self,
+        source: str,
+        target: str,
+        guard: str = "",
+        action: str = "",
+        assign: str = "",
+    ) -> "AutomatonBuilder":
+        self._transitions.append(
+            Transition(
+                source=source,
+                target=target,
+                guard=Guard.parse(guard),
+                action=PortAction.parse(action),
+                assignments=Assignment.parse_list(assign),
+            )
+        )
+        return self
+
+    def on_receive(
+        self, message: str, source: str, target: str, guard: str = "", assign: str = ""
+    ) -> "AutomatonBuilder":
+        return self.transition(source, target, guard=guard, action=f"{message}?", assign=assign)
+
+    def on_send(
+        self, message: str, source: str, target: str, guard: str = "", assign: str = ""
+    ) -> "AutomatonBuilder":
+        return self.transition(source, target, guard=guard, action=f"{message}!", assign=assign)
+
+    def build(self) -> TimedAutomaton:
+        if self._initial is None:
+            raise AutomatonError(f"automaton {self._name!r} has no initial location")
+        return TimedAutomaton(
+            name=self._name,
+            locations=tuple(self._locations),
+            initial=self._initial,
+            error=self._error,
+            transitions=tuple(self._transitions),
+            clocks=self._clocks,
+            parameters=self._parameters,
+        )

@@ -1,0 +1,307 @@
+"""Expression language for guards, assignments, and transfer semantics.
+
+The temporal part of a link specification annotates transitions with
+*guards* (conditions over clock and state variables, Sec. IV-B.2) and
+*assignments* (``x := n``); the transfer-semantics part uses the same
+expression syntax for conversion rules such as
+``StateValue = StateValue + ValueChange`` (Fig. 6).
+
+Grammar (classic recursive descent)::
+
+    comparison := sum (('<' | '<=' | '==' | '!=' | '>=' | '>') sum)?
+    sum        := term (('+' | '-') term)*
+    term       := factor (('*' | '/') factor)*
+    factor     := NUMBER | NAME | NAME '(' args ')' | '-' factor | '(' comparison ')'
+
+Identifiers resolve against an :class:`EvalContext`: clock valuations,
+state variables, the built-in ``t_now``, and environment functions such
+as ``horizon(m)`` and ``requ(m)`` from Sec. IV-B.2.  Evaluation is
+integer/float arithmetic with Python semantics; division is true
+division (specifications that need integer ticks should multiply).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..errors import GuardParseError
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "BinOp",
+    "Neg",
+    "Call",
+    "EvalContext",
+    "parse_expr",
+    "parse_assignment",
+]
+
+
+class Expr:
+    """Abstract expression node."""
+
+    def evaluate(self, ctx: "EvalContext") -> Any:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """Names of all variables referenced (for validation)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal number (or boolean) leaf."""
+
+    value: float | int | bool
+
+    def evaluate(self, ctx: "EvalContext") -> Any:
+        return self.value
+
+    def variables(self) -> set[str]:
+        return set()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named variable resolved against the evaluation context."""
+
+    name: str
+
+    def evaluate(self, ctx: "EvalContext") -> Any:
+        return ctx.resolve(self.name)
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic or comparison node."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def evaluate(self, ctx: "EvalContext") -> Any:
+        return _OPS[self.op](self.lhs.evaluate(ctx), self.rhs.evaluate(ctx))
+
+    def variables(self) -> set[str]:
+        return self.lhs.variables() | self.rhs.variables()
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary negation."""
+
+    operand: Expr
+
+    def evaluate(self, ctx: "EvalContext") -> Any:
+        return -self.operand.evaluate(ctx)
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Function application (``horizon(m)``, ``prev(x)``, ...)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def evaluate(self, ctx: "EvalContext") -> Any:
+        fn = ctx.function(self.func)
+        if getattr(fn, "takes_names", False):
+            # Special forms like ``prev(StateValue)`` receive the bare
+            # identifier, not the identifier's current value.
+            raw = [a.name if isinstance(a, Var) else a.evaluate(ctx) for a in self.args]
+            return fn(*raw)
+        return fn(*[a.evaluate(ctx) for a in self.args])
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+class EvalContext:
+    """Name resolution for expression evaluation.
+
+    ``scopes`` are consulted in order; ``functions`` hold callables such
+    as ``horizon``/``requ``.  String literals are not part of the
+    grammar — message arguments to functions are written as bare names
+    and resolved by the function itself, so ``horizon(msgX)`` passes the
+    string ``"msgX"`` when ``msgX`` is not a variable.
+    """
+
+    def __init__(
+        self,
+        *scopes: Mapping[str, Any],
+        functions: Mapping[str, Callable[..., Any]] | None = None,
+        bareword_fallback: bool = False,
+    ) -> None:
+        self._scopes = scopes
+        self._functions = dict(functions or {})
+        self._bareword_fallback = bareword_fallback
+
+    def resolve(self, name: str) -> Any:
+        for scope in self._scopes:
+            if name in scope:
+                return scope[name]
+        if self._bareword_fallback:
+            return name
+        raise GuardParseError(f"unbound variable {name!r}")
+
+    def function(self, name: str) -> Callable[..., Any]:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise GuardParseError(f"unknown function {name!r}") from None
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d+)?)|(?P<name>[A-Za-z_][A-Za-z_0-9.]*)"
+    r"|(?P<op><=|>=|==|!=|:=|[-+*/<>()=,]))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise GuardParseError(f"cannot tokenize {rest!r} in {text!r}")
+        tokens.append(m.group("num") or m.group("name") or m.group("op"))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], source: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise GuardParseError(f"unexpected end of expression in {self.source!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise GuardParseError(f"expected {tok!r}, got {got!r} in {self.source!r}")
+
+    # grammar ---------------------------------------------------------
+    def comparison(self) -> Expr:
+        lhs = self.sum()
+        if self.peek() in ("<", "<=", "==", "!=", ">=", ">"):
+            op = self.next()
+            rhs = self.sum()
+            return BinOp(op, lhs, rhs)
+        return lhs
+
+    def sum(self) -> Expr:
+        node = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            node = BinOp(op, node, self.term())
+        return node
+
+    def term(self) -> Expr:
+        node = self.factor()
+        while self.peek() in ("*", "/"):
+            op = self.next()
+            node = BinOp(op, node, self.factor())
+        return node
+
+    def factor(self) -> Expr:
+        tok = self.next()
+        if tok == "-":
+            return Neg(self.factor())
+        if tok == "(":
+            node = self.comparison()
+            self.expect(")")
+            return node
+        if re.fullmatch(r"\d+(?:\.\d+)?", tok):
+            return Const(float(tok) if "." in tok else int(tok))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9.]*", tok):
+            if self.peek() == "(":
+                self.next()
+                args: list[Expr] = []
+                if self.peek() != ")":
+                    args.append(self.comparison())
+                    while self.peek() == ",":
+                        self.next()
+                        args.append(self.comparison())
+                self.expect(")")
+                return Call(tok, tuple(args))
+            return Var(tok)
+        raise GuardParseError(f"unexpected token {tok!r} in {self.source!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a single expression (comparison or arithmetic)."""
+    parser = _Parser(_tokenize(text), text)
+    node = parser.comparison()
+    if parser.peek() is not None:
+        raise GuardParseError(f"trailing tokens after expression in {text!r}")
+    return node
+
+
+def parse_assignment(text: str) -> tuple[str, Expr]:
+    """Parse ``x := expr`` (also accepts the XML's single ``=``)."""
+    tokens = _tokenize(text)
+    if len(tokens) < 3 or tokens[1] not in (":=", "="):
+        raise GuardParseError(f"not an assignment: {text!r}")
+    target = tokens[0]
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9.]*", target):
+        raise GuardParseError(f"invalid assignment target {target!r}")
+    parser = _Parser(tokens[2:], text)
+    value = parser.comparison()
+    if parser.peek() is not None:
+        raise GuardParseError(f"trailing tokens after assignment in {text!r}")
+    return target, value

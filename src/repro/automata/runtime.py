@@ -1,0 +1,379 @@
+"""Execution of deterministic timed automata.
+
+:class:`AutomatonRuntime` binds a :class:`~repro.automata.automaton.TimedAutomaton`
+to an **environment** (the virtual gateway, or a stand-alone monitor).
+The environment supplies time, shared state variables, the repository
+predicates behind ``m!`` edges, and receives the effects:
+
+* ``m?`` — :meth:`AutomatonRuntime.on_message` is called by the
+  environment when an instance of ``m`` is present at the input port.
+  If a reception edge is enabled the runtime takes it (the environment
+  then dissects the message into the repository); if no edge is enabled
+  the reception **violates the temporal specification** and the runtime
+  enters the error location.
+* ``m!`` — evaluated during :meth:`poll`.  The edge "can only be taken
+  if all convertible elements for the construction of the message are
+  available in the repository" (Sec. IV-B.2) — the environment's
+  ``can_send`` encodes exactly that, including temporal accuracy for
+  state elements and non-empty queues for event elements; if the
+  elements are unavailable the environment sets the ``b_req`` request
+  variables (also Sec. IV-B.2), which ``can_send`` is expected to do.
+* silent edges — evaluated during :meth:`poll`; pure time/state logic
+  such as the ``x >= tmax`` timeout edge to the error state.
+
+Determinism is enforced at runtime: if two non-error edges with the
+same trigger are enabled simultaneously, :class:`AutomatonError` is
+raised — the specification was not deterministic, which the paper
+requires ("a set of *deterministic* timed automata").
+
+Error semantics: edges targeting the error location act as *detectors*
+and are taken only when no regular edge is enabled.  Entering the error
+location invokes ``on_error`` so the gateway can block forwarding and
+restart the service (Sec. IV-B.2); :meth:`reset` re-initializes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, MutableMapping, Protocol
+
+from ..errors import AutomatonError, TemporalViolationError
+from .automaton import ActionKind, Guard, TimedAutomaton, Transition
+from .expr import BinOp, Const, EvalContext, Expr, Var
+
+__all__ = ["AutomatonEnvironment", "SimpleEnvironment", "AutomatonRuntime"]
+
+
+class AutomatonEnvironment(Protocol):
+    """What an automaton needs from its host (gateway or monitor)."""
+
+    def now(self) -> int:
+        """Current global time (ns)."""
+        ...
+
+    def state_variables(self) -> MutableMapping[str, Any]:
+        """Shared non-clock variables readable/writable by the automaton."""
+        ...
+
+    def functions(self) -> dict[str, Callable[..., Any]]:
+        """Guard functions, e.g. ``horizon(m)`` and ``requ(m)``."""
+        ...
+
+    def can_send(self, message: str) -> bool:
+        """All convertible elements of ``message`` available (Sec. IV-B.2)."""
+        ...
+
+    def do_send(self, message: str) -> None:
+        """Construct + transmit ``message`` (effect of a taken ``m!`` edge)."""
+        ...
+
+    def has_pending(self, message: str | None) -> bool:
+        """Is an input instance pending (for the ``~`` guard marker)?"""
+        ...
+
+    def schedule_poll(self, at_time: int) -> None:
+        """Request a ``poll()`` callback at ``at_time``."""
+        ...
+
+    def on_error(self, runtime: "AutomatonRuntime", transition: Transition | None) -> None:
+        """Called when the error location is entered."""
+        ...
+
+
+class SimpleEnvironment:
+    """Minimal concrete environment for tests and stand-alone monitors."""
+
+    def __init__(self, now_fn: Callable[[], int] | None = None) -> None:
+        self._now = now_fn or (lambda: self.time)
+        self.time = 0
+        self.variables: dict[str, Any] = {}
+        self.sent: list[tuple[int, str]] = []
+        self.errors: list[tuple[int, Transition | None]] = []
+        self.poll_requests: list[int] = []
+        self.sendable: set[str] = set()
+        self.pending: set[str] = set()
+        self.extra_functions: dict[str, Callable[..., Any]] = {}
+
+    def now(self) -> int:
+        return self._now()
+
+    def state_variables(self) -> MutableMapping[str, Any]:
+        return self.variables
+
+    def functions(self) -> dict[str, Callable[..., Any]]:
+        return dict(self.extra_functions)
+
+    def can_send(self, message: str) -> bool:
+        return message in self.sendable
+
+    def do_send(self, message: str) -> None:
+        self.sent.append((self.now(), message))
+
+    def has_pending(self, message: str | None) -> bool:
+        if message is None:
+            return bool(self.pending)
+        return message in self.pending
+
+    def schedule_poll(self, at_time: int) -> None:
+        self.poll_requests.append(at_time)
+
+    def on_error(self, runtime: "AutomatonRuntime", transition: Transition | None) -> None:
+        self.errors.append((self.now(), transition))
+
+
+class AutomatonRuntime:
+    """Executable state of one timed automaton instance."""
+
+    def __init__(self, automaton: TimedAutomaton, env: AutomatonEnvironment) -> None:
+        self.automaton = automaton
+        self.env = env
+        self.location = automaton.initial
+        self._clock_resets: dict[str, int] = {c: env.now() for c in automaton.clocks}
+        self.error_count = 0
+        self.transitions_taken = 0
+        self.history: list[tuple[int, str, str]] = []  # (time, from, to)
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def in_error(self) -> bool:
+        return self.automaton.error is not None and self.location == self.automaton.error
+
+    def clock_value(self, clock: str) -> int:
+        try:
+            return self.env.now() - self._clock_resets[clock]
+        except KeyError:
+            raise AutomatonError(f"unknown clock {clock!r}") from None
+
+    def reset(self) -> None:
+        """Restart the service: back to the initial location, clocks zeroed."""
+        self.location = self.automaton.initial
+        now = self.env.now()
+        for c in self.automaton.clocks:
+            self._clock_resets[c] = now
+
+    # ------------------------------------------------------------------
+    # evaluation machinery
+    # ------------------------------------------------------------------
+    def _context(self) -> EvalContext:
+        clocks = {c: self.env.now() - r for c, r in self._clock_resets.items()}
+        builtins = {"t_now": self.env.now()}
+        return EvalContext(
+            clocks,
+            self.automaton.parameters,
+            builtins,
+            self.env.state_variables(),
+            functions=self.env.functions(),
+            bareword_fallback=True,
+        )
+
+    def _guard_holds(self, guard: Guard, pending_message: str | None = None) -> bool:
+        if guard.no_message and self.env.has_pending(pending_message):
+            return False
+        ctx = self._context()
+        for term in guard.terms:
+            if not bool(term.evaluate(ctx)):
+                return False
+        return True
+
+    def _apply_assignments(self, transition: Transition) -> None:
+        ctx = self._context()
+        shared = self.env.state_variables()
+        for a in transition.assignments:
+            value = a.value.evaluate(ctx)
+            if a.target in self._clock_resets:
+                # ``x := v`` re-anchors the clock so it now reads v.
+                self._clock_resets[a.target] = self.env.now() - int(value)
+            else:
+                shared[a.target] = value
+
+    def _take(self, transition: Transition) -> None:
+        prev = self.location
+        self._apply_assignments(transition)
+        self.location = transition.target
+        self.transitions_taken += 1
+        self.history.append((self.env.now(), prev, transition.target))
+        if self.in_error:
+            self.error_count += 1
+            self.env.on_error(self, transition)
+
+    def _enter_error_implicit(self) -> None:
+        """Violation with no explicit error edge: jump to error location."""
+        if self.automaton.error is None:
+            raise TemporalViolationError(
+                f"automaton {self.automaton.name!r}: temporal specification "
+                f"violated in location {self.location!r} and no error location declared"
+            )
+        prev = self.location
+        self.location = self.automaton.error
+        self.error_count += 1
+        self.history.append((self.env.now(), prev, self.location))
+        self.env.on_error(self, None)
+
+    def _pick(self, enabled: list[Transition], trigger: str) -> Transition | None:
+        """Deterministic choice: regular edges first, error edges as fallback."""
+        err = self.automaton.error
+        regular = [t for t in enabled if t.target != err]
+        if len(regular) > 1:
+            raise AutomatonError(
+                f"automaton {self.automaton.name!r} is nondeterministic: "
+                f"{len(regular)} edges enabled for {trigger} in {self.location!r}"
+            )
+        if regular:
+            return regular[0]
+        error_edges = [t for t in enabled if t.target == err]
+        if len(error_edges) > 1:
+            raise AutomatonError(
+                f"automaton {self.automaton.name!r}: multiple error edges "
+                f"enabled for {trigger} in {self.location!r}"
+            )
+        return error_edges[0] if error_edges else None
+
+    # ------------------------------------------------------------------
+    # external stimuli
+    # ------------------------------------------------------------------
+    def on_message(self, message: str) -> bool:
+        """A message instance arrived; returns True iff it was *accepted*.
+
+        Accepted means a regular (non-error) reception edge was taken —
+        the caller may then dissect the instance into the repository.
+        A False return means the reception violated the temporal
+        specification: the automaton is now in the error state and the
+        gateway must not forward the instance (error containment).
+        """
+        if self.in_error:
+            return False  # service halted until reset
+        candidates = [
+            t
+            for t in self.automaton.outgoing(self.location)
+            if t.action.kind is ActionKind.RECEIVE and t.action.message == message
+        ]
+        enabled = [t for t in candidates if self._guard_holds(t.guard, message)]
+        chosen = self._pick(enabled, f"reception of {message!r}")
+        if chosen is None:
+            if candidates:
+                # Edges exist but none enabled: timing violation (e.g.
+                # interarrival below tmin with no explicit early-edge).
+                self._enter_error_implicit()
+                return False
+            # No edge mentions this message here: unexpected message.
+            self._enter_error_implicit()
+            return False
+        self._take(chosen)
+        return chosen.target != self.automaton.error
+
+    def poll(self, max_steps: int = 64) -> int:
+        """Fire enabled silent/send edges; returns number of edges taken.
+
+        Runs to quiescence (bounded by ``max_steps`` as a specification-
+        bug backstop), then schedules the next time-driven wake-up with
+        the environment.
+        """
+        taken = 0
+        for _ in range(max_steps):
+            if self.in_error:
+                break
+            enabled: list[Transition] = []
+            for t in self.automaton.outgoing(self.location):
+                if t.action.kind is ActionKind.RECEIVE:
+                    continue
+                if t.source == t.target and not t.assignments and t.action.kind is ActionKind.SILENT:
+                    # Pure self-loops (Fig. 6's "remain while ~") have no
+                    # observable effect; skipping them keeps poll finite.
+                    continue
+                if not self._guard_holds(t.guard):
+                    continue
+                if t.action.kind is ActionKind.SEND:
+                    assert t.action.message is not None
+                    if not self.env.can_send(t.action.message):
+                        continue
+                enabled.append(t)
+            chosen = self._pick(enabled, "poll")
+            if chosen is None:
+                break
+            if chosen.action.kind is ActionKind.SEND:
+                assert chosen.action.message is not None
+                self.env.do_send(chosen.action.message)
+            self._take(chosen)
+            taken += 1
+        else:
+            raise AutomatonError(
+                f"automaton {self.automaton.name!r} did not quiesce within "
+                f"{max_steps} steps — livelocked specification?"
+            )
+        nxt = self.next_wakeup()
+        if nxt is not None:
+            self.env.schedule_poll(nxt)
+        return taken
+
+    # ------------------------------------------------------------------
+    # wake-up computation
+    # ------------------------------------------------------------------
+    def next_wakeup(self) -> int | None:
+        """Earliest future instant at which a time-guard may newly enable.
+
+        Considers clock lower bounds (``x >= c`` / ``x > c`` with ``x``
+        a clock and ``c`` clock-free) on silent/send edges from the
+        current location.  Conservative: may wake when nothing fires
+        (an upper-bound term may have expired); never sleeps through a
+        bound becoming true.
+        """
+        if self.in_error:
+            return None
+        now = self.env.now()
+        best: int | None = None
+        for t in self.automaton.outgoing(self.location):
+            if t.action.kind is ActionKind.RECEIVE:
+                continue
+            if t.source == t.target and not t.assignments and t.action.kind is ActionKind.SILENT:
+                continue
+            when = self._transition_ready_time(t.guard)
+            if when is not None and when > now:
+                best = when if best is None else min(best, when)
+        return best
+
+    def _transition_ready_time(self, guard: Guard) -> int | None:
+        """Instant when all clock lower bounds of ``guard`` hold."""
+        ready = self.env.now()
+        found = False
+        for term in guard.terms:
+            bound = self._lower_bound_time(term)
+            if bound is not None:
+                found = True
+                ready = max(ready, bound)
+        return ready if found else None
+
+    def _lower_bound_time(self, term: Expr) -> int | None:
+        """If ``term`` is ``clock >= c`` or ``clock > c``, the instant it holds."""
+        if not isinstance(term, BinOp) or term.op not in (">=", ">"):
+            return None
+        lhs, rhs = term.lhs, term.rhs
+        if not (isinstance(lhs, Var) and lhs.name in self._clock_resets):
+            return None
+        try:
+            threshold = self._eval_clock_free(rhs)
+        except (AutomatonError, Exception):
+            return None
+        if threshold is None:
+            return None
+        base = self._clock_resets[lhs.name] + int(threshold)
+        return base if term.op == ">=" else base + 1
+
+    def _eval_clock_free(self, expr: Expr) -> int | float | None:
+        """Evaluate ``expr`` if it references no clock, else None."""
+        if expr.variables() & set(self._clock_resets):
+            return None
+        if isinstance(expr, Const):
+            return expr.value  # fast path
+        ctx = EvalContext(
+            self.automaton.parameters,
+            {"t_now": self.env.now()},
+            self.env.state_variables(),
+            functions=self.env.functions(),
+            bareword_fallback=True,
+        )
+        value = expr.evaluate(ctx)
+        return value if isinstance(value, (int, float)) else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AutomatonRuntime {self.automaton.name!r} at {self.location!r}>"

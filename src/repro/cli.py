@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user one-command access to the headline scenarios
+without writing any code:
+
+* ``car``        — run the full automotive system (skid trip) and print
+  the cross-DAS event timeline plus per-gateway statistics.
+* ``roof``       — the Fig. 6 sliding-roof gateway demo (XML-driven).
+* ``audit``      — build the car and print its encapsulation audit.
+* ``inventory``  — print the E10 architecture resource table.
+* ``version``    — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .sim import MS, SEC
+
+
+def _cmd_car(args: argparse.Namespace) -> int:
+    from .apps import CarConfig, build_car
+
+    car = build_car(CarConfig(seed=args.seed))
+    horizon = int(args.seconds * SEC)
+    car.run_for(horizon)
+    print(f"ran the integrated car for {args.seconds:.1f} simulated seconds")
+    onsets = car.vehicle.skid_onsets()
+    if onsets and car.presafe.detections:
+        latency = (car.presafe.detections[0] - onsets[0]) / MS
+        print(f"  skid at {onsets[0] / SEC:.1f}s detected by presafe "
+              f"+{latency:.1f}ms later")
+    if car.roof.closed_at is not None:
+        print(f"  sliding roof closed at {car.roof.closed_at / SEC:.2f}s")
+    print(f"  navigation max position error: {car.navigator.max_error():.2f} m")
+    for name, gw in sorted(car.system.gateways.items()):
+        print(f"  {name}: received={gw.instances_received} "
+              f"forwarded={gw.instances_forwarded} "
+              f"blocked={gw.instances_blocked} restarts={gw.restarts}")
+    return 0
+
+
+def _cmd_roof(args: argparse.Namespace) -> int:
+    from examples import sliding_roof_xml  # type: ignore[import-not-found]
+
+    sliding_roof_xml.main()
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .apps import CarConfig, build_car
+    from .systems import EncapsulationAudit
+
+    car = build_car(CarConfig(seed=args.seed))
+    audit = EncapsulationAudit(car.system)
+    audit.run()
+    print(audit.report())
+    return 0 if audit.clean else 1
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    from .analysis import Table
+    from .systems import ArchitectureModel
+
+    # Import the E10 demand model lazily; fall back to a local copy so
+    # the CLI works without the benchmarks directory installed.
+    try:
+        sys.path.insert(0, "benchmarks")
+        from test_e10_architectures import automotive_requirements  # type: ignore
+        req = automotive_requirements()
+    except Exception:
+        from .systems import DASRequirement, SystemRequirements
+
+        req = SystemRequirements(
+            dass=(
+                DASRequirement("abs", jobs=4, sensed_quantities=("wheel-speed",)),
+                DASRequirement("navigation", jobs=3, sensed_quantities=("gps",),
+                               importable=("wheel-speed",)),
+            ),
+            sensors_per_quantity={"wheel-speed": 4, "gps": 1},
+        )
+    table = Table("architecture resource inventories",
+                  ["architecture", "ECUs", "networks", "wires", "connectors",
+                   "sensors", "gateways"])
+    for inv in ArchitectureModel(req).all_inventories():
+        table.add_row(*inv.as_row())
+    table.print()
+    return 0
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    from . import __version__
+
+    print(__version__)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DECOS virtual-gateways reproduction (IPPS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_car = sub.add_parser("car", help="run the integrated automotive system")
+    p_car.add_argument("--seconds", type=float, default=20.0)
+    p_car.add_argument("--seed", type=int, default=0)
+    p_car.set_defaults(func=_cmd_car)
+
+    p_roof = sub.add_parser("roof", help="Fig. 6 sliding-roof XML demo")
+    p_roof.set_defaults(func=_cmd_roof)
+
+    p_audit = sub.add_parser("audit", help="encapsulation audit of the car")
+    p_audit.add_argument("--seed", type=int, default=0)
+    p_audit.set_defaults(func=_cmd_audit)
+
+    p_inv = sub.add_parser("inventory", help="E10 resource inventories")
+    p_inv.set_defaults(func=_cmd_inventory)
+
+    p_ver = sub.add_parser("version", help="print the package version")
+    p_ver.set_defaults(func=_cmd_version)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

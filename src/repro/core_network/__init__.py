@@ -1,0 +1,42 @@
+"""Time-triggered physical core network and core services (S2, S3).
+
+TDMA schedule, broadcast bus with collision semantics, central bus
+guardian (C3), communication controllers acting on drifting local
+clocks, fault-tolerant-average clock synchronization (C2), predictable
+TT message transport (C1), and the membership service (C4).
+"""
+
+from .bus import BusListener, PhysicalBus
+from .cluster import Cluster, ClusterBuilder, NodeConfig
+from .controller import CommunicationController
+from .frame import (
+    CHUNK_HEADER_BYTES,
+    FRAME_HEADER_BYTES,
+    FrameChunk,
+    FrameKind,
+    PhysicalFrame,
+)
+from .guardian import CentralGuardian
+from .membership import MembershipService
+from .schedule import ScheduleBuilder, Slot, TDMASchedule
+from .sync import FTAClockSync
+
+__all__ = [
+    "PhysicalBus",
+    "BusListener",
+    "FrameChunk",
+    "FrameKind",
+    "PhysicalFrame",
+    "FRAME_HEADER_BYTES",
+    "CHUNK_HEADER_BYTES",
+    "Slot",
+    "TDMASchedule",
+    "ScheduleBuilder",
+    "CentralGuardian",
+    "CommunicationController",
+    "FTAClockSync",
+    "MembershipService",
+    "Cluster",
+    "ClusterBuilder",
+    "NodeConfig",
+]

@@ -1,0 +1,141 @@
+"""The broadcast bus medium (and its central guardian hook).
+
+The bus is a shared broadcast medium: a transmission occupies it for
+``size * 8 / bandwidth`` plus propagation delay, and every attached
+listener receives the frame at the same instant (the TTA's replicated-
+channel redundancy is abstracted to one logical channel; value-domain
+faults are injected above this layer).
+
+Two overlapping transmissions **collide**: both frames are delivered
+corrupted.  On a correct TT cluster the TDMA schedule plus the central
+guardian make collisions impossible; they become observable exactly
+when the guardian is disabled and a babbling component is injected —
+the E8 ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..errors import ConfigurationError
+from ..sim import EventPriority, Simulator, TraceCategory
+from .frame import PhysicalFrame
+
+__all__ = ["BusListener", "PhysicalBus"]
+
+
+class BusListener(Protocol):
+    """Anything that wants frames off the bus (controllers, probes)."""
+
+    def on_frame(self, frame: PhysicalFrame, arrival: int) -> None:
+        ...
+
+
+class PhysicalBus:
+    """Single logical broadcast channel of the cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: int = 10_000_000,
+        propagation_delay: int = 1_000,
+        name: str = "bus",
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise ConfigurationError("propagation delay must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self._listeners: list[BusListener] = []
+        self._admission: Callable[[PhysicalFrame, int], bool] | None = None
+        self._busy_until: int = 0
+        self._in_flight: list[tuple[PhysicalFrame, int]] = []  # (frame, end)
+        self.frames_sent = 0
+        self.frames_blocked = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, listener: BusListener) -> None:
+        self._listeners.append(listener)
+
+    def set_admission_control(self, check: Callable[[PhysicalFrame, int], bool] | None) -> None:
+        """Install the central guardian's admission check (or None)."""
+        self._admission = check
+
+    def transmission_duration(self, frame: PhysicalFrame) -> int:
+        return -(-frame.size_bytes() * 8 * 1_000_000_000 // self.bandwidth_bps)
+
+    # ------------------------------------------------------------------
+    def transmit(self, frame: PhysicalFrame, duration: int | None = None) -> bool:
+        """Put ``frame`` on the medium now; returns False if blocked.
+
+        The guardian's admission check runs *before* the medium is
+        touched — a blocked transmission leaves the bus idle, which is
+        precisely the fault-containment property of the TTA's guardian.
+
+        ``duration`` overrides the content-derived transmission time:
+        scheduled TDMA transmissions occupy their *whole slot* (fixed
+        window), so delivery instants are independent of how full the
+        frame is — without this, another VN's chunks riding in the same
+        frame would shift this VN's delivery times.
+        """
+        now = self.sim.now
+        if self._admission is not None and not self._admission(frame, now):
+            self.frames_blocked += 1
+            self.sim.trace.record(
+                now, TraceCategory.FRAME_BLOCKED, self.name,
+                sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
+            )
+            return False
+        if duration is None:
+            duration = self.transmission_duration(frame)
+        end = now + duration
+        frame.send_time = now
+
+        # Collision detection against transmissions still on the wire.
+        self._in_flight = [(f, e) for f, e in self._in_flight if e > now]
+        collided = False
+        for other, other_end in self._in_flight:
+            if not other.corrupted:
+                other.corrupted = True
+            collided = True
+        if collided:
+            frame.corrupted = True
+            self.collisions += 1
+            self.sim.trace.record(
+                now, TraceCategory.FRAME_TX, self.name,
+                sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
+                collision=True,
+            )
+        else:
+            self.sim.trace.record(
+                now, TraceCategory.FRAME_TX, self.name,
+                sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
+                bytes=frame.size_bytes(),
+            )
+        self._in_flight.append((frame, end))
+        self._busy_until = max(self._busy_until, end)
+        self.frames_sent += 1
+
+        arrival = end + self.propagation_delay
+        self.sim.at(
+            arrival,
+            lambda f=frame, t=arrival: self._deliver(f, t),
+            priority=EventPriority.NETWORK,
+            label=f"{self.name}.deliver",
+        )
+        return True
+
+    def _deliver(self, frame: PhysicalFrame, arrival: int) -> None:
+        for listener in list(self._listeners):
+            listener.on_frame(frame, arrival)
+
+    @property
+    def busy(self) -> bool:
+        return self.sim.now < self._busy_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PhysicalBus {self.name!r} sent={self.frames_sent} blocked={self.frames_blocked}>"

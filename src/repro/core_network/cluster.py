@@ -1,0 +1,156 @@
+"""Cluster assembly: one call from node list to a running TT network.
+
+:class:`ClusterBuilder` wires together the pieces a DECOS base
+architecture needs — bus, TDMA schedule, central guardian, and one
+communication controller per component, each with its own drifting
+clock — and returns a :class:`Cluster` handle that experiments use to
+reach every part.
+
+This is deliberately the *only* place where the core-network objects
+learn about each other, so tests can also assemble pathological
+clusters by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim import LocalClock, Simulator
+from .bus import PhysicalBus
+from .controller import CommunicationController
+from .guardian import CentralGuardian
+from .schedule import ScheduleBuilder, TDMASchedule
+
+__all__ = ["NodeConfig", "Cluster", "ClusterBuilder"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Configuration of one component's network presence."""
+
+    name: str
+    slot_capacity_bytes: int = 64
+    drift_ppm: float = 0.0
+    clock_offset: int = 0
+    #: VN name -> reserved bytes within this component's slot.
+    reservations: dict[str, int] | None = None
+
+
+class Cluster:
+    """A fully wired TT cluster (bus + guardian + controllers)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus: PhysicalBus,
+        schedule: TDMASchedule,
+        guardian: CentralGuardian,
+        controllers: dict[str, CommunicationController],
+    ) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.schedule = schedule
+        self.guardian = guardian
+        self.controllers = controllers
+
+    def controller(self, component: str) -> CommunicationController:
+        try:
+            return self.controllers[component]
+        except KeyError:
+            raise ConfigurationError(f"no component {component!r} in cluster") from None
+
+    def start(self) -> None:
+        for ctrl in self.controllers.values():
+            ctrl.start()
+
+    def stop(self) -> None:
+        for ctrl in self.controllers.values():
+            ctrl.stop()
+
+    # ------------------------------------------------------------------
+    # measurements used by experiments
+    # ------------------------------------------------------------------
+    def clock_precision(self) -> int:
+        """Max pairwise local-clock difference right now (ns) — the
+        precision of the global time base (E1's sync metric)."""
+        now = self.sim.now
+        readings = [c.clock.local_time(now) for c in self.controllers.values()
+                    if not c.crashed]
+        if len(readings) < 2:
+            return 0
+        return max(readings) - min(readings)
+
+    def membership_consistent(self) -> bool:
+        """Do all non-crashed controllers agree on the membership vector?"""
+        vectors = [
+            tuple(sorted(c.membership.vector().items()))
+            for c in self.controllers.values()
+            if not c.crashed
+        ]
+        return len(set(vectors)) <= 1
+
+    def components(self) -> list[str]:
+        return sorted(self.controllers)
+
+
+class ClusterBuilder:
+    """Fluent construction of a :class:`Cluster`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: int = 10_000_000,
+        inter_slot_gap: int = 10_000,
+        propagation_delay: int = 1_000,
+        guardian_margin: int = 5_000,
+        guardian_enabled: bool = True,
+        sync_k: int = 1,
+        membership_threshold: int = 2,
+    ) -> None:
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.inter_slot_gap = inter_slot_gap
+        self.propagation_delay = propagation_delay
+        self.guardian_margin = guardian_margin
+        self.guardian_enabled = guardian_enabled
+        self.sync_k = sync_k
+        self.membership_threshold = membership_threshold
+        self._nodes: list[NodeConfig] = []
+
+    def add_node(self, node: NodeConfig | str, **kw) -> "ClusterBuilder":
+        if isinstance(node, str):
+            node = NodeConfig(name=node, **kw)
+        elif kw:
+            raise ConfigurationError("pass either a NodeConfig or keyword fields, not both")
+        if any(n.name == node.name for n in self._nodes):
+            raise ConfigurationError(f"duplicate node {node.name!r}")
+        self._nodes.append(node)
+        return self
+
+    def build(self) -> Cluster:
+        if not self._nodes:
+            raise ConfigurationError("cluster needs at least one node")
+        sched_builder = ScheduleBuilder(
+            bandwidth_bps=self.bandwidth_bps, inter_slot_gap=self.inter_slot_gap
+        )
+        for n in self._nodes:
+            sched_builder.add_slot(n.name, n.slot_capacity_bytes, n.reservations)
+        schedule = sched_builder.build()
+        bus = PhysicalBus(
+            self.sim, bandwidth_bps=self.bandwidth_bps,
+            propagation_delay=self.propagation_delay,
+        )
+        guardian = CentralGuardian(
+            self.sim, schedule, margin=self.guardian_margin,
+            enabled=self.guardian_enabled,
+        )
+        guardian.install(bus)
+        controllers: dict[str, CommunicationController] = {}
+        for n in self._nodes:
+            clock = LocalClock(drift_ppm=n.drift_ppm, offset=n.clock_offset)
+            controllers[n.name] = CommunicationController(
+                self.sim, n.name, bus, schedule, clock=clock,
+                sync_k=self.sync_k, membership_threshold=self.membership_threshold,
+            )
+        return Cluster(self.sim, bus, schedule, guardian, controllers)

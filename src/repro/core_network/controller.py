@@ -1,0 +1,278 @@
+"""Communication controller — the CNI between a component and the bus.
+
+Each component owns one controller.  The controller
+
+* acts at the TDMA instants *of its own local clock* (so clock drift is
+  visible end-to-end and clock sync is load-bearing, not decorative),
+* at each of its slots, drains the per-VN transmit queues into a frame
+  within the slot's byte reservations (bandwidth partitioning between
+  virtual networks — the encapsulation service's physical half),
+* on every received frame, feeds the sync service a deviation estimate,
+  feeds the membership service the liveness observation, and delivers
+  the frame's chunks to the VN dispatchers registered for each chunk's
+  virtual network (visibility control: a chunk of VN "abs" never
+  reaches a dispatcher of VN "comfort"),
+* at each cluster-cycle boundary, resynchronizes its clock (C2) and
+  folds the cycle's observations into membership (C4).
+
+Fault-injection hooks (used by :mod:`repro.faults`): ``crashed``
+silences the controller; ``omit_cycles`` drops whole cycles;
+``send_offset`` shifts transmission instants (timing failure at the
+physical level — what the guardian catches); ``chunk_corruptor``
+rewrites outgoing chunks (value failures); :meth:`force_transmit`
+transmits immediately regardless of the schedule (babbling idiot).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..errors import ConfigurationError, SchedulingError
+from ..sim import EventPriority, LocalClock, Process, Simulator, TraceCategory
+from .bus import PhysicalBus
+from .frame import FrameChunk, FrameKind, PhysicalFrame
+from .membership import MembershipService
+from .schedule import Slot, TDMASchedule
+from .sync import FTAClockSync
+
+__all__ = ["CommunicationController"]
+
+ChunkReceiver = Callable[[FrameChunk, int], None]
+
+
+class CommunicationController(Process):
+    """One component's interface to the time-triggered core network."""
+
+    priority = EventPriority.CONTROLLER
+
+    def __init__(
+        self,
+        sim: Simulator,
+        component: str,
+        bus: PhysicalBus,
+        schedule: TDMASchedule,
+        clock: LocalClock | None = None,
+        sync_k: int = 1,
+        membership_threshold: int = 2,
+    ) -> None:
+        super().__init__(sim, f"ctrl.{component}")
+        self.component = component
+        self.bus = bus
+        self.schedule = schedule
+        self.clock = clock if clock is not None else LocalClock()
+        self.sync = FTAClockSync(self.clock, k=sync_k)
+        self.membership = MembershipService(
+            sim, component, tuple(schedule.senders()), fail_threshold=membership_threshold
+        )
+        if component not in schedule.senders():
+            raise ConfigurationError(f"{component!r} owns no slot in the schedule")
+        self._tx: dict[str, deque[FrameChunk]] = {}
+        self._chunk_sources: dict[str, Callable[[Slot, int], list[FrameChunk]]] = {}
+        self._receivers: dict[str, list[ChunkReceiver]] = {}
+        self._frame_listeners: list[Callable[[PhysicalFrame, int], None]] = []
+        self._cycle = 0
+        # fault hooks -------------------------------------------------
+        self.crashed = False
+        self.omit_cycles = 0
+        self.send_offset = 0
+        self.chunk_corruptor: Callable[[FrameChunk], FrameChunk] | None = None
+        # statistics --------------------------------------------------
+        self.frames_transmitted = 0
+        self.frames_received = 0
+        self.frames_dropped_corrupt = 0
+        self.chunks_delivered = 0
+        self.chunks_enqueued = 0
+        self.tx_overflow = 0
+        bus.attach(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._schedule_cycle(0)
+
+    def _ref_for_local(self, local_t: int) -> int:
+        """Reference instant when the local clock reads ``local_t``;
+        clamped to *now* if the instant has already passed (e.g. after a
+        large negative sync correction or a fault-injected offset)."""
+        from ..errors import SimulationError
+
+        try:
+            return self.clock.ref_time_for_local(max(local_t, 0), self.sim.now)
+        except SimulationError:
+            return self.sim.now
+
+    def _schedule_cycle(self, cycle: int) -> None:
+        """Schedule this cycle's slot actions and the cycle-end event,
+        all at instants where the *local* clock reads the TDMA times."""
+        cycle_start_local = self.schedule.cycle_start(cycle)
+        for slot in self.schedule.slots_of(self.component):
+            local_t = cycle_start_local + slot.offset + self.send_offset
+            ref_t = self._ref_for_local(local_t)
+            self.call_at(ref_t, lambda s=slot, c=cycle: self._slot_action(s, c),
+                         label=f"{self.name}.slot{slot.slot_id}")
+        end_local = cycle_start_local + self.schedule.cycle_length
+        ref_end = self._ref_for_local(end_local)
+        self.call_at(ref_end, lambda c=cycle: self._end_of_cycle(c),
+                     label=f"{self.name}.cycle_end")
+
+    def _end_of_cycle(self, cycle: int) -> None:
+        self.sync.resynchronize(self.sim.now)
+        self.membership.end_of_cycle()
+        self.trace(TraceCategory.SYNC_ROUND, cycle=cycle,
+                   correction=self.sync.last_correction)
+        self._cycle = cycle + 1
+        self._schedule_cycle(cycle + 1)
+
+    # ------------------------------------------------------------------
+    # transmit path
+    # ------------------------------------------------------------------
+    def enqueue_chunk(self, chunk: FrameChunk, max_queue: int = 1024) -> bool:
+        """Queue a chunk for transmission in this component's next slot
+        with room for the chunk's VN; returns False on queue overflow."""
+        q = self._tx.setdefault(chunk.vn, deque())
+        if len(q) >= max_queue:
+            self.tx_overflow += 1
+            return False
+        q.append(chunk)
+        self.chunks_enqueued += 1
+        return True
+
+    def pending_chunks(self, vn: str | None = None) -> int:
+        if vn is not None:
+            return len(self._tx.get(vn, ()))
+        return sum(len(q) for q in self._tx.values())
+
+    def register_chunk_source(
+        self, vn: str, source: Callable[[Slot, int], list[FrameChunk]]
+    ) -> None:
+        """Install a pull-mode provider for ``vn``'s slot reservations.
+
+        Event-triggered virtual networks use this to run their priority
+        arbitration at the moment a slot opens, instead of pre-queueing
+        FIFO chunks.  The source receives (slot, byte budget) and must
+        return chunks whose total size fits the budget.
+        """
+        if vn in self._chunk_sources:
+            raise ConfigurationError(f"chunk source for VN {vn!r} already registered")
+        self._chunk_sources[vn] = source
+
+    def _build_chunks(self, slot: Slot) -> tuple[FrameChunk, ...]:
+        """Fill the slot within per-VN reservations (or FIFO if none)."""
+        out: list[FrameChunk] = []
+        if slot.reservations:
+            for vn, budget in slot.reservations.items():
+                source = self._chunk_sources.get(vn)
+                if source is not None:
+                    provided = source(slot, budget)
+                    total = sum(c.size_bytes() for c in provided)
+                    if total > budget:
+                        raise ConfigurationError(
+                            f"chunk source for VN {vn!r} returned {total} bytes "
+                            f"for a {budget}-byte reservation"
+                        )
+                    out.extend(provided)
+                    continue
+                q = self._tx.get(vn)
+                if not q:
+                    continue
+                used = 0
+                while q and used + q[0].size_bytes() <= budget:
+                    chunk = q.popleft()
+                    used += chunk.size_bytes()
+                    out.append(chunk)
+        else:
+            budget = slot.capacity_bytes
+            used = 0
+            for vn in sorted(self._tx):
+                q = self._tx[vn]
+                while q and used + q[0].size_bytes() <= budget:
+                    chunk = q.popleft()
+                    used += chunk.size_bytes()
+                    out.append(chunk)
+        if self.chunk_corruptor is not None:
+            out = [self.chunk_corruptor(c) for c in out]
+        return tuple(out)
+
+    def _slot_action(self, slot: Slot, cycle: int) -> None:
+        if self.crashed:
+            return
+        if self.omit_cycles > 0:
+            self.omit_cycles -= 1
+            return
+        chunks = self._build_chunks(slot)
+        kind = FrameKind.DATA if chunks else FrameKind.SYNC
+        frame = PhysicalFrame(
+            sender=self.component, slot_id=slot.slot_id, cycle=cycle,
+            chunks=chunks, kind=kind,
+        )
+        # Scheduled transmissions occupy the whole fixed slot window so
+        # delivery instants do not depend on the frame's fill level.
+        if self.bus.transmit(frame, duration=slot.duration):
+            self.frames_transmitted += 1
+
+    def force_transmit(self, chunks: tuple[FrameChunk, ...] = (), slot_id: int = -1) -> bool:
+        """Transmit immediately, schedule be damned (babbling idiot)."""
+        frame = PhysicalFrame(
+            sender=self.component, slot_id=slot_id, cycle=self._cycle, chunks=chunks,
+            meta={"forced": True},
+        )
+        ok = self.bus.transmit(frame)
+        if ok:
+            self.frames_transmitted += 1
+        return ok
+
+    # ------------------------------------------------------------------
+    # receive path (BusListener)
+    # ------------------------------------------------------------------
+    def register_receiver(self, vn: str, callback: ChunkReceiver) -> None:
+        """Deliver chunks of virtual network ``vn`` to ``callback``."""
+        self._receivers.setdefault(vn, []).append(callback)
+
+    def add_frame_listener(self, callback: Callable[[PhysicalFrame, int], None]) -> None:
+        """Raw frame tap (probes, diagnosis)."""
+        self._frame_listeners.append(callback)
+
+    def on_frame(self, frame: PhysicalFrame, arrival: int) -> None:
+        if frame.sender == self.component:
+            return  # own transmission
+        if self.crashed:
+            return
+        self.frames_received += 1
+        if frame.corrupted:
+            self.frames_dropped_corrupt += 1
+            self.trace(TraceCategory.FRAME_RX, sender=frame.sender,
+                       slot=frame.slot_id, dropped="corrupt")
+            return
+        self._observe_timing(frame, arrival)
+        self.membership.observe_frame(frame.sender)
+        for listener in self._frame_listeners:
+            listener(frame, arrival)
+        for chunk in frame.chunks:
+            for cb in self._receivers.get(chunk.vn, ()):
+                cb(chunk, arrival)
+                self.chunks_delivered += 1
+
+    def _observe_timing(self, frame: PhysicalFrame, arrival: int) -> None:
+        """Deviation estimate for clock sync (scheduled frames only)."""
+        if frame.slot_id < 0:
+            return  # forced/babbled frames carry no timing information
+        try:
+            slot = self.schedule.slot(frame.slot_id)
+        except SchedulingError:
+            return
+        start, _ = self.schedule.slot_window(frame.cycle, slot)
+        # Scheduled frames occupy their whole slot; arrival is expected
+        # at slot start + slot duration + propagation.
+        expected_local = start + slot.duration + self.bus.propagation_delay
+        local_arrival = self.clock.local_time(arrival)
+        self.sync.observe(frame.sender, local_arrival - expected_local)
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def local_now(self) -> int:
+        return self.clock.local_time(self.sim.now)

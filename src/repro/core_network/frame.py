@@ -1,0 +1,92 @@
+"""Physical frames on the time-triggered core network.
+
+A physical frame is what one component's communication controller puts
+on the bus during its TDMA slot.  Because virtual networks are overlays
+(Sec. II), one physical frame multiplexes **chunks** belonging to
+different virtual networks: each :class:`FrameChunk` carries one encoded
+message instance of one VN.  The chunk's ``vn`` tag is what the
+encapsulation service uses to control visibility — a receiving node
+delivers a chunk only to dispatchers registered for that VN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+from ..errors import ConfigurationError
+
+__all__ = ["FrameKind", "FrameChunk", "PhysicalFrame", "FRAME_HEADER_BYTES", "CHUNK_HEADER_BYTES"]
+
+#: Fixed per-frame overhead (sender id, slot id, CRC) in bytes.
+FRAME_HEADER_BYTES = 8
+#: Fixed per-chunk overhead (VN tag, message id, length) in bytes.
+CHUNK_HEADER_BYTES = 4
+
+
+class FrameKind(str, Enum):
+    """DATA frames carry chunks; SYNC frames keep the time base alive."""
+
+    DATA = "data"
+    SYNC = "sync"  # rate-correction frames without payload (unused slots)
+
+
+@dataclass(frozen=True)
+class FrameChunk:
+    """One encoded message instance of one virtual network."""
+
+    vn: str
+    message: str
+    data: bytes
+    sender_job: str = ""
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def size_bytes(self) -> int:
+        return CHUNK_HEADER_BYTES + len(self.data)
+
+    def corrupted_copy(self) -> "FrameChunk":
+        """A copy whose payload bits were flipped (value failure model)."""
+        flipped = bytes(b ^ 0xFF for b in self.data)
+        return replace(self, data=flipped, meta={**self.meta, "corrupted": True})
+
+
+@dataclass
+class PhysicalFrame:
+    """One TDMA slot's transmission."""
+
+    sender: str
+    slot_id: int
+    cycle: int
+    chunks: tuple[FrameChunk, ...] = ()
+    kind: FrameKind = FrameKind.DATA
+    corrupted: bool = False
+    send_time: int | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return FRAME_HEADER_BYTES + sum(c.size_bytes() for c in self.chunks)
+
+    def chunks_for_vn(self, vn: str) -> tuple[FrameChunk, ...]:
+        return tuple(c for c in self.chunks if c.vn == vn)
+
+    def with_chunks(self, chunks: tuple[FrameChunk, ...]) -> "PhysicalFrame":
+        if self.kind is FrameKind.SYNC and chunks:
+            raise ConfigurationError("sync frames carry no chunks")
+        return PhysicalFrame(
+            sender=self.sender,
+            slot_id=self.slot_id,
+            cycle=self.cycle,
+            chunks=chunks,
+            kind=self.kind,
+            corrupted=self.corrupted,
+            send_time=self.send_time,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame {self.sender} slot={self.slot_id} cycle={self.cycle} "
+            f"chunks={len(self.chunks)} {self.kind.value}"
+            f"{' CORRUPT' if self.corrupted else ''}>"
+        )

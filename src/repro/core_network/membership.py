@@ -1,0 +1,86 @@
+"""Membership service — core service C4 (consistent diagnosis).
+
+On a TT bus, "component C was correct in cycle k" is locally decidable
+by every receiver: C's slot either carried a correct frame or it did
+not, and broadcast means all correct receivers observe the same thing.
+Each controller therefore maintains an identical membership view, and
+the cluster gets *consistent diagnosis of failing nodes* for free —
+without an agreement protocol.
+
+A component is declared **failed** after missing ``fail_threshold``
+consecutive cycles, and **rejoined** after being seen again (transient
+faults, Sec. II-D, recover this way).  Changes are traced so experiments
+can measure detection latency (E1) and cross-node consistency.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim import Simulator, TraceCategory
+
+__all__ = ["MembershipService"]
+
+
+class MembershipService:
+    """One controller's view of which components are alive."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner: str,
+        expected: tuple[str, ...],
+        fail_threshold: int = 2,
+    ) -> None:
+        if fail_threshold < 1:
+            raise ConfigurationError("fail_threshold must be >= 1")
+        self.sim = sim
+        self.owner = owner
+        self.expected = tuple(expected)
+        self.fail_threshold = fail_threshold
+        self._seen_this_cycle: set[str] = set()
+        self._missed: dict[str, int] = {c: 0 for c in expected}
+        self._alive: dict[str, bool] = {c: True for c in expected}
+        self.changes: list[tuple[int, str, bool]] = []  # (time, component, alive)
+
+    # ------------------------------------------------------------------
+    def observe_frame(self, sender: str) -> None:
+        """A correct frame from ``sender`` arrived in the current cycle."""
+        self._seen_this_cycle.add(sender)
+
+    def end_of_cycle(self) -> None:
+        """Fold the cycle's observations into the membership vector."""
+        for c in self.expected:
+            if c == self.owner or c in self._seen_this_cycle:
+                self._missed[c] = 0
+                if not self._alive[c]:
+                    self._alive[c] = True
+                    self.changes.append((self.sim.now, c, True))
+                    self.sim.trace.record(
+                        self.sim.now, TraceCategory.MEMBERSHIP, self.owner,
+                        component=c, alive=True,
+                    )
+            else:
+                self._missed[c] += 1
+                if self._alive[c] and self._missed[c] >= self.fail_threshold:
+                    self._alive[c] = False
+                    self.changes.append((self.sim.now, c, False))
+                    self.sim.trace.record(
+                        self.sim.now, TraceCategory.MEMBERSHIP, self.owner,
+                        component=c, alive=False,
+                    )
+        self._seen_this_cycle.clear()
+
+    # ------------------------------------------------------------------
+    def is_alive(self, component: str) -> bool:
+        return self._alive.get(component, False)
+
+    def vector(self) -> dict[str, bool]:
+        """The current membership vector (component -> alive)."""
+        return dict(self._alive)
+
+    def alive_count(self) -> int:
+        return sum(1 for v in self._alive.values() if v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        alive = [c for c, v in self._alive.items() if v]
+        return f"<Membership@{self.owner} alive={alive}>"

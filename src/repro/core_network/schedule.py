@@ -1,0 +1,205 @@
+"""The TDMA schedule of the time-triggered physical network.
+
+The cluster communicates in a fixed **cluster cycle**: a sequence of
+slots, each statically assigned to one sending component, separated by
+inter-slot gaps that absorb clock-sync imprecision.  The schedule is
+global a-priori knowledge: every controller and the central guardian
+hold the same table, which is what makes transmissions predictable
+(core service C1) and off-slot transmissions detectable (C3).
+
+Slot capacity is expressed in bytes, derived from the slot duration and
+the bus bandwidth by the :class:`ScheduleBuilder`.  Virtual networks
+reserve per-slot byte budgets through the builder (``reserve``): the
+TT/ET overlay dispatchers may only enqueue chunks within their VN's
+reservation, which realizes bandwidth partitioning between DASs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+
+__all__ = ["Slot", "TDMASchedule", "ScheduleBuilder"]
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One statically-assigned transmission window in the cluster cycle."""
+
+    slot_id: int
+    sender: str
+    offset: int  # ns from cycle start to slot start
+    duration: int  # ns of transmission window
+    capacity_bytes: int
+    reservations: dict[str, int] = field(default_factory=dict, compare=False)
+
+    def end_offset(self) -> int:
+        return self.offset + self.duration
+
+    def reserved_for(self, vn: str) -> int:
+        return self.reservations.get(vn, 0)
+
+
+class TDMASchedule:
+    """The immutable cluster-cycle table."""
+
+    def __init__(self, slots: tuple[Slot, ...], cycle_length: int) -> None:
+        if not slots:
+            raise SchedulingError("schedule needs at least one slot")
+        if cycle_length <= 0:
+            raise SchedulingError("cycle length must be positive")
+        prev_end = 0
+        for s in slots:
+            if s.offset < prev_end:
+                raise SchedulingError(
+                    f"slot {s.slot_id} (offset {s.offset}) overlaps previous slot"
+                )
+            prev_end = s.end_offset()
+        if prev_end > cycle_length:
+            raise SchedulingError(
+                f"slots extend to {prev_end} beyond cycle length {cycle_length}"
+            )
+        self.slots = slots
+        self.cycle_length = cycle_length
+        self._by_sender: dict[str, tuple[Slot, ...]] = {}
+        for s in slots:
+            self._by_sender.setdefault(s.sender, ())
+            self._by_sender[s.sender] = self._by_sender[s.sender] + (s,)
+
+    # ------------------------------------------------------------------
+    def senders(self) -> list[str]:
+        return sorted(self._by_sender)
+
+    def slots_of(self, sender: str) -> tuple[Slot, ...]:
+        return self._by_sender.get(sender, ())
+
+    def slot(self, slot_id: int) -> Slot:
+        for s in self.slots:
+            if s.slot_id == slot_id:
+                return s
+        raise SchedulingError(f"no slot {slot_id}")
+
+    # ------------------------------------------------------------------
+    def cycle_of(self, t: int) -> int:
+        return t // self.cycle_length
+
+    def cycle_start(self, cycle: int) -> int:
+        return cycle * self.cycle_length
+
+    def slot_window(self, cycle: int, slot: Slot) -> tuple[int, int]:
+        """Absolute [start, end) window of ``slot`` in ``cycle``."""
+        base = self.cycle_start(cycle) + slot.offset
+        return base, base + slot.duration
+
+    def slot_at(self, t: int) -> Slot | None:
+        """The slot whose window contains global time ``t`` (None = gap)."""
+        off = t % self.cycle_length
+        for s in self.slots:
+            if s.offset <= off < s.end_offset():
+                return s
+        return None
+
+    def in_slot_of(self, sender: str, t: int, margin: int = 0) -> bool:
+        """Is ``t`` inside (a ``margin``-widened) slot of ``sender``?"""
+        off = t % self.cycle_length
+        for s in self.slots_of(sender):
+            lo = s.offset - margin
+            hi = s.end_offset() + margin
+            if lo <= off < hi:
+                return True
+            # widened window may wrap the cycle boundary
+            if lo < 0 and off >= lo + self.cycle_length:
+                return True
+            if hi > self.cycle_length and off < hi - self.cycle_length:
+                return True
+        return False
+
+    def next_slot_start(self, sender: str, after: int) -> tuple[int, Slot]:
+        """Earliest absolute slot start of ``sender`` at or after ``after``."""
+        own = self.slots_of(sender)
+        if not own:
+            raise SchedulingError(f"{sender!r} owns no slot")
+        best: tuple[int, Slot] | None = None
+        cycle = self.cycle_of(after)
+        for c in (cycle, cycle + 1):
+            for s in own:
+                start = self.cycle_start(c) + s.offset
+                if start >= after and (best is None or start < best[0]):
+                    best = (start, s)
+        assert best is not None  # cycle+1 always yields a future start
+        return best
+
+    def utilization(self) -> float:
+        """Fraction of the cycle spent transmitting."""
+        return sum(s.duration for s in self.slots) / self.cycle_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TDMASchedule slots={len(self.slots)} cycle={self.cycle_length}ns>"
+
+
+class ScheduleBuilder:
+    """Constructs a :class:`TDMASchedule` from slot requests.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Physical bus bandwidth; converts byte budgets into durations.
+    inter_slot_gap:
+        Silence between slots; must exceed the achievable clock-sync
+        precision or slots of drifting nodes would collide.
+    """
+
+    def __init__(self, bandwidth_bps: int = 10_000_000, inter_slot_gap: int = 10_000) -> None:
+        if bandwidth_bps <= 0:
+            raise SchedulingError("bandwidth must be positive")
+        if inter_slot_gap < 0:
+            raise SchedulingError("inter-slot gap must be non-negative")
+        self.bandwidth_bps = bandwidth_bps
+        self.inter_slot_gap = inter_slot_gap
+        self._requests: list[tuple[str, int, dict[str, int]]] = []
+
+    def bytes_to_ns(self, nbytes: int) -> int:
+        return -(-nbytes * 8 * 1_000_000_000 // self.bandwidth_bps)  # ceil
+
+    def add_slot(self, sender: str, capacity_bytes: int, reservations: dict[str, int] | None = None) -> "ScheduleBuilder":
+        """Append one slot for ``sender`` with the given byte capacity.
+
+        ``reservations`` maps VN name -> reserved bytes within the slot;
+        the sum must fit the capacity.
+        """
+        if capacity_bytes <= 0:
+            raise SchedulingError("slot capacity must be positive")
+        res = dict(reservations or {})
+        if sum(res.values()) > capacity_bytes:
+            raise SchedulingError(
+                f"reservations {res} exceed slot capacity {capacity_bytes}"
+            )
+        self._requests.append((sender, capacity_bytes, res))
+        return self
+
+    def build(self, sync_window: int = 0) -> TDMASchedule:
+        """Lay slots out back-to-back with gaps; append a sync window."""
+        if not self._requests:
+            raise SchedulingError("no slots requested")
+        from .frame import FRAME_HEADER_BYTES
+
+        slots: list[Slot] = []
+        offset = self.inter_slot_gap
+        for i, (sender, cap, res) in enumerate(self._requests):
+            # The slot window covers the payload capacity plus the fixed
+            # frame header, so a full frame always fits its slot.
+            duration = self.bytes_to_ns(cap + FRAME_HEADER_BYTES)
+            slots.append(
+                Slot(
+                    slot_id=i,
+                    sender=sender,
+                    offset=offset,
+                    duration=duration,
+                    capacity_bytes=cap,
+                    reservations=res,
+                )
+            )
+            offset += duration + self.inter_slot_gap
+        cycle_length = offset + max(sync_window, 0)
+        return TDMASchedule(tuple(slots), cycle_length)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the DECOS reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single handler
+while still discriminating subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SchedulingError",
+    "ConfigurationError",
+    "SpecificationError",
+    "CodecError",
+    "NamingError",
+    "AutomatonError",
+    "GuardParseError",
+    "PortError",
+    "QueueOverflowError",
+    "TemporalViolationError",
+    "GatewayError",
+    "PartitionViolationError",
+    "FaultInjectionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a TDMA or partition schedule is inconsistent."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system model is assembled inconsistently."""
+
+
+class SpecificationError(ReproError):
+    """Raised when an interface specification is invalid or violated."""
+
+
+class CodecError(ReproError):
+    """Raised when a message cannot be encoded or decoded."""
+
+
+class NamingError(ReproError):
+    """Raised for namespace violations (duplicate or unknown names)."""
+
+
+class AutomatonError(ReproError):
+    """Raised for structurally invalid timed automata."""
+
+
+class GuardParseError(AutomatonError):
+    """Raised when a guard/assignment expression cannot be parsed."""
+
+
+class PortError(ReproError):
+    """Raised for invalid port usage (direction, semantics mismatch)."""
+
+
+class QueueOverflowError(PortError):
+    """Raised when an event port queue exceeds its configured depth."""
+
+
+class TemporalViolationError(ReproError):
+    """Raised (or recorded) when a temporal specification is violated."""
+
+
+class GatewayError(ReproError):
+    """Raised for invalid virtual-gateway configuration or operation."""
+
+
+class PartitionViolationError(ReproError):
+    """Raised when a job violates its partition's resource envelope."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for invalid fault-injection campaign configuration."""

@@ -1,0 +1,37 @@
+"""Fault injection (substrate S10) per the paper's fault hypothesis.
+
+Hardware-FCR faults (component crash/transient, babbling idiot,
+omission, send delay, value corruption) and software-FCR faults (job
+crash, timing violation, value violation), scheduled deterministically
+or from FIT-style stochastic rates.
+"""
+
+from .injector import FaultInjector, ScheduledFault, fit_to_mean_interarrival_ns
+from .models import (
+    BabblingIdiot,
+    ComponentCrash,
+    ComponentTransient,
+    FaultModel,
+    JobCrash,
+    JobTimingFailure,
+    JobValueFailure,
+    OmissionFault,
+    SendDelayFault,
+    ValueCorruption,
+)
+
+__all__ = [
+    "FaultModel",
+    "ComponentCrash",
+    "ComponentTransient",
+    "BabblingIdiot",
+    "OmissionFault",
+    "SendDelayFault",
+    "ValueCorruption",
+    "JobCrash",
+    "JobTimingFailure",
+    "JobValueFailure",
+    "FaultInjector",
+    "ScheduledFault",
+    "fit_to_mean_interarrival_ns",
+]

@@ -1,0 +1,120 @@
+"""Fault-injection campaigns.
+
+Two modes:
+
+* **Scenario** — deterministic activations at fixed instants (optionally
+  with a deactivation for transients).  Used by the error-containment
+  experiment E8, where the question is "does the fault propagate", not
+  "how often does it occur".
+* **Stochastic** — activations drawn from exponential interarrival
+  times parameterized in FIT (failures per 10^9 device-hours), matching
+  Sec. II-D's "failure frequency ... in the order of 100 FIT" for
+  permanent and "orders of hours" for transient hardware faults.  Note
+  that at 100 FIT a single component fails about once per 1141 years;
+  stochastic campaigns therefore run at accelerated rates and report
+  the acceleration factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FaultInjectionError
+from ..sim import SEC, Simulator
+from .models import FaultModel
+
+__all__ = ["fit_to_mean_interarrival_ns", "ScheduledFault", "FaultInjector"]
+
+#: Hours per FIT reference interval (10^9 device-hours).
+_FIT_HOURS = 1e9
+_NS_PER_HOUR = 3_600 * SEC
+
+
+def fit_to_mean_interarrival_ns(fit: float, acceleration: float = 1.0) -> float:
+    """Mean time between failures in ns for a given FIT rate.
+
+    ``acceleration`` scales the rate up for simulation feasibility
+    (e.g. 1e9 makes a 100-FIT component fail about every 36 s of
+    simulated time).
+    """
+    if fit <= 0:
+        raise FaultInjectionError("FIT rate must be positive")
+    if acceleration <= 0:
+        raise FaultInjectionError("acceleration must be positive")
+    hours_between = _FIT_HOURS / (fit * acceleration)
+    return hours_between * _NS_PER_HOUR
+
+
+@dataclass
+class ScheduledFault:
+    """One campaign entry."""
+
+    fault: FaultModel
+    at: int
+    until: int | None = None  # deactivation instant for transients
+
+
+class FaultInjector:
+    """Schedules fault activations against a running simulation."""
+
+    def __init__(self, sim: Simulator, name: str = "injector") -> None:
+        self.sim = sim
+        self.name = name
+        self.scheduled: list[ScheduledFault] = []
+        self.activations = 0
+        self.deactivations = 0
+
+    # ------------------------------------------------------------------
+    # deterministic scenarios
+    # ------------------------------------------------------------------
+    def inject_at(self, fault: FaultModel, at: int, until: int | None = None) -> ScheduledFault:
+        """Activate ``fault`` at ``at``; deactivate at ``until`` if given."""
+        if until is not None and until <= at:
+            raise FaultInjectionError(f"until ({until}) must be after at ({at})")
+        entry = ScheduledFault(fault=fault, at=at, until=until)
+        self.scheduled.append(entry)
+        self.sim.at(at, lambda: self._activate(fault), label=f"{self.name}.inject")
+        if until is not None:
+            self.sim.at(until, lambda: self._deactivate(fault), label=f"{self.name}.clear")
+        return entry
+
+    # ------------------------------------------------------------------
+    # stochastic campaigns
+    # ------------------------------------------------------------------
+    def inject_poisson(
+        self,
+        fault_factory,
+        fit: float,
+        horizon: int,
+        acceleration: float = 1.0,
+        duration: int | None = None,
+        rng_stream: str = "fault-arrivals",
+    ) -> int:
+        """Draw fault arrivals over ``[now, now+horizon)`` at the given
+        (accelerated) FIT rate; returns the number injected.
+
+        ``fault_factory(k)`` builds the k-th fault instance; transient
+        faults get ``duration`` ns before deactivation.
+        """
+        mean = fit_to_mean_interarrival_ns(fit, acceleration)
+        rng = self.sim.streams.get(rng_stream)
+        t = self.sim.now
+        count = 0
+        while True:
+            t += max(1, int(rng.exponential(mean)))
+            if t >= self.sim.now + horizon:
+                break
+            fault = fault_factory(count)
+            until = t + duration if duration is not None else None
+            self.inject_at(fault, t, until)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def _activate(self, fault: FaultModel) -> None:
+        fault.activate(self.sim)
+        self.activations += 1
+
+    def _deactivate(self, fault: FaultModel) -> None:
+        fault.deactivate(self.sim)
+        self.deactivations += 1

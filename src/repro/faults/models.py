@@ -1,0 +1,260 @@
+"""Fault models from the paper's fault hypothesis (Sec. II-D).
+
+Hardware FCR = a whole component; failure mode *arbitrary*; permanent
+failures at ~100 FIT, transients orders of magnitude more frequent.
+Software FCR = a job; failure mode = violation of the port
+specification in the time domain (wrong send instant) or the value
+domain (content off-spec).
+
+Each :class:`FaultModel` subclass knows how to *activate* against a
+target in a running system and (for transients) how to *deactivate*.
+The :class:`~repro.faults.injector.FaultInjector` schedules activations
+either deterministically (scenario campaigns for E8) or stochastically
+from FIT-style rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import FaultInjectionError
+from ..sim import Simulator, TraceCategory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core_network import CommunicationController, FrameChunk
+    from ..platform import Component, Job
+
+__all__ = [
+    "FaultModel",
+    "ComponentCrash",
+    "ComponentTransient",
+    "BabblingIdiot",
+    "OmissionFault",
+    "SendDelayFault",
+    "ValueCorruption",
+    "JobTimingFailure",
+    "JobValueFailure",
+    "JobCrash",
+]
+
+
+@dataclass
+class FaultModel:
+    """Base class: a named fault with activate/deactivate semantics."""
+
+    name: str = "fault"
+    activated_at: int | None = field(default=None, init=False)
+    deactivated_at: int | None = field(default=None, init=False)
+
+    def activate(self, sim: Simulator) -> None:
+        self.activated_at = sim.now
+        sim.trace.record(sim.now, TraceCategory.FAULT_INJECT, self.name,
+                         kind=type(self).__name__)
+        self._apply(sim)
+
+    def deactivate(self, sim: Simulator) -> None:
+        self.deactivated_at = sim.now
+        sim.trace.record(sim.now, TraceCategory.FAULT_CLEAR, self.name,
+                         kind=type(self).__name__)
+        self._revert(sim)
+
+    def _apply(self, sim: Simulator) -> None:
+        raise NotImplementedError
+
+    def _revert(self, sim: Simulator) -> None:
+        """Transient recovery; permanent faults ignore deactivation."""
+
+
+# ----------------------------------------------------------------------
+# hardware FCR faults (component level)
+# ----------------------------------------------------------------------
+@dataclass
+class ComponentCrash(FaultModel):
+    """Permanent fail-silence of a whole component (~100 FIT class)."""
+
+    component: "Component | None" = None
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.component is None:
+            raise FaultInjectionError("ComponentCrash needs a component")
+        self.component.crash()
+
+
+@dataclass
+class ComponentTransient(FaultModel):
+    """Transient outage: crash now, restart on deactivate."""
+
+    component: "Component | None" = None
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.component is None:
+            raise FaultInjectionError("ComponentTransient needs a component")
+        self.component.crash()
+
+    def _revert(self, sim: Simulator) -> None:
+        assert self.component is not None
+        self.component.restart()
+
+
+@dataclass
+class BabblingIdiot(FaultModel):
+    """Arbitrary-failure mode: transmit constantly, schedule be damned.
+
+    The canonical worst case for a shared bus — what the central
+    guardian (C3) exists to contain.  ``burst_period`` is the interval
+    between forced transmissions while active.
+    """
+
+    controller: "CommunicationController | None" = None
+    burst_period: int = 50_000
+    chunk_factory: "Callable[[], tuple[FrameChunk, ...]] | None" = None
+    _cancel: Callable[[], None] | None = field(default=None, init=False)
+    transmissions_attempted: int = field(default=0, init=False)
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.controller is None:
+            raise FaultInjectionError("BabblingIdiot needs a controller")
+        if self.burst_period <= 0:
+            raise FaultInjectionError("burst_period must be positive")
+
+        def babble() -> None:
+            chunks = self.chunk_factory() if self.chunk_factory else ()
+            self.controller.force_transmit(chunks)
+            self.transmissions_attempted += 1
+
+        self._cancel = sim.every(self.burst_period, babble,
+                                 start=sim.now, label=f"{self.name}.babble")
+
+    def _revert(self, sim: Simulator) -> None:
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+
+@dataclass
+class OmissionFault(FaultModel):
+    """Drop the next ``cycles`` whole TDMA cycles of a component."""
+
+    controller: "CommunicationController | None" = None
+    cycles: int = 1
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.controller is None:
+            raise FaultInjectionError("OmissionFault needs a controller")
+        self.controller.omit_cycles += self.cycles
+
+
+@dataclass
+class SendDelayFault(FaultModel):
+    """Shift a component's send instants (physical timing failure)."""
+
+    controller: "CommunicationController | None" = None
+    offset: int = 0
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.controller is None:
+            raise FaultInjectionError("SendDelayFault needs a controller")
+        self.controller.send_offset += self.offset
+
+    def _revert(self, sim: Simulator) -> None:
+        assert self.controller is not None
+        self.controller.send_offset -= self.offset
+
+
+@dataclass
+class ValueCorruption(FaultModel):
+    """SEU-style value failures: flip outgoing chunk payload bits with
+    probability ``probability`` per chunk."""
+
+    controller: "CommunicationController | None" = None
+    probability: float = 1.0
+    rng_stream: str = "value-corruption"
+    corrupted: int = field(default=0, init=False)
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.controller is None:
+            raise FaultInjectionError("ValueCorruption needs a controller")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultInjectionError("probability must be in [0, 1]")
+        rng = sim.streams.get(self.rng_stream)
+
+        def corrupt(chunk: "FrameChunk") -> "FrameChunk":
+            if rng.random() < self.probability:
+                self.corrupted += 1
+                return chunk.corrupted_copy()
+            return chunk
+
+        self.controller.chunk_corruptor = corrupt
+
+    def _revert(self, sim: Simulator) -> None:
+        assert self.controller is not None
+        self.controller.chunk_corruptor = None
+
+
+# ----------------------------------------------------------------------
+# software FCR faults (job level)
+# ----------------------------------------------------------------------
+@dataclass
+class JobCrash(FaultModel):
+    """A job halts (software FCR fail-silence)."""
+
+    job: "Job | None" = None
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.job is None:
+            raise FaultInjectionError("JobCrash needs a job")
+        self.job.halt()
+
+    def _revert(self, sim: Simulator) -> None:
+        assert self.job is not None
+        self.job.resume()
+
+
+@dataclass
+class JobTimingFailure(FaultModel):
+    """Port-spec violation in the time domain: the job's send instant is
+    wrong.  Implemented by rescaling a sender attribute named ``period``
+    (the idiom used by the workload jobs in :mod:`repro.apps`)."""
+
+    job: "Job | None" = None
+    speedup: float = 10.0
+    _original: int | None = field(default=None, init=False)
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.job is None:
+            raise FaultInjectionError("JobTimingFailure needs a job")
+        period = getattr(self.job, "period", None)
+        if not isinstance(period, int):
+            raise FaultInjectionError(
+                f"job {self.job.name!r} has no integer 'period' attribute to distort"
+            )
+        if self.speedup <= 0:
+            raise FaultInjectionError("speedup must be positive")
+        self._original = period
+        self.job.period = max(1, int(period / self.speedup))  # type: ignore[attr-defined]
+
+    def _revert(self, sim: Simulator) -> None:
+        if self.job is not None and self._original is not None:
+            self.job.period = self._original  # type: ignore[attr-defined]
+
+
+@dataclass
+class JobValueFailure(FaultModel):
+    """Port-spec violation in the value domain: message content off-spec.
+
+    Installs a ``value_distortion`` callable the workload jobs apply to
+    each produced field dict before sending."""
+
+    job: "Job | None" = None
+    distortion: Callable[[dict], dict] | None = None
+
+    def _apply(self, sim: Simulator) -> None:
+        if self.job is None:
+            raise FaultInjectionError("JobValueFailure needs a job")
+        distortion = self.distortion or (lambda fields: {k: -(2**14) for k in fields})
+        self.job.value_distortion = distortion  # type: ignore[attr-defined]
+
+    def _revert(self, sim: Simulator) -> None:
+        if self.job is not None:
+            self.job.value_distortion = None  # type: ignore[attr-defined]

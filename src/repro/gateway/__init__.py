@@ -1,0 +1,39 @@
+"""Virtual gateways (S9) — the paper's primary contribution.
+
+Gateway repository (Fig. 5, Eq. 1/2), message dissection/construction
+(Fig. 4), selective-redirection filters (Sec. III-B.1), timed-automata
+error containment (Sec. IV-B.2), and the :class:`VirtualGateway`
+orchestrator supporting hidden and visible operation (Sec. III).
+"""
+
+from .elements import common_convertible_elements, construct, dissect
+from .filters import (
+    BudgetFilter,
+    Decision,
+    FilterChain,
+    MessageFilter,
+    MinIntervalFilter,
+    ValueFilter,
+)
+from .gateway import GatewaySide, RedirectionRule, VirtualGateway
+from .monitor import MessageMonitor
+from .repository import EventEntry, GatewayRepository, StateEntry
+
+__all__ = [
+    "GatewayRepository",
+    "StateEntry",
+    "EventEntry",
+    "dissect",
+    "construct",
+    "common_convertible_elements",
+    "Decision",
+    "MessageFilter",
+    "ValueFilter",
+    "MinIntervalFilter",
+    "BudgetFilter",
+    "FilterChain",
+    "MessageMonitor",
+    "VirtualGateway",
+    "GatewaySide",
+    "RedirectionRule",
+]

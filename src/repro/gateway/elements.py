@@ -1,0 +1,137 @@
+"""Message dissection and construction (the two halves of Fig. 4).
+
+Dissection splits a received message instance into its convertible
+elements — "a part of a message that needs to be subdivided no further
+by the virtual gateway" (Sec. IV-A) — discarding the elements that are
+only of local interest to the source virtual network.
+
+Construction is the inverse: given a destination message type and a
+supply of element values (the gateway repository plus conversion
+results), recombine them into a full instance.  "The messages at the
+two virtual networks need not consist of the exact same set of
+convertible elements" — construction only demands the *destination's*
+convertible elements; everything else (keys, local elements) takes the
+destination type's static/default values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..errors import CodecError, GatewayError
+from ..messaging import MessageInstance, MessageType
+from ..messaging.datatypes import (
+    BoolType,
+    FieldType,
+    FloatType,
+    IntType,
+    StringType,
+    TimestampType,
+    UIntType,
+)
+
+__all__ = ["dissect", "construct", "common_convertible_elements", "coerce_field"]
+
+
+def coerce_field(value: Any, ftype: FieldType) -> Any:
+    """Generic syntax transformation between elementary types (Sec. IV).
+
+    "Generic transformation rules are possible due to widely-used
+    standards for data types": the gateway converts a source field value
+    into the destination field's type where a standard rule exists —
+    numeric widening/narrowing (with saturation at the destination
+    range), float↔int (rounding), bool↔int, and stringification.
+    Raises :class:`CodecError` when no rule applies.
+    """
+    try:
+        return ftype.validate(value)
+    except CodecError:
+        pass
+    if isinstance(ftype, (IntType, UIntType, TimestampType)):
+        if isinstance(value, bool):
+            return ftype.validate(1 if value else 0)
+        if isinstance(value, (int, float)):
+            v = round(value)
+            if isinstance(ftype, IntType):
+                lo, hi = -(1 << (ftype.length - 1)), (1 << (ftype.length - 1)) - 1
+            else:
+                lo, hi = 0, (1 << ftype.length) - 1
+            return ftype.validate(max(lo, min(hi, v)))  # saturate
+    if isinstance(ftype, FloatType) and isinstance(value, (int, float, bool)):
+        return ftype.validate(float(value))
+    if isinstance(ftype, BoolType) and isinstance(value, (int, float)):
+        return ftype.validate(bool(value))
+    if isinstance(ftype, StringType):
+        text = str(value)
+        return ftype.validate(text[: ftype.length])
+    raise CodecError(
+        f"no generic transformation from {type(value).__name__} to "
+        f"{type(ftype).__name__}"
+    )
+
+
+def dissect(instance: MessageInstance) -> dict[str, dict[str, Any]]:
+    """Extract ``{element name: field values}`` for convertible elements."""
+    out: dict[str, dict[str, Any]] = {}
+    for element in instance.mtype.convertible_elements():
+        out[element.name] = dict(instance.values[element.name])
+    return out
+
+
+def construct(
+    mtype: MessageType,
+    supply: Callable[[str], Mapping[str, Any] | None],
+    coerce: bool = True,
+) -> MessageInstance | None:
+    """Build an instance of ``mtype`` from a per-element supplier.
+
+    ``supply(element_name)`` must return the field values for a
+    convertible element or None if unavailable; returning None aborts
+    the construction (the caller is responsible for having *checked*
+    availability first — aborting after event elements were consumed
+    would lose them, so the gateway always checks, then constructs).
+
+    Field values the destination type does not declare are ignored;
+    declared fields missing from the supply keep their defaults.  This
+    is the "recombination ... into the syntactic structure of messages
+    for the second virtual network" of Sec. IV-B.
+    """
+    values: dict[str, dict[str, Any]] = {}
+    for element in mtype.convertible_elements():
+        fields = supply(element.name)
+        if fields is None:
+            return None
+        by_name = {f.name: f for f in element.fields}
+        filtered: dict[str, Any] = {}
+        for k, v in fields.items():
+            fdef = by_name.get(k)
+            if fdef is None:
+                continue  # source-only field, not part of the dst syntax
+            if coerce:
+                try:
+                    v = coerce_field(v, fdef.ftype)
+                except CodecError as exc:
+                    raise GatewayError(
+                        f"cannot construct {mtype.name!r}: field "
+                        f"{element.name}.{k} — {exc}"
+                    ) from exc
+            filtered[k] = v
+        values[element.name] = filtered
+    try:
+        return mtype.instance(values)
+    except Exception as exc:
+        raise GatewayError(
+            f"cannot construct {mtype.name!r} from repository contents: {exc}"
+        ) from exc
+
+
+def common_convertible_elements(a: MessageType, b: MessageType) -> set[str]:
+    """Element names convertible in both types (the redirection overlap).
+
+    "Redirection of information through the gateway occurs when messages
+    of the two virtual networks ... share common convertible elements"
+    (Sec. IV-A).
+    """
+    return {e.name for e in a.convertible_elements()} & {
+        e.name for e in b.convertible_elements()
+    }

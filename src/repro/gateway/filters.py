@@ -1,0 +1,147 @@
+"""Selective-redirection filters (Sec. III-B.1).
+
+"Selective redirection occurs when filtering mechanisms are applied in
+order to decide on whether information is forwarded or blocked by a
+gateway.  This decision requires a filtering specification in the
+temporal and value domain that can be evaluated on the interface state
+of the gateway."
+
+* **Value domain** — :class:`ValueFilter` evaluates a guard expression
+  (same language as automata guards) over the fields of one element of
+  the arriving instance, plus control information (the message name).
+* **Temporal domain** — :class:`MinIntervalFilter` monitors the
+  temporal pattern: at most one forwarded instance per ``min_interval``
+  (down-sampling an over-eager producer); :class:`BudgetFilter` bounds
+  forwarded instances per sliding window (rate policing).
+
+Filters compose in a :class:`FilterChain`; the first DENY wins.  Every
+decision is counted so E4 can report the bandwidth the gateway saved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Protocol
+
+from ..automata.expr import EvalContext, parse_expr
+from ..errors import GatewayError
+from ..messaging import MessageInstance
+
+__all__ = [
+    "Decision",
+    "MessageFilter",
+    "ValueFilter",
+    "MinIntervalFilter",
+    "BudgetFilter",
+    "FilterChain",
+]
+
+
+class Decision(str, Enum):
+    """Outcome of one filter evaluation."""
+
+    FORWARD = "forward"
+    BLOCK = "block"
+
+
+class MessageFilter(Protocol):
+    """One filtering rule evaluated on the gateway's interface state."""
+
+    def decide(self, message: str, instance: MessageInstance, now: int) -> Decision:
+        ...
+
+
+@dataclass
+class ValueFilter:
+    """Forward only instances whose element fields satisfy a guard.
+
+    ``expression`` is evaluated with the fields of ``element`` in scope
+    plus ``message_name`` (control information); e.g.
+    ``ValueFilter("Value", "v >= 0")`` blocks negative readings, and
+    ``ValueFilter("Change", "delta != 0")`` blocks no-op events.
+    """
+
+    element: str
+    expression: str
+
+    def __post_init__(self) -> None:
+        self._expr = parse_expr(self.expression)
+
+    def decide(self, message: str, instance: MessageInstance, now: int) -> Decision:
+        if not instance.mtype.has_element(self.element):
+            return Decision.FORWARD  # rule does not apply to this message
+        fields = dict(instance.values[self.element])
+        fields.setdefault("message_name", message)
+        ctx = EvalContext(fields, {"t_now": now}, bareword_fallback=True)
+        try:
+            ok = bool(self._expr.evaluate(ctx))
+        except Exception as exc:
+            raise GatewayError(
+                f"value filter {self.expression!r} failed on {message!r}: {exc}"
+            ) from exc
+        return Decision.FORWARD if ok else Decision.BLOCK
+
+
+@dataclass
+class MinIntervalFilter:
+    """Down-sampling: at most one forward per ``min_interval`` ns."""
+
+    min_interval: int
+    _last_forward: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_interval <= 0:
+            raise GatewayError("min_interval must be positive")
+
+    def decide(self, message: str, instance: MessageInstance, now: int) -> Decision:
+        if self._last_forward is not None and now - self._last_forward < self.min_interval:
+            return Decision.BLOCK
+        self._last_forward = now
+        return Decision.FORWARD
+
+
+@dataclass
+class BudgetFilter:
+    """Rate policing: at most ``budget`` forwards per ``window`` ns."""
+
+    budget: int
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.budget < 1 or self.window <= 0:
+            raise GatewayError("budget must be >= 1 and window positive")
+        self._history: deque[int] = deque()
+
+    def decide(self, message: str, instance: MessageInstance, now: int) -> Decision:
+        while self._history and now - self._history[0] >= self.window:
+            self._history.popleft()
+        if len(self._history) >= self.budget:
+            return Decision.BLOCK
+        self._history.append(now)
+        return Decision.FORWARD
+
+
+class FilterChain:
+    """AND-composition of filters; first BLOCK wins."""
+
+    def __init__(self, *filters: MessageFilter) -> None:
+        self._filters: list[MessageFilter] = list(filters)
+        self.forwarded = 0
+        self.blocked = 0
+
+    def add(self, f: MessageFilter) -> "FilterChain":
+        self._filters.append(f)
+        return self
+
+    def decide(self, message: str, instance: MessageInstance, now: int) -> Decision:
+        for f in self._filters:
+            if f.decide(message, instance, now) is Decision.BLOCK:
+                self.blocked += 1
+                return Decision.BLOCK
+        self.forwarded += 1
+        return Decision.FORWARD
+
+    def __len__(self) -> int:
+        return len(self._filters)

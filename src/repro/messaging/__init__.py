@@ -1,0 +1,45 @@
+"""Message model and codec (substrate S5).
+
+Typed fields assembled into elements (with the paper's *convertible
+element* and *key* flags), messages as categories of frames, bit-level
+encode/decode, and per-DAS namespaces with gateway name mappings.
+"""
+
+from .datatypes import (
+    TYPE_NAMES,
+    BitReader,
+    BitWriter,
+    BoolType,
+    EnumType,
+    FieldType,
+    FloatType,
+    IntType,
+    StringType,
+    TimestampType,
+    UIntType,
+    resolve_type,
+)
+from .message import ElementDef, FieldDef, MessageInstance, MessageType, Semantics
+from .naming import NameMapping, Namespace
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "FieldType",
+    "IntType",
+    "UIntType",
+    "FloatType",
+    "BoolType",
+    "TimestampType",
+    "StringType",
+    "EnumType",
+    "resolve_type",
+    "TYPE_NAMES",
+    "Semantics",
+    "FieldDef",
+    "ElementDef",
+    "MessageType",
+    "MessageInstance",
+    "Namespace",
+    "NameMapping",
+]

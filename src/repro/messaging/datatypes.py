@@ -1,0 +1,361 @@
+"""Field data types for message syntactic specifications.
+
+The paper's syntactic specification "forms larger information units
+(e.g., string, floating point number) out of bits" and builds messages
+as hierarchical compounds of elementary types (Sec. II-E, IV-B.1).  This
+module is the elementary-type layer: every type knows its bit width and
+how to encode/decode itself through a :class:`BitWriter`/:class:`BitReader`.
+
+Types are value objects (frozen dataclasses) registered under the names
+the paper's XML uses (``integer``, ``timestamp``, ``boolean``, ...), so
+:mod:`repro.spec.xml_io` can resolve ``<type length=16>integer</type>``
+directly to ``IntType(16)``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import CodecError
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "FieldType",
+    "IntType",
+    "UIntType",
+    "FloatType",
+    "BoolType",
+    "TimestampType",
+    "StringType",
+    "EnumType",
+    "resolve_type",
+    "TYPE_NAMES",
+]
+
+
+class BitWriter:
+    """Accumulates values most-significant-bit first into a byte string."""
+
+    def __init__(self) -> None:
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the ``nbits`` low bits of non-negative ``value``."""
+        if nbits < 0:
+            raise CodecError(f"negative bit width {nbits}")
+        if value < 0 or value >= (1 << nbits):
+            raise CodecError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+
+    @property
+    def bit_length(self) -> int:
+        return self._nbits
+
+    def getvalue(self) -> bytes:
+        """Final byte string, zero-padded in the last byte."""
+        pad = (-self._nbits) % 8
+        acc = self._acc << pad
+        return acc.to_bytes((self._nbits + pad) // 8, "big")
+
+
+class BitReader:
+    """Reads values most-significant-bit first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # in bits
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` as an unsigned integer."""
+        if self._pos + nbits > len(self._data) * 8:
+            raise CodecError(
+                f"bit underflow: want {nbits} bits at offset {self._pos}, "
+                f"have {len(self._data) * 8}"
+            )
+        val = 0
+        pos = self._pos
+        for _ in range(nbits):
+            byte = self._data[pos // 8]
+            bit = (byte >> (7 - pos % 8)) & 1
+            val = (val << 1) | bit
+            pos += 1
+        self._pos = pos
+        return val
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """Abstract elementary type; subclasses define width and codec."""
+
+    def bit_width(self) -> int:
+        raise NotImplementedError
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        raise NotImplementedError
+
+    def decode(self, reader: BitReader) -> Any:
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> Any:
+        """Check/normalize a value; raise :class:`CodecError` if invalid."""
+        raise NotImplementedError
+
+    def default(self) -> Any:
+        """A neutral initial value of this type."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(FieldType):
+    """Signed two's-complement integer of ``length`` bits."""
+
+    length: int = 32
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.length > 64:
+            raise CodecError(f"integer length {self.length} out of range 1..64")
+
+    def bit_width(self) -> int:
+        return self.length
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise CodecError(f"expected int, got {type(value).__name__}")
+        lo, hi = -(1 << (self.length - 1)), (1 << (self.length - 1)) - 1
+        if not lo <= value <= hi:
+            raise CodecError(f"int {value} out of range [{lo}, {hi}] for {self.length} bits")
+        return value
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        v = self.validate(value)
+        writer.write(v & ((1 << self.length) - 1), self.length)
+
+    def decode(self, reader: BitReader) -> int:
+        raw = reader.read(self.length)
+        if raw >= 1 << (self.length - 1):
+            raw -= 1 << self.length
+        return raw
+
+    def default(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class UIntType(FieldType):
+    """Unsigned integer of ``length`` bits."""
+
+    length: int = 32
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.length > 64:
+            raise CodecError(f"uint length {self.length} out of range 1..64")
+
+    def bit_width(self) -> int:
+        return self.length
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise CodecError(f"expected int, got {type(value).__name__}")
+        if not 0 <= value < (1 << self.length):
+            raise CodecError(f"uint {value} out of range for {self.length} bits")
+        return value
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        writer.write(self.validate(value), self.length)
+
+    def decode(self, reader: BitReader) -> int:
+        return reader.read(self.length)
+
+    def default(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class FloatType(FieldType):
+    """IEEE-754 float of 32 or 64 bits."""
+
+    length: int = 64
+
+    def __post_init__(self) -> None:
+        if self.length not in (32, 64):
+            raise CodecError(f"float length must be 32 or 64, got {self.length}")
+
+    def bit_width(self) -> int:
+        return self.length
+
+    def validate(self, value: Any) -> float:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CodecError(f"expected float, got {type(value).__name__}")
+        v = float(value)
+        if math.isnan(v):
+            raise CodecError("NaN is not a transmittable field value")
+        return v
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        v = self.validate(value)
+        fmt = ">f" if self.length == 32 else ">d"
+        raw = int.from_bytes(struct.pack(fmt, v), "big")
+        writer.write(raw, self.length)
+
+    def decode(self, reader: BitReader) -> float:
+        raw = reader.read(self.length)
+        fmt = ">f" if self.length == 32 else ">d"
+        return struct.unpack(fmt, raw.to_bytes(self.length // 8, "big"))[0]
+
+    def default(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class BoolType(FieldType):
+    """Single-bit boolean (the paper's ``<type>boolean</type>``)."""
+
+    def bit_width(self) -> int:
+        return 1
+
+    def validate(self, value: Any) -> bool:
+        if not isinstance(value, bool):
+            raise CodecError(f"expected bool, got {type(value).__name__}")
+        return value
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        writer.write(1 if self.validate(value) else 0, 1)
+
+    def decode(self, reader: BitReader) -> bool:
+        return reader.read(1) == 1
+
+    def default(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TimestampType(FieldType):
+    """A point in global time, integer nanoseconds, ``length`` bits unsigned.
+
+    The paper's Fig. 6 uses ``<type length=16>timestamp</type>``: short
+    timestamps wrap around; consumers interpret them relative to the
+    current epoch.  We model the wrap explicitly via modulo encoding.
+    """
+
+    length: int = 64
+
+    def __post_init__(self) -> None:
+        if self.length < 1 or self.length > 64:
+            raise CodecError(f"timestamp length {self.length} out of range 1..64")
+
+    def bit_width(self) -> int:
+        return self.length
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise CodecError(f"expected int timestamp, got {type(value).__name__}")
+        if value < 0:
+            raise CodecError(f"timestamp {value} is negative")
+        return value
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        v = self.validate(value)
+        writer.write(v % (1 << self.length), self.length)
+
+    def decode(self, reader: BitReader) -> int:
+        return reader.read(self.length)
+
+    def default(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class StringType(FieldType):
+    """Fixed-capacity UTF-8 string of ``length`` **bytes** on the wire."""
+
+    length: int = 16
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise CodecError(f"string byte length must be positive, got {self.length}")
+
+    def bit_width(self) -> int:
+        return self.length * 8
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise CodecError(f"expected str, got {type(value).__name__}")
+        if len(value.encode("utf-8")) > self.length:
+            raise CodecError(f"string {value!r} exceeds {self.length} bytes")
+        return value
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        raw = self.validate(value).encode("utf-8").ljust(self.length, b"\0")
+        writer.write(int.from_bytes(raw, "big"), self.length * 8)
+
+    def decode(self, reader: BitReader) -> str:
+        raw = reader.read(self.length * 8).to_bytes(self.length, "big")
+        return raw.rstrip(b"\0").decode("utf-8")
+
+    def default(self) -> str:
+        return ""
+
+
+@dataclass(frozen=True)
+class EnumType(FieldType):
+    """A closed set of symbolic values encoded as an index."""
+
+    symbols: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise CodecError("enum needs at least one symbol")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise CodecError("enum symbols must be unique")
+
+    def bit_width(self) -> int:
+        return max(1, (len(self.symbols) - 1).bit_length())
+
+    def validate(self, value: Any) -> str:
+        if value not in self.symbols:
+            raise CodecError(f"{value!r} is not one of {self.symbols}")
+        return value
+
+    def encode(self, value: Any, writer: BitWriter) -> None:
+        writer.write(self.symbols.index(self.validate(value)), self.bit_width())
+
+    def decode(self, reader: BitReader) -> str:
+        idx = reader.read(self.bit_width())
+        if idx >= len(self.symbols):
+            raise CodecError(f"enum index {idx} out of range")
+        return self.symbols[idx]
+
+    def default(self) -> str:
+        return self.symbols[0]
+
+
+#: Names accepted by :func:`resolve_type` (the XML vocabulary of Fig. 6).
+TYPE_NAMES = ("integer", "uinteger", "float", "boolean", "timestamp", "string")
+
+
+def resolve_type(name: str, length: int | None = None) -> FieldType:
+    """Map an XML type name + optional length to a :class:`FieldType`."""
+    key = name.strip().lower()
+    if key == "integer":
+        return IntType(length if length is not None else 32)
+    if key in ("uinteger", "unsigned"):
+        return UIntType(length if length is not None else 32)
+    if key in ("float", "double"):
+        return FloatType(length if length is not None else 64)
+    if key in ("boolean", "bool"):
+        return BoolType()
+    if key == "timestamp":
+        return TimestampType(length if length is not None else 64)
+    if key == "string":
+        return StringType(length if length is not None else 16)
+    raise CodecError(f"unknown field type {name!r}")

@@ -1,0 +1,258 @@
+"""Message structure: fields, elements, message types, message instances.
+
+Terminology follows Sec. II-E and IV-B.1 of the paper exactly:
+
+* A **field** is an atomic typed variable (``static`` fields are
+  time-invariant; the message *name* is built from static key fields).
+* An **element** groups fields; an element flagged ``convertible`` is a
+  *convertible element* — the atomic unit the gateway dissects, stores
+  in its repository, and recombines.  An element flagged ``key``
+  contributes to the explicit message name.
+* A **message** (here: :class:`MessageType`) is a category of frames
+  with common syntactic/temporal/semantic properties; a **message
+  instance** (:class:`MessageInstance`) is one member sent at a
+  particular time.
+
+Information semantics (state vs event, Sec. II-A) is carried per
+element via :class:`Semantics`, because conversion rules operate on
+convertible elements, not whole messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Iterator, Mapping
+
+from ..errors import CodecError, SpecificationError
+from .datatypes import BitReader, BitWriter, FieldType
+
+__all__ = [
+    "Semantics",
+    "FieldDef",
+    "ElementDef",
+    "MessageType",
+    "MessageInstance",
+]
+
+
+class Semantics(str, Enum):
+    """Information semantics of an element (Sec. II-A)."""
+
+    STATE = "state"
+    EVENT = "event"
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """A named atomic field within an element."""
+
+    name: str
+    ftype: FieldType
+    static: bool = False
+    static_value: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("field name must be non-empty")
+        if self.static and self.static_value is None:
+            raise SpecificationError(f"static field {self.name!r} needs a value")
+        if self.static:
+            self.ftype.validate(self.static_value)
+
+
+@dataclass(frozen=True)
+class ElementDef:
+    """A named group of fields; possibly a convertible element.
+
+    ``key`` marks elements whose static fields form the message name
+    (Fig. 6: ``<element name="Name" key="yes" ...>``); ``convertible``
+    marks elements subject to redirection through a gateway
+    (``conv="yes"``).  ``semantics`` applies to convertible elements.
+    """
+
+    name: str
+    fields: tuple[FieldDef, ...]
+    key: bool = False
+    convertible: bool = False
+    semantics: Semantics = Semantics.STATE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("element name must be non-empty")
+        if not self.fields:
+            raise SpecificationError(f"element {self.name!r} needs at least one field")
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate field names in element {self.name!r}: {names}")
+        if self.key and not all(f.static for f in self.fields):
+            raise SpecificationError(
+                f"key element {self.name!r} must contain only static fields "
+                "(the message name is time-invariant)"
+            )
+
+    def field_def(self, name: str) -> FieldDef:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise SpecificationError(f"element {self.name!r} has no field {name!r}")
+
+    def bit_width(self) -> int:
+        return sum(f.ftype.bit_width() for f in self.fields)
+
+    def default_values(self) -> dict[str, Any]:
+        return {
+            f.name: (f.static_value if f.static else f.ftype.default()) for f in self.fields
+        }
+
+
+@dataclass(frozen=True)
+class MessageType:
+    """Syntactic specification of one message on a virtual network."""
+
+    name: str
+    elements: tuple[ElementDef, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("message name must be non-empty")
+        if not self.elements:
+            raise SpecificationError(f"message {self.name!r} needs at least one element")
+        names = [e.name for e in self.elements]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate element names in {self.name!r}: {names}")
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def element(self, name: str) -> ElementDef:
+        for e in self.elements:
+            if e.name == name:
+                return e
+        raise SpecificationError(f"message {self.name!r} has no element {name!r}")
+
+    def has_element(self, name: str) -> bool:
+        return any(e.name == name for e in self.elements)
+
+    def convertible_elements(self) -> tuple[ElementDef, ...]:
+        """Elements subject to redirection through a gateway."""
+        return tuple(e for e in self.elements if e.convertible)
+
+    def key_elements(self) -> tuple[ElementDef, ...]:
+        return tuple(e for e in self.elements if e.key)
+
+    def explicit_name_values(self) -> tuple[Any, ...]:
+        """The wire-level explicit message name: static key field values."""
+        vals: list[Any] = []
+        for e in self.key_elements():
+            for f in e.fields:
+                vals.append(f.static_value)
+        return tuple(vals)
+
+    def bit_width(self) -> int:
+        return sum(e.bit_width() for e in self.elements)
+
+    def byte_width(self) -> int:
+        return (self.bit_width() + 7) // 8
+
+    # ------------------------------------------------------------------
+    # instances & codec
+    # ------------------------------------------------------------------
+    def instance(
+        self, values: Mapping[str, Mapping[str, Any]] | None = None, **element_values: Mapping[str, Any]
+    ) -> MessageInstance:
+        """Build an instance; unspecified fields take defaults/static values.
+
+        ``values`` maps element name -> {field name -> value}.  Keyword
+        arguments are merged on top for call-site convenience.
+        """
+        merged: dict[str, dict[str, Any]] = {}
+        for e in self.elements:
+            merged[e.name] = e.default_values()
+        for src in (values or {}), element_values:
+            for ename, fvals in src.items():
+                edef = self.element(ename)
+                for fname, v in fvals.items():
+                    fdef = edef.field_def(fname)
+                    if fdef.static and v != fdef.static_value:
+                        raise SpecificationError(
+                            f"cannot override static field {ename}.{fname} "
+                            f"({fdef.static_value!r}) with {v!r}"
+                        )
+                    merged[ename][fname] = fdef.ftype.validate(v)
+        return MessageInstance(mtype=self, values=merged)
+
+    def encode(self, instance: "MessageInstance") -> bytes:
+        """Serialize an instance to its wire representation."""
+        if instance.mtype is not self and instance.mtype.name != self.name:
+            raise CodecError(
+                f"instance of {instance.mtype.name!r} encoded with type {self.name!r}"
+            )
+        writer = BitWriter()
+        for e in self.elements:
+            evals = instance.values[e.name]
+            for f in e.fields:
+                f.ftype.encode(evals[f.name], writer)
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> "MessageInstance":
+        """Parse wire bytes back into an instance (strict static checks)."""
+        reader = BitReader(data)
+        values: dict[str, dict[str, Any]] = {}
+        for e in self.elements:
+            evals: dict[str, Any] = {}
+            for f in e.fields:
+                v = f.ftype.decode(reader)
+                if f.static and v != f.static_value:
+                    raise CodecError(
+                        f"static field {e.name}.{f.name} decoded {v!r}, "
+                        f"expected {f.static_value!r} — wrong message type?"
+                    )
+                evals[f.name] = v
+            values[e.name] = evals
+        return MessageInstance(mtype=self, values=values)
+
+    def renamed(self, new_name: str) -> "MessageType":
+        """A structurally identical type under a different name.
+
+        Used by the gateway's naming resolution (Sec. III-A.1): "the
+        gateway has to change the message name assigned by the producing
+        DAS to the message name of the consuming DAS".
+        """
+        return replace(self, name=new_name)
+
+
+@dataclass
+class MessageInstance:
+    """One concrete message: values for every field of every element."""
+
+    mtype: MessageType
+    values: dict[str, dict[str, Any]]
+    send_time: int | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, element: str) -> dict[str, Any]:
+        return self.values[element]
+
+    def get(self, element: str, fieldname: str) -> Any:
+        return self.values[element][fieldname]
+
+    def set(self, element: str, fieldname: str, value: Any) -> None:
+        fdef = self.mtype.element(element).field_def(fieldname)
+        self.values[element][fieldname] = fdef.ftype.validate(value)
+
+    def iter_fields(self) -> Iterator[tuple[str, str, Any]]:
+        for ename, fvals in self.values.items():
+            for fname, v in fvals.items():
+                yield ename, fname, v
+
+    def copy(self) -> "MessageInstance":
+        return MessageInstance(
+            mtype=self.mtype,
+            values={e: dict(fv) for e, fv in self.values.items()},
+            send_time=self.send_time,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MessageInstance {self.mtype.name} t={self.send_time}>"

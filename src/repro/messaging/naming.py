@@ -1,0 +1,133 @@
+"""Per-DAS namespaces and naming resolution.
+
+Sec. II-E: "each DAS's virtual network possesses such a namespace"; the
+namespace discriminates *messages*, not message instances.  Sec. III-A.1
+defines **incoherent naming**: the same name bound to different entities
+in different DASs, or the same entity bound to different names.  The
+gateway resolves both via a :class:`NameMapping` between the two
+namespaces.
+
+A message name can be *explicit* (static key fields in the content) or
+*implicit* (defined by the send instant, i.e. by the TT schedule slot).
+:class:`Namespace` registers :class:`~repro.messaging.message.MessageType`
+objects and enforces name uniqueness within one virtual network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NamingError
+from .message import MessageType
+
+__all__ = ["Namespace", "NameMapping"]
+
+
+@dataclass
+class Namespace:
+    """The message namespace of one virtual network / DAS."""
+
+    das: str
+    _types: dict[str, MessageType] = field(default_factory=dict)
+    _explicit_index: dict[tuple, str] = field(default_factory=dict)
+
+    def register(self, mtype: MessageType,
+                 allow_shared_explicit: bool = False) -> MessageType:
+        """Register a message type; names must be unique per namespace.
+
+        ``allow_shared_explicit`` permits several registered types to
+        carry the same wire-level explicit name — used by transparent
+        replication, where replicas intentionally share the original
+        message's identity (the first registrant keeps the index entry).
+        """
+        if mtype.name in self._types:
+            raise NamingError(f"message name {mtype.name!r} already bound in DAS {self.das!r}")
+        key = mtype.explicit_name_values()
+        if key:
+            if key in self._explicit_index:
+                if not allow_shared_explicit:
+                    raise NamingError(
+                        f"explicit name {key!r} already bound to "
+                        f"{self._explicit_index[key]!r} in DAS {self.das!r}"
+                    )
+            else:
+                self._explicit_index[key] = mtype.name
+        self._types[mtype.name] = mtype
+        return mtype
+
+    def lookup(self, name: str) -> MessageType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise NamingError(f"no message {name!r} in DAS {self.das!r}") from None
+
+    def lookup_explicit(self, key: tuple) -> MessageType:
+        """Resolve a wire-level explicit name (static key values)."""
+        try:
+            return self._types[self._explicit_index[key]]
+        except KeyError:
+            raise NamingError(f"no message with explicit name {key!r} in DAS {self.das!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self) -> list[str]:
+        return sorted(self._types)
+
+    def types(self) -> list[MessageType]:
+        return [self._types[n] for n in self.names()]
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+
+@dataclass
+class NameMapping:
+    """Bidirectional message-name mapping between two namespaces.
+
+    Encodes the gateway's naming-resolution table: for each redirected
+    message, which name the producing DAS uses and which name the
+    consuming DAS expects.  Identity entries are allowed (coherent
+    naming); missing entries mean "not redirected".
+    """
+
+    ns_a: Namespace
+    ns_b: Namespace
+    _a_to_b: dict[str, str] = field(default_factory=dict)
+    _b_to_a: dict[str, str] = field(default_factory=dict)
+
+    def bind(self, name_a: str, name_b: str) -> None:
+        """Declare that ``name_a`` in A denotes the same entity as ``name_b`` in B."""
+        # Both sides must exist: the mapping is between *registered* messages.
+        self.ns_a.lookup(name_a)
+        self.ns_b.lookup(name_b)
+        if name_a in self._a_to_b and self._a_to_b[name_a] != name_b:
+            raise NamingError(f"{name_a!r} already mapped to {self._a_to_b[name_a]!r}")
+        if name_b in self._b_to_a and self._b_to_a[name_b] != name_a:
+            raise NamingError(f"{name_b!r} already mapped to {self._b_to_a[name_b]!r}")
+        self._a_to_b[name_a] = name_b
+        self._b_to_a[name_b] = name_a
+
+    def to_b(self, name_a: str) -> str | None:
+        """Consuming-side name for a producer name in A (None = not exported)."""
+        return self._a_to_b.get(name_a)
+
+    def to_a(self, name_b: str) -> str | None:
+        return self._b_to_a.get(name_b)
+
+    def mapped_pairs(self) -> list[tuple[str, str]]:
+        return sorted(self._a_to_b.items())
+
+    def is_incoherent(self) -> bool:
+        """True if any mapped pair uses different names for one entity,
+        or one name denotes different entities on the two sides."""
+        for a, b in self._a_to_b.items():
+            if a != b:
+                return True
+            # same name both sides: check it denotes the same structure
+        for a, b in self._a_to_b.items():
+            if a == b:
+                ta, tb = self.ns_a.lookup(a), self.ns_b.lookup(b)
+                if {e.name for e in ta.elements} != {e.name for e in tb.elements}:
+                    return True
+        return False

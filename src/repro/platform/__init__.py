@@ -1,0 +1,12 @@
+"""Component/partition/job platform (substrate S4).
+
+Components are the hardware fault-containment regions; partitions give
+temporal (ARINC-653-style windows) and spatial (memory quotas, owner
+checks) isolation; jobs are the software FCRs with their port links.
+"""
+
+from .component import Component
+from .job import Job
+from .partition import MemoryRegion, Partition, PartitionWindow
+
+__all__ = ["Component", "Job", "Partition", "PartitionWindow", "MemoryRegion"]

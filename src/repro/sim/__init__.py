@@ -1,0 +1,60 @@
+"""Discrete-event simulation kernel (substrate S1).
+
+Integer-nanosecond virtual time, a deterministic event queue, named RNG
+streams, per-component drifting clocks, and a structured trace log.  All
+other subsystems of the DECOS reproduction are built on this package.
+"""
+
+from .clock import LocalClock
+from .events import EventPriority, EventQueue, ScheduledEvent
+from .kernel import Simulator
+from .process import Process
+from .random import RandomStreams
+from .time import (
+    MS,
+    NEVER,
+    NS,
+    SEC,
+    US,
+    ZERO,
+    Duration,
+    Instant,
+    format_instant,
+    ms,
+    ns,
+    sec,
+    to_ms,
+    to_seconds,
+    to_us,
+    us,
+)
+from .trace import TraceCategory, TraceLog, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "EventPriority",
+    "EventQueue",
+    "ScheduledEvent",
+    "LocalClock",
+    "RandomStreams",
+    "TraceCategory",
+    "TraceLog",
+    "TraceRecord",
+    "Instant",
+    "Duration",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "NEVER",
+    "ZERO",
+    "ns",
+    "us",
+    "ms",
+    "sec",
+    "to_seconds",
+    "to_us",
+    "to_ms",
+    "format_instant",
+]

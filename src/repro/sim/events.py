@@ -1,0 +1,128 @@
+"""Event queue for the discrete-event kernel.
+
+Events are ``(time, priority, seq, callback)`` entries in a binary heap.
+The ``seq`` counter breaks ties deterministically: two events scheduled
+for the same instant with the same priority fire in the order they were
+scheduled, regardless of callback identity.  This is what makes whole
+simulation runs bit-reproducible across processes and Python versions.
+
+Priorities order *simultaneous* events: lower values fire first.  The
+kernel reserves a small band of well-known priorities (see
+:class:`EventPriority`) so that, e.g., a communication controller always
+observes a slot boundary before application jobs react to it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable
+
+from ..errors import SimulationError
+from .time import Instant
+
+__all__ = ["EventPriority", "ScheduledEvent", "EventQueue"]
+
+
+class EventPriority(IntEnum):
+    """Deterministic ordering of events that share an instant.
+
+    The bands mirror the causality layers of the architecture: the
+    physical network settles before controllers, controllers before
+    architectural services (gateways), services before application jobs,
+    and measurement probes observe last.
+    """
+
+    NETWORK = 0
+    CONTROLLER = 10
+    SERVICE = 20
+    APPLICATION = 30
+    PROBE = 40
+    DEFAULT = 30
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A single pending event; orderable by (time, priority, seq)."""
+
+    time: Instant
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded.
+        """
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`ScheduledEvent`.
+
+    Not thread-safe by design: the kernel is single-threaded, which is
+    both sufficient (virtual time, not wall time) and required for
+    reproducibility.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: Instant,
+        callback: Callable[[], None],
+        priority: int = EventPriority.DEFAULT,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        ev = ScheduledEvent(time=time, priority=priority, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def peek_time(self) -> Instant | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the next live event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nxt = self.peek_time()
+        return f"<EventQueue live={self._live} next={nxt}>"

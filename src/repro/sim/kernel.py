@@ -1,0 +1,208 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` advances virtual time by popping the deterministic
+:class:`~repro.sim.events.EventQueue`.  Everything in the DECOS model —
+the TDMA bus, communication controllers, partition schedulers, gateways,
+application jobs, fault injectors, and measurement probes — is driven by
+callbacks scheduled here.
+
+Design notes
+------------
+* **Callback style, not coroutines.**  Processes register callbacks (or
+  use :class:`repro.sim.process.Process` for a thin stateful wrapper).
+  Callbacks keep the ready-set ordering fully explicit via
+  :class:`~repro.sim.events.EventPriority`, which matters for
+  reproducibility claims; generator-based processes would hide ordering
+  inside the scheduler.
+* **No wall-clock anywhere.**  ``now`` is the only notion of time.
+* **Stop conditions.**  ``run_until(t)`` executes every event with
+  ``time <= t`` and then sets ``now = t``; ``run()`` drains the queue or
+  stops at an optional event budget (a runaway-loop backstop).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..errors import SimulationError
+from .events import EventPriority, EventQueue, ScheduledEvent
+from .random import RandomStreams
+from .time import Duration, Instant
+from .trace import TraceLog
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Owns virtual time, the event queue, RNG streams, and the trace log.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for :class:`~repro.sim.random.RandomStreams`.  Two
+        simulators built with the same seed and the same model produce
+        identical traces.
+    trace:
+        Optional pre-built trace log; a fresh one is created by default.
+    """
+
+    def __init__(self, seed: int = 0, trace: TraceLog | None = None) -> None:
+        self._now: Instant = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.streams = RandomStreams(seed)
+        self.trace = trace if trace is not None else TraceLog()
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # time & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Instant:
+        """Current virtual time in integer nanoseconds."""
+        return self._now
+
+    def at(
+        self,
+        time: Instant,
+        callback: Callable[[], None],
+        priority: int = EventPriority.DEFAULT,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now} ({label!r})"
+            )
+        return self._queue.push(time, callback, priority=priority, label=label)
+
+    def after(
+        self,
+        delay: Duration,
+        callback: Callable[[], None],
+        priority: int = EventPriority.DEFAULT,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} ({label!r})")
+        return self._queue.push(self._now + delay, callback, priority=priority, label=label)
+
+    def every(
+        self,
+        period: Duration,
+        callback: Callable[[], None],
+        start: Instant | None = None,
+        priority: int = EventPriority.DEFAULT,
+        label: str = "",
+    ) -> Callable[[], None]:
+        """Schedule ``callback`` periodically; returns a cancel function.
+
+        The next activation is computed from the *scheduled* instant, not
+        from when the callback ran, so periodic activity never drifts.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        first = self._now if start is None else start
+        state: dict[str, ScheduledEvent | None] = {"ev": None}
+        cancelled = {"flag": False}
+
+        def fire_at(t: Instant) -> None:
+            def tick() -> None:
+                if cancelled["flag"]:
+                    return
+                callback()
+                if not cancelled["flag"]:
+                    fire_at(t + period)
+
+            state["ev"] = self._queue.push(t, tick, priority=priority, label=label)
+
+        fire_at(first)
+
+        def cancel() -> None:
+            cancelled["flag"] = True
+            ev = state["ev"]
+            if ev is not None:
+                ev.cancel()
+
+        return cancel
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event; returns False if queue is empty."""
+        nxt = self._queue.peek_time()
+        if nxt is None:
+            return False
+        ev = self._queue.pop()
+        self._now = ev.time
+        self.events_executed += 1
+        ev.callback()
+        return True
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until the event queue drains (or ``max_events`` executed)."""
+        self._guard_reentry()
+        try:
+            budget = max_events
+            while not self._stopped:
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    budget -= 1
+                if not self.step():
+                    break
+        finally:
+            self._running = False
+            self._stopped = False
+
+    def run_until(self, t: Instant) -> None:
+        """Run every event with ``time <= t`` and advance ``now`` to ``t``."""
+        if t < self._now:
+            raise SimulationError(f"run_until({t}) is in the past (now={self._now})")
+        self._guard_reentry()
+        try:
+            while not self._stopped:
+                nxt = self._queue.peek_time()
+                if nxt is None or nxt > t:
+                    break
+                self.step()
+            if not self._stopped and self._now < t:
+                self._now = t
+        finally:
+            self._running = False
+            self._stopped = False
+
+    def run_for(self, d: Duration) -> None:
+        """Run for ``d`` nanoseconds of virtual time from ``now``."""
+        self.run_until(self._now + d)
+
+    def stop(self) -> None:
+        """Request that the current ``run*`` call return after this event."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of live events in the queue."""
+        return len(self._queue)
+
+    def _guard_reentry(self) -> None:
+        if self._running:
+            raise SimulationError("simulator run methods are not reentrant")
+        self._running = True
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def iterate(self, max_events: int | None = None) -> Iterator[Instant]:
+        """Yield ``now`` after each executed event (debugging/inspection)."""
+        count = 0
+        while max_events is None or count < max_events:
+            if not self.step():
+                return
+            count += 1
+            yield self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now} pending={self.pending()}>"

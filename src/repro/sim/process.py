@@ -1,0 +1,104 @@
+"""A thin stateful wrapper over kernel callbacks.
+
+:class:`Process` gives model elements (controllers, jobs, gateways,
+injectors) a common idiom: a name, a reference to the simulator, helper
+scheduling methods that tag events with the process name, and a uniform
+``start``/``stop`` lifecycle.  It deliberately adds no scheduling policy
+of its own — ordering stays fully visible in the event priorities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .events import EventPriority, ScheduledEvent
+from .kernel import Simulator
+from .time import Duration, Instant
+
+__all__ = ["Process"]
+
+
+class Process:
+    """Base class for named model elements driven by the kernel."""
+
+    #: Default priority for events scheduled by this process.
+    priority: int = EventPriority.DEFAULT
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._active = False
+        self._cancels: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the process has been started and not stopped."""
+        return self._active
+
+    def start(self) -> None:
+        """Activate the process; calls :meth:`on_start` once."""
+        if self._active:
+            return
+        self._active = True
+        self.on_start()
+
+    def stop(self) -> None:
+        """Deactivate and cancel every event this process scheduled."""
+        if not self._active:
+            return
+        self._active = False
+        for cancel in self._cancels:
+            cancel()
+        self._cancels.clear()
+        self.on_stop()
+
+    def on_start(self) -> None:
+        """Hook: schedule initial activity here."""
+
+    def on_stop(self) -> None:
+        """Hook: release model resources here."""
+
+    # ------------------------------------------------------------------
+    # scheduling sugar (auto-labelled, auto-cancelled on stop)
+    # ------------------------------------------------------------------
+    def call_at(self, time: Instant, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        ev = self.sim.at(time, self._guarded(callback), priority=self.priority,
+                         label=label or self.name)
+        self._cancels.append(ev.cancel)
+        return ev
+
+    def call_after(self, delay: Duration, callback: Callable[[], None], label: str = "") -> ScheduledEvent:
+        ev = self.sim.after(delay, self._guarded(callback), priority=self.priority,
+                            label=label or self.name)
+        self._cancels.append(ev.cancel)
+        return ev
+
+    def call_every(
+        self,
+        period: Duration,
+        callback: Callable[[], None],
+        start: Instant | None = None,
+        label: str = "",
+    ) -> Callable[[], None]:
+        cancel = self.sim.every(period, self._guarded(callback), start=start,
+                                priority=self.priority, label=label or self.name)
+        self._cancels.append(cancel)
+        return cancel
+
+    def _guarded(self, callback: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            if self._active:
+                callback()
+
+        return run
+
+    # ------------------------------------------------------------------
+    def trace(self, category: str, **detail: object) -> None:
+        """Record a trace entry attributed to this process."""
+        self.sim.trace.record(self.sim.now, category, self.name, **detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} active={self._active}>"

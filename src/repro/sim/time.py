@@ -1,0 +1,103 @@
+"""Virtual time for the discrete-event kernel.
+
+All simulation time is kept as **integer nanoseconds** (``int``).  Using
+integers end-to-end makes event ordering exact and runs bit-reproducible,
+which the DECOS architecture's determinism arguments depend on: a
+time-triggered schedule is meaningful only if "the same instant" compares
+equal.  Floating point is admitted only at the analysis boundary
+(:mod:`repro.analysis`), never inside the kernel.
+
+The module provides conversion helpers and a tiny :class:`Duration`-style
+vocabulary (``NS``, ``US``, ``MS``, ``SEC``) so call sites read like the
+paper's prose (``5 * MS`` for a 5 ms period).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Instant",
+    "Duration",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "NEVER",
+    "ZERO",
+    "ns",
+    "us",
+    "ms",
+    "sec",
+    "to_seconds",
+    "to_us",
+    "to_ms",
+    "format_instant",
+]
+
+#: Type alias: a point in virtual time, integer nanoseconds since t=0.
+Instant = int
+
+#: Type alias: a length of virtual time, integer nanoseconds.
+Duration = int
+
+#: One nanosecond.
+NS: Duration = 1
+#: One microsecond.
+US: Duration = 1_000
+#: One millisecond.
+MS: Duration = 1_000_000
+#: One second.
+SEC: Duration = 1_000_000_000
+
+#: Sentinel instant that compares greater than any reachable time.
+NEVER: Instant = 2**63 - 1
+
+#: The origin of virtual time.
+ZERO: Instant = 0
+
+
+def ns(value: float) -> Duration:
+    """Convert a value in nanoseconds to a :data:`Duration` (rounding)."""
+    return round(value)
+
+
+def us(value: float) -> Duration:
+    """Convert a value in microseconds to a :data:`Duration` (rounding)."""
+    return round(value * US)
+
+
+def ms(value: float) -> Duration:
+    """Convert a value in milliseconds to a :data:`Duration` (rounding)."""
+    return round(value * MS)
+
+
+def sec(value: float) -> Duration:
+    """Convert a value in seconds to a :data:`Duration` (rounding)."""
+    return round(value * SEC)
+
+
+def to_seconds(t: Instant) -> float:
+    """Express an instant/duration in (float) seconds, for reporting."""
+    return t / SEC
+
+
+def to_us(t: Instant) -> float:
+    """Express an instant/duration in (float) microseconds, for reporting."""
+    return t / US
+
+
+def to_ms(t: Instant) -> float:
+    """Express an instant/duration in (float) milliseconds, for reporting."""
+    return t / MS
+
+
+def format_instant(t: Instant) -> str:
+    """Render an instant human-readably (``1.250ms``, ``never``)."""
+    if t >= NEVER:
+        return "never"
+    if t >= SEC:
+        return f"{t / SEC:.6f}s"
+    if t >= MS:
+        return f"{t / MS:.3f}ms"
+    if t >= US:
+        return f"{t / US:.3f}us"
+    return f"{t}ns"

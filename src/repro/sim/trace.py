@@ -1,0 +1,151 @@
+"""Structured trace log.
+
+Every architecturally interesting occurrence — frame on the bus, message
+at a port, gateway decision, automaton transition, fault activation,
+membership change — is appended to the :class:`TraceLog` as a
+:class:`TraceRecord`.  Experiments and tests then *query* the trace
+instead of instrumenting model code ad hoc; this keeps measurement from
+perturbing the model (probes run at :class:`~repro.sim.events.EventPriority.PROBE`)
+and gives every experiment the same ground truth.
+
+Records are cheap named tuples; categories are plain strings (see
+:class:`TraceCategory` for the well-known ones) so applications can add
+their own without touching the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from .time import Instant
+
+__all__ = ["TraceCategory", "TraceRecord", "TraceLog"]
+
+
+class TraceCategory:
+    """Well-known trace categories (plain strings, open set)."""
+
+    FRAME_TX = "frame.tx"
+    FRAME_RX = "frame.rx"
+    FRAME_BLOCKED = "frame.blocked"
+    SLOT_START = "slot.start"
+    SYNC_ROUND = "sync.round"
+    MEMBERSHIP = "membership"
+    PORT_SEND = "port.send"
+    PORT_RECV = "port.recv"
+    PORT_DROP = "port.drop"
+    VN_DISPATCH = "vn.dispatch"
+    GATEWAY_FORWARD = "gateway.forward"
+    GATEWAY_BLOCK = "gateway.block"
+    GATEWAY_ERROR = "gateway.error"
+    GATEWAY_RESTART = "gateway.restart"
+    AUTOMATON_TRANSITION = "automaton.transition"
+    AUTOMATON_ERROR = "automaton.error"
+    FAULT_INJECT = "fault.inject"
+    FAULT_CLEAR = "fault.clear"
+    PARTITION_WINDOW = "partition.window"
+    JOB_ACTIVATION = "job.activation"
+    APP = "app"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: when, what, who, and free-form details."""
+
+    time: Instant
+    category: str
+    source: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.detail[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.detail.get(key, default)
+
+
+class TraceLog:
+    """Append-only in-memory trace with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    # ------------------------------------------------------------------
+    def record(self, time: Instant, category: str, source: str, **detail: Any) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time=time, category=category, source=source, detail=detail)
+        self._records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> Callable[[], None]:
+        """Register a live listener; returns an unsubscribe function."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        category: str | None = None,
+        source: str | None = None,
+        since: Instant | None = None,
+        until: Instant | None = None,
+        predicate: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Filtered view of the trace (all filters optional, ANDed)."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: str | None = None, source: str | None = None) -> int:
+        """Number of records matching the filters."""
+        return len(self.records(category=category, source=source))
+
+    def times(self, category: str, source: str | None = None) -> list[Instant]:
+        """Timestamps of matching records, in trace order."""
+        return [r.time for r in self.records(category=category, source=source)]
+
+    def last(self, category: str, source: str | None = None) -> TraceRecord | None:
+        """Most recent matching record, or None."""
+        matching = self.records(category=category, source=source)
+        return matching[-1] if matching else None
+
+    def clear(self) -> None:
+        """Drop all records (listeners stay subscribed)."""
+        self._records.clear()
+
+    def extend_from(self, records: Iterable[TraceRecord]) -> None:
+        """Bulk-append pre-built records (used by trace merging in tests)."""
+        self._records.extend(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceLog n={len(self._records)} enabled={self.enabled}>"

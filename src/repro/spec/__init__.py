@@ -1,0 +1,47 @@
+"""Interface specifications (substrate S6).
+
+The paper's three-level operational specification (port / link /
+virtual network, Sec. II-E), transfer semantics for event↔state
+conversion, and the Fig. 6 XML exchange format with a leniency layer
+that parses the paper's printed figure verbatim.
+"""
+
+from .fig6 import FIG6_CANONICAL, FIG6_TMAX, FIG6_TMIN, FIG6_VERBATIM
+from .link_spec import LinkConstraint, LinkSpec, MaxLatencyConstraint
+from .port_spec import (
+    ControlParadigm,
+    Direction,
+    ETTiming,
+    InteractionType,
+    PortSpec,
+    TTTiming,
+)
+from .transfer import ConversionState, DerivedElement, DerivedField, TransferSemantics
+from .vn_spec import NetworkConstraint, TransmissionBound, VirtualNetworkSpec
+from .xml_io import lenient_xml, parse_link_spec, serialize_link_spec
+
+__all__ = [
+    "Direction",
+    "ControlParadigm",
+    "InteractionType",
+    "TTTiming",
+    "ETTiming",
+    "PortSpec",
+    "LinkSpec",
+    "LinkConstraint",
+    "MaxLatencyConstraint",
+    "VirtualNetworkSpec",
+    "NetworkConstraint",
+    "TransmissionBound",
+    "TransferSemantics",
+    "DerivedElement",
+    "DerivedField",
+    "ConversionState",
+    "lenient_xml",
+    "parse_link_spec",
+    "serialize_link_spec",
+    "FIG6_VERBATIM",
+    "FIG6_CANONICAL",
+    "FIG6_TMIN",
+    "FIG6_TMAX",
+]

@@ -1,0 +1,153 @@
+"""The paper's Figure 6 link specification, verbatim and reconstructed.
+
+``FIG6_VERBATIM`` is the XML exactly as printed in the paper (including
+its well-formedness defects: unquoted attribute values, raw ``<``/``>``
+in guard bodies, and the lowercased identifiers introduced by the PDF
+transcription).  It exists to demonstrate that
+:func:`repro.spec.xml_io.parse_link_spec` accepts the paper's artifact
+as-is.
+
+``FIG6_CANONICAL`` is the faithful reconstruction used by the runtime
+experiments (E7): identifier casing restored from the paper's prose
+(``msgSlidingRoof``, ``MovementEvent``, ``ValueChange``, ``EventTime``,
+``FullClosure``, ``MovementState``), the ``m?`` port-interaction labels
+restored on the reception automaton's edges (the printed figure lost its
+sync labels in transcription — Sec. IV-B.2 defines them), event
+semantics marked on ``MovementEvent`` (the prose: "contains event
+information about the movement of a car's sliding roof"), and the
+``tmin``/``tmax`` parameters bound to concrete values via
+``<parameter>`` blocks (the figure leaves them symbolic).
+
+Automaton reconstruction (documented deviation): the printed figure's
+``statePassive -> stateError`` edge with an empty guard is restored as
+the *too-early reception* detector (``m?`` with ``x < tmin``), and the
+clock reset ``x := 0`` is placed on the legal reception edge so ``x``
+measures interarrival time — the only reading under which the printed
+guards (``x>=tmin`` to accept, ``x>=tmax`` to error) form a
+deterministic interarrival monitor.
+"""
+
+from __future__ import annotations
+
+FIG6_VERBATIM = """\
+<linkspec>
+<das>X-by-wire</das>
+<message name="msgslidingroof">
+<element name="name" key="yes" conv="no">
+<field name="id">
+<type length=16>integer</type>
+<value>731</value>
+</field>
+</element>
+<element name="movementevent" key="no" conv="yes">
+<field name="valuechange"><type length=16>integer</type></field>
+<field name="eventtime"><type length=16>timestamp</type></field>
+</element>
+<element name="fullclosure" key="no" conv="no">
+<field name="trigger"><type>boolean</type></field>
+</element>
+</message>
+<timedautomaton name="msgslidingroofreception">
+<location name="statepassive"/>
+<location name="stateactive"/>
+<location name="stateerror"/>
+<init name="statepassive"/>
+<error name="stateerror"/>
+<transition>
+<source name="statepassive"/><target name="stateactive"/>
+<label type="guard">x>=tmin</label></transition>
+<transition>
+<source name="stateactive"/><target name="statepassive"/>
+<label type="guard">x<tmax </label>
+<label type="assignment"></label>
+</transition>
+<transition>
+<source name="stateactive"/><target name="stateerror"/>
+<label type="guard">x>=tmax</label>
+</transition>
+<transition>
+<source name="statepassive"/><target name="stateerror"/>
+<label type="guard"></label>
+</transition>
+<transition>
+<source name="statepassive"/><target name="statepassive"/>
+<label type="guard">x<tmin, ~</label>
+</transition>
+<transition>
+<source name="stateactive"/><target name="stateactive"/>
+<label type="guard">x<tmax, ~</label>
+</transition>
+</timedautomaton>
+<transfersemantics>
+<element name="movementstate">
+<field name="statevalue" init=0 semantics="state">
+StateValue=StateValue+ValueChange
+</field>
+<field name="observationtime" semantics="state">
+ObservationTime=EventTime
+</field>
+</element>
+</transfersemantics>
+</linkspec>
+"""
+
+#: tmin/tmax values used by the canonical reconstruction (ns): the
+#: comfort DAS sends roof movement events no closer than 2 ms apart and
+#: at least every 50 ms while the roof moves.
+FIG6_TMIN = 2_000_000
+FIG6_TMAX = 50_000_000
+
+FIG6_CANONICAL = f"""\
+<linkspec>
+  <das>comfort</das>
+  <message name="msgSlidingRoof">
+    <element name="Name" key="yes" conv="no">
+      <field name="ID">
+        <type length="16">integer</type>
+        <value>731</value>
+      </field>
+    </element>
+    <element name="MovementEvent" key="no" conv="yes" semantics="event">
+      <field name="ValueChange"><type length="16">integer</type></field>
+      <field name="EventTime"><type length="16">timestamp</type></field>
+    </element>
+    <element name="FullClosure" key="no" conv="no">
+      <field name="Trigger"><type>boolean</type></field>
+    </element>
+  </message>
+  <parameter name="tmin" value="{FIG6_TMIN}"/>
+  <parameter name="tmax" value="{FIG6_TMAX}"/>
+  <timedautomaton name="msgSlidingRoofReception">
+    <location name="statePassive"/>
+    <location name="stateActive"/>
+    <location name="stateError"/>
+    <init name="statePassive"/>
+    <error name="stateError"/>
+    <transition>
+      <source name="statePassive"/><target name="stateActive"/>
+      <label type="guard">x&gt;=tmin</label>
+      <label type="assignment">x := 0</label>
+      <label type="port">msgSlidingRoof?</label>
+    </transition>
+    <transition>
+      <source name="statePassive"/><target name="stateError"/>
+      <label type="guard">x&lt;tmin</label>
+      <label type="port">msgSlidingRoof?</label>
+    </transition>
+    <transition>
+      <source name="stateActive"/><target name="statePassive"/>
+      <label type="guard">x&lt;tmax</label>
+    </transition>
+    <transition>
+      <source name="statePassive"/><target name="stateError"/>
+      <label type="guard">x&gt;=tmax</label>
+    </transition>
+  </timedautomaton>
+  <transfersemantics>
+    <element name="MovementState" source="MovementEvent">
+      <field name="StateValue" init="0" semantics="state">StateValue=StateValue+ValueChange</field>
+      <field name="ObservationTime" init="0" semantics="state">ObservationTime=EventTime</field>
+    </element>
+  </transfersemantics>
+</linkspec>
+"""

@@ -1,0 +1,150 @@
+"""Link specifications (level 2) and their global constraints.
+
+Sec. II-E: "The link of a job consists of the ports provided to the
+job.  The link specification contains the respective port specifications
+and additional temporal properties that can be defined only with respect
+to multiple ports of the job (global constraints).  An example ... a
+statement for the latency between the reception of a request message at
+an input port and the transmission of the corresponding reply message at
+an output port."
+
+For the virtual gateway (Sec. IV-B) the link specification additionally
+carries the **temporal part** (deterministic timed automata driving the
+port protocol) and the **transfer semantics** (event↔state conversion
+rules).  Both are optional for plain job links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..automata import TimedAutomaton
+from ..errors import SpecificationError
+from ..messaging import MessageType
+from .port_spec import Direction, PortSpec
+from .transfer import TransferSemantics
+
+__all__ = ["LinkConstraint", "MaxLatencyConstraint", "LinkSpec"]
+
+
+@dataclass(frozen=True)
+class LinkConstraint:
+    """Base class for global (multi-port) temporal constraints."""
+
+    description: str = ""
+
+    def ports(self) -> tuple[str, ...]:
+        """Names of the ports this constraint spans."""
+        return ()
+
+
+@dataclass(frozen=True)
+class MaxLatencyConstraint(LinkConstraint):
+    """Bound on request→reply latency across two ports of one link."""
+
+    input_port: str = ""
+    output_port: str = ""
+    max_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.input_port or not self.output_port:
+            raise SpecificationError("latency constraint needs both port names")
+        if self.max_latency <= 0:
+            raise SpecificationError("max_latency must be positive")
+
+    def ports(self) -> tuple[str, ...]:
+        return (self.input_port, self.output_port)
+
+    def check(self, request_time: int, reply_time: int) -> bool:
+        return 0 <= reply_time - request_time <= self.max_latency
+
+
+@dataclass
+class LinkSpec:
+    """All ports of one job (or one gateway side), plus link-level parts."""
+
+    das: str
+    ports: tuple[PortSpec, ...] = ()
+    automata: tuple[TimedAutomaton, ...] = ()
+    transfer: TransferSemantics = field(default_factory=TransferSemantics)
+    constraints: tuple[LinkConstraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.ports]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate port (message) names in link: {names}")
+        port_names = set(names)
+        for c in self.constraints:
+            for pname in c.ports():
+                if pname not in port_names:
+                    raise SpecificationError(
+                        f"constraint references unknown port {pname!r}"
+                    )
+        auto_names = [a.name for a in self.automata]
+        if len(set(auto_names)) != len(auto_names):
+            raise SpecificationError(f"duplicate automaton names: {auto_names}")
+
+    # ------------------------------------------------------------------
+    def port(self, name: str) -> PortSpec:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        raise SpecificationError(f"link for DAS {self.das!r} has no port {name!r}")
+
+    def has_port(self, name: str) -> bool:
+        return any(p.name == name for p in self.ports)
+
+    def input_ports(self) -> tuple[PortSpec, ...]:
+        return tuple(p for p in self.ports if p.direction is Direction.INPUT)
+
+    def output_ports(self) -> tuple[PortSpec, ...]:
+        return tuple(p for p in self.ports if p.direction is Direction.OUTPUT)
+
+    def message_types(self) -> dict[str, MessageType]:
+        return {p.name: p.message_type for p in self.ports}
+
+    def automaton(self, name: str) -> TimedAutomaton:
+        for a in self.automata:
+            if a.name == name:
+                return a
+        raise SpecificationError(f"no automaton {name!r} in link for {self.das!r}")
+
+    def automaton_for_message(self, message: str) -> TimedAutomaton | None:
+        """The automaton that handles ``message`` (receives or sends it)."""
+        for a in self.automata:
+            if message in a.receive_messages() or message in a.send_messages():
+                return a
+        return None
+
+    # ------------------------------------------------------------------
+    def convertible_element_names(self) -> set[str]:
+        """All convertible element names visible through this link.
+
+        Union over the ports' message types of their convertible
+        elements, plus the derived elements of the transfer semantics —
+        the vocabulary the gateway repository must provide buffers for.
+        """
+        out: set[str] = set()
+        for p in self.ports:
+            for e in p.message_type.convertible_elements():
+                out.add(e.name)
+        out.update(self.transfer.names())
+        return out
+
+    def validate_against_automata(self) -> list[str]:
+        """Cross-check: every automaton message must have a port; returns
+        a list of human-readable problems (empty = consistent)."""
+        problems: list[str] = []
+        port_names = {p.name for p in self.ports}
+        for a in self.automata:
+            for m in a.receive_messages():
+                if m not in port_names:
+                    problems.append(f"automaton {a.name!r} receives unknown message {m!r}")
+                elif self.port(m).direction is not Direction.INPUT:
+                    problems.append(f"automaton {a.name!r} receives on non-input port {m!r}")
+            for m in a.send_messages():
+                if m not in port_names:
+                    problems.append(f"automaton {a.name!r} sends unknown message {m!r}")
+                elif self.port(m).direction is not Direction.OUTPUT:
+                    problems.append(f"automaton {a.name!r} sends on non-output port {m!r}")
+        return problems

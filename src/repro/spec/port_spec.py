@@ -1,0 +1,224 @@
+"""Port specifications (level 1 of the three-level operational spec).
+
+Sec. II-E: "A port is dedicated to the transmission or reception of
+message instances of a single message. ... The port specification
+captures the syntactic and temporal properties of the message instances
+... Only those temporal properties are part of the port specification
+which are defined for the port in isolation (local constraints)."
+
+The classification implemented here follows the paper exactly:
+
+* data direction — input vs output,
+* information semantics — state vs event (Sec. II-A),
+* control paradigm — time-triggered vs event-triggered (Sec. II-E),
+* interaction type — the push/pull refinement: *push input* (receiver-
+  push), *pull input* (receiver-pull), *push output* (sender-push),
+  *pull output* (sender-pull).
+
+Local temporal constraints: for TT ports the period/phase/jitter of the
+global send instants; for ET ports the minimum/maximum interarrival and
+service times (the probabilistic knowledge of Sec. II-E reduces to these
+bounds plus a distribution handle used by workload generators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import SpecificationError
+from ..messaging import MessageType, Semantics
+
+__all__ = [
+    "Direction",
+    "ControlParadigm",
+    "InteractionType",
+    "TTTiming",
+    "ETTiming",
+    "PortSpec",
+]
+
+
+class Direction(str, Enum):
+    """Data direction of a port (Sec. II-A)."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+class ControlParadigm(str, Enum):
+    """Time-triggered vs event-triggered control (Sec. II-E)."""
+
+    TIME_TRIGGERED = "time-triggered"
+    EVENT_TRIGGERED = "event-triggered"
+
+
+class InteractionType(str, Enum):
+    """Sender/receiver access to the communication system (Sec. II-E)."""
+
+    PUSH = "push"
+    PULL = "pull"
+
+
+@dataclass(frozen=True)
+class TTTiming:
+    """Temporal spec of a time-triggered port: a priori known instants.
+
+    Message instances occur at global times ``phase + k * period``
+    (k = 0, 1, ...), with bounded ``jitter`` around those instants.
+    """
+
+    period: int
+    phase: int = 0
+    jitter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise SpecificationError(f"TT period must be positive, got {self.period}")
+        if not 0 <= self.phase < self.period:
+            raise SpecificationError(
+                f"TT phase {self.phase} must lie within [0, period={self.period})"
+            )
+        if self.jitter < 0:
+            raise SpecificationError(f"jitter must be non-negative, got {self.jitter}")
+
+    def nominal_instants(self, since: int, until: int) -> list[int]:
+        """Scheduled send instants in ``[since, until)``."""
+        if until <= since:
+            return []
+        first_k = max(0, -(-(since - self.phase) // self.period))  # ceil div
+        out = []
+        k = first_k
+        while self.phase + k * self.period < until:
+            t = self.phase + k * self.period
+            if t >= since:
+                out.append(t)
+            k += 1
+        return out
+
+    def conforms(self, t: int) -> bool:
+        """Is ``t`` within jitter of a nominal instant?"""
+        if t < self.phase - self.jitter:
+            return False
+        k = round((t - self.phase) / self.period)
+        nominal = self.phase + max(k, 0) * self.period
+        return abs(t - nominal) <= self.jitter
+
+
+@dataclass(frozen=True)
+class ETTiming:
+    """Temporal spec of an event-triggered port: interarrival bounds.
+
+    ``min_interarrival``/``max_interarrival`` bound the time between
+    consecutive instances (the paper's tmin/tmax); ``service_time``
+    bounds the receiver-side processing per instance and drives queue
+    sizing; ``distribution`` names the stochastic model workload
+    generators should use ("poisson", "uniform", "periodic-jitter").
+    """
+
+    min_interarrival: int = 0
+    max_interarrival: int = 2**63 - 1
+    service_time: int = 0
+    distribution: str = "poisson"
+    mean_interarrival: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_interarrival < 0:
+            raise SpecificationError("min_interarrival must be >= 0")
+        if self.max_interarrival < self.min_interarrival:
+            raise SpecificationError(
+                f"max_interarrival {self.max_interarrival} < "
+                f"min_interarrival {self.min_interarrival}"
+            )
+        if self.service_time < 0:
+            raise SpecificationError("service_time must be >= 0")
+        mean = self.mean_interarrival
+        if mean is not None and not self.min_interarrival <= mean <= self.max_interarrival:
+            raise SpecificationError(
+                f"mean_interarrival {mean} outside "
+                f"[{self.min_interarrival}, {self.max_interarrival}]"
+            )
+
+    def conforms(self, interarrival: int) -> bool:
+        return self.min_interarrival <= interarrival <= self.max_interarrival
+
+    def suggested_queue_depth(self, margin: float = 2.0) -> int:
+        """Queue size from the interarrival/service relationship.
+
+        Sec. IV: "The determination of the queue sizes is derived from
+        the relationships between message interarrival and service
+        times".  With worst-case burst arrivals every
+        ``min_interarrival`` and service every ``service_time``, a
+        receiver falls behind by one instance each
+        ``min_interarrival`` while a backlog exists; the queue must
+        absorb ``service_time / min_interarrival`` instances, padded by
+        ``margin`` for the probabilistic tail.
+        """
+        if self.service_time == 0:
+            return 1
+        if self.min_interarrival == 0:
+            raise SpecificationError(
+                "queue sizing needs min_interarrival > 0 when service_time > 0"
+            )
+        base = -(-self.service_time // self.min_interarrival)  # ceil
+        return max(1, int(base * margin))
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Full specification of one port (level 1, local constraints only)."""
+
+    message_type: MessageType
+    direction: Direction
+    semantics: Semantics = Semantics.STATE
+    control: ControlParadigm = ControlParadigm.EVENT_TRIGGERED
+    interaction: InteractionType = InteractionType.PUSH
+    tt: TTTiming | None = None
+    et: ETTiming | None = None
+    queue_depth: int = 1
+    temporal_accuracy: int | None = None  # d_acc for state semantics
+    #: Arbitration priority on event-triggered VNs (CAN idiom: lower
+    #: value wins the bus).  Ignored on time-triggered VNs.
+    priority: int = 100
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.control is ControlParadigm.TIME_TRIGGERED and self.tt is None:
+            raise SpecificationError(
+                f"TT port for {self.message_type.name!r} needs TT timing"
+            )
+        if self.control is ControlParadigm.EVENT_TRIGGERED and self.et is None:
+            object.__setattr__(self, "et", ETTiming())
+        if self.semantics is Semantics.EVENT and self.queue_depth < 1:
+            raise SpecificationError("event ports need queue_depth >= 1")
+        if self.semantics is Semantics.STATE and self.temporal_accuracy is not None:
+            if self.temporal_accuracy <= 0:
+                raise SpecificationError("temporal_accuracy (d_acc) must be positive")
+
+    @property
+    def name(self) -> str:
+        """The port is identified by the message it carries."""
+        return self.message_type.name
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is Direction.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is Direction.OUTPUT
+
+    def kind(self) -> str:
+        """The paper's four-way classification, e.g. ``push input port``."""
+        return f"{self.interaction.value} {self.direction.value} port"
+
+    def describe(self) -> str:
+        bits = [
+            self.kind(),
+            self.semantics.value,
+            self.control.value,
+            f"msg={self.message_type.name}",
+        ]
+        if self.tt:
+            bits.append(f"period={self.tt.period} phase={self.tt.phase}")
+        return ", ".join(bits)

@@ -1,0 +1,189 @@
+"""Transfer semantics: conversion between event and state semantics.
+
+Third part of the link specification (Sec. IV-B): "The transfer
+semantics specify the information semantics of convertible elements and
+provide rules for the conversion of convertible elements between state
+and event semantics."
+
+Fig. 6 defines the canonical example::
+
+    <transfersemantics>
+      <element name="MovementState">
+        <field name="StateValue" init=0 semantics="state">
+          StateValue=StateValue+ValueChange
+        </field>
+        <field name="ObservationTime" semantics="state">
+          ObservationTime=EventTime
+        </field>
+      </element>
+    </transfersemantics>
+
+Each :class:`DerivedField` rule is an assignment whose right-hand side
+may reference the derived field itself (accumulation) and the fields of
+the *source* convertible element instance being applied.  Applying an
+event instance to the derived state realizes **event→state** conversion;
+the reverse direction (**state→event**) is expressed with the built-in
+``prev(fieldname)`` function, which yields the previous applied value of
+a source field, so e.g. ``ValueChange = StateValue - prev(StateValue)``
+emits relative values from absolute ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..automata.expr import EvalContext, Expr, parse_assignment
+from ..errors import SpecificationError
+from ..messaging import Semantics
+
+__all__ = ["DerivedField", "DerivedElement", "TransferSemantics", "ConversionState"]
+
+
+@dataclass(frozen=True)
+class DerivedField:
+    """One field of a derived convertible element with its update rule."""
+
+    name: str
+    rule_target: str
+    rule_expr: Expr
+    semantics: Semantics = Semantics.STATE
+    init: Any = 0
+    rule_text: str = ""
+
+    @classmethod
+    def parse(
+        cls,
+        name: str,
+        rule: str,
+        semantics: Semantics = Semantics.STATE,
+        init: Any = 0,
+    ) -> "DerivedField":
+        target, expr = parse_assignment(rule)
+        # Case-insensitive match: PDF transcriptions of the paper's
+        # Fig. 6 lowercase attribute values but keep rule bodies cased.
+        if target.lower() != name.lower():
+            raise SpecificationError(
+                f"rule for field {name!r} assigns to {target!r}; "
+                "the rule target must be the field itself"
+            )
+        return cls(
+            name=name,
+            rule_target=target,
+            rule_expr=expr,
+            semantics=semantics,
+            init=init,
+            rule_text=rule,
+        )
+
+
+@dataclass(frozen=True)
+class DerivedElement:
+    """A derived convertible element computed from a source element."""
+
+    name: str
+    fields: tuple[DerivedField, ...]
+    source_element: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise SpecificationError(f"derived element {self.name!r} needs fields")
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate derived fields in {self.name!r}")
+
+
+class ConversionState:
+    """Mutable evaluation state for one derived element instance.
+
+    Holds the current derived field values (initialized from ``init``)
+    and the previous source-field values backing ``prev()``.
+    """
+
+    def __init__(self, element: DerivedElement) -> None:
+        self.element = element
+        self.values: dict[str, Any] = {f.name: f.init for f in element.fields}
+        self._prev_source: dict[str, Any] = {}
+        self.applications = 0
+        self.last_applied_at: int | None = None
+
+    def apply(self, source_fields: Mapping[str, Any], now: int | None = None) -> dict[str, Any]:
+        """Apply one source element instance; returns the new derived values.
+
+        Rules are evaluated against (in priority order) the *current*
+        derived values, then the source instance's fields; ``prev(f)``
+        resolves to the previously applied value of source field ``f``
+        (or source field default 0 on first application).
+        """
+
+        def prev(name: Any) -> Any:
+            return self._prev_source.get(str(name), 0)
+
+        prev.takes_names = True  # special form: receives the identifier
+
+        # Rules run in declaration order and see earlier rules' results
+        # (sequential update, matching the XML's top-to-bottom reading).
+        new_values = dict(self.values)
+        for f in self.element.fields:
+            # Derived values shadow source fields on name collision so
+            # that accumulation rules (StateValue=StateValue+...) always
+            # read the element's own running value.
+            ctx = EvalContext(
+                new_values,
+                dict(source_fields),
+                functions={"prev": prev},
+                bareword_fallback=True,
+            )
+            new_values[f.name] = f.rule_expr.evaluate(ctx)
+        self.values = new_values
+        self._prev_source = dict(source_fields)
+        self.applications += 1
+        self.last_applied_at = now
+        return dict(self.values)
+
+    def reset(self) -> None:
+        self.values = {f.name: f.init for f in self.element.fields}
+        self._prev_source = {}
+        self.applications = 0
+        self.last_applied_at = None
+
+
+@dataclass
+class TransferSemantics:
+    """All conversion rules of one link specification."""
+
+    elements: tuple[DerivedElement, ...] = ()
+    _by_name: dict[str, DerivedElement] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        names = [e.name for e in self.elements]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate derived elements: {names}")
+        self._by_name = {e.name: e for e in self.elements}
+
+    def derived(self, name: str) -> DerivedElement:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecificationError(f"no derived element {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def sources_for(self, derived_name: str) -> set[str]:
+        """Source-element field names referenced by a derived element's rules."""
+        el = self.derived(derived_name)
+        # Exclude both the declared field names and the rule targets
+        # (they may differ in case in PDF-transcribed specifications).
+        own = {f.name for f in el.fields} | {f.rule_target for f in el.fields}
+        own_lower = {n.lower() for n in own}
+        refs: set[str] = set()
+        for f in el.fields:
+            refs |= f.rule_expr.variables()
+        return {r for r in refs if r.lower() not in own_lower}
+
+    def new_state(self, derived_name: str) -> ConversionState:
+        return ConversionState(self.derived(derived_name))

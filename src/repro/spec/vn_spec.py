@@ -1,0 +1,149 @@
+"""Virtual network specifications (level 3 of the operational spec).
+
+Sec. II-E: "The virtual network specification consists of all link
+specifications in the DAS and those temporal properties that can be
+defined only with respect to ports of more than one job", e.g. the
+effect of bandwidth multiplexing between jobs on transmission durations
+and jitter.
+
+:class:`VirtualNetworkSpec` therefore aggregates the job links of one
+DAS, fixes the control paradigm of the DAS's virtual network, declares
+its bandwidth share of the physical network, and carries network-level
+constraints (transmission duration/jitter bounds under multiplexing).
+It also owns the DAS's :class:`~repro.messaging.naming.Namespace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+from ..messaging import MessageType, Namespace
+from .link_spec import LinkSpec
+from .port_spec import ControlParadigm, Direction
+
+__all__ = ["NetworkConstraint", "TransmissionBound", "VirtualNetworkSpec"]
+
+
+@dataclass(frozen=True)
+class NetworkConstraint:
+    """Base class for VN-level (multi-job) temporal constraints."""
+
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class TransmissionBound(NetworkConstraint):
+    """Bound on transmission duration and jitter for one message under
+    the multiplexing behaviour of the whole DAS (Sec. II-E, level 3)."""
+
+    message: str = ""
+    max_duration: int = 0
+    max_jitter: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.message:
+            raise SpecificationError("transmission bound needs a message name")
+        if self.max_duration <= 0:
+            raise SpecificationError("max_duration must be positive")
+        if self.max_jitter < 0:
+            raise SpecificationError("max_jitter must be non-negative")
+
+
+@dataclass
+class VirtualNetworkSpec:
+    """Level-3 specification: the whole DAS's communication behaviour."""
+
+    das: str
+    control: ControlParadigm
+    links: tuple[LinkSpec, ...] = ()
+    bandwidth_share: float = 0.0
+    constraints: tuple[NetworkConstraint, ...] = ()
+    namespace: Namespace = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.namespace is None:
+            self.namespace = Namespace(self.das)
+        if not 0.0 <= self.bandwidth_share <= 1.0:
+            raise SpecificationError(
+                f"bandwidth_share must be in [0, 1], got {self.bandwidth_share}"
+            )
+        for link in self.links:
+            if link.das != self.das:
+                raise SpecificationError(
+                    f"link for DAS {link.das!r} attached to VN spec of {self.das!r}"
+                )
+        self._register_messages()
+        self._check_connectivity()
+
+    # ------------------------------------------------------------------
+    def _register_messages(self) -> None:
+        """Register every message type in the DAS namespace (once)."""
+        for link in self.links:
+            for mtype in link.message_types().values():
+                if mtype.name not in self.namespace:
+                    self.namespace.register(mtype)
+                else:
+                    existing = self.namespace.lookup(mtype.name)
+                    if existing.elements != mtype.elements:
+                        raise SpecificationError(
+                            f"message {mtype.name!r} declared with conflicting "
+                            f"structures within DAS {self.das!r}"
+                        )
+
+    def _check_connectivity(self) -> None:
+        """Every input port needs a producer within the DAS or a gateway.
+
+        We only *warn* via :meth:`unmatched_inputs` rather than reject:
+        the producer may be a gateway attached later.
+        """
+
+    def unmatched_inputs(self) -> list[str]:
+        """Messages consumed by some job but produced by none (candidates
+        for gateway import)."""
+        produced: set[str] = set()
+        consumed: set[str] = set()
+        for link in self.links:
+            for p in link.ports:
+                if p.direction is Direction.OUTPUT:
+                    produced.add(p.name)
+                else:
+                    consumed.add(p.name)
+        return sorted(consumed - produced)
+
+    def exported_candidates(self) -> list[str]:
+        """Messages produced within the DAS (candidates for gateway export)."""
+        produced: set[str] = set()
+        for link in self.links:
+            for p in link.ports:
+                if p.direction is Direction.OUTPUT:
+                    produced.add(p.name)
+        return sorted(produced)
+
+    # ------------------------------------------------------------------
+    def link_for_job(self, index: int) -> LinkSpec:
+        return self.links[index]
+
+    def message_type(self, name: str) -> MessageType:
+        return self.namespace.lookup(name)
+
+    def all_port_specs(self):
+        for link in self.links:
+            yield from link.ports
+
+    def validate_control_paradigm(self) -> list[str]:
+        """TT VNs must have TT ports; ET VNs must have ET ports.
+
+        "A virtual network ... runs a communication protocol tailored to
+        the needs of the respective DAS" — mixing paradigms within one
+        VN is a specification error the designer should see.
+        """
+        problems = []
+        for link in self.links:
+            for p in link.ports:
+                if p.control is not self.control:
+                    problems.append(
+                        f"port {p.name!r} is {p.control.value} but VN "
+                        f"{self.das!r} is {self.control.value}"
+                    )
+        return problems

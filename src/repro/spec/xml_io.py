@@ -1,0 +1,483 @@
+"""XML link specifications — the Fig. 6 exchange format.
+
+"We have chosen Extensible Markup Language (XML) for expressing link
+specifications, because of the wide use of XML and the availability of
+parsers" (Sec. IV-B).  This module parses and serializes the paper's
+format:
+
+* ``<linkspec>`` root with ``<das>``,
+* a **syntactic part**: ``<message name=...>`` blocks with
+  ``<element name=... key=yes|no conv=yes|no>`` containing
+  ``<field name=...><type length=16>integer</type></field>`` (static
+  fields add ``<value>731</value>``),
+* a **temporal part**: ``<timedautomaton>`` blocks with ``<location>``,
+  ``<init>``, ``<error>``, and ``<transition>`` elements carrying
+  ``<label type="guard">``, ``<label type="assignment">``, and
+  ``<label type="port">`` (the ``m!``/``m?`` interaction; the paper's
+  figure omits port labels in transcription, so they are optional),
+* **transfer semantics**: ``<transfersemantics>`` with derived elements
+  whose ``<field ... init=0 semantics="state">`` bodies are conversion
+  rules, and
+* optionally ``<parameter name="tmin" value="...">`` and ``<port ...>``
+  blocks for timing data the figure leaves implicit.
+
+The figure as printed is *not* well-formed XML: attribute values are
+unquoted (``length=16``) and guard bodies contain raw ``<``/``>``
+(``x<tmax``).  :func:`lenient_xml` repairs exactly those two defects so
+the paper's text parses verbatim; well-formed documents pass through
+unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Mapping
+
+from ..automata import Assignment, Guard, PortAction, TimedAutomaton, Transition
+from ..errors import SpecificationError
+from ..messaging import (
+    ElementDef,
+    FieldDef,
+    MessageType,
+    Semantics,
+    resolve_type,
+)
+from .link_spec import LinkSpec
+from .port_spec import ControlParadigm, Direction, ETTiming, InteractionType, PortSpec, TTTiming
+from .transfer import DerivedElement, DerivedField, TransferSemantics
+
+__all__ = ["lenient_xml", "parse_link_spec", "serialize_link_spec"]
+
+
+# ----------------------------------------------------------------------
+# leniency layer
+# ----------------------------------------------------------------------
+_LABEL_BODY = re.compile(r"(<label\b[^>]*>)(.*?)(</label>)", re.DOTALL)
+# ``&`` not already starting an entity reference (keeps escaping idempotent).
+_BARE_AMP = re.compile(r"&(?!(?:amp|lt|gt|quot|apos|#\d+);)")
+
+
+def _escape_bodies(text: str) -> str:
+    """Escape raw ``<``, ``>``, ``&`` inside ``<label>`` bodies.
+
+    Guard expressions are the only place the printed figure puts raw
+    comparison operators; the non-greedy body match stops at the first
+    ``</label>``.  Already-escaped entities pass through unchanged, so
+    the repair is idempotent and well-formed documents are preserved.
+    """
+
+    def repl(m: re.Match[str]) -> str:
+        body = _BARE_AMP.sub("&amp;", m.group(2))
+        body = body.replace("<", "&lt;").replace(">", "&gt;")
+        return m.group(1) + body + m.group(3)
+
+    return _LABEL_BODY.sub(repl, text)
+
+
+_BARE_ATTR = re.compile(r"([A-Za-z_][\w-]*)=(?![\"'])([^\s\"'<>/]+)")
+
+
+def _quote_attrs_in_tags(text: str) -> str:
+    """Quote bare attribute values, only inside tag markup."""
+
+    def repl(m: re.Match[str]) -> str:
+        return _BARE_ATTR.sub(r'\1="\2"', m.group(0))
+
+    return re.sub(r"<[^<>]+>", repl, text)
+
+
+def lenient_xml(text: str) -> str:
+    """Repair the paper's two well-formedness defects (idempotent)."""
+    # Escape raw <, > in guard/rule bodies first so they stop looking
+    # like markup, then quote unquoted attribute values inside tags.
+    return _quote_attrs_in_tags(_escape_bodies(text))
+
+
+# ----------------------------------------------------------------------
+# parsing helpers
+# ----------------------------------------------------------------------
+def _bool_attr(el: ET.Element, name: str, default: bool = False) -> bool:
+    raw = el.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("yes", "true", "1")
+
+
+def _int_attr(el: ET.Element, name: str, default: int | None = None) -> int | None:
+    raw = el.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise SpecificationError(f"attribute {name}={raw!r} is not an integer") from None
+
+
+def _parse_static_value(text: str, type_name: str):
+    text = text.strip()
+    t = type_name.strip().lower()
+    if t in ("integer", "uinteger", "unsigned", "timestamp"):
+        return int(text)
+    if t in ("float", "double"):
+        return float(text)
+    if t in ("boolean", "bool"):
+        return text.lower() in ("true", "yes", "1")
+    return text
+
+
+def _parse_field(fel: ET.Element) -> FieldDef:
+    name = fel.get("name")
+    if not name:
+        raise SpecificationError("<field> needs a name attribute")
+    tel = fel.find("type")
+    if tel is None or not (tel.text or "").strip():
+        raise SpecificationError(f"field {name!r} needs a <type> child")
+    type_name = (tel.text or "").strip()
+    length = _int_attr(tel, "length")
+    ftype = resolve_type(type_name, length)
+    vel = fel.find("value")
+    if vel is not None:
+        value = _parse_static_value(vel.text or "", type_name)
+        return FieldDef(name=name, ftype=ftype, static=True, static_value=value)
+    return FieldDef(name=name, ftype=ftype)
+
+
+def _parse_element(eel: ET.Element) -> ElementDef:
+    name = eel.get("name")
+    if not name:
+        raise SpecificationError("<element> needs a name attribute")
+    fields = tuple(_parse_field(f) for f in eel.findall("field"))
+    semantics = Semantics(eel.get("semantics", "state"))
+    return ElementDef(
+        name=name,
+        fields=fields,
+        key=_bool_attr(eel, "key"),
+        convertible=_bool_attr(eel, "conv"),
+        semantics=semantics,
+    )
+
+
+def _parse_message(mel: ET.Element) -> MessageType:
+    name = mel.get("name")
+    if not name:
+        raise SpecificationError("<message> needs a name attribute")
+    elements = tuple(_parse_element(e) for e in mel.findall("element"))
+    return MessageType(name=name, elements=elements)
+
+
+def _parse_transition(tel: ET.Element) -> Transition:
+    sel, gel = tel.find("source"), tel.find("target")
+    if sel is None or gel is None:
+        raise SpecificationError("<transition> needs <source> and <target>")
+    source, target = sel.get("name"), gel.get("name")
+    if not source or not target:
+        raise SpecificationError("<source>/<target> need name attributes")
+    guard = Guard()
+    assignments: tuple[Assignment, ...] = ()
+    action = PortAction.parse("")
+    for label in tel.findall("label"):
+        kind = (label.get("type") or "").strip().lower()
+        body = (label.text or "").strip()
+        if kind == "guard":
+            guard = Guard.parse(body)
+        elif kind == "assignment":
+            assignments = Assignment.parse_list(body)
+        elif kind in ("port", "sync"):
+            action = PortAction.parse(body)
+        elif kind:
+            raise SpecificationError(f"unknown label type {kind!r}")
+    return Transition(source=source, target=target, guard=guard, action=action,
+                      assignments=assignments)
+
+
+def _parse_automaton(ael: ET.Element, parameters: Mapping[str, int | float]) -> TimedAutomaton:
+    name = ael.get("name")
+    if not name:
+        raise SpecificationError("<timedautomaton> needs a name attribute")
+    locations = tuple(
+        loc.get("name") or _missing("location name") for loc in ael.findall("location")
+    )
+    init_el = ael.find("init")
+    if init_el is None or not init_el.get("name"):
+        raise SpecificationError(f"automaton {name!r} needs an <init name=.../>")
+    error_el = ael.find("error")
+    error = error_el.get("name") if error_el is not None else None
+    transitions = tuple(_parse_transition(t) for t in ael.findall("transition"))
+    clocks_attr = (ael.get("clocks") or "x").strip()
+    clocks = tuple(c.strip() for c in clocks_attr.split(",") if c.strip())
+    # Parameters referenced in guards but not bound anywhere stay
+    # unresolved until runtime; bind what the caller supplied plus any
+    # <parameter> children already collected by the caller.
+    local_params = dict(parameters)
+    return TimedAutomaton(
+        name=name,
+        locations=locations,
+        initial=init_el.get("name"),  # type: ignore[arg-type]
+        error=error,
+        transitions=transitions,
+        clocks=clocks,
+        parameters=local_params,
+    )
+
+
+def _missing(what: str) -> str:
+    raise SpecificationError(f"missing {what}")
+
+
+def _parse_transfer(tel: ET.Element) -> TransferSemantics:
+    elements: list[DerivedElement] = []
+    for eel in tel.findall("element"):
+        name = eel.get("name")
+        if not name:
+            raise SpecificationError("<transfersemantics><element> needs a name")
+        fields: list[DerivedField] = []
+        for fel in eel.findall("field"):
+            fname = fel.get("name")
+            if not fname:
+                raise SpecificationError(f"derived element {name!r}: field needs a name")
+            rule = (fel.text or "").strip()
+            if not rule:
+                raise SpecificationError(f"derived field {fname!r} needs a rule body")
+            semantics = Semantics(fel.get("semantics", "state"))
+            init_raw = fel.get("init", "0")
+            try:
+                init = int(init_raw)
+            except ValueError:
+                try:
+                    init = float(init_raw)  # type: ignore[assignment]
+                except ValueError:
+                    init = init_raw  # type: ignore[assignment]
+            fields.append(DerivedField.parse(fname, rule, semantics=semantics, init=init))
+        elements.append(
+            DerivedElement(name=name, fields=tuple(fields), source_element=eel.get("source"))
+        )
+    return TransferSemantics(elements=tuple(elements))
+
+
+def _parse_port(pel: ET.Element, messages: Mapping[str, MessageType]) -> PortSpec:
+    mname = pel.get("message")
+    if not mname or mname not in messages:
+        raise SpecificationError(f"<port> references unknown message {mname!r}")
+    direction = Direction(pel.get("direction", "input"))
+    control = ControlParadigm(pel.get("control", "event-triggered"))
+    semantics = Semantics(pel.get("semantics", "state"))
+    interaction = InteractionType(pel.get("interaction", "push"))
+    tt = None
+    ttel = pel.find("tt")
+    if ttel is not None:
+        tt = TTTiming(
+            period=_int_attr(ttel, "period") or 0,
+            phase=_int_attr(ttel, "phase", 0) or 0,
+            jitter=_int_attr(ttel, "jitter", 0) or 0,
+        )
+    et = None
+    etel = pel.find("et")
+    if etel is not None:
+        et = ETTiming(
+            min_interarrival=_int_attr(etel, "min", 0) or 0,
+            max_interarrival=_int_attr(etel, "max", 2**63 - 1) or 2**63 - 1,
+            service_time=_int_attr(etel, "service", 0) or 0,
+            distribution=etel.get("distribution", "poisson"),
+        )
+    return PortSpec(
+        message_type=messages[mname],
+        direction=direction,
+        semantics=semantics,
+        control=control,
+        interaction=interaction,
+        tt=tt,
+        et=et,
+        queue_depth=_int_attr(pel, "queue", 1) or 1,
+        temporal_accuracy=_int_attr(pel, "dacc"),
+    )
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def parse_link_spec(
+    text: str,
+    parameters: Mapping[str, int | float] | None = None,
+    default_control: ControlParadigm = ControlParadigm.EVENT_TRIGGERED,
+) -> LinkSpec:
+    """Parse a (possibly paper-verbatim) ``<linkspec>`` document.
+
+    ``parameters`` binds automata constants the document references but
+    does not define (Fig. 6 leaves ``tmin``/``tmax`` unbound).  When the
+    document declares no ``<port>`` blocks, ports are derived from the
+    automata's ``m?``/``m!`` labels — and any message never named by an
+    automaton becomes a push input port under ``default_control``.
+    """
+    try:
+        root = ET.fromstring(lenient_xml(text))
+    except ET.ParseError as exc:
+        raise SpecificationError(f"link specification is not parseable XML: {exc}") from exc
+    if root.tag != "linkspec":
+        raise SpecificationError(f"expected <linkspec> root, got <{root.tag}>")
+
+    das_el = root.find("das")
+    das = (das_el.text or "").strip() if das_el is not None else ""
+
+    messages: dict[str, MessageType] = {}
+    for mel in root.findall("message"):
+        mt = _parse_message(mel)
+        if mt.name in messages:
+            raise SpecificationError(f"duplicate message {mt.name!r} in link spec")
+        messages[mt.name] = mt
+
+    params: dict[str, int | float] = dict(parameters or {})
+    for pel in root.findall("parameter"):
+        pname = pel.get("name")
+        raw = pel.get("value")
+        if not pname or raw is None:
+            raise SpecificationError("<parameter> needs name and value")
+        params[pname] = float(raw) if "." in raw else int(raw)
+
+    automata = tuple(_parse_automaton(a, params) for a in root.findall("timedautomaton"))
+
+    transfer = TransferSemantics()
+    tel = root.find("transfersemantics")
+    if tel is not None:
+        transfer = _parse_transfer(tel)
+
+    explicit_ports = tuple(_parse_port(p, messages) for p in root.findall("port"))
+    if explicit_ports:
+        ports = explicit_ports
+    else:
+        ports = _derive_ports(messages, automata, default_control)
+
+    return LinkSpec(das=das, ports=ports, automata=automata, transfer=transfer)
+
+
+def _derive_ports(
+    messages: Mapping[str, MessageType],
+    automata: tuple[TimedAutomaton, ...],
+    default_control: ControlParadigm,
+) -> tuple[PortSpec, ...]:
+    received: set[str] = set()
+    sent: set[str] = set()
+    for a in automata:
+        received |= a.receive_messages()
+        sent |= a.send_messages()
+    ports: list[PortSpec] = []
+    for name, mt in messages.items():
+        direction = Direction.OUTPUT if name in sent and name not in received else Direction.INPUT
+        conv = mt.convertible_elements()
+        semantics = conv[0].semantics if conv else Semantics.STATE
+        tt = TTTiming(period=10_000_000) if default_control is ControlParadigm.TIME_TRIGGERED else None
+        ports.append(
+            PortSpec(
+                message_type=mt,
+                direction=direction,
+                semantics=semantics,
+                control=default_control,
+                tt=tt,
+                queue_depth=8 if semantics is Semantics.EVENT else 1,
+            )
+        )
+    return tuple(ports)
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def _type_xml(fdef: FieldDef) -> str:
+    ftype = fdef.ftype
+    tname = type(ftype).__name__.replace("Type", "").lower()
+    mapping = {
+        "int": "integer",
+        "uint": "uinteger",
+        "float": "float",
+        "bool": "boolean",
+        "timestamp": "timestamp",
+        "string": "string",
+    }
+    name = mapping.get(tname, tname)
+    length = getattr(ftype, "length", None)
+    if length is not None:
+        return f'<type length="{length}">{name}</type>'
+    return f"<type>{name}</type>"
+
+
+def serialize_link_spec(link: LinkSpec) -> str:
+    """Render a link specification in the Fig. 6 XML dialect (well-formed)."""
+    out: list[str] = ["<linkspec>"]
+    out.append(f"  <das>{link.das}</das>")
+    for mt in link.message_types().values():
+        out.append(f'  <message name="{mt.name}">')
+        for e in mt.elements:
+            attrs = f' key="{"yes" if e.key else "no"}" conv="{"yes" if e.convertible else "no"}"'
+            attrs += f' semantics="{e.semantics.value}"'
+            out.append(f'    <element name="{e.name}"{attrs}>')
+            for f in e.fields:
+                out.append(f'      <field name="{f.name}">')
+                out.append(f"        {_type_xml(f)}")
+                if f.static:
+                    out.append(f"        <value>{f.static_value}</value>")
+                out.append("      </field>")
+            out.append("    </element>")
+        out.append("  </message>")
+    for p in link.ports:
+        bits = [
+            f'message="{p.name}"',
+            f'direction="{p.direction.value}"',
+            f'control="{p.control.value}"',
+            f'semantics="{p.semantics.value}"',
+            f'interaction="{p.interaction.value}"',
+            f'queue="{p.queue_depth}"',
+        ]
+        if p.temporal_accuracy is not None:
+            bits.append(f'dacc="{p.temporal_accuracy}"')
+        out.append(f"  <port {' '.join(bits)}>")
+        if p.tt is not None:
+            out.append(
+                f'    <tt period="{p.tt.period}" phase="{p.tt.phase}" jitter="{p.tt.jitter}"/>'
+            )
+        if p.et is not None:
+            out.append(
+                f'    <et min="{p.et.min_interarrival}" max="{p.et.max_interarrival}" '
+                f'service="{p.et.service_time}" distribution="{p.et.distribution}"/>'
+            )
+        out.append("  </port>")
+    for a in link.automata:
+        for pname, pvalue in sorted(a.parameters.items()):
+            out.append(f'  <parameter name="{pname}" value="{pvalue}"/>')
+    for a in link.automata:
+        clocks = ",".join(a.clocks)
+        out.append(f'  <timedautomaton name="{a.name}" clocks="{clocks}">')
+        for loc in a.locations:
+            out.append(f'    <location name="{loc}"/>')
+        out.append(f'    <init name="{a.initial}"/>')
+        if a.error:
+            out.append(f'    <error name="{a.error}"/>')
+        for t in a.transitions:
+            out.append("    <transition>")
+            out.append(f'      <source name="{t.source}"/><target name="{t.target}"/>')
+            if not t.guard.is_trivial():
+                body = str(t.guard).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+                out.append(f'      <label type="guard">{body}</label>')
+            if t.assignments:
+                body = "; ".join(str(x) for x in t.assignments)
+                body = body.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+                out.append(f'      <label type="assignment">{body}</label>')
+            if str(t.action):
+                out.append(f'      <label type="port">{t.action}</label>')
+            out.append("    </transition>")
+        out.append("  </timedautomaton>")
+    if link.transfer.elements:
+        out.append("  <transfersemantics>")
+        for de in link.transfer.elements:
+            src = f' source="{de.source_element}"' if de.source_element else ""
+            out.append(f'    <element name="{de.name}"{src}>')
+            for df in de.fields:
+                rule = df.rule_text or f"{df.name} := {df.rule_expr}"
+                rule = rule.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+                out.append(
+                    f'      <field name="{df.name}" init="{df.init}" '
+                    f'semantics="{df.semantics.value}">{rule}</field>'
+                )
+            out.append("    </element>")
+        out.append("  </transfersemantics>")
+    out.append("</linkspec>")
+    return "\n".join(out)

@@ -1,0 +1,355 @@
+"""System assembly: from a declarative description to a running model.
+
+This is the top of the public API: a :class:`SystemBuilder` collects
+nodes, DASs, jobs (with their port specifications), and virtual
+gateways, then :meth:`SystemBuilder.build` performs the *physical
+system structuring* of Sec. II-B:
+
+* one TDMA slot per node, sized from the messages the node produces,
+  with per-VN byte reservations derived from the port specifications
+  (bandwidth partitioning between DASs),
+* one partition per (node, DAS) pair, windows laid out disjointly in
+  the node's major frame (temporal partitioning),
+* one virtual network per DAS, TT or ET according to the DAS's control
+  paradigm, with all job ports attached and TT timings taken from the
+  port specs,
+* virtual gateways wired between the requested VN pairs, hosted on a
+  node, with their redirection rules, filters, and link specifications.
+
+The returned :class:`System` starts/stops everything together and gives
+experiments one handle per subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core_network import (
+    CHUNK_HEADER_BYTES,
+    Cluster,
+    ClusterBuilder,
+    NodeConfig,
+)
+from ..errors import ConfigurationError
+from ..gateway import FilterChain, GatewaySide, VirtualGateway
+from ..messaging import Namespace
+from ..platform import Component, Job, Partition
+from ..sim import MS, Simulator
+from ..spec import ControlParadigm, Direction, LinkSpec, PortSpec
+from ..vn import ETVirtualNetwork, TTVirtualNetwork, VirtualNetworkBase
+
+__all__ = ["JobDecl", "GatewayDecl", "System", "SystemBuilder"]
+
+JobFactory = Callable[[Simulator, str, str, Partition], Job]
+
+
+@dataclass
+class JobDecl:
+    """One job to instantiate: where it runs and what it speaks."""
+
+    name: str
+    das: str
+    node: str
+    factory: JobFactory
+    ports: tuple[PortSpec, ...] = ()
+
+
+@dataclass
+class GatewayDecl:
+    """One virtual gateway to instantiate between two DASs."""
+
+    name: str
+    host: str
+    das_a: str
+    das_b: str
+    link_a: LinkSpec
+    link_b: LinkSpec
+    #: (src, dst, direction, filters)
+    rules: list[tuple[str, str, str, FilterChain | None]] = field(default_factory=list)
+    restart_delay: int = 10 * MS
+    #: Partition name on the host for a *visible* gateway (None = hidden).
+    partition: str | None = None
+
+
+@dataclass
+class System:
+    """A fully assembled DECOS system model."""
+
+    sim: Simulator
+    cluster: Cluster
+    components: dict[str, Component]
+    partitions: dict[tuple[str, str], Partition]  # (node, das) -> partition
+    vns: dict[str, VirtualNetworkBase]
+    jobs: dict[str, Job]
+    gateways: dict[str, VirtualGateway]
+
+    def start(self) -> None:
+        self.cluster.start()
+        for comp in self.components.values():
+            comp.start()
+        # Gateways install their producer bindings and TT timings, so
+        # they must be wired before the VN dispatchers are scheduled.
+        for gw in self.gateways.values():
+            gw.start()
+        for vn in self.vns.values():
+            vn.start()
+
+    def run_for(self, duration: int) -> None:
+        self.sim.run_for(duration)
+
+    def vn(self, das: str) -> VirtualNetworkBase:
+        try:
+            return self.vns[das]
+        except KeyError:
+            raise ConfigurationError(f"no DAS {das!r} in system") from None
+
+    def job(self, name: str) -> Job:
+        try:
+            return self.jobs[name]
+        except KeyError:
+            raise ConfigurationError(f"no job {name!r} in system") from None
+
+    def gateway(self, name: str) -> VirtualGateway:
+        try:
+            return self.gateways[name]
+        except KeyError:
+            raise ConfigurationError(f"no gateway {name!r} in system") from None
+
+    def component(self, node: str) -> Component:
+        try:
+            return self.components[node]
+        except KeyError:
+            raise ConfigurationError(f"no node {node!r} in system") from None
+
+    def partition(self, node: str, das: str) -> Partition:
+        try:
+            return self.partitions[(node, das)]
+        except KeyError:
+            raise ConfigurationError(f"no partition for DAS {das!r} on {node!r}") from None
+
+
+class SystemBuilder:
+    """Declarative construction of a :class:`System`."""
+
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        seed: int = 0,
+        bandwidth_bps: int = 10_000_000,
+        inter_slot_gap: int = 10_000,
+        major_frame: int = 2 * MS,
+        guardian_enabled: bool = True,
+        min_reservation: int = 16,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.bandwidth_bps = bandwidth_bps
+        self.inter_slot_gap = inter_slot_gap
+        self.major_frame = major_frame
+        self.guardian_enabled = guardian_enabled
+        self.min_reservation = min_reservation
+        self._nodes: dict[str, float] = {}  # name -> drift ppm
+        self._das: dict[str, ControlParadigm] = {}
+        self._jobs: list[JobDecl] = []
+        self._gateways: list[GatewayDecl] = []
+        self._extra_reservations: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # declaration API
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, drift_ppm: float = 0.0) -> "SystemBuilder":
+        if name in self._nodes:
+            raise ConfigurationError(f"node {name!r} already declared")
+        self._nodes[name] = drift_ppm
+        return self
+
+    def add_das(self, name: str, paradigm: ControlParadigm) -> "SystemBuilder":
+        if name in self._das:
+            raise ConfigurationError(f"DAS {name!r} already declared")
+        self._das[name] = paradigm
+        return self
+
+    def add_job(
+        self,
+        name: str,
+        das: str,
+        node: str,
+        factory: JobFactory,
+        ports: tuple[PortSpec, ...] = (),
+    ) -> "SystemBuilder":
+        if das not in self._das:
+            raise ConfigurationError(f"unknown DAS {das!r} for job {name!r}")
+        if node not in self._nodes:
+            raise ConfigurationError(f"unknown node {node!r} for job {name!r}")
+        if any(j.name == name for j in self._jobs):
+            raise ConfigurationError(f"job {name!r} already declared")
+        self._jobs.append(JobDecl(name=name, das=das, node=node, factory=factory, ports=ports))
+        return self
+
+    def add_gateway(self, decl: GatewayDecl) -> "SystemBuilder":
+        for das in (decl.das_a, decl.das_b):
+            if das not in self._das:
+                raise ConfigurationError(f"gateway {decl.name!r}: unknown DAS {das!r}")
+        if decl.host not in self._nodes:
+            raise ConfigurationError(f"gateway {decl.name!r}: unknown host {decl.host!r}")
+        self._gateways.append(decl)
+        return self
+
+    def reserve(self, node: str, das: str, extra_bytes: int) -> "SystemBuilder":
+        """Manually widen a node's reservation for one VN."""
+        self._extra_reservations[(node, das)] = (
+            self._extra_reservations.get((node, das), 0) + extra_bytes
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> System:
+        if not self._nodes:
+            raise ConfigurationError("system needs at least one node")
+        reservations = self._compute_reservations()
+        cluster = self._build_cluster(reservations)
+        components = {
+            name: Component(self.sim, name, cluster.controller(name),
+                            major_frame=self.major_frame)
+            for name in self._nodes
+        }
+        partitions = self._build_partitions(components)
+        vns = self._build_vns(cluster)
+        jobs = self._build_jobs(partitions, vns)
+        gateways = self._build_gateways(vns, partitions)
+        return System(
+            sim=self.sim, cluster=cluster, components=components,
+            partitions=partitions, vns=vns, jobs=jobs, gateways=gateways,
+        )
+
+    # ------------------------------------------------------------------
+    def _message_bytes(self, spec: PortSpec) -> int:
+        return CHUNK_HEADER_BYTES + spec.message_type.byte_width()
+
+    def _compute_reservations(self) -> dict[str, dict[str, int]]:
+        """Per-node, per-VN byte budgets from declared producers."""
+        out: dict[str, dict[str, int]] = {n: {} for n in self._nodes}
+        for decl in self._jobs:
+            for spec in decl.ports:
+                if spec.direction is Direction.OUTPUT:
+                    cur = out[decl.node].get(decl.das, 0)
+                    out[decl.node][decl.das] = cur + self._message_bytes(spec)
+        for gw in self._gateways:
+            # The gateway produces the rules' destination messages on its
+            # host; reserve room for each.
+            for src, dst, direction, _ in gw.rules:
+                dst_das = gw.das_b if direction == "a_to_b" else gw.das_a
+                link = gw.link_b if direction == "a_to_b" else gw.link_a
+                if link.has_port(dst):
+                    nbytes = self._message_bytes(link.port(dst))
+                else:
+                    nbytes = self.min_reservation
+                cur = out[gw.host].get(dst_das, 0)
+                out[gw.host][dst_das] = cur + nbytes
+        for (node, das), extra in self._extra_reservations.items():
+            out[node][das] = out[node].get(das, 0) + extra
+        # Floor every reservation so bursty ET traffic can drain.
+        for node, per_vn in out.items():
+            for das in per_vn:
+                per_vn[das] = max(per_vn[das], self.min_reservation)
+        return out
+
+    def _build_cluster(self, reservations: dict[str, dict[str, int]]) -> Cluster:
+        builder = ClusterBuilder(
+            self.sim, bandwidth_bps=self.bandwidth_bps,
+            inter_slot_gap=self.inter_slot_gap,
+            guardian_enabled=self.guardian_enabled,
+        )
+        for name, drift in self._nodes.items():
+            per_vn = reservations.get(name, {})
+            capacity = max(sum(per_vn.values()), self.min_reservation)
+            builder.add_node(NodeConfig(
+                name=name, slot_capacity_bytes=capacity,
+                drift_ppm=drift, reservations=per_vn or None,
+            ))
+        return builder.build()
+
+    def _build_partitions(
+        self, components: dict[str, Component]
+    ) -> dict[tuple[str, str], Partition]:
+        """One partition per (node, DAS-with-presence-on-node)."""
+        per_node_das: dict[str, list[str]] = {}
+        for decl in self._jobs:
+            per_node_das.setdefault(decl.node, [])
+            if decl.das not in per_node_das[decl.node]:
+                per_node_das[decl.node].append(decl.das)
+        for gw in self._gateways:
+            if gw.partition is not None:
+                # Visible gateway: it needs a partition of its own DAS
+                # (modeled as belonging to side A's DAS on the host).
+                per_node_das.setdefault(gw.host, [])
+                if gw.das_a not in per_node_das[gw.host]:
+                    per_node_das[gw.host].append(gw.das_a)
+        partitions: dict[tuple[str, str], Partition] = {}
+        for node, das_list in per_node_das.items():
+            window = self.major_frame // max(len(das_list), 1)
+            for i, das in enumerate(das_list):
+                part = components[node].add_partition(
+                    f"{node}.{das}", das, offset=i * window, duration=window,
+                )
+                partitions[(node, das)] = part
+        return partitions
+
+    def _build_vns(self, cluster: Cluster) -> dict[str, VirtualNetworkBase]:
+        vns: dict[str, VirtualNetworkBase] = {}
+        for das, paradigm in self._das.items():
+            ns = Namespace(das)
+            if paradigm is ControlParadigm.TIME_TRIGGERED:
+                vns[das] = TTVirtualNetwork(self.sim, das, cluster, ns)
+            else:
+                vns[das] = ETVirtualNetwork(self.sim, das, cluster, ns)
+        # Register every message type named by job ports and gateways.
+        for decl in self._jobs:
+            for spec in decl.ports:
+                ns = vns[decl.das].namespace
+                if spec.name not in ns:
+                    ns.register(spec.message_type)
+        for gw in self._gateways:
+            for link, das in ((gw.link_a, gw.das_a), (gw.link_b, gw.das_b)):
+                ns = vns[das].namespace
+                for mtype in link.message_types().values():
+                    if mtype.name not in ns:
+                        ns.register(mtype)
+        return vns
+
+    def _build_jobs(
+        self,
+        partitions: dict[tuple[str, str], Partition],
+        vns: dict[str, VirtualNetworkBase],
+    ) -> dict[str, Job]:
+        jobs: dict[str, Job] = {}
+        for decl in self._jobs:
+            part = partitions[(decl.node, decl.das)]
+            job = decl.factory(self.sim, decl.name, decl.das, part)
+            vns[decl.das].attach_job(job, decl.node, decl.ports)
+            jobs[decl.name] = job
+        return jobs
+
+    def _build_gateways(
+        self,
+        vns: dict[str, VirtualNetworkBase],
+        partitions: dict[tuple[str, str], Partition],
+    ) -> dict[str, VirtualGateway]:
+        gateways: dict[str, VirtualGateway] = {}
+        for decl in self._gateways:
+            partition = None
+            if decl.partition is not None:
+                partition = partitions[(decl.host, decl.das_a)]
+            gw = VirtualGateway(
+                self.sim, decl.name, decl.host,
+                side_a=GatewaySide(vn=vns[decl.das_a], link=decl.link_a),
+                side_b=GatewaySide(vn=vns[decl.das_b], link=decl.link_b),
+                restart_delay=decl.restart_delay,
+                partition=partition,
+            )
+            for src, dst, direction, filters in decl.rules:
+                gw.add_rule(src, dst, direction=direction, filters=filters)
+            gateways[decl.name] = gw
+        return gateways

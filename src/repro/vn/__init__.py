@@ -1,0 +1,26 @@
+"""Virtual networks (substrate S8): encapsulated overlays per DAS.
+
+Runtime ports (state memory elements, bounded event queues), the shared
+routing/encoding machinery, and the two transmission disciplines: TT
+(static sampling instants) and ET (CAN-style priority arbitration within
+reserved bandwidth).
+"""
+
+from .et_network import ETVirtualNetwork
+from .port import EventPort, Port, StatePort, make_port
+from .redundancy import ReplicatedMessage
+from .service import ConsumerBinding, ProducerBinding, VirtualNetworkBase
+from .tt_network import TTVirtualNetwork
+
+__all__ = [
+    "Port",
+    "StatePort",
+    "EventPort",
+    "make_port",
+    "VirtualNetworkBase",
+    "ProducerBinding",
+    "ConsumerBinding",
+    "TTVirtualNetwork",
+    "ReplicatedMessage",
+    "ETVirtualNetwork",
+]

@@ -1,0 +1,224 @@
+"""Runtime ports: the access points between jobs and virtual networks.
+
+Sec. II-A: "A port is the access point between a job and the virtual
+network of the DAS the job belongs to."  This module provides the
+executable counterpart of :class:`repro.spec.port_spec.PortSpec`:
+
+* :class:`StatePort` — the memory element of a state port: newer
+  message instances overwrite older ones (*update in place*), and the
+  time of the most recent update is kept so consumers (and gateways)
+  can evaluate temporal accuracy.
+* :class:`EventPort` — the bounded queue of an event port: instances
+  are consumed *exactly once*; overflow drops the newest arrival and
+  records it (losing event information silently would break sender/
+  receiver state synchronization, so every loss is observable).
+
+Interaction types (Sec. II-E) map onto the API as follows: a **push
+input** port notifies its owner job on delivery (through the partition,
+so the notification lands in the job's next window); a **pull input**
+port just stores and waits for ``read``/``dequeue``; a **push output**
+port is written by the job's explicit ``write``/``enqueue`` and drained
+by the VN dispatcher; a **pull output** port's content is *sampled* by
+the dispatcher at the network's instants (sender-pull — the control
+signal comes from the communication system, as in TT transmission).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import PortError
+from ..messaging import MessageInstance, Semantics
+from ..sim import Simulator, TraceCategory
+from ..spec import Direction, InteractionType, PortSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platform.job import Job
+
+__all__ = ["Port", "StatePort", "EventPort", "make_port"]
+
+
+class Port:
+    """Common behaviour of runtime ports."""
+
+    def __init__(self, sim: Simulator, spec: PortSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.owner_job: Optional["Job"] = None
+        self.sends = 0
+        self.receptions = 0
+        self.drops = 0
+        self.last_send_time: int | None = None
+        self.last_arrival_time: int | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def direction(self) -> Direction:
+        return self.spec.direction
+
+    @property
+    def semantics(self) -> Semantics:
+        return self.spec.semantics
+
+    def _owner_label(self) -> str:
+        return self.owner_job.name if self.owner_job is not None else "<unbound>"
+
+    def _require(self, direction: Direction, op: str) -> None:
+        if self.spec.direction is not direction:
+            raise PortError(
+                f"{op} on {self.spec.direction.value} port {self.name!r} "
+                f"(owner {self._owner_label()})"
+            )
+
+    def _notify_owner(self, instance: MessageInstance, arrival: int) -> None:
+        """Push-input delivery: hand the instance to the owner job
+        through its partition (receiver-push, Sec. II-E)."""
+        if self.spec.interaction is InteractionType.PUSH and self.owner_job is not None:
+            self.owner_job.deliver(self.name, instance, arrival)
+
+    def trace_drop(self, reason: str) -> None:
+        self.drops += 1
+        self.sim.trace.record(
+            self.sim.now, TraceCategory.PORT_DROP, self.name,
+            owner=self._owner_label(), reason=reason,
+        )
+
+
+class StatePort(Port):
+    """Update-in-place memory element for state semantics."""
+
+    def __init__(self, sim: Simulator, spec: PortSpec) -> None:
+        if spec.semantics is not Semantics.STATE:
+            raise PortError(f"StatePort needs state semantics, got {spec.semantics}")
+        super().__init__(sim, spec)
+        self._value: MessageInstance | None = None
+        self._t_update: int | None = None
+        self.overwrites = 0
+
+    # producer side ----------------------------------------------------
+    def write(self, instance: MessageInstance) -> None:
+        """Owner job updates the output state (any time; sampled later)."""
+        self._require(Direction.OUTPUT, "write")
+        self._store(instance, self.sim.now)
+        self.sends += 1
+        self.last_send_time = self.sim.now
+
+    def sample(self) -> tuple[MessageInstance | None, int | None]:
+        """Dispatcher samples the current value (sender-pull)."""
+        self._require(Direction.OUTPUT, "sample")
+        if self._value is None:
+            return None, None
+        return self._value.copy(), self._t_update
+
+    # consumer side ----------------------------------------------------
+    def deliver_from_network(self, instance: MessageInstance, arrival: int) -> None:
+        self._require(Direction.INPUT, "network delivery")
+        self._store(instance, arrival)
+        self.receptions += 1
+        self.last_arrival_time = arrival
+        self._notify_owner(instance, arrival)
+
+    def read(self) -> tuple[MessageInstance | None, int | None]:
+        """Most recent value and its update time (pull or push input)."""
+        self._require(Direction.INPUT, "read")
+        if self._value is None:
+            return None, None
+        return self._value.copy(), self._t_update
+
+    def age(self) -> int | None:
+        """Time since the last update (None if never updated)."""
+        if self._t_update is None:
+            return None
+        return self.sim.now - self._t_update
+
+    def is_temporally_accurate(self) -> bool:
+        """Eq. (1): the real-time image is still valid."""
+        d_acc = self.spec.temporal_accuracy
+        if d_acc is None:
+            return self._t_update is not None
+        a = self.age()
+        return a is not None and a < d_acc
+
+    # ------------------------------------------------------------------
+    def _store(self, instance: MessageInstance, t: int) -> None:
+        if self._value is not None:
+            self.overwrites += 1
+        self._value = instance
+        self._t_update = t
+
+
+class EventPort(Port):
+    """Bounded exactly-once queue for event semantics."""
+
+    def __init__(self, sim: Simulator, spec: PortSpec) -> None:
+        if spec.semantics is not Semantics.EVENT:
+            raise PortError(f"EventPort needs event semantics, got {spec.semantics}")
+        super().__init__(sim, spec)
+        self._queue: deque[tuple[MessageInstance, int]] = deque()
+        self.enqueued_total = 0
+        self.dequeued_total = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        return self.spec.queue_depth
+
+    # producer side ----------------------------------------------------
+    def enqueue(self, instance: MessageInstance) -> bool:
+        """Owner job emits an event instance (push output)."""
+        self._require(Direction.OUTPUT, "enqueue")
+        ok = self._push(instance, self.sim.now)
+        if ok:
+            self.sends += 1
+            self.last_send_time = self.sim.now
+        return ok
+
+    def collect(self) -> MessageInstance | None:
+        """Dispatcher drains one instance for transmission."""
+        self._require(Direction.OUTPUT, "collect")
+        return self._pop()
+
+    # consumer side ----------------------------------------------------
+    def deliver_from_network(self, instance: MessageInstance, arrival: int) -> None:
+        self._require(Direction.INPUT, "network delivery")
+        if self._push(instance, arrival):
+            self.receptions += 1
+            self.last_arrival_time = arrival
+            self._notify_owner(instance, arrival)
+
+    def dequeue(self) -> MessageInstance | None:
+        """Consume one instance exactly-once (pull input or job logic)."""
+        self._require(Direction.INPUT, "dequeue")
+        return self._pop()
+
+    def peek(self) -> MessageInstance | None:
+        return self._queue[0][0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    def _push(self, instance: MessageInstance, t: int) -> bool:
+        if len(self._queue) >= self.spec.queue_depth:
+            self.trace_drop("queue overflow")
+            return False
+        self._queue.append((instance, t))
+        self.enqueued_total += 1
+        return True
+
+    def _pop(self) -> MessageInstance | None:
+        if not self._queue:
+            return None
+        instance, _ = self._queue.popleft()
+        self.dequeued_total += 1
+        return instance
+
+
+def make_port(sim: Simulator, spec: PortSpec) -> Port:
+    """Instantiate the right port class for a specification."""
+    if spec.semantics is Semantics.STATE:
+        return StatePort(sim, spec)
+    return EventPort(sim, spec)

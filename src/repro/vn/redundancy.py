@@ -1,0 +1,154 @@
+"""Transparent active redundancy on TT virtual networks.
+
+Sec. II-E: "Redundancy can be established transparently to
+applications, i.e. without any modification of the function and timing
+of application systems.  A time-triggered system also supports replica
+determinism, which is essential for establishing fault-tolerance
+through active redundancy."
+
+:class:`ReplicatedMessage` realizes exactly that on a TT virtual
+network: ``k`` replica producers — jobs or providers on *different
+components* (hardware FCRs) — each transmit a replica of the same
+message in their own slot under replica-suffixed internal names.  A
+receiver-side :class:`ReplicaVoter` collects the replicas of each round
+and delivers **one** voted instance under the original message name to
+the ordinary consumer ports, so consumers are unaware redundancy exists
+(transparency).
+
+Voting is exact-match majority over the encoded payload — sound because
+TT sampling plus deterministic jobs give replica determinism: correct
+replicas of the same round are bit-identical.  A crashed replica
+(missing) or a value-corrupted replica (outvoted) is tolerated as long
+as a majority of the ``k`` replicas is correct; ties and total loss
+deliver nothing and are counted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..messaging import MessageInstance
+from ..sim import EventPriority, Simulator, TraceCategory
+from ..spec import TTTiming
+from .tt_network import TTVirtualNetwork
+
+__all__ = ["ReplicatedMessage"]
+
+
+def _replica_name(message: str, index: int) -> str:
+    return f"{message}#r{index}"
+
+
+class ReplicatedMessage:
+    """k-replicated production + receiver-side majority voting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vn: TTVirtualNetwork,
+        message: str,
+        timing: TTTiming,
+        providers: list[tuple[str, Callable[[], MessageInstance | None]]],
+        voter_host: str,
+        vote_window: int | None = None,
+    ) -> None:
+        """``providers``: (component, provider) per replica — components
+        must be distinct (a replica set within one FCR tolerates
+        nothing).  ``vote_window``: how long after the first replica of
+        a round to wait before voting (default: 1/4 of the period)."""
+        if len(providers) < 2:
+            raise ConfigurationError("replication needs at least 2 replicas")
+        components = [c for c, _ in providers]
+        if len(set(components)) != len(components):
+            raise ConfigurationError(
+                "replica producers must sit on distinct components (FCRs)"
+            )
+        self.sim = sim
+        self.vn = vn
+        self.message = message
+        self.k = len(providers)
+        self.vote_window = vote_window if vote_window is not None else timing.period // 4
+        base = vn.namespace.lookup(message)
+        self._replica_names: list[str] = []
+        for i, (component, provider) in enumerate(providers):
+            rname = _replica_name(message, i)
+            rtype = vn.namespace.register(base.renamed(rname),
+                                          allow_shared_explicit=True)
+
+            def wrapped(provider=provider, rtype=rtype):
+                # Providers produce plain instances of the base message;
+                # rebind to the replica type (structurally identical) so
+                # the VN encodes them under the replica name.
+                inst = provider()
+                if inst is None:
+                    return None
+                inst = inst.copy()
+                inst.mtype = rtype
+                return inst
+
+            vn.attach_gateway_producer(rname, component, provider=wrapped)
+            vn.set_timing(rname, timing)
+            vn.tap(rname, voter_host,
+                   lambda m, inst, t, i=i: self._on_replica(i, inst, t))
+            self._replica_names.append(rname)
+        self.voter_host = voter_host
+        self._round: list[tuple[int, bytes, MessageInstance]] = []
+        self._vote_scheduled = False
+        self.rounds_voted = 0
+        self.rounds_tied = 0
+        self.rounds_empty = 0
+        self.replicas_outvoted = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    def _on_replica(self, index: int, instance: MessageInstance, arrival: int) -> None:
+        payload = instance.mtype.encode(instance)
+        self._round.append((index, payload, instance))
+        if not self._vote_scheduled:
+            self._vote_scheduled = True
+            self.sim.after(self.vote_window, self._vote,
+                           priority=EventPriority.SERVICE,
+                           label=f"vote.{self.message}")
+
+    def _vote(self) -> None:
+        self._vote_scheduled = False
+        replicas, self._round = self._round, []
+        if not replicas:
+            self.rounds_empty += 1
+            return
+        counts = Counter(payload for _, payload, _ in replicas)
+        winner, votes = counts.most_common(1)[0]
+        # Accept when all received replicas agree (tolerates crashes of
+        # the others) or a strict majority of the FULL replica set
+        # agrees (tolerates value faults).  Disagreement without a
+        # majority is undecidable — deliver nothing.
+        majority = self.k // 2 + 1
+        if len(counts) > 1 and votes < majority:
+            self.rounds_tied += 1
+            self.sim.trace.record(
+                self.sim.now, TraceCategory.PORT_DROP, f"voter.{self.message}",
+                reason="no majority", replicas=len(replicas),
+            )
+            return
+        self.replicas_outvoted += sum(1 for _, p, _ in replicas if p != winner)
+        voted = next(inst for _, p, inst in replicas if p == winner)
+        # Deliver under the ORIGINAL name: consumers see one message.
+        out = voted.copy()
+        out.mtype = self.vn.namespace.lookup(self.message)
+        self.vn._local_deliver(self.message, out, self.voter_host)
+        binding = self.vn.consumers_of(self.message)
+        if binding is not None:
+            now = self.sim.now
+            for comp, port in binding.ports:
+                if comp != self.voter_host:
+                    self.vn._deliver_to_port(port, out.copy(), now)
+            for comp, cb in binding.taps:
+                if comp != self.voter_host:
+                    cb(self.message, out.copy(), now)
+        self.rounds_voted += 1
+        self.delivered += 1
+
+    def replica_names(self) -> list[str]:
+        return list(self._replica_names)

@@ -1,0 +1,301 @@
+"""Virtual network services: common routing, encoding, and attachment.
+
+A virtual network is "the encapsulated communication system of a DAS
+... realized as an overlay network on top of a time-triggered physical
+network" (Sec. II-A).  :class:`VirtualNetworkBase` implements what the
+TT and ET flavors share:
+
+* the **routing table** — for every message name, the single producer
+  binding and the consumer ports per component,
+* the **encode/decode** path between message instances and
+  :class:`~repro.core_network.frame.FrameChunk` payloads (the chunk's
+  ``vn`` tag is this DAS's name; the controller's per-VN delivery is
+  the visibility half of the encapsulation service),
+* **job attachment** — instantiating runtime ports from port specs and
+  wiring them to the component's controller,
+* **gateway attachment** — architecture-level taps (receive every
+  instance of a message without a partition in between) and producer
+  bindings for injected (imported) messages,
+* **local loopback** — instances reach consumer ports hosted on the
+  producing component directly through CNI memory, since a controller
+  never receives its own frames off the bus.
+
+Subclasses implement the transmit discipline: TT (a-priori instants,
+sender-pull sampling) in :mod:`repro.vn.tt_network`, ET (priority
+arbitration within reserved bandwidth) in :mod:`repro.vn.et_network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..core_network import Cluster, FrameChunk
+from ..errors import ConfigurationError, NamingError, PortError
+from ..messaging import MessageInstance, Namespace
+from ..sim import Simulator, TraceCategory
+from ..spec import Direction, PortSpec
+from .port import EventPort, Port, StatePort, make_port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platform.job import Job
+
+__all__ = ["ProducerBinding", "ConsumerBinding", "VirtualNetworkBase"]
+
+#: A tap callback: (message name, decoded instance, arrival time).
+TapCallback = Callable[[str, MessageInstance, int], None]
+
+
+@dataclass
+class ProducerBinding:
+    """Who produces a message, and how the dispatcher obtains instances."""
+
+    message: str
+    component: str
+    port: Port | None = None  # None for gateway/raw providers
+    provider: Callable[[], MessageInstance | None] | None = None
+    job_name: str = ""
+    priority: int = 100
+    seq: int = 0
+
+
+@dataclass
+class ConsumerBinding:
+    """Input ports of one message on one component, plus raw taps."""
+
+    message: str
+    ports: list[tuple[str, Port]] = field(default_factory=list)  # (component, port)
+    taps: list[tuple[str, TapCallback]] = field(default_factory=list)  # (component, cb)
+
+
+class VirtualNetworkBase:
+    """Shared machinery of TT and ET virtual networks."""
+
+    #: Set by subclasses ("time-triggered" / "event-triggered").
+    paradigm = "abstract"
+
+    def __init__(self, sim: Simulator, das: str, cluster: Cluster,
+                 namespace: Namespace | None = None) -> None:
+        self.sim = sim
+        self.das = das
+        self.cluster = cluster
+        self.namespace = namespace if namespace is not None else Namespace(das)
+        self._producers: dict[str, ProducerBinding] = {}
+        self._consumers: dict[str, ConsumerBinding] = {}
+        self._registered_components: set[str] = set()
+        self._started = False
+        self.chunks_sent = 0
+        self.bytes_sent = 0
+        self.instances_delivered = 0
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach_job(self, job: "Job", component: str, specs: tuple[PortSpec, ...]) -> dict[str, Port]:
+        """Create runtime ports for ``job`` on ``component`` and wire them."""
+        if job.das != self.das:
+            raise ConfigurationError(
+                f"job {job.name!r} of DAS {job.das!r} cannot attach to "
+                f"virtual network of DAS {self.das!r}"
+            )
+        ports: dict[str, Port] = {}
+        for spec in specs:
+            port = make_port(self.sim, spec)
+            job.bind_port(port)
+            if spec.direction is Direction.OUTPUT:
+                self._bind_producer(spec, component, port, job.name)
+            else:
+                self._bind_consumer(spec.name, component, port)
+            ports[spec.name] = port
+        self._ensure_component_registered(component)
+        return ports
+
+    def attach_gateway_producer(
+        self,
+        message: str,
+        component: str,
+        provider: Callable[[], MessageInstance | None] | None = None,
+        priority: int = 100,
+    ) -> ProducerBinding:
+        """Bind a gateway as the producer of an *imported* message."""
+        self._require_message(message)
+        if message in self._producers:
+            raise ConfigurationError(
+                f"message {message!r} already has a producer on VN {self.das!r}"
+            )
+        binding = ProducerBinding(
+            message=message, component=component, provider=provider,
+            job_name=f"gateway@{component}", priority=priority,
+        )
+        self._producers[message] = binding
+        self._ensure_component_registered(component)
+        return binding
+
+    def attach_gateway_consumer_port(
+        self, spec: PortSpec, component: str
+    ) -> Port:
+        """Give a gateway an input port (architecture level, no job)."""
+        port = make_port(self.sim, spec)
+        self._bind_consumer(spec.name, component, port)
+        self._ensure_component_registered(component)
+        return port
+
+    def tap(self, message: str, component: str, callback: TapCallback) -> None:
+        """Architecture-level reception of every instance of ``message``
+        observable at ``component`` — the hidden gateway's input path."""
+        self._require_message(message)
+        binding = self._consumers.setdefault(message, ConsumerBinding(message))
+        binding.taps.append((component, callback))
+        self._ensure_component_registered(component)
+
+    # ------------------------------------------------------------------
+    def _bind_producer(self, spec: PortSpec, component: str, port: Port, job_name: str) -> None:
+        self._require_message(spec.name)
+        if spec.name in self._producers:
+            raise ConfigurationError(
+                f"message {spec.name!r} already has producer "
+                f"{self._producers[spec.name].job_name!r} on VN {self.das!r}"
+            )
+        if isinstance(port, StatePort):
+            provider = lambda p=port: p.sample()[0]  # noqa: E731
+        else:
+            provider = lambda p=port: p.collect()  # type: ignore[union-attr]  # noqa: E731
+        self._producers[spec.name] = ProducerBinding(
+            message=spec.name, component=component, port=port,
+            provider=provider, job_name=job_name, priority=spec.priority,
+        )
+
+    def _bind_consumer(self, message: str, component: str, port: Port) -> None:
+        self._require_message(message)
+        binding = self._consumers.setdefault(message, ConsumerBinding(message))
+        binding.ports.append((component, port))
+
+    def _require_message(self, name: str) -> None:
+        if name not in self.namespace:
+            raise NamingError(
+                f"message {name!r} is not registered in the namespace of DAS {self.das!r}"
+            )
+
+    def _ensure_component_registered(self, component: str) -> None:
+        if component in self._registered_components:
+            return
+        ctrl = self.cluster.controller(component)
+        ctrl.register_receiver(self.das, lambda chunk, arrival, c=component: (
+            self._on_chunk(chunk, arrival, c)
+        ))
+        self._registered_components.add(component)
+
+    # ------------------------------------------------------------------
+    # transmit helpers (used by subclasses)
+    # ------------------------------------------------------------------
+    def _encode_chunk(self, message: str, instance: MessageInstance,
+                      sender_job: str) -> FrameChunk:
+        mtype = self.namespace.lookup(message)
+        instance.send_time = self.sim.now
+        data = mtype.encode(instance)
+        meta = {"send_time": self.sim.now, **instance.meta}
+        return FrameChunk(vn=self.das, message=message, data=data,
+                          sender_job=sender_job, meta=meta)
+
+    def _local_deliver(self, message: str, instance: MessageInstance,
+                       component: str) -> None:
+        """CNI-memory loopback to co-hosted consumers and taps."""
+        binding = self._consumers.get(message)
+        if binding is None:
+            return
+        now = self.sim.now
+        for comp, port in binding.ports:
+            if comp == component:
+                self._deliver_to_port(port, instance.copy(), now)
+        for comp, cb in binding.taps:
+            if comp == component:
+                cb(message, instance.copy(), now)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _on_chunk(self, chunk: FrameChunk, arrival: int, component: str) -> None:
+        try:
+            mtype = self.namespace.lookup(chunk.message)
+        except NamingError:
+            self.sim.trace.record(
+                arrival, TraceCategory.PORT_DROP, f"vn.{self.das}",
+                reason="unknown message", message=chunk.message,
+            )
+            return
+        try:
+            instance = mtype.decode(chunk.data)
+        except Exception:
+            self.sim.trace.record(
+                arrival, TraceCategory.PORT_DROP, f"vn.{self.das}",
+                reason="undecodable", message=chunk.message,
+            )
+            return
+        instance.send_time = chunk.meta.get("send_time")
+        instance.meta.update(chunk.meta)
+        binding = self._consumers.get(chunk.message)
+        if binding is None:
+            return
+        for comp, port in binding.ports:
+            if comp == component:
+                self._deliver_to_port(port, instance.copy(), arrival)
+        for comp, cb in binding.taps:
+            if comp == component:
+                cb(chunk.message, instance.copy(), arrival)
+
+    def _deliver_to_port(self, port: Port, instance: MessageInstance, arrival: int) -> None:
+        if isinstance(port, (StatePort, EventPort)):
+            port.deliver_from_network(instance, arrival)
+            self.instances_delivered += 1
+            self.sim.trace.record(
+                arrival, TraceCategory.PORT_RECV, port.name,
+                vn=self.das, owner=port._owner_label(),
+            )
+        else:  # pragma: no cover - make_port only builds the two kinds
+            raise PortError(f"cannot deliver to port {port!r}")
+
+    # ------------------------------------------------------------------
+    # introspection & checks
+    # ------------------------------------------------------------------
+    def producer_of(self, message: str) -> ProducerBinding | None:
+        return self._producers.get(message)
+
+    def consumers_of(self, message: str) -> ConsumerBinding | None:
+        return self._consumers.get(message)
+
+    def messages(self) -> list[str]:
+        return sorted(set(self._producers) | set(self._consumers))
+
+    def verify_reservations(self) -> list[str]:
+        """Encapsulation check: every producing component must hold a
+        reservation for this VN in at least one of its slots (otherwise
+        its chunks can never leave the node).  Returns problems."""
+        problems: list[str] = []
+        schedule = self.cluster.schedule
+        for binding in self._producers.values():
+            slots = schedule.slots_of(binding.component)
+            if not slots:
+                problems.append(f"{binding.component!r} owns no slot at all")
+                continue
+            if not any(s.reserved_for(self.das) > 0 or not s.reservations for s in slots):
+                problems.append(
+                    f"{binding.component!r} produces {binding.message!r} but has "
+                    f"no bandwidth reservation for VN {self.das!r}"
+                )
+        return problems
+
+    def start(self) -> None:
+        """Begin dispatching (subclass hook); idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self._on_start()
+
+    def _on_start(self) -> None:
+        """Subclass hook."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} das={self.das!r} messages={self.messages()} "
+            f"sent={self.chunks_sent}>"
+        )

@@ -1,0 +1,134 @@
+"""Shared assembly helpers for integration tests."""
+
+from __future__ import annotations
+
+from repro.core_network import Cluster, ClusterBuilder, NodeConfig
+from repro.messaging import (
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Namespace,
+    Semantics,
+    TimestampType,
+)
+from repro.platform import Component, Job
+from repro.sim import MS, Simulator
+from repro.spec import (
+    ControlParadigm,
+    Direction,
+    ETTiming,
+    InteractionType,
+    PortSpec,
+    TTTiming,
+)
+from repro.vn import ETVirtualNetwork, TTVirtualNetwork
+
+__all__ = [
+    "state_message",
+    "event_message",
+    "two_node_cluster",
+    "make_component",
+    "tt_out_spec",
+    "tt_in_spec",
+    "et_out_spec",
+    "et_in_spec",
+    "PeriodicWriter",
+    "Collector",
+]
+
+
+def state_message(name: str, msg_id: int = 1) -> MessageType:
+    """A state-semantics message with one convertible element."""
+    return MessageType(name, elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=msg_id),)),
+        ElementDef("Value", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("v", IntType(32)),)),
+    ))
+
+
+def event_message(name: str, msg_id: int = 2) -> MessageType:
+    """An event-semantics message with one convertible element."""
+    return MessageType(name, elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=msg_id),)),
+        ElementDef("Change", convertible=True, semantics=Semantics.EVENT,
+                   fields=(FieldDef("delta", IntType(16)),
+                           FieldDef("at", TimestampType(32)),)),
+    ))
+
+
+def two_node_cluster(sim: Simulator, vns: dict[str, int] | None = None,
+                     nodes: tuple[str, ...] = ("n0", "n1"), **kw) -> Cluster:
+    """Cluster where every node reserves the given bytes per VN."""
+    vns = vns or {"dasA": 40}
+    builder = ClusterBuilder(sim, **kw)
+    cap = sum(vns.values()) + 8
+    for n in nodes:
+        builder.add_node(NodeConfig(name=n, slot_capacity_bytes=cap,
+                                    reservations=dict(vns)))
+    cluster = builder.build()
+    cluster.start()
+    return cluster
+
+
+def make_component(sim: Simulator, cluster: Cluster, node: str,
+                   major_frame: int = 2 * MS) -> Component:
+    comp = Component(sim, node, cluster.controller(node), major_frame=major_frame)
+    comp.start()
+    return comp
+
+
+def tt_out_spec(mtype: MessageType, period: int = 10 * MS, phase: int = 0,
+                **kw) -> PortSpec:
+    return PortSpec(message_type=mtype, direction=Direction.OUTPUT,
+                    semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
+                    tt=TTTiming(period=period, phase=phase), **kw)
+
+
+def tt_in_spec(mtype: MessageType, period: int = 10 * MS, phase: int = 0,
+               interaction: InteractionType = InteractionType.PULL, **kw) -> PortSpec:
+    return PortSpec(message_type=mtype, direction=Direction.INPUT,
+                    semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
+                    tt=TTTiming(period=period, phase=phase), interaction=interaction, **kw)
+
+
+def et_out_spec(mtype: MessageType, priority: int = 100, **kw) -> PortSpec:
+    return PortSpec(message_type=mtype, direction=Direction.OUTPUT,
+                    semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+                    et=ETTiming(), queue_depth=64, priority=priority, **kw)
+
+
+def et_in_spec(mtype: MessageType, queue_depth: int = 64,
+               interaction: InteractionType = InteractionType.PULL, **kw) -> PortSpec:
+    return PortSpec(message_type=mtype, direction=Direction.INPUT,
+                    semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+                    et=ETTiming(), queue_depth=queue_depth, interaction=interaction, **kw)
+
+
+class PeriodicWriter(Job):
+    """Writes an incrementing value to a state output port every step."""
+
+    def __init__(self, sim, name, das, partition, port_name: str, mtype: MessageType):
+        super().__init__(sim, name, das, partition)
+        self.port_name = port_name
+        self.mtype = mtype
+        self.counter = 0
+
+    def on_step(self) -> None:
+        self.counter += 1
+        self.port(self.port_name).write(
+            self.mtype.instance(Value={"v": self.counter})
+        )
+
+
+class Collector(Job):
+    """Records every pushed message delivery."""
+
+    def __init__(self, sim, name, das, partition):
+        super().__init__(sim, name, das, partition)
+        self.received: list[tuple[int, str, object]] = []
+
+    def on_message(self, port_name, instance, arrival) -> None:
+        self.received.append((self.sim.now, port_name, instance))

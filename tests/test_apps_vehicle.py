@@ -1,0 +1,153 @@
+"""Unit tests for the vehicle model and signal conversions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Phase, VehicleModel, skid_trip, standard_trip
+from repro.apps.signals import (
+    cm,
+    from_cm,
+    from_mm_per_s,
+    from_mrad_per_s,
+    from_obs_time,
+    mm_per_s,
+    mrad_per_s,
+    obs_time,
+)
+from repro.errors import ConfigurationError
+from repro.sim import MS, SEC
+
+
+# ----------------------------------------------------------------------
+# fixed-point conversions
+# ----------------------------------------------------------------------
+def test_speed_roundtrip():
+    assert from_mm_per_s(mm_per_s(13.337)) == pytest.approx(13.337, abs=1e-3)
+    assert mm_per_s(-1.0) == 0  # clamped
+
+
+def test_yaw_roundtrip_signed():
+    assert from_mrad_per_s(mrad_per_s(-0.5)) == pytest.approx(-0.5, abs=1e-3)
+    assert mrad_per_s(100.0) == 2**15 - 1  # clamped
+
+
+def test_position_roundtrip():
+    assert from_cm(cm(-123.456)) == pytest.approx(-123.46, abs=1e-2)
+
+
+def test_obs_time_microsecond_wrap():
+    assert obs_time(1_500) == 1
+    assert from_obs_time(obs_time(5 * SEC)) == 5 * SEC
+    big = (2**32) * 1_000 + 7_000  # past the wrap
+    assert obs_time(big) == 7
+
+
+@given(st.floats(min_value=0, max_value=100, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_property_speed_conversion_monotone(v):
+    assert from_mm_per_s(mm_per_s(v)) == pytest.approx(v, abs=1e-3)
+
+
+# ----------------------------------------------------------------------
+# vehicle model
+# ----------------------------------------------------------------------
+def test_phase_validation():
+    with pytest.raises(ConfigurationError):
+        Phase(duration=0)
+    with pytest.raises(ConfigurationError):
+        Phase(duration=1, braking=1.5)
+    with pytest.raises(ConfigurationError):
+        VehicleModel([])
+
+
+def test_constant_speed_straight_line():
+    m = VehicleModel([Phase(duration=10 * SEC)], initial_speed=10.0)
+    s = m.state_at(5 * SEC)
+    assert s.speed == pytest.approx(10.0)
+    assert s.heading == pytest.approx(0.0)
+    assert s.x == pytest.approx(50.0, rel=1e-2)
+    assert s.y == pytest.approx(0.0, abs=1e-6)
+
+
+def test_acceleration_integrates():
+    m = VehicleModel([Phase(duration=10 * SEC, accel=2.0)])
+    assert m.state_at(5 * SEC).speed == pytest.approx(10.0, abs=0.1)
+    # x = 0.5 a t^2
+    assert m.state_at(10 * SEC).x == pytest.approx(100.0, rel=2e-2)
+
+
+def test_deceleration_clamps_at_zero():
+    m = VehicleModel([Phase(duration=10 * SEC, accel=-5.0)], initial_speed=10.0)
+    assert m.state_at(9 * SEC).speed == 0.0
+
+
+def test_turn_changes_heading_and_wheel_split():
+    m = VehicleModel([Phase(duration=10 * SEC, yaw_rate=0.1)], initial_speed=10.0)
+    s = m.state_at(5 * SEC)
+    assert s.heading == pytest.approx(0.5, abs=0.01)
+    assert s.wheel_fr > s.wheel_fl  # outer wheel faster in a left turn
+    assert s.yaw_rate == pytest.approx(0.1)
+
+
+def test_yaw_suppressed_when_stationary():
+    m = VehicleModel([Phase(duration=SEC, yaw_rate=0.5)], initial_speed=0.0)
+    assert m.state_at(SEC // 2).yaw_rate == 0.0
+
+
+def test_skid_locks_rear_wheels_and_spikes_yaw():
+    m = VehicleModel([
+        Phase(duration=5 * SEC),
+        Phase(duration=2 * SEC, skid=True, braking=1.0),
+    ], initial_speed=20.0)
+    normal = m.state_at(2 * SEC)
+    skidding = m.state_at(6 * SEC)
+    assert not normal.skidding and skidding.skidding
+    assert skidding.wheel_rl < skidding.wheel_fl * 0.5
+    assert abs(skidding.yaw_rate) > abs(normal.yaw_rate)
+    assert skidding.braking == 1.0
+
+
+def test_skid_onsets():
+    m = skid_trip()
+    onsets = m.skid_onsets()
+    assert len(onsets) == 1
+    assert onsets[0] == 15 * SEC
+
+
+def test_state_clamped_to_horizon():
+    m = VehicleModel([Phase(duration=SEC)], initial_speed=3.0)
+    end = m.state_at(10 * SEC)
+    assert end.t <= m.horizon
+
+
+def test_standard_trip_is_hazard_free():
+    m = standard_trip()
+    assert m.skid_onsets() == []
+    assert m.state_at(9 * SEC).speed > 10.0
+
+
+@given(t=st.integers(0, 25 * SEC))
+@settings(max_examples=50, deadline=None)
+def test_property_wheel_speeds_nonnegative_and_consistent(t):
+    m = skid_trip()
+    s = m.state_at(t)
+    for w in (s.wheel_fl, s.wheel_fr, s.wheel_rl, s.wheel_rr):
+        assert w >= 0.0
+    # Front wheels track vehicle speed within the turn split.
+    assert abs((s.wheel_fl + s.wheel_fr) / 2 - s.speed) < 1.0
+
+
+def test_position_continuous():
+    m = skid_trip()
+    prev = m.state_at(0)
+    for t in range(MS, 25 * SEC, 500 * MS):
+        cur = m.state_at(t)
+        dist = math.hypot(cur.x - prev.x, cur.y - prev.y)
+        dt = (cur.t - prev.t) / SEC
+        assert dist <= 40.0 * dt + 1.0  # bounded by max speed
+        prev = cur

@@ -1,0 +1,119 @@
+"""Unit tests for the guard/assignment expression language."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import EvalContext, parse_assignment, parse_expr
+from repro.errors import GuardParseError
+
+
+def ev(text: str, variables=None, functions=None):
+    ctx = EvalContext(variables or {}, functions=functions or {})
+    return parse_expr(text).evaluate(ctx)
+
+
+def test_constants_and_arithmetic():
+    assert ev("1 + 2 * 3") == 7
+    assert ev("(1 + 2) * 3") == 9
+    assert ev("10 - 4 - 3") == 3  # left associative
+    assert ev("8 / 2") == 4.0
+    assert ev("-5 + 2") == -3
+    assert ev("2.5 * 2") == 5.0
+
+
+def test_comparisons():
+    assert ev("3 < 4") is True
+    assert ev("4 <= 4") is True
+    assert ev("4 == 4") is True
+    assert ev("4 != 4") is False
+    assert ev("5 >= 6") is False
+    assert ev("7 > 6") is True
+
+
+def test_variables():
+    assert ev("x >= tmin", {"x": 10, "tmin": 5}) is True
+    assert ev("x + y * 2", {"x": 1, "y": 3}) == 7
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(GuardParseError):
+        ev("missing + 1")
+
+
+def test_bareword_fallback_passes_name():
+    ctx = EvalContext({}, functions={"horizon": lambda m: len(m)}, bareword_fallback=True)
+    assert parse_expr("horizon(msgRoof)").evaluate(ctx) == len("msgRoof")
+
+
+def test_function_calls():
+    fns = {"min2": lambda a, b: min(a, b), "zero": lambda: 0}
+    assert ev("min2(3, 5) + zero()", functions=fns) == 3
+
+
+def test_unknown_function_raises():
+    with pytest.raises(GuardParseError):
+        ev("ghost(1)")
+
+
+def test_nested_calls_and_parens():
+    fns = {"f": lambda a: a * 2}
+    assert ev("f(f(2) + 1)", functions=fns) == 10
+
+
+def test_parse_errors():
+    for bad in ("", "1 +", "x >", "(1", "1)", "@", "1 2"):
+        with pytest.raises(GuardParseError):
+            parse_expr(bad)
+
+
+def test_variables_collection():
+    e = parse_expr("x >= tmin + horizon(m)")
+    assert e.variables() == {"x", "tmin", "m"}
+
+
+def test_assignment_parse_and_eval():
+    target, expr = parse_assignment("x := 0")
+    assert target == "x"
+    assert expr.evaluate(EvalContext({})) == 0
+    target, expr = parse_assignment("StateValue=StateValue+ValueChange")
+    assert target == "StateValue"
+    assert expr.evaluate(EvalContext({"StateValue": 40, "ValueChange": 2})) == 42
+
+
+def test_assignment_rejects_non_assignments():
+    for bad in ("x", "x + 1", ":= 5", "x := ", "x := 1 2"):
+        with pytest.raises(GuardParseError):
+            parse_assignment(bad)
+
+
+def test_dotted_names_allowed():
+    assert ev("a.b + 1", {"a.b": 2}) == 3
+
+
+def test_str_roundtrip_representation():
+    e = parse_expr("x >= tmin + 2")
+    assert str(e) == "(x >= (tmin + 2))"
+
+
+@given(
+    a=st.integers(min_value=-1000, max_value=1000),
+    b=st.integers(min_value=-1000, max_value=1000),
+    c=st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_arithmetic_matches_python(a, b, c):
+    got = ev("a + b * c - (a - b)", {"a": a, "b": b, "c": c})
+    assert got == a + b * c - (a - b)
+
+
+@given(
+    x=st.integers(min_value=0, max_value=10**9),
+    t=st.integers(min_value=0, max_value=10**9),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_comparison_matches_python(x, t):
+    assert ev("x >= t", {"x": x, "t": t}) == (x >= t)
+    assert ev("x < t", {"x": x, "t": t}) == (x < t)

@@ -1,0 +1,352 @@
+"""Unit tests for timed automaton structure and runtime execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import (
+    ActionKind,
+    Assignment,
+    AutomatonBuilder,
+    AutomatonRuntime,
+    Guard,
+    PortAction,
+    SimpleEnvironment,
+    TimedAutomaton,
+    Transition,
+)
+from repro.errors import AutomatonError, TemporalViolationError
+
+MS = 1_000_000
+
+
+def reception_monitor(tmin=2 * MS, tmax=10 * MS, msg="msgSlidingRoof") -> TimedAutomaton:
+    """Fig. 6's msgSlidingRoofReception automaton, reconstructed.
+
+    Clock ``x`` measures the interarrival time of ``msg``:
+
+    * reception with ``x >= tmin`` is legal (-> stateActive, x := 0),
+    * reception with ``x < tmin`` is a too-early timing failure,
+    * ``x >= tmax`` without a reception is a late/omission failure,
+    * the forward (silent edge back to statePassive) completes service.
+    """
+    return (
+        AutomatonBuilder(f"{msg}Reception")
+        .parameter("tmin", tmin)
+        .parameter("tmax", tmax)
+        .location("statePassive", initial=True)
+        .location("stateActive")
+        .location("stateError", error=True)
+        .on_receive(msg, "statePassive", "stateActive", guard="x >= tmin", assign="x := 0")
+        .on_receive(msg, "statePassive", "stateError", guard="x < tmin")
+        .transition("stateActive", "statePassive", guard="x < tmax")
+        .transition("statePassive", "stateError", guard="x >= tmax")
+        .build()
+    )
+
+
+# ----------------------------------------------------------------------
+# structure & builder
+# ----------------------------------------------------------------------
+def test_builder_produces_valid_automaton():
+    auto = reception_monitor()
+    assert auto.initial == "statePassive"
+    assert auto.error == "stateError"
+    assert auto.receive_messages() == {"msgSlidingRoof"}
+    assert auto.send_messages() == set()
+    assert len(auto.outgoing("statePassive")) == 3
+
+
+def test_port_action_parse():
+    assert PortAction.parse("m!").kind is ActionKind.SEND
+    assert PortAction.parse("m?").kind is ActionKind.RECEIVE
+    assert PortAction.parse("").kind is ActionKind.SILENT
+    with pytest.raises(AutomatonError):
+        PortAction.parse("m")
+
+
+def test_guard_parse_with_no_message_marker():
+    g = Guard.parse("x < tmax, ~")
+    assert g.no_message is True
+    assert len(g.terms) == 1
+    assert Guard.parse("").is_trivial()
+
+
+def test_guard_parse_keeps_function_args_intact():
+    g = Guard.parse("horizon(m) > 5, x >= 2")
+    assert len(g.terms) == 2
+
+
+def test_assignment_parse_list():
+    asgns = Assignment.parse_list("x := 0; n := n + 1")
+    assert [a.target for a in asgns] == ["x", "n"]
+    assert Assignment.parse_list("") == ()
+
+
+def test_invalid_structures_rejected():
+    with pytest.raises(AutomatonError):
+        TimedAutomaton("a", ("s",), "missing", ())
+    with pytest.raises(AutomatonError):
+        TimedAutomaton("a", ("s", "s"), "s", ())
+    with pytest.raises(AutomatonError):
+        TimedAutomaton("a", ("s",), "s", (Transition("s", "ghost"),))
+    with pytest.raises(AutomatonError):
+        TimedAutomaton("a", ("s",), "s", (), error="ghost")
+    with pytest.raises(AutomatonError):
+        builder = AutomatonBuilder("a")
+        builder.location("s", initial=True)
+        builder.location("s")
+
+
+def test_cannot_assign_to_parameter_or_tnow():
+    with pytest.raises(AutomatonError):
+        (
+            AutomatonBuilder("a")
+            .parameter("tmin", 1)
+            .location("s", initial=True)
+            .transition("s", "s", assign="tmin := 2")
+            .build()
+        )
+    with pytest.raises(AutomatonError):
+        (
+            AutomatonBuilder("a")
+            .location("s", initial=True)
+            .transition("s", "s", assign="t_now := 2")
+            .build()
+        )
+
+
+def test_builder_requires_initial():
+    with pytest.raises(AutomatonError):
+        AutomatonBuilder("a").location("s").build()
+
+
+# ----------------------------------------------------------------------
+# runtime: receptions
+# ----------------------------------------------------------------------
+def test_legal_reception_sequence():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(), env)
+    env.time = 3 * MS  # x = 3ms >= tmin
+    assert rt.on_message("msgSlidingRoof") is True
+    assert rt.location == "stateActive"
+    env.time = 4 * MS
+    rt.poll()  # service completes: silent edge x < tmax
+    assert rt.location == "statePassive"
+    assert rt.error_count == 0
+
+
+def test_too_early_reception_detected():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(), env)
+    env.time = 1 * MS  # x = 1ms < tmin
+    assert rt.on_message("msgSlidingRoof") is False
+    assert rt.in_error
+    assert env.errors and env.errors[0][0] == 1 * MS
+
+
+def test_omission_detected_by_timeout_edge():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(), env)
+    env.time = 10 * MS  # x = 10ms >= tmax, no reception
+    rt.poll()
+    assert rt.in_error
+    assert rt.error_count == 1
+
+
+def test_next_wakeup_points_at_timeout():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(tmax=10 * MS), env)
+    env.time = 0
+    assert rt.next_wakeup() == 10 * MS
+    rt.poll()
+    assert env.poll_requests[-1] == 10 * MS
+
+
+def test_clock_reset_on_reception_moves_wakeup():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(tmax=10 * MS), env)
+    env.time = 3 * MS
+    rt.on_message("msgSlidingRoof")  # x := 0 at 3ms
+    env.time = 4 * MS
+    rt.poll()  # back to passive
+    assert rt.next_wakeup() == 13 * MS  # 3ms reset + 10ms tmax
+
+
+def test_unexpected_message_is_violation():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(), env)
+    env.time = 5 * MS
+    assert rt.on_message("msgGhost") is False
+    assert rt.in_error
+
+
+def test_messages_ignored_while_in_error_until_reset():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(), env)
+    env.time = 1 * MS
+    rt.on_message("msgSlidingRoof")  # too early -> error
+    env.time = 20 * MS
+    assert rt.on_message("msgSlidingRoof") is False  # halted
+    rt.reset()
+    assert rt.location == "statePassive"
+    env.time = 23 * MS  # x = 3ms after reset
+    assert rt.on_message("msgSlidingRoof") is True
+
+
+def test_violation_without_error_location_raises():
+    auto = (
+        AutomatonBuilder("strict")
+        .location("s", initial=True)
+        .on_receive("m", "s", "s", guard="x >= 10")
+        .build()
+    )
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(auto, env)
+    env.time = 5
+    with pytest.raises(TemporalViolationError):
+        rt.on_message("m")
+
+
+def test_nondeterministic_receptions_raise():
+    auto = (
+        AutomatonBuilder("nondet")
+        .location("s", initial=True)
+        .location("a")
+        .location("b")
+        .on_receive("m", "s", "a")
+        .on_receive("m", "s", "b")
+        .build()
+    )
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(auto, env)
+    with pytest.raises(AutomatonError):
+        rt.on_message("m")
+
+
+# ----------------------------------------------------------------------
+# runtime: sends and silent edges
+# ----------------------------------------------------------------------
+def test_send_edge_waits_for_repository_availability():
+    auto = (
+        AutomatonBuilder("sender")
+        .parameter("period", 5)
+        .location("idle", initial=True)
+        .on_send("msgOut", "idle", "idle", guard="x >= period", assign="x := 0")
+        .build()
+    )
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(auto, env)
+    env.time = 5
+    rt.poll()
+    assert env.sent == []  # elements unavailable -> edge not taken
+    env.sendable.add("msgOut")
+    rt.poll()
+    assert env.sent == [(5, "msgOut")]
+
+
+def test_periodic_send_self_loop_fires_once_per_period():
+    auto = (
+        AutomatonBuilder("sender")
+        .parameter("period", 5)
+        .location("idle", initial=True)
+        .on_send("msgOut", "idle", "idle", guard="x >= period", assign="x := 0")
+        .build()
+    )
+    env = SimpleEnvironment()
+    env.sendable.add("msgOut")
+    rt = AutomatonRuntime(auto, env)
+    env.time = 5
+    assert rt.poll() == 1
+    assert rt.poll() == 0  # x was reset; not yet due again
+    env.time = 10
+    assert rt.poll() == 1
+    assert env.sent == [(5, "msgOut"), (10, "msgOut")]
+
+
+def test_no_message_marker_blocks_edge_while_pending():
+    auto = (
+        AutomatonBuilder("drain")
+        .location("s", initial=True)
+        .location("quiet")
+        .transition("s", "quiet", guard="~")
+        .build()
+    )
+    env = SimpleEnvironment()
+    env.pending.add("m")
+    rt = AutomatonRuntime(auto, env)
+    rt.poll()
+    assert rt.location == "s"
+    env.pending.clear()
+    rt.poll()
+    assert rt.location == "quiet"
+
+
+def test_pure_self_loops_do_not_livelock():
+    auto = (
+        AutomatonBuilder("loop")
+        .location("s", initial=True)
+        .transition("s", "s", guard="x >= 0")  # pure self loop, skipped
+        .build()
+    )
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(auto, env)
+    assert rt.poll() == 0
+
+
+def test_livelocked_specification_detected():
+    auto = (
+        AutomatonBuilder("pingpong")
+        .location("a", initial=True)
+        .location("b")
+        .transition("a", "b")
+        .transition("b", "a")
+        .build()
+    )
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(auto, env)
+    with pytest.raises(AutomatonError):
+        rt.poll(max_steps=8)
+
+
+def test_clock_value_and_assignment_semantics():
+    auto = (
+        AutomatonBuilder("clocks", clocks=("x", "y"))
+        .location("s", initial=True)
+        .location("t")
+        .transition("s", "t", guard="x >= 5", assign="y := 3")
+        .build()
+    )
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(auto, env)
+    env.time = 7
+    rt.poll()
+    assert rt.location == "t"
+    assert rt.clock_value("y") == 3  # y was set to read 3 at time 7
+    env.time = 9
+    assert rt.clock_value("y") == 5
+    with pytest.raises(AutomatonError):
+        rt.clock_value("ghost")
+
+
+def test_state_variable_assignment_goes_to_environment():
+    auto = (
+        AutomatonBuilder("vars")
+        .location("s", initial=True)
+        .location("t")
+        .transition("s", "t", assign="count := count + 1")
+        .build()
+    )
+    env = SimpleEnvironment()
+    env.variables["count"] = 41
+    rt = AutomatonRuntime(auto, env)
+    rt.poll()
+    assert env.variables["count"] == 42
+
+
+def test_history_records_transitions():
+    env = SimpleEnvironment()
+    rt = AutomatonRuntime(reception_monitor(), env)
+    env.time = 3 * MS
+    rt.on_message("msgSlidingRoof")
+    assert rt.history == [(3 * MS, "statePassive", "stateActive")]

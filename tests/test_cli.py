@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_version(capsys):
+    assert main(["version"]) == 0
+    out = capsys.readouterr().out.strip()
+    from repro import __version__
+
+    assert out == __version__
+
+
+def test_inventory(capsys):
+    assert main(["inventory"]) == 0
+    out = capsys.readouterr().out
+    assert "federated" in out
+    assert "integrated + virtual gateways" in out
+
+
+def test_car_short_run(capsys):
+    assert main(["car", "--seconds", "2", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "ran the integrated car" in out
+    assert "gw-nav" in out
+
+
+def test_audit_clean(capsys):
+    assert main(["audit"]) == 0
+    out = capsys.readouterr().out
+    assert "CLEAN" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])

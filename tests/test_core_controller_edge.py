@@ -1,0 +1,148 @@
+"""Edge-case tests for the communication controller and Process base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core_network import ClusterBuilder, FrameChunk, NodeConfig
+from repro.errors import ConfigurationError
+from repro.sim import MS, EventPriority, Process, Simulator
+
+
+def make_cluster(sim, **kw):
+    b = ClusterBuilder(sim, **kw)
+    b.add_node(NodeConfig("n0", slot_capacity_bytes=32, reservations={"v": 20}))
+    b.add_node(NodeConfig("n1", slot_capacity_bytes=32, reservations={"v": 20}))
+    cluster = b.build()
+    cluster.start()
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# chunk sources
+# ----------------------------------------------------------------------
+def test_chunk_source_pulled_at_slot_time():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    ctrl = cluster.controller("n0")
+    pulls: list[tuple[int, int]] = []
+
+    def source(slot, budget):
+        pulls.append((sim.now, budget))
+        return [FrameChunk(vn="v", message="m", data=b"\x01")]
+
+    ctrl.register_chunk_source("v", source)
+    got = []
+    cluster.controller("n1").register_receiver("v", lambda c, t: got.append(c))
+    sim.run_until(3 * cluster.schedule.cycle_length)
+    assert len(pulls) >= 2
+    assert all(budget == 20 for _, budget in pulls)
+    assert got
+
+
+def test_chunk_source_duplicate_registration_rejected():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    ctrl = cluster.controller("n0")
+    ctrl.register_chunk_source("v", lambda s, b: [])
+    with pytest.raises(ConfigurationError):
+        ctrl.register_chunk_source("v", lambda s, b: [])
+
+
+def test_chunk_source_over_budget_rejected():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    ctrl = cluster.controller("n0")
+    ctrl.register_chunk_source("v", lambda s, b: [
+        FrameChunk(vn="v", message="m", data=bytes(100))
+    ])
+    with pytest.raises(ConfigurationError):
+        sim.run_until(2 * cluster.schedule.cycle_length)
+
+
+# ----------------------------------------------------------------------
+# timing-fault hooks at the physical level
+# ----------------------------------------------------------------------
+def test_send_offset_within_margin_tolerated():
+    sim = Simulator()
+    cluster = make_cluster(sim, guardian_margin=5_000)
+    ctrl = cluster.controller("n0")
+    ctrl.send_offset = -3_000  # 3 us early: inside the guardian margin
+    sim.run_until(5 * cluster.schedule.cycle_length)
+    assert cluster.guardian.blocked_by_sender.get("n0", 0) == 0
+
+
+def test_large_send_offset_blocked_by_guardian():
+    sim = Simulator()
+    cluster = make_cluster(sim, guardian_margin=5_000)
+    ctrl = cluster.controller("n0")
+    ctrl.send_offset = 40_000  # past its own slot, into n1's window
+    sim.run_until(5 * cluster.schedule.cycle_length)
+    assert cluster.guardian.blocked_by_sender.get("n0", 0) >= 4
+    # The faulty node is eventually dropped from membership by peers.
+    assert cluster.controller("n1").membership.is_alive("n0") is False
+
+
+def test_local_now_tracks_clock():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    ctrl = cluster.controller("n0")
+    sim.run_until(5 * MS)
+    assert ctrl.local_now() == ctrl.clock.local_time(sim.now)
+
+
+# ----------------------------------------------------------------------
+# Process lifecycle
+# ----------------------------------------------------------------------
+def test_process_stop_cancels_pending_events():
+    sim = Simulator()
+    fired = []
+
+    class P(Process):
+        def on_start(self):
+            self.call_after(10, lambda: fired.append("a"))
+            self.call_every(5, lambda: fired.append("tick"))
+
+    p = P(sim, "p")
+    p.start()
+    sim.run_until(6)
+    p.stop()
+    sim.run_until(100)
+    assert fired == ["tick", "tick"]  # t=0 and t=5 only
+
+
+def test_process_start_idempotent_and_guarded_callbacks():
+    sim = Simulator()
+    calls = []
+
+    class P(Process):
+        def on_start(self):
+            calls.append("start")
+
+    p = P(sim, "p")
+    p.start()
+    p.start()
+    assert calls == ["start"]
+    p.stop()
+    p.stop()  # idempotent
+    assert not p.active
+
+
+def test_process_trace_attribution():
+    sim = Simulator()
+
+    class P(Process):
+        pass
+
+    p = P(sim, "myproc")
+    p.start()
+    p.trace("app", detail=1)
+    rec = sim.trace.records(category="app")[0]
+    assert rec.source == "myproc"
+    assert rec["detail"] == 1
+
+
+def test_event_priority_bands_are_ordered():
+    assert (EventPriority.NETWORK < EventPriority.CONTROLLER
+            < EventPriority.SERVICE < EventPriority.APPLICATION
+            < EventPriority.PROBE)

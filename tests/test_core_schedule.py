@@ -1,0 +1,206 @@
+"""Unit tests for frames and the TDMA schedule."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core_network import (
+    CHUNK_HEADER_BYTES,
+    FRAME_HEADER_BYTES,
+    FrameChunk,
+    FrameKind,
+    PhysicalFrame,
+    ScheduleBuilder,
+    Slot,
+    TDMASchedule,
+)
+from repro.errors import ConfigurationError, SchedulingError
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+def test_chunk_and_frame_sizes():
+    c1 = FrameChunk(vn="abs", message="m1", data=b"\x01\x02")
+    c2 = FrameChunk(vn="comfort", message="m2", data=b"\x03")
+    f = PhysicalFrame(sender="n1", slot_id=0, cycle=0, chunks=(c1, c2))
+    assert c1.size_bytes() == CHUNK_HEADER_BYTES + 2
+    assert f.size_bytes() == FRAME_HEADER_BYTES + c1.size_bytes() + c2.size_bytes()
+
+
+def test_chunks_for_vn_filters():
+    c1 = FrameChunk(vn="abs", message="m1", data=b"")
+    c2 = FrameChunk(vn="comfort", message="m2", data=b"")
+    f = PhysicalFrame(sender="n", slot_id=0, cycle=0, chunks=(c1, c2))
+    assert f.chunks_for_vn("abs") == (c1,)
+    assert f.chunks_for_vn("ghost") == ()
+
+
+def test_corrupted_copy_flips_bits():
+    c = FrameChunk(vn="v", message="m", data=b"\x00\xff")
+    cc = c.corrupted_copy()
+    assert cc.data == b"\xff\x00"
+    assert cc.meta["corrupted"] is True
+    assert c.data == b"\x00\xff"  # original untouched
+
+
+def test_sync_frame_cannot_carry_chunks():
+    f = PhysicalFrame(sender="n", slot_id=0, cycle=0, kind=FrameKind.SYNC)
+    with pytest.raises(ConfigurationError):
+        f.with_chunks((FrameChunk(vn="v", message="m", data=b""),))
+
+
+# ----------------------------------------------------------------------
+# schedule validation
+# ----------------------------------------------------------------------
+def make_schedule() -> TDMASchedule:
+    return TDMASchedule(
+        slots=(
+            Slot(0, "a", offset=10, duration=100, capacity_bytes=64),
+            Slot(1, "b", offset=120, duration=100, capacity_bytes=64),
+            Slot(2, "a", offset=230, duration=50, capacity_bytes=32),
+        ),
+        cycle_length=300,
+    )
+
+
+def test_schedule_basic_queries():
+    s = make_schedule()
+    assert s.senders() == ["a", "b"]
+    assert len(s.slots_of("a")) == 2
+    assert s.slot(1).sender == "b"
+    with pytest.raises(SchedulingError):
+        s.slot(99)
+
+
+def test_schedule_rejects_overlap_and_overflow():
+    with pytest.raises(SchedulingError):
+        TDMASchedule(
+            slots=(
+                Slot(0, "a", offset=0, duration=100, capacity_bytes=1),
+                Slot(1, "b", offset=50, duration=100, capacity_bytes=1),
+            ),
+            cycle_length=300,
+        )
+    with pytest.raises(SchedulingError):
+        TDMASchedule(
+            slots=(Slot(0, "a", offset=0, duration=400, capacity_bytes=1),),
+            cycle_length=300,
+        )
+    with pytest.raises(SchedulingError):
+        TDMASchedule(slots=(), cycle_length=100)
+
+
+def test_cycle_arithmetic():
+    s = make_schedule()
+    assert s.cycle_of(0) == 0
+    assert s.cycle_of(299) == 0
+    assert s.cycle_of(300) == 1
+    assert s.cycle_start(2) == 600
+    assert s.slot_window(1, s.slot(0)) == (310, 410)
+
+
+def test_slot_at():
+    s = make_schedule()
+    assert s.slot_at(15).slot_id == 0
+    assert s.slot_at(315).slot_id == 0  # second cycle
+    assert s.slot_at(5) is None  # gap
+    assert s.slot_at(125).slot_id == 1
+
+
+def test_in_slot_of_with_margin():
+    s = make_schedule()
+    assert s.in_slot_of("a", 15)
+    assert not s.in_slot_of("b", 15)
+    assert not s.in_slot_of("a", 112)
+    assert s.in_slot_of("a", 112, margin=5)
+    # widened window wrapping the cycle boundary
+    assert s.in_slot_of("a", 299, margin=20)  # slot2 ends at 280; 280+20 wraps
+
+
+def test_next_slot_start():
+    s = make_schedule()
+    t, slot = s.next_slot_start("b", 0)
+    assert (t, slot.slot_id) == (120, 1)
+    t, slot = s.next_slot_start("b", 121)
+    assert t == 420  # next cycle
+    t, slot = s.next_slot_start("a", 250)
+    assert t == 310
+    with pytest.raises(SchedulingError):
+        s.next_slot_start("ghost", 0)
+
+
+def test_utilization():
+    s = make_schedule()
+    assert s.utilization() == pytest.approx(250 / 300)
+
+
+# ----------------------------------------------------------------------
+# builder
+# ----------------------------------------------------------------------
+def test_builder_layout_and_capacity():
+    b = ScheduleBuilder(bandwidth_bps=8_000_000, inter_slot_gap=1_000)  # 1 byte/us
+    b.add_slot("a", 64).add_slot("b", 32)
+    s = b.build()
+    assert s.slots[0].offset == 1_000
+    # Window covers payload capacity + the 8-byte frame header.
+    assert s.slots[0].duration == (64 + FRAME_HEADER_BYTES) * 1_000
+    assert s.slots[1].offset == 1_000 + s.slots[0].duration + 1_000
+    assert s.cycle_length == s.slots[1].end_offset() + 1_000
+
+
+def test_builder_reservations():
+    b = ScheduleBuilder()
+    b.add_slot("a", 64, reservations={"abs": 32, "comfort": 16})
+    s = b.build()
+    assert s.slots[0].reserved_for("abs") == 32
+    assert s.slots[0].reserved_for("ghost") == 0
+    with pytest.raises(SchedulingError):
+        ScheduleBuilder().add_slot("a", 10, reservations={"x": 20})
+
+
+def test_builder_validation():
+    with pytest.raises(SchedulingError):
+        ScheduleBuilder(bandwidth_bps=0)
+    with pytest.raises(SchedulingError):
+        ScheduleBuilder(inter_slot_gap=-1)
+    with pytest.raises(SchedulingError):
+        ScheduleBuilder().add_slot("a", 0)
+    with pytest.raises(SchedulingError):
+        ScheduleBuilder().build()
+
+
+def test_builder_sync_window_extends_cycle():
+    b = ScheduleBuilder(inter_slot_gap=100)
+    b.add_slot("a", 8)
+    plain = b.build().cycle_length
+    b2 = ScheduleBuilder(inter_slot_gap=100)
+    b2.add_slot("a", 8)
+    assert b2.build(sync_window=5_000).cycle_length == plain + 5_000
+
+
+@given(
+    caps=st.lists(st.integers(1, 256), min_size=1, max_size=8),
+    gap=st.integers(0, 10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_builder_slots_never_overlap(caps, gap):
+    b = ScheduleBuilder(inter_slot_gap=gap)
+    for i, cap in enumerate(caps):
+        b.add_slot(f"n{i}", cap)
+    s = b.build()
+    for prev, nxt in zip(s.slots, s.slots[1:]):
+        assert prev.end_offset() + gap <= nxt.offset + gap  # ordered
+        assert prev.end_offset() <= nxt.offset
+    assert s.slots[-1].end_offset() <= s.cycle_length
+
+
+@given(t=st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_property_slot_at_consistent_with_in_slot_of(t):
+    s = make_schedule()
+    slot = s.slot_at(t)
+    if slot is not None:
+        assert s.in_slot_of(slot.sender, t)

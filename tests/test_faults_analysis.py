@@ -1,0 +1,258 @@
+"""Unit tests for fault injection and the analysis toolkit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BandwidthProbe,
+    CountProbe,
+    Series,
+    SampleStats,
+    Table,
+    jitter,
+    percentile,
+    summarize,
+)
+from repro.core_network import ClusterBuilder
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    BabblingIdiot,
+    ComponentCrash,
+    ComponentTransient,
+    FaultInjector,
+    JobCrash,
+    OmissionFault,
+    SendDelayFault,
+    ValueCorruption,
+    fit_to_mean_interarrival_ns,
+)
+from repro.platform import Component, Job
+from repro.sim import MS, SEC, Simulator, TraceCategory
+
+
+def make_cluster(sim, guardian=True):
+    b = ClusterBuilder(sim, guardian_enabled=guardian)
+    for n in ("n0", "n1", "n2"):
+        b.add_node(n)
+    cluster = b.build()
+    cluster.start()
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# fault models
+# ----------------------------------------------------------------------
+def test_component_crash_and_transient():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    comp = Component(sim, "n0", cluster.controller("n0"))
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+    job = Job(sim, "j", "d", part)
+    comp.start()
+    inj = FaultInjector(sim)
+    inj.inject_at(ComponentCrash(name="crash", component=comp), at=5 * MS)
+    sim.run_until(10 * MS)
+    assert comp.crashed and not job.active
+    assert sim.trace.count(TraceCategory.FAULT_INJECT) == 1
+
+    sim2 = Simulator()
+    cluster2 = make_cluster(sim2)
+    comp2 = Component(sim2, "n0", cluster2.controller("n0"))
+    FaultInjector(sim2).inject_at(
+        ComponentTransient(name="blip", component=comp2), at=2 * MS, until=6 * MS
+    )
+    sim2.run_until(4 * MS)
+    assert comp2.crashed
+    sim2.run_until(8 * MS)
+    assert not comp2.crashed
+    assert sim2.trace.count(TraceCategory.FAULT_CLEAR) == 1
+
+
+def test_babbling_idiot_blocked_by_guardian():
+    sim = Simulator()
+    cluster = make_cluster(sim, guardian=True)
+    fault = BabblingIdiot(name="babble", controller=cluster.controller("n0"),
+                          burst_period=20_000)
+    FaultInjector(sim).inject_at(fault, at=MS, until=3 * MS)
+    sim.run_until(5 * MS)
+    assert fault.transmissions_attempted > 50
+    assert cluster.guardian.blocked_count > 0
+    # Containment, not total silence: a babble admitted inside n0's own
+    # (margin-widened) slot may collide with n0's own frame, but frames
+    # of OTHER components are never corrupted.
+    corrupt_drops = [
+        r for r in sim.trace.records(TraceCategory.FRAME_RX)
+        if r.get("dropped") == "corrupt"
+    ]
+    assert all(r["sender"] == "n0" for r in corrupt_drops)
+
+
+def test_babbling_idiot_collides_without_guardian():
+    sim = Simulator()
+    cluster = make_cluster(sim, guardian=False)
+    fault = BabblingIdiot(name="babble", controller=cluster.controller("n0"),
+                          burst_period=5_000)
+    FaultInjector(sim).inject_at(fault, at=MS, until=3 * MS)
+    sim.run_until(5 * MS)
+    assert cluster.bus.collisions > 0
+
+
+def test_omission_and_send_delay():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    ctrl = cluster.controller("n1")
+    inj = FaultInjector(sim)
+    inj.inject_at(OmissionFault(name="omit", controller=ctrl, cycles=3), at=0)
+    delay = SendDelayFault(name="late", controller=ctrl, offset=7_000)
+    inj.inject_at(delay, at=MS, until=2 * MS)
+    sim.run_until(3 * MS)
+    assert ctrl.send_offset == 0  # reverted
+
+
+def test_value_corruption_probabilistic():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    ctrl = cluster.controller("n0")
+    fault = ValueCorruption(name="seu", controller=ctrl, probability=1.0)
+    FaultInjector(sim).inject_at(fault, at=0)
+    from repro.core_network import FrameChunk
+
+    got = []
+    cluster.controller("n1").register_receiver("v", lambda c, t: got.append(c))
+    ctrl.enqueue_chunk(FrameChunk(vn="v", message="m", data=b"\x00"))
+    sim.run_until(2 * cluster.schedule.cycle_length)
+    assert got and got[0].data == b"\xff"
+    assert fault.corrupted == 1
+
+
+def test_job_crash_fault():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    comp = Component(sim, "n0", cluster.controller("n0"))
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+    job = Job(sim, "j", "d", part)
+    FaultInjector(sim).inject_at(JobCrash(name="jc", job=job), at=MS, until=2 * MS)
+    sim.run_until(1500 * 1000)
+    assert not job.active
+    sim.run_until(3 * MS)
+    assert job.active
+
+
+def test_fault_validation_errors():
+    sim = Simulator()
+    inj = FaultInjector(sim)
+    with pytest.raises(FaultInjectionError):
+        inj.inject_at(ComponentCrash(name="x"), at=5, until=5)
+    inj.inject_at(ComponentCrash(name="x"), at=5)
+    with pytest.raises(FaultInjectionError):
+        sim.run()  # activation without component raises
+
+
+def test_fit_conversion_and_poisson_campaign():
+    # 100 FIT = 1e7 hours between failures.
+    mean = fit_to_mean_interarrival_ns(100.0)
+    assert mean == pytest.approx(1e7 * 3600 * SEC)
+    with pytest.raises(FaultInjectionError):
+        fit_to_mean_interarrival_ns(0)
+    with pytest.raises(FaultInjectionError):
+        fit_to_mean_interarrival_ns(100, acceleration=0)
+
+    sim = Simulator(seed=3)
+    cluster = make_cluster(sim)
+    comp = Component(sim, "n0", cluster.controller("n0"))
+    inj = FaultInjector(sim)
+    # Accelerate 100 FIT so the mean interarrival is ~36 ms.
+    n = inj.inject_poisson(
+        lambda k: ComponentTransient(name=f"t{k}", component=comp),
+        fit=100.0, acceleration=1e12, horizon=200 * MS, duration=MS,
+    )
+    assert n >= 1
+    sim.run_until(200 * MS)
+    assert inj.activations == n
+
+
+# ----------------------------------------------------------------------
+# analysis
+# ----------------------------------------------------------------------
+def test_summarize_and_percentiles():
+    s = summarize(range(1, 101))
+    assert s.count == 100
+    assert s.minimum == 1 and s.maximum == 100
+    assert s.mean == pytest.approx(50.5)
+    assert s.p50 == pytest.approx(50.5)
+    assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+    assert percentile([], 50) == 0.0
+    assert summarize([]).count == 0
+    assert "no samples" in summarize([]).describe()
+    assert "n=100" in s.describe()
+
+
+def test_jitter():
+    assert jitter([]) == 0
+    assert jitter([5]) == 0
+    assert jitter([5, 9, 7]) == 4
+
+
+def test_table_render():
+    t = Table("demo", ["name", "value", "ok"])
+    t.add_row("alpha", 12345, True)
+    t.add_row("beta", 2.5, False)
+    text = t.render()
+    assert "demo" in text
+    assert "12,345" in text
+    assert "yes" in text and "no" in text
+    with pytest.raises(ValueError):
+        t.add_row("too", "few")
+
+
+def test_series_render():
+    s = Series("sweep", "load", "latency")
+    s.add("gateway", 1, 10)
+    s.add("gateway", 2, 20)
+    s.add("bridge", 1, 30)
+    text = s.render()
+    assert "gateway" in text and "bridge" in text and "(2, 20)" in text
+
+
+def test_bandwidth_and_count_probes():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    bw = BandwidthProbe(sim)
+    cp = CountProbe(sim, TraceCategory.FRAME_TX)
+    sim.run_until(3 * cluster.schedule.cycle_length)
+    assert bw.total_bytes() > 0
+    assert set(bw.bytes_by_source) == {"n0", "n1", "n2"}
+    assert cp.count == bw.frames
+    bw.close()
+    cp.close()
+    before = cp.count
+    sim.run_until(5 * cluster.schedule.cycle_length)
+    assert cp.count == before  # unsubscribed
+
+
+def test_trace_export_jsonl_and_csv(tmp_path):
+    import json
+
+    from repro.analysis import to_jsonl, write_csv, write_jsonl
+
+    sim = Simulator()
+    sim.trace.record(1, "x", "a", v=1, obj=object())
+    sim.trace.record(2, "y", "b", w=[1, 2])
+    text = to_jsonl(sim.trace.records())
+    lines = [json.loads(line) for line in text.splitlines()]
+    assert lines[0]["time"] == 1 and lines[0]["v"] == 1
+    assert isinstance(lines[0]["obj"], str)  # non-native stringified
+    assert lines[1]["w"] == [1, 2]
+
+    jl = tmp_path / "trace.jsonl"
+    n = write_jsonl(sim.trace, jl, category="x")
+    assert n == 1
+    assert json.loads(jl.read_text())["category"] == "x"
+
+    cv = tmp_path / "trace.csv"
+    n = write_csv(sim.trace, cv)
+    assert n == 2
+    header = cv.read_text().splitlines()[0]
+    assert header.startswith("time,category,source")
+    assert "v" in header and "w" in header

@@ -1,0 +1,218 @@
+"""Bidirectional gateways and reverse (state->event) conversion.
+
+Sec. III: "a virtual gateway interconnects two virtual networks ... by
+forwarding information contained in the messages received at the input
+ports of one virtual network onto the output ports towards the other
+virtual network (and vice versa in case of a bidirectional gateway)."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messaging import (
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Semantics,
+)
+from repro.platform import Job
+from repro.sim import MS, SEC, Simulator
+from repro.spec import ControlParadigm, Direction, InteractionType, LinkSpec, PortSpec
+from repro.spec.transfer import DerivedElement, DerivedField, TransferSemantics
+from repro.systems import GatewayDecl, SystemBuilder
+
+
+def temp_state_type(name: str, nid: int) -> MessageType:
+    return MessageType(name, elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=nid),)),
+        ElementDef("Climate", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("target", IntType(16)),)),
+    ))
+
+
+def knob_state_type(name: str, nid: int) -> MessageType:
+    """Distinct element name: convertible elements are identified BY
+    NAME in the shared repository, so the knob must not reuse
+    'Climate' or its stores would feed the other rule's element."""
+    return MessageType(name, elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=nid),)),
+        ElementDef("Knob", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("target", IntType(16)),)),
+    ))
+
+
+def setpoint_event_type(name: str, nid: int) -> MessageType:
+    return MessageType(name, elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=nid),)),
+        ElementDef("SetpointDelta", convertible=True, semantics=Semantics.EVENT,
+                   fields=(FieldDef("change", IntType(16)),)),
+    ))
+
+
+class Sender(Job):
+    def __init__(self, sim, name, das, partition):
+        super().__init__(sim, name, das, partition)
+        self.vn = None
+        self.plan: list[tuple[int, str, MessageType, dict]] = []
+
+    def on_step(self):
+        while self.plan and self.plan[0][0] <= self.sim.now:
+            _, msg, mtype, values = self.plan.pop(0)
+            self.vn.send(msg, mtype.instance(values), sender_job=self.name)
+
+
+class Sink(Job):
+    def __init__(self, sim, name, das, partition):
+        super().__init__(sim, name, das, partition)
+        self.got: list[tuple[int, str, object]] = []
+
+    def on_message(self, port_name, instance, arrival):
+        self.got.append((self.sim.now, port_name, instance))
+
+
+def test_bidirectional_rules_share_one_repository():
+    """Two rules in opposite directions through one gateway: climate
+    state flows A->B while setpoint events flow B->A, with the reverse
+    rule's conversion (state -> event via prev())."""
+    builder = SystemBuilder(seed=3)
+    builder.add_node("ecu-a").add_node("gw-ecu").add_node("ecu-b")
+    builder.add_das("hvac", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("ui", ControlParadigm.EVENT_TRIGGERED)
+
+    hvac_state = temp_state_type("msgCabinClimate", 1)
+    ui_state = temp_state_type("msgClimateView", 2)
+    ui_knob = knob_state_type("msgKnobPosition", 3)  # absolute knob state
+    hvac_cmd = setpoint_event_type("msgSetpointDelta", 4)
+
+    builder.add_job("hvac-ctrl", "hvac", "ecu-a",
+                    lambda sim, n, d, p: Sender(sim, n, d, p),
+                    ports=(PortSpec(message_type=hvac_state,
+                                    direction=Direction.OUTPUT,
+                                    semantics=Semantics.STATE,
+                                    control=ControlParadigm.EVENT_TRIGGERED),))
+    builder.add_job("hvac-sink", "hvac", "ecu-a",
+                    lambda sim, n, d, p: Sink(sim, n, d, p),
+                    ports=(PortSpec(message_type=hvac_cmd,
+                                    direction=Direction.INPUT,
+                                    semantics=Semantics.EVENT,
+                                    control=ControlParadigm.EVENT_TRIGGERED,
+                                    interaction=InteractionType.PUSH,
+                                    queue_depth=16),))
+    builder.add_job("ui-knob", "ui", "ecu-b",
+                    lambda sim, n, d, p: Sender(sim, n, d, p),
+                    ports=(PortSpec(message_type=ui_knob,
+                                    direction=Direction.OUTPUT,
+                                    semantics=Semantics.STATE,
+                                    control=ControlParadigm.EVENT_TRIGGERED),))
+    builder.add_job("ui-view", "ui", "ecu-b",
+                    lambda sim, n, d, p: Sink(sim, n, d, p),
+                    ports=(PortSpec(message_type=ui_state,
+                                    direction=Direction.INPUT,
+                                    semantics=Semantics.STATE,
+                                    control=ControlParadigm.EVENT_TRIGGERED,
+                                    interaction=InteractionType.PUSH),))
+
+    # Reverse conversion on the hvac side: knob state -> setpoint deltas.
+    hvac_transfer = TransferSemantics(elements=(DerivedElement(
+        name="SetpointDelta", source_element="Knob",
+        fields=(DerivedField.parse(
+            "change", "change=target-prev(target)",
+            semantics=Semantics.EVENT, init=0),),
+    ),))
+
+    builder.add_gateway(GatewayDecl(
+        name="hvac-ui", host="gw-ecu", das_a="hvac", das_b="ui",
+        link_a=LinkSpec(das="hvac", transfer=hvac_transfer, ports=(
+            PortSpec(message_type=hvac_state, direction=Direction.INPUT,
+                     semantics=Semantics.STATE,
+                     control=ControlParadigm.EVENT_TRIGGERED,
+                     temporal_accuracy=SEC),
+            PortSpec(message_type=hvac_cmd, direction=Direction.OUTPUT,
+                     semantics=Semantics.EVENT,
+                     control=ControlParadigm.EVENT_TRIGGERED, queue_depth=16),
+        )),
+        link_b=LinkSpec(das="ui", ports=(
+            PortSpec(message_type=ui_state, direction=Direction.OUTPUT,
+                     semantics=Semantics.STATE,
+                     control=ControlParadigm.EVENT_TRIGGERED,
+                     temporal_accuracy=SEC),
+            PortSpec(message_type=ui_knob, direction=Direction.INPUT,
+                     semantics=Semantics.STATE,
+                     control=ControlParadigm.EVENT_TRIGGERED,
+                     temporal_accuracy=SEC),
+        )),
+        rules=[
+            ("msgCabinClimate", "msgClimateView", "a_to_b", None),
+            ("msgKnobPosition", "msgSetpointDelta", "b_to_a", None),
+        ],
+    ))
+
+    system = builder.build()
+    system.start()
+    hvac_ctrl = system.job("hvac-ctrl")
+    hvac_ctrl.vn = system.vn("hvac")
+    hvac_ctrl.plan = [
+        (10 * MS, "msgCabinClimate", hvac_state, {"Climate": {"target": 21}}),
+        (60 * MS, "msgCabinClimate", hvac_state, {"Climate": {"target": 23}}),
+    ]
+    knob = system.job("ui-knob")
+    knob.vn = system.vn("ui")
+    knob.plan = [
+        (20 * MS, "msgKnobPosition", ui_knob, {"Knob": {"target": 21}}),
+        (40 * MS, "msgKnobPosition", ui_knob, {"Knob": {"target": 24}}),
+        (80 * MS, "msgKnobPosition", ui_knob, {"Knob": {"target": 22}}),
+    ]
+    system.run_for(300 * MS)
+
+    # A -> B: ui sees the climate state under ITS name.
+    view = system.job("ui-view")
+    seen_targets = [inst.get("Climate", "target") for _, p, inst in view.got
+                    if p == "msgClimateView"]
+    assert 21 in seen_targets and 23 in seen_targets
+
+    # B -> A: hvac receives EVENT deltas derived from knob STATE.
+    sink = system.job("hvac-sink")
+    deltas = [inst.get("SetpointDelta", "change") for _, p, inst in sink.got
+              if p == "msgSetpointDelta"]
+    assert deltas == [21, 3, -2]  # 0->21, 21->24, 24->22
+
+    gw = system.gateway("hvac-ui")
+    assert gw.instances_received == 5
+    assert len(gw.rules) == 2
+    assert gw.name_mapping.to_b("msgCabinClimate") == "msgClimateView"
+    # The mapping's A-side is always the hvac namespace, so the reverse
+    # rule binds (msgSetpointDelta @ hvac) <-> (msgKnobPosition @ ui).
+    assert gw.name_mapping.to_a("msgKnobPosition") == "msgSetpointDelta"
+
+
+def test_same_message_cannot_have_two_producers_via_rules():
+    """Two rules must not both produce the same destination message."""
+    builder = SystemBuilder()
+    builder.add_node("a").add_node("b")
+    builder.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("y", ControlParadigm.EVENT_TRIGGERED)
+    t1, t2 = temp_state_type("m1", 1), temp_state_type("m2", 2)
+    dst = temp_state_type("mDst", 3)
+    link_x = LinkSpec(das="x", ports=(
+        PortSpec(message_type=t1, direction=Direction.INPUT,
+                 semantics=Semantics.STATE),
+        PortSpec(message_type=t2, direction=Direction.INPUT,
+                 semantics=Semantics.STATE),
+    ))
+    link_y = LinkSpec(das="y", ports=(
+        PortSpec(message_type=dst, direction=Direction.OUTPUT,
+                 semantics=Semantics.STATE),
+    ))
+    builder.add_gateway(GatewayDecl(
+        name="g", host="a", das_a="x", das_b="y",
+        link_a=link_x, link_b=link_y,
+        rules=[("m1", "mDst", "a_to_b", None), ("m2", "mDst", "a_to_b", None)],
+    ))
+    system = builder.build()
+    with pytest.raises(Exception):
+        system.start()

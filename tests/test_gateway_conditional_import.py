@@ -1,0 +1,106 @@
+"""Conditional (b_req-driven) import across the gateway (Sec. IV-A)."""
+
+from __future__ import annotations
+
+from repro.messaging import (
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Namespace,
+    Semantics,
+)
+from repro.core_network import ClusterBuilder, NodeConfig
+from repro.gateway import GatewaySide, VirtualGateway
+from repro.sim import MS, Simulator
+from repro.spec import ControlParadigm, Direction, LinkSpec, PortSpec
+from repro.vn import ETVirtualNetwork
+
+
+def src_type() -> MessageType:
+    return MessageType("msgSensor", elements=(
+        ElementDef("Reading", convertible=True, semantics=Semantics.EVENT,
+                   fields=(FieldDef("v", IntType(16)),)),
+    ))
+
+
+def dst_type() -> MessageType:
+    return MessageType("msgReading", elements=(
+        ElementDef("Reading", convertible=True, semantics=Semantics.EVENT,
+                   fields=(FieldDef("v", IntType(16)),)),
+    ))
+
+
+def build(conditional: bool):
+    sim = Simulator(seed=4)
+    builder = ClusterBuilder(sim)
+    for n in ("src", "gw", "dst"):
+        builder.add_node(NodeConfig(n, slot_capacity_bytes=48,
+                                    reservations={"a": 20, "b": 20}))
+    cluster = builder.build()
+    cluster.start()
+    ns_a = Namespace("a")
+    src = ns_a.register(src_type())
+    vn_a = ETVirtualNetwork(sim, "a", cluster, ns_a)
+    vn_a.attach_gateway_producer("msgSensor", "src")
+    vn_a.start()
+    ns_b = Namespace("b")
+    dst = ns_b.register(dst_type())
+    vn_b = ETVirtualNetwork(sim, "b", cluster, ns_b)
+    got: list = []
+    vn_b.tap("msgReading", "dst", lambda m, i, t: got.append(i))
+    gw = VirtualGateway(
+        sim, "g", "gw",
+        side_a=GatewaySide(vn=vn_a, link=LinkSpec(das="a", ports=(PortSpec(
+            message_type=src_type(), direction=Direction.INPUT,
+            semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+            queue_depth=8),))),
+        side_b=GatewaySide(vn=vn_b, link=LinkSpec(das="b", ports=(PortSpec(
+            message_type=dst, direction=Direction.OUTPUT,
+            semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+            queue_depth=8),))),
+    )
+    rule = gw.add_rule("msgSensor", "msgReading", direction="a_to_b",
+                       conditional_import=conditional)
+    gw.start()
+    vn_b.start()
+
+    def emit(v: int):
+        vn_a.send("msgSensor", src.instance(Reading={"v": v}))
+
+    return sim, gw, rule, emit, got
+
+
+def test_unconditional_import_stores_everything():
+    sim, gw, rule, emit, got = build(conditional=False)
+    for k in range(5):
+        sim.at(k * MS + 1, lambda k=k: emit(k))
+    sim.run_until(50 * MS)
+    assert rule.skipped_unrequested == 0
+    assert len(got) == 5
+
+
+def test_conditional_import_skips_until_requested():
+    sim, gw, rule, emit, got = build(conditional=True)
+    # Phase 1: nothing requested -> receptions are skipped entirely.
+    for k in range(3):
+        sim.at(k * MS + 1, lambda k=k: emit(k))
+    sim.run_until(10 * MS)
+    assert rule.skipped_unrequested == 3
+    assert got == []
+    assert not gw.repository.available("Reading", sim.now)
+
+    # Phase 2: a consumer requests the element (b_req set), e.g. by a
+    # failed construction or an explicit pull.
+    gw.repository.request("Reading")
+    sim.at(20 * MS, lambda: emit(77))
+    sim.run_until(40 * MS)
+    assert len(got) == 1
+    assert got[0].get("Reading", "v") == 77
+    # The exactly-once take cleared the request again...
+    assert not gw.repository.is_requested("Reading")
+    # ...so a further unrequested send is skipped again.
+    sim.at(41 * MS, lambda: emit(99))
+    sim.run_until(60 * MS)
+    assert len(got) == 1
+    assert rule.skipped_unrequested == 4

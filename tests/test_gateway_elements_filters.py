@@ -1,0 +1,192 @@
+"""Unit tests for dissection/construction and redirection filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import (
+    BudgetFilter,
+    Decision,
+    FilterChain,
+    MinIntervalFilter,
+    ValueFilter,
+    common_convertible_elements,
+    construct,
+    dissect,
+)
+from repro.messaging import (
+    BoolType,
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Semantics,
+)
+
+MS = 1_000_000
+
+
+def src_type() -> MessageType:
+    return MessageType("msgSrc", elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=7),)),
+        ElementDef("Speed", convertible=True,
+                   fields=(FieldDef("v", IntType(16)), FieldDef("q", IntType(8)))),
+        ElementDef("Local", convertible=False,
+                   fields=(FieldDef("flag", BoolType()),)),
+    ))
+
+
+def dst_type() -> MessageType:
+    """Shares 'Speed' but has a different name/key and no 'Local'."""
+    return MessageType("msgDst", elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=99),)),
+        ElementDef("Speed", convertible=True,
+                   fields=(FieldDef("v", IntType(16)),)),  # narrower: no q
+    ))
+
+
+# ----------------------------------------------------------------------
+# dissect / construct
+# ----------------------------------------------------------------------
+def test_dissect_extracts_only_convertible_elements():
+    inst = src_type().instance(Speed={"v": 10, "q": 3}, Local={"flag": True})
+    parts = dissect(inst)
+    assert parts == {"Speed": {"v": 10, "q": 3}}
+
+
+def test_construct_recombines_under_destination_syntax():
+    parts = {"Speed": {"v": 10, "q": 3}}
+    out = construct(dst_type(), lambda name: parts.get(name))
+    assert out is not None
+    assert out.get("Speed", "v") == 10
+    assert out.get("Name", "ID") == 99  # destination's own key
+    assert "q" not in out.values["Speed"]  # undeclared field dropped
+
+
+def test_construct_missing_element_returns_none():
+    out = construct(dst_type(), lambda name: None)
+    assert out is None
+
+
+def test_construct_invalid_values_raise():
+    # With coercion (the default) out-of-range ints saturate instead of
+    # failing; a value with no generic transformation still raises.
+    out = construct(dst_type(), lambda name: {"v": 2**40})
+    assert out.get("Speed", "v") == 2**15 - 1
+    with pytest.raises(GatewayError):
+        construct(dst_type(), lambda name: {"v": "garbage"})
+    with pytest.raises(GatewayError):
+        construct(dst_type(), lambda name: {"v": 2**40}, coerce=False)
+
+
+def test_common_convertible_elements():
+    assert common_convertible_elements(src_type(), dst_type()) == {"Speed"}
+    other = MessageType("x", elements=(
+        ElementDef("Other", convertible=True, fields=(FieldDef("z", IntType(8)),)),
+    ))
+    assert common_convertible_elements(src_type(), other) == set()
+
+
+# ----------------------------------------------------------------------
+# filters
+# ----------------------------------------------------------------------
+def make_instance(v=5, q=0):
+    return src_type().instance(Speed={"v": v, "q": q})
+
+
+def test_value_filter_forwards_and_blocks():
+    f = ValueFilter("Speed", "v >= 0")
+    assert f.decide("msgSrc", make_instance(v=5), 0) is Decision.FORWARD
+    assert f.decide("msgSrc", make_instance(v=-1), 0) is Decision.BLOCK
+
+
+def test_value_filter_ignores_foreign_messages():
+    f = ValueFilter("Ghost", "v >= 0")
+    assert f.decide("msgSrc", make_instance(v=-1), 0) is Decision.FORWARD
+
+
+def test_value_filter_sees_message_name():
+    f = ValueFilter("Speed", "message_name == msgSrc")
+    assert f.decide("msgSrc", make_instance(), 0) is Decision.FORWARD
+    assert f.decide("other", make_instance(), 0) is Decision.BLOCK
+
+
+def test_min_interval_filter_downsamples():
+    f = MinIntervalFilter(min_interval=10 * MS)
+    assert f.decide("m", make_instance(), 0) is Decision.FORWARD
+    assert f.decide("m", make_instance(), 5 * MS) is Decision.BLOCK
+    assert f.decide("m", make_instance(), 10 * MS) is Decision.FORWARD
+    with pytest.raises(GatewayError):
+        MinIntervalFilter(0)
+
+
+def test_budget_filter_polices_rate():
+    f = BudgetFilter(budget=2, window=10 * MS)
+    assert f.decide("m", make_instance(), 0) is Decision.FORWARD
+    assert f.decide("m", make_instance(), 1 * MS) is Decision.FORWARD
+    assert f.decide("m", make_instance(), 2 * MS) is Decision.BLOCK
+    assert f.decide("m", make_instance(), 11 * MS) is Decision.FORWARD  # window slid
+    with pytest.raises(GatewayError):
+        BudgetFilter(budget=0, window=1)
+    with pytest.raises(GatewayError):
+        BudgetFilter(budget=1, window=0)
+
+
+def test_filter_chain_first_block_wins_and_counts():
+    chain = FilterChain(ValueFilter("Speed", "v >= 0"), MinIntervalFilter(10 * MS))
+    assert chain.decide("m", make_instance(v=1), 0) is Decision.FORWARD
+    assert chain.decide("m", make_instance(v=-1), 20 * MS) is Decision.BLOCK
+    assert chain.decide("m", make_instance(v=1), 25 * MS) is Decision.FORWARD
+    assert chain.forwarded == 2
+    assert chain.blocked == 1
+    assert len(chain) == 2
+
+
+def test_empty_chain_forwards_everything():
+    chain = FilterChain()
+    assert chain.decide("m", make_instance(), 0) is Decision.FORWARD
+
+
+# ----------------------------------------------------------------------
+# generic syntax transformation (coercion, Sec. IV)
+# ----------------------------------------------------------------------
+def test_coerce_numeric_widening_and_narrowing():
+    from repro.gateway import construct
+    from repro.gateway.elements import coerce_field
+    from repro.messaging import FloatType, StringType, TimestampType, UIntType
+
+    assert coerce_field(200, IntType(32)) == 200  # already valid
+    assert coerce_field(40_000, IntType(16)) == 32_767  # saturates
+    assert coerce_field(-5, UIntType(8)) == 0  # saturates at zero
+    assert coerce_field(3.7, IntType(16)) == 4  # rounds
+    assert coerce_field(7, FloatType(64)) == 7.0
+    assert coerce_field(True, IntType(8)) == 1
+    assert coerce_field(1, BoolType()) is True
+    assert coerce_field(12345, StringType(3)) == "123"  # truncates
+    assert coerce_field(-3, TimestampType(16)) == 0
+
+
+def test_coerce_rejects_impossible_conversions():
+    from repro.errors import CodecError
+    from repro.gateway.elements import coerce_field
+
+    with pytest.raises(CodecError):
+        coerce_field("not a number", IntType(16))
+
+
+def test_construct_coerces_across_widths():
+    """src Int32 field lands in a dst Int8 field via saturation."""
+    narrow = MessageType("msgNarrow", elements=(
+        ElementDef("Speed", convertible=True,
+                   fields=(FieldDef("v", IntType(8)),)),
+    ))
+    from repro.gateway import construct
+
+    out = construct(narrow, lambda n: {"v": 300, "q": 1})
+    assert out.get("Speed", "v") == 127  # saturated into Int8
+
+    with pytest.raises(GatewayError):
+        construct(narrow, lambda n: {"v": 300}, coerce=False)

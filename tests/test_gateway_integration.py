@@ -1,0 +1,317 @@
+"""End-to-end gateway tests: the Fig. 6 sliding-roof scenario.
+
+Comfort DAS (event-triggered VN) exports roof movement events; a hidden
+virtual gateway converts them to state semantics and republishes them
+as ``msgRoofState`` on the dashboard DAS (time-triggered VN).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.messaging import (
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Semantics,
+    TimestampType,
+)
+from repro.platform import Job
+from repro.sim import MS, Simulator, TraceCategory
+from repro.spec import (
+    FIG6_CANONICAL,
+    FIG6_TMAX,
+    FIG6_TMIN,
+    ControlParadigm,
+    Direction,
+    InteractionType,
+    LinkSpec,
+    PortSpec,
+    TTTiming,
+    parse_link_spec,
+)
+from repro.systems import GatewayDecl, SystemBuilder
+
+
+def sliding_roof_type() -> MessageType:
+    return MessageType("msgSlidingRoof", elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=731),)),
+        ElementDef("MovementEvent", convertible=True, semantics=Semantics.EVENT,
+                   fields=(FieldDef("ValueChange", IntType(16)),
+                           FieldDef("EventTime", TimestampType(16)))),
+        ElementDef("FullClosure",
+                   fields=(FieldDef("Trigger", IntType(1)),)),
+    ))
+
+
+def roof_state_type() -> MessageType:
+    return MessageType("msgRoofState", elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=812),)),
+        ElementDef("MovementState", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("StateValue", IntType(32)),
+                           FieldDef("ObservationTime", TimestampType(32)))),
+    ))
+
+
+class RoofController(Job):
+    """Sends movement deltas on the comfort VN at a configurable period."""
+
+    def __init__(self, sim, name, das, partition, vn=None, period=5 * MS, deltas=None):
+        super().__init__(sim, name, das, partition)
+        self.vn = vn
+        self.period = period
+        self.deltas = list(deltas or [])
+        self.sent: list[int] = []
+        self._mtype = sliding_roof_type()
+
+    def begin(self) -> None:
+        self.sim.every(self.period, self._emit, start=self.period)
+
+    def _emit(self) -> None:
+        if not self.active or not self.deltas:
+            return
+        delta = self.deltas.pop(0)
+        inst = self._mtype.instance(
+            MovementEvent={"ValueChange": delta, "EventTime": self.sim.now // 1_000_000},
+        )
+        self.vn.send("msgSlidingRoof", inst, sender_job=self.name)
+        self.sent.append(delta)
+
+
+class Display(Job):
+    """Dashboard consumer; records every state update pushed to it."""
+
+    def __init__(self, sim, name, das, partition):
+        super().__init__(sim, name, das, partition)
+        self.updates: list[tuple[int, int]] = []  # (time, StateValue)
+
+    def on_message(self, port_name, instance, arrival):
+        self.updates.append((self.sim.now, instance.get("MovementState", "StateValue")))
+
+
+def comfort_link() -> LinkSpec:
+    """Side A of the gateway: the paper's Fig. 6 link specification."""
+    return parse_link_spec(FIG6_CANONICAL)
+
+
+def dashboard_link(d_acc=40 * MS, period=10 * MS) -> LinkSpec:
+    return LinkSpec(
+        das="dashboard",
+        ports=(PortSpec(
+            message_type=roof_state_type(),
+            direction=Direction.OUTPUT,
+            semantics=Semantics.STATE,
+            control=ControlParadigm.TIME_TRIGGERED,
+            tt=TTTiming(period=period),
+            temporal_accuracy=d_acc,
+        ),),
+    )
+
+
+def build_system(deltas=None, period=5 * MS, gateway_partition=None, d_acc=40 * MS):
+    builder = SystemBuilder(seed=1)
+    builder.add_node("body-ecu").add_node("dash-ecu").add_node("gw-ecu")
+    builder.add_das("comfort", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("dashboard", ControlParadigm.TIME_TRIGGERED)
+    roof_out = PortSpec(
+        message_type=sliding_roof_type(), direction=Direction.OUTPUT,
+        semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+        queue_depth=32,
+    )
+    builder.add_job(
+        "roof", "comfort", "body-ecu",
+        lambda sim, name, das, part: RoofController(sim, name, das, part,
+                                                    period=period, deltas=deltas),
+        ports=(roof_out,),
+    )
+    display_in = PortSpec(
+        message_type=roof_state_type(), direction=Direction.INPUT,
+        semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
+        tt=TTTiming(period=10 * MS), interaction=InteractionType.PUSH,
+        temporal_accuracy=d_acc,
+    )
+    builder.add_job(
+        "display", "dashboard", "dash-ecu",
+        lambda sim, name, das, part: Display(sim, name, das, part),
+        ports=(display_in,),
+    )
+    builder.add_gateway(GatewayDecl(
+        name="roofgw", host="gw-ecu",
+        das_a="comfort", das_b="dashboard",
+        link_a=comfort_link(), link_b=dashboard_link(d_acc=d_acc),
+        rules=[("msgSlidingRoof", "msgRoofState", "a_to_b", None)],
+        restart_delay=20 * MS,
+        partition=gateway_partition,
+    ))
+    system = builder.build()
+    system.start()
+    roof = system.job("roof")
+    roof.vn = system.vn("comfort")
+    roof.begin()
+    return system, roof, system.job("display")
+
+
+# ----------------------------------------------------------------------
+# the happy path: Fig. 4's full pipeline
+# ----------------------------------------------------------------------
+def test_event_to_state_conversion_end_to_end():
+    deltas = [10, 20, -5, 15]
+    system, roof, display = build_system(deltas=list(deltas))
+    system.run_for(200 * MS)
+    assert roof.sent == deltas
+    assert display.updates, "dashboard never received a state update"
+    final_values = [v for _, v in display.updates]
+    assert final_values[-1] == sum(deltas)  # accumulated event->state
+    # Monotone prefix-sum progression: every displayed value is one of
+    # the running sums (no invented or corrupted values).
+    prefix_sums = {10, 30, 25, 40}
+    assert set(final_values) <= prefix_sums
+
+
+def test_gateway_statistics_and_naming():
+    system, roof, display = build_system(deltas=[1, 2, 3])
+    system.run_for(100 * MS)
+    gw = system.gateway("roofgw")
+    assert gw.instances_received == 3
+    assert gw.conversion_applications == 3
+    assert gw.instances_forwarded >= 1
+    assert gw.name_mapping.is_incoherent()  # renamed across DASs
+    assert gw.name_mapping.to_b("msgSlidingRoof") == "msgRoofState"
+
+
+def test_encapsulation_local_elements_never_cross():
+    """FullClosure is not convertible: it must not reach the repository
+    nor the dashboard DAS (complexity control, Sec. III-B.2)."""
+    system, roof, display = build_system(deltas=[5])
+    system.run_for(100 * MS)
+    gw = system.gateway("roofgw")
+    assert "FullClosure" not in gw.repository.names()
+    assert set(gw.repository.names()) == {"MovementEvent", "MovementState"}
+
+
+def test_temporal_accuracy_gates_forwarding():
+    """Once the producer stops, the TT side keeps sampling but must stop
+    forwarding when the state image exceeds d_acc (Eq. 1)."""
+    system, roof, display = build_system(deltas=[7], d_acc=30 * MS)
+    system.run_for(300 * MS)
+    # The single update was forwarded while fresh, then expired:
+    assert display.updates
+    last_update_time = display.updates[-1][0]
+    # After expiry no further deliveries happened even though the TT
+    # dispatcher kept sampling every 10 ms for ~250 ms more.
+    assert last_update_time < 100 * MS
+    gw = system.gateway("roofgw")
+    assert gw.repository.stale_blocks > 0
+
+
+def test_error_containment_babbling_sender_blocked():
+    """A babbling roof job (interarrival < tmin) drives the Fig. 6
+    automaton into its error state; the gateway blocks the message and
+    the dashboard sees no further updates until restart."""
+    system, roof, display = build_system(deltas=[1] * 200, period=FIG6_TMIN // 4)
+    system.run_for(100 * MS)
+    gw = system.gateway("roofgw")
+    monitor = gw.monitor_for("msgSlidingRoof")
+    assert monitor is not None
+    assert monitor.violations >= 1
+    blocked = sum(r.blocked_monitor + r.blocked_halted for r in gw.rules)
+    assert blocked > 0
+    # Far fewer forwards than sends: containment throttled propagation.
+    assert gw.instances_forwarded < len(roof.sent) / 2
+
+
+def test_gateway_restart_after_error():
+    """After restart_delay the gateway service resumes (Sec. IV-B.2's
+    error handling example)."""
+    deltas = [1] * 3 + []  # a short early burst (too fast), then silence
+    system, roof, display = build_system(deltas=list(deltas), period=FIG6_TMIN // 4)
+    system.run_for(400 * MS)
+    gw = system.gateway("roofgw")
+    assert gw.restarts >= 1
+    assert system.sim.trace.count(TraceCategory.GATEWAY_RESTART) >= 1
+
+
+def test_omission_detected_by_monitor_timeout():
+    """No traffic at all: the tmax timeout edge fires without any
+    reception (late/omission failure detection)."""
+    system, roof, display = build_system(deltas=[])
+    system.run_for(2 * FIG6_TMAX)
+    gw = system.gateway("roofgw")
+    monitor = gw.monitor_for("msgSlidingRoof")
+    assert monitor is not None
+    assert monitor.violations >= 1
+
+
+def test_legal_traffic_never_trips_monitor():
+    system, roof, display = build_system(deltas=[1] * 30, period=5 * MS)
+    system.run_for(160 * MS)
+    gw = system.gateway("roofgw")
+    monitor = gw.monitor_for("msgSlidingRoof")
+    assert monitor.violations == 0
+    assert gw.restarts == 0
+
+
+def test_visible_gateway_has_higher_latency_than_hidden():
+    """Sec. III: hidden gateways work at the architecture level; a
+    visible gateway defers processing to its partition window."""
+
+    def first_delivery_latency(partition):
+        system, roof, display = build_system(deltas=[5], gateway_partition=partition)
+        system.run_for(100 * MS)
+        gw = system.gateway("roofgw")
+        send_t = 5 * MS  # the producer's first emission instant
+        stored = [r for r in system.sim.trace.records(TraceCategory.GATEWAY_FORWARD)
+                  if r.get("stage") == "stored"]
+        assert stored, "gateway never stored the instance"
+        return stored[0].time - send_t
+
+    hidden = first_delivery_latency(None)
+    visible = first_delivery_latency("gw")
+    assert visible > hidden
+
+
+def test_rules_required_and_direction_validated():
+    sim = Simulator()
+    builder = SystemBuilder(sim=sim)
+    builder.add_node("a").add_node("b")
+    builder.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("y", ControlParadigm.EVENT_TRIGGERED)
+    decl = GatewayDecl(name="g", host="a", das_a="x", das_b="y",
+                       link_a=comfort_link(), link_b=dashboard_link())
+    builder.add_gateway(decl)
+    system = builder.build()
+    with pytest.raises(GatewayError):
+        system.start()  # no rules
+
+
+def test_unbridgeable_rule_rejected():
+    """Messages sharing no convertible elements (and no transfer rule)
+    cannot be redirected."""
+    other = MessageType("msgOther", elements=(
+        ElementDef("Unrelated", convertible=True,
+                   fields=(FieldDef("z", IntType(8)),)),
+    ))
+    builder = SystemBuilder()
+    builder.add_node("a").add_node("b")
+    builder.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("y", ControlParadigm.EVENT_TRIGGERED)
+    link_x = LinkSpec(das="x", ports=(PortSpec(
+        message_type=sliding_roof_type(), direction=Direction.INPUT,
+        semantics=Semantics.EVENT,
+    ),))
+    link_y = LinkSpec(das="y", ports=(PortSpec(
+        message_type=other, direction=Direction.OUTPUT,
+        semantics=Semantics.EVENT,
+    ),))
+    builder.add_gateway(GatewayDecl(
+        name="g", host="a", das_a="x", das_b="y",
+        link_a=link_x, link_b=link_y,
+        rules=[("msgSlidingRoof", "msgOther", "a_to_b", None)],
+    ))
+    system = builder.build()
+    with pytest.raises(GatewayError):
+        system.start()

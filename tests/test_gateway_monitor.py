@@ -1,0 +1,123 @@
+"""Unit tests for MessageMonitor (automata wired to the kernel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import AutomatonBuilder
+from repro.gateway import MessageMonitor
+from repro.sim import MS, Simulator, TraceCategory
+
+TMIN = 2 * MS
+TMAX = 10 * MS
+
+
+def monitor_automaton(msg="msgX"):
+    return (
+        AutomatonBuilder(f"{msg}Reception")
+        .parameter("tmin", TMIN)
+        .parameter("tmax", TMAX)
+        .location("statePassive", initial=True)
+        .location("stateActive")
+        .location("stateError", error=True)
+        .on_receive(msg, "statePassive", "stateActive", guard="x >= tmin",
+                    assign="x := 0")
+        .on_receive(msg, "statePassive", "stateError", guard="x < tmin")
+        .transition("stateActive", "statePassive", guard="x < tmax")
+        .transition("statePassive", "stateError", guard="x >= tmax")
+        .build()
+    )
+
+
+def test_monitor_accepts_legal_sequence():
+    sim = Simulator()
+    mon = MessageMonitor(sim, monitor_automaton())
+    for k in range(1, 6):
+        sim.run_until(k * 3 * MS)
+        assert mon.on_message("msgX") is True
+    assert mon.accepted == 5
+    assert mon.violations == 0
+
+
+def test_monitor_detects_early_and_halts():
+    sim = Simulator()
+    errors = []
+    mon = MessageMonitor(sim, monitor_automaton(), on_error=lambda m: errors.append(sim.now))
+    sim.run_until(3 * MS)
+    assert mon.on_message("msgX")
+    sim.run_until(3 * MS + TMIN // 2)
+    assert mon.on_message("msgX") is False
+    assert mon.in_error
+    assert errors == [3 * MS + TMIN // 2]
+    assert sim.trace.count(TraceCategory.AUTOMATON_ERROR) == 1
+
+
+def test_monitor_timeout_fires_via_kernel():
+    """The tmax edge is driven purely by scheduled polls."""
+    sim = Simulator()
+    mon = MessageMonitor(sim, monitor_automaton())
+    sim.run_until(TMAX + 1)
+    assert mon.in_error
+    assert mon.violations == 1
+
+
+def test_monitor_timeout_rearms_after_reception():
+    sim = Simulator()
+    mon = MessageMonitor(sim, monitor_automaton())
+    sim.run_until(3 * MS)
+    mon.on_message("msgX")  # resets x
+    sim.run_until(TMAX)  # old deadline passes harmlessly
+    assert not mon.in_error
+    sim.run_until(3 * MS + TMAX + 1)  # new deadline expires
+    assert mon.in_error
+
+
+def test_monitor_restart_traces_and_rearms():
+    sim = Simulator()
+    mon = MessageMonitor(sim, monitor_automaton())
+    sim.run_until(TMAX + 1)
+    assert mon.in_error
+    mon.restart()
+    assert not mon.in_error
+    assert sim.trace.count(TraceCategory.GATEWAY_RESTART) == 1
+    # After restart the timeout is armed again from 'now'.
+    sim.run_until(2 * TMAX + 2)
+    assert mon.in_error
+
+
+def test_monitor_send_edges_use_callbacks():
+    auto = (
+        AutomatonBuilder("sender")
+        .parameter("period", 5 * MS)
+        .location("idle", initial=True)
+        .on_send("msgOut", "idle", "idle", guard="x >= period", assign="x := 0")
+        .build()
+    )
+    sim = Simulator()
+    sendable = {"ok": False}
+    sent = []
+    mon = MessageMonitor(
+        sim, auto,
+        can_send=lambda m: sendable["ok"],
+        do_send=lambda m: sent.append((sim.now, m)),
+    )
+    sim.run_until(6 * MS)
+    assert sent == []  # elements unavailable
+    sendable["ok"] = True
+    sim.run_until(6 * MS + 1)
+    mon.runtime.poll()
+    assert sent and sent[0][1] == "msgOut"
+
+
+def test_monitor_functions_reach_guards():
+    auto = (
+        AutomatonBuilder("h")
+        .location("s", initial=True)
+        .location("go")
+        .transition("s", "go", guard="horizon(msgY) > 100")
+        .build()
+    )
+    sim = Simulator()
+    mon = MessageMonitor(sim, auto, functions={"horizon": lambda m: 500})
+    mon.runtime.poll()
+    assert mon.runtime.location == "go"

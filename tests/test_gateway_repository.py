@@ -1,0 +1,217 @@
+"""Unit tests for the gateway repository (Fig. 5, Eq. 1 and Eq. 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GatewayError
+from repro.gateway import GatewayRepository
+from repro.messaging import Semantics
+
+MS = 1_000_000
+
+
+def repo_with_state(d_acc=5 * MS) -> GatewayRepository:
+    r = GatewayRepository()
+    r.declare("Speed", Semantics.STATE, d_acc=d_acc)
+    return r
+
+
+# ----------------------------------------------------------------------
+# state elements
+# ----------------------------------------------------------------------
+def test_state_update_in_place():
+    r = repo_with_state()
+    r.store("Speed", {"v": 10}, now=0)
+    r.store("Speed", {"v": 20}, now=1 * MS)
+    entry = r.peek_state("Speed")
+    assert entry.value == {"v": 20}
+    assert entry.t_update == 1 * MS
+    assert entry.stores == 2
+
+
+def test_temporal_accuracy_eq1():
+    """Accurate while t_now < t_update + d_acc (paper's Eq. 1, corrected)."""
+    r = repo_with_state(d_acc=5 * MS)
+    r.store("Speed", {"v": 10}, now=10 * MS)
+    assert r.available("Speed", now=10 * MS)
+    assert r.available("Speed", now=14 * MS + 999_999)
+    assert not r.available("Speed", now=15 * MS)  # boundary: expired
+    assert not r.available("Speed", now=20 * MS)
+    assert r.stale_blocks == 2
+
+
+def test_state_take_copies_and_does_not_consume():
+    r = repo_with_state()
+    r.store("Speed", {"v": 10}, now=0)
+    a = r.take("Speed", now=1 * MS)
+    a["v"] = 999
+    b = r.take("Speed", now=2 * MS)
+    assert b == {"v": 10}
+
+
+def test_stale_state_take_returns_none():
+    r = repo_with_state(d_acc=1 * MS)
+    r.store("Speed", {"v": 10}, now=0)
+    assert r.take("Speed", now=2 * MS) is None
+
+
+def test_state_without_dacc_never_expires():
+    r = GatewayRepository()
+    r.declare("Cfg", Semantics.STATE)
+    r.store("Cfg", {"x": 1}, now=0)
+    assert r.available("Cfg", now=10**15)
+
+
+def test_unstored_state_unavailable():
+    r = repo_with_state()
+    assert not r.available("Speed", now=0)
+    assert r.peek_state("Speed").remaining_validity(0) is None
+
+
+# ----------------------------------------------------------------------
+# event elements
+# ----------------------------------------------------------------------
+def test_event_exactly_once():
+    r = GatewayRepository()
+    r.declare("Change", Semantics.EVENT, depth=4)
+    r.store("Change", {"delta": 1}, now=0)
+    r.store("Change", {"delta": 2}, now=1)
+    assert r.available("Change", now=2)
+    assert r.take("Change", now=2) == {"delta": 1}
+    assert r.take("Change", now=2) == {"delta": 2}
+    assert r.take("Change", now=2) is None
+    assert not r.available("Change", now=2)
+
+
+def test_event_overflow_drops():
+    r = GatewayRepository()
+    r.declare("Change", Semantics.EVENT, depth=2)
+    assert r.store("Change", {"delta": 1}, 0)
+    assert r.store("Change", {"delta": 2}, 0)
+    assert not r.store("Change", {"delta": 3}, 0)
+    assert r.peek_event("Change").drops == 1
+
+
+# ----------------------------------------------------------------------
+# declaration rules
+# ----------------------------------------------------------------------
+def test_declare_semantic_conflicts_rejected():
+    r = GatewayRepository()
+    r.declare("X", Semantics.STATE)
+    with pytest.raises(GatewayError):
+        r.declare("X", Semantics.EVENT)
+    r2 = GatewayRepository()
+    r2.declare("Y", Semantics.EVENT)
+    with pytest.raises(GatewayError):
+        r2.declare("Y", Semantics.STATE)
+
+
+def test_declare_idempotent_and_merging():
+    r = GatewayRepository()
+    r.declare("X", Semantics.STATE)
+    r.declare("X", Semantics.STATE, d_acc=5)  # upgrades None -> 5
+    assert r.peek_state("X").d_acc == 5
+    with pytest.raises(GatewayError):
+        r.declare("X", Semantics.STATE, d_acc=7)
+    r.declare("E", Semantics.EVENT, depth=4)
+    r.declare("E", Semantics.EVENT, depth=8)
+    assert r.peek_event("E").depth == 8
+
+
+def test_undeclared_element_raises():
+    r = GatewayRepository()
+    with pytest.raises(GatewayError):
+        r.store("ghost", {}, 0)
+    with pytest.raises(GatewayError):
+        r.available("ghost", 0)
+    with pytest.raises(GatewayError):
+        r.take("ghost", 0)
+    with pytest.raises(GatewayError):
+        r.semantics_of("ghost")
+    with pytest.raises(GatewayError):
+        r.request("ghost")
+
+
+def test_names_and_semantics_of():
+    r = GatewayRepository()
+    r.declare("A", Semantics.STATE)
+    r.declare("B", Semantics.EVENT)
+    assert r.names() == ["A", "B"]
+    assert r.semantics_of("A") is Semantics.STATE
+    assert r.semantics_of("B") is Semantics.EVENT
+    assert r.declared("A") and not r.declared("C")
+
+
+# ----------------------------------------------------------------------
+# b_req request variables
+# ----------------------------------------------------------------------
+def test_all_available_sets_requests_on_missing():
+    r = GatewayRepository()
+    r.declare("A", Semantics.STATE, d_acc=5 * MS)
+    r.declare("B", Semantics.EVENT)
+    r.store("A", {"v": 1}, now=0)
+    assert not r.all_available(["A", "B"], now=1 * MS)
+    assert r.is_requested("B")
+    assert not r.is_requested("A")
+    assert r.requested() == ["B"]
+
+
+def test_take_clears_request():
+    r = GatewayRepository()
+    r.declare("B", Semantics.EVENT)
+    r.request("B")
+    r.store("B", {"delta": 1}, 0)
+    r.take("B", 0)
+    assert not r.is_requested("B")
+
+
+def test_all_available_without_request_side_effect():
+    r = GatewayRepository()
+    r.declare("B", Semantics.EVENT)
+    assert not r.all_available(["B"], now=0, set_requests=False)
+    assert not r.is_requested("B")
+
+
+# ----------------------------------------------------------------------
+# horizon (Eq. 2)
+# ----------------------------------------------------------------------
+def test_horizon_minimum_over_state_elements():
+    r = GatewayRepository()
+    r.declare("A", Semantics.STATE, d_acc=10 * MS)
+    r.declare("B", Semantics.STATE, d_acc=4 * MS)
+    r.declare("E", Semantics.EVENT)
+    r.store("A", {"v": 1}, now=0)
+    r.store("B", {"v": 2}, now=2 * MS)
+    # A valid until 10ms, B until 6ms -> horizon at t=3ms is 3ms.
+    assert r.horizon(["A", "B", "E"], now=3 * MS) == 3 * MS
+    # Events do not constrain the horizon.
+    assert r.horizon(["E"], now=3 * MS) is None
+    # Unstored state element -> no horizon.
+    r.declare("C", Semantics.STATE, d_acc=1)
+    assert r.horizon(["A", "C"], now=3 * MS) is None
+
+
+def test_horizon_can_be_negative_after_expiry():
+    r = GatewayRepository()
+    r.declare("A", Semantics.STATE, d_acc=1 * MS)
+    r.store("A", {"v": 1}, now=0)
+    assert r.horizon(["A"], now=3 * MS) == -2 * MS
+
+
+@given(
+    d_acc=st.integers(1, 10**9),
+    t_store=st.integers(0, 10**9),
+    dt=st.integers(0, 2 * 10**9),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_accuracy_iff_within_interval(d_acc, t_store, dt):
+    r = GatewayRepository()
+    r.declare("X", Semantics.STATE, d_acc=d_acc)
+    r.store("X", {"v": 0}, now=t_store)
+    now = t_store + dt
+    assert r.available("X", now) == (dt < d_acc)
+    h = r.horizon(["X"], now)
+    assert h == t_store + d_acc - now

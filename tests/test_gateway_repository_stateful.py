@@ -1,0 +1,102 @@
+"""Stateful property test: the gateway repository vs a reference model.
+
+Drives a :class:`~repro.gateway.GatewayRepository` with random
+interleavings of stores, takes, time advances, and request operations,
+checking after every step that it agrees with a trivially correct
+in-memory model: event queues are bounded FIFO with exactly-once
+consumption; state variables are update-in-place with Eq. (1) accuracy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.gateway import GatewayRepository
+from repro.messaging import Semantics
+
+MS = 1_000_000
+DEPTH = 4
+D_ACC = 10 * MS
+
+
+class RepositoryMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.repo = GatewayRepository()
+        self.repo.declare("S", Semantics.STATE, d_acc=D_ACC)
+        self.repo.declare("E", Semantics.EVENT, depth=DEPTH)
+        self.now = 0
+        # reference model
+        self.ref_queue: deque[dict] = deque()
+        self.ref_state: dict | None = None
+        self.ref_state_t: int | None = None
+
+    @rule(dt=st.integers(0, 20 * MS))
+    def advance(self, dt: int) -> None:
+        self.now += dt
+
+    @rule(v=st.integers(-100, 100))
+    def store_state(self, v: int) -> None:
+        self.repo.store("S", {"v": v}, self.now)
+        self.ref_state = {"v": v}
+        self.ref_state_t = self.now
+
+    @rule(v=st.integers(-100, 100))
+    def store_event(self, v: int) -> None:
+        ok = self.repo.store("E", {"v": v}, self.now)
+        if len(self.ref_queue) < DEPTH:
+            assert ok
+            self.ref_queue.append({"v": v})
+        else:
+            assert not ok  # overflow drops the newest
+
+    @rule()
+    def take_state(self) -> None:
+        got = self.repo.take("S", self.now)
+        fresh = (self.ref_state is not None
+                 and self.now < self.ref_state_t + D_ACC)
+        if fresh:
+            assert got == self.ref_state
+        else:
+            assert got is None
+
+    @rule()
+    def take_event(self) -> None:
+        got = self.repo.take("E", self.now)
+        if self.ref_queue:
+            assert got == self.ref_queue.popleft()  # FIFO, exactly once
+        else:
+            assert got is None
+
+    @rule()
+    def request_cycle(self) -> None:
+        self.repo.request("E")
+        assert self.repo.is_requested("E")
+        self.repo.clear_request("E")
+        assert not self.repo.is_requested("E")
+
+    @invariant()
+    def queue_lengths_agree(self) -> None:
+        assert len(self.repo.peek_event("E")) == len(self.ref_queue)
+
+    @invariant()
+    def availability_matches_model(self) -> None:
+        assert self.repo.available("E", self.now) == bool(self.ref_queue)
+        fresh = (self.ref_state is not None
+                 and self.now < self.ref_state_t + D_ACC)
+        assert self.repo.available("S", self.now) == fresh
+
+
+TestRepositoryMachine = RepositoryMachine.TestCase
+TestRepositoryMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,221 @@
+"""Unit + property tests for field types and the bit-level codec."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.messaging import (
+    BitReader,
+    BitWriter,
+    BoolType,
+    EnumType,
+    FloatType,
+    IntType,
+    StringType,
+    TimestampType,
+    UIntType,
+    resolve_type,
+)
+
+
+# ----------------------------------------------------------------------
+# BitWriter / BitReader
+# ----------------------------------------------------------------------
+def test_bitwriter_packs_msb_first():
+    w = BitWriter()
+    w.write(0b101, 3)
+    w.write(0b1, 1)
+    w.write(0b0000, 4)
+    assert w.getvalue() == bytes([0b10110000])
+
+
+def test_bitwriter_pads_final_byte():
+    w = BitWriter()
+    w.write(0b11, 2)
+    assert w.getvalue() == bytes([0b11000000])
+    assert w.bit_length == 2
+
+
+def test_bitreader_reads_back():
+    w = BitWriter()
+    w.write(0xABC, 12)
+    w.write(0x3, 2)
+    r = BitReader(w.getvalue())
+    assert r.read(12) == 0xABC
+    assert r.read(2) == 0x3
+
+
+def test_bitreader_underflow():
+    r = BitReader(b"\x00")
+    r.read(8)
+    with pytest.raises(CodecError):
+        r.read(1)
+
+
+def test_bitwriter_value_too_large():
+    w = BitWriter()
+    with pytest.raises(CodecError):
+        w.write(4, 2)
+
+
+def test_bitwriter_negative_rejected():
+    w = BitWriter()
+    with pytest.raises(CodecError):
+        w.write(-1, 4)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=33), st.data()), max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_property_bit_roundtrip(chunks):
+    """Any sequence of (width, value) chunks round-trips exactly."""
+    w = BitWriter()
+    expect = []
+    for nbits, data in chunks:
+        v = data.draw(st.integers(min_value=0, max_value=(1 << nbits) - 1))
+        w.write(v, nbits)
+        expect.append((nbits, v))
+    r = BitReader(w.getvalue())
+    for nbits, v in expect:
+        assert r.read(nbits) == v
+
+
+# ----------------------------------------------------------------------
+# Individual types
+# ----------------------------------------------------------------------
+def roundtrip(ftype, value):
+    w = BitWriter()
+    ftype.encode(value, w)
+    return ftype.decode(BitReader(w.getvalue()))
+
+
+def test_int_roundtrip_negative():
+    t = IntType(16)
+    assert roundtrip(t, -123) == -123
+    assert roundtrip(t, -32768) == -32768
+    assert roundtrip(t, 32767) == 32767
+
+
+def test_int_out_of_range():
+    with pytest.raises(CodecError):
+        IntType(8).validate(200)
+    with pytest.raises(CodecError):
+        IntType(8).validate(-129)
+
+
+def test_int_rejects_bool_and_float():
+    with pytest.raises(CodecError):
+        IntType(8).validate(True)
+    with pytest.raises(CodecError):
+        IntType(8).validate(1.5)
+
+
+def test_int_length_limits():
+    with pytest.raises(CodecError):
+        IntType(0)
+    with pytest.raises(CodecError):
+        IntType(65)
+
+
+def test_uint_roundtrip_and_range():
+    t = UIntType(12)
+    assert roundtrip(t, 4095) == 4095
+    with pytest.raises(CodecError):
+        t.validate(4096)
+    with pytest.raises(CodecError):
+        t.validate(-1)
+
+
+def test_float_roundtrip_64():
+    t = FloatType(64)
+    assert roundtrip(t, 3.141592653589793) == 3.141592653589793
+    assert roundtrip(t, -0.0) == 0.0
+
+
+def test_float32_lossy_but_close():
+    t = FloatType(32)
+    out = roundtrip(t, 1.0 / 3.0)
+    assert math.isclose(out, 1.0 / 3.0, rel_tol=1e-6)
+
+
+def test_float_rejects_nan_and_bad_length():
+    with pytest.raises(CodecError):
+        FloatType(64).validate(float("nan"))
+    with pytest.raises(CodecError):
+        FloatType(16)
+
+
+def test_bool_roundtrip():
+    t = BoolType()
+    assert roundtrip(t, True) is True
+    assert roundtrip(t, False) is False
+    assert t.bit_width() == 1
+    with pytest.raises(CodecError):
+        t.validate(1)
+
+
+def test_timestamp_wraps_modulo():
+    t = TimestampType(16)
+    assert roundtrip(t, 65535) == 65535
+    assert roundtrip(t, 65536 + 7) == 7  # wraps
+    with pytest.raises(CodecError):
+        t.validate(-5)
+
+
+def test_string_roundtrip_and_capacity():
+    t = StringType(8)
+    assert roundtrip(t, "roof") == "roof"
+    assert roundtrip(t, "") == ""
+    with pytest.raises(CodecError):
+        t.validate("this is far too long")
+
+
+def test_enum_roundtrip():
+    t = EnumType(("closed", "opening", "open"))
+    assert t.bit_width() == 2
+    assert roundtrip(t, "opening") == "opening"
+    with pytest.raises(CodecError):
+        t.validate("ajar")
+
+
+def test_enum_needs_unique_symbols():
+    with pytest.raises(CodecError):
+        EnumType(("a", "a"))
+    with pytest.raises(CodecError):
+        EnumType(())
+
+
+# ----------------------------------------------------------------------
+# resolve_type (XML vocabulary)
+# ----------------------------------------------------------------------
+def test_resolve_type_matches_fig6_vocabulary():
+    assert resolve_type("integer", 16) == IntType(16)
+    assert resolve_type("timestamp", 16) == TimestampType(16)
+    assert resolve_type("boolean") == BoolType()
+    assert resolve_type("float", 32) == FloatType(32)
+    assert resolve_type("string", 4) == StringType(4)
+    assert resolve_type("uinteger", 8) == UIntType(8)
+
+
+def test_resolve_type_unknown():
+    with pytest.raises(CodecError):
+        resolve_type("quaternion")
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+@settings(max_examples=80, deadline=None)
+def test_property_int_roundtrip_any_width(width, data):
+    t = IntType(width)
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    v = data.draw(st.integers(min_value=lo, max_value=hi))
+    assert roundtrip(t, v) == v
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=64))
+@settings(max_examples=80, deadline=None)
+def test_property_float64_exact_roundtrip(v):
+    assert roundtrip(FloatType(64), v) == v

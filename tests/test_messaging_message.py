@@ -1,0 +1,277 @@
+"""Unit + property tests for MessageType/MessageInstance and namespaces."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError, NamingError, SpecificationError
+from repro.messaging import (
+    BoolType,
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    NameMapping,
+    Namespace,
+    Semantics,
+    TimestampType,
+    UIntType,
+)
+
+
+def sliding_roof_type(name: str = "msgSlidingRoof", msg_id: int = 731) -> MessageType:
+    """The paper's Fig. 6 message, used throughout the test suite."""
+    return MessageType(
+        name=name,
+        elements=(
+            ElementDef(
+                name="Name",
+                key=True,
+                convertible=False,
+                fields=(FieldDef("ID", IntType(16), static=True, static_value=msg_id),),
+            ),
+            ElementDef(
+                name="MovementEvent",
+                key=False,
+                convertible=True,
+                semantics=Semantics.EVENT,
+                fields=(
+                    FieldDef("ValueChange", IntType(16)),
+                    FieldDef("EventTime", TimestampType(16)),
+                ),
+            ),
+            ElementDef(
+                name="FullClosure",
+                key=False,
+                convertible=False,
+                fields=(FieldDef("Trigger", BoolType()),),
+            ),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# structure
+# ----------------------------------------------------------------------
+def test_structure_queries():
+    mt = sliding_roof_type()
+    assert mt.has_element("MovementEvent")
+    assert not mt.has_element("Missing")
+    assert [e.name for e in mt.convertible_elements()] == ["MovementEvent"]
+    assert [e.name for e in mt.key_elements()] == ["Name"]
+    assert mt.explicit_name_values() == (731,)
+    assert mt.bit_width() == 16 + 16 + 16 + 1
+    assert mt.byte_width() == 7
+
+
+def test_duplicate_element_names_rejected():
+    el = ElementDef("E", fields=(FieldDef("f", IntType(8)),))
+    with pytest.raises(SpecificationError):
+        MessageType("m", elements=(el, el))
+
+
+def test_key_element_requires_static_fields():
+    with pytest.raises(SpecificationError):
+        ElementDef("Name", key=True, fields=(FieldDef("ID", IntType(16)),))
+
+
+def test_static_field_requires_value():
+    with pytest.raises(SpecificationError):
+        FieldDef("ID", IntType(16), static=True)
+
+
+def test_element_needs_fields():
+    with pytest.raises(SpecificationError):
+        ElementDef("E", fields=())
+
+
+def test_duplicate_field_names_rejected():
+    with pytest.raises(SpecificationError):
+        ElementDef("E", fields=(FieldDef("f", IntType(8)), FieldDef("f", IntType(8))))
+
+
+# ----------------------------------------------------------------------
+# instances
+# ----------------------------------------------------------------------
+def test_instance_defaults_and_static():
+    mt = sliding_roof_type()
+    inst = mt.instance()
+    assert inst.get("Name", "ID") == 731
+    assert inst.get("MovementEvent", "ValueChange") == 0
+    assert inst.get("FullClosure", "Trigger") is False
+
+
+def test_instance_with_values():
+    mt = sliding_roof_type()
+    inst = mt.instance(MovementEvent={"ValueChange": 25, "EventTime": 1000})
+    assert inst.get("MovementEvent", "ValueChange") == 25
+
+
+def test_instance_cannot_override_static():
+    mt = sliding_roof_type()
+    with pytest.raises(SpecificationError):
+        mt.instance(Name={"ID": 999})
+
+
+def test_instance_validates_field_values():
+    mt = sliding_roof_type()
+    with pytest.raises(CodecError):
+        mt.instance(MovementEvent={"ValueChange": 2**20})
+
+
+def test_instance_set_and_copy_independent():
+    mt = sliding_roof_type()
+    a = mt.instance(MovementEvent={"ValueChange": 1})
+    b = a.copy()
+    b.set("MovementEvent", "ValueChange", 2)
+    assert a.get("MovementEvent", "ValueChange") == 1
+    assert b.get("MovementEvent", "ValueChange") == 2
+
+
+def test_instance_unknown_element_or_field():
+    mt = sliding_roof_type()
+    with pytest.raises(SpecificationError):
+        mt.instance(Nope={"x": 1})
+    with pytest.raises(SpecificationError):
+        mt.instance(MovementEvent={"nope": 1})
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def test_encode_decode_roundtrip():
+    mt = sliding_roof_type()
+    inst = mt.instance(
+        MovementEvent={"ValueChange": -12, "EventTime": 5000},
+        FullClosure={"Trigger": True},
+    )
+    out = mt.decode(mt.encode(inst))
+    assert out.values == inst.values
+
+
+def test_decode_wrong_static_value_detected():
+    a = sliding_roof_type("msgA", msg_id=1)
+    b = sliding_roof_type("msgB", msg_id=2)
+    data = a.encode(a.instance())
+    with pytest.raises(CodecError):
+        b.decode(data)
+
+
+def test_encode_with_wrong_type_rejected():
+    a = sliding_roof_type("msgA", msg_id=1)
+    b = sliding_roof_type("msgB", msg_id=2)
+    with pytest.raises(CodecError):
+        b.encode(a.instance())
+
+
+def test_renamed_preserves_structure():
+    mt = sliding_roof_type()
+    rt = mt.renamed("msgRoofStatus")
+    assert rt.name == "msgRoofStatus"
+    assert rt.elements == mt.elements
+
+
+@given(
+    vc=st.integers(min_value=-(2**15), max_value=2**15 - 1),
+    et=st.integers(min_value=0, max_value=2**16 - 1),
+    trig=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_message_roundtrip(vc, et, trig):
+    mt = sliding_roof_type()
+    inst = mt.instance(
+        MovementEvent={"ValueChange": vc, "EventTime": et},
+        FullClosure={"Trigger": trig},
+    )
+    assert mt.decode(mt.encode(inst)).values == inst.values
+
+
+# ----------------------------------------------------------------------
+# namespaces & name mapping
+# ----------------------------------------------------------------------
+def test_namespace_register_lookup():
+    ns = Namespace("comfort")
+    mt = ns.register(sliding_roof_type())
+    assert ns.lookup("msgSlidingRoof") is mt
+    assert "msgSlidingRoof" in ns
+    assert len(ns) == 1
+    assert ns.names() == ["msgSlidingRoof"]
+
+
+def test_namespace_duplicate_name_rejected():
+    ns = Namespace("comfort")
+    ns.register(sliding_roof_type())
+    with pytest.raises(NamingError):
+        ns.register(sliding_roof_type())
+
+
+def test_namespace_duplicate_explicit_name_rejected():
+    ns = Namespace("comfort")
+    ns.register(sliding_roof_type("m1", msg_id=7))
+    with pytest.raises(NamingError):
+        ns.register(sliding_roof_type("m2", msg_id=7))
+
+
+def test_namespace_lookup_explicit():
+    ns = Namespace("comfort")
+    ns.register(sliding_roof_type("m1", msg_id=7))
+    assert ns.lookup_explicit((7,)).name == "m1"
+    with pytest.raises(NamingError):
+        ns.lookup_explicit((8,))
+
+
+def test_namespace_unknown_lookup():
+    with pytest.raises(NamingError):
+        Namespace("x").lookup("missing")
+
+
+def test_same_name_different_entity_in_two_namespaces_allowed():
+    """Incoherent naming across DASs is architecturally supported."""
+    ns_a, ns_b = Namespace("a"), Namespace("b")
+    ns_a.register(sliding_roof_type("msgStatus", msg_id=1))
+    other = MessageType(
+        "msgStatus",
+        elements=(ElementDef("Speed", fields=(FieldDef("kmh", UIntType(8)),)),),
+    )
+    ns_b.register(other)  # no error: separate namespaces
+
+
+def test_name_mapping_bind_and_resolve():
+    ns_a, ns_b = Namespace("a"), Namespace("b")
+    ns_a.register(sliding_roof_type("msgSlidingRoof"))
+    ns_b.register(sliding_roof_type("msgRoofStatus", msg_id=44))
+    mapping = NameMapping(ns_a, ns_b)
+    mapping.bind("msgSlidingRoof", "msgRoofStatus")
+    assert mapping.to_b("msgSlidingRoof") == "msgRoofStatus"
+    assert mapping.to_a("msgRoofStatus") == "msgSlidingRoof"
+    assert mapping.to_b("unmapped") is None
+    assert mapping.is_incoherent()
+    assert mapping.mapped_pairs() == [("msgSlidingRoof", "msgRoofStatus")]
+
+
+def test_name_mapping_requires_registered_names():
+    mapping = NameMapping(Namespace("a"), Namespace("b"))
+    with pytest.raises(NamingError):
+        mapping.bind("ghost", "ghost")
+
+
+def test_name_mapping_conflicting_bind_rejected():
+    ns_a, ns_b = Namespace("a"), Namespace("b")
+    ns_a.register(sliding_roof_type("m", msg_id=1))
+    ns_b.register(sliding_roof_type("x", msg_id=1))
+    ns_b.register(sliding_roof_type("y", msg_id=2))
+    mapping = NameMapping(ns_a, ns_b)
+    mapping.bind("m", "x")
+    with pytest.raises(NamingError):
+        mapping.bind("m", "y")
+
+
+def test_name_mapping_coherent_identity():
+    ns_a, ns_b = Namespace("a"), Namespace("b")
+    ns_a.register(sliding_roof_type("m"))
+    ns_b.register(sliding_roof_type("m"))
+    mapping = NameMapping(ns_a, ns_b)
+    mapping.bind("m", "m")
+    assert not mapping.is_incoherent()

@@ -1,0 +1,237 @@
+"""Unit tests for components, partitions, and jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core_network import ClusterBuilder
+from repro.errors import ConfigurationError, PartitionViolationError, PortError
+from repro.platform import Component, Job, PartitionWindow
+from repro.sim import MS, Simulator, TraceCategory
+
+
+def make_component(sim: Simulator, name="n0", major_frame=10 * MS) -> Component:
+    cluster = ClusterBuilder(sim).add_node(name).add_node("peer").build()
+    cluster.start()
+    return Component(sim, name, cluster.controller(name), major_frame=major_frame)
+
+
+# ----------------------------------------------------------------------
+# partition windows / temporal partitioning
+# ----------------------------------------------------------------------
+def test_window_validation():
+    with pytest.raises(ConfigurationError):
+        PartitionWindow(offset=-1, duration=5)
+    with pytest.raises(ConfigurationError):
+        PartitionWindow(offset=0, duration=0)
+
+
+def test_partition_windows_must_not_overlap():
+    sim = Simulator()
+    comp = make_component(sim)
+    comp.add_partition("p1", "dasA", offset=0, duration=2 * MS)
+    with pytest.raises(ConfigurationError):
+        comp.add_partition("p2", "dasB", offset=1 * MS, duration=2 * MS)
+    comp.add_partition("p3", "dasB", offset=2 * MS, duration=2 * MS)  # adjacent ok
+
+
+def test_partition_window_must_fit_major_frame():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=5 * MS)
+    with pytest.raises(ConfigurationError):
+        comp.add_partition("p", "d", offset=4 * MS, duration=2 * MS)
+
+
+def test_duplicate_partition_name_rejected():
+    sim = Simulator()
+    comp = make_component(sim)
+    comp.add_partition("p", "d", offset=0, duration=MS)
+    with pytest.raises(ConfigurationError):
+        comp.add_partition("p", "d", offset=2 * MS, duration=MS)
+
+
+def test_windows_execute_periodically():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=10 * MS)
+    p1 = comp.add_partition("p1", "dasA", offset=1 * MS, duration=2 * MS)
+    p2 = comp.add_partition("p2", "dasB", offset=5 * MS, duration=2 * MS)
+    comp.start()
+    sim.run_until(34 * MS)
+    assert p1.windows_executed == 4  # at 1, 11, 21, 31 ms
+    assert p2.windows_executed == 3  # at 5, 15, 25 ms
+    times = sim.trace.times(TraceCategory.PARTITION_WINDOW, source="p1")
+    assert times == [1 * MS, 11 * MS, 21 * MS, 31 * MS]
+
+
+def test_deferred_work_waits_for_window():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=10 * MS)
+    part = comp.add_partition("p", "d", offset=4 * MS, duration=MS)
+    comp.start()
+    ran_at: list[int] = []
+    sim.at(1 * MS, lambda: part.defer(lambda: ran_at.append(sim.now)))
+    sim.run_until(20 * MS)
+    assert ran_at == [4 * MS]  # not at 1ms
+
+
+def test_defer_inside_window_runs_immediately():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=10 * MS)
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+
+    ran: list[int] = []
+
+    class Chainer(Job):
+        def on_step(self) -> None:
+            part.defer(lambda: ran.append(self.sim.now))
+
+    Chainer(sim, "j", "d", part)
+    comp.start()
+    sim.run_until(5 * MS)
+    assert ran == [0]
+
+
+# ----------------------------------------------------------------------
+# spatial partitioning
+# ----------------------------------------------------------------------
+def test_memory_quota_enforced():
+    sim = Simulator()
+    comp = make_component(sim)
+    part = comp.add_partition("p", "d", offset=0, duration=MS, memory_quota=100)
+    part.allocate("a", 60)
+    with pytest.raises(PartitionViolationError):
+        part.allocate("b", 50)
+    part.allocate("b", 40)
+    with pytest.raises(ConfigurationError):
+        part.allocate("a", 1)  # duplicate name
+    with pytest.raises(ConfigurationError):
+        part.allocate("c", 0)
+
+
+def test_cross_partition_write_denied():
+    sim = Simulator()
+    comp = make_component(sim)
+    p1 = comp.add_partition("p1", "dasA", offset=0, duration=MS)
+    p2 = comp.add_partition("p2", "dasB", offset=2 * MS, duration=MS)
+    j1 = Job(sim, "j1", "dasA", p1)
+    j2 = Job(sim, "j2", "dasB", p2)
+    region = p1.allocate("state", 16)
+    region.write(j1, "x", 1)
+    assert region.read("x") == 1
+    with pytest.raises(PartitionViolationError):
+        region.write(j2, "x", 2)
+    assert region.read("x") == 1  # unchanged
+    assert p1.spatial_violations == 1
+    assert region.read("missing", 42) == 42
+
+
+def test_region_lookup():
+    sim = Simulator()
+    comp = make_component(sim)
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+    r = part.allocate("state", 16)
+    assert part.region("state") is r
+    with pytest.raises(ConfigurationError):
+        part.region("ghost")
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+def test_job_must_match_partition_das():
+    sim = Simulator()
+    comp = make_component(sim)
+    part = comp.add_partition("p", "dasA", offset=0, duration=MS)
+    with pytest.raises(ConfigurationError):
+        Job(sim, "j", "dasB", part)
+
+
+def test_job_steps_once_per_window():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=10 * MS)
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+    job = Job(sim, "j", "d", part)
+    comp.start()
+    sim.run_until(25 * MS)
+    assert job.activations == 3
+
+
+def test_halted_job_does_not_step():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=10 * MS)
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+    job = Job(sim, "j", "d", part)
+    job.halt()
+    comp.start()
+    sim.run_until(25 * MS)
+    assert job.activations == 0
+    job.resume()
+    sim.run_until(45 * MS)
+    assert job.activations == 2
+
+
+def test_job_port_lookup_errors():
+    sim = Simulator()
+    comp = make_component(sim)
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+    job = Job(sim, "j", "d", part)
+    with pytest.raises(PortError):
+        job.port("ghost")
+    assert job.ports() == []
+
+
+def test_job_deliver_defers_to_window():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=10 * MS)
+    part = comp.add_partition("p", "d", offset=5 * MS, duration=MS)
+
+    seen: list[tuple[int, str]] = []
+
+    class Receiver(Job):
+        def on_message(self, port_name, instance, arrival):
+            seen.append((self.sim.now, port_name))
+
+    job = Receiver(sim, "j", "d", part)
+    comp.start()
+    sim.at(MS, lambda: job.deliver("msgIn", object(), sim.now))
+    sim.run_until(20 * MS)
+    assert seen == [(5 * MS, "msgIn")]
+    assert job.messages_handled == 1
+
+
+# ----------------------------------------------------------------------
+# component crash / restart
+# ----------------------------------------------------------------------
+def test_component_crash_silences_everything():
+    sim = Simulator()
+    comp = make_component(sim, major_frame=10 * MS)
+    part = comp.add_partition("p", "d", offset=0, duration=MS)
+    job = Job(sim, "j", "d", part)
+    comp.start()
+    sim.run_until(15 * MS)
+    base = job.activations
+    comp.crash()
+    assert comp.controller.crashed
+    sim.run_until(45 * MS)
+    assert job.activations == base
+    comp.restart()
+    sim.run_until(65 * MS)
+    assert job.activations > base
+
+
+def test_das_hosted_reports_integration():
+    sim = Simulator()
+    comp = make_component(sim)
+    comp.add_partition("p1", "dasA", offset=0, duration=MS)
+    comp.add_partition("p2", "dasB", offset=2 * MS, duration=MS)
+    assert comp.das_hosted() == {"dasA", "dasB"}
+
+
+def test_component_validation():
+    sim = Simulator()
+    cluster = ClusterBuilder(sim).add_node("n0").add_node("peer").build()
+    with pytest.raises(ConfigurationError):
+        Component(sim, "n0", cluster.controller("n0"), major_frame=0)
+    comp = Component(sim, "n0", cluster.controller("n0"))
+    with pytest.raises(ConfigurationError):
+        comp.partition("ghost")

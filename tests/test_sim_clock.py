@@ -1,0 +1,99 @@
+"""Unit tests for LocalClock (repro.sim.clock)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import SEC, LocalClock
+
+
+def test_perfect_clock_tracks_reference():
+    clk = LocalClock(drift_ppm=0.0)
+    for t in (0, 1, 10**6, 10**9):
+        assert clk.local_time(t) == t
+
+
+def test_fast_clock_gains_time():
+    clk = LocalClock(drift_ppm=100.0)  # +100 ppm
+    assert clk.local_time(SEC) == SEC + 100_000  # gains 100 us per second
+
+
+def test_slow_clock_loses_time():
+    clk = LocalClock(drift_ppm=-50.0)
+    assert clk.local_time(SEC) == SEC - 50_000
+
+
+def test_initial_offset():
+    clk = LocalClock(drift_ppm=0.0, offset=500)
+    assert clk.local_time(0) == 500
+    assert clk.offset_from_reference(0) == 500
+
+
+def test_correction_shifts_local_time():
+    clk = LocalClock(drift_ppm=0.0, offset=1_000)
+    clk.apply_correction(10_000, -1_000)
+    assert clk.local_time(10_000) == 10_000
+    assert clk.local_time(20_000) == 20_000
+    assert clk.corrections_applied == 1
+
+
+def test_correction_does_not_change_rate():
+    clk = LocalClock(drift_ppm=200.0)
+    clk.apply_correction(SEC, -clk.offset_from_reference(SEC))
+    # Immediately after correction local == ref, but it keeps drifting.
+    assert clk.local_time(SEC) == SEC
+    assert clk.local_time(2 * SEC) == 2 * SEC + 200_000
+
+
+def test_set_local_time():
+    clk = LocalClock(drift_ppm=0.0, offset=12345)
+    clk.set_local_time(100, 100)
+    assert clk.local_time(100) == 100
+
+
+def test_ref_time_for_local_perfect_clock():
+    clk = LocalClock(drift_ppm=0.0)
+    assert clk.ref_time_for_local(5_000, ref_hint=0) == 5_000
+
+
+def test_ref_time_for_local_with_drift_is_consistent():
+    clk = LocalClock(drift_ppm=300.0)
+    target = 10 * SEC
+    t = clk.ref_time_for_local(target, ref_hint=0)
+    # At the returned reference instant, the local clock reads >= target,
+    # and one nanosecond earlier it read < target.
+    assert clk.local_time(t) >= target
+    assert clk.local_time(t - 1) < target
+
+
+def test_ref_time_for_local_in_past_raises():
+    clk = LocalClock(drift_ppm=0.0)
+    with pytest.raises(SimulationError):
+        clk.ref_time_for_local(100, ref_hint=200)
+
+
+@given(
+    drift=st.floats(min_value=-500, max_value=500, allow_nan=False),
+    t=st.integers(min_value=0, max_value=10 * SEC),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_drift_bound(drift: float, t: int) -> None:
+    """|local - ref| never exceeds |drift_ppm| * 1e-6 * elapsed (+1 ns)."""
+    clk = LocalClock(drift_ppm=drift)
+    dev = abs(clk.offset_from_reference(t))
+    assert dev <= abs(drift) * 1e-6 * t + 1
+
+
+@given(
+    drift=st.floats(min_value=-500, max_value=500, allow_nan=False),
+    t1=st.integers(min_value=0, max_value=SEC),
+    dt=st.integers(min_value=0, max_value=SEC),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_monotonic(drift: float, t1: int, dt: int) -> None:
+    """Local time is monotonically non-decreasing in reference time."""
+    clk = LocalClock(drift_ppm=drift)
+    assert clk.local_time(t1 + dt) >= clk.local_time(t1)

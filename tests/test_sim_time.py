@@ -1,0 +1,46 @@
+"""Unit tests for the virtual-time vocabulary and formatting."""
+
+from __future__ import annotations
+
+from repro.sim import (
+    MS,
+    NEVER,
+    NS,
+    SEC,
+    US,
+    format_instant,
+    ms,
+    ns,
+    sec,
+    to_ms,
+    to_seconds,
+    to_us,
+    us,
+)
+
+
+def test_unit_constants_consistent():
+    assert US == 1000 * NS
+    assert MS == 1000 * US
+    assert SEC == 1000 * MS
+
+
+def test_constructors_round():
+    assert ns(1.4) == 1
+    assert us(1.5) == 1500
+    assert ms(0.25) == 250_000
+    assert sec(2.5) == 2_500_000_000
+
+
+def test_reporting_conversions():
+    assert to_seconds(SEC) == 1.0
+    assert to_us(US) == 1.0
+    assert to_ms(3 * MS) == 3.0
+
+
+def test_format_instant_picks_sensible_unit():
+    assert format_instant(5) == "5ns"
+    assert format_instant(1500) == "1.500us"
+    assert format_instant(2_500_000) == "2.500ms"
+    assert format_instant(1_250_000_000) == "1.250000s"
+    assert format_instant(NEVER) == "never"

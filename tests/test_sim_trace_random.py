@@ -1,0 +1,108 @@
+"""Unit tests for TraceLog and RandomStreams."""
+
+from __future__ import annotations
+
+from repro.sim import RandomStreams, TraceCategory, TraceLog
+
+
+# ----------------------------------------------------------------------
+# TraceLog
+# ----------------------------------------------------------------------
+def test_trace_record_and_query():
+    log = TraceLog()
+    log.record(10, TraceCategory.FRAME_TX, "bus", slot=1)
+    log.record(20, TraceCategory.FRAME_RX, "node.a", slot=1)
+    log.record(30, TraceCategory.FRAME_TX, "bus", slot=2)
+    assert len(log) == 3
+    assert log.count(category=TraceCategory.FRAME_TX) == 2
+    assert log.count(source="node.a") == 1
+    assert log.times(TraceCategory.FRAME_TX) == [10, 30]
+
+
+def test_trace_filters_since_until_predicate():
+    log = TraceLog()
+    for t in range(10):
+        log.record(t, "x", "s", v=t)
+    assert len(log.records(since=3, until=6)) == 4
+    assert len(log.records(predicate=lambda r: r["v"] % 2 == 0)) == 5
+
+
+def test_trace_last():
+    log = TraceLog()
+    assert log.last("x") is None
+    log.record(1, "x", "s", v=1)
+    log.record(2, "x", "s", v=2)
+    rec = log.last("x")
+    assert rec is not None and rec["v"] == 2
+
+
+def test_trace_disabled_is_noop():
+    log = TraceLog(enabled=False)
+    log.record(1, "x", "s")
+    assert len(log) == 0
+
+
+def test_trace_listener_and_unsubscribe():
+    log = TraceLog()
+    seen = []
+    unsub = log.subscribe(lambda r: seen.append(r.time))
+    log.record(1, "x", "s")
+    unsub()
+    log.record(2, "x", "s")
+    assert seen == [1]
+    unsub()  # idempotent
+
+
+def test_trace_record_get_and_getitem():
+    log = TraceLog()
+    log.record(1, "x", "s", a=1)
+    rec = log.records()[0]
+    assert rec["a"] == 1
+    assert rec.get("missing", 42) == 42
+
+
+def test_trace_clear():
+    log = TraceLog()
+    log.record(1, "x", "s")
+    log.clear()
+    assert len(log) == 0
+
+
+# ----------------------------------------------------------------------
+# RandomStreams
+# ----------------------------------------------------------------------
+def test_streams_same_name_same_generator():
+    rs = RandomStreams(7)
+    assert rs.get("a") is rs.get("a")
+
+
+def test_streams_reproducible_across_instances():
+    a = RandomStreams(7).get("x").integers(0, 1000, size=10)
+    b = RandomStreams(7).get("x").integers(0, 1000, size=10)
+    assert list(a) == list(b)
+
+
+def test_streams_independent_of_creation_order():
+    rs1 = RandomStreams(7)
+    rs1.get("a")
+    x1 = rs1.get("b").integers(0, 1000, size=5)
+    rs2 = RandomStreams(7)
+    x2 = rs2.get("b").integers(0, 1000, size=5)  # "a" never created
+    assert list(x1) == list(x2)
+
+
+def test_streams_differ_by_name_and_seed():
+    rs = RandomStreams(7)
+    xa = list(rs.get("a").integers(0, 10**9, size=8))
+    xb = list(rs.get("b").integers(0, 10**9, size=8))
+    assert xa != xb
+    other = list(RandomStreams(8).get("a").integers(0, 10**9, size=8))
+    assert xa != other
+
+
+def test_streams_names_and_contains():
+    rs = RandomStreams(0)
+    rs.get("z")
+    rs.get("a")
+    assert rs.names() == ["a", "z"]
+    assert "a" in rs and "missing" not in rs

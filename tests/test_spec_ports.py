@@ -1,0 +1,278 @@
+"""Unit tests for port/link/VN specifications."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.messaging import ElementDef, FieldDef, IntType, MessageType, Semantics
+from repro.spec import (
+    ControlParadigm,
+    Direction,
+    ETTiming,
+    InteractionType,
+    LinkSpec,
+    MaxLatencyConstraint,
+    PortSpec,
+    TransmissionBound,
+    TTTiming,
+    VirtualNetworkSpec,
+)
+
+MS = 1_000_000
+
+
+def simple_type(name: str) -> MessageType:
+    return MessageType(name, elements=(
+        ElementDef("Data", convertible=True, fields=(FieldDef("v", IntType(16)),)),
+    ))
+
+
+def make_port(name="msgA", direction=Direction.OUTPUT, control=ControlParadigm.TIME_TRIGGERED,
+              **kw) -> PortSpec:
+    if control is ControlParadigm.TIME_TRIGGERED and "tt" not in kw:
+        kw["tt"] = TTTiming(period=10 * MS)
+    return PortSpec(message_type=simple_type(name), direction=direction, control=control, **kw)
+
+
+# ----------------------------------------------------------------------
+# TTTiming
+# ----------------------------------------------------------------------
+def test_tt_nominal_instants():
+    tt = TTTiming(period=10, phase=3)
+    assert tt.nominal_instants(0, 35) == [3, 13, 23, 33]
+    assert tt.nominal_instants(13, 14) == [13]
+    assert tt.nominal_instants(14, 13) == []
+
+
+def test_tt_conforms_with_jitter():
+    tt = TTTiming(period=10, phase=0, jitter=1)
+    assert tt.conforms(20)
+    assert tt.conforms(21)
+    assert tt.conforms(19)
+    assert not tt.conforms(25)
+
+
+def test_tt_validation():
+    with pytest.raises(SpecificationError):
+        TTTiming(period=0)
+    with pytest.raises(SpecificationError):
+        TTTiming(period=10, phase=10)
+    with pytest.raises(SpecificationError):
+        TTTiming(period=10, jitter=-1)
+
+
+@given(period=st.integers(1, 1000), phase=st.integers(0, 999), n=st.integers(1, 50))
+@settings(max_examples=60, deadline=None)
+def test_property_tt_instants_on_grid(period, phase, n):
+    phase = phase % period
+    tt = TTTiming(period=period, phase=phase)
+    instants = tt.nominal_instants(0, phase + n * period)
+    assert all((t - phase) % period == 0 for t in instants)
+    assert instants == sorted(instants)
+    assert len(instants) == n
+
+
+# ----------------------------------------------------------------------
+# ETTiming
+# ----------------------------------------------------------------------
+def test_et_conformance():
+    et = ETTiming(min_interarrival=5, max_interarrival=50)
+    assert et.conforms(5) and et.conforms(50)
+    assert not et.conforms(4) and not et.conforms(51)
+
+
+def test_et_validation():
+    with pytest.raises(SpecificationError):
+        ETTiming(min_interarrival=-1)
+    with pytest.raises(SpecificationError):
+        ETTiming(min_interarrival=10, max_interarrival=5)
+    with pytest.raises(SpecificationError):
+        ETTiming(service_time=-1)
+    with pytest.raises(SpecificationError):
+        ETTiming(min_interarrival=10, max_interarrival=20, mean_interarrival=5)
+
+
+def test_et_queue_sizing():
+    # service 3x slower than worst-case arrivals: need >= 3, margin 2 -> 6
+    et = ETTiming(min_interarrival=1 * MS, service_time=3 * MS)
+    assert et.suggested_queue_depth(margin=2.0) == 6
+    assert ETTiming().suggested_queue_depth() == 1
+    with pytest.raises(SpecificationError):
+        ETTiming(min_interarrival=0, service_time=1).suggested_queue_depth()
+
+
+@given(
+    mi=st.integers(1, 100),
+    svc=st.integers(0, 1000),
+    margin=st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_queue_depth_covers_backlog(mi, svc, margin):
+    et = ETTiming(min_interarrival=mi, service_time=svc)
+    depth = et.suggested_queue_depth(margin)
+    assert depth >= 1
+    if svc:
+        assert depth >= svc / mi  # can absorb one worst-case service interval
+
+
+# ----------------------------------------------------------------------
+# PortSpec
+# ----------------------------------------------------------------------
+def test_port_kind_classification():
+    p = make_port(direction=Direction.INPUT, control=ControlParadigm.EVENT_TRIGGERED,
+                  interaction=InteractionType.PULL)
+    assert p.kind() == "pull input port"
+    assert p.is_input and not p.is_output
+    assert "event-triggered" in p.describe()
+
+
+def test_tt_port_requires_timing():
+    with pytest.raises(SpecificationError):
+        PortSpec(message_type=simple_type("m"), direction=Direction.OUTPUT,
+                 control=ControlParadigm.TIME_TRIGGERED)
+
+
+def test_et_port_gets_default_timing():
+    p = PortSpec(message_type=simple_type("m"), direction=Direction.OUTPUT,
+                 control=ControlParadigm.EVENT_TRIGGERED)
+    assert p.et is not None
+
+
+def test_event_port_queue_depth_validated():
+    with pytest.raises(SpecificationError):
+        PortSpec(message_type=simple_type("m"), direction=Direction.INPUT,
+                 semantics=Semantics.EVENT, queue_depth=0)
+
+
+def test_temporal_accuracy_validated():
+    with pytest.raises(SpecificationError):
+        PortSpec(message_type=simple_type("m"), direction=Direction.INPUT,
+                 temporal_accuracy=0)
+
+
+# ----------------------------------------------------------------------
+# LinkSpec
+# ----------------------------------------------------------------------
+def test_link_spec_queries():
+    link = LinkSpec(
+        das="comfort",
+        ports=(
+            make_port("msgIn", Direction.INPUT),
+            make_port("msgOut", Direction.OUTPUT),
+        ),
+    )
+    assert link.port("msgIn").is_input
+    assert link.has_port("msgOut") and not link.has_port("ghost")
+    assert [p.name for p in link.input_ports()] == ["msgIn"]
+    assert [p.name for p in link.output_ports()] == ["msgOut"]
+    assert set(link.message_types()) == {"msgIn", "msgOut"}
+    assert link.convertible_element_names() == {"Data"}
+
+
+def test_link_spec_duplicate_ports_rejected():
+    with pytest.raises(SpecificationError):
+        LinkSpec(das="d", ports=(make_port("m"), make_port("m")))
+
+
+def test_link_constraint_validation():
+    c = MaxLatencyConstraint(input_port="msgIn", output_port="msgOut", max_latency=5 * MS)
+    link = LinkSpec(
+        das="d",
+        ports=(make_port("msgIn", Direction.INPUT), make_port("msgOut", Direction.OUTPUT)),
+        constraints=(c,),
+    )
+    assert link.constraints[0].check(0, 4 * MS)
+    assert not link.constraints[0].check(0, 6 * MS)
+    assert not link.constraints[0].check(10, 5)  # reply before request
+
+
+def test_link_constraint_unknown_port_rejected():
+    c = MaxLatencyConstraint(input_port="ghost", output_port="msgOut", max_latency=1)
+    with pytest.raises(SpecificationError):
+        LinkSpec(das="d", ports=(make_port("msgOut", Direction.OUTPUT),), constraints=(c,))
+
+
+def test_max_latency_constraint_validation():
+    with pytest.raises(SpecificationError):
+        MaxLatencyConstraint(input_port="", output_port="b", max_latency=1)
+    with pytest.raises(SpecificationError):
+        MaxLatencyConstraint(input_port="a", output_port="b", max_latency=0)
+
+
+# ----------------------------------------------------------------------
+# VirtualNetworkSpec
+# ----------------------------------------------------------------------
+def test_vn_spec_registers_namespace_and_flows():
+    producer = LinkSpec(das="abs", ports=(make_port("msgWheelSpeed", Direction.OUTPUT),))
+    consumer = LinkSpec(das="abs", ports=(
+        make_port("msgWheelSpeed", Direction.INPUT),
+        make_port("msgYawRate", Direction.INPUT),
+    ))
+    vn = VirtualNetworkSpec(das="abs", control=ControlParadigm.TIME_TRIGGERED,
+                            links=(producer, consumer), bandwidth_share=0.25)
+    assert "msgWheelSpeed" in vn.namespace
+    assert vn.unmatched_inputs() == ["msgYawRate"]  # needs gateway import
+    assert vn.exported_candidates() == ["msgWheelSpeed"]
+    assert vn.message_type("msgYawRate").name == "msgYawRate"
+
+
+def test_vn_spec_rejects_foreign_link():
+    link = LinkSpec(das="other", ports=())
+    with pytest.raises(SpecificationError):
+        VirtualNetworkSpec(das="abs", control=ControlParadigm.TIME_TRIGGERED, links=(link,))
+
+
+def test_vn_spec_rejects_conflicting_message_structures():
+    t1 = simple_type("msgX")
+    t2 = MessageType("msgX", elements=(
+        ElementDef("Other", fields=(FieldDef("w", IntType(8)),)),
+    ))
+    l1 = LinkSpec(das="d", ports=(PortSpec(message_type=t1, direction=Direction.OUTPUT),))
+    l2 = LinkSpec(das="d", ports=(PortSpec(message_type=t2, direction=Direction.INPUT),))
+    with pytest.raises(SpecificationError):
+        VirtualNetworkSpec(das="d", control=ControlParadigm.EVENT_TRIGGERED, links=(l1, l2))
+
+
+def test_vn_spec_bandwidth_share_bounds():
+    with pytest.raises(SpecificationError):
+        VirtualNetworkSpec(das="d", control=ControlParadigm.EVENT_TRIGGERED,
+                           bandwidth_share=1.5)
+
+
+def test_vn_spec_control_paradigm_validation():
+    link = LinkSpec(das="d", ports=(make_port("m", control=ControlParadigm.TIME_TRIGGERED),))
+    vn = VirtualNetworkSpec(das="d", control=ControlParadigm.EVENT_TRIGGERED, links=(link,))
+    problems = vn.validate_control_paradigm()
+    assert problems and "time-triggered" in problems[0]
+
+
+def test_transmission_bound_validation():
+    TransmissionBound(message="m", max_duration=10)
+    with pytest.raises(SpecificationError):
+        TransmissionBound(message="", max_duration=10)
+    with pytest.raises(SpecificationError):
+        TransmissionBound(message="m", max_duration=0)
+    with pytest.raises(SpecificationError):
+        TransmissionBound(message="m", max_duration=10, max_jitter=-1)
+
+
+def test_vn_spec_iterates_ports_and_links():
+    link1 = LinkSpec(das="abs", ports=(make_port("msgA", Direction.OUTPUT),))
+    link2 = LinkSpec(das="abs", ports=(make_port("msgA", Direction.INPUT),
+                                       make_port("msgB", Direction.INPUT)))
+    vn = VirtualNetworkSpec(das="abs", control=ControlParadigm.TIME_TRIGGERED,
+                            links=(link1, link2))
+    assert vn.link_for_job(0) is link1
+    assert len(list(vn.all_port_specs())) == 3
+
+
+def test_vn_spec_namespace_shared_registration():
+    """The same message type in two links registers once."""
+    link1 = LinkSpec(das="d", ports=(make_port("msgA", Direction.OUTPUT),))
+    link2 = LinkSpec(das="d", ports=(make_port("msgA", Direction.INPUT),))
+    vn = VirtualNetworkSpec(das="d", control=ControlParadigm.TIME_TRIGGERED,
+                            links=(link1, link2))
+    assert len(vn.namespace) == 1

@@ -1,0 +1,159 @@
+"""Unit tests for transfer semantics (event<->state conversion rules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.messaging import Semantics
+from repro.spec import DerivedElement, DerivedField, TransferSemantics
+
+
+def movement_state_element() -> DerivedElement:
+    """Fig. 6's MovementState derived from MovementEvent."""
+    return DerivedElement(
+        name="MovementState",
+        source_element="MovementEvent",
+        fields=(
+            DerivedField.parse("StateValue", "StateValue=StateValue+ValueChange",
+                               semantics=Semantics.STATE, init=0),
+            DerivedField.parse("ObservationTime", "ObservationTime=EventTime",
+                               semantics=Semantics.STATE, init=0),
+        ),
+    )
+
+
+def test_event_to_state_accumulation_fig6():
+    ts = TransferSemantics(elements=(movement_state_element(),))
+    state = ts.new_state("MovementState")
+    state.apply({"ValueChange": 25, "EventTime": 100}, now=100)
+    assert state.values == {"StateValue": 25, "ObservationTime": 100}
+    state.apply({"ValueChange": -10, "EventTime": 250}, now=250)
+    assert state.values == {"StateValue": 15, "ObservationTime": 250}
+    assert state.applications == 2
+    assert state.last_applied_at == 250
+
+
+def test_state_to_event_via_prev():
+    """Reverse conversion: emit relative changes from absolute values."""
+    el = DerivedElement(
+        name="MovementEvent",
+        source_element="MovementState",
+        fields=(
+            DerivedField.parse("ValueChange", "ValueChange=StateValue-prev(StateValue)",
+                               semantics=Semantics.EVENT, init=0),
+        ),
+    )
+    state = TransferSemantics(elements=(el,)).new_state("MovementEvent")
+    state.apply({"StateValue": 40})
+    assert state.values["ValueChange"] == 40  # prev defaults to 0
+    state.apply({"StateValue": 55})
+    assert state.values["ValueChange"] == 15
+    state.apply({"StateValue": 50})
+    assert state.values["ValueChange"] == -5
+
+
+def test_roundtrip_event_state_event_is_identity():
+    """event->state->event recovers the original deltas after the first."""
+    to_state = movement_state_element()
+    to_event = DerivedElement(
+        name="Back",
+        fields=(DerivedField.parse("ValueChange", "ValueChange=StateValue-prev(StateValue)"),),
+    )
+    ts = TransferSemantics(elements=(to_state, to_event))
+    s1 = ts.new_state("MovementState")
+    s2 = ts.new_state("Back")
+    deltas = [5, -3, 12, 0, -7]
+    recovered = []
+    for i, d in enumerate(deltas):
+        s1.apply({"ValueChange": d, "EventTime": i})
+        s2.apply({"StateValue": s1.values["StateValue"]})
+        recovered.append(s2.values["ValueChange"])
+    assert recovered == deltas
+
+
+def test_rules_run_sequentially_in_declaration_order():
+    el = DerivedElement(
+        name="Seq",
+        fields=(
+            DerivedField.parse("a", "a=a+1", init=0),
+            DerivedField.parse("b", "b=a*10", init=0),  # sees updated a
+        ),
+    )
+    state = TransferSemantics(elements=(el,)).new_state("Seq")
+    state.apply({})
+    assert state.values == {"a": 1, "b": 10}
+
+
+def test_derived_shadowing_on_name_collision():
+    """Derived running value wins over a same-named source field."""
+    el = DerivedElement(
+        name="Acc",
+        fields=(DerivedField.parse("v", "v=v+1", init=10),),
+    )
+    state = TransferSemantics(elements=(el,)).new_state("Acc")
+    state.apply({"v": 999})  # source also has 'v'; accumulation must use derived
+    assert state.values["v"] == 11
+
+
+def test_reset_restores_init():
+    ts = TransferSemantics(elements=(movement_state_element(),))
+    state = ts.new_state("MovementState")
+    state.apply({"ValueChange": 5, "EventTime": 1})
+    state.reset()
+    assert state.values == {"StateValue": 0, "ObservationTime": 0}
+    assert state.applications == 0
+
+
+def test_rule_target_must_match_field_name():
+    with pytest.raises(SpecificationError):
+        DerivedField.parse("StateValue", "Other=Other+1")
+
+
+def test_rule_target_case_insensitive_for_paper_verbatim():
+    f = DerivedField.parse("statevalue", "StateValue=StateValue+ValueChange")
+    assert f.name == "statevalue"
+
+
+def test_duplicate_derived_elements_rejected():
+    el = movement_state_element()
+    with pytest.raises(SpecificationError):
+        TransferSemantics(elements=(el, el))
+
+
+def test_derived_element_needs_fields():
+    with pytest.raises(SpecificationError):
+        DerivedElement(name="Empty", fields=())
+
+
+def test_duplicate_derived_fields_rejected():
+    f = DerivedField.parse("a", "a=a+1")
+    with pytest.raises(SpecificationError):
+        DerivedElement(name="Dup", fields=(f, f))
+
+
+def test_sources_for_lists_foreign_variables():
+    ts = TransferSemantics(elements=(movement_state_element(),))
+    assert ts.sources_for("MovementState") == {"ValueChange", "EventTime"}
+
+
+def test_lookup_helpers():
+    ts = TransferSemantics(elements=(movement_state_element(),))
+    assert ts.has("MovementState") and not ts.has("Ghost")
+    assert ts.names() == ["MovementState"]
+    with pytest.raises(SpecificationError):
+        ts.derived("Ghost")
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=30))
+@settings(max_examples=80, deadline=None)
+def test_property_accumulation_equals_sum(deltas):
+    """StateValue after applying a delta sequence equals its plain sum."""
+    ts = TransferSemantics(elements=(movement_state_element(),))
+    state = ts.new_state("MovementState")
+    for i, d in enumerate(deltas):
+        state.apply({"ValueChange": d, "EventTime": i})
+    assert state.values["StateValue"] == sum(deltas)
+    assert state.values["ObservationTime"] == len(deltas) - 1

@@ -1,0 +1,162 @@
+"""Property test: arbitrary link specifications survive XML round trips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.messaging import (
+    BoolType,
+    ElementDef,
+    FieldDef,
+    IntType,
+    MessageType,
+    Semantics,
+    StringType,
+    TimestampType,
+    UIntType,
+)
+from repro.spec import (
+    ControlParadigm,
+    Direction,
+    ETTiming,
+    InteractionType,
+    LinkSpec,
+    PortSpec,
+    TTTiming,
+    parse_link_spec,
+    serialize_link_spec,
+)
+
+_IDENT = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,10}", fullmatch=True)
+
+
+@st.composite
+def field_defs(draw, static_allowed=True):
+    name = draw(_IDENT)
+    kind = draw(st.sampled_from(["int", "uint", "bool", "ts", "str"]))
+    if kind == "int":
+        ftype = IntType(draw(st.sampled_from([8, 16, 32])))
+        static_value = draw(st.integers(-100, 100))
+    elif kind == "uint":
+        ftype = UIntType(draw(st.sampled_from([8, 16, 32])))
+        static_value = draw(st.integers(0, 200))
+    elif kind == "bool":
+        ftype = BoolType()
+        static_value = draw(st.booleans())
+    elif kind == "ts":
+        ftype = TimestampType(32)
+        static_value = draw(st.integers(0, 10**6))
+    else:
+        ftype = StringType(8)
+        static_value = draw(st.from_regex(r"[a-z]{0,6}", fullmatch=True))
+    static = static_allowed and draw(st.booleans())
+    if static:
+        return FieldDef(name, ftype, static=True, static_value=static_value)
+    return FieldDef(name, ftype)
+
+
+@st.composite
+def message_types(draw):
+    mname = "msg" + draw(_IDENT)
+    n_elements = draw(st.integers(1, 3))
+    elements = []
+    used = set()
+    for i in range(n_elements):
+        ename = draw(_IDENT.filter(lambda s: s not in used))
+        used.add(ename)
+        fields = []
+        fused = set()
+        for _ in range(draw(st.integers(1, 3))):
+            f = draw(field_defs())
+            if f.name in fused:
+                continue
+            fused.add(f.name)
+            fields.append(f)
+        elements.append(ElementDef(
+            name=ename,
+            fields=tuple(fields),
+            convertible=draw(st.booleans()),
+            semantics=draw(st.sampled_from(list(Semantics))),
+        ))
+    return MessageType(mname, tuple(elements))
+
+
+@st.composite
+def port_specs(draw):
+    mtype = draw(message_types())
+    control = draw(st.sampled_from(list(ControlParadigm)))
+    tt = None
+    et = None
+    if control is ControlParadigm.TIME_TRIGGERED:
+        period = draw(st.integers(1_000, 10**8))
+        tt = TTTiming(period=period, phase=draw(st.integers(0, period - 1)),
+                      jitter=draw(st.integers(0, 1000)))
+    else:
+        tmin = draw(st.integers(0, 10**6))
+        et = ETTiming(min_interarrival=tmin,
+                      max_interarrival=tmin + draw(st.integers(0, 10**8)),
+                      service_time=draw(st.integers(0, 10**6)))
+    semantics = draw(st.sampled_from(list(Semantics)))
+    return PortSpec(
+        message_type=mtype,
+        direction=draw(st.sampled_from(list(Direction))),
+        semantics=semantics,
+        control=control,
+        interaction=draw(st.sampled_from(list(InteractionType))),
+        tt=tt,
+        et=et,
+        queue_depth=draw(st.integers(1, 64)),
+        temporal_accuracy=(draw(st.integers(1, 10**9))
+                           if semantics is Semantics.STATE and draw(st.booleans())
+                           else None),
+    )
+
+
+@st.composite
+def link_specs(draw):
+    ports = []
+    names = set()
+    for _ in range(draw(st.integers(1, 3))):
+        p = draw(port_specs())
+        if p.name in names:
+            continue
+        names.add(p.name)
+        ports.append(p)
+    return LinkSpec(das=draw(_IDENT), ports=tuple(ports))
+
+
+@given(link=link_specs())
+@settings(max_examples=60, deadline=None)
+def test_property_xml_roundtrip_preserves_structure(link: LinkSpec):
+    text = serialize_link_spec(link)
+    again = parse_link_spec(text)
+    assert again.das == link.das
+    assert set(again.message_types()) == set(link.message_types())
+    for name, mt in link.message_types().items():
+        mt2 = again.message_types()[name]
+        assert mt2.elements == mt.elements
+        assert mt2.bit_width() == mt.bit_width()
+    for p in link.ports:
+        p2 = again.port(p.name)
+        assert p2.direction == p.direction
+        assert p2.semantics == p.semantics
+        assert p2.control == p.control
+        assert p2.interaction == p.interaction
+        assert p2.queue_depth == p.queue_depth
+        assert p2.temporal_accuracy == p.temporal_accuracy
+        if p.tt is not None:
+            assert p2.tt == p.tt
+        if p.et is not None:
+            assert (p2.et.min_interarrival, p2.et.max_interarrival,
+                    p2.et.service_time) == (p.et.min_interarrival,
+                                            p.et.max_interarrival,
+                                            p.et.service_time)
+
+
+@given(link=link_specs())
+@settings(max_examples=30, deadline=None)
+def test_property_serialization_idempotent(link: LinkSpec):
+    once = serialize_link_spec(link)
+    twice = serialize_link_spec(parse_link_spec(once))
+    assert once == twice

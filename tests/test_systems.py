@@ -1,0 +1,261 @@
+"""Unit tests for system assembly, resource accounting, naive bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.messaging import Namespace
+from repro.platform import Job
+from repro.sim import MS, SEC, Simulator
+from repro.spec import ControlParadigm, Direction, LinkSpec, PortSpec, TTTiming
+from repro.systems import (
+    ArchitectureModel,
+    DASRequirement,
+    GatewayDecl,
+    NaiveBridge,
+    SystemBuilder,
+    SystemRequirements,
+    federated_inventory,
+    integrated_inventory,
+)
+from repro.vn import ETVirtualNetwork, TTVirtualNetwork
+
+from .support import et_in_spec, et_out_spec, event_message, state_message, tt_in_spec, tt_out_spec
+
+
+# ----------------------------------------------------------------------
+# SystemBuilder validation
+# ----------------------------------------------------------------------
+def test_builder_rejects_duplicates_and_unknowns():
+    b = SystemBuilder()
+    b.add_node("a")
+    with pytest.raises(ConfigurationError):
+        b.add_node("a")
+    b.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    with pytest.raises(ConfigurationError):
+        b.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    with pytest.raises(ConfigurationError):
+        b.add_job("j", "ghostdas", "a", Job)
+    with pytest.raises(ConfigurationError):
+        b.add_job("j", "x", "ghostnode", Job)
+    b.add_job("j", "x", "a", Job)
+    with pytest.raises(ConfigurationError):
+        b.add_job("j", "x", "a", Job)
+    with pytest.raises(ConfigurationError):
+        SystemBuilder().build()
+
+
+def test_builder_rejects_gateway_with_unknowns():
+    b = SystemBuilder()
+    b.add_node("a")
+    b.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    link = LinkSpec(das="x")
+    with pytest.raises(ConfigurationError):
+        b.add_gateway(GatewayDecl(name="g", host="ghost", das_a="x", das_b="x",
+                                  link_a=link, link_b=link))
+    with pytest.raises(ConfigurationError):
+        b.add_gateway(GatewayDecl(name="g", host="a", das_a="ghost", das_b="x",
+                                  link_a=link, link_b=link))
+
+
+def test_builder_computes_reservations_from_output_ports():
+    b = SystemBuilder()
+    b.add_node("a").add_node("b")
+    b.add_das("x", ControlParadigm.TIME_TRIGGERED)
+    mt = state_message("msgS")
+    b.add_job("prod", "x", "a", Job, ports=(tt_out_spec(mt, period=10 * MS),))
+    system = b.build()
+    slot_a = system.cluster.schedule.slots_of("a")[0]
+    assert slot_a.reserved_for("x") >= 4 + mt.byte_width()
+
+
+def test_builder_partitions_are_disjoint_per_node():
+    b = SystemBuilder(major_frame=4 * MS)
+    b.add_node("a")
+    b.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    b.add_das("y", ControlParadigm.EVENT_TRIGGERED)
+    b.add_job("jx", "x", "a", Job)
+    b.add_job("jy", "y", "a", Job)
+    system = b.build()
+    px = system.partition("a", "x")
+    py = system.partition("a", "y")
+    assert px.window.end() <= py.window.offset or py.window.end() <= px.window.offset
+
+
+def test_system_accessors_raise_on_unknown():
+    b = SystemBuilder()
+    b.add_node("a")
+    b.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    b.add_job("j", "x", "a", Job)
+    system = b.build()
+    with pytest.raises(ConfigurationError):
+        system.vn("ghost")
+    with pytest.raises(ConfigurationError):
+        system.job("ghost")
+    with pytest.raises(ConfigurationError):
+        system.gateway("ghost")
+    with pytest.raises(ConfigurationError):
+        system.component("ghost")
+    with pytest.raises(ConfigurationError):
+        system.partition("a", "ghost")
+
+
+def test_manual_reserve_widens_budget():
+    b = SystemBuilder()
+    b.add_node("a")
+    b.add_das("x", ControlParadigm.EVENT_TRIGGERED)
+    b.add_job("j", "x", "a", Job)
+    b.reserve("a", "x", 100)
+    system = b.build()
+    assert system.cluster.schedule.slots_of("a")[0].reserved_for("x") >= 100
+
+
+def test_vn_paradigm_matches_das_declaration():
+    b = SystemBuilder()
+    b.add_node("a")
+    b.add_das("tt", ControlParadigm.TIME_TRIGGERED)
+    b.add_das("et", ControlParadigm.EVENT_TRIGGERED)
+    b.add_job("j1", "tt", "a", Job)
+    b.add_job("j2", "et", "a", Job)
+    system = b.build()
+    assert isinstance(system.vn("tt"), TTVirtualNetwork)
+    assert isinstance(system.vn("et"), ETVirtualNetwork)
+
+
+# ----------------------------------------------------------------------
+# resource inventories
+# ----------------------------------------------------------------------
+def small_requirements() -> SystemRequirements:
+    return SystemRequirements(
+        dass=(
+            DASRequirement("a", jobs=4, sensed_quantities=("wheel",)),
+            DASRequirement("b", jobs=4, importable=("wheel",)),
+        ),
+        jobs_per_ecu=4,
+        sensors_per_quantity={"wheel": 4},
+    )
+
+
+def test_federated_duplicates_everything():
+    req = SystemRequirements(
+        dass=(
+            DASRequirement("a", jobs=4, sensed_quantities=("wheel",)),
+            DASRequirement("b", jobs=4, sensed_quantities=("wheel",)),
+        ),
+        sensors_per_quantity={"wheel": 4},
+    )
+    inv = federated_inventory(req)
+    assert inv.ecus == 2
+    assert inv.networks == 2
+    assert inv.sensors == 8  # duplicated per DAS
+
+
+def test_integrated_strict_vs_gateways():
+    req = small_requirements()
+    strict = integrated_inventory(req, coupling="none")
+    gw = integrated_inventory(req, coupling="gateways")
+    assert strict.networks == gw.networks == 1
+    assert strict.ecus == gw.ecus == 2
+    assert gw.sensors == 4  # shared once system-wide
+    assert gw.gateways == 1  # DAS b imports
+    assert gw.connectors < strict.connectors or strict.sensors == gw.sensors
+
+
+def test_inventory_validation():
+    with pytest.raises(ConfigurationError):
+        DASRequirement("a", jobs=0)
+    with pytest.raises(ConfigurationError):
+        SystemRequirements(dass=(), jobs_per_ecu=0)
+    with pytest.raises(ConfigurationError):
+        SystemRequirements(dass=(DASRequirement("a", 1), DASRequirement("a", 1)))
+    with pytest.raises(ConfigurationError):
+        integrated_inventory(small_requirements(), coupling="magic")
+
+
+def test_architecture_model_order_and_proxy():
+    invs = ArchitectureModel(small_requirements()).all_inventories()
+    assert [i.architecture for i in invs] == [
+        "federated",
+        "integrated (strict separation)",
+        "integrated + naive bridges",
+        "integrated + virtual gateways",
+    ]
+    fed = invs[0]
+    assert fed.connector_failure_proxy(25.0) == fed.connectors * 25.0
+
+
+# ----------------------------------------------------------------------
+# naive bridge
+# ----------------------------------------------------------------------
+def build_bridge_world(sim, dst_tt=False):
+    from repro.core_network import ClusterBuilder, NodeConfig
+
+    b = ClusterBuilder(sim)
+    for n in ("src", "gw", "dst"):
+        b.add_node(NodeConfig(n, slot_capacity_bytes=48,
+                              reservations={"a": 20, "b": 20}))
+    cluster = b.build()
+    cluster.start()
+    ns_a = Namespace("a")
+    m = ns_a.register(event_message("msgE"))
+    vn_a = ETVirtualNetwork(sim, "a", cluster, ns_a)
+    vn_a.attach_gateway_producer("msgE", "src")
+    vn_a.start()
+    ns_b = Namespace("b")
+    ns_b.register(event_message("msgE"))
+    if dst_tt:
+        vn_b = TTVirtualNetwork(sim, "b", cluster, ns_b)
+    else:
+        vn_b = ETVirtualNetwork(sim, "b", cluster, ns_b)
+    return cluster, vn_a, vn_b, m
+
+
+def test_naive_bridge_forwards_everything_verbatim():
+    sim = Simulator()
+    cluster, vn_a, vn_b, m = build_bridge_world(sim)
+    got = []
+    vn_b.tap("msgE", "dst", lambda name, inst, t: got.append(inst.get("Change", "delta")))
+    bridge = NaiveBridge(sim, "br", "gw", vn_a, vn_b, messages=("msgE",))
+    bridge.start()
+    vn_b.start()
+    for k in range(5):
+        sim.at(k * MS + 1, lambda k=k: vn_a.send("msgE", m.instance(
+            Change={"delta": k, "at": 0})))
+    sim.run_until(50 * MS)
+    assert got == [0, 1, 2, 3, 4]
+    assert bridge.forwarded == 5
+
+
+def test_naive_bridge_tt_destination_needs_timing():
+    sim = Simulator()
+    cluster, vn_a, vn_b, m = build_bridge_world(sim, dst_tt=True)
+    bridge = NaiveBridge(sim, "br", "gw", vn_a, vn_b, messages=("msgE",))
+    with pytest.raises(ConfigurationError):
+        bridge.start()
+
+
+def test_naive_bridge_tt_destination_samples_latest():
+    sim = Simulator()
+    cluster, vn_a, vn_b, m = build_bridge_world(sim, dst_tt=True)
+    cyc = cluster.schedule.cycle_length
+    bridge = NaiveBridge(sim, "br", "gw", vn_a, vn_b, messages=("msgE",),
+                         tt_timing=TTTiming(period=4 * cyc))
+    got = []
+    vn_b.tap("msgE", "dst", lambda name, inst, t: got.append(inst.get("Change", "delta")))
+    bridge.start()
+    vn_b.start()
+    sim.at(1, lambda: vn_a.send("msgE", m.instance(Change={"delta": 7, "at": 0})))
+    sim.run_until(20 * cyc)
+    assert got and all(v == 7 for v in got)
+
+
+def test_naive_bridge_requires_messages_registered_both_sides():
+    sim = Simulator()
+    cluster, vn_a, vn_b, m = build_bridge_world(sim)
+    bridge = NaiveBridge(sim, "br", "gw", vn_a, vn_b, messages=("ghost",))
+    with pytest.raises(Exception):
+        bridge.start()
+    empty = NaiveBridge(sim, "br2", "gw", vn_a, vn_b, messages=())
+    with pytest.raises(ConfigurationError):
+        empty.start()

@@ -1,0 +1,72 @@
+"""Tests for the encapsulation audit."""
+
+from __future__ import annotations
+
+from repro.platform import Job
+from repro.sim import MS
+from repro.spec import ControlParadigm, Direction, PortSpec, TTTiming
+from repro.systems import EncapsulationAudit, SystemBuilder
+
+from .support import et_out_spec, event_message, state_message, tt_out_spec
+
+
+def build_clean_system():
+    b = SystemBuilder()
+    b.add_node("a").add_node("b")
+    b.add_das("tt", ControlParadigm.TIME_TRIGGERED)
+    b.add_das("et", ControlParadigm.EVENT_TRIGGERED)
+    b.add_job("p1", "tt", "a", Job,
+              ports=(tt_out_spec(state_message("msgS"), period=10 * MS),))
+    b.add_job("p2", "et", "b", Job,
+              ports=(et_out_spec(event_message("msgE")),))
+    return b.build()
+
+
+def test_clean_system_audits_clean():
+    system = build_clean_system()
+    audit = EncapsulationAudit(system)
+    findings = audit.run()
+    errors = [f for f in findings if f.severity == "error"]
+    assert errors == []
+    assert audit.clean
+    assert "CLEAN" in audit.report()
+
+
+def test_paradigm_mismatch_flagged_as_warning():
+    b = SystemBuilder()
+    b.add_node("a")
+    b.add_das("tt", ControlParadigm.TIME_TRIGGERED)
+    # An ET-style port on a TT DAS: legal to build, but the audit warns.
+    b.add_job("p", "tt", "a", Job, ports=(et_out_spec(event_message("msgE")),))
+    system = b.build()
+    audit = EncapsulationAudit(system)
+    audit.run()
+    warnings = [f for f in audit.findings if f.check == "paradigm-consistency"]
+    assert warnings
+    assert audit.clean  # warnings don't make it dirty
+
+
+def test_missing_reservation_flagged_as_error():
+    system = build_clean_system()
+    # A VN producing from a node with no reservation for it.
+    from repro.messaging import Namespace
+    from repro.vn import TTVirtualNetwork
+
+    ns = Namespace("ghost")
+    ns.register(state_message("msgG", msg_id=42))
+    vn = TTVirtualNetwork(system.sim, "ghost", system.cluster, ns)
+    vn.attach_gateway_producer("msgG", "a")
+    system.vns["ghost"] = vn
+    audit = EncapsulationAudit(system)
+    audit.run()
+    assert not audit.clean
+    assert any(f.check == "bandwidth-partitioning" for f in audit.findings)
+    assert "VIOLATIONS" in audit.report()
+
+
+def test_report_lists_findings_or_none():
+    system = build_clean_system()
+    audit = EncapsulationAudit(system)
+    audit.run()
+    report = audit.report()
+    assert "audit" in report

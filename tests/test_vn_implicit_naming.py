@@ -1,0 +1,99 @@
+"""Tests for implicit message naming on TT virtual networks (Sec. II-E)."""
+
+from __future__ import annotations
+
+from repro.messaging import Namespace
+from repro.sim import Simulator
+from repro.spec import TTTiming
+from repro.vn import TTVirtualNetwork
+
+from .support import state_message, two_node_cluster
+
+
+def build(sim, implicit=True, n_messages=2):
+    cluster = two_node_cluster(sim, {"dasA": 60})
+    cyc = cluster.schedule.cycle_length
+    ns = Namespace("dasA")
+    vn = TTVirtualNetwork(sim, "dasA", cluster, ns, implicit_naming=implicit)
+    got: dict[str, list] = {}
+    counters: dict[str, int] = {}
+    for i in range(n_messages):
+        name = f"msg{i}"
+        mt = ns.register(state_message(name, msg_id=i + 1))
+        counters[name] = 0
+
+        def provider(mt=mt, name=name):
+            counters[name] += 1
+            return mt.instance(Value={"v": counters[name]})
+
+        vn.attach_gateway_producer(name, "n0", provider=provider)
+        # Same period, staggered by one cycle: the dispatch grids are
+        # disjoint, so each instant names exactly one message (the
+        # TT-round structure implicit naming relies on).
+        vn.set_timing(name, TTTiming(period=4 * cyc, phase=i * cyc))
+        got[name] = []
+        vn.tap(name, "n1", lambda m, inst, t, name=name: got[name].append(inst))
+    vn.start()
+    return cluster, vn, got
+
+
+def test_implicit_names_resolved_from_schedule():
+    sim = Simulator()
+    cluster, vn, got = build(sim, implicit=True)
+    sim.run_until(60 * cluster.schedule.cycle_length)
+    assert vn.implicit_resolutions > 10
+    assert vn.implicit_failures == 0
+    # Every tap received ONLY its own message, with correct content.
+    for name, instances in got.items():
+        assert instances, f"{name} never delivered"
+        values = [inst.get("Value", "v") for inst in instances]
+        assert values == sorted(values)  # per-message counters in order
+        assert all(inst.mtype.name == name for inst in instances)
+
+
+def test_implicit_chunks_carry_no_name_bytes():
+    sim = Simulator()
+    cluster, vn, got = build(sim, implicit=True, n_messages=1)
+    seen_chunks = []
+    cluster.controller("n1").register_receiver(
+        "dasA", lambda c, t: seen_chunks.append(c))
+    sim.run_until(30 * cluster.schedule.cycle_length)
+    assert seen_chunks
+    assert all(c.message == "" for c in seen_chunks)
+
+
+def test_explicit_mode_unchanged():
+    sim = Simulator()
+    cluster, vn, got = build(sim, implicit=False, n_messages=1)
+    sim.run_until(30 * cluster.schedule.cycle_length)
+    assert vn.implicit_resolutions == 0
+    assert got["msg0"]
+
+
+def test_resolve_implicit_lookup():
+    sim = Simulator()
+    cluster, vn, got = build(sim, implicit=True, n_messages=2)
+    sim.run_until(cluster.schedule.cycle_length)
+    (s0, p0) = vn._effective_start["msg0"]
+    assert vn.resolve_implicit(s0) == "msg0"
+    assert vn.resolve_implicit(s0 + 3 * p0) == "msg0"
+    assert vn.resolve_implicit(s0 + 1) is None
+
+
+def test_ambiguous_implicit_schedule_rejected():
+    from repro.errors import ConfigurationError
+    from repro.messaging import Namespace
+    import pytest
+
+    sim = Simulator()
+    cluster = two_node_cluster(sim, {"dasA": 60})
+    cyc = cluster.schedule.cycle_length
+    ns = Namespace("dasA")
+    vn = TTVirtualNetwork(sim, "dasA", cluster, ns, implicit_naming=True)
+    for i, period_cycles in enumerate((4, 5)):  # gcd grids collide
+        mt = ns.register(state_message(f"msg{i}", msg_id=i + 1))
+        vn.attach_gateway_producer(f"msg{i}", "n0",
+                                   provider=lambda mt=mt: mt.instance())
+        vn.set_timing(f"msg{i}", TTTiming(period=period_cycles * cyc))
+    with pytest.raises(ConfigurationError):
+        vn.start()

