@@ -23,7 +23,7 @@ from repro.messaging import (
     Semantics,
     UIntType,
 )
-from repro.sim import MS, SEC, Simulator
+from repro.sim import MS, Simulator
 from repro.spec import (
     ETTiming,
     LinkSpec,
@@ -32,7 +32,7 @@ from repro.spec import (
     TransmissionBound,
     TTTiming,
 )
-from repro.spec.port_spec import ControlParadigm, Direction
+from repro.spec.port_spec import Direction
 
 
 def msg(name: str, nid: int) -> MessageType:

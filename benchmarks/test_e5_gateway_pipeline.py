@@ -23,7 +23,7 @@ from repro.messaging import (
     Semantics,
     TimestampType,
 )
-from repro.sim import MS, SEC, Simulator, TraceCategory
+from repro.sim import MS, SEC, TraceCategory
 from repro.spec import (
     ControlParadigm,
     Direction,

@@ -9,10 +9,21 @@ changes.  They complement the E-experiments, which assert model
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 from repro.core_network import ClusterBuilder, FrameChunk, NodeConfig
-from repro.messaging import Namespace
-from repro.sim import MS, Simulator
-from repro.spec import TTTiming
+from repro.messaging import Namespace, Semantics
+from repro.sim import MS, CounterSink, Simulator, TraceLog, make_trace
+from repro.spec import (
+    ControlParadigm,
+    Direction,
+    InteractionType,
+    LinkSpec,
+    PortSpec,
+    TTTiming,
+)
 from repro.vn import TTVirtualNetwork
 
 
@@ -107,3 +118,131 @@ def test_perf_tt_vn_pipeline(benchmark):
         return k["n"]
 
     assert benchmark(run) > 1_000
+
+
+# ----------------------------------------------------------------------
+# trace-mode overhead on the gateway pipeline
+# ----------------------------------------------------------------------
+def _build_gateway_pipeline(sim: Simulator):
+    """The E5 shape (ET sensor DAS -> hidden gateway -> TT climate DAS)
+    on a caller-supplied simulator, so trace modes can be compared."""
+    from repro.systems import GatewayDecl, SystemBuilder
+    from test_e5_gateway_pipeline import BundleSender, ViewConsumer, dst_type, src_type
+
+    dst_period = 20 * MS
+    builder = SystemBuilder(sim=sim)
+    builder.add_node("src-ecu").add_node("gw-ecu").add_node("dst-ecu")
+    builder.add_das("sensors", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("climate", ControlParadigm.TIME_TRIGGERED)
+    builder.add_job(
+        "sender", "sensors", "src-ecu",
+        lambda s, n, d, p: BundleSender(s, n, d, p),
+        ports=(PortSpec(message_type=src_type(), direction=Direction.OUTPUT,
+                        semantics=Semantics.EVENT,
+                        control=ControlParadigm.EVENT_TRIGGERED, queue_depth=32),),
+    )
+    builder.add_job(
+        "viewer", "climate", "dst-ecu",
+        lambda s, n, d, p: ViewConsumer(s, n, d, p),
+        ports=(PortSpec(message_type=dst_type(), direction=Direction.INPUT,
+                        semantics=Semantics.STATE,
+                        control=ControlParadigm.TIME_TRIGGERED,
+                        tt=TTTiming(period=dst_period),
+                        interaction=InteractionType.PUSH,
+                        temporal_accuracy=500 * MS),),
+    )
+    builder.add_gateway(GatewayDecl(
+        name="gw", host="gw-ecu", das_a="sensors", das_b="climate",
+        link_a=LinkSpec(das="sensors", ports=(PortSpec(
+            message_type=src_type(), direction=Direction.INPUT,
+            semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+            queue_depth=32,
+        ),)),
+        link_b=LinkSpec(das="climate", ports=(PortSpec(
+            message_type=dst_type(), direction=Direction.OUTPUT,
+            semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
+            tt=TTTiming(period=dst_period), temporal_accuracy=500 * MS,
+        ),)),
+        rules=[("msgSensorBundle", "msgClimateView", "a_to_b", None)],
+    ))
+    system = builder.build()
+    system.start()
+    system.job("sender").vn = system.vn("sensors")
+    return system
+
+
+def test_perf_gateway_trace_modes(run_once):
+    """Counters-only tracing vs full tracing on the gateway pipeline.
+
+    Captures the instrumentation workload (every record the pipeline
+    emits in 500 simulated ms), then replays it against the two trace
+    front-ends: the full path builds and stores a ``TraceRecord`` per
+    call, the counters path takes the ``wants()``/``tick()`` fast path.
+    Counters-only must be at least 25% faster.  End-to-end run times per
+    mode are also measured (informational: there the whole model runs,
+    so tracing is a minor share).  Everything lands in
+    ``BENCH_substrate.json``.
+    """
+
+    def capture_ops() -> list:
+        sim = Simulator(seed=5)
+        system = _build_gateway_pipeline(sim)
+        system.run_for(500 * MS)
+        return [(r.time, r.category, r.source, dict(r.detail))
+                for r in sim.trace.records()]
+
+    def replay_full(ops) -> float:
+        best = float("inf")
+        for _ in range(5):
+            tr = TraceLog()
+            t0 = time.perf_counter()
+            for t, cat, srcname, detail in ops:
+                tr.record(t, cat, srcname, **detail)
+            best = min(best, time.perf_counter() - t0)
+            assert len(tr) == len(ops)
+        return best
+
+    def replay_counters(ops) -> float:
+        best = float("inf")
+        for _ in range(5):
+            tr = TraceLog(sinks=[CounterSink()])
+            t0 = time.perf_counter()
+            for t, cat, srcname, detail in ops:
+                if tr.wants(cat):
+                    tr.record(t, cat, srcname, **detail)
+                else:
+                    tr.tick(cat)
+            best = min(best, time.perf_counter() - t0)
+            assert sum(tr.category_counts().values()) == len(ops)
+        return best
+
+    def end_to_end(mode: str) -> float:
+        sim = Simulator(seed=5, trace=make_trace(mode))
+        system = _build_gateway_pipeline(sim)
+        t0 = time.perf_counter()
+        system.run_for(500 * MS)
+        return time.perf_counter() - t0
+
+    def run() -> dict:
+        ops = capture_ops()
+        full_s = replay_full(ops)
+        counters_s = replay_counters(ops)
+        return {
+            "gateway_pipeline": {
+                "trace_ops": len(ops),
+                "replay_full_s": round(full_s, 6),
+                "replay_counters_s": round(counters_s, 6),
+                "counters_speedup": round(full_s / counters_s, 3),
+                "end_to_end_full_s": round(end_to_end("full"), 6),
+                "end_to_end_counters_s": round(end_to_end("counters"), 6),
+            },
+        }
+
+    result = run_once(run)
+    out = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    gp = result["gateway_pipeline"]
+    assert gp["trace_ops"] > 10_000
+    # Counters-only skips record construction entirely: >= 25% faster.
+    assert gp["replay_counters_s"] <= 0.75 * gp["replay_full_s"], gp

@@ -1,26 +1,38 @@
 """Analysis & reporting (substrate S13).
 
-Latency/bandwidth/count probes over the trace log, integer-ns summary
-statistics, and the ASCII table/series renderers every benchmark uses.
+Latency/bandwidth/count probes over the trace log, a metrics-registry
+probe that works in every trace mode, integer-ns summary statistics,
+and the ASCII table/series renderers every benchmark uses.
 """
 
-from .export import to_jsonl, write_csv, write_jsonl
-from .probes import BandwidthProbe, CountProbe, LatencyProbe
-from .report import Series, Table, banner
-from .stats import SampleStats, jitter, percentile, summarize
+from .export import (
+    metrics_to_json,
+    to_jsonl,
+    write_csv,
+    write_jsonl,
+    write_metrics_json,
+)
+from .probes import BandwidthProbe, CountProbe, LatencyProbe, MetricsProbe
+from .report import Series, Table, banner, metrics_table
+from .stats import SampleStats, histogram_stats, jitter, percentile, summarize
 
 __all__ = [
     "LatencyProbe",
     "BandwidthProbe",
     "CountProbe",
+    "MetricsProbe",
     "SampleStats",
     "summarize",
+    "histogram_stats",
     "jitter",
     "percentile",
     "Table",
     "Series",
     "banner",
+    "metrics_table",
     "to_jsonl",
     "write_jsonl",
     "write_csv",
+    "metrics_to_json",
+    "write_metrics_json",
 ]

@@ -1,9 +1,13 @@
-"""Trace export: JSONL and CSV dumps of the structured trace log.
+"""Trace and metrics export: JSONL/CSV dumps of the structured trace
+log and JSON snapshots of the metrics registry.
 
 Experiments often want to post-process traces outside the simulator
 (pandas, gnuplot, spreadsheets).  These helpers serialize
 :class:`~repro.sim.trace.TraceRecord` streams with stable field order;
-detail values that are not JSON-native are stringified.
+detail values that are not JSON-native are stringified.  Record
+serialization is shared with :class:`~repro.sim.trace.StreamSink`, so a
+``write_jsonl`` dump of a full in-memory trace and a live NDJSON stream
+of the same run are byte-identical.
 """
 
 from __future__ import annotations
@@ -13,32 +17,17 @@ import json
 from pathlib import Path
 from typing import IO, Iterable
 
-from ..sim import TraceLog, TraceRecord
+from ..sim import Metrics, TraceLog, TraceRecord
+from ..sim.trace import jsonable as _jsonable
+from ..sim.trace import record_to_json
 
-__all__ = ["to_jsonl", "write_jsonl", "write_csv"]
-
-
-def _jsonable(value):
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    return str(value)
+__all__ = ["to_jsonl", "write_jsonl", "write_csv",
+           "metrics_to_json", "write_metrics_json"]
 
 
 def to_jsonl(records: Iterable[TraceRecord]) -> str:
     """Render records as one JSON object per line."""
-    lines = []
-    for rec in records:
-        lines.append(json.dumps({
-            "time": rec.time,
-            "category": rec.category,
-            "source": rec.source,
-            **{k: _jsonable(v) for k, v in sorted(rec.detail.items())},
-        }, separators=(",", ":")))
-    return "\n".join(lines)
+    return "\n".join(record_to_json(rec) for rec in records)
 
 
 def write_jsonl(trace: TraceLog, path: str | Path,
@@ -69,3 +58,13 @@ def write_csv(trace: TraceLog, path: str | Path,
                 *[_jsonable(rec.detail.get(k, "")) for k in keys],
             ])
     return len(records)
+
+
+def metrics_to_json(metrics: Metrics, indent: int | None = 2) -> str:
+    """JSON dump of every counter and histogram in the registry."""
+    return json.dumps(metrics.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_metrics_json(metrics: Metrics, path: str | Path) -> None:
+    """Write the metrics snapshot to ``path`` (pretty, sorted keys)."""
+    Path(path).write_text(metrics_to_json(metrics) + "\n")

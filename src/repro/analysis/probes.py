@@ -3,6 +3,12 @@
 Probes observe a running system without perturbing it: they subscribe
 to the trace log or wrap port delivery, and they accumulate integer
 samples that :mod:`repro.analysis.stats` summarizes afterwards.
+
+Trace-subscribing probes (:class:`BandwidthProbe`, :class:`CountProbe`)
+force the trace front-end to build full records even in counters mode;
+:class:`MetricsProbe` reads the always-on metrics registry instead and
+therefore works — at zero extra cost — in every trace mode, including
+``off``.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from .stats import SampleStats, summarize
 if TYPE_CHECKING:  # pragma: no cover
     from ..vn.port import Port
 
-__all__ = ["LatencyProbe", "BandwidthProbe", "CountProbe"]
+__all__ = ["LatencyProbe", "BandwidthProbe", "CountProbe", "MetricsProbe"]
 
 
 class LatencyProbe:
@@ -68,6 +74,38 @@ class BandwidthProbe:
 
     def close(self) -> None:
         self._unsub()
+
+
+class MetricsProbe:
+    """Interval deltas over the always-on metrics registry.
+
+    Construction snapshots every counter; :meth:`delta` reports how much
+    a counter advanced since then (0 for counters that did not exist at
+    snapshot time).  Unlike the trace-subscribing probes this never
+    forces record construction, so it is the measurement path for
+    counters-only and trace-off runs.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "metrics") -> None:
+        self.sim = sim
+        self.name = name
+        self._start: dict[str, int] = dict(sim.metrics.counters())
+
+    def delta(self, counter: str) -> int:
+        return self.sim.metrics.get(counter) - self._start.get(counter, 0)
+
+    def deltas(self) -> dict[str, int]:
+        """All counters that advanced since the snapshot, sorted by name."""
+        out: dict[str, int] = {}
+        for name, value in self.sim.metrics.counters().items():
+            d = value - self._start.get(name, 0)
+            if d:
+                out[name] = d
+        return out
+
+    def rebase(self) -> None:
+        """Re-snapshot: subsequent deltas are relative to now."""
+        self._start = dict(self.sim.metrics.counters())
 
 
 class CountProbe:

@@ -7,9 +7,12 @@ paper-claim vs measured) and :class:`Series` (figure-like sweeps).
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
-__all__ = ["Table", "Series", "banner"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Metrics
+
+__all__ = ["Table", "Series", "banner", "metrics_table"]
 
 
 def banner(title: str, width: int = 72) -> str:
@@ -59,6 +62,27 @@ class Table:
 
     def print(self) -> None:
         print("\n" + self.render())
+
+
+def metrics_table(metrics: "Metrics", title: str = "metrics",
+                  prefix: str = "") -> Table:
+    """Render the metrics registry as a :class:`Table`.
+
+    Counters get one row each; histograms one row with count/mean/max.
+    ``prefix`` filters by instrument-name prefix (e.g. ``"gateway."``).
+    """
+    table = Table(title, ["instrument", "kind", "value"])
+    for name, value in metrics.counters().items():
+        if name.startswith(prefix):
+            table.add_row(name, "counter", value)
+    for name, hist in metrics.histograms().items():
+        if name.startswith(prefix):
+            table.add_row(
+                name, "histogram",
+                f"n={hist.count:,} mean={hist.mean:,.1f} max={hist.maximum:,}"
+                if hist.count else "n=0",
+            )
+    return table
 
 
 class Series:

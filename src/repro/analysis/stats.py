@@ -12,7 +12,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["SampleStats", "summarize", "jitter", "percentile"]
+__all__ = ["SampleStats", "summarize", "jitter", "percentile",
+           "histogram_stats"]
 
 
 @dataclass(frozen=True)
@@ -72,3 +73,40 @@ def percentile(samples: Sequence[int], q: float) -> float:
     if not samples:
         return 0.0
     return float(np.percentile(np.asarray(samples, dtype=np.int64), q))
+
+
+def histogram_stats(hist) -> SampleStats:
+    """Approximate :class:`SampleStats` from a metrics
+    :class:`~repro.sim.metrics.Histogram` (power-of-two buckets).
+
+    count/mean/min/max are exact; percentiles are bucket upper bounds
+    (the smallest power of two covering the quantile), and std is not
+    recoverable from the bucket shape (reported as 0.0).  Use the trace
+    for exact distributions.
+    """
+    if hist.count == 0:
+        return _EMPTY
+
+    def bucket_upper(idx: int) -> int:
+        # bucket i holds samples with bit_length == i, i.e. < 2**i.
+        return (1 << idx) - 1 if idx > 0 else 0
+
+    def quantile_upper(q: float) -> float:
+        target = q * hist.count
+        seen = 0
+        for i, n in enumerate(hist.buckets):
+            seen += n
+            if seen >= target and n:
+                return float(min(bucket_upper(i), hist.maximum))
+        return float(hist.maximum)
+
+    return SampleStats(
+        count=hist.count,
+        mean=hist.mean,
+        std=0.0,
+        minimum=int(hist.minimum),
+        p50=quantile_upper(0.50),
+        p95=quantile_upper(0.95),
+        p99=quantile_upper(0.99),
+        maximum=int(hist.maximum),
+    )

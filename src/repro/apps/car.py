@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 from ..automata import AutomatonBuilder
 from ..messaging import Semantics
-from ..sim import MS, SEC, Simulator
+from ..sim import MS, SEC, Simulator, make_trace
 from ..spec import (
     ControlParadigm,
     Direction,
@@ -87,6 +87,12 @@ class CarConfig:
     roof_tmax: int = 60 * SEC  # generous: the roof is mostly idle
     major_frame: int = 2 * MS
     guardian_enabled: bool = True
+    #: Trace configuration (see repro.sim.trace.make_trace): "full"
+    #: keeps every record in memory, "counters" keeps per-category
+    #: counts only, "stream" writes NDJSON to ``trace_stream``, "off"
+    #: disables tracing.  Metrics stay on in every mode.
+    trace_mode: str = "full"
+    trace_stream: str | None = None
     #: Optional value-domain filter chain on the abs->navigation
     #: gateway (e.g. plausibility bounds on imported wheel speeds).
     nav_import_filters: object = None  # FilterChain | None
@@ -166,7 +172,9 @@ def build_car(config: CarConfig | None = None) -> CarSystem:
     """Assemble (and start) the integrated automotive system."""
     cfg = config if config is not None else CarConfig()
     vehicle = cfg.vehicle
-    builder = SystemBuilder(seed=cfg.seed, major_frame=cfg.major_frame,
+    sim = Simulator(seed=cfg.seed,
+                    trace=make_trace(cfg.trace_mode, cfg.trace_stream))
+    builder = SystemBuilder(sim=sim, major_frame=cfg.major_frame,
                             guardian_enabled=cfg.guardian_enabled)
     for node in ("front-ecu", "center-ecu", "body-ecu", "nav-ecu"):
         builder.add_node(node)

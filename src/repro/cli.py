@@ -22,10 +22,16 @@ from .sim import MS, SEC
 def _cmd_car(args: argparse.Namespace) -> int:
     from .apps import CarConfig, build_car
 
-    car = build_car(CarConfig(seed=args.seed))
+    if args.trace_mode == "stream" and not args.trace_file:
+        print("error: --trace-mode stream requires --trace-file",
+              file=sys.stderr)
+        return 2
+    car = build_car(CarConfig(seed=args.seed, trace_mode=args.trace_mode,
+                              trace_stream=args.trace_file))
     horizon = int(args.seconds * SEC)
     car.run_for(horizon)
-    print(f"ran the integrated car for {args.seconds:.1f} simulated seconds")
+    print(f"ran the integrated car for {args.seconds:.1f} simulated seconds "
+          f"(trace mode: {args.trace_mode})")
     onsets = car.vehicle.skid_onsets()
     if onsets and car.presafe.detections:
         latency = (car.presafe.detections[0] - onsets[0]) / MS
@@ -38,6 +44,18 @@ def _cmd_car(args: argparse.Namespace) -> int:
         print(f"  {name}: received={gw.instances_received} "
               f"forwarded={gw.instances_forwarded} "
               f"blocked={gw.instances_blocked} restarts={gw.restarts}")
+    trace = car.sim.trace
+    counts = trace.category_counts()
+    if counts:
+        total = sum(counts.values())
+        print(f"  trace: {total:,} records in {len(counts)} categories")
+    if args.metrics:
+        from .analysis import metrics_table
+
+        metrics_table(car.sim.metrics, title="car metrics").print()
+    if args.trace_file and args.trace_mode == "stream":
+        trace.close()
+        print(f"  trace stream written to {args.trace_file}")
     return 0
 
 
@@ -104,9 +122,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .sim import TRACE_MODES
+
     p_car = sub.add_parser("car", help="run the integrated automotive system")
     p_car.add_argument("--seconds", type=float, default=20.0)
     p_car.add_argument("--seed", type=int, default=0)
+    p_car.add_argument("--trace-mode", choices=TRACE_MODES, default="full",
+                       help="trace sink configuration (default: full)")
+    p_car.add_argument("--trace-file", default=None, metavar="PATH",
+                       help="NDJSON output path for --trace-mode stream")
+    p_car.add_argument("--metrics", action="store_true",
+                       help="print the metrics registry after the run")
     p_car.set_defaults(func=_cmd_car)
 
     p_roof = sub.add_parser("roof", help="Fig. 6 sliding-roof XML demo")

@@ -56,6 +56,12 @@ class PhysicalBus:
         self.frames_sent = 0
         self.frames_blocked = 0
         self.collisions = 0
+        m = sim.metrics
+        self._m_tx = m.counter("bus.frames_tx")
+        self._m_blocked = m.counter("bus.frames_blocked")
+        self._m_collisions = m.counter("bus.collisions")
+        self._m_bytes = m.counter("bus.bytes_tx")
+        self._m_frame_bytes = m.histogram("bus.frame_bytes")
 
     # ------------------------------------------------------------------
     def attach(self, listener: BusListener) -> None:
@@ -83,12 +89,17 @@ class PhysicalBus:
         frame would shift this VN's delivery times.
         """
         now = self.sim.now
+        tr = self.sim.trace
         if self._admission is not None and not self._admission(frame, now):
             self.frames_blocked += 1
-            self.sim.trace.record(
-                now, TraceCategory.FRAME_BLOCKED, self.name,
-                sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
-            )
+            self._m_blocked.inc()
+            if tr.wants(TraceCategory.FRAME_BLOCKED):
+                tr.record(
+                    now, TraceCategory.FRAME_BLOCKED, self.name,
+                    sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
+                )
+            else:
+                tr.tick(TraceCategory.FRAME_BLOCKED)
             return False
         if duration is None:
             duration = self.transmission_duration(frame)
@@ -105,20 +116,30 @@ class PhysicalBus:
         if collided:
             frame.corrupted = True
             self.collisions += 1
-            self.sim.trace.record(
-                now, TraceCategory.FRAME_TX, self.name,
-                sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
-                collision=True,
-            )
-        else:
-            self.sim.trace.record(
+            self._m_collisions.inc()
+            if tr.wants(TraceCategory.FRAME_TX):
+                tr.record(
+                    now, TraceCategory.FRAME_TX, self.name,
+                    sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
+                    collision=True,
+                )
+            else:
+                tr.tick(TraceCategory.FRAME_TX)
+        elif tr.wants(TraceCategory.FRAME_TX):
+            tr.record(
                 now, TraceCategory.FRAME_TX, self.name,
                 sender=frame.sender, slot=frame.slot_id, cycle=frame.cycle,
                 bytes=frame.size_bytes(),
             )
+        else:
+            tr.tick(TraceCategory.FRAME_TX)
         self._in_flight.append((frame, end))
         self._busy_until = max(self._busy_until, end)
         self.frames_sent += 1
+        self._m_tx.inc()
+        nbytes = frame.size_bytes()
+        self._m_bytes.inc(nbytes)
+        self._m_frame_bytes.observe(nbytes)
 
         arrival = end + self.propagation_delay
         self.sim.at(

@@ -84,6 +84,12 @@ class CommunicationController(Process):
         self.chunks_delivered = 0
         self.chunks_enqueued = 0
         self.tx_overflow = 0
+        m = sim.metrics
+        self._m_rx = m.counter("ctrl.frames_rx")
+        self._m_rx_corrupt = m.counter("ctrl.frames_dropped_corrupt")
+        self._m_chunks = m.counter("ctrl.chunks_delivered")
+        self._m_sync = m.counter("ctrl.sync_rounds")
+        self._m_overflow = m.counter("ctrl.tx_overflow")
         bus.attach(self)
 
     # ------------------------------------------------------------------
@@ -120,8 +126,13 @@ class CommunicationController(Process):
     def _end_of_cycle(self, cycle: int) -> None:
         self.sync.resynchronize(self.sim.now)
         self.membership.end_of_cycle()
-        self.trace(TraceCategory.SYNC_ROUND, cycle=cycle,
-                   correction=self.sync.last_correction)
+        self._m_sync.inc()
+        tr = self.sim.trace
+        if tr.wants(TraceCategory.SYNC_ROUND):
+            self.trace(TraceCategory.SYNC_ROUND, cycle=cycle,
+                       correction=self.sync.last_correction)
+        else:
+            tr.tick(TraceCategory.SYNC_ROUND)
         self._cycle = cycle + 1
         self._schedule_cycle(cycle + 1)
 
@@ -134,6 +145,7 @@ class CommunicationController(Process):
         q = self._tx.setdefault(chunk.vn, deque())
         if len(q) >= max_queue:
             self.tx_overflow += 1
+            self._m_overflow.inc()
             return False
         q.append(chunk)
         self.chunks_enqueued += 1
@@ -240,10 +252,16 @@ class CommunicationController(Process):
         if self.crashed:
             return
         self.frames_received += 1
+        self._m_rx.inc()
         if frame.corrupted:
             self.frames_dropped_corrupt += 1
-            self.trace(TraceCategory.FRAME_RX, sender=frame.sender,
-                       slot=frame.slot_id, dropped="corrupt")
+            self._m_rx_corrupt.inc()
+            tr = self.sim.trace
+            if tr.wants(TraceCategory.FRAME_RX):
+                self.trace(TraceCategory.FRAME_RX, sender=frame.sender,
+                           slot=frame.slot_id, dropped="corrupt")
+            else:
+                tr.tick(TraceCategory.FRAME_RX)
             return
         self._observe_timing(frame, arrival)
         self.membership.observe_frame(frame.sender)
@@ -253,6 +271,7 @@ class CommunicationController(Process):
             for cb in self._receivers.get(chunk.vn, ()):
                 cb(chunk, arrival)
                 self.chunks_delivered += 1
+                self._m_chunks.inc()
 
     def _observe_timing(self, frame: PhysicalFrame, arrival: int) -> None:
         """Deviation estimate for clock sync (scheduled frames only)."""

@@ -55,6 +55,7 @@ class MembershipService:
                 if not self._alive[c]:
                     self._alive[c] = True
                     self.changes.append((self.sim.now, c, True))
+                    self.sim.metrics.inc("membership.rejoins")
                     self.sim.trace.record(
                         self.sim.now, TraceCategory.MEMBERSHIP, self.owner,
                         component=c, alive=True,
@@ -64,6 +65,7 @@ class MembershipService:
                 if self._alive[c] and self._missed[c] >= self.fail_threshold:
                     self._alive[c] = False
                     self.changes.append((self.sim.now, c, False))
+                    self.sim.metrics.inc("membership.failures")
                     self.sim.trace.record(
                         self.sim.now, TraceCategory.MEMBERSHIP, self.owner,
                         component=c, alive=False,

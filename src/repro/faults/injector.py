@@ -114,7 +114,9 @@ class FaultInjector:
     def _activate(self, fault: FaultModel) -> None:
         fault.activate(self.sim)
         self.activations += 1
+        self.sim.metrics.inc("injector.activations")
 
     def _deactivate(self, fault: FaultModel) -> None:
         fault.deactivate(self.sim)
         self.deactivations += 1
+        self.sim.metrics.inc("injector.deactivations")

@@ -49,12 +49,14 @@ class FaultModel:
 
     def activate(self, sim: Simulator) -> None:
         self.activated_at = sim.now
+        sim.metrics.inc("fault.injections")
         sim.trace.record(sim.now, TraceCategory.FAULT_INJECT, self.name,
                          kind=type(self).__name__)
         self._apply(sim)
 
     def deactivate(self, sim: Simulator) -> None:
         self.deactivated_at = sim.now
+        sim.metrics.inc("fault.clears")
         sim.trace.record(sim.now, TraceCategory.FAULT_CLEAR, self.name,
                          kind=type(self).__name__)
         self._revert(sim)

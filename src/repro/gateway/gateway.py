@@ -128,6 +128,11 @@ class VirtualGateway(Process):
         self.instances_blocked = 0
         self.conversion_applications = 0
         self.restarts = 0
+        m = sim.metrics
+        self._m_received = m.counter("gateway.receptions")
+        self._m_forwarded = m.counter("gateway.forwards")
+        self._m_blocked = m.counter("gateway.blocks")
+        self._m_restarts = m.counter("gateway.restarts")
 
     # ------------------------------------------------------------------
     # configuration
@@ -347,11 +352,17 @@ class VirtualGateway(Process):
 
     def _process(self, rule: RedirectionRule, instance: MessageInstance, arrival: int) -> None:
         self.instances_received += 1
+        self._m_received.inc()
+        tr = self.sim.trace
         key = (rule.src_side, rule.src)
         if key in self._halted:
             rule.blocked_halted += 1
             self.instances_blocked += 1
-            self.trace(TraceCategory.GATEWAY_BLOCK, message=rule.src, reason="halted")
+            self._m_blocked.inc()
+            if tr.wants(TraceCategory.GATEWAY_BLOCK):
+                self.trace(TraceCategory.GATEWAY_BLOCK, message=rule.src, reason="halted")
+            else:
+                tr.tick(TraceCategory.GATEWAY_BLOCK)
             return
         if rule.conditional_import and not self._import_requested(rule):
             # No consumer has requested any element this rule supplies:
@@ -361,16 +372,24 @@ class VirtualGateway(Process):
         if rule.filters.decide(rule.src, instance, self.sim.now) is Decision.BLOCK:
             rule.blocked_filter += 1
             self.instances_blocked += 1
-            self.trace(TraceCategory.GATEWAY_BLOCK, message=rule.src, reason="filtered")
+            self._m_blocked.inc()
+            if tr.wants(TraceCategory.GATEWAY_BLOCK):
+                self.trace(TraceCategory.GATEWAY_BLOCK, message=rule.src, reason="filtered")
+            else:
+                tr.tick(TraceCategory.GATEWAY_BLOCK)
             return
         monitor = self._monitors.get(key)
         if monitor is not None and not monitor.on_message(rule.src):
             rule.blocked_monitor += 1
             self.instances_blocked += 1
-            self.trace(
-                TraceCategory.GATEWAY_BLOCK, message=rule.src,
-                reason="temporal violation",
-            )
+            self._m_blocked.inc()
+            if tr.wants(TraceCategory.GATEWAY_BLOCK):
+                self.trace(
+                    TraceCategory.GATEWAY_BLOCK, message=rule.src,
+                    reason="temporal violation",
+                )
+            else:
+                tr.tick(TraceCategory.GATEWAY_BLOCK)
             return
         self._store(rule, instance, arrival)
         self._push_et_outputs(rule)
@@ -385,10 +404,14 @@ class VirtualGateway(Process):
                     derived = conv_state.apply(fields, now)
                     self.repository.store(de.name, derived, now)
                     self.conversion_applications += 1
-        self.trace(
-            TraceCategory.GATEWAY_FORWARD, message=rule.src,
-            elements=sorted(stored), stage="stored",
-        )
+        tr = self.sim.trace
+        if tr.wants(TraceCategory.GATEWAY_FORWARD):
+            self.trace(
+                TraceCategory.GATEWAY_FORWARD, message=rule.src,
+                elements=sorted(stored), stage="stored",
+            )
+        else:
+            tr.tick(TraceCategory.GATEWAY_FORWARD)
 
     def _push_et_outputs(self, rule: RedirectionRule) -> None:
         """Attempt constructions for ET destinations fed by this rule."""
@@ -413,9 +436,14 @@ class VirtualGateway(Process):
         if instance is not None:
             rule.forwarded += 1
             self.instances_forwarded += 1
-            self.trace(
-                TraceCategory.GATEWAY_FORWARD, message=rule.dst, stage="constructed",
-            )
+            self._m_forwarded.inc()
+            tr = self.sim.trace
+            if tr.wants(TraceCategory.GATEWAY_FORWARD):
+                self.trace(
+                    TraceCategory.GATEWAY_FORWARD, message=rule.dst, stage="constructed",
+                )
+            else:
+                tr.tick(TraceCategory.GATEWAY_FORWARD)
         return instance
 
     def _can_send_message(self, message: str) -> bool:
@@ -474,6 +502,7 @@ class VirtualGateway(Process):
         if key in self._halted:
             return
         self._halted.add(key)
+        self.sim.metrics.inc("gateway.monitor_errors")
         self.trace(
             TraceCategory.GATEWAY_ERROR, message=key[1], side=key[0],
             violations=monitor.violations,
@@ -490,6 +519,7 @@ class VirtualGateway(Process):
             monitor.restart()
         self._halted.discard(key)
         self.restarts += 1
+        self._m_restarts.inc()
         self.trace(TraceCategory.GATEWAY_RESTART, message=key[1], side=key[0])
 
     def is_halted(self, message: str, side: str = "a") -> bool:

@@ -84,6 +84,7 @@ class MessageMonitor:
 
     def on_error(self, runtime: AutomatonRuntime, transition: Transition | None) -> None:
         self.violations += 1
+        self.sim.metrics.inc("automaton.errors")
         self.sim.trace.record(
             self.sim.now, TraceCategory.AUTOMATON_ERROR, self.name,
             automaton=runtime.automaton.name,
@@ -105,10 +106,15 @@ class MessageMonitor:
         accepted = self.runtime.on_message(message)
         if accepted:
             self.accepted += 1
-            self.sim.trace.record(
-                self.sim.now, TraceCategory.AUTOMATON_TRANSITION, self.name,
-                location=self.runtime.location,
-            )
+            self.sim.metrics.inc("automaton.transitions")
+            tr = self.sim.trace
+            if tr.wants(TraceCategory.AUTOMATON_TRANSITION):
+                tr.record(
+                    self.sim.now, TraceCategory.AUTOMATON_TRANSITION, self.name,
+                    location=self.runtime.location,
+                )
+            else:
+                tr.tick(TraceCategory.AUTOMATON_TRANSITION)
             self._poll()  # service-completion edges fire immediately
         return accepted
 

@@ -47,6 +47,7 @@ class Job:
         self._ports: dict[str, "Port"] = {}
         self.activations = 0
         self.messages_handled = 0
+        self._m_activations = sim.metrics.counter("job.activations")
         partition.bind_job(self)
 
     # ------------------------------------------------------------------
@@ -75,9 +76,14 @@ class Job:
     def step(self) -> None:
         """Periodic work; runs once per partition window."""
         self.activations += 1
-        self.sim.trace.record(
-            self.sim.now, TraceCategory.JOB_ACTIVATION, self.name, das=self.das
-        )
+        self._m_activations.inc()
+        tr = self.sim.trace
+        if tr.wants(TraceCategory.JOB_ACTIVATION):
+            tr.record(
+                self.sim.now, TraceCategory.JOB_ACTIVATION, self.name, das=self.das
+            )
+        else:
+            tr.tick(TraceCategory.JOB_ACTIVATION)
         self.on_step()
 
     def on_step(self) -> None:

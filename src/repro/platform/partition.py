@@ -101,6 +101,9 @@ class Partition:
         self.deferred_executed = 0
         self.spatial_violations = 0
         self._in_window = False
+        m = sim.metrics
+        self._m_windows = m.counter("partition.windows")
+        self._m_deferred = m.histogram("partition.deferred_per_window")
 
     # ------------------------------------------------------------------
     # membership
@@ -168,10 +171,16 @@ class Partition:
         """
         self._in_window = True
         self.windows_executed += 1
-        self.sim.trace.record(
-            self.sim.now, TraceCategory.PARTITION_WINDOW, self.name,
-            das=self.das, deferred=len(self._inbox),
-        )
+        self._m_windows.inc()
+        self._m_deferred.observe(len(self._inbox))
+        tr = self.sim.trace
+        if tr.wants(TraceCategory.PARTITION_WINDOW):
+            tr.record(
+                self.sim.now, TraceCategory.PARTITION_WINDOW, self.name,
+                das=self.das, deferred=len(self._inbox),
+            )
+        else:
+            tr.tick(TraceCategory.PARTITION_WINDOW)
         try:
             pending, self._inbox = self._inbox, []
             for work in pending:

@@ -1,13 +1,15 @@
 """Discrete-event simulation kernel (substrate S1).
 
 Integer-nanosecond virtual time, a deterministic event queue, named RNG
-streams, per-component drifting clocks, and a structured trace log.  All
-other subsystems of the DECOS reproduction are built on this package.
+streams, per-component drifting clocks, a structured trace log with
+pluggable sinks, and an always-on metrics registry.  All other
+subsystems of the DECOS reproduction are built on this package.
 """
 
 from .clock import LocalClock
 from .events import EventPriority, EventQueue, ScheduledEvent
-from .kernel import Simulator
+from .kernel import PeriodicTask, Simulator
+from .metrics import Counter, Histogram, Metrics
 from .process import Process
 from .random import RandomStreams
 from .time import (
@@ -28,19 +30,39 @@ from .time import (
     to_us,
     us,
 )
-from .trace import TraceCategory, TraceLog, TraceRecord
+from .trace import (
+    TRACE_MODES,
+    CounterSink,
+    MemorySink,
+    StreamSink,
+    TraceCategory,
+    TraceLog,
+    TraceRecord,
+    TraceSink,
+    make_trace,
+)
 
 __all__ = [
     "Simulator",
+    "PeriodicTask",
     "Process",
     "EventPriority",
     "EventQueue",
     "ScheduledEvent",
     "LocalClock",
     "RandomStreams",
+    "Counter",
+    "Histogram",
+    "Metrics",
     "TraceCategory",
     "TraceLog",
     "TraceRecord",
+    "TraceSink",
+    "MemorySink",
+    "CounterSink",
+    "StreamSink",
+    "TRACE_MODES",
+    "make_trace",
     "Instant",
     "Duration",
     "NS",

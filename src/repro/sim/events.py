@@ -42,7 +42,7 @@ class EventPriority(IntEnum):
     DEFAULT = 30
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class ScheduledEvent:
     """A single pending event; orderable by (time, priority, seq)."""
 
@@ -52,13 +52,23 @@ class ScheduledEvent:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    #: Backref to the owning queue while the entry is in its heap; the
+    #: queue clears it on pop so cancelling an already-executed event
+    #: (e.g. a periodic task cancelling itself mid-tick) is a no-op.
+    _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped.
 
-        Cancellation is O(1); the heap entry is lazily discarded.
+        Cancellation is O(1) amortized; the heap entry is lazily
+        discarded (or purged wholesale by queue compaction).
+        Idempotent, and safe on events that have already fired.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
 
 class EventQueue:
@@ -69,10 +79,17 @@ class EventQueue:
     reproducibility.
     """
 
+    #: Lazily-cancelled entries are purged from the heap once they both
+    #: exceed this floor and outnumber the live entries, keeping pop and
+    #: peek O(log live) even under heavy cancel/re-arm churn.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._heap: list[ScheduledEvent] = []
         self._seq = 0
         self._live = 0
+        self._dead = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -90,11 +107,36 @@ class EventQueue:
         """Schedule ``callback`` at ``time``; returns a cancellable handle."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        ev = ScheduledEvent(time=time, priority=priority, seq=self._seq, callback=callback, label=label)
+        ev = ScheduledEvent(time=time, priority=priority, seq=self._seq,
+                            callback=callback, label=label, _queue=self)
         self._seq += 1
         self._live += 1
         heapq.heappush(self._heap, ev)
         return ev
+
+    def _note_cancelled(self) -> None:
+        """A pending entry turned dead; compact once the dead dominate.
+
+        Called from :meth:`ScheduledEvent.cancel` — the only place dead
+        entries are created — so the schedule-heavy ``push``/``pop``
+        fast path carries no compaction bookkeeping at all.
+        """
+        self._live -= 1
+        self._dead += 1
+        if self._dead > self.COMPACT_MIN_CANCELLED and self._dead > self._live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every lazily-cancelled entry and re-heapify.
+
+        Events are totally ordered by ``(time, priority, seq)``, so
+        rebuilding the heap cannot change pop order — compaction is
+        invisible to the simulation.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self.compactions += 1
 
     def peek_time(self) -> Instant | None:
         """Time of the next live event, or ``None`` if the queue is empty."""
@@ -110,18 +152,24 @@ class EventQueue:
             raise SimulationError("pop from empty event queue")
         ev = heapq.heappop(self._heap)
         self._live -= 1
+        ev._queue = None
         return ev
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for ev in self._heap:
+            ev._queue = None
         self._heap.clear()
         self._live = 0
+        self._dead = 0
 
     def _drop_cancelled(self) -> None:
+        # Cancelled entries already left the live count when cancel()
+        # ran; here they just leave the heap.
         heap = self._heap
         while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-            self._live -= 1
+            heapq.heappop(heap)._queue = None
+            self._dead -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         nxt = self.peek_time()

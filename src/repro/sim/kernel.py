@@ -26,15 +26,84 @@ from typing import Callable, Iterator
 
 from ..errors import SimulationError
 from .events import EventPriority, EventQueue, ScheduledEvent
+from .metrics import Metrics
 from .random import RandomStreams
 from .time import Duration, Instant
 from .trace import TraceLog
 
-__all__ = ["Simulator"]
+__all__ = ["PeriodicTask", "Simulator"]
+
+
+class PeriodicTask:
+    """A first-class periodic activity owned by the kernel.
+
+    Replaces the closure-chain re-scheduling idiom: one object holds the
+    period, the next nominal instant, and the live queue handle, and
+    re-arms itself after each tick.  The next activation is computed
+    from the *scheduled* instant, not from when the callback ran, so
+    periodic activity never drifts.
+
+    Instances are callable — calling one cancels it — so existing code
+    that treats :meth:`Simulator.every`'s return value as a cancel
+    function keeps working.
+    """
+
+    __slots__ = ("_sim", "period", "callback", "priority", "label",
+                 "next_time", "fires", "_event", "_cancelled")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        period: Duration,
+        callback: Callable[[], None],
+        start: Instant,
+        priority: int = EventPriority.DEFAULT,
+        label: str = "",
+    ) -> None:
+        self._sim = sim
+        self.period = period
+        self.callback = callback
+        self.priority = priority
+        self.label = label
+        self.next_time = start
+        self.fires = 0
+        self._cancelled = False
+        self._event: ScheduledEvent = sim._queue.push(
+            start, self._fire, priority=priority, label=label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fires += 1
+        self.callback()
+        if self._cancelled:
+            return
+        self.next_time += self.period
+        self._event = self._sim._queue.push(
+            self.next_time, self._fire, priority=self.priority, label=self.label)
+
+    def cancel(self) -> None:
+        """Stop the task; safe to call mid-tick and idempotent."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._event.cancel()
+
+    #: calling the task cancels it (back-compat with the old cancel-fn API)
+    __call__ = cancel
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else f"next={self.next_time}"
+        return f"<PeriodicTask {self.label!r} period={self.period} {state}>"
 
 
 class Simulator:
-    """Owns virtual time, the event queue, RNG streams, and the trace log.
+    """Owns virtual time, the event queue, RNG streams, the trace log,
+    and the metrics registry.
 
     Parameters
     ----------
@@ -44,15 +113,21 @@ class Simulator:
         identical traces.
     trace:
         Optional pre-built trace log; a fresh one is created by default.
+    metrics:
+        Optional pre-built metrics registry; a fresh one is created by
+        default.  Metrics are always-on and O(1) per update, independent
+        of the trace configuration.
     """
 
-    def __init__(self, seed: int = 0, trace: TraceLog | None = None) -> None:
+    def __init__(self, seed: int = 0, trace: TraceLog | None = None,
+                 metrics: Metrics | None = None) -> None:
         self._now: Instant = 0
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceLog()
+        self.metrics = metrics if metrics is not None else Metrics()
         self.events_executed = 0
 
     # ------------------------------------------------------------------
@@ -96,37 +171,21 @@ class Simulator:
         start: Instant | None = None,
         priority: int = EventPriority.DEFAULT,
         label: str = "",
-    ) -> Callable[[], None]:
-        """Schedule ``callback`` periodically; returns a cancel function.
+    ) -> PeriodicTask:
+        """Schedule ``callback`` periodically; returns the (cancellable)
+        :class:`PeriodicTask`.
 
-        The next activation is computed from the *scheduled* instant, not
-        from when the callback ran, so periodic activity never drifts.
+        Like :meth:`at`, the first activation must not lie in the past.
         """
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
         first = self._now if start is None else start
-        state: dict[str, ScheduledEvent | None] = {"ev": None}
-        cancelled = {"flag": False}
-
-        def fire_at(t: Instant) -> None:
-            def tick() -> None:
-                if cancelled["flag"]:
-                    return
-                callback()
-                if not cancelled["flag"]:
-                    fire_at(t + period)
-
-            state["ev"] = self._queue.push(t, tick, priority=priority, label=label)
-
-        fire_at(first)
-
-        def cancel() -> None:
-            cancelled["flag"] = True
-            ev = state["ev"]
-            if ev is not None:
-                ev.cancel()
-
-        return cancel
+        if first < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: start={first} < now={self._now} ({label!r})"
+            )
+        return PeriodicTask(self, period, callback, first,
+                            priority=priority, label=label)
 
     # ------------------------------------------------------------------
     # execution

@@ -1,0 +1,164 @@
+"""Always-on runtime metrics: monotonic counters and cheap histograms.
+
+The trace log answers "what happened, exactly, in order" — full records
+for debugging and fine-grained analysis.  Experiments, however, mostly
+need *numbers*: frames transmitted, gateway forwards and blocks, queue
+depths.  :class:`Metrics` decouples the two: it is an O(1), allocation-
+free registry that model code updates on every occurrence regardless of
+the trace mode, so counters-only and trace-off runs still yield the
+quantities the experiment harness reports.
+
+Design constraints
+
+* **Hot-path cost is one attribute increment.**  Model code resolves its
+  instruments once (``self._m_tx = sim.metrics.counter("bus.frames_tx")``)
+  and calls ``inc()``/``observe()`` afterwards — no dict lookup, no
+  string formatting, no branching on configuration.
+* **Integer-exact and deterministic.**  Counters are plain ints;
+  histograms record count/sum/min/max plus power-of-two buckets, all
+  integers, so two same-seed runs produce identical snapshots.
+* **Open namespace.**  Instrument names are dotted strings
+  (``gateway.forward``); the registry creates them on first use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Counter", "Histogram", "Metrics"]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Integer sample distribution with power-of-two buckets.
+
+    ``observe(v)`` is O(1): it updates count/total/min/max and one
+    bucket, where bucket ``i`` holds samples with ``v.bit_length() == i``
+    (bucket 0 additionally absorbs zero and negative samples).  That is
+    coarse, but enough for the order-of-magnitude questions metrics
+    answer — exact distributions belong to the trace.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    #: bucket index ceiling: 2**64 ns is ~584 years of virtual time.
+    BUCKETS = 65
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.minimum: int | None = None
+        self.maximum: int | None = None
+        self.buckets = [0] * self.BUCKETS
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        idx = value.bit_length() if value > 0 else 0
+        self.buckets[min(idx, self.BUCKETS - 1)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (buckets trimmed to the occupied range)."""
+        top = max((i for i, b in enumerate(self.buckets) if b), default=-1)
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": self.buckets[: top + 1],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"
+
+
+class Metrics:
+    """Registry of named counters and histograms owned by a simulator."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instrument resolution (do this once, outside the hot path)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    # ------------------------------------------------------------------
+    # convenience (fine off the hot path)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: int) -> None:
+        self.histogram(name).observe(value)
+
+    def get(self, name: str) -> int:
+        """Current value of a counter (0 if it never fired)."""
+        c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """All counter values, sorted by name."""
+        return {name: self._counters[name].value
+                for name in sorted(self._counters)}
+
+    def histograms(self) -> dict[str, Histogram]:
+        return {name: self._histograms[name]
+                for name in sorted(self._histograms)}
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument."""
+        return {
+            "counters": self.counters(),
+            "histograms": {name: h.snapshot()
+                           for name, h in self.histograms().items()},
+        }
+
+    def __iter__(self) -> Iterator[str]:
+        yield from sorted(self._counters)
+        yield from sorted(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Metrics counters={len(self._counters)} "
+                f"histograms={len(self._histograms)}>")

@@ -1,26 +1,67 @@
-"""Structured trace log.
+"""Structured trace log with pluggable sinks.
 
 Every architecturally interesting occurrence — frame on the bus, message
 at a port, gateway decision, automaton transition, fault activation,
-membership change — is appended to the :class:`TraceLog` as a
-:class:`TraceRecord`.  Experiments and tests then *query* the trace
-instead of instrumenting model code ad hoc; this keeps measurement from
-perturbing the model (probes run at :class:`~repro.sim.events.EventPriority.PROBE`)
-and gives every experiment the same ground truth.
+membership change — is *emitted* through the :class:`TraceLog` front-end
+and consumed by whichever **sinks** are attached:
 
-Records are cheap named tuples; categories are plain strings (see
+* :class:`MemorySink` — keep full :class:`TraceRecord` objects in memory
+  (the historical behavior; what tests and trace queries use),
+* :class:`CounterSink` — per-category record counts only, O(1) memory,
+* :class:`StreamSink` — NDJSON records appended to a file.
+
+Observation cost is controlled in two layers.  A **per-category enable
+mask** gates what is emitted at all, and the :meth:`TraceLog.wants`
+guard tells hot call sites whether building a full record (detail dict,
+source formatting) would be consumed by anyone — with only counting
+sinks attached, ``wants()`` is False and the caller falls back to the
+O(1) :meth:`TraceLog.tick` path, so full-record cost is paid exactly
+when a sink or listener will read the record.  The canonical call-site
+idiom on hot paths::
+
+    tr = self.sim.trace
+    if tr.wants(TraceCategory.FRAME_TX):
+        tr.record(now, TraceCategory.FRAME_TX, self.name, sender=..., ...)
+    else:
+        tr.tick(TraceCategory.FRAME_TX)
+
+Cold paths may call :meth:`TraceLog.record` unconditionally — it applies
+the same gating internally and skips record construction when nothing
+consumes records.
+
+**Determinism guarantee.**  Sinks only *observe* the record stream; they
+never feed back into the model.  With any sink configuration, a fixed
+seed produces the same simulation, and with a :class:`MemorySink` the
+stored record sequence is bit-identical to the pre-sink ``TraceLog``.
+
+Records are cheap frozen dataclasses; categories are plain strings (see
 :class:`TraceCategory` for the well-known ones) so applications can add
 their own without touching the kernel.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator
+from pathlib import Path
+from typing import IO, Any, Callable, Iterable, Iterator
 
+from ..errors import SimulationError
 from .time import Instant
 
-__all__ = ["TraceCategory", "TraceRecord", "TraceLog"]
+__all__ = [
+    "TraceCategory",
+    "TraceRecord",
+    "TraceSink",
+    "MemorySink",
+    "CounterSink",
+    "StreamSink",
+    "TraceLog",
+    "TRACE_MODES",
+    "make_trace",
+    "jsonable",
+    "record_to_json",
+]
 
 
 class TraceCategory:
@@ -65,42 +106,286 @@ class TraceRecord:
         return self.detail.get(key, default)
 
 
-class TraceLog:
-    """Append-only in-memory trace with simple query helpers."""
+def jsonable(value: Any) -> Any:
+    """Coerce a detail value to something JSON-native (stringify rest)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return str(value)
 
-    def __init__(self, enabled: bool = True) -> None:
+
+def record_to_json(rec: TraceRecord) -> str:
+    """One NDJSON line for ``rec`` with stable field order."""
+    return json.dumps({
+        "time": rec.time,
+        "category": rec.category,
+        "source": rec.source,
+        **{k: jsonable(v) for k, v in sorted(rec.detail.items())},
+    }, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class TraceSink:
+    """Consumer of the trace stream.
+
+    ``needs_records`` declares whether the sink reads full
+    :class:`TraceRecord` objects (:meth:`emit`) or only per-category
+    occurrence ticks (:meth:`tick`).  The front-end builds records only
+    when some attached sink (or listener) needs them.
+    """
+
+    #: Does this sink consume full records (True) or count-only ticks?
+    needs_records: bool = True
+
+    def emit(self, rec: TraceRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def tick(self, category: str, n: int = 1) -> None:
+        """Count-only notification (called instead of ``emit`` when the
+        front-end skipped record construction)."""
+
+    def close(self) -> None:
+        """Release external resources (files); idempotent."""
+
+
+class MemorySink(TraceSink):
+    """Append every record to an in-memory list — today's full trace."""
+
+    needs_records = True
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def emit(self, rec: TraceRecord) -> None:
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemorySink n={len(self.records)}>"
+
+
+class CounterSink(TraceSink):
+    """Per-category record counts only; O(1) memory, O(1) per record."""
+
+    needs_records = False
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def emit(self, rec: TraceRecord) -> None:
+        c = self.counts
+        c[rec.category] = c.get(rec.category, 0) + 1
+
+    def tick(self, category: str, n: int = 1) -> None:
+        c = self.counts
+        c[category] = c.get(category, 0) + n
+
+    def count(self, category: str) -> int:
+        return self.counts.get(category, 0)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterSink total={self.total()}>"
+
+
+class StreamSink(TraceSink):
+    """NDJSON records appended to a file (path or open text handle).
+
+    Buffered writes through the standard io stack; :meth:`close` flushes.
+    The file is opened lazily on the first record so constructing a
+    simulator with a stream trace does not touch the filesystem until
+    something is emitted.
+    """
+
+    needs_records = True
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self._target = target
+        self._fh: IO[str] | None = None
+        self._owns_fh = False
+        self.emitted = 0
+
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            if isinstance(self._target, (str, Path)):
+                self._fh = open(self._target, "w")
+                self._owns_fh = True
+            else:
+                self._fh = self._target
+        return self._fh
+
+    def emit(self, rec: TraceRecord) -> None:
+        self._handle().write(record_to_json(rec) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            if self._owns_fh:
+                self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StreamSink emitted={self.emitted}>"
+
+
+# ----------------------------------------------------------------------
+# front-end
+# ----------------------------------------------------------------------
+class TraceLog:
+    """Trace front-end: category mask + fan-out to the attached sinks.
+
+    The default configuration (one :class:`MemorySink`, no mask) behaves
+    exactly like the historical append-only ``TraceLog``: every query
+    helper (:meth:`records`, :meth:`count`, :meth:`times`, :meth:`last`,
+    iteration, ``len``) reads the memory sink's record list.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 sinks: Iterable[TraceSink] | None = None) -> None:
         self.enabled = enabled
-        self._records: list[TraceRecord] = []
+        self._sinks: list[TraceSink] = (list(sinks) if sinks is not None
+                                        else [MemorySink()])
         self._listeners: list[Callable[[TraceRecord], None]] = []
+        #: None = every category enabled; else the enabled set.
+        self._mask: frozenset[str] | None = None
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._record_sinks = [s for s in self._sinks if s.needs_records]
+        self._tick_sinks = [s for s in self._sinks if not s.needs_records]
+        # Cached: would a full record be consumed right now?
+        self._consumes_records = bool(self._record_sinks or self._listeners)
 
     # ------------------------------------------------------------------
-    def record(self, time: Instant, category: str, source: str, **detail: Any) -> None:
-        """Append a record (no-op when tracing is disabled)."""
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def sinks(self) -> tuple[TraceSink, ...]:
+        return tuple(self._sinks)
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        self._sinks.append(sink)
+        self._rebuild()
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        self._sinks.remove(sink)
+        self._rebuild()
+
+    def set_mask(self, categories: Iterable[str] | None) -> None:
+        """Enable only ``categories`` (None re-enables everything)."""
+        self._mask = None if categories is None else frozenset(categories)
+
+    def enable_only(self, *categories: str) -> None:
+        self.set_mask(categories)
+
+    def disable_categories(self, *categories: str) -> None:
+        """Mask out ``categories`` (relative to the current mask)."""
+        base = self._mask if self._mask is not None else frozenset(
+            v for k, v in vars(TraceCategory).items() if not k.startswith("_")
+        )
+        self._mask = base - frozenset(categories)
+
+    @property
+    def mask(self) -> frozenset[str] | None:
+        return self._mask
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        """Would a full record of ``category`` be consumed?
+
+        Hot call sites use this to skip detail-dict construction
+        entirely; when it returns False they call :meth:`tick` instead
+        so counting sinks stay exact.
+        """
+        if not self.enabled or not self._consumes_records:
+            return False
+        m = self._mask
+        return m is None or category in m
+
+    def tick(self, category: str, n: int = 1) -> None:
+        """Count-only fast path: no record is built."""
         if not self.enabled:
             return
+        m = self._mask
+        if m is not None and category not in m:
+            return
+        for sink in self._tick_sinks:
+            sink.tick(category, n)
+
+    def record(self, time: Instant, category: str, source: str, **detail: Any) -> None:
+        """Emit a record (gated by ``enabled`` and the category mask)."""
+        if not self.enabled:
+            return
+        m = self._mask
+        if m is not None and category not in m:
+            return
+        for sink in self._tick_sinks:
+            sink.tick(category)
+        if not self._consumes_records:
+            return
         rec = TraceRecord(time=time, category=category, source=source, detail=detail)
-        self._records.append(rec)
+        for sink in self._record_sinks:
+            sink.emit(rec)
         for listener in self._listeners:
             listener(rec)
 
     def subscribe(self, listener: Callable[[TraceRecord], None]) -> Callable[[], None]:
         """Register a live listener; returns an unsubscribe function."""
         self._listeners.append(listener)
+        self._consumes_records = True
 
         def unsubscribe() -> None:
             try:
                 self._listeners.remove(listener)
             except ValueError:
                 pass
+            self._rebuild()
 
         return unsubscribe
 
     # ------------------------------------------------------------------
+    # queries (read the memory sink, if one is attached)
+    # ------------------------------------------------------------------
+    @property
+    def memory(self) -> MemorySink | None:
+        """The first attached :class:`MemorySink`, if any."""
+        for sink in self._sinks:
+            if isinstance(sink, MemorySink):
+                return sink
+        return None
+
+    def _stored(self) -> list[TraceRecord]:
+        mem = self.memory
+        return mem.records if mem is not None else []
+
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._stored())
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self._stored())
 
     def records(
         self,
@@ -110,9 +395,9 @@ class TraceLog:
         until: Instant | None = None,
         predicate: Callable[[TraceRecord], bool] | None = None,
     ) -> list[TraceRecord]:
-        """Filtered view of the trace (all filters optional, ANDed)."""
+        """Filtered view of the stored trace (all filters optional, ANDed)."""
         out = []
-        for rec in self._records:
+        for rec in self._stored():
             if category is not None and rec.category != category:
                 continue
             if source is not None and rec.source != source:
@@ -127,8 +412,32 @@ class TraceLog:
         return out
 
     def count(self, category: str | None = None, source: str | None = None) -> int:
-        """Number of records matching the filters."""
+        """Number of records matching the filters.
+
+        Falls back to the counting sinks' per-category totals when no
+        memory sink is attached (counters-only runs); the source filter
+        then requires the full trace and raises.
+        """
+        if self.memory is None and self._tick_sinks:
+            if source is not None:
+                raise SimulationError(
+                    "per-source counts need a MemorySink (counters-only "
+                    "traces keep per-category totals)"
+                )
+            sink = self._tick_sinks[0]
+            assert isinstance(sink, CounterSink)
+            return sink.total() if category is None else sink.count(category)
         return len(self.records(category=category, source=source))
+
+    def category_counts(self) -> dict[str, int]:
+        """Per-category record counts from whichever sink is cheapest."""
+        for sink in self._tick_sinks:
+            if isinstance(sink, CounterSink):
+                return dict(sink.counts)
+        counts: dict[str, int] = {}
+        for rec in self._stored():
+            counts[rec.category] = counts.get(rec.category, 0) + 1
+        return counts
 
     def times(self, category: str, source: str | None = None) -> list[Instant]:
         """Timestamps of matching records, in trace order."""
@@ -140,12 +449,50 @@ class TraceLog:
         return matching[-1] if matching else None
 
     def clear(self) -> None:
-        """Drop all records (listeners stay subscribed)."""
-        self._records.clear()
+        """Drop all stored records (sinks and listeners stay attached)."""
+        mem = self.memory
+        if mem is not None:
+            mem.clear()
 
     def extend_from(self, records: Iterable[TraceRecord]) -> None:
         """Bulk-append pre-built records (used by trace merging in tests)."""
-        self._records.extend(records)
+        mem = self.memory
+        if mem is None:
+            raise SimulationError("extend_from needs an attached MemorySink")
+        mem.records.extend(records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<TraceLog n={len(self._records)} enabled={self.enabled}>"
+        kinds = ",".join(type(s).__name__ for s in self._sinks) or "none"
+        return f"<TraceLog n={len(self)} sinks=[{kinds}] enabled={self.enabled}>"
+
+
+# ----------------------------------------------------------------------
+# mode factory (shared by the CLI and benchmark harnesses)
+# ----------------------------------------------------------------------
+TRACE_MODES = ("full", "counters", "stream", "off")
+
+
+def make_trace(mode: str = "full",
+               stream_target: str | Path | IO[str] | None = None) -> TraceLog:
+    """Build a :class:`TraceLog` for one of the standard modes.
+
+    * ``full``     — one :class:`MemorySink` (the default behavior),
+    * ``counters`` — one :class:`CounterSink`; hot paths skip record
+      construction entirely,
+    * ``stream``   — NDJSON to ``stream_target`` plus a
+      :class:`CounterSink` for cheap totals,
+    * ``off``      — no sinks, ``enabled=False``.
+    """
+    if mode == "full":
+        return TraceLog()
+    if mode == "counters":
+        return TraceLog(sinks=[CounterSink()])
+    if mode == "stream":
+        if stream_target is None:
+            raise SimulationError("trace mode 'stream' needs a stream_target")
+        return TraceLog(sinks=[StreamSink(stream_target), CounterSink()])
+    if mode == "off":
+        return TraceLog(enabled=False, sinks=[])
+    raise SimulationError(
+        f"unknown trace mode {mode!r} (expected one of {', '.join(TRACE_MODES)})"
+    )

@@ -267,17 +267,19 @@ def _parse_port(pel: ET.Element, messages: Mapping[str, MessageType]) -> PortSpe
     ttel = pel.find("tt")
     if ttel is not None:
         tt = TTTiming(
-            period=_int_attr(ttel, "period") or 0,
-            phase=_int_attr(ttel, "phase", 0) or 0,
-            jitter=_int_attr(ttel, "jitter", 0) or 0,
+            period=_int_attr(ttel, "period", 0),
+            phase=_int_attr(ttel, "phase", 0),
+            jitter=_int_attr(ttel, "jitter", 0),
         )
     et = None
     etel = pel.find("et")
     if etel is not None:
+        # NB: plain defaults, not ``x or default`` — a legitimate 0
+        # (e.g. max="0") is falsy and must survive the round trip.
         et = ETTiming(
-            min_interarrival=_int_attr(etel, "min", 0) or 0,
-            max_interarrival=_int_attr(etel, "max", 2**63 - 1) or 2**63 - 1,
-            service_time=_int_attr(etel, "service", 0) or 0,
+            min_interarrival=_int_attr(etel, "min", 0),
+            max_interarrival=_int_attr(etel, "max", 2**63 - 1),
+            service_time=_int_attr(etel, "service", 0),
             distribution=etel.get("distribution", "poisson"),
         )
     return PortSpec(
@@ -288,7 +290,7 @@ def _parse_port(pel: ET.Element, messages: Mapping[str, MessageType]) -> PortSpe
         interaction=interaction,
         tt=tt,
         et=et,
-        queue_depth=_int_attr(pel, "queue", 1) or 1,
+        queue_depth=_int_attr(pel, "queue", 1),
         temporal_accuracy=_int_attr(pel, "dacc"),
     )
 

@@ -83,7 +83,12 @@ class NaiveBridge(Process):
             # Immediate verbatim re-send: failures propagate unfiltered.
             self.vn_b.send(message, instance.copy(), sender_job=self.name)
             self.forwarded += 1
-            self.trace(TraceCategory.GATEWAY_FORWARD, message=message, bridge=True)
+            self.sim.metrics.inc("bridge.forwards")
+            tr = self.sim.trace
+            if tr.wants(TraceCategory.GATEWAY_FORWARD):
+                self.trace(TraceCategory.GATEWAY_FORWARD, message=message, bridge=True)
+            else:
+                tr.tick(TraceCategory.GATEWAY_FORWARD)
         else:
             self._latest[message] = instance
             self.forwarded += 1

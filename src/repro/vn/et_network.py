@@ -55,6 +55,10 @@ class ETVirtualNetwork(VirtualNetworkBase):
         self.sends = 0
         self.arbitration_wins = 0
         self.send_drops = 0
+        m = sim.metrics
+        self._m_sends = m.counter("vn.et.sends")
+        self._m_drops = m.counter("vn.et.send_drops")
+        self._m_depth = m.histogram("vn.et.queue_depth")
 
     # ------------------------------------------------------------------
     # send path (sender-push)
@@ -70,21 +74,31 @@ class ETVirtualNetwork(VirtualNetworkBase):
             )
         self._install_source(binding.component)
         queue = self._pending.setdefault(binding.component, [])
+        tr = self.sim.trace
         if len(queue) >= self.pending_limit:
             self.send_drops += 1
-            self.sim.trace.record(
-                self.sim.now, TraceCategory.PORT_DROP, f"etvn.{self.das}",
-                reason="arbitration queue full", message=message,
-            )
+            self._m_drops.inc()
+            if tr.wants(TraceCategory.PORT_DROP):
+                tr.record(
+                    self.sim.now, TraceCategory.PORT_DROP, f"etvn.{self.das}",
+                    reason="arbitration queue full", message=message,
+                )
+            else:
+                tr.tick(TraceCategory.PORT_DROP)
             return False
         chunk = self._encode_chunk(message, instance, sender_job or binding.job_name)
         self._seq += 1
         heapq.heappush(queue, (binding.priority, self._seq, chunk))
         self.sends += 1
-        self.sim.trace.record(
-            self.sim.now, TraceCategory.VN_DISPATCH, f"etvn.{self.das}",
-            message=message, component=binding.component, priority=binding.priority,
-        )
+        self._m_sends.inc()
+        self._m_depth.observe(len(queue))
+        if tr.wants(TraceCategory.VN_DISPATCH):
+            tr.record(
+                self.sim.now, TraceCategory.VN_DISPATCH, f"etvn.{self.das}",
+                message=message, component=binding.component, priority=binding.priority,
+            )
+        else:
+            tr.tick(TraceCategory.VN_DISPATCH)
         self._local_deliver(message, instance, binding.component)
         return True
 

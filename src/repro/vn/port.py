@@ -82,10 +82,15 @@ class Port:
 
     def trace_drop(self, reason: str) -> None:
         self.drops += 1
-        self.sim.trace.record(
-            self.sim.now, TraceCategory.PORT_DROP, self.name,
-            owner=self._owner_label(), reason=reason,
-        )
+        self.sim.metrics.inc("port.drops")
+        tr = self.sim.trace
+        if tr.wants(TraceCategory.PORT_DROP):
+            tr.record(
+                self.sim.now, TraceCategory.PORT_DROP, self.name,
+                owner=self._owner_label(), reason=reason,
+            )
+        else:
+            tr.tick(TraceCategory.PORT_DROP)
 
 
 class StatePort(Port):

@@ -127,6 +127,7 @@ class ReplicatedMessage:
         majority = self.k // 2 + 1
         if len(counts) > 1 and votes < majority:
             self.rounds_tied += 1
+            self.sim.metrics.inc("voter.rounds_tied")
             self.sim.trace.record(
                 self.sim.now, TraceCategory.PORT_DROP, f"voter.{self.message}",
                 reason="no majority", replicas=len(replicas),
@@ -149,6 +150,7 @@ class ReplicatedMessage:
                     cb(self.message, out.copy(), now)
         self.rounds_voted += 1
         self.delivered += 1
+        self.sim.metrics.inc("voter.rounds_voted")
 
     def replica_names(self) -> list[str]:
         return list(self._replica_names)

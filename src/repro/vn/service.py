@@ -87,6 +87,9 @@ class VirtualNetworkBase:
         self.chunks_sent = 0
         self.bytes_sent = 0
         self.instances_delivered = 0
+        m = sim.metrics
+        self._m_delivered = m.counter("vn.instances_delivered")
+        self._m_chunk_drop = m.counter("vn.chunk_drops")
 
     # ------------------------------------------------------------------
     # attachment
@@ -218,6 +221,7 @@ class VirtualNetworkBase:
         try:
             mtype = self.namespace.lookup(chunk.message)
         except NamingError:
+            self._m_chunk_drop.inc()
             self.sim.trace.record(
                 arrival, TraceCategory.PORT_DROP, f"vn.{self.das}",
                 reason="unknown message", message=chunk.message,
@@ -226,6 +230,7 @@ class VirtualNetworkBase:
         try:
             instance = mtype.decode(chunk.data)
         except Exception:
+            self._m_chunk_drop.inc()
             self.sim.trace.record(
                 arrival, TraceCategory.PORT_DROP, f"vn.{self.das}",
                 reason="undecodable", message=chunk.message,
@@ -247,10 +252,15 @@ class VirtualNetworkBase:
         if isinstance(port, (StatePort, EventPort)):
             port.deliver_from_network(instance, arrival)
             self.instances_delivered += 1
-            self.sim.trace.record(
-                arrival, TraceCategory.PORT_RECV, port.name,
-                vn=self.das, owner=port._owner_label(),
-            )
+            self._m_delivered.inc()
+            tr = self.sim.trace
+            if tr.wants(TraceCategory.PORT_RECV):
+                tr.record(
+                    arrival, TraceCategory.PORT_RECV, port.name,
+                    vn=self.das, owner=port._owner_label(),
+                )
+            else:
+                tr.tick(TraceCategory.PORT_RECV)
         else:  # pragma: no cover - make_port only builds the two kinds
             raise PortError(f"cannot deliver to port {port!r}")
 

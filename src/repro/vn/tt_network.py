@@ -71,6 +71,10 @@ class TTVirtualNetwork(VirtualNetworkBase):
         self.implicit_failures = 0
         self.dispatches = 0
         self.empty_dispatches = 0
+        m = sim.metrics
+        self._m_dispatch = m.counter("vn.tt.dispatches")
+        self._m_empty = m.counter("vn.tt.empty_dispatches")
+        self._m_implicit_fail = m.counter("vn.tt.implicit_failures")
         self.unaligned_periods: list[str] = []
         #: message -> (first nominal instant, period): the a-priori
         #: knowledge implicit naming resolves against.
@@ -102,7 +106,7 @@ class TTVirtualNetwork(VirtualNetworkBase):
                 else:
                     raise ConfigurationError(
                         f"TT message {message!r} needs a timing "
-                        f"(set_timing or a TT port spec)"
+                        "(set_timing or a TT port spec)"
                     )
             schedule = self.cluster.schedule
             if timing.period % schedule.cycle_length != 0:
@@ -165,6 +169,7 @@ class TTVirtualNetwork(VirtualNetworkBase):
             name = self.resolve_implicit(nominal) if nominal is not None else None
             if name is None:
                 self.implicit_failures += 1
+                self._m_implicit_fail.inc()
                 self.sim.trace.record(
                     arrival, TraceCategory.PORT_DROP, f"ttvn.{self.das}",
                     reason="unresolvable implicit name", nominal=nominal,
@@ -184,6 +189,7 @@ class TTVirtualNetwork(VirtualNetworkBase):
             # Nothing written yet: a TT slot goes out empty (the frame
             # still serves sync/membership at the physical level).
             self.empty_dispatches += 1
+            self._m_empty.inc()
             return
         chunk = self._encode_chunk(message, instance, binding.job_name)
         if self.implicit_naming:
@@ -199,8 +205,13 @@ class TTVirtualNetwork(VirtualNetworkBase):
         self.chunks_sent += 1
         self.bytes_sent += chunk.size_bytes()
         self.dispatches += 1
-        self.sim.trace.record(
-            self.sim.now, TraceCategory.VN_DISPATCH, f"ttvn.{self.das}",
-            message=message, component=binding.component,
-        )
+        self._m_dispatch.inc()
+        tr = self.sim.trace
+        if tr.wants(TraceCategory.VN_DISPATCH):
+            tr.record(
+                self.sim.now, TraceCategory.VN_DISPATCH, f"ttvn.{self.das}",
+                message=message, component=binding.component,
+            )
+        else:
+            tr.tick(TraceCategory.VN_DISPATCH)
         self._local_deliver(message, instance, binding.component)

@@ -8,7 +8,6 @@ from repro.messaging import (
     FieldDef,
     IntType,
     MessageType,
-    Namespace,
     Semantics,
     TimestampType,
 )
@@ -22,7 +21,7 @@ from repro.spec import (
     PortSpec,
     TTTiming,
 )
-from repro.vn import ETVirtualNetwork, TTVirtualNetwork
+from repro.vn import TTVirtualNetwork
 
 __all__ = [
     "state_message",
@@ -35,6 +34,7 @@ __all__ = [
     "et_in_spec",
     "PeriodicWriter",
     "Collector",
+    "e5_gateway_system",
 ]
 
 
@@ -132,3 +132,102 @@ class Collector(Job):
 
     def on_message(self, port_name, instance, arrival) -> None:
         self.received.append((self.sim.now, port_name, instance))
+
+
+def e5_gateway_system(seed: int = 5, dst_period: int = 20 * MS, sim: Simulator | None = None):
+    """The E5 gateway pipeline scenario (ET sensor DAS -> hidden gateway
+    -> TT climate DAS), built small enough for unit tests.
+
+    Used by the trace-determinism tests: a fixed seed must yield a
+    record-for-record identical trace across refactors of the
+    instrumentation layer.
+    """
+    from repro.spec import LinkSpec
+    from repro.systems import GatewayDecl, SystemBuilder
+
+    src = MessageType("msgSensorBundle", elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=1),)),
+        ElementDef("Temp", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("c", IntType(16)),
+                           FieldDef("t_src", TimestampType(32)),)),
+        ElementDef("Humidity", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("pct", IntType(16)),)),
+    ))
+    dst = MessageType("msgClimateView", elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True, static_value=2),)),
+        ElementDef("Temp", convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("c", IntType(16)),
+                           FieldDef("t_src", TimestampType(32)),)),
+    ))
+
+    class Sender(Job):
+        def __init__(self, jsim, name, das, partition, period=7 * MS):
+            super().__init__(jsim, name, das, partition)
+            self.vn = None
+            self.period = period
+            self._last = None
+            self.sent = 0
+
+        def on_step(self):
+            now = self.sim.now
+            if self.vn is None:
+                return
+            if self._last is not None and now - self._last < self.period:
+                return
+            self._last = now
+            self.sent += 1
+            self.vn.send("msgSensorBundle", src.instance(
+                Temp={"c": self.sent % 40, "t_src": (now // 1000) % 2**32},
+                Humidity={"pct": 50},
+            ), sender_job=self.name)
+
+    class Viewer(Job):
+        def __init__(self, jsim, name, das, partition):
+            super().__init__(jsim, name, das, partition)
+            self.deliveries = 0
+
+        def on_message(self, port_name, instance, arrival):
+            self.deliveries += 1
+
+    builder = SystemBuilder(sim=sim, seed=seed)
+    builder.add_node("src-ecu").add_node("gw-ecu").add_node("dst-ecu")
+    builder.add_das("sensors", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("climate", ControlParadigm.TIME_TRIGGERED)
+    builder.add_job(
+        "sender", "sensors", "src-ecu",
+        lambda s, n, d, p: Sender(s, n, d, p),
+        ports=(PortSpec(message_type=src, direction=Direction.OUTPUT,
+                        semantics=Semantics.EVENT,
+                        control=ControlParadigm.EVENT_TRIGGERED, queue_depth=32),),
+    )
+    builder.add_job(
+        "viewer", "climate", "dst-ecu",
+        lambda s, n, d, p: Viewer(s, n, d, p),
+        ports=(PortSpec(message_type=dst, direction=Direction.INPUT,
+                        semantics=Semantics.STATE,
+                        control=ControlParadigm.TIME_TRIGGERED,
+                        tt=TTTiming(period=dst_period),
+                        interaction=InteractionType.PUSH,
+                        temporal_accuracy=500 * MS),),
+    )
+    builder.add_gateway(GatewayDecl(
+        name="gw", host="gw-ecu", das_a="sensors", das_b="climate",
+        link_a=LinkSpec(das="sensors", ports=(PortSpec(
+            message_type=src, direction=Direction.INPUT,
+            semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+            queue_depth=32,
+        ),)),
+        link_b=LinkSpec(das="climate", ports=(PortSpec(
+            message_type=dst, direction=Direction.OUTPUT,
+            semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
+            tt=TTTiming(period=dst_period), temporal_accuracy=500 * MS,
+        ),)),
+        rules=[("msgSensorBundle", "msgClimateView", "a_to_b", None)],
+        partition=None,
+    ))
+    system = builder.build()
+    system.start()
+    system.job("sender").vn = system.vn("sensors")
+    return system

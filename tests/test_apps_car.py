@@ -4,22 +4,36 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps import CarConfig, Phase, VehicleModel, build_car, skid_trip
+from repro.apps import CarConfig, Phase, VehicleModel, build_car
 from repro.sim import MS, SEC
+
+
+def compressed_skid_trip() -> VehicleModel:
+    """The skid_trip() profile with every phase shortened so the skid
+    hits at t=6 s instead of t=15 s — same dynamics, less than half the
+    simulated horizon (these integration tests dominate suite runtime).
+    """
+    return VehicleModel([
+        Phase(duration=3 * SEC, accel=3.0),
+        Phase(duration=3 * SEC),
+        Phase(duration=2 * SEC, yaw_rate=0.3, skid=True, braking=1.0, accel=-6.0),
+        Phase(duration=3 * SEC, braking=0.2, accel=-1.0),
+    ], initial_speed=0.0)
 
 
 @pytest.fixture(scope="module")
 def skid_car():
-    """One 20-second skid-trip run shared by read-only assertions."""
-    car = build_car(CarConfig())
-    car.run_for(20 * SEC)
+    """One 9-second compressed skid-trip run shared by read-only
+    assertions (skid onset at 6 s)."""
+    car = build_car(CarConfig(vehicle=compressed_skid_trip()))
+    car.run_for(9 * SEC)
     return car
 
 
 def test_sensors_publish_continuously(skid_car):
-    assert skid_car.wheel_sensor.samples_published > 5000
-    assert skid_car.dynamics_sensor.samples_published > 5000
-    assert skid_car.gps.fixes_published >= 190  # 10 Hz over 20 s
+    assert skid_car.wheel_sensor.samples_published > 2200
+    assert skid_car.dynamics_sensor.samples_published > 2200
+    assert skid_car.gps.fixes_published >= 85  # 10 Hz over 9 s
 
 
 def test_presafe_detects_the_skid(skid_car):
@@ -76,10 +90,10 @@ def test_membership_all_alive(skid_car):
 def test_dead_reckoning_bridges_gps_outage():
     """E9's mechanism: with the ABS import, position error during a GPS
     outage stays bounded; without it, the estimate coasts and diverges."""
-    outage = [(8 * SEC, 18 * SEC)]
+    outage = [(4 * SEC, 10 * SEC)]
     vehicle = VehicleModel([
-        Phase(duration=5 * SEC, accel=3.0),
-        Phase(duration=15 * SEC, yaw_rate=0.05),
+        Phase(duration=3 * SEC, accel=3.0),
+        Phase(duration=7 * SEC, yaw_rate=0.05),
     ])
 
     def run(nav_import: bool) -> float:
@@ -88,8 +102,8 @@ def test_dead_reckoning_bridges_gps_outage():
                         roof_command_export=False, dashboard_import=False,
                         roof_motion_plan=[])
         car = build_car(cfg)
-        car.run_for(20 * SEC)
-        return max(car.navigator.error_during(9 * SEC, 18 * SEC))
+        car.run_for(10 * SEC)
+        return max(car.navigator.error_during(5 * SEC, 10 * SEC))
 
     err_with = run(True)
     err_without = run(False)
@@ -100,26 +114,28 @@ def test_dead_reckoning_bridges_gps_outage():
 def test_strict_separation_disables_presafe():
     """Without the dynamics import, the Pre-Safe function cannot exist
     (the paper's argument for controlled coupling)."""
-    cfg = CarConfig(presafe_import=False, roof_command_export=False,
-                    dashboard_import=False, nav_import=False)
+    cfg = CarConfig(vehicle=compressed_skid_trip(), presafe_import=False,
+                    roof_command_export=False, dashboard_import=False,
+                    nav_import=False)
     car = build_car(cfg)
-    car.run_for(18 * SEC)
+    car.run_for(8 * SEC)  # covers the skid at 6 s
     assert car.presafe.detections == []
     assert car.belt.received == []
 
 
 def test_roof_stays_open_without_command_export():
-    cfg = CarConfig(roof_command_export=False, dashboard_import=False)
+    cfg = CarConfig(vehicle=compressed_skid_trip(),
+                    roof_command_export=False, dashboard_import=False)
     car = build_car(cfg)
-    car.run_for(18 * SEC)
+    car.run_for(8 * SEC)  # covers the skid at 6 s
     assert car.presafe.detections  # hazard detected...
     assert car.roof.close_commands_received == []  # ...but cannot act
 
 
 def test_runs_reproducible():
     def run() -> tuple:
-        car = build_car(CarConfig(seed=7))
-        car.run_for(17 * SEC)
+        car = build_car(CarConfig(seed=7, vehicle=compressed_skid_trip()))
+        car.run_for(8 * SEC)
         return (
             car.presafe.detections,
             car.roof.events_emitted,
@@ -150,15 +166,15 @@ def test_value_failure_contained_by_gateway_filter():
 
     def run(with_filter: bool) -> float:
         vehicle = VehicleModel([
-            Phase(duration=5 * SEC, accel=3.0),
-            Phase(duration=15 * SEC, yaw_rate=0.05),
+            Phase(duration=3 * SEC, accel=3.0),
+            Phase(duration=9 * SEC, yaw_rate=0.05),
         ])
         filters = None
         if with_filter:
             # Plausibility: a road car never exceeds 100 m/s per wheel.
             filters = FilterChain(ValueFilter("WheelSpeeds", "fl < 100000"),
                                   ValueFilter("WheelSpeeds", "fr < 100000"))
-        cfg = CarConfig(vehicle=vehicle, gps_outages=[(8 * SEC, 18 * SEC)],
+        cfg = CarConfig(vehicle=vehicle, gps_outages=[(4 * SEC, 12 * SEC)],
                         presafe_import=False, roof_command_export=False,
                         dashboard_import=False, roof_motion_plan=[],
                         nav_import_filters=filters)
@@ -167,10 +183,10 @@ def test_value_failure_contained_by_gateway_filter():
         FaultInjector(car.sim).inject_at(
             JobValueFailure(name="seu", job=car.wheel_sensor,
                             distortion=distortion),
-            at=10 * SEC, until=11 * SEC,
+            at=5 * SEC, until=6 * SEC,
         )
-        car.run_for(20 * SEC)
-        return max(car.navigator.error_during(10 * SEC, 18 * SEC))
+        car.run_for(12 * SEC)
+        return max(car.navigator.error_during(5 * SEC, 11 * SEC))
 
     err_filtered = run(with_filter=True)
     err_unfiltered = run(with_filter=False)

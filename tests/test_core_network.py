@@ -9,10 +9,9 @@ from repro.core_network import (
     FrameChunk,
     FTAClockSync,
     NodeConfig,
-    PhysicalFrame,
 )
 from repro.errors import ConfigurationError
-from repro.sim import MS, SEC, US, LocalClock, Simulator, TraceCategory
+from repro.sim import LocalClock, Simulator, TraceCategory
 
 
 def build_cluster(sim: Simulator, drifts=(0.0, 0.0, 0.0, 0.0), **kw):

@@ -8,7 +8,6 @@ from repro.analysis import (
     BandwidthProbe,
     CountProbe,
     Series,
-    SampleStats,
     Table,
     jitter,
     percentile,

@@ -21,7 +21,6 @@ from repro.messaging import (
     FieldDef,
     IntType,
     MessageType,
-    Semantics,
 )
 
 MS = 1_000_000

@@ -262,7 +262,6 @@ def test_visible_gateway_has_higher_latency_than_hidden():
     def first_delivery_latency(partition):
         system, roof, display = build_system(deltas=[5], gateway_partition=partition)
         system.run_for(100 * MS)
-        gw = system.gateway("roofgw")
         send_t = 5 * MS  # the producer's first emission instant
         stored = [r for r in system.sim.trace.records(TraceCategory.GATEWAY_FORWARD)
                   if r.get("stage") == "stored"]

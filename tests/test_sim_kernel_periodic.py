@@ -1,0 +1,175 @@
+"""Edge cases of the first-class :class:`PeriodicTask` and the event
+queue's lazy-cancellation compaction.
+
+These complement the happy paths in ``test_sim_kernel.py``: cancellation
+from inside the tick itself, the callable back-compat surface, the
+``start``-in-the-past regression, and queue compaction under heavy
+cancel churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, MS, PeriodicTask, Simulator
+
+
+# ----------------------------------------------------------------------
+# PeriodicTask
+# ----------------------------------------------------------------------
+def test_every_returns_periodic_task():
+    sim = Simulator()
+    task = sim.every(MS, lambda: None, label="tick")
+    assert isinstance(task, PeriodicTask)
+    assert task.active
+    assert task.period == MS
+    assert task.fires == 0
+
+
+def test_every_start_in_the_past_raises():
+    # Regression: this used to be silently accepted, producing an event
+    # at an instant the kernel had already passed.
+    sim = Simulator()
+    sim.at(5 * MS, lambda: None)
+    sim.run_for(5 * MS)
+    with pytest.raises(SimulationError, match="past"):
+        sim.every(MS, lambda: None, start=2 * MS)
+
+
+def test_periodic_fires_on_grid_with_explicit_start():
+    sim = Simulator()
+    times: list[int] = []
+    task = sim.every(3 * MS, lambda: times.append(sim.now), start=2 * MS)
+    sim.run_for(12 * MS)
+    assert times == [2 * MS, 5 * MS, 8 * MS, 11 * MS]
+    assert task.fires == 4
+    assert task.next_time == 14 * MS
+
+
+def test_cancel_mid_tick_stops_future_fires():
+    sim = Simulator()
+    fired: list[int] = []
+
+    def tick() -> None:
+        fired.append(sim.now)
+        if len(fired) == 2:
+            task.cancel()  # cancel from inside our own callback
+
+    task = sim.every(MS, tick)
+    sim.run_for(10 * MS)
+    assert fired == [0, MS]
+    assert not task.active
+    assert sim.pending() == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    task = sim.every(MS, lambda: None)
+    task.cancel()
+    task.cancel()
+    assert not task.active
+    sim.run_for(5 * MS)
+    assert task.fires == 0
+
+
+def test_calling_the_task_cancels_it():
+    # Back-compat: every() used to return a bare cancel function.
+    sim = Simulator()
+    task = sim.every(MS, lambda: None)
+    task()
+    assert not task.active
+    sim.run_for(5 * MS)
+    assert task.fires == 0
+
+
+def test_cancelled_task_does_not_rearm_even_if_event_fires():
+    # Cancel between scheduling and the event's instant: the pending
+    # heap entry is lazily discarded and nothing re-arms.
+    sim = Simulator()
+    task = sim.every(MS, lambda: None, start=3 * MS)
+    sim.run_for(MS)
+    task.cancel()
+    sim.run_for(10 * MS)
+    assert task.fires == 0
+    assert sim.pending() == 0
+
+
+def test_two_tasks_cancel_each_other_deterministically():
+    # Same instant, same priority: FIFO order means task a fires first
+    # and cancels b before b's callback runs.
+    sim = Simulator()
+    fired: list[str] = []
+
+    def tick_a() -> None:
+        fired.append("a")
+        task_b.cancel()
+
+    task_a = sim.every(MS, tick_a)
+    task_b = sim.every(MS, lambda: fired.append("b"))
+    sim.run_for(2 * MS)
+    task_a.cancel()
+    assert fired == ["a", "a", "a"]
+    assert task_b.fires == 0
+
+
+# ----------------------------------------------------------------------
+# EventQueue compaction
+# ----------------------------------------------------------------------
+def test_compaction_purges_cancelled_entries():
+    q = EventQueue()
+    handles = [q.push(t, lambda: None) for t in range(500)]
+    for h in handles[:400]:
+        h.cancel()
+    # Cancelling is what creates dead entries, so cancelling triggers
+    # compaction once the dead exceed the floor and outnumber the live.
+    assert q.compactions >= 1
+    assert len(q) == 100
+    # Residual dead entries stay bounded by the floor...
+    assert len(q._heap) - len(q) <= q.COMPACT_MIN_CANCELLED
+    # ...and popping drains exactly the live ones, in order.
+    assert [q.pop().time for _ in range(len(q))] == list(range(400, 500))
+
+
+def test_compaction_preserves_pop_order():
+    q = EventQueue()
+    keep = []
+    for t in range(300):
+        h = q.push(t, lambda: None)
+        if t % 3 == 0:
+            keep.append(h)
+        else:
+            h.cancel()
+    q.compact()
+    popped = [q.pop().time for _ in range(len(q))]
+    assert popped == [h.time for h in keep]
+    assert popped == sorted(popped)
+
+
+def test_compaction_invisible_to_simulation():
+    # Identical runs with and without a forced compaction mid-stream.
+    def build(compact_at: int | None) -> list[int]:
+        sim = Simulator(seed=3)
+        fired: list[int] = []
+        handles = [
+            sim.at(t * MS, (lambda t=t: fired.append(t)))
+            for t in range(1, 50)
+        ]
+        for h in handles[::2]:
+            h.cancel()
+        if compact_at is not None:
+            sim._queue.compact()
+        sim.run_for(60 * MS)
+        return fired
+
+    assert build(None) == build(1)
+
+
+def test_run_max_events_zero_executes_nothing():
+    sim = Simulator()
+    fired: list[int] = []
+    sim.at(0, lambda: fired.append(0))
+    sim.run(max_events=0)
+    assert fired == []
+    assert sim.events_executed == 0
+    assert sim.pending() == 1

@@ -7,8 +7,8 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.messaging import Namespace
 from repro.platform import Job
-from repro.sim import MS, SEC, Simulator
-from repro.spec import ControlParadigm, Direction, LinkSpec, PortSpec, TTTiming
+from repro.sim import MS, Simulator
+from repro.spec import ControlParadigm, LinkSpec, TTTiming
 from repro.systems import (
     ArchitectureModel,
     DASRequirement,
@@ -21,7 +21,7 @@ from repro.systems import (
 )
 from repro.vn import ETVirtualNetwork, TTVirtualNetwork
 
-from .support import et_in_spec, et_out_spec, event_message, state_message, tt_in_spec, tt_out_spec
+from .support import et_out_spec, event_message, state_message, tt_out_spec
 
 
 # ----------------------------------------------------------------------

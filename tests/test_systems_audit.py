@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.platform import Job
 from repro.sim import MS
-from repro.spec import ControlParadigm, Direction, PortSpec, TTTiming
+from repro.spec import ControlParadigm, TTTiming
 from repro.systems import EncapsulationAudit, SystemBuilder
 
 from .support import et_out_spec, event_message, state_message, tt_out_spec

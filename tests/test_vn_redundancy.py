@@ -51,8 +51,8 @@ def build(sim: Simulator, k=3, corrupt_replica: int | None = None,
     vn.start()
     if crash_replica is not None:
         cluster.controller(f"n{crash_replica}").crashed = True
-    cancel = sim.every(timing.period,
-                       lambda: rounds.__setitem__("n", rounds["n"] + 1))
+    sim.every(timing.period,
+              lambda: rounds.__setitem__("n", rounds["n"] + 1))
     return cluster, vn, rep, got, timing
 
 
