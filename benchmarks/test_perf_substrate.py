@@ -9,12 +9,16 @@ changes.  They complement the E-experiments, which assert model
 
 from __future__ import annotations
 
-import json
+import heapq
 import time
+from dataclasses import dataclass
+from dataclasses import field as dc_field
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.core_network import ClusterBuilder, FrameChunk, NodeConfig
 from repro.messaging import Namespace, Semantics
+from repro.runner import provenance, update_bench_json
 from repro.sim import MS, CounterSink, Simulator, TraceLog, make_trace
 from repro.spec import (
     ControlParadigm,
@@ -44,6 +48,146 @@ def test_perf_kernel_event_throughput(benchmark):
         return count["n"]
 
     assert benchmark(run) == 50_000
+
+
+@dataclass(order=True, slots=True)
+class _SeedEvent:
+    """The seed's heap entry, field-for-field: a dataclass compared via
+    its generated ``__lt__``, which builds two ``(time, priority, seq)``
+    tuples per heap-sift comparison."""
+
+    time: int
+    priority: int
+    seq: int
+    callback: object = dc_field(compare=False)
+    cancelled: bool = dc_field(default=False, compare=False)
+    label: str = dc_field(default="", compare=False)
+    _queue: object = dc_field(default=None, compare=False, repr=False)
+
+
+class _SeedKernel:
+    """Faithful replica of the seed's hot path, for comparison.
+
+    Events sit directly in the heap (Python-level ``__lt__`` on every
+    sift step), ``push`` constructs the full seven-field event with the
+    queue backref, and ``run_until`` runs the seed's peek / bail /
+    ``step()`` sequence — ``step()`` re-peeked, so every event cost two
+    ``peek_time`` calls plus a ``pop``.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_SeedEvent] = []
+        self._seq = 0
+        self.now = 0
+        self.events_executed = 0
+
+    def _push(self, t: int, callback, priority: int, label: str) -> _SeedEvent:
+        if t < 0:
+            raise ValueError(t)
+        ev = _SeedEvent(time=t, priority=priority, seq=self._seq,
+                        callback=callback, label=label, _queue=self)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def at(self, t: int, callback, priority: int = 30, label: str = "") -> _SeedEvent:
+        if t < self.now:
+            raise ValueError(t)
+        return self._push(t, callback, priority, label)
+
+    def after(self, delay: int, callback, priority: int = 30,
+              label: str = "") -> _SeedEvent:
+        if delay < 0:
+            raise ValueError(delay)
+        return self._push(self.now + delay, callback, priority, label)
+
+    def _peek_time(self) -> int | None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def _step(self) -> None:
+        self._peek_time()  # the seed's step() re-peeked before popping
+        ev = heapq.heappop(self._heap)
+        ev._queue = None
+        self.now = ev.time
+        self.events_executed += 1
+        ev.callback()
+
+    def run_until(self, t: int) -> None:
+        while True:
+            nxt = self._peek_time()
+            if nxt is None or nxt > t:
+                break
+            self._step()
+        if self.now < t:
+            self.now = t
+
+
+def test_perf_kernel_batched_drain(run_once):
+    """The batched tuple-heap ``run_until`` vs the seed's peek/pop loop.
+
+    The baseline (:class:`_SeedKernel`) replicates what the kernel did
+    before the optimization: dataclass events compared by a generated
+    ``__lt__`` inside the heap, and a peek+peek+pop round-trip per
+    event.  The optimized side is the real :class:`Simulator`, whose
+    queue stores ``(time, priority, seq, event)`` int-tuples (C-level
+    heap compares) and drains ready events in batches.  The workload is
+    a burst shape — 128 aligned self-rescheduling chains, so every
+    instant offers a deep batch — which is where the E-experiment
+    models spend their time (TDMA rounds dispatch many events per slot
+    boundary).  Batched must be at least 1.2x faster; numbers land in
+    the ``kernel`` section of ``BENCH_substrate.json``.
+    """
+    CHAINS = 128
+    PERIOD = 10_000  # 10 us
+    HORIZON = 4 * MS  # -> ~400 bursts of 128 events
+
+    def build(kernel) -> dict:
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            kernel.after(PERIOD, tick)
+
+        for _ in range(CHAINS):
+            kernel.at(0, tick)
+        return count
+
+    REPS = 5
+
+    def best_of(make_kernel) -> tuple[float, int]:
+        best = float("inf")
+        events = 0
+        for _ in range(REPS):
+            kernel = make_kernel()
+            count = build(kernel)
+            t0 = time.perf_counter()
+            kernel.run_until(HORIZON)
+            best = min(best, time.perf_counter() - t0)
+            events = count["n"]
+        return best, events
+
+    def run() -> dict:
+        batched_s, batched_n = best_of(Simulator)
+        seed_s, seed_n = best_of(_SeedKernel)
+        assert batched_n == seed_n  # identical workload either way
+        return {
+            "workload": f"{CHAINS} aligned chains, {batched_n} events",
+            "events": batched_n,
+            "batched_s": round(batched_s, 6),
+            "seed_loop_s": round(seed_s, 6),
+            "batched_speedup": round(seed_s / batched_s, 3),
+            "provenance": provenance(
+                timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                iterations=REPS),
+        }
+
+    result = run_once(run)
+    out = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    update_bench_json(out, "kernel", result)
+    assert result["batched_speedup"] >= 1.2, result
 
 
 def test_perf_codec_roundtrip(benchmark):
@@ -228,21 +372,20 @@ def test_perf_gateway_trace_modes(run_once):
         full_s = replay_full(ops)
         counters_s = replay_counters(ops)
         return {
-            "gateway_pipeline": {
-                "trace_ops": len(ops),
-                "replay_full_s": round(full_s, 6),
-                "replay_counters_s": round(counters_s, 6),
-                "counters_speedup": round(full_s / counters_s, 3),
-                "end_to_end_full_s": round(end_to_end("full"), 6),
-                "end_to_end_counters_s": round(end_to_end("counters"), 6),
-            },
+            "trace_ops": len(ops),
+            "replay_full_s": round(full_s, 6),
+            "replay_counters_s": round(counters_s, 6),
+            "counters_speedup": round(full_s / counters_s, 3),
+            "end_to_end_full_s": round(end_to_end("full"), 6),
+            "end_to_end_counters_s": round(end_to_end("counters"), 6),
+            "provenance": provenance(
+                timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                iterations=5),
         }
 
-    result = run_once(run)
+    gp = run_once(run)
     out = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
-    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-
-    gp = result["gateway_pipeline"]
+    update_bench_json(out, "gateway_pipeline", gp)
     assert gp["trace_ops"] > 10_000
     # Counters-only skips record construction entirely: >= 25% faster.
     assert gp["replay_counters_s"] <= 0.75 * gp["replay_full_s"], gp

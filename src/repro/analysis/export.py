@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import csv
 import json
+from collections.abc import Iterable
 from pathlib import Path
-from typing import IO, Iterable
+from typing import IO
 
 from ..sim import Metrics, TraceLog, TraceRecord
 from ..sim.trace import jsonable as _jsonable

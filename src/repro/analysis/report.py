@@ -7,7 +7,8 @@ paper-claim vs measured) and :class:`Series` (figure-like sweeps).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Metrics

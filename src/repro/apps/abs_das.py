@@ -16,7 +16,7 @@ field dict (software value failure, Sec. II-D).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..platform import Job
 from .signals import mm_per_s, mrad_per_s, obs_time, vehicle_dynamics_type, wheel_speed_type

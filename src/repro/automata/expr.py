@@ -23,8 +23,9 @@ division (specifications that need integer ticks should multiply).
 from __future__ import annotations
 
 import re
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any
 
 from ..errors import GuardParseError
 

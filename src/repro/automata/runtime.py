@@ -34,7 +34,8 @@ restart the service (Sec. IV-B.2); :meth:`reset` re-initializes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, MutableMapping, Protocol
+from collections.abc import Callable, MutableMapping
+from typing import Any, Protocol
 
 from ..errors import AutomatonError, TemporalViolationError
 from .automaton import ActionKind, Guard, TimedAutomaton, Transition

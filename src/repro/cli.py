@@ -107,6 +107,90 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .runner import SweepRunner, default_registry, filter_scenarios, sweep_table
+
+    registry = default_registry(base_seed=args.base_seed)
+    tokens = [t for expr in (args.filter or []) for t in expr.split(",") if t]
+    specs = filter_scenarios(registry, tokens)
+    if args.list:
+        for spec in specs:
+            tags = ",".join(spec.tags)
+            print(f"{spec.name:28s} builder={spec.builder:18s} "
+                  f"horizon={spec.horizon_ns / SEC:g}s seed={spec.seed} [{tags}]")
+        return 0
+    if not specs:
+        print(f"error: no scenarios match filter {tokens!r}", file=sys.stderr)
+        return 2
+
+    if args.bench_compare:
+        return _sweep_bench_compare(args, specs)
+
+    runner = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
+                         use_cache=not args.no_cache)
+    report = runner.run(specs)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        sweep_table(report).print()
+        for name in report["errors"]:
+            result = next(r for r in report["scenarios"] if r["name"] == name)
+            print(f"--- {name} failed ---\n{result['error']}", file=sys.stderr)
+    return 1 if report["errors"] else 0
+
+
+def _sweep_bench_compare(args: argparse.Namespace, specs) -> int:
+    """Serial-cold vs parallel-cold vs warm-cache comparison, recorded
+    as the ``sweep`` section of BENCH_substrate.json."""
+    import json
+    from datetime import datetime, timezone
+
+    from .runner import SweepRunner, provenance, update_bench_json
+
+    names = [s.name for s in specs]
+    print(f"bench-compare over {len(specs)} scenarios: {', '.join(names)}")
+    serial = SweepRunner(workers=1, cache_dir=args.cache_dir,
+                         use_cache=False).run(specs)
+    print(f"  serial cold   ({serial['workers']} worker):  {serial['wall_s']:.2f}s")
+    parallel = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
+                           use_cache=False).run(specs)
+    print(f"  parallel cold ({parallel['workers']} workers): {parallel['wall_s']:.2f}s")
+    warm = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
+                       use_cache=True).run(specs)
+    print(f"  warm cache    ({warm['workers']} workers): {warm['wall_s']:.2f}s "
+          f"({warm['cache_hits']} hits)")
+
+    digests = [
+        [r.get("digest") for r in report["scenarios"]]
+        for report in (serial, parallel, warm)
+    ]
+    identical = digests[0] == digests[1] == digests[2]
+    errors = serial["errors"] or parallel["errors"] or warm["errors"]
+    section = {
+        "scenarios": names,
+        "serial_s": serial["wall_s"],
+        "parallel_s": parallel["wall_s"],
+        "parallel_workers": parallel["workers"],
+        "parallel_speedup": round(serial["wall_s"] / parallel["wall_s"], 3),
+        "warm_s": warm["wall_s"],
+        "warm_speedup_vs_cold": round(parallel["wall_s"] / warm["wall_s"], 3),
+        "warm_cache_hits": warm["cache_hits"],
+        "digests_identical": identical,
+        "provenance": provenance(
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds")),
+    }
+    update_bench_json(args.bench_out, "sweep", section)
+    print(f"  parallel speedup {section['parallel_speedup']}x, "
+          f"warm speedup {section['warm_speedup_vs_cold']}x, "
+          f"digests identical: {identical}")
+    print(f"  wrote sweep section to {args.bench_out}")
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    return 1 if (errors or not identical) else 0
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     from . import __version__
 
@@ -144,6 +228,30 @@ def main(argv: list[str] | None = None) -> int:
 
     p_inv = sub.add_parser("inventory", help="E10 resource inventories")
     p_inv.set_defaults(func=_cmd_inventory)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run the scenario registry (parallel, cached)")
+    p_sweep.add_argument("--workers", type=int, default=4,
+                         help="process-pool size; 1 = serial (default: 4)")
+    p_sweep.add_argument("--filter", action="append", metavar="EXPR",
+                         help="select scenarios by tag or name glob "
+                              "(comma-separated, repeatable, OR-ed)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="ignore cached results (still refreshes them)")
+    p_sweep.add_argument("--cache-dir", default=".repro_cache", metavar="PATH",
+                         help="result cache directory (default: .repro_cache)")
+    p_sweep.add_argument("--base-seed", type=int, default=0,
+                         help="re-derive hash-derived scenario seeds")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of a table")
+    p_sweep.add_argument("--list", action="store_true",
+                         help="list matching scenarios without running")
+    p_sweep.add_argument("--bench-compare", action="store_true",
+                         help="measure serial vs parallel vs warm-cache and "
+                              "record the sweep section of BENCH_substrate.json")
+    p_sweep.add_argument("--bench-out", default="BENCH_substrate.json",
+                         metavar="PATH", help="BENCH file for --bench-compare")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_ver = sub.add_parser("version", help="print the package version")
     p_ver.set_defaults(func=_cmd_version)

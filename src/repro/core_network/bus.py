@@ -15,7 +15,8 @@ the E8 ablation.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 from ..errors import ConfigurationError
 from ..sim import EventPriority, Simulator, TraceCategory
@@ -49,7 +50,11 @@ class PhysicalBus:
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.propagation_delay = propagation_delay
-        self._listeners: list[BusListener] = []
+        #: Immutable delivery snapshot, rebuilt on attach(): _deliver
+        #: iterates this tuple directly instead of copying the listener
+        #: list on every frame (listeners attached mid-delivery only see
+        #: subsequent frames, same as the old copy-per-delivery).
+        self._listeners: tuple[BusListener, ...] = ()
         self._admission: Callable[[PhysicalFrame, int], bool] | None = None
         self._busy_until: int = 0
         self._in_flight: list[tuple[PhysicalFrame, int]] = []  # (frame, end)
@@ -65,7 +70,7 @@ class PhysicalBus:
 
     # ------------------------------------------------------------------
     def attach(self, listener: BusListener) -> None:
-        self._listeners.append(listener)
+        self._listeners = self._listeners + (listener,)
 
     def set_admission_control(self, check: Callable[[PhysicalFrame, int], bool] | None) -> None:
         """Install the central guardian's admission check (or None)."""
@@ -151,7 +156,7 @@ class PhysicalBus:
         return True
 
     def _deliver(self, frame: PhysicalFrame, arrival: int) -> None:
-        for listener in list(self._listeners):
+        for listener in self._listeners:
             listener.on_frame(frame, arrival)
 
     @property

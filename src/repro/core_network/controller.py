@@ -26,7 +26,7 @@ transmits immediately regardless of the schedule (babbling idiot).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import ConfigurationError, SchedulingError
 from ..sim import EventPriority, LocalClock, Process, Simulator, TraceCategory
@@ -67,6 +67,13 @@ class CommunicationController(Process):
         )
         if component not in schedule.senders():
             raise ConfigurationError(f"{component!r} owns no slot in the schedule")
+        # Precompiled per-cycle timeline: this component's slots and
+        # their in-cycle offsets never change, so compute the table once
+        # instead of re-deriving it for every cycle.
+        self._own_slots: tuple[tuple[Slot, int], ...] = tuple(
+            (slot, slot.offset) for slot in schedule.slots_of(component)
+        )
+        self._cycle_length = schedule.cycle_length
         self._tx: dict[str, deque[FrameChunk]] = {}
         self._chunk_sources: dict[str, Callable[[Slot, int], list[FrameChunk]]] = {}
         self._receivers: dict[str, list[ChunkReceiver]] = {}
@@ -112,13 +119,14 @@ class CommunicationController(Process):
     def _schedule_cycle(self, cycle: int) -> None:
         """Schedule this cycle's slot actions and the cycle-end event,
         all at instants where the *local* clock reads the TDMA times."""
-        cycle_start_local = self.schedule.cycle_start(cycle)
-        for slot in self.schedule.slots_of(self.component):
-            local_t = cycle_start_local + slot.offset + self.send_offset
+        cycle_start_local = cycle * self._cycle_length
+        send_offset = self.send_offset
+        for slot, offset in self._own_slots:
+            local_t = cycle_start_local + offset + send_offset
             ref_t = self._ref_for_local(local_t)
             self.call_at(ref_t, lambda s=slot, c=cycle: self._slot_action(s, c),
                          label=f"{self.name}.slot{slot.slot_id}")
-        end_local = cycle_start_local + self.schedule.cycle_length
+        end_local = cycle_start_local + self._cycle_length
         ref_end = self._ref_for_local(end_local)
         self.call_at(ref_end, lambda c=cycle: self._end_of_cycle(c),
                      label=f"{self.name}.cycle_end")

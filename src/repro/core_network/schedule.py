@@ -16,6 +16,7 @@ reservation, which realizes bandwidth partitioning between DASs.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
 from ..errors import SchedulingError
@@ -66,6 +67,23 @@ class TDMASchedule:
         for s in slots:
             self._by_sender.setdefault(s.sender, ())
             self._by_sender[s.sender] = self._by_sender[s.sender] + (s,)
+        # Precompiled slot timeline: slot offsets are validated to be
+        # non-overlapping and ascending, so point lookups (slot_at,
+        # in_slot_of, next_slot_start) bisect these tables instead of
+        # redoing per-slot arithmetic on every call.
+        self._starts: tuple[int, ...] = tuple(s.offset for s in slots)
+        self._ends: tuple[int, ...] = tuple(s.end_offset() for s in slots)
+        self._by_id: dict[int, Slot] = {s.slot_id: s for s in slots}
+        #: sender -> (ascending slot-start offsets, slots in that order)
+        self._sender_timeline: dict[str, tuple[tuple[int, ...], tuple[Slot, ...]]] = {
+            sender: (tuple(s.offset for s in own), own)
+            for sender, own in self._by_sender.items()
+        }
+        #: sender -> per-slot (start offset, end offset) windows
+        self._sender_windows: dict[str, tuple[tuple[int, int], ...]] = {
+            sender: tuple((s.offset, s.end_offset()) for s in own)
+            for sender, own in self._by_sender.items()
+        }
 
     # ------------------------------------------------------------------
     def senders(self) -> list[str]:
@@ -75,10 +93,10 @@ class TDMASchedule:
         return self._by_sender.get(sender, ())
 
     def slot(self, slot_id: int) -> Slot:
-        for s in self.slots:
-            if s.slot_id == slot_id:
-                return s
-        raise SchedulingError(f"no slot {slot_id}")
+        try:
+            return self._by_id[slot_id]
+        except KeyError:
+            raise SchedulingError(f"no slot {slot_id}") from None
 
     # ------------------------------------------------------------------
     def cycle_of(self, t: int) -> int:
@@ -95,40 +113,40 @@ class TDMASchedule:
     def slot_at(self, t: int) -> Slot | None:
         """The slot whose window contains global time ``t`` (None = gap)."""
         off = t % self.cycle_length
-        for s in self.slots:
-            if s.offset <= off < s.end_offset():
-                return s
+        i = bisect_right(self._starts, off) - 1
+        if i >= 0 and off < self._ends[i]:
+            return self.slots[i]
         return None
 
     def in_slot_of(self, sender: str, t: int, margin: int = 0) -> bool:
         """Is ``t`` inside (a ``margin``-widened) slot of ``sender``?"""
+        windows = self._sender_windows.get(sender, ())
         off = t % self.cycle_length
-        for s in self.slots_of(sender):
-            lo = s.offset - margin
-            hi = s.end_offset() + margin
+        cycle = self.cycle_length
+        for start, end in windows:
+            lo = start - margin
+            hi = end + margin
             if lo <= off < hi:
                 return True
             # widened window may wrap the cycle boundary
-            if lo < 0 and off >= lo + self.cycle_length:
+            if lo < 0 and off >= lo + cycle:
                 return True
-            if hi > self.cycle_length and off < hi - self.cycle_length:
+            if hi > cycle and off < hi - cycle:
                 return True
         return False
 
     def next_slot_start(self, sender: str, after: int) -> tuple[int, Slot]:
         """Earliest absolute slot start of ``sender`` at or after ``after``."""
-        own = self.slots_of(sender)
-        if not own:
+        timeline = self._sender_timeline.get(sender)
+        if timeline is None:
             raise SchedulingError(f"{sender!r} owns no slot")
-        best: tuple[int, Slot] | None = None
-        cycle = self.cycle_of(after)
-        for c in (cycle, cycle + 1):
-            for s in own:
-                start = self.cycle_start(c) + s.offset
-                if start >= after and (best is None or start < best[0]):
-                    best = (start, s)
-        assert best is not None  # cycle+1 always yields a future start
-        return best
+        starts, own = timeline
+        rem = after % self.cycle_length
+        base = after - rem
+        i = bisect_left(starts, rem)
+        if i < len(starts):
+            return base + starts[i], own[i]
+        return base + self.cycle_length + starts[0], own[0]
 
     def utilization(self) -> float:
         """Fraction of the cycle spent transmitting."""

@@ -15,8 +15,9 @@ from FIT-style rates.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from ..errors import FaultInjectionError
 from ..sim import Simulator, TraceCategory

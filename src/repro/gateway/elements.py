@@ -16,7 +16,8 @@ destination type's static/default values.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from ..errors import CodecError, GatewayError
 from ..messaging import MessageInstance, MessageType

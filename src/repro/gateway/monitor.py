@@ -21,7 +21,8 @@ omission failures are detected even though nothing arrives.
 
 from __future__ import annotations
 
-from typing import Any, Callable, MutableMapping
+from collections.abc import Callable, MutableMapping
+from typing import Any
 
 from ..automata import AutomatonRuntime, TimedAutomaton, Transition
 from ..sim import EventPriority, Simulator, TraceCategory

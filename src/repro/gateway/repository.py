@@ -32,8 +32,9 @@ of a message's state elements stay temporally accurate.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any
 
 from ..errors import GatewayError
 from ..messaging import Semantics

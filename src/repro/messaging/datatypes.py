@@ -290,17 +290,17 @@ class StringType(FieldType):
     def validate(self, value: Any) -> str:
         if not isinstance(value, str):
             raise CodecError(f"expected str, got {type(value).__name__}")
-        if len(value.encode("utf-8")) > self.length:
+        if len(value.encode()) > self.length:
             raise CodecError(f"string {value!r} exceeds {self.length} bytes")
         return value
 
     def encode(self, value: Any, writer: BitWriter) -> None:
-        raw = self.validate(value).encode("utf-8").ljust(self.length, b"\0")
+        raw = self.validate(value).encode().ljust(self.length, b"\0")
         writer.write(int.from_bytes(raw, "big"), self.length * 8)
 
     def decode(self, reader: BitReader) -> str:
         raw = reader.read(self.length * 8).to_bytes(self.length, "big")
-        return raw.rstrip(b"\0").decode("utf-8")
+        return raw.rstrip(b"\0").decode()
 
     def default(self) -> str:
         return ""

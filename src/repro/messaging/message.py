@@ -20,9 +20,10 @@ convertible elements, not whole messages.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Iterator, Mapping
+from typing import Any
 
 from ..errors import CodecError, SpecificationError
 from .datatypes import BitReader, BitWriter, FieldType

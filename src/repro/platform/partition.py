@@ -23,8 +23,9 @@ instead of silently corrupting state.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError, PartitionViolationError
 from ..sim import Simulator, TraceCategory

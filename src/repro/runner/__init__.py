@@ -1,0 +1,38 @@
+"""Scenario-sweep engine (substrate S12).
+
+Names every runnable configuration in a :func:`default_registry`, fans
+selected scenarios out over a process pool with per-worker isolation
+(:class:`SweepRunner`), and fronts execution with a digest-keyed result
+cache so repeat sweeps only re-run what changed.  Exposed on the CLI as
+``repro sweep``.
+"""
+
+from .cache import ResultCache, code_digest, result_key
+from .executor import SweepRunner, run_scenario, trace_digest
+from .report import provenance, sweep_table, update_bench_json
+from .scenarios import (
+    BUILDERS,
+    ScenarioSpec,
+    build_scenario,
+    default_registry,
+    derive_seed,
+    filter_scenarios,
+)
+
+__all__ = [
+    "BUILDERS",
+    "ResultCache",
+    "ScenarioSpec",
+    "SweepRunner",
+    "build_scenario",
+    "code_digest",
+    "default_registry",
+    "derive_seed",
+    "filter_scenarios",
+    "provenance",
+    "result_key",
+    "run_scenario",
+    "sweep_table",
+    "trace_digest",
+    "update_bench_json",
+]

@@ -1,0 +1,100 @@
+"""Digest-keyed result cache for scenario sweeps.
+
+A cached entry is keyed by ``sha256(spec JSON + code digest)``: the
+scenario's full specification plus a digest over every ``.py`` file in
+the ``repro`` package.  Editing any source file, or any field of the
+spec, therefore invalidates exactly the runs whose results could have
+changed — a warm re-sweep only re-executes what moved.  The cache is a
+directory of small JSON files (default ``.repro_cache/``), one per
+scenario, safe to delete wholesale at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .scenarios import ScenarioSpec
+
+__all__ = ["ResultCache", "code_digest", "result_key"]
+
+#: bump to invalidate every existing cache entry on format changes
+CACHE_FORMAT = 1
+
+
+def _file_sha(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def code_digest(roots: tuple[Path, ...] | None = None) -> str:
+    """Digest of every ``.py`` file under ``roots`` (default: the
+    installed ``repro`` package), keyed by stable relative path."""
+    if roots is None:
+        roots = (Path(__file__).resolve().parent.parent,)
+    h = hashlib.sha256()
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(_file_sha(path).encode())
+    return h.hexdigest()
+
+
+def result_key(spec: ScenarioSpec, code: str) -> str:
+    """Cache key for one scenario under one code state."""
+    payload = json.dumps(
+        {"format": CACHE_FORMAT, "spec": spec.as_dict(), "code": code},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class ResultCache:
+    """One JSON file per scenario under ``root``.
+
+    Files are named ``<scenario>-<key>.json``; a ``put`` removes stale
+    entries of the same scenario (older code states) so the directory
+    never grows beyond one file per scenario.
+    """
+
+    def __init__(self, root: str | Path = ".repro_cache") -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec: ScenarioSpec, key: str) -> Path:
+        return self.root / f"{spec.name}-{key}.json"
+
+    def get(self, spec: ScenarioSpec, key: str) -> dict | None:
+        """The cached result payload, or ``None`` on miss/corruption."""
+        path = self.path_for(spec, key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("key") != key:
+            return None
+        result = payload.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, spec: ScenarioSpec, key: str, result: dict) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        for stale in self.root.glob(f"{spec.name}-*.json"):
+            suffix = stale.stem.removeprefix(f"{spec.name}-")
+            # Only reap true older keys of THIS scenario, not entries of
+            # another scenario whose name happens to share the prefix.
+            if suffix != key and len(suffix) == 24 and not suffix.count("-"):
+                stale.unlink(missing_ok=True)
+        path = self.path_for(spec, key)
+        path.write_text(json.dumps(
+            {"key": key, "spec": spec.as_dict(), "result": result},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        n = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                n += 1
+        return n

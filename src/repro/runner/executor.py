@@ -1,0 +1,156 @@
+"""Parallel scenario execution with per-worker isolation.
+
+Scenarios are independent by construction — a worker process receives a
+picklable :class:`~repro.runner.scenarios.ScenarioSpec`, rebuilds the
+entire model on a fresh :class:`~repro.sim.Simulator`, runs it to the
+spec's horizon, and ships back a JSON-able result (metrics snapshot plus
+trace digest).  No simulator object ever crosses a process boundary, so
+fanning out over a :class:`concurrent.futures.ProcessPoolExecutor`
+cannot perturb determinism: the per-scenario trace digest is
+byte-identical whether the scenario ran serially, in a pool, or came
+out of the result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from .cache import ResultCache, code_digest, result_key
+from .scenarios import ScenarioSpec, build_scenario
+
+__all__ = ["SweepRunner", "run_scenario", "trace_digest"]
+
+
+def trace_digest(sim) -> str:
+    """Deterministic digest of a finished run's observable behaviour.
+
+    Full-trace runs digest the JSONL export record-for-record (the same
+    bytes the golden-digest test hashes); counter-mode runs digest the
+    sorted per-category counts.  Either way, two runs of the same spec
+    on the same code must produce the same digest — in any process.
+    """
+    if sim.trace.memory is not None:
+        from ..analysis.export import to_jsonl
+
+        return hashlib.sha256(to_jsonl(sim.trace.records()).encode()).hexdigest()
+    counts = {str(k): v for k, v in sim.trace.category_counts().items()}
+    payload = json.dumps(counts, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def run_scenario(spec: ScenarioSpec) -> dict:
+    """Build, run, and summarize one scenario (the worker function)."""
+    t0 = time.perf_counter()
+    sim = build_scenario(spec)
+    sim.run_until(spec.horizon_ns)
+    wall_s = time.perf_counter() - t0
+    return {
+        "name": spec.name,
+        "seed": spec.seed,
+        "horizon_ns": spec.horizon_ns,
+        "trace_mode": spec.trace_mode,
+        "events_executed": sim.events_executed,
+        "now_ns": sim.now,
+        "digest": trace_digest(sim),
+        "metrics": sim.metrics.snapshot(),
+        "wall_s": round(wall_s, 6),
+    }
+
+
+def _pool_worker(spec: ScenarioSpec) -> dict:
+    """Top-level pool entry point; never raises across the pipe."""
+    try:
+        return run_scenario(spec)
+    except Exception:
+        return {"name": spec.name, "seed": spec.seed,
+                "error": traceback.format_exc(limit=8)}
+
+
+class SweepRunner:
+    """Run many scenarios, in-process or across a process pool, with a
+    digest-keyed result cache in front.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` runs serially in this process; ``> 1`` fans scenarios
+        out over a :class:`ProcessPoolExecutor`.
+    use_cache:
+        When True, a scenario whose (spec, code digest) key has a cached
+        result is not re-run.  Fresh results are written to the cache
+        either way, so ``use_cache=False`` acts as a forced refresh.
+    """
+
+    def __init__(self, workers: int = 1, cache_dir: str = ".repro_cache",
+                 use_cache: bool = True) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = ResultCache(cache_dir)
+        self.use_cache = use_cache
+
+    def run(self, specs: list[ScenarioSpec]) -> dict:
+        """Execute ``specs``; returns the aggregated sweep report.
+
+        Results appear in spec order regardless of completion order, so
+        the report (and anything derived from it) is deterministic.
+        """
+        t0 = time.perf_counter()
+        code = code_digest()
+        keys = {spec.name: result_key(spec, code) for spec in specs}
+        results: dict[str, dict] = {}
+        to_run: list[ScenarioSpec] = []
+        hits = 0
+        for spec in specs:
+            cached = self.cache.get(spec, keys[spec.name]) if self.use_cache else None
+            if cached is not None:
+                cached = dict(cached, cached=True)
+                results[spec.name] = cached
+                hits += 1
+            else:
+                to_run.append(spec)
+
+        for name, result in self._execute(to_run):
+            result = dict(result, cached=False)
+            results[name] = result
+            if "error" not in result:
+                spec = next(s for s in to_run if s.name == name)
+                self.cache.put(spec, keys[name], {k: v for k, v in result.items()
+                                                  if k != "cached"})
+
+        ordered = [results[spec.name] for spec in specs]
+        errors = [r["name"] for r in ordered if "error" in r]
+        return {
+            "scenarios": ordered,
+            "count": len(ordered),
+            "cache_hits": hits,
+            "executed": len(to_run),
+            "errors": errors,
+            "workers": self.workers,
+            "code_digest": code,
+            "wall_s": round(time.perf_counter() - t0, 6),
+        }
+
+    # ------------------------------------------------------------------
+    def _execute(self, specs: list[ScenarioSpec]):
+        if not specs:
+            return
+        if self.workers == 1 or len(specs) == 1:
+            for spec in specs:
+                yield spec.name, _pool_worker(spec)
+            return
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {pool.submit(_pool_worker, spec): spec for spec in specs}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = pending.pop(future)
+                    try:
+                        yield spec.name, future.result()
+                    except Exception:  # worker died (signal, pool failure)
+                        yield spec.name, {
+                            "name": spec.name, "seed": spec.seed,
+                            "error": traceback.format_exc(limit=8),
+                        }

@@ -15,9 +15,9 @@ observes a slot boundary before application jobs react to it.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Callable
 
 from ..errors import SimulationError
 from .time import Instant
@@ -77,6 +77,13 @@ class EventQueue:
     Not thread-safe by design: the kernel is single-threaded, which is
     both sufficient (virtual time, not wall time) and required for
     reproducibility.
+
+    Heap entries are ``(time, priority, seq, event)`` tuples rather than
+    the events themselves: every comparison a heap sift performs is then
+    a plain C-level integer-tuple compare instead of a Python-level
+    dataclass ``__lt__`` that allocates two tuples per call.  The
+    ``seq`` component is unique, so the trailing event object is never
+    compared.
     """
 
     #: Lazily-cancelled entries are purged from the heap once they both
@@ -85,7 +92,7 @@ class EventQueue:
     COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._heap: list[ScheduledEvent] = []
+        self._heap: list[tuple[int, int, int, ScheduledEvent]] = []
         self._seq = 0
         self._live = 0
         self._dead = 0
@@ -107,11 +114,14 @@ class EventQueue:
         """Schedule ``callback`` at ``time``; returns a cancellable handle."""
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        ev = ScheduledEvent(time=time, priority=priority, seq=self._seq,
+        seq = self._seq
+        ev = ScheduledEvent(time=time, priority=priority, seq=seq,
                             callback=callback, label=label, _queue=self)
-        self._seq += 1
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, ev)
+        # IntEnum priorities compare through int's C slots, so the tuple
+        # entry never triggers a Python-level comparison.
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         return ev
 
     def _note_cancelled(self) -> None:
@@ -133,7 +143,7 @@ class EventQueue:
         rebuilding the heap cannot change pop order — compaction is
         invisible to the simulation.
         """
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [e for e in self._heap if not e[3].cancelled]
         heapq.heapify(self._heap)
         self._dead = 0
         self.compactions += 1
@@ -143,22 +153,71 @@ class EventQueue:
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def pop(self) -> ScheduledEvent:
         """Remove and return the next live event."""
         self._drop_cancelled()
         if not self._heap:
             raise SimulationError("pop from empty event queue")
-        ev = heapq.heappop(self._heap)
+        ev = heapq.heappop(self._heap)[3]
         self._live -= 1
         ev._queue = None
         return ev
 
+    def pop_ready(self, t: Instant, limit: int = 4096) -> list[ScheduledEvent]:
+        """Pop every live event with ``time <= t`` (up to ``limit``), in
+        execution order.
+
+        This is the kernel's batched drain: one heap touch per event
+        instead of the peek+pop pair.  Popped events no longer belong to
+        the queue — ``cancel()`` on them still sets the flag (the kernel
+        checks it before executing) but does no queue accounting, exactly
+        like events returned by :meth:`pop`.  Events the kernel decides
+        not to execute must be handed back via :meth:`requeue`.
+        """
+        heap = self._heap
+        if not heap:
+            return []
+        out: list[ScheduledEvent] = []
+        pop = heapq.heappop
+        append = out.append
+        n = 0
+        while heap:
+            head = heap[0][3]
+            if head.cancelled:
+                pop(heap)
+                head._queue = None
+                self._dead -= 1
+                continue
+            if head.time > t or n >= limit:
+                break
+            pop(heap)
+            head._queue = None
+            append(head)
+            n += 1
+        self._live -= n
+        return out
+
+    def requeue(self, events: list[ScheduledEvent]) -> None:
+        """Return unexecuted events from :meth:`pop_ready` to the heap.
+
+        Cancelled entries are dropped (their live-count exit already
+        happened at pop time).  Re-inserting cannot change pop order:
+        events are totally ordered by ``(time, priority, seq)``.
+        """
+        heap = self._heap
+        for ev in events:
+            if ev.cancelled:
+                continue
+            ev._queue = self
+            self._live += 1
+            heapq.heappush(heap, (ev.time, ev.priority, ev.seq, ev))
+
     def clear(self) -> None:
         """Drop every pending event."""
-        for ev in self._heap:
-            ev._queue = None
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live = 0
         self._dead = 0
@@ -167,8 +226,8 @@ class EventQueue:
         # Cancelled entries already left the live count when cancel()
         # ran; here they just leave the heap.
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)._queue = None
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)[3]._queue = None
             self._dead -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -22,7 +22,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from ..errors import SimulationError
 from .events import EventPriority, EventQueue, ScheduledEvent
@@ -218,19 +218,60 @@ class Simulator:
             self._stopped = False
 
     def run_until(self, t: Instant) -> None:
-        """Run every event with ``time <= t`` and advance ``now`` to ``t``."""
+        """Run every event with ``time <= t`` and advance ``now`` to ``t``.
+
+        Ready events are drained in batches
+        (:meth:`~repro.sim.events.EventQueue.pop_ready`) so the hot loop
+        pays one heap touch per event instead of the peek+pop pair.
+        Execution order is identical to the one-at-a-time loop: if a
+        callback schedules an event that precedes the rest of the batch
+        — same instant, lower priority value — the remainder is handed
+        back to the heap and re-drained in order.
+        """
         if t < self._now:
             raise SimulationError(f"run_until({t}) is in the past (now={self._now})")
         self._guard_reentry()
+        queue = self._queue
+        heap = queue._heap
+        pop_ready = queue.pop_ready
+        executed = 0
         try:
             while not self._stopped:
-                nxt = self._queue.peek_time()
-                if nxt is None or nxt > t:
+                batch = pop_ready(t)
+                if not batch:
                     break
-                self.step()
+                i = 0
+                n = len(batch)
+                try:
+                    while i < n:
+                        ev = batch[i]
+                        i += 1
+                        if ev.cancelled:
+                            continue
+                        self._now = ev.time
+                        executed += 1
+                        ev.callback()
+                        if self._stopped:
+                            break
+                        if i < n and heap:
+                            # A callback may have scheduled an event that
+                            # precedes the batch remainder (same instant,
+                            # lower priority value): fall back to the heap.
+                            head = heap[0]
+                            nxt = batch[i]
+                            if head[0] < nxt.time or (
+                                head[0] == nxt.time and head[1] < nxt.priority
+                            ):
+                                break
+                finally:
+                    # Hand unexecuted events back (stop(), preemption, or
+                    # a raising callback) — none may be lost.
+                    if i < n:
+                        queue.requeue(batch[i:])
             if not self._stopped and self._now < t:
                 self._now = t
         finally:
+            self.events_executed += executed
             self._running = False
             self._stopped = False
 

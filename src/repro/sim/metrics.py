@@ -23,7 +23,7 @@ Design constraints
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = ["Counter", "Histogram", "Metrics"]
 

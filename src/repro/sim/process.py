@@ -9,7 +9,7 @@ of its own — ordering stays fully visible in the event priorities.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from .events import EventPriority, ScheduledEvent
 from .kernel import Simulator

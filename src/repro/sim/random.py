@@ -34,7 +34,7 @@ class RandomStreams:
         if gen is None:
             # Stable, order-independent derivation: hash the name into
             # extra entropy words appended to the master sequence.
-            name_words = np.frombuffer(name.encode("utf-8").ljust(4, b"\0"), dtype=np.uint8)
+            name_words = np.frombuffer(name.encode().ljust(4, b"\0"), dtype=np.uint8)
             entropy = [self.master_seed] + [int(w) for w in name_words]
             gen = np.random.Generator(np.random.PCG64(np.random.SeedSequence(entropy)))
             self._streams[name] = gen

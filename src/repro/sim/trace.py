@@ -42,9 +42,10 @@ their own without touching the kernel.
 from __future__ import annotations
 
 import json
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Any, Callable, Iterable, Iterator
+from typing import IO, Any
 
 from ..errors import SimulationError
 from .time import Instant

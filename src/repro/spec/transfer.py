@@ -30,8 +30,9 @@ emits relative values from absolute ones.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any
 
 from ..automata.expr import EvalContext, Expr, parse_assignment
 from ..errors import SpecificationError

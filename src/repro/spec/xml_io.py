@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import re
 import xml.etree.ElementTree as ET
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..automata import Assignment, Guard, PortAction, TimedAutomaton, Transition
 from ..errors import SpecificationError

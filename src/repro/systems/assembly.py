@@ -22,8 +22,8 @@ experiments one handle per subsystem.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 from ..core_network import (
     CHUNK_HEADER_BYTES,

@@ -26,7 +26,7 @@ signal comes from the communication system, as in TT transmission).
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..errors import PortError
 from ..messaging import MessageInstance, Semantics
@@ -45,7 +45,7 @@ class Port:
     def __init__(self, sim: Simulator, spec: PortSpec) -> None:
         self.sim = sim
         self.spec = spec
-        self.owner_job: Optional["Job"] = None
+        self.owner_job: "Job | None" = None
         self.sends = 0
         self.receptions = 0
         self.drops = 0

@@ -26,7 +26,7 @@ deliver nothing and are counted.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import ConfigurationError
 from ..messaging import MessageInstance

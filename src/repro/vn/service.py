@@ -27,8 +27,9 @@ arbitration within reserved bandwidth) in :mod:`repro.vn.et_network`.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from ..core_network import Cluster, FrameChunk
 from ..errors import ConfigurationError, NamingError, PortError

@@ -179,7 +179,10 @@ def test_value_failure_contained_by_gateway_filter():
                         dashboard_import=False, roof_motion_plan=[],
                         nav_import_filters=filters)
         car = build_car(cfg)
-        distortion = lambda fields: {**fields, "fl": 500_000, "fr": 500_000}
+
+        def distortion(fields):
+            return {**fields, "fl": 500_000, "fr": 500_000}
+
         FaultInjector(car.sim).inject_at(
             JobValueFailure(name="seu", job=car.wheel_sensor,
                             distortion=distortion),

@@ -105,7 +105,10 @@ def test_replication_requires_distinct_components():
     ns = Namespace("das")
     mt = ns.register(state_message("msgSpeed"))
     vn = TTVirtualNetwork(sim, "das", cluster, ns)
-    provider = lambda: mt.instance()
+
+    def provider():
+        return mt.instance()
+
     with pytest.raises(ConfigurationError):
         ReplicatedMessage(sim, vn, "msgSpeed", TTTiming(period=10**6),
                           [("a", provider), ("a", provider)], voter_host="a")
