@@ -19,6 +19,7 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+from ..errors import ConfigurationError
 from .cache import ResultCache, code_digest, result_key
 from .scenarios import ScenarioSpec, build_scenario
 
@@ -96,8 +97,16 @@ class SweepRunner:
 
         Results appear in spec order regardless of completion order, so
         the report (and anything derived from it) is deterministic.
+        Spec names must be unique — results and cache entries are keyed
+        by name, so a duplicate raises :class:`ConfigurationError`
+        instead of silently overwriting.
         """
         t0 = time.perf_counter()
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.name in seen:
+                raise ConfigurationError(f"duplicate scenario name {spec.name!r}")
+            seen.add(spec.name)
         code = code_digest()
         keys = {spec.name: result_key(spec, code) for spec in specs}
         results: dict[str, dict] = {}

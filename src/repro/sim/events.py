@@ -141,9 +141,12 @@ class EventQueue:
 
         Events are totally ordered by ``(time, priority, seq)``, so
         rebuilding the heap cannot change pop order — compaction is
-        invisible to the simulation.
+        invisible to the simulation.  The heap list is mutated in place
+        (never rebound) because compaction can fire inside a kernel
+        callback while ``Simulator.run_until`` holds a reference to the
+        list for its preemption guard.
         """
-        self._heap = [e for e in self._heap if not e[3].cancelled]
+        self._heap[:] = [e for e in self._heap if not e[3].cancelled]
         heapq.heapify(self._heap)
         self._dead = 0
         self.compactions += 1

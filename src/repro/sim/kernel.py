@@ -232,6 +232,8 @@ class Simulator:
             raise SimulationError(f"run_until({t}) is in the past (now={self._now})")
         self._guard_reentry()
         queue = self._queue
+        # Safe to hold across callbacks: EventQueue.compact()/clear()
+        # mutate the heap list in place, never rebind it.
         heap = queue._heap
         pop_ready = queue.pop_ready
         executed = 0

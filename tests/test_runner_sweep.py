@@ -178,6 +178,15 @@ def test_failing_scenario_is_reported_not_cached(tmp_path):
     assert again["errors"] == ["bad"]
 
 
+def test_duplicate_spec_names_raise(tmp_path):
+    # Results and cache entries are keyed by name; a silent overwrite
+    # would hide one scenario's result behind the other's.
+    specs = [tiny_spec("twin", seed=1), tiny_spec("twin", seed=2)]
+    runner = SweepRunner(workers=1, cache_dir=tmp_path)
+    with pytest.raises(ConfigurationError, match="duplicate scenario name"):
+        runner.run(specs)
+
+
 def test_report_order_follows_spec_order(tmp_path):
     specs = [tiny_spec("z-last", seed=9), tiny_spec("a-first", seed=5)]
     report = SweepRunner(workers=2, cache_dir=tmp_path).run(specs)

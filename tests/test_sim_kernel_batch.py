@@ -96,6 +96,32 @@ def test_same_instant_lower_priority_event_preempts_batch_remainder():
     assert fired == ["app-1", "network", "app-2"]
 
 
+def test_preemption_guard_survives_compaction_mid_batch():
+    # Regression: run_until holds a reference to the queue's heap list
+    # for its preemption guard.  A callback that cancels enough events
+    # to trigger EventQueue.compact() must not invalidate that reference
+    # (compact rebinding self._heap used to leave the guard reading a
+    # stale list), or a same-instant NETWORK event scheduled afterwards
+    # silently loses its preemption.
+    sim = Simulator()
+    fired: list[str] = []
+    victims = [sim.at(1000, lambda: None)
+               for _ in range(EventQueue.COMPACT_MIN_CANCELLED + 2)]
+
+    def first() -> None:
+        fired.append("first")
+        for v in victims:
+            v.cancel()  # dead > floor and dead > live: compacts
+        assert sim._queue.compactions >= 1
+        sim.at(10, lambda: fired.append("net"), priority=EventPriority.NETWORK)
+
+    sim.at(10, first, priority=EventPriority.APPLICATION)
+    sim.at(10, lambda: fired.append("second"), priority=EventPriority.APPLICATION)
+    sim.run_until(10)
+    # Identical to one-at-a-time semantics despite the mid-batch compaction.
+    assert fired == ["first", "net", "second"]
+
+
 def test_batched_and_stepwise_execution_order_identical():
     def build(sim: Simulator, log: list) -> None:
         def recur(tag: str, depth: int) -> None:
