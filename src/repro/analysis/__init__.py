@@ -12,6 +12,7 @@ from .export import (
     write_jsonl,
     write_metrics_json,
 )
+from .flows import FlowHop, FlowSet, Journey
 from .probes import BandwidthProbe, CountProbe, LatencyProbe, MetricsProbe
 from .report import Series, Table, banner, metrics_table
 from .stats import SampleStats, histogram_stats, jitter, percentile, summarize
@@ -21,6 +22,9 @@ __all__ = [
     "BandwidthProbe",
     "CountProbe",
     "MetricsProbe",
+    "FlowHop",
+    "FlowSet",
+    "Journey",
     "SampleStats",
     "summarize",
     "histogram_stats",

@@ -1,0 +1,378 @@
+"""Flow reconstruction and per-hop latency attribution.
+
+:class:`~repro.sim.flow.FlowTracer` emits ``flow.origin`` and
+``flow.hop`` records along the message path; this module turns a bag of
+those records — from a live :class:`~repro.sim.TraceLog`, a record
+iterable, or an NDJSON stream dump — back into per-message
+**journeys**:
+
+* a :class:`Journey` is one flow: its origin (who/when/which message),
+  its ordered hops (vn dispatch, bus tx/rx, gateway decision, port
+  delivery), and its relation to other flows (a gateway-constructed
+  message is a *child* journey whose ``parent`` is the flow that last
+  updated the repository elements it was built from),
+* :class:`FlowSet` indexes every journey, classifies outcomes
+  (blocked / forwarded / delivered / ...), computes **per-leg latency
+  distributions** (consecutive-hop pairs such as ``vn.dispatch→bus.tx``
+  or ``bus.rx→gw.rx``, plus the cross-flow ``gw.residence`` leg from a
+  parent's store to the child's construction), end-to-end latency over
+  parent→child chains, and renders text timelines and NDJSON exports.
+
+Everything here is pure post-processing: integer-ns arithmetic over
+records, no simulator access, so it works identically on in-memory
+traces and on stream files read back later.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..sim import TraceLog, TraceRecord
+from ..sim.flow import FlowStage, FlowTracer
+
+__all__ = ["FlowHop", "Journey", "FlowSet"]
+
+#: outcome classification order (first matching wins)
+OUTCOMES = ("blocked", "forwarded", "stored", "delivered", "in-network")
+
+
+@dataclass(frozen=True)
+class FlowHop:
+    """One observed stage of a flow's path."""
+
+    time: int
+    stage: str
+    source: str
+    detail: dict = field(default_factory=dict, compare=False)
+
+
+@dataclass
+class Journey:
+    """One flow: origin, ordered hops, and parent/child links."""
+
+    flow: int
+    message: str = ""
+    kind: str = ""
+    origin_time: int = 0
+    origin_source: str = ""
+    parent: int | None = None
+    children: list[int] = field(default_factory=list)
+    hops: list[FlowHop] = field(default_factory=list)
+
+    @property
+    def outcome(self) -> str:
+        """Terminal classification of this journey (one of OUTCOMES).
+
+        Priority order: a gateway block dominates (the flow's
+        redirection was refused even if local consumers saw it), then a
+        successful forward (a child flow was constructed), then a store
+        with no construction yet, then plain port delivery, and
+        ``in-network`` when no consuming stage was observed.
+        """
+        stages = {h.stage for h in self.hops}
+        if FlowStage.GATEWAY_BLOCK in stages:
+            return "blocked"
+        if self.children:
+            return "forwarded"
+        if FlowStage.GATEWAY_STORED in stages:
+            return "stored"
+        if FlowStage.PORT_RECV in stages:
+            return "delivered"
+        return "in-network"
+
+    @property
+    def block_reason(self) -> str | None:
+        for hop in self.hops:
+            if hop.stage == FlowStage.GATEWAY_BLOCK:
+                return hop.detail.get("reason")
+        return None
+
+    def last_time(self) -> int:
+        return self.hops[-1].time if self.hops else self.origin_time
+
+    def first_hop(self, stage: str) -> FlowHop | None:
+        for hop in self.hops:
+            if hop.stage == stage:
+                return hop
+        return None
+
+    def legs(self) -> list[tuple[str, int]]:
+        """Consecutive-hop latency legs: ``[('a→b', duration_ns), ...]``.
+
+        The origin record anchors the chain, so the first leg measures
+        origin→first-hop.  Hops are kept in record order (stable for
+        same-instant stages).
+        """
+        out: list[tuple[str, int]] = []
+        prev_stage, prev_time = "origin", self.origin_time
+        for hop in self.hops:
+            out.append((f"{prev_stage}→{hop.stage}", hop.time - prev_time))
+            prev_stage, prev_time = hop.stage, hop.time
+        return out
+
+
+class FlowSet:
+    """Every journey reconstructed from one run's flow records."""
+
+    def __init__(self) -> None:
+        self._journeys: dict[int, Journey] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord]) -> "FlowSet":
+        fs = cls()
+        for rec in records:
+            if rec.category == FlowTracer.CATEGORY_ORIGIN:
+                fs._add_origin(rec.time, rec.source, rec.detail)
+            elif rec.category == FlowTracer.CATEGORY_HOP:
+                fs._add_hop(rec.time, rec.source, rec.detail)
+        fs._link()
+        return fs
+
+    @classmethod
+    def from_trace(cls, trace: TraceLog) -> "FlowSet":
+        """Rebuild from a live trace (memory or flight-recorder sink)."""
+        mem = trace.memory
+        if mem is not None:
+            return cls.from_records(mem.records)
+        rec = trace.flight_recorder
+        if rec is not None:
+            return cls.from_records(rec.records())
+        return cls.from_records(())
+
+    @classmethod
+    def from_ndjson(cls, source: str | Path) -> "FlowSet":
+        """Parse a StreamSink NDJSON dump (path, or the text itself)."""
+        if isinstance(source, Path) or "\n" not in str(source) and Path(source).exists():
+            text = Path(source).read_text()
+        else:
+            text = str(source)
+        fs = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            cat = obj.get("category")
+            detail = {k: v for k, v in obj.items()
+                      if k not in ("time", "category", "source")}
+            if cat == FlowTracer.CATEGORY_ORIGIN:
+                fs._add_origin(obj["time"], obj.get("source", ""), detail)
+            elif cat == FlowTracer.CATEGORY_HOP:
+                fs._add_hop(obj["time"], obj.get("source", ""), detail)
+        fs._link()
+        return fs
+
+    # ------------------------------------------------------------------
+    def _journey(self, fid: int) -> Journey:
+        j = self._journeys.get(fid)
+        if j is None:
+            j = self._journeys[fid] = Journey(flow=fid)
+        return j
+
+    def _add_origin(self, time: int, source: str, detail: dict) -> None:
+        j = self._journey(int(detail["flow"]))
+        j.origin_time = time
+        j.origin_source = source
+        j.message = detail.get("message", "")
+        j.kind = detail.get("kind", "")
+        parent = detail.get("parent")
+        j.parent = int(parent) if parent is not None else None
+
+    def _add_hop(self, time: int, source: str, detail: dict) -> None:
+        j = self._journey(int(detail["flow"]))
+        extra = {k: v for k, v in detail.items() if k not in ("flow", "stage")}
+        j.hops.append(FlowHop(time=time, stage=detail.get("stage", "?"),
+                              source=source, detail=extra))
+
+    def _link(self) -> None:
+        for j in self._journeys.values():
+            j.children.clear()
+        for j in self._journeys.values():
+            if j.parent is not None and j.parent in self._journeys:
+                self._journeys[j.parent].children.append(j.flow)
+        for j in self._journeys.values():
+            j.children.sort()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._journeys)
+
+    def __iter__(self):
+        return iter(self.journeys())
+
+    def journeys(self) -> list[Journey]:
+        return [self._journeys[fid] for fid in sorted(self._journeys)]
+
+    def journey(self, fid: int) -> Journey | None:
+        return self._journeys.get(fid)
+
+    def roots(self) -> list[Journey]:
+        """Journeys with no parent (messages born at application jobs)."""
+        return [j for j in self.journeys() if j.parent is None]
+
+    def by_outcome(self, outcome: str) -> list[Journey]:
+        return [j for j in self.journeys() if j.outcome == outcome]
+
+    def example(self, outcome: str) -> Journey | None:
+        """First journey with ``outcome`` (deterministic: lowest flow id)."""
+        for j in self.journeys():
+            if j.outcome == outcome:
+                return j
+        return None
+
+    def cross_vn(self) -> list[Journey]:
+        """Complete cross-VN journeys: a parent that was stored at a
+        gateway AND has a constructed child that reached a port."""
+        out = []
+        for j in self.journeys():
+            if j.first_hop(FlowStage.GATEWAY_STORED) is None:
+                continue
+            for cid in j.children:
+                child = self._journeys.get(cid)
+                if child is not None and child.first_hop(FlowStage.PORT_RECV):
+                    out.append(j)
+                    break
+        return out
+
+    # ------------------------------------------------------------------
+    # latency attribution
+    # ------------------------------------------------------------------
+    def leg_durations(self) -> dict[str, list[int]]:
+        """All per-leg durations across every journey, keyed by leg name.
+
+        Includes the cross-flow ``gw.residence`` leg: parent's
+        ``gw.stored`` → child's construction origin (the time the
+        information sat in the gateway repository before recombination).
+        """
+        legs: dict[str, list[int]] = {}
+        for j in self.journeys():
+            for name, dur in j.legs():
+                legs.setdefault(name, []).append(dur)
+            stored = j.first_hop(FlowStage.GATEWAY_STORED)
+            if stored is not None:
+                for cid in j.children:
+                    child = self._journeys.get(cid)
+                    if child is not None and child.origin_time >= stored.time:
+                        legs.setdefault("gw.residence", []).append(
+                            child.origin_time - stored.time)
+        return legs
+
+    def end_to_end(self) -> list[int]:
+        """Origin→final-delivery latency over parent→child chains.
+
+        For each root journey, the duration from its origin to the
+        latest ``port.recv`` observed in the journey or any descendant.
+        Roots whose chain never reached a port are skipped.
+        """
+        out = []
+        for j in self.roots():
+            latest = self._latest_delivery(j, set())
+            if latest is not None:
+                out.append(latest - j.origin_time)
+        return out
+
+    def _latest_delivery(self, j: Journey, seen: set[int]) -> int | None:
+        if j.flow in seen:  # pragma: no cover - defensive (ids are acyclic)
+            return None
+        seen.add(j.flow)
+        latest: int | None = None
+        for hop in j.hops:
+            if hop.stage == FlowStage.PORT_RECV:
+                latest = hop.time if latest is None else max(latest, hop.time)
+        for cid in j.children:
+            child = self._journeys.get(cid)
+            if child is None:
+                continue
+            sub = self._latest_delivery(child, seen)
+            if sub is not None:
+                latest = sub if latest is None else max(latest, sub)
+        return latest
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-ready roll-up: outcome counts, per-leg stats, end-to-end."""
+        outcomes = {o: 0 for o in OUTCOMES}
+        reasons: dict[str, int] = {}
+        for j in self.journeys():
+            outcomes[j.outcome] += 1
+            if j.outcome == "blocked":
+                reason = j.block_reason or "?"
+                reasons[reason] = reasons.get(reason, 0) + 1
+        legs = {name: _leg_stats(durations)
+                for name, durations in sorted(self.leg_durations().items())}
+        e2e = self.end_to_end()
+        return {
+            "flows": len(self._journeys),
+            "outcomes": outcomes,
+            "block_reasons": dict(sorted(reasons.items())),
+            "legs": legs,
+            "end_to_end": _leg_stats(e2e) if e2e else None,
+            "cross_vn_complete": len(self.cross_vn()),
+        }
+
+    def timeline(self, fid: int, indent: str = "") -> str:
+        """Human-readable timeline of one journey and its children."""
+        j = self._journeys.get(fid)
+        if j is None:
+            return f"{indent}flow {fid}: (unknown)"
+        lines = [
+            f"{indent}flow {j.flow} {j.message!r} [{j.kind}] "
+            f"origin={j.origin_time}ns @{j.origin_source} -> {j.outcome}"
+        ]
+        prev = j.origin_time
+        for hop in j.hops:
+            extra = ""
+            if hop.detail:
+                pairs = ", ".join(f"{k}={v}" for k, v in sorted(hop.detail.items()))
+                extra = f"  ({pairs})"
+            lines.append(f"{indent}  +{hop.time - prev:>9}ns  {hop.stage:<10} "
+                         f"@{hop.source}{extra}")
+            prev = hop.time
+        for cid in j.children:
+            lines.append(self.timeline(cid, indent + "    "))
+        return "\n".join(lines)
+
+    def to_ndjson(self, path: str | Path | None = None) -> str:
+        """One JSON object per journey (hops inline); optionally written."""
+        lines = []
+        for j in self.journeys():
+            lines.append(json.dumps({
+                "flow": j.flow,
+                "message": j.message,
+                "kind": j.kind,
+                "origin_time": j.origin_time,
+                "origin_source": j.origin_source,
+                "parent": j.parent,
+                "children": j.children,
+                "outcome": j.outcome,
+                "hops": [{"time": h.time, "stage": h.stage,
+                          "source": h.source, **h.detail} for h in j.hops],
+            }, separators=(",", ":"), sort_keys=True))
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlowSet flows={len(self._journeys)}>"
+
+
+def _leg_stats(durations: list[int]) -> dict:
+    """count/min/mean/max summary of one leg's durations (integer ns)."""
+    n = len(durations)
+    return {
+        "count": n,
+        "min": min(durations),
+        "mean": sum(durations) / n,
+        "max": max(durations),
+    }

@@ -93,6 +93,15 @@ class CarConfig:
     #: disables tracing.  Metrics stay on in every mode.
     trace_mode: str = "full"
     trace_stream: str | None = None
+    #: Causal flow tracing (repro.sim.flow): assign per-message flow ids
+    #: and emit flow.origin/flow.hop records.  Off by default — with it
+    #: off the trace byte stream is identical to a build without flow
+    #: tracing.
+    flow_tracing: bool = False
+    #: Wall-clock handler profiling (Simulator.enable_profiling):
+    #: observe per-event-label callback durations into profile.*
+    #: histograms.  Off by default (wall time is nondeterministic).
+    profile: bool = False
     #: Optional value-domain filter chain on the abs->navigation
     #: gateway (e.g. plausibility bounds on imported wheel speeds).
     nav_import_filters: object = None  # FilterChain | None
@@ -174,6 +183,10 @@ def build_car(config: CarConfig | None = None) -> CarSystem:
     vehicle = cfg.vehicle
     sim = Simulator(seed=cfg.seed,
                     trace=make_trace(cfg.trace_mode, cfg.trace_stream))
+    if cfg.flow_tracing:
+        sim.flows.enable()
+    if cfg.profile:
+        sim.enable_profiling()
     builder = SystemBuilder(sim=sim, major_frame=cfg.major_frame,
                             guardian_enabled=cfg.guardian_enabled)
     for node in ("front-ecu", "center-ecu", "body-ecu", "nav-ecu"):

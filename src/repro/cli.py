@@ -27,34 +27,48 @@ def _cmd_car(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     car = build_car(CarConfig(seed=args.seed, trace_mode=args.trace_mode,
-                              trace_stream=args.trace_file))
+                              trace_stream=args.trace_file,
+                              flow_tracing=args.flow_tracing,
+                              profile=args.profile))
     horizon = int(args.seconds * SEC)
-    car.run_for(horizon)
-    print(f"ran the integrated car for {args.seconds:.1f} simulated seconds "
-          f"(trace mode: {args.trace_mode})")
-    onsets = car.vehicle.skid_onsets()
-    if onsets and car.presafe.detections:
-        latency = (car.presafe.detections[0] - onsets[0]) / MS
-        print(f"  skid at {onsets[0] / SEC:.1f}s detected by presafe "
-              f"+{latency:.1f}ms later")
-    if car.roof.closed_at is not None:
-        print(f"  sliding roof closed at {car.roof.closed_at / SEC:.2f}s")
-    print(f"  navigation max position error: {car.navigator.max_error():.2f} m")
-    for name, gw in sorted(car.system.gateways.items()):
-        print(f"  {name}: received={gw.instances_received} "
-              f"forwarded={gw.instances_forwarded} "
-              f"blocked={gw.instances_blocked} restarts={gw.restarts}")
-    trace = car.sim.trace
-    counts = trace.category_counts()
-    if counts:
-        total = sum(counts.values())
-        print(f"  trace: {total:,} records in {len(counts)} categories")
-    if args.metrics:
-        from .analysis import metrics_table
+    # The trace is a context manager: stream / flight-recorder sinks are
+    # flushed and closed on every exit path, exceptions included.
+    with car.sim.trace as trace:
+        car.run_for(horizon)
+        print(f"ran the integrated car for {args.seconds:.1f} simulated seconds "
+              f"(trace mode: {args.trace_mode})")
+        onsets = car.vehicle.skid_onsets()
+        if onsets and car.presafe.detections:
+            latency = (car.presafe.detections[0] - onsets[0]) / MS
+            print(f"  skid at {onsets[0] / SEC:.1f}s detected by presafe "
+                  f"+{latency:.1f}ms later")
+        if car.roof.closed_at is not None:
+            print(f"  sliding roof closed at {car.roof.closed_at / SEC:.2f}s")
+        print(f"  navigation max position error: {car.navigator.max_error():.2f} m")
+        for name, gw in sorted(car.system.gateways.items()):
+            print(f"  {name}: received={gw.instances_received} "
+                  f"forwarded={gw.instances_forwarded} "
+                  f"blocked={gw.instances_blocked} restarts={gw.restarts}")
+        counts = trace.category_counts()
+        if counts:
+            total = sum(counts.values())
+            print(f"  trace: {total:,} records in {len(counts)} categories")
+        if args.flow_tracing and trace.memory is not None:
+            from .analysis import FlowSet
 
-        metrics_table(car.sim.metrics, title="car metrics").print()
+            summary = FlowSet.from_trace(trace).summary()
+            print(f"  flows: {summary['flows']} traced, outcomes "
+                  + ", ".join(f"{k}={v}" for k, v in summary["outcomes"].items() if v))
+        if args.metrics:
+            from .analysis import metrics_table
+
+            metrics_table(car.sim.metrics, title="car metrics").print()
+        if args.metrics_json:
+            from .analysis import write_metrics_json
+
+            write_metrics_json(car.sim.metrics, args.metrics_json)
+            print(f"  metrics snapshot written to {args.metrics_json}")
     if args.trace_file and args.trace_mode == "stream":
-        trace.close()
         print(f"  trace stream written to {args.trace_file}")
     return 0
 
@@ -191,6 +205,185 @@ def _sweep_bench_compare(args: argparse.Namespace, specs) -> int:
     return 1 if (errors or not identical) else 0
 
 
+# ----------------------------------------------------------------------
+# repro obs — observability: flow journeys, aggregation, comparison
+# ----------------------------------------------------------------------
+def _cmd_obs_flows(args: argparse.Namespace) -> int:
+    """Run the car with flow tracing and reconstruct cross-VN journeys."""
+    from .analysis import FlowSet
+    from .apps import CarConfig, build_car
+    from .gateway.filters import FilterChain, MinIntervalFilter
+
+    filters = None
+    if args.block_demo:
+        # Deterministic block demonstration: wheel speeds arrive at the
+        # abs->navigation gateway every sensor period (10 ms); a
+        # min-interval filter of 25 ms forwards ~1 in 3 and blocks the
+        # rest, so the journey set always contains both outcomes.
+        filters = FilterChain(MinIntervalFilter(min_interval=25 * MS))
+    car = build_car(CarConfig(seed=args.seed, flow_tracing=True,
+                              nav_import_filters=filters))
+    with car.sim.trace as trace:
+        car.run_for(int(args.seconds * SEC))
+        flows = FlowSet.from_trace(trace)
+    summary = flows.summary()
+    print(f"reconstructed {summary['flows']} flows from "
+          f"{args.seconds:g}s of the integrated car")
+    print("  outcomes: " + ", ".join(
+        f"{k}={v}" for k, v in summary["outcomes"].items() if v))
+    if summary["block_reasons"]:
+        print("  block reasons: " + ", ".join(
+            f"{k}={v}" for k, v in summary["block_reasons"].items()))
+    print(f"  complete cross-VN journeys (stored at a gateway, child "
+          f"delivered): {summary['cross_vn_complete']}")
+    for name, stats in summary["legs"].items():
+        print(f"  leg {name:28s} n={stats['count']:<6d} "
+              f"min={stats['min']:>9d}ns mean={stats['mean']:>12.1f}ns "
+              f"max={stats['max']:>9d}ns")
+    if summary["end_to_end"]:
+        e = summary["end_to_end"]
+        print(f"  end-to-end            n={e['count']:<6d} "
+              f"min={e['min']}ns mean={e['mean']:.1f}ns max={e['max']}ns")
+
+    shown = 0
+    for outcome in ("forwarded", "blocked"):
+        example = flows.example(outcome)
+        if example is not None:
+            print(f"\nexample {outcome} journey:")
+            print(flows.timeline(example.flow, indent="  "))
+            shown += 1
+    if args.out:
+        flows.to_ndjson(args.out)
+        print(f"\njourneys exported to {args.out}")
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    complete = summary["cross_vn_complete"]
+    blocked = summary["outcomes"].get("blocked", 0)
+    if complete < 1 or (args.block_demo and blocked < 1):
+        print("error: expected at least one complete cross-VN flow "
+              "(and a blocked one with --block-demo)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_aggregate(args: argparse.Namespace) -> int:
+    """Aggregate metrics/flow stats across a sweep's cached results."""
+    from .runner import aggregate_results, load_cached_results, observability_report
+
+    results = load_cached_results(args.cache_dir, names=args.scenario or None)
+    if not results:
+        print(f"error: no cached results under {args.cache_dir!r} "
+              "(run `repro sweep` first)", file=sys.stderr)
+        return 2
+    aggregate = aggregate_results(results)
+    report = observability_report(
+        aggregate, title=f"Observability report — {args.cache_dir}")
+    if args.json:
+        import json
+
+        print(json.dumps(aggregate, indent=2, sort_keys=True))
+    else:
+        print(report)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    return 0
+
+
+def _load_snapshot(path: str) -> dict:
+    """A metrics snapshot from a file: either a bare snapshot (as written
+    by ``write_metrics_json``/``car --metrics-json``) or any JSON object
+    with a ``metrics`` key (an aggregate or a cached sweep result)."""
+    import json
+
+    data = json.loads(open(path).read())
+    if isinstance(data, dict) and "metrics" in data and isinstance(data["metrics"], dict):
+        return data["metrics"]
+    return data if isinstance(data, dict) else {}
+
+
+def _cmd_obs_compare(args: argparse.Namespace) -> int:
+    """Counter deltas and histogram shifts between two runs."""
+    from .runner import compare_snapshots
+
+    comparison = compare_snapshots(_load_snapshot(args.base),
+                                   _load_snapshot(args.other))
+    if args.json:
+        import json
+
+        print(json.dumps(comparison, indent=2, sort_keys=True))
+        return 0
+    changed = {n: row for n, row in comparison["counters"].items() if row["delta"]}
+    print(f"compared {args.base} -> {args.other}: "
+          f"{len(changed)}/{len(comparison['counters'])} counters changed")
+    for name, row in changed.items():
+        print(f"  {name:36s} {row['base']:>12d} -> {row['other']:>12d} "
+              f"({row['delta']:+d})")
+    for name, row in comparison["histograms"].items():
+        if row["count_delta"] or row["mean_shift"]:
+            print(f"  {name:36s} count {row['count_delta']:+d}, "
+                  f"mean shift {row['mean_shift']:+.1f}, "
+                  f"p95 shift {row['p95_shift']}")
+    return 0
+
+
+def _cmd_obs_bench_overhead(args: argparse.Namespace) -> int:
+    """Trace-overhead guard: counters mode and counters+flow-tracing must
+    stay within ``--budget``x of the trace-off wall time."""
+    import json
+    import time
+    from datetime import datetime, timezone
+
+    from .apps import CarConfig, build_car
+    from .runner import provenance, update_bench_json
+
+    horizon = int(args.seconds * SEC)
+
+    def measure(label: str, **cfg_kwargs) -> float:
+        best = float("inf")
+        for _ in range(args.repeat):
+            car = build_car(CarConfig(seed=0, **cfg_kwargs))
+            t0 = time.perf_counter()
+            car.run_for(horizon)
+            best = min(best, time.perf_counter() - t0)
+            car.sim.trace.close()
+        print(f"  {label:24s} {best:.3f}s (best of {args.repeat})")
+        return best
+
+    print(f"trace-overhead guard over {args.seconds:g}s of the car:")
+    off = measure("trace off", trace_mode="off")
+    counters = measure("counters", trace_mode="counters")
+    flow = measure("counters + flow", trace_mode="counters", flow_tracing=True)
+
+    counters_x = counters / off
+    flow_x = flow / off
+    ok = counters_x <= args.budget and flow_x <= args.budget
+    section = {
+        "horizon_s": args.seconds,
+        "off_s": round(off, 6),
+        "counters_s": round(counters, 6),
+        "flow_s": round(flow, 6),
+        "counters_overhead_x": round(counters_x, 3),
+        "flow_overhead_x": round(flow_x, 3),
+        "budget_x": args.budget,
+        "within_budget": ok,
+        "provenance": provenance(
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            iterations=args.repeat),
+    }
+    update_bench_json(args.bench_out, "observability", section)
+    print(f"  counters {counters_x:.2f}x, flow {flow_x:.2f}x of trace-off "
+          f"(budget {args.budget:.2f}x) -> {'OK' if ok else 'OVER BUDGET'}")
+    print(f"  wrote observability section to {args.bench_out}")
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    return 0 if ok else 1
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     from . import __version__
 
@@ -217,6 +410,13 @@ def main(argv: list[str] | None = None) -> int:
                        help="NDJSON output path for --trace-mode stream")
     p_car.add_argument("--metrics", action="store_true",
                        help="print the metrics registry after the run")
+    p_car.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="write the metrics snapshot as JSON")
+    p_car.add_argument("--flow-tracing", action="store_true",
+                       help="assign causal flow ids and emit flow.* records")
+    p_car.add_argument("--profile", action="store_true",
+                       help="profile wall-clock handler time into profile.* "
+                            "histograms (nondeterministic; never digested)")
     p_car.set_defaults(func=_cmd_car)
 
     p_roof = sub.add_parser("roof", help="Fig. 6 sliding-roof XML demo")
@@ -252,6 +452,55 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--bench-out", default="BENCH_substrate.json",
                          metavar="PATH", help="BENCH file for --bench-compare")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: flow journeys, aggregation, comparison")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_flows = obs_sub.add_parser(
+        "flows", help="reconstruct cross-VN message journeys in the car")
+    p_flows.add_argument("--seconds", type=float, default=2.0)
+    p_flows.add_argument("--seed", type=int, default=0)
+    p_flows.add_argument("--no-block-demo", dest="block_demo",
+                         action="store_false",
+                         help="skip the min-interval filter that guarantees "
+                              "blocked journeys at gw-nav")
+    p_flows.add_argument("--out", default=None, metavar="PATH",
+                         help="export all journeys as NDJSON")
+    p_flows.add_argument("--json", action="store_true",
+                         help="also print the summary as JSON")
+    p_flows.set_defaults(func=_cmd_obs_flows)
+
+    p_agg = obs_sub.add_parser(
+        "aggregate", help="merge metrics across a sweep's cached results")
+    p_agg.add_argument("--cache-dir", default=".repro_cache", metavar="PATH")
+    p_agg.add_argument("--scenario", action="append", metavar="NAME",
+                       help="restrict to specific scenario names (repeatable)")
+    p_agg.add_argument("--out", default=None, metavar="PATH",
+                       help="write the markdown report to a file")
+    p_agg.add_argument("--json", action="store_true",
+                       help="print the aggregate as JSON instead of markdown")
+    p_agg.set_defaults(func=_cmd_obs_aggregate)
+
+    p_cmp = obs_sub.add_parser(
+        "compare", help="diff two metrics snapshots (counters + histograms)")
+    p_cmp.add_argument("base", help="baseline snapshot JSON "
+                                    "(from car --metrics-json or obs aggregate --json)")
+    p_cmp.add_argument("other", help="snapshot JSON to compare against the baseline")
+    p_cmp.add_argument("--json", action="store_true")
+    p_cmp.set_defaults(func=_cmd_obs_compare)
+
+    p_bench = obs_sub.add_parser(
+        "bench-overhead", help="guard: tracing overhead vs trace-off wall time")
+    p_bench.add_argument("--seconds", type=float, default=2.0)
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="best-of-N timing (default: 3)")
+    p_bench.add_argument("--budget", type=float, default=1.5,
+                         help="max allowed overhead factor (default: 1.5)")
+    p_bench.add_argument("--bench-out", default="BENCH_substrate.json",
+                         metavar="PATH")
+    p_bench.add_argument("--json", action="store_true")
+    p_bench.set_defaults(func=_cmd_obs_bench_overhead)
 
     p_ver = sub.add_parser("version", help="print the package version")
     p_ver.set_defaults(func=_cmd_version)

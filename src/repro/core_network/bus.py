@@ -19,7 +19,7 @@ from collections.abc import Callable
 from typing import Protocol
 
 from ..errors import ConfigurationError
-from ..sim import EventPriority, Simulator, TraceCategory
+from ..sim import EventPriority, FlowStage, Simulator, TraceCategory
 from .frame import PhysicalFrame
 
 __all__ = ["BusListener", "PhysicalBus"]
@@ -146,6 +146,14 @@ class PhysicalBus:
         self._m_bytes.inc(nbytes)
         self._m_frame_bytes.observe(nbytes)
 
+        fl = self.sim.flows
+        if fl.enabled:
+            for chunk in frame.chunks:
+                fid = chunk.meta.get("flow")
+                if fid is not None:
+                    fl.hop(now, self.name, fid, FlowStage.BUS_TX,
+                           sender=frame.sender, slot=frame.slot_id)
+
         arrival = end + self.propagation_delay
         self.sim.at(
             arrival,
@@ -156,6 +164,13 @@ class PhysicalBus:
         return True
 
     def _deliver(self, frame: PhysicalFrame, arrival: int) -> None:
+        fl = self.sim.flows
+        if fl.enabled:
+            for chunk in frame.chunks:
+                fid = chunk.meta.get("flow")
+                if fid is not None:
+                    fl.hop(arrival, self.name, fid, FlowStage.BUS_RX,
+                           corrupted=frame.corrupted)
         for listener in self._listeners:
             listener.on_frame(frame, arrival)
 

@@ -115,6 +115,11 @@ class FaultInjector:
         fault.activate(self.sim)
         self.activations += 1
         self.sim.metrics.inc("injector.activations")
+        # Black-box semantics: a fault activation is exactly the moment
+        # the window of records leading up to it becomes interesting.
+        recorder = self.sim.trace.flight_recorder
+        if recorder is not None and recorder.dump_path is not None and len(recorder):
+            recorder.dump_to()
 
     def _deactivate(self, fault: FaultModel) -> None:
         fault.deactivate(self.sim)

@@ -43,7 +43,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import GatewayError
 from ..messaging import MessageInstance, MessageType, NameMapping, Semantics
-from ..sim import EventPriority, Process, Simulator, TraceCategory
+from ..sim import EventPriority, FlowStage, Process, Simulator, TraceCategory
 from ..spec import LinkSpec, TransferSemantics
 from ..spec.transfer import ConversionState, DerivedElement
 from ..vn import ETVirtualNetwork, TTVirtualNetwork, VirtualNetworkBase
@@ -93,6 +93,10 @@ class RedirectionRule:
     blocked_monitor: int = 0
     blocked_halted: int = 0
     skipped_unrequested: int = 0
+    #: flow id of the last instance stored via this rule — becomes the
+    #: ``parent`` of the next constructed (child) flow, stitching
+    #: cross-VN journeys across the store/construct boundary.
+    last_flow: int | None = None
 
 
 class VirtualGateway(Process):
@@ -350,10 +354,29 @@ class VirtualGateway(Process):
         else:
             self._process(rule, instance, arrival)
 
+    def _flow_of(self, instance: MessageInstance) -> int | None:
+        """The instance's flow id, when flow tracing is on (else None)."""
+        if not self.sim.flows.enabled:
+            return None
+        return instance.meta.get("flow")
+
+    def _flow_block(self, fid: int | None, message: str, reason: str) -> None:
+        if fid is not None:
+            self.sim.flows.hop(self.sim.now, self.name, fid,
+                               FlowStage.GATEWAY_BLOCK,
+                               message=message, reason=reason)
+
     def _process(self, rule: RedirectionRule, instance: MessageInstance, arrival: int) -> None:
         self.instances_received += 1
         self._m_received.inc()
         tr = self.sim.trace
+        fid = self._flow_of(instance)
+        if fid is not None:
+            # arrival < now for visible gateways (partition defer): the
+            # difference is the application-level reception latency.
+            self.sim.flows.hop(self.sim.now, self.name, fid,
+                               FlowStage.GATEWAY_RX,
+                               message=rule.src, arrival=arrival)
         key = (rule.src_side, rule.src)
         if key in self._halted:
             rule.blocked_halted += 1
@@ -363,11 +386,13 @@ class VirtualGateway(Process):
                 self.trace(TraceCategory.GATEWAY_BLOCK, message=rule.src, reason="halted")
             else:
                 tr.tick(TraceCategory.GATEWAY_BLOCK)
+            self._flow_block(fid, rule.src, "halted")
             return
         if rule.conditional_import and not self._import_requested(rule):
             # No consumer has requested any element this rule supplies:
             # skip the reception (resource saving, not an error).
             rule.skipped_unrequested += 1
+            self._flow_block(fid, rule.src, "unrequested")
             return
         if rule.filters.decide(rule.src, instance, self.sim.now) is Decision.BLOCK:
             rule.blocked_filter += 1
@@ -377,6 +402,7 @@ class VirtualGateway(Process):
                 self.trace(TraceCategory.GATEWAY_BLOCK, message=rule.src, reason="filtered")
             else:
                 tr.tick(TraceCategory.GATEWAY_BLOCK)
+            self._flow_block(fid, rule.src, "filtered")
             return
         monitor = self._monitors.get(key)
         if monitor is not None and not monitor.on_message(rule.src):
@@ -390,6 +416,7 @@ class VirtualGateway(Process):
                 )
             else:
                 tr.tick(TraceCategory.GATEWAY_BLOCK)
+            self._flow_block(fid, rule.src, "temporal violation")
             return
         self._store(rule, instance, arrival)
         self._push_et_outputs(rule)
@@ -412,6 +439,11 @@ class VirtualGateway(Process):
             )
         else:
             tr.tick(TraceCategory.GATEWAY_FORWARD)
+        fid = self._flow_of(instance)
+        if fid is not None:
+            rule.last_flow = fid
+            self.sim.flows.hop(now, self.name, fid, FlowStage.GATEWAY_STORED,
+                               message=rule.src)
 
     def _push_et_outputs(self, rule: RedirectionRule) -> None:
         """Attempt constructions for ET destinations fed by this rule."""
@@ -444,6 +476,16 @@ class VirtualGateway(Process):
                 )
             else:
                 tr.tick(TraceCategory.GATEWAY_FORWARD)
+            fl = self.sim.flows
+            if fl.enabled:
+                # The constructed message is a *child* flow: its parent
+                # is the flow that last updated this rule's repository
+                # elements, so cross-VN journeys chain through here.
+                fid = fl.new_flow()
+                instance.meta["flow"] = fid
+                fl.origin(now, self.name, fid, rule.dst,
+                          FlowStage.ORIGIN_GW_CONSTRUCT,
+                          parent=rule.last_flow)
         return instance
 
     def _can_send_message(self, message: str) -> bool:

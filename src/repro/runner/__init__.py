@@ -7,6 +7,12 @@ cache so repeat sweeps only re-run what changed.  Exposed on the CLI as
 ``repro sweep``.
 """
 
+from .aggregate import (
+    aggregate_results,
+    compare_snapshots,
+    load_cached_results,
+    observability_report,
+)
 from .cache import ResultCache, code_digest, result_key
 from .executor import SweepRunner, run_scenario, trace_digest
 from .report import provenance, sweep_table, update_bench_json
@@ -24,6 +30,10 @@ __all__ = [
     "ResultCache",
     "ScenarioSpec",
     "SweepRunner",
+    "aggregate_results",
+    "compare_snapshots",
+    "load_cached_results",
+    "observability_report",
     "build_scenario",
     "code_digest",
     "default_registry",

@@ -47,9 +47,12 @@ def run_scenario(spec: ScenarioSpec) -> dict:
     """Build, run, and summarize one scenario (the worker function)."""
     t0 = time.perf_counter()
     sim = build_scenario(spec)
-    sim.run_until(spec.horizon_ns)
+    try:
+        sim.run_until(spec.horizon_ns)
+    finally:
+        sim.trace.close()
     wall_s = time.perf_counter() - t0
-    return {
+    result = {
         "name": spec.name,
         "seed": spec.seed,
         "horizon_ns": spec.horizon_ns,
@@ -60,6 +63,11 @@ def run_scenario(spec: ScenarioSpec) -> dict:
         "metrics": sim.metrics.snapshot(),
         "wall_s": round(wall_s, 6),
     }
+    if sim.flows.enabled and sim.trace.memory is not None:
+        from ..analysis.flows import FlowSet
+
+        result["flows"] = FlowSet.from_trace(sim.trace).summary()
+    return result
 
 
 def _pool_worker(spec: ScenarioSpec) -> dict:

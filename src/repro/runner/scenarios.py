@@ -311,7 +311,14 @@ BUILDERS: dict[str, Callable[[ScenarioSpec], Simulator]] = {
 
 
 def build_scenario(spec: ScenarioSpec) -> Simulator:
-    """Instantiate the model a spec describes on a fresh simulator."""
+    """Instantiate the model a spec describes on a fresh simulator.
+
+    Two cross-builder params are honored here so every scenario kind
+    supports them uniformly: ``flow_tracing`` (causal flow records; off
+    by default so the golden digests of untagged scenarios are
+    untouched) and ``profile`` (wall-clock handler attribution — never
+    use it in a digest-compared scenario, wall time is nondeterministic).
+    """
     try:
         builder = BUILDERS[spec.builder]
     except KeyError:
@@ -319,7 +326,12 @@ def build_scenario(spec: ScenarioSpec) -> Simulator:
             f"unknown scenario builder {spec.builder!r} "
             f"(known: {sorted(BUILDERS)})"
         ) from None
-    return builder(spec)
+    sim = builder(spec)
+    if spec.param("flow_tracing"):
+        sim.flows.enable()
+    if spec.param("profile"):
+        sim.enable_profiling()
+    return sim
 
 
 # ----------------------------------------------------------------------
@@ -343,6 +355,8 @@ def default_registry(base_seed: int = 0) -> dict[str, ScenarioSpec]:
         ),
         _spec("gw-pipeline-smoke", "gateway_pipeline", 200 * MS, seed=5,
               tags=("gateway", "smoke")),
+        _spec("gw-pipeline-flow", "gateway_pipeline", 500 * MS, seed=5,
+              tags=("flow", "gateway"), flow_tracing=True),
         # --- the integrated car and its coupling ablations ------------
         _spec("car-baseline", "car", 2 * SEC, seed=0, trace_mode="counters",
               tags=("car", "sweep")),
@@ -356,6 +370,8 @@ def default_registry(base_seed: int = 0) -> dict[str, ScenarioSpec]:
               gps_outages=((500 * MS, 1500 * MS),)),
         _spec("car-smoke", "car", 500 * MS, seed=0, trace_mode="counters",
               tags=("car", "smoke")),
+        _spec("car-flow", "car", 500 * MS, seed=0,
+              tags=("car", "flow"), flow_tracing=True),
         # --- raw substrate workloads ----------------------------------
         _spec("tdma-cluster", "tdma_cluster", 1 * SEC,
               base_seed=base_seed, tags=("core", "sweep"), nodes=4),

@@ -8,6 +8,7 @@ subsystems of the DECOS reproduction are built on this package.
 
 from .clock import LocalClock
 from .events import EventPriority, EventQueue, ScheduledEvent
+from .flow import FlowStage, FlowTracer
 from .kernel import PeriodicTask, Simulator
 from .metrics import Counter, Histogram, Metrics
 from .process import Process
@@ -33,6 +34,7 @@ from .time import (
 from .trace import (
     TRACE_MODES,
     CounterSink,
+    FlightRecorderSink,
     MemorySink,
     StreamSink,
     TraceCategory,
@@ -61,6 +63,9 @@ __all__ = [
     "MemorySink",
     "CounterSink",
     "StreamSink",
+    "FlightRecorderSink",
+    "FlowStage",
+    "FlowTracer",
     "TRACE_MODES",
     "make_trace",
     "Instant",

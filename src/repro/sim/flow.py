@@ -1,0 +1,121 @@
+"""Causal flow correlation: one cheap id per message, hop records per stage.
+
+The trace log records *occurrences* — a frame on the bus, an instance at
+a port, a gateway decision — but nothing ties the occurrences of one
+message together.  The paper's claims (selective redirection, error
+containment, temporal-accuracy blocking) are claims about what happens
+to an *individual message on its path* from a sender port across the TT
+backbone, through a gateway decision, to a receiver in another virtual
+network.  :class:`FlowTracer` makes that path reconstructable:
+
+* every message instance gets a monotonically increasing ``flow_id`` at
+  origination (ET send, TT dispatch, or gateway construction), carried
+  in ``instance.meta["flow"]`` — the existing meta propagation through
+  :class:`~repro.core_network.frame.FrameChunk` encode/decode moves it
+  across the wire for free,
+* every interesting stage emits a **hop record** through the normal
+  :class:`~repro.sim.trace.TraceLog` under two categories
+  (``flow.origin`` and ``flow.hop``), guarded by the standard
+  ``wants()/tick()`` idiom so counters-mode overhead stays O(1),
+* a gateway-constructed message is a *child* flow: its origin record
+  carries ``parent`` — the flow that last updated the repository
+  elements it was recombined from — so cross-VN journeys stitch
+  together across the gateway's store/construct boundary.
+
+Flow tracing is **off by default** (``sim.flows.enabled`` is False):
+with it off, the only cost at every call site is one attribute check,
+no record or tick is ever emitted, and the trace byte stream is
+identical to a build without this module — the golden-digest anchor
+stays valid.  :mod:`repro.analysis.flows` rebuilds journeys and
+attributes per-hop latency from the emitted records.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .time import Instant
+from .trace import TraceLog
+
+__all__ = ["FlowStage", "FlowTracer"]
+
+
+class FlowStage:
+    """Well-known hop stages (plain strings, open set like categories)."""
+
+    BUS_TX = "bus.tx"
+    BUS_RX = "bus.rx"
+    VN_SEND = "vn.send"
+    VN_DISPATCH = "vn.dispatch"
+    PORT_RECV = "port.recv"
+    GATEWAY_RX = "gw.rx"
+    GATEWAY_STORED = "gw.stored"
+    GATEWAY_BLOCK = "gw.block"
+
+    #: origin kinds (the ``kind`` detail of a ``flow.origin`` record)
+    ORIGIN_ET_SEND = "et.send"
+    ORIGIN_TT_DISPATCH = "tt.dispatch"
+    ORIGIN_GW_CONSTRUCT = "gw.construct"
+
+
+class FlowTracer:
+    """Per-simulator flow-id allocator and hop-record emitter.
+
+    Hot call sites guard on :attr:`enabled` first (one attribute read
+    when tracing is off), then call :meth:`origin`/:meth:`hop`, which
+    apply the ``wants()/tick()`` discipline internally — in counters
+    mode a hop is a single O(1) tick, in full mode a normal record.
+    """
+
+    __slots__ = ("trace", "enabled", "_next_id", "originated")
+
+    #: trace categories used by flow records
+    CATEGORY_ORIGIN = "flow.origin"
+    CATEGORY_HOP = "flow.hop"
+
+    def __init__(self, trace: TraceLog) -> None:
+        self.trace = trace
+        self.enabled = False
+        self._next_id = 1
+        self.originated = 0
+
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def new_flow(self) -> int:
+        """Allocate the next flow id (monotonic, deterministic)."""
+        fid = self._next_id
+        self._next_id += 1
+        self.originated += 1
+        return fid
+
+    # ------------------------------------------------------------------
+    def origin(self, time: Instant, source: str, flow: int, message: str,
+               kind: str, parent: int | None = None, **detail: Any) -> None:
+        """Emit the origination record of ``flow`` (birth of a message)."""
+        tr = self.trace
+        if tr.wants(self.CATEGORY_ORIGIN):
+            if parent is not None:
+                detail["parent"] = parent
+            tr.record(time, self.CATEGORY_ORIGIN, source,
+                      flow=flow, message=message, kind=kind, **detail)
+        else:
+            tr.tick(self.CATEGORY_ORIGIN)
+
+    def hop(self, time: Instant, source: str, flow: int, stage: str,
+            **detail: Any) -> None:
+        """Emit one hop of ``flow`` at ``stage`` (wants/tick guarded)."""
+        tr = self.trace
+        if tr.wants(self.CATEGORY_HOP):
+            tr.record(time, self.CATEGORY_HOP, source,
+                      flow=flow, stage=stage, **detail)
+        else:
+            tr.tick(self.CATEGORY_HOP)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<FlowTracer {state} originated={self.originated}>"

@@ -23,10 +23,12 @@ Design notes
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
+from time import perf_counter_ns
 
 from ..errors import SimulationError
 from .events import EventPriority, EventQueue, ScheduledEvent
-from .metrics import Metrics
+from .flow import FlowTracer
+from .metrics import Histogram, Metrics
 from .random import RandomStreams
 from .time import Duration, Instant
 from .trace import TraceLog
@@ -128,7 +130,10 @@ class Simulator:
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceLog()
         self.metrics = metrics if metrics is not None else Metrics()
+        self.flows = FlowTracer(self.trace)
         self.events_executed = 0
+        self._profiling = False
+        self._profile_cache: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -188,6 +193,44 @@ class Simulator:
                             priority=priority, label=label)
 
     # ------------------------------------------------------------------
+    # profiling (off by default: wall-clock handler attribution)
+    # ------------------------------------------------------------------
+    @property
+    def profiling(self) -> bool:
+        return self._profiling
+
+    def enable_profiling(self) -> None:
+        """Attribute wall-clock handler time into ``Metrics`` histograms.
+
+        Each executed event's callback duration (``perf_counter_ns``) is
+        observed into ``profile.<group>``, where ``group`` is the first
+        two dot-separated segments of the event label (``ctrl.n0.slot``
+        → ``ctrl.n0``; unlabeled events land in ``profile.unlabeled``).
+        Off by default because wall-clock durations are inherently
+        non-deterministic — enabling it never changes virtual-time
+        behaviour, only adds histograms to the snapshot.
+        """
+        self._profiling = True
+
+    def disable_profiling(self) -> None:
+        self._profiling = False
+
+    def _profile_histogram(self, label: str) -> Histogram:
+        h = self._profile_cache.get(label)
+        if h is None:
+            group = ".".join(label.split(".", 2)[:2]) if label else "unlabeled"
+            h = self.metrics.histogram(f"profile.{group}")
+            self._profile_cache[label] = h
+        return h
+
+    def _profiled_call(self, ev: ScheduledEvent) -> None:
+        t0 = perf_counter_ns()
+        try:
+            ev.callback()
+        finally:
+            self._profile_histogram(ev.label).observe(perf_counter_ns() - t0)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -198,7 +241,10 @@ class Simulator:
         ev = self._queue.pop()
         self._now = ev.time
         self.events_executed += 1
-        ev.callback()
+        if self._profiling:
+            self._profiled_call(ev)
+        else:
+            ev.callback()
         return True
 
     def run(self, max_events: int | None = None) -> None:
@@ -252,7 +298,10 @@ class Simulator:
                             continue
                         self._now = ev.time
                         executed += 1
-                        ev.callback()
+                        if self._profiling:
+                            self._profiled_call(ev)
+                        else:
+                            ev.callback()
                         if self._stopped:
                             break
                         if i < n and heap:

@@ -40,6 +40,10 @@ class Counter:
     def inc(self, n: int = 1) -> None:
         self.value += n
 
+    def merge(self, other: "Counter | int") -> None:
+        """Fold another counter (or raw count) into this one."""
+        self.value += other.value if isinstance(other, Counter) else int(other)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value}>"
 
@@ -81,6 +85,52 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> int | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        The estimate walks the cumulative bucket counts to the bucket
+        containing the target rank and returns that bucket's upper edge
+        (``2**i - 1`` for bucket ``i``), clamped into the observed
+        ``[min, max]`` range.  Bucket ``i > 0`` spans ``[2**(i-1), 2**i)``,
+        so the returned value is within a **factor of 2** of the true
+        quantile (relative error < 2x); exact for samples that are all
+        zero or that land in clamped edge buckets.  Returns None for an
+        empty histogram.
+        """
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        # rank of the target sample, 1-based; q=0 -> first, q=1 -> last
+        rank = max(1, min(self.count, int(q * self.count) + (0 if q == 1.0 else 1)))
+        seen = 0
+        for i, b in enumerate(self.buckets):
+            seen += b
+            if seen >= rank:
+                edge = 0 if i == 0 else (1 << i) - 1
+                lo = self.minimum if self.minimum is not None else 0
+                hi = self.maximum if self.maximum is not None else edge
+                return max(lo, min(hi, edge))
+        return self.maximum  # pragma: no cover - unreachable (seen == count)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (exact: counts, totals,
+        min/max, and per-bucket tallies are all integer sums, so merging
+        per-process histograms equals one histogram fed every sample)."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or (other.minimum is not None
+                                    and other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if self.maximum is None or (other.maximum is not None
+                                    and other.maximum > self.maximum):
+            self.maximum = other.maximum
+        for i, b in enumerate(other.buckets):
+            if b:
+                self.buckets[i] += b
+
     def snapshot(self) -> dict:
         """JSON-ready summary (buckets trimmed to the occupied range)."""
         top = max((i for i, b in enumerate(self.buckets) if b), default=-1)
@@ -92,6 +142,19 @@ class Histogram:
             "mean": self.mean,
             "buckets": self.buckets[: top + 1],
         }
+
+    @classmethod
+    def from_snapshot(cls, name: str, snap: dict) -> "Histogram":
+        """Rebuild a histogram from a :meth:`snapshot` dict (buckets are
+        re-padded to ``BUCKETS``; mean is derived, not stored)."""
+        h = cls(name)
+        h.count = int(snap.get("count", 0))
+        h.total = int(snap.get("total", 0))
+        h.minimum = snap.get("min")
+        h.maximum = snap.get("max")
+        stored = snap.get("buckets", [])
+        h.buckets[: len(stored)] = [int(b) for b in stored]
+        return h
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"
@@ -154,6 +217,35 @@ class Metrics:
             "histograms": {name: h.snapshot()
                            for name, h in self.histograms().items()},
         }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Metrics":
+        """Rebuild a registry from a :meth:`snapshot` dict (the sweep
+        cache and ``write_metrics_json`` both store this shape)."""
+        m = cls()
+        for name, value in snap.get("counters", {}).items():
+            m.counter(name).value = int(value)
+        for name, hsnap in snap.get("histograms", {}).items():
+            m._histograms[name] = Histogram.from_snapshot(name, hsnap)
+        return m
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry into this one, instrument by instrument.
+
+        Counters add; histograms merge exactly (see
+        :meth:`Histogram.merge`).  Instruments present only in ``other``
+        are created here, so merging N per-process registries yields the
+        registry a single process would have produced.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).merge(c)
+        for name, h in other._histograms.items():
+            self.histogram(name).merge(h)
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry (convenience
+        for aggregating cached sweep results without rebuilding)."""
+        self.merge(Metrics.from_snapshot(snap))
 
     def __iter__(self) -> Iterator[str]:
         yield from sorted(self._counters)

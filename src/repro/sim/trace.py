@@ -42,6 +42,7 @@ their own without touching the kernel.
 from __future__ import annotations
 
 import json
+from collections import deque
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,6 +58,7 @@ __all__ = [
     "MemorySink",
     "CounterSink",
     "StreamSink",
+    "FlightRecorderSink",
     "TraceLog",
     "TRACE_MODES",
     "make_trace",
@@ -89,6 +91,8 @@ class TraceCategory:
     PARTITION_WINDOW = "partition.window"
     JOB_ACTIVATION = "job.activation"
     APP = "app"
+    FLOW_ORIGIN = "flow.origin"
+    FLOW_HOP = "flow.hop"
 
 
 @dataclass(frozen=True)
@@ -245,6 +249,65 @@ class StreamSink(TraceSink):
         return f"<StreamSink emitted={self.emitted}>"
 
 
+class FlightRecorderSink(TraceSink):
+    """Bounded ring buffer of the last ``capacity`` records — O(1) memory.
+
+    The flight recorder is for the runs you did *not* expect to care
+    about: it rides along at full-record fidelity but only ever holds
+    the most recent window, so it can stay attached to long runs that
+    would overflow a :class:`MemorySink`.  On a fault (the
+    :class:`~repro.faults.injector.FaultInjector` dumps any recorder
+    with a ``dump_path``) or on demand, :meth:`dump`/:meth:`dump_to`
+    write out the window as NDJSON — the last N records leading up to
+    the interesting moment.
+    """
+
+    needs_records = True
+
+    def __init__(self, capacity: int = 4096,
+                 dump_path: str | Path | None = None) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"flight recorder capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dump_path = Path(dump_path) if dump_path is not None else None
+        self.buffer: deque[TraceRecord] = deque(maxlen=capacity)
+        self.seen = 0
+        self.dumps = 0
+
+    def emit(self, rec: TraceRecord) -> None:
+        self.buffer.append(rec)
+        self.seen += 1
+
+    def records(self) -> list[TraceRecord]:
+        """The retained window, oldest first."""
+        return list(self.buffer)
+
+    def dump(self) -> str:
+        """The retained window as NDJSON text (oldest first)."""
+        return "".join(record_to_json(rec) + "\n" for rec in self.buffer)
+
+    def dump_to(self, path: str | Path | None = None) -> Path:
+        """Write the window to ``path`` (default: ``dump_path``)."""
+        target = Path(path) if path is not None else self.dump_path
+        if target is None:
+            raise SimulationError("flight recorder has no dump path configured")
+        target.write_text(self.dump())
+        self.dumps += 1
+        return target
+
+    def close(self) -> None:
+        """Dump the final window to ``dump_path``, if one is configured."""
+        if self.dump_path is not None and self.buffer:
+            self.dump_to(self.dump_path)
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlightRecorderSink {len(self.buffer)}/{self.capacity} "
+                f"seen={self.seen}>")
+
+
 # ----------------------------------------------------------------------
 # front-end
 # ----------------------------------------------------------------------
@@ -311,6 +374,15 @@ class TraceLog:
         for sink in self._sinks:
             sink.close()
 
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Flush and close every sink — also on the exception path, so a
+        ``with make_trace(...) as trace:`` block never leaves a stream
+        or flight-recorder file unflushed."""
+        self.close()
+
     # ------------------------------------------------------------------
     # emission
     # ------------------------------------------------------------------
@@ -375,6 +447,14 @@ class TraceLog:
         """The first attached :class:`MemorySink`, if any."""
         for sink in self._sinks:
             if isinstance(sink, MemorySink):
+                return sink
+        return None
+
+    @property
+    def flight_recorder(self) -> FlightRecorderSink | None:
+        """The first attached :class:`FlightRecorderSink`, if any."""
+        for sink in self._sinks:
+            if isinstance(sink, FlightRecorderSink):
                 return sink
         return None
 
@@ -470,11 +550,12 @@ class TraceLog:
 # ----------------------------------------------------------------------
 # mode factory (shared by the CLI and benchmark harnesses)
 # ----------------------------------------------------------------------
-TRACE_MODES = ("full", "counters", "stream", "off")
+TRACE_MODES = ("full", "counters", "stream", "flight", "off")
 
 
 def make_trace(mode: str = "full",
-               stream_target: str | Path | IO[str] | None = None) -> TraceLog:
+               stream_target: str | Path | IO[str] | None = None,
+               flight_capacity: int = 4096) -> TraceLog:
     """Build a :class:`TraceLog` for one of the standard modes.
 
     * ``full``     — one :class:`MemorySink` (the default behavior),
@@ -482,6 +563,9 @@ def make_trace(mode: str = "full",
       construction entirely,
     * ``stream``   — NDJSON to ``stream_target`` plus a
       :class:`CounterSink` for cheap totals,
+    * ``flight``   — :class:`FlightRecorderSink` ring buffer of the last
+      ``flight_capacity`` records (dumped to ``stream_target`` on close
+      or fault, when given) plus a :class:`CounterSink`,
     * ``off``      — no sinks, ``enabled=False``.
     """
     if mode == "full":
@@ -492,6 +576,12 @@ def make_trace(mode: str = "full",
         if stream_target is None:
             raise SimulationError("trace mode 'stream' needs a stream_target")
         return TraceLog(sinks=[StreamSink(stream_target), CounterSink()])
+    if mode == "flight":
+        dump = None
+        if stream_target is not None and isinstance(stream_target, (str, Path)):
+            dump = stream_target
+        return TraceLog(sinks=[FlightRecorderSink(flight_capacity, dump_path=dump),
+                               CounterSink()])
     if mode == "off":
         return TraceLog(enabled=False, sinks=[])
     raise SimulationError(

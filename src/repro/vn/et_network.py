@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 from ..core_network import FrameChunk, Slot
 from ..errors import ConfigurationError, PortError
 from ..messaging import MessageInstance
-from ..sim import TraceCategory
+from ..sim import FlowStage, TraceCategory
 from ..spec import ControlParadigm
 from .service import VirtualNetworkBase
 
@@ -86,6 +86,19 @@ class ETVirtualNetwork(VirtualNetworkBase):
             else:
                 tr.tick(TraceCategory.PORT_DROP)
             return False
+        fl = self.sim.flows
+        if fl.enabled:
+            # Sender-push origination: the instance is born into the
+            # network here (after the overflow check — a dropped send
+            # never becomes a flow).
+            fid = instance.meta.get("flow")
+            if fid is None:
+                fid = fl.new_flow()
+                instance.meta["flow"] = fid
+                fl.origin(self.sim.now, f"etvn.{self.das}", fid, message,
+                          FlowStage.ORIGIN_ET_SEND, component=binding.component)
+            fl.hop(self.sim.now, f"etvn.{self.das}", fid,
+                   FlowStage.VN_SEND, message=message)
         chunk = self._encode_chunk(message, instance, sender_job or binding.job_name)
         self._seq += 1
         heapq.heappush(queue, (binding.priority, self._seq, chunk))

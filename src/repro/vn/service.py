@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING
 from ..core_network import Cluster, FrameChunk
 from ..errors import ConfigurationError, NamingError, PortError
 from ..messaging import MessageInstance, Namespace
-from ..sim import Simulator, TraceCategory
+from ..sim import FlowStage, Simulator, TraceCategory
 from ..spec import Direction, PortSpec
 from .port import EventPort, Port, StatePort, make_port
 
@@ -251,6 +251,11 @@ class VirtualNetworkBase:
 
     def _deliver_to_port(self, port: Port, instance: MessageInstance, arrival: int) -> None:
         if isinstance(port, (StatePort, EventPort)):
+            fl = self.sim.flows
+            if fl.enabled:
+                fid = instance.meta.get("flow")
+                if fid is not None:
+                    fl.hop(arrival, port.name, fid, FlowStage.PORT_RECV, vn=self.das)
             port.deliver_from_network(instance, arrival)
             self.instances_delivered += 1
             self._m_delivered.inc()

@@ -23,7 +23,7 @@ from __future__ import annotations
 from ..core_network import FrameChunk
 from ..errors import ConfigurationError
 from ..messaging import MessageInstance
-from ..sim import EventPriority, TraceCategory
+from ..sim import EventPriority, FlowStage, TraceCategory
 from ..spec import ControlParadigm, TTTiming
 from .service import ProducerBinding, VirtualNetworkBase
 
@@ -191,6 +191,20 @@ class TTVirtualNetwork(VirtualNetworkBase):
             self.empty_dispatches += 1
             self._m_empty.inc()
             return
+        fl = self.sim.flows
+        if fl.enabled:
+            # A job-produced instance gets its flow id here (sender-pull
+            # origination); a gateway-constructed import already carries
+            # the child flow assigned at construction.
+            fid = instance.meta.get("flow")
+            if fid is None:
+                fid = fl.new_flow()
+                instance.meta["flow"] = fid
+                fl.origin(self.sim.now, f"ttvn.{self.das}", fid, message,
+                          FlowStage.ORIGIN_TT_DISPATCH,
+                          component=binding.component)
+            fl.hop(self.sim.now, f"ttvn.{self.das}", fid,
+                   FlowStage.VN_DISPATCH, message=message)
         chunk = self._encode_chunk(message, instance, binding.job_name)
         if self.implicit_naming:
             # Strip the explicit name; carry the nominal instant instead

@@ -1,14 +1,18 @@
-"""Tests for LatencyProbe over a live virtual network."""
+"""Tests for the measurement probes and sink-parity of the trace modes."""
 
 from __future__ import annotations
 
-from repro.analysis import LatencyProbe
+import io
+import json
+
+from repro.analysis import BandwidthProbe, LatencyProbe
 from repro.messaging import Namespace
-from repro.sim import MS, Simulator
+from repro.sim import MS, CounterSink, Simulator, TraceLog, make_trace
 
 from .support import (
     Collector,
     PeriodicWriter,
+    e5_gateway_system,
     make_component,
     state_message,
     tt_in_spec,
@@ -46,3 +50,47 @@ def test_latency_probe_measures_vn_deliveries():
     assert stats.minimum == stats.maximum  # deterministic TT pipeline
     inter = probe.interarrivals()
     assert inter and all(i == period for i in inter)
+
+
+def test_bandwidth_probe_accounts_every_transmitted_byte():
+    sim = Simulator(seed=5)
+    probe = BandwidthProbe(sim)
+    system = e5_gateway_system(seed=5, sim=sim)
+    system.sim.run_for(300 * MS)
+
+    assert probe.frames > 0
+    # The probe's per-sender tally over FRAME_TX records must equal the
+    # always-on byte counter the bus maintains independently.
+    assert probe.total_bytes() == sim.metrics.get("bus.bytes_tx")
+    assert len(probe.bytes_by_source) >= 2  # several nodes transmit
+
+    frames_before = probe.frames
+    probe.close()
+    system.sim.run_for(100 * MS)
+    assert probe.frames == frames_before  # unsubscribed, tally frozen
+
+
+def test_sink_parity_across_trace_modes():
+    """MemorySink, CounterSink, and StreamSink runs of the same seeded
+    gateway pipeline agree on per-category record counts."""
+    def build_and_run(trace):
+        sim = Simulator(seed=5, trace=trace)
+        e5_gateway_system(seed=5, sim=sim)
+        sim.run_for(300 * MS)
+        return sim
+
+    full = build_and_run(TraceLog())
+    expected = full.trace.category_counts()
+    assert expected  # the scenario produces records
+
+    counters = build_and_run(TraceLog(sinks=[CounterSink()]))
+    assert counters.trace.category_counts() == expected
+
+    buf = io.StringIO()
+    stream = build_and_run(make_trace("stream", buf))
+    assert stream.trace.category_counts() == expected
+    streamed: dict[str, int] = {}
+    for line in buf.getvalue().splitlines():
+        cat = json.loads(line)["category"]
+        streamed[cat] = streamed.get(cat, 0) + 1
+    assert streamed == expected  # the NDJSON itself matches, line for line

@@ -38,3 +38,52 @@ def test_audit_clean(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["definitely-not-a-command"])
+
+
+def test_car_metrics_json_and_flow_tracing(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "metrics.json"
+    assert main(["car", "--seconds", "1", "--flow-tracing",
+                 "--metrics-json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "flows:" in out
+    snap = json.loads(path.read_text())
+    assert snap["counters"]["bus.frames_tx"] > 0
+
+
+def test_obs_flows_reconstructs_forward_and_block(tmp_path, capsys):
+    export = tmp_path / "journeys.ndjson"
+    assert main(["obs", "flows", "--seconds", "1", "--out", str(export)]) == 0
+    out = capsys.readouterr().out
+    assert "example forwarded journey" in out
+    assert "example blocked journey" in out
+    assert "gw." in out  # gateway hops in the timelines
+    assert export.read_text().strip()
+
+
+def test_obs_aggregate_and_compare(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    assert main(["sweep", "--filter", "gw-pipeline-flow", "--workers", "1",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    report = tmp_path / "report.md"
+    assert main(["obs", "aggregate", "--cache-dir", str(cache),
+                 "--out", str(report), "--json"]) == 0
+    text = capsys.readouterr().out
+    agg = json.loads(text[: text.rindex("report written")])
+    assert agg["count"] == 1
+    assert report.read_text().startswith("# Observability report")
+
+    snap = tmp_path / "snap.json"
+    snap.write_text(json.dumps({"metrics": agg["metrics"]}))
+    assert main(["obs", "compare", str(snap), str(snap)]) == 0
+    out = capsys.readouterr().out
+    assert "0/" in out  # identical snapshots: no counter changed
+
+
+def test_obs_aggregate_empty_cache_fails(tmp_path, capsys):
+    assert main(["obs", "aggregate", "--cache-dir",
+                 str(tmp_path / "empty")]) == 2

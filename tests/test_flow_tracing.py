@@ -1,0 +1,211 @@
+"""End-to-end causal flow tracing, the flight recorder, and the
+handler profiler.
+
+The acceptance anchors: flow tracing is off by default (the golden
+digest stays valid — covered in test_sim_trace_sinks), two same-seed
+runs reconstruct byte-identical journeys and merge into identical
+metrics snapshots, and a cross-VN journey through a gateway is
+reconstructable in both the forward and the block case with per-hop
+latency attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import FlowSet
+from repro.apps import CarConfig, build_car
+from repro.faults import FaultInjector
+from repro.faults.models import FaultModel
+from repro.gateway.filters import FilterChain, MinIntervalFilter
+from repro.sim import (
+    MS,
+    FlightRecorderSink,
+    Metrics,
+    Simulator,
+    StreamSink,
+    TraceLog,
+    make_trace,
+)
+from repro.sim.flow import FlowStage, FlowTracer
+
+
+def _flow_car(duration: int = 400 * MS, seed: int = 0, **cfg):
+    car = build_car(CarConfig(seed=seed, flow_tracing=True, **cfg))
+    car.run_for(duration)
+    return car
+
+
+# ----------------------------------------------------------------------
+# default-off and counters-mode behavior
+# ----------------------------------------------------------------------
+def test_flow_tracing_off_by_default():
+    car = build_car(CarConfig(seed=0))
+    car.run_for(100 * MS)
+    assert car.sim.flows.enabled is False
+    counts = car.sim.trace.category_counts()
+    assert FlowTracer.CATEGORY_ORIGIN not in counts
+    assert FlowTracer.CATEGORY_HOP not in counts
+
+
+def test_counters_mode_ticks_flow_categories_without_records():
+    car = _flow_car(duration=200 * MS, trace_mode="counters")
+    counts = car.sim.trace.category_counts()
+    assert counts[FlowTracer.CATEGORY_HOP] > 0
+    assert counts[FlowTracer.CATEGORY_ORIGIN] > 0
+    assert car.sim.trace.memory is None  # no records were ever built
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_same_seed_runs_identical_journeys_and_merged_metrics():
+    a = _flow_car()
+    b = _flow_car()
+    fa = FlowSet.from_trace(a.sim.trace)
+    fb = FlowSet.from_trace(b.sim.trace)
+    assert len(fa) > 0
+    assert fa.to_ndjson() == fb.to_ndjson()
+    assert fa.summary() == fb.summary()
+
+    snap_a, snap_b = a.sim.metrics.snapshot(), b.sim.metrics.snapshot()
+    assert snap_a == snap_b
+    merged_ab, merged_ba = Metrics(), Metrics()
+    merged_ab.merge_snapshot(snap_a)
+    merged_ab.merge_snapshot(snap_b)
+    merged_ba.merge_snapshot(snap_b)
+    merged_ba.merge_snapshot(snap_a)
+    assert merged_ab.snapshot() == merged_ba.snapshot()
+
+
+def test_stream_dump_reconstructs_identically(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    a = build_car(CarConfig(seed=0, flow_tracing=True,
+                            trace_mode="stream", trace_stream=str(path)))
+    a.run_for(300 * MS)
+    a.sim.trace.close()
+    b = _flow_car(duration=300 * MS)
+    from_stream = FlowSet.from_ndjson(path)
+    from_memory = FlowSet.from_trace(b.sim.trace)
+    assert from_stream.to_ndjson() == from_memory.to_ndjson()
+
+
+# ----------------------------------------------------------------------
+# cross-VN reconstruction: forward and block
+# ----------------------------------------------------------------------
+def test_cross_vn_forward_and_block_reconstruction():
+    # A 25 ms min-interval filter against the 10 ms wheel-speed stream
+    # guarantees the journey set contains both outcomes at gw-nav.
+    car = _flow_car(nav_import_filters=FilterChain(
+        MinIntervalFilter(min_interval=25 * MS)))
+    flows = FlowSet.from_trace(car.sim.trace)
+    summary = flows.summary()
+    assert summary["outcomes"]["blocked"] >= 1
+    assert summary["outcomes"]["forwarded"] >= 1
+    assert summary["cross_vn_complete"] >= 1
+
+    blocked = flows.example("blocked")
+    assert blocked is not None
+    assert blocked.block_reason == "filtered"
+    assert blocked.first_hop(FlowStage.GATEWAY_RX) is not None
+
+    parent = flows.cross_vn()[0]
+    assert parent.first_hop(FlowStage.GATEWAY_STORED) is not None
+    children = [flows.journey(cid) for cid in parent.children]
+    delivered = [c for c in children
+                 if c is not None and c.first_hop(FlowStage.PORT_RECV)]
+    assert delivered
+    child = delivered[0]
+    assert child.parent == parent.flow
+    assert child.kind == FlowStage.ORIGIN_GW_CONSTRUCT
+
+    # Per-hop latency is attributable along the stitched path.
+    legs = flows.leg_durations()
+    assert "gw.residence" in legs
+    bus_leg = legs[f"{FlowStage.BUS_TX}→{FlowStage.BUS_RX}"]
+    assert bus_leg and all(d > 0 for d in bus_leg)  # transport takes time
+    e2e = summary["end_to_end"]
+    assert e2e is not None and e2e["count"] >= 1
+
+    text = flows.timeline(parent.flow)
+    assert FlowStage.GATEWAY_STORED in text
+    assert f"flow {child.flow}" in text  # child rendered inside the parent
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+def test_flight_recorder_ring_is_bounded():
+    sink = FlightRecorderSink(capacity=8)
+    trace = TraceLog(sinks=[sink])
+    for i in range(20):
+        trace.record(i, "unit.cat", "src", i=i)
+    assert len(sink) == 8
+    assert sink.seen == 20
+    assert [r.get("i") for r in sink.records()] == list(range(12, 20))
+
+
+def test_flight_recorder_dumps_on_fault_activation(tmp_path):
+    @dataclass
+    class _Tickle(FaultModel):
+        def _apply(self, sim):
+            pass
+
+    dump = tmp_path / "window.ndjson"
+    sim = Simulator(trace=make_trace("flight", str(dump)))
+    for i in range(5):
+        sim.at(i * MS, lambda t=i: sim.trace.record(
+            sim.now, "unit.cat", "src", i=t), label="emit")
+    FaultInjector(sim).inject_at(_Tickle(name="tickle"), at=3 * MS)
+    sim.run_until(10 * MS)
+
+    recorder = sim.trace.flight_recorder
+    assert recorder is not None and recorder.dumps == 1
+    text = dump.read_text()
+    assert "fault.inject" in text  # the activation itself is in the window
+    assert "unit.cat" in text      # ...along with the records leading up
+
+
+# ----------------------------------------------------------------------
+# handler profiler
+# ----------------------------------------------------------------------
+def test_profiler_observes_handler_time_by_label_group():
+    sim = Simulator()
+    assert sim.profiling is False
+    sim.enable_profiling()
+    sim.at(1 * MS, lambda: None, label="comp.job.step")
+    sim.at(2 * MS, lambda: None, label="comp.job.step")
+    sim.at(3 * MS, lambda: None, label="other.thing")
+    sim.run_until(5 * MS)
+    hists = sim.metrics.snapshot()["histograms"]
+    assert hists["profile.comp.job"]["count"] == 2
+    assert hists["profile.other.thing"]["count"] == 1
+
+
+def test_profiler_never_changes_virtual_time_behavior():
+    def run(profile):
+        car = build_car(CarConfig(seed=3, profile=profile))
+        car.run_for(200 * MS)
+        return car.sim
+
+    plain, profiled = run(False), run(True)
+    assert profiled.now == plain.now
+    assert profiled.events_executed == plain.events_executed
+    # Wall-clock observations live only in the profile.* namespace.
+    plain_names = set(plain.metrics.snapshot()["histograms"])
+    extra = set(profiled.metrics.snapshot()["histograms"]) - plain_names
+    assert extra and all(n.startswith("profile.") for n in extra)
+
+
+# ----------------------------------------------------------------------
+# trace context manager
+# ----------------------------------------------------------------------
+def test_trace_context_manager_closes_sinks_on_exception(tmp_path):
+    path = tmp_path / "out.ndjson"
+    try:
+        with TraceLog(sinks=[StreamSink(path)]) as trace:
+            trace.record(0, "unit.cat", "src", v=1)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert "unit.cat" in path.read_text()  # flushed despite the exception

@@ -1,0 +1,132 @@
+"""Histogram quantiles, instrument merging, and snapshot round-trips.
+
+The merge contract backs sweep-wide aggregation: folding N per-process
+registries must equal the registry one process would have produced
+(counters and buckets are integer-exact), while ``quantile`` is a
+bucket estimate documented to land within a factor of 2 of the truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Metrics
+from repro.sim.metrics import Counter, Histogram
+
+
+# ----------------------------------------------------------------------
+# quantile
+# ----------------------------------------------------------------------
+def test_quantile_empty_and_domain():
+    h = Histogram("t")
+    assert h.quantile(0.5) is None
+    h.observe(4)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.1)
+
+
+def test_quantile_extremes_clamp_to_observed_range():
+    h = Histogram("t")
+    for v in range(1, 101):
+        h.observe(v)
+    assert h.quantile(0.0) == 1     # clamped to the observed minimum
+    assert h.quantile(1.0) == 100   # clamped to the observed maximum
+
+
+def test_quantile_within_factor_of_two():
+    h = Histogram("t")
+    for v in range(1, 101):
+        h.observe(v)
+    for q, true in ((0.25, 25.25), (0.5, 50.5), (0.9, 90.1)):
+        est = h.quantile(q)
+        assert true / 2 < est < true * 2, (q, est)
+
+
+def test_quantile_all_zero_samples_is_exact():
+    h = Histogram("t")
+    for _ in range(5):
+        h.observe(0)
+    assert h.quantile(0.5) == 0
+    assert h.quantile(1.0) == 0
+
+
+# ----------------------------------------------------------------------
+# merge
+# ----------------------------------------------------------------------
+def test_counter_merge_accepts_counter_and_int():
+    a, b = Counter("a"), Counter("b")
+    a.inc(3)
+    b.inc(4)
+    a.merge(b)
+    a.merge(10)
+    assert a.value == 17
+    assert b.value == 4  # the source is untouched
+
+
+def test_histogram_merge_equals_single_feed():
+    samples = [0, 1, 1, 2, 7, 8, 100, 4096, 3]
+    whole = Histogram("whole")
+    for v in samples:
+        whole.observe(v)
+    left, right = Histogram("l"), Histogram("r")
+    for v in samples[:4]:
+        left.observe(v)
+    for v in samples[4:]:
+        right.observe(v)
+    left.merge(right)
+    assert left.count == whole.count
+    assert left.total == whole.total
+    assert left.minimum == whole.minimum
+    assert left.maximum == whole.maximum
+    assert left.buckets == whole.buckets  # exact, bucket for bucket
+
+
+def test_histogram_merge_empty_is_noop():
+    h = Histogram("t")
+    h.observe(5)
+    before = h.snapshot()
+    h.merge(Histogram("empty"))
+    assert h.snapshot() == before
+
+
+def test_metrics_merge_creates_missing_instruments():
+    a, b = Metrics(), Metrics()
+    a.inc("shared", 1)
+    b.inc("shared", 2)
+    b.inc("only_b", 5)
+    b.observe("lat", 8)
+    a.merge(b)
+    assert a.get("shared") == 3
+    assert a.get("only_b") == 5
+    assert a.histogram("lat").count == 1
+
+
+# ----------------------------------------------------------------------
+# snapshot round-trips
+# ----------------------------------------------------------------------
+def test_histogram_from_snapshot_roundtrip():
+    h = Histogram("t")
+    for v in (0, 3, 17, 900):
+        h.observe(v)
+    snap = h.snapshot()
+    back = Histogram.from_snapshot("t", snap)
+    assert back.snapshot() == snap
+    assert back.quantile(0.5) == h.quantile(0.5)
+
+
+def test_metrics_snapshot_roundtrip_and_merge_snapshot():
+    m = Metrics()
+    m.inc("c.one", 7)
+    for v in (1, 2, 3):
+        m.observe("h.lat", v)
+    snap = m.snapshot()
+    assert Metrics.from_snapshot(snap).snapshot() == snap
+
+    agg = Metrics()
+    agg.merge_snapshot(snap)
+    agg.merge_snapshot(snap)
+    assert agg.get("c.one") == 14
+    assert agg.histogram("h.lat").count == 6
+    assert agg.histogram("h.lat").total == 12
