@@ -281,7 +281,7 @@ def build_car(config: CarConfig | None = None) -> CarSystem:
             link_a=LinkSpec(das="abs", ports=(PortSpec(
                 message_type=signals.wheel_speed_type(), direction=Direction.INPUT,
                 semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
-                tt=TTTiming(period=period),
+                tt=TTTiming(period=period), temporal_accuracy=cfg.d_acc_odometry,
             ),)),
             link_b=LinkSpec(das="navigation", ports=(PortSpec(
                 message_type=signals.odometry_type(), direction=Direction.OUTPUT,
@@ -297,7 +297,7 @@ def build_car(config: CarConfig | None = None) -> CarSystem:
             link_a=LinkSpec(das="abs", ports=(PortSpec(
                 message_type=signals.vehicle_dynamics_type(), direction=Direction.INPUT,
                 semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
-                tt=TTTiming(period=period),
+                tt=TTTiming(period=period), temporal_accuracy=cfg.d_acc_dynamics,
             ),)),
             link_b=LinkSpec(das="presafe", ports=(PortSpec(
                 message_type=signals.dynamics_presafe_type(), direction=Direction.OUTPUT,

@@ -1,0 +1,71 @@
+"""Pre-simulation static verification (``repro check``).
+
+The paper's central artifact is a *formal* link specification — a
+syntactic part, deterministic timed automata, and transfer semantics —
+parameterizing hidden virtual gateways.  Determinism and temporal
+well-formedness are load-bearing claims, so this package rejects broken
+configurations *statically*, before a sweep burns CPU on them, the same
+way a schedulability analyzer gates a TTP/TTA deployment:
+
+* :mod:`repro.check.spec_rules` — SPEC0xx: cross-checks over link /
+  port / VN specifications and gateway couplings,
+* :mod:`repro.check.automata_rules` — AUTO0xx: determinism, reach-
+  ability, guard satisfiability, and liveness of the timed automata,
+* :mod:`repro.check.schedule_rules` — SCHED0xx: TDMA slot conflicts,
+  per-VN bandwidth over-subscription, and gateway-relay latency vs.
+  the ``horizon(m)`` temporal-accuracy windows,
+* :mod:`repro.check.determinism` — DET0xx: an AST lint keeping
+  wall-clock / ``random``-module / unordered-iteration nondeterminism
+  out of the simulator core (``repro check --self``),
+* :mod:`repro.check.analyzer` — orchestration: run every family over a
+  link spec, a live :class:`~repro.systems.assembly.System`, or a whole
+  :class:`~repro.sim.Simulator` (the pre-flight gate), and
+* :mod:`repro.check.targets` — discovery of checkable artifacts from
+  CLI paths (XML files, embedded specs, registered sweep scenarios).
+"""
+
+from __future__ import annotations
+
+from .analyzer import (
+    RULES,
+    check_link_spec,
+    check_scenario,
+    check_simulator,
+    check_system,
+    preflight,
+)
+from .baseline import Baseline
+from .diagnostics import (
+    CheckReport,
+    Diagnostic,
+    Severity,
+    SourceLocation,
+    render_json,
+    render_text,
+)
+from .determinism import DEFAULT_LINT_PACKAGES, lint_file, lint_paths, lint_source
+from .targets import CheckTarget, builtin_targets, gather_targets, scenario_targets
+
+__all__ = [
+    "RULES",
+    "Baseline",
+    "CheckReport",
+    "CheckTarget",
+    "DEFAULT_LINT_PACKAGES",
+    "Diagnostic",
+    "Severity",
+    "SourceLocation",
+    "builtin_targets",
+    "check_link_spec",
+    "check_scenario",
+    "check_simulator",
+    "check_system",
+    "gather_targets",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "preflight",
+    "render_json",
+    "render_text",
+    "scenario_targets",
+]

@@ -1,0 +1,197 @@
+"""Orchestration: run every analyzer family over model artifacts.
+
+The entry points mirror how much of the model is in hand:
+
+* :func:`check_link_spec` — one link specification (spec + automata),
+* :func:`check_system` — a fully assembled
+  :class:`~repro.systems.assembly.System` (adds schedule, bandwidth,
+  coupling, and relay-latency analysis),
+* :func:`check_simulator` — everything registered on a
+  :class:`~repro.sim.Simulator` via ``register_checkable``,
+* :func:`check_scenario` — build a registered sweep scenario and check
+  the resulting simulator (the ``repro check --scenarios`` path),
+* :func:`preflight` — the gate: check a simulator and, in strict mode,
+  refuse to let a configuration with errors run.
+
+``waivers`` map a rule id to a human reason; matching diagnostics are
+downgraded to ``INFO`` with the reason attached (explicitly accepted,
+visible, but not blocking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any
+
+from ..automata.automaton import TimedAutomaton
+from ..spec.link_spec import LinkSpec
+from . import automata_rules, schedule_rules, spec_rules
+from .diagnostics import CheckReport, Diagnostic, render_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runner.scenarios import ScenarioSpec
+    from ..sim import Simulator
+
+__all__ = [
+    "RULES",
+    "check_link_spec",
+    "check_scenario",
+    "check_simulator",
+    "check_system",
+    "preflight",
+]
+
+#: Every rule id with its one-line description (the ``--rules`` table).
+RULES: dict[str, str] = {
+    "SPEC000": "specification artifact cannot be parsed at all",
+    "SPEC001": "convertible-element name incoherence across coupled links",
+    "SPEC002": "datatype/width mismatch or dangling transfer-rule source field",
+    "SPEC003": "control-paradigm / direction conflict (TT vs ET, send vs receive)",
+    "SPEC004": "state transfer without a temporal-accuracy bound (d_acc)",
+    "SPEC005": "dangling reference: automaton message with no port",
+    "AUTO001": "determinism violation: overlapping guards on one action",
+    "AUTO002": "unreachable automaton location",
+    "AUTO003": "dead guard: statically unsatisfiable clock constraints",
+    "AUTO004": "liveness: wedging location or unreachable error location",
+    "SCHED001": "TDMA slot overlap / duplicate id / cycle overrun",
+    "SCHED002": "bandwidth over-subscription vs. slot capacity or reservation",
+    "SCHED003": "worst-case gateway-relay latency exceeds horizon(m)/d_acc",
+    "DET001": "wall-clock access in the simulator core",
+    "DET002": "stdlib random module in the simulator core",
+    "DET003": "iteration over a set expression (hash-seed order)",
+    "DET004": "environment-dependent value (uuid/env/dir listing) in the core",
+}
+
+
+def _finish(diags: list[Diagnostic], target: str,
+            waivers: dict[str, str] | None) -> list[Diagnostic]:
+    from .diagnostics import Severity
+
+    out: list[Diagnostic] = []
+    for d in diags:
+        if target and not d.target:
+            d = replace(d, target=target)
+        # Only ERROR/WARNING need waiving (INFO never blocks), which also
+        # makes repeated _finish passes over nested results idempotent.
+        if waivers and d.rule in waivers and d.severity is not Severity.INFO:
+            d = d.waived(waivers[d.rule])
+        out.append(d)
+    return out
+
+
+def check_link_spec(
+    link: LinkSpec,
+    file: str = "",
+    target: str = "",
+    waivers: dict[str, str] | None = None,
+) -> list[Diagnostic]:
+    """SPEC0xx + AUTO0xx over one link specification."""
+    diags = spec_rules.check_link(link, file)
+    for automaton in link.automata:
+        diags.extend(automata_rules.check_automaton(automaton, file))
+    return _finish(diags, target or f"link:{link.das}", waivers)
+
+
+def _check_gateway(gateway: Any, target: str,
+                   waivers: dict[str, str] | None) -> list[Diagnostic]:
+    link_a = gateway.sides["a"].link
+    link_b = gateway.sides["b"].link
+    diags = spec_rules.check_coupling(link_a, link_b, gateway=gateway.name)
+    diags.extend(check_link_spec(link_a, target=target, waivers=waivers))
+    diags.extend(check_link_spec(link_b, target=target, waivers=waivers))
+    diags.extend(schedule_rules.check_gateway_latency(gateway))
+    return _finish(diags, target or f"gateway:{gateway.name}", waivers)
+
+
+def _check_vn(vn: Any, target: str,
+              waivers: dict[str, str] | None) -> list[Diagnostic]:
+    from .diagnostics import Severity, SourceLocation
+
+    diags = schedule_rules.check_vn_demand(vn)
+    for problem in vn.verify_reservations():
+        diags.append(Diagnostic(
+            rule="SCHED002",
+            severity=Severity.ERROR,
+            message=f"VN {vn.das!r}: {problem}",
+            location=SourceLocation(path=f"vn[{vn.das}]"),
+            hint="reserve bandwidth for the VN on the producing node's slot",
+        ))
+    return _finish(diags, target or f"vn:{vn.das}", waivers)
+
+
+def check_system(system: Any, target: str = "",
+                 waivers: dict[str, str] | None = None) -> list[Diagnostic]:
+    """All families over an assembled :class:`System`."""
+    diags = schedule_rules.check_schedule(system.cluster.schedule)
+    for das in sorted(system.vns):
+        diags.extend(_check_vn(system.vns[das], target, waivers))
+    for name in sorted(system.gateways):
+        diags.extend(_check_gateway(system.gateways[name], target, waivers))
+    return _finish(diags, target, waivers)
+
+
+def check_simulator(sim: "Simulator", target: str = "",
+                    waivers: dict[str, str] | None = None) -> CheckReport:
+    """Everything registered on a simulator, each artifact once.
+
+    A :class:`System` owns its cluster, VNs, and gateways; artifacts it
+    claims are not re-checked standalone even though builders registered
+    them individually.
+    """
+    from ..core_network.cluster import Cluster
+    from ..gateway.gateway import VirtualGateway
+    from ..systems.assembly import System
+    from ..vn.service import VirtualNetworkBase
+
+    report = CheckReport()
+    covered: set[int] = set()
+    for obj in sim.checkables:
+        if isinstance(obj, System):
+            covered.add(id(obj.cluster))
+            covered.update(id(vn) for vn in obj.vns.values())
+            covered.update(id(gw) for gw in obj.gateways.values())
+    for obj in sim.checkables:
+        if id(obj) in covered:
+            continue
+        if isinstance(obj, System):
+            report.extend(check_system(obj, target, waivers))
+        elif isinstance(obj, VirtualGateway):
+            report.extend(_check_gateway(obj, target, waivers))
+        elif isinstance(obj, VirtualNetworkBase):
+            report.extend(_check_vn(obj, target, waivers))
+        elif isinstance(obj, Cluster):
+            report.extend(_finish(
+                schedule_rules.check_schedule(obj.schedule), target, waivers))
+        elif isinstance(obj, LinkSpec):
+            report.extend(check_link_spec(obj, target=target, waivers=waivers))
+        elif isinstance(obj, TimedAutomaton):
+            report.extend(_finish(
+                automata_rules.check_automaton(obj), target, waivers))
+        else:
+            continue
+        report.targets_checked += 1
+    return report
+
+
+def check_scenario(spec: "ScenarioSpec",
+                   waivers: dict[str, str] | None = None) -> CheckReport:
+    """Build one registered sweep scenario and check the result.
+
+    Building is cheap (no virtual time elapses); the payoff is that the
+    exact artifacts the sweep would run are what gets analyzed.
+    """
+    from ..runner.scenarios import build_scenario
+
+    sim = build_scenario(spec)
+    return check_simulator(sim, target=spec.name, waivers=waivers)
+
+
+def preflight(sim: "Simulator", strict: bool = True,
+              waivers: dict[str, str] | None = None) -> CheckReport:
+    """The pre-flight gate; see :meth:`repro.sim.Simulator.preflight`."""
+    from ..errors import PreflightError
+
+    report = check_simulator(sim, waivers=waivers)
+    if strict and not report.ok:
+        raise PreflightError("pre-flight check failed:\n" + render_text(report))
+    return report

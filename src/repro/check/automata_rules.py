@@ -1,0 +1,176 @@
+"""AUTO0xx — static analysis of the timed automata.
+
+The paper requires the temporal part of a link specification to be a
+set of *deterministic* timed automata (Sec. IV-B.2).  These rules prove
+(or refute) the properties that the simulator otherwise only discovers
+dynamically:
+
+========  ==========================================================
+AUTO001   determinism violation: two transitions leave one location
+          with the same action label and overlapping guards
+AUTO002   unreachable location (no path from the initial location)
+AUTO003   dead guard: statically unsatisfiable conjunction — the
+          transition can never fire
+AUTO004   liveness: a non-error location with no outgoing transitions
+          (the automaton wedges there), or an error location that is
+          declared but unreachable (the monitor can never trip)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from ..automata.automaton import ActionKind, TimedAutomaton, Transition
+from .diagnostics import Diagnostic, Severity, SourceLocation
+from .intervals import project_guard
+
+__all__ = ["check_automaton"]
+
+
+def _loc(automaton: TimedAutomaton, state: str, file: str = "") -> SourceLocation:
+    return SourceLocation(
+        path=f"timedautomaton[{automaton.name}]/location[{state}]", file=file
+    )
+
+
+def _action_key(t: Transition) -> tuple[str, str]:
+    return (t.action.kind.value, t.action.message or "")
+
+
+def _determinism(automaton: TimedAutomaton, file: str) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    clocks = automaton.clocks
+    for state in automaton.locations:
+        by_action: dict[tuple[str, str], list[Transition]] = {}
+        for t in automaton.outgoing(state):
+            by_action.setdefault(_action_key(t), []).append(t)
+        for (kind, message), group in by_action.items():
+            if len(group) < 2:
+                continue
+            projections = [project_guard(t.guard, automaton.parameters) for t in group]
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    a, b = projections[i], projections[j]
+                    if not a.overlaps(b, clocks):
+                        continue
+                    proven = a.fully_decidable and b.fully_decidable
+                    label = f"{message}{'!' if kind == 'send' else '?'}" \
+                        if kind != "silent" else "(silent)"
+                    guards = (f"[{group[i].guard}] -> {group[i].target!r} and "
+                              f"[{group[j].guard}] -> {group[j].target!r}")
+                    diags.append(Diagnostic(
+                        rule="AUTO001",
+                        severity=Severity.ERROR if proven else Severity.WARNING,
+                        message=(
+                            f"automaton {automaton.name!r} is nondeterministic at "
+                            f"{state!r}: transitions {label} with overlapping guards "
+                            f"{guards}"
+                            + ("" if proven else
+                               " (guards contain terms that cannot be decided"
+                               " statically; overlap assumed)")
+                        ),
+                        location=_loc(automaton, state, file),
+                        hint=("make the guards disjoint, e.g. split on a clock "
+                              "threshold (x < tmin vs. x >= tmin)"),
+                    ))
+    return diags
+
+
+def _reachability(
+    automaton: TimedAutomaton, file: str
+) -> tuple[list[Diagnostic], set[str]]:
+    reachable = {automaton.initial}
+    frontier = [automaton.initial]
+    while frontier:
+        here = frontier.pop()
+        for t in automaton.outgoing(here):
+            if t.target not in reachable:
+                reachable.add(t.target)
+                frontier.append(t.target)
+    diags: list[Diagnostic] = []
+    for state in automaton.locations:
+        if state in reachable:
+            continue
+        if state == automaton.error:
+            diags.append(Diagnostic(
+                rule="AUTO004",
+                severity=Severity.WARNING,
+                message=(f"error location {state!r} of automaton "
+                         f"{automaton.name!r} is unreachable: the temporal "
+                         f"monitor can never signal a violation"),
+                location=_loc(automaton, state, file),
+                hint="add guarded transitions into the error location or drop it",
+            ))
+        else:
+            diags.append(Diagnostic(
+                rule="AUTO002",
+                severity=Severity.WARNING,
+                message=(f"location {state!r} of automaton {automaton.name!r} "
+                         f"is unreachable from initial location "
+                         f"{automaton.initial!r}"),
+                location=_loc(automaton, state, file),
+                hint="remove the location or connect it to the reachable part",
+            ))
+    return diags, reachable
+
+
+def _dead_guards(automaton: TimedAutomaton, file: str) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for t in automaton.transitions:
+        proj = project_guard(t.guard, automaton.parameters)
+        dead = proj.unsatisfiable_vars(automaton.clocks)
+        if not dead:
+            continue
+        diags.append(Diagnostic(
+            rule="AUTO003",
+            severity=Severity.ERROR,
+            message=(f"guard [{t.guard}] on {t.source!r} -> {t.target!r} of "
+                     f"automaton {automaton.name!r} is unsatisfiable: "
+                     f"variable(s) {', '.join(sorted(dead))} have an empty "
+                     f"feasible interval"),
+            location=_loc(automaton, t.source, file),
+            hint="the transition can never fire; fix the bounds or remove it",
+        ))
+    return diags
+
+
+def _liveness(automaton: TimedAutomaton, reachable: set[str],
+              file: str) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for state in automaton.locations:
+        if state not in reachable or state == automaton.error:
+            continue
+        if automaton.outgoing(state):
+            continue
+        diags.append(Diagnostic(
+            rule="AUTO004",
+            severity=Severity.WARNING,
+            message=(f"location {state!r} of automaton {automaton.name!r} has "
+                     f"no outgoing transitions: the automaton wedges there "
+                     f"and the gateway stops relaying"),
+            location=_loc(automaton, state, file),
+            hint="add an outgoing transition or mark the location as the error location",
+        ))
+    return diags
+
+
+def check_automaton(automaton: TimedAutomaton, file: str = "") -> list[Diagnostic]:
+    """Run all AUTO0xx rules over one automaton."""
+    diags = _determinism(automaton, file)
+    reach_diags, reachable = _reachability(automaton, file)
+    diags.extend(reach_diags)
+    diags.extend(_dead_guards(automaton, file))
+    diags.extend(_liveness(automaton, reachable, file))
+    # Silent/no-action edges never fire in the runtime unless guarded by
+    # time; a trivially-guarded silent self-loop would spin — flag it.
+    for t in automaton.transitions:
+        if (t.source == t.target and t.action.kind is ActionKind.SILENT
+                and t.guard.is_trivial() and not t.assignments):
+            diags.append(Diagnostic(
+                rule="AUTO003",
+                severity=Severity.WARNING,
+                message=(f"trivial silent self-loop at {t.source!r} in "
+                         f"automaton {automaton.name!r} has no effect"),
+                location=_loc(automaton, t.source, file),
+                hint="remove the transition or add a guard/assignment",
+            ))
+    return diags

@@ -1,0 +1,61 @@
+"""Accepted-warning baselines for incremental adoption.
+
+``repro check --baseline FILE`` compares the current findings against a
+recorded set of accepted warning fingerprints: warnings already in the
+baseline are moved to the report's ``accepted`` list (they don't fail
+CI), while *new* warnings — and all errors, always — still block.
+``--update-baseline`` records the current warnings as accepted.
+
+The file is sorted JSON so diffs review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .diagnostics import CheckReport, Severity
+
+
+@dataclass
+class Baseline:
+    """A persisted set of accepted diagnostic fingerprints."""
+
+    accepted: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        data = json.loads(p.read_text())
+        entries = data.get("accepted", []) if isinstance(data, dict) else []
+        return cls(accepted={str(e) for e in entries})
+
+    def save(self, path: str | Path) -> None:
+        payload = {"version": 1, "accepted": sorted(self.accepted)}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    # ------------------------------------------------------------------
+    def apply(self, report: CheckReport) -> CheckReport:
+        """Move baseline-accepted warnings/info out of the live set.
+
+        Errors are never accepted — a baseline must not mask a broken
+        configuration, only grandfather existing warnings.
+        """
+        live = []
+        for d in report.diagnostics:
+            if d.severity is not Severity.ERROR and d.fingerprint() in self.accepted:
+                report.accepted.append(d)
+            else:
+                live.append(d)
+        report.diagnostics = live
+        return report
+
+    def record(self, report: CheckReport) -> "Baseline":
+        """Accept every current non-error finding (for --update-baseline)."""
+        for d in report.diagnostics + report.accepted:
+            if d.severity is not Severity.ERROR:
+                self.accepted.add(d.fingerprint())
+        return self

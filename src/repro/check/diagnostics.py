@@ -1,0 +1,176 @@
+"""The diagnostic framework: findings, locations, and renderers.
+
+Every analyzer family reports through the same vocabulary: a
+:class:`Diagnostic` names the rule that fired, its severity, a source
+location precise down to the XML element / automaton state / schedule
+slot it concerns, and a fix hint.  A :class:`CheckReport` aggregates
+diagnostics across targets and renders as text or JSON (``--format``).
+
+Diagnostics are plain data so they can be fingerprinted into a baseline
+(:mod:`repro.check.baseline`), compared in golden tests, and serialized
+losslessly across the CLI boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How bad a finding is; ``ERROR`` blocks the pre-flight gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a finding lives, as a slash path into the artifact.
+
+    ``path`` addresses the element hierarchy, e.g.
+    ``linkspec/timedautomaton[msgSlidingRoofReception]/location[statePassive]``
+    or ``schedule/slot[3]``; ``file`` names the containing file or
+    target when known (an XML file, a scenario name, a python module).
+    """
+
+    path: str = ""
+    file: str = ""
+    line: int | None = None
+
+    def __str__(self) -> str:
+        bits = []
+        if self.file:
+            bits.append(self.file)
+        if self.line is not None:
+            bits.append(str(self.line))
+        head = ":".join(bits)
+        if head and self.path:
+            return f"{head} ({self.path})"
+        return head or self.path
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule."""
+
+    rule: str
+    severity: Severity
+    message: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    hint: str = ""
+    #: Name of the check target (scenario, spec, file) that produced it.
+    target: str = ""
+
+    def waived(self, reason: str) -> "Diagnostic":
+        """An explicitly-accepted copy, downgraded to ``INFO``."""
+        return replace(
+            self,
+            severity=Severity.INFO,
+            message=f"{self.message} [waived: {reason}]",
+        )
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: rule + target + location.
+
+        The message text is deliberately excluded so rewording a
+        diagnostic does not churn every recorded baseline entry.
+        """
+        return f"{self.rule}|{self.target}|{self.location.file}|{self.location.path}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "target": self.target,
+            "location": {
+                "path": self.location.path,
+                "file": self.location.file,
+                "line": self.location.line,
+            },
+            "hint": self.hint,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class CheckReport:
+    """All diagnostics of one ``repro check`` invocation."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Diagnostics suppressed by an accepted baseline entry.
+    accepted: list[Diagnostic] = field(default_factory=list)
+    targets_checked: int = 0
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.target, d.rule, str(d.location)),
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing blocks: no error-severity diagnostics."""
+        return not self.errors()
+
+    def summary(self) -> str:
+        e, w = len(self.errors()), len(self.warnings())
+        i = len(self.diagnostics) - e - w
+        bits = [f"{e} error{'s' if e != 1 else ''}",
+                f"{w} warning{'s' if w != 1 else ''}"]
+        if i:
+            bits.append(f"{i} info")
+        if self.accepted:
+            bits.append(f"{len(self.accepted)} accepted (baseline)")
+        return (f"checked {self.targets_checked} target"
+                f"{'s' if self.targets_checked != 1 else ''}: " + ", ".join(bits))
+
+
+def render_text(report: CheckReport, verbose: bool = False) -> str:
+    """Human-readable rendering, errors first."""
+    lines: list[str] = []
+    for d in report.sorted():
+        loc = str(d.location)
+        lines.append(f"{d.severity.value:7s} {d.rule}  {d.target or '-'}"
+                     f"{'  ' + loc if loc else ''}")
+        lines.append(f"        {d.message}")
+        if d.hint:
+            lines.append(f"        hint: {d.hint}")
+    if verbose and report.accepted:
+        lines.append("")
+        for d in report.accepted:
+            lines.append(f"accepted {d.rule}  {d.target or '-'}  {d.location}")
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-readable rendering (``--format json``)."""
+    payload = {
+        "diagnostics": [d.as_dict() for d in report.sorted()],
+        "accepted": [d.as_dict() for d in report.accepted],
+        "targets_checked": report.targets_checked,
+        "errors": len(report.errors()),
+        "warnings": len(report.warnings()),
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

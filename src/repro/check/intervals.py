@@ -1,0 +1,167 @@
+"""Interval analysis over guard conjunctions.
+
+Guards are conjunctions of comparison terms over clock variables and
+parameters (Sec. IV-B.2).  For static determinism and satisfiability
+checks we project each guard onto per-variable intervals: a term
+``x >= tmin`` with ``tmin`` bound to a constant constrains the interval
+of ``x``.  Terms that mix variables, reference ``t_now``, or call
+environment functions (``horizon(m)``, ``requ(m)``) are *undecidable*
+statically and are tracked so callers can degrade an error to a warning
+instead of claiming a proof they don't have.
+
+Clocks advance with global time from 0 and are only ever reset to 0, so
+every clock variable carries the base interval ``[0, +inf)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.automaton import Guard
+from ..automata.expr import BinOp, Call, Const, Expr, Neg, Var
+
+__all__ = ["Interval", "GuardProjection", "project_guard"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed/open numeric interval ``lo .. hi``."""
+
+    lo: float = -_INF
+    hi: float = _INF
+    lo_open: bool = False
+    hi_open: bool = False
+
+    def is_empty(self) -> bool:
+        if self.lo > self.hi:
+            return True
+        if self.lo == self.hi and (self.lo_open or self.hi_open):
+            return True
+        return False
+
+    def intersect(self, other: "Interval") -> "Interval":
+        if self.lo > other.lo or (self.lo == other.lo and self.lo_open):
+            lo, lo_open = self.lo, self.lo_open
+        else:
+            lo, lo_open = other.lo, other.lo_open
+        if self.hi < other.hi or (self.hi == other.hi and self.hi_open):
+            hi, hi_open = self.hi, self.hi_open
+        else:
+            hi, hi_open = other.hi, other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def __str__(self) -> str:
+        lo = "(" if self.lo_open else "["
+        hi = ")" if self.hi_open else "]"
+        return f"{lo}{self.lo}, {self.hi}{hi}"
+
+
+NONNEGATIVE = Interval(lo=0.0)
+
+
+def _fold(expr: Expr, parameters: dict[str, int | float]) -> float | None:
+    """Constant-fold ``expr`` against bound parameters; None = symbolic."""
+    if isinstance(expr, Const):
+        v = expr.value
+        return float(v) if isinstance(v, (int, float, bool)) else None
+    if isinstance(expr, Var):
+        v = parameters.get(expr.name)
+        return float(v) if v is not None else None
+    if isinstance(expr, Neg):
+        inner = _fold(expr.operand, parameters)
+        return -inner if inner is not None else None
+    if isinstance(expr, BinOp) and expr.op in ("+", "-", "*", "/"):
+        lhs = _fold(expr.lhs, parameters)
+        rhs = _fold(expr.rhs, parameters)
+        if lhs is None or rhs is None:
+            return None
+        if expr.op == "/" and rhs == 0:
+            return None
+        return {"+": lhs + rhs, "-": lhs - rhs,
+                "*": lhs * rhs, "/": lhs / rhs if rhs else 0.0}[expr.op]
+    if isinstance(expr, Call):
+        return None
+    return None
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def _interval_for(op: str, bound: float) -> Interval | None:
+    if op == "<":
+        return Interval(hi=bound, hi_open=True)
+    if op == "<=":
+        return Interval(hi=bound)
+    if op == ">":
+        return Interval(lo=bound, lo_open=True)
+    if op == ">=":
+        return Interval(lo=bound)
+    if op == "==":
+        return Interval(lo=bound, hi=bound)
+    return None  # != carves a hole; not an interval — treat as undecidable
+
+
+@dataclass
+class GuardProjection:
+    """Per-variable intervals plus the statically-opaque remainder."""
+
+    intervals: dict[str, Interval]
+    undecidable: list[str]  # source text of terms we could not project
+    no_message: bool = False
+
+    @property
+    def fully_decidable(self) -> bool:
+        return not self.undecidable
+
+    def unsatisfiable_vars(self, clocks: tuple[str, ...] = ()) -> list[str]:
+        """Variables whose interval is empty (clocks clipped to >= 0)."""
+        out = []
+        for var, iv in self.intervals.items():
+            if var in clocks:
+                iv = iv.intersect(NONNEGATIVE)
+            if iv.is_empty():
+                out.append(var)
+        return out
+
+    def overlaps(self, other: "GuardProjection",
+                 clocks: tuple[str, ...] = ()) -> bool:
+        """Can both projections hold at once (on the decidable part)?
+
+        Conservative toward overlap: variables constrained by only one
+        side — and all undecidable terms — never provide disjointness.
+        """
+        for var in self.intervals.keys() & other.intervals.keys():
+            a, b = self.intervals[var], other.intervals[var]
+            joint = a.intersect(b)
+            if var in clocks:
+                joint = joint.intersect(NONNEGATIVE)
+            if joint.is_empty():
+                return False
+        return True
+
+
+def project_guard(guard: Guard, parameters: dict[str, int | float]) -> GuardProjection:
+    """Project a guard conjunction onto per-variable intervals."""
+    intervals: dict[str, Interval] = {}
+    undecidable: list[str] = []
+    for term in guard.terms:
+        projected = False
+        if isinstance(term, BinOp) and term.op in _FLIP:
+            for lhs, rhs, op in ((term.lhs, term.rhs, term.op),
+                                 (term.rhs, term.lhs, _FLIP[term.op])):
+                if isinstance(lhs, Var) and lhs.name not in parameters \
+                        and lhs.name != "t_now":
+                    bound = _fold(rhs, parameters)
+                    if bound is not None:
+                        iv = _interval_for(op, bound)
+                        if iv is not None:
+                            cur = intervals.get(lhs.name, Interval())
+                            intervals[lhs.name] = cur.intersect(iv)
+                            projected = True
+                    break
+        if not projected:
+            undecidable.append(str(term))
+    return GuardProjection(intervals=intervals, undecidable=undecidable,
+                           no_message=guard.no_message)

@@ -1,0 +1,244 @@
+"""SCHED0xx — static analysis of the TDMA schedule and its overlays.
+
+The cluster cycle is global a-priori knowledge; so are the per-VN byte
+reservations, the TT dispatch periods, and the temporal-accuracy
+windows of the state ports.  That makes three whole-system properties
+statically decidable:
+
+========  ==========================================================
+SCHED001  slot-table conflicts: overlapping transmission windows,
+          duplicate slot ids, slots extending beyond the cycle
+SCHED002  bandwidth over-subscription: per-slot reservations that
+          exceed the slot capacity, and per-VN traffic demand (from
+          the TT periods / ET interarrival bounds of the producing
+          ports) exceeding the producing node's reservation per cycle
+SCHED003  stale state: the worst-case gateway-relay latency of a
+          redirected state message exceeds its temporal-accuracy
+          window ``d_acc`` — ``horizon(m)`` would reject every (or
+          nearly every) constructed instance
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..core_network.schedule import Slot, TDMASchedule
+from ..messaging import Semantics
+from ..spec.port_spec import PortSpec
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gateway.gateway import VirtualGateway
+    from ..vn.service import VirtualNetworkBase
+
+__all__ = ["check_slots", "check_schedule", "check_vn_demand", "check_gateway_latency"]
+
+
+def _slot_loc(slot: Slot, file: str) -> SourceLocation:
+    return SourceLocation(path=f"schedule/slot[{slot.slot_id}]", file=file)
+
+
+def check_slots(slots: Sequence[Slot], cycle_length: int,
+                file: str = "") -> list[Diagnostic]:
+    """SCHED001/SCHED002 over a raw slot list.
+
+    Accepts the *unvalidated* slot sequence (``TDMASchedule`` itself
+    refuses to construct from overlapping slots) so fixtures and
+    hand-written tables can be analyzed before construction.
+    """
+    diags: list[Diagnostic] = []
+    seen_ids: dict[int, Slot] = {}
+    for s in slots:
+        if s.slot_id in seen_ids:
+            diags.append(Diagnostic(
+                rule="SCHED001",
+                severity=Severity.ERROR,
+                message=(f"duplicate slot id {s.slot_id}: assigned to both "
+                         f"{seen_ids[s.slot_id].sender!r} and {s.sender!r}"),
+                location=_slot_loc(s, file),
+                hint="slot ids must be unique within the cluster cycle",
+            ))
+        else:
+            seen_ids[s.slot_id] = s
+        if s.end_offset() > cycle_length:
+            diags.append(Diagnostic(
+                rule="SCHED001",
+                severity=Severity.ERROR,
+                message=(f"slot {s.slot_id} of {s.sender!r} ends at offset "
+                         f"{s.end_offset()} beyond the cycle length "
+                         f"{cycle_length}"),
+                location=_slot_loc(s, file),
+                hint="lengthen the cycle or shorten/move the slot",
+            ))
+        reserved = sum(s.reservations.values())
+        if reserved > s.capacity_bytes:
+            diags.append(Diagnostic(
+                rule="SCHED002",
+                severity=Severity.ERROR,
+                message=(f"slot {s.slot_id} of {s.sender!r} reserves "
+                         f"{reserved} bytes across VNs "
+                         f"{sorted(s.reservations)} but has capacity for "
+                         f"only {s.capacity_bytes}"),
+                location=_slot_loc(s, file),
+                hint="shrink the reservations or grow the slot capacity",
+            ))
+    ordered = sorted(slots, key=lambda s: (s.offset, s.slot_id))
+    for prev, cur in zip(ordered, ordered[1:]):
+        if cur.offset < prev.end_offset():
+            diags.append(Diagnostic(
+                rule="SCHED001",
+                severity=Severity.ERROR,
+                message=(f"slot {cur.slot_id} of {cur.sender!r} (offset "
+                         f"{cur.offset}) overlaps slot {prev.slot_id} of "
+                         f"{prev.sender!r} (ends {prev.end_offset()}); "
+                         f"both would transmit at once"),
+                location=_slot_loc(cur, file),
+                hint="TDMA windows must be disjoint; re-run the schedule builder",
+            ))
+    return diags
+
+
+def check_schedule(schedule: TDMASchedule, file: str = "") -> list[Diagnostic]:
+    """SCHED001/SCHED002 over a constructed schedule."""
+    return check_slots(schedule.slots, schedule.cycle_length, file)
+
+
+def _demand_per_cycle(spec: PortSpec, nbytes: int, cycle_length: int) -> int | None:
+    """Worst-case bytes this port asks of one cluster cycle (None = unbounded
+    but not statically chargeable, e.g. ET with no interarrival floor)."""
+    if spec.tt is not None:
+        sends = -(-cycle_length // spec.tt.period)  # ceil
+        return nbytes * sends
+    if spec.et is not None and spec.et.min_interarrival > 0:
+        sends = -(-cycle_length // spec.et.min_interarrival)
+        return nbytes * sends
+    return None
+
+
+def check_vn_demand(vn: "VirtualNetworkBase", file: str = "") -> list[Diagnostic]:
+    """SCHED002: per-VN traffic demand vs. the producing node's reservation."""
+    from ..core_network.frame import CHUNK_HEADER_BYTES
+
+    diags: list[Diagnostic] = []
+    schedule = vn.cluster.schedule
+    cycle = schedule.cycle_length
+    demand_by_node: dict[str, list[tuple[str, int]]] = {}
+    for binding in vn._producers.values():
+        spec = binding.port.spec if binding.port is not None else None
+        try:
+            mtype = vn.namespace.lookup(binding.message)
+        except Exception:
+            continue
+        nbytes = CHUNK_HEADER_BYTES + mtype.byte_width()
+        if spec is None:
+            # Gateway producer: TT timing lives in the overlay, not a
+            # runtime port.  Charge one send per cycle as the floor.
+            demand = nbytes
+        else:
+            d = _demand_per_cycle(spec, nbytes, cycle)
+            if d is None:
+                continue
+            demand = d
+        demand_by_node.setdefault(binding.component, []).append(
+            (binding.message, demand))
+    for node, items in sorted(demand_by_node.items()):
+        slots = schedule.slots_of(node)
+        if not slots:
+            diags.append(Diagnostic(
+                rule="SCHED002",
+                severity=Severity.ERROR,
+                message=(f"node {node!r} produces "
+                         f"{sorted(m for m, _ in items)} on VN {vn.das!r} "
+                         f"but owns no TDMA slot; its chunks can never "
+                         f"leave the node"),
+                location=SourceLocation(path=f"schedule/sender[{node}]", file=file),
+                hint="add a slot for the node in the cluster schedule",
+            ))
+            continue
+        # An empty reservations dict means the slot is unpartitioned —
+        # the whole capacity is available to any VN.
+        available = sum(
+            s.reserved_for(vn.das) if s.reservations else s.capacity_bytes
+            for s in slots
+        )
+        demand = sum(d for _, d in items)
+        if demand > available:
+            diags.append(Diagnostic(
+                rule="SCHED002",
+                severity=Severity.WARNING,
+                message=(f"VN {vn.das!r} on node {node!r} may demand up to "
+                         f"{demand} bytes per cluster cycle "
+                         f"({', '.join(f'{m}={d}' for m, d in items)}) but "
+                         f"only {available} bytes are reserved; chunks will "
+                         f"queue across cycles"),
+                location=SourceLocation(path=f"schedule/sender[{node}]", file=file),
+                hint="widen the reservation (SystemBuilder.reserve) or slow the producers",
+            ))
+    return diags
+
+
+def _tt_period(link_port: PortSpec | None) -> int | None:
+    if link_port is not None and link_port.tt is not None:
+        return link_port.tt.period
+    return None
+
+
+def check_gateway_latency(gateway: "VirtualGateway",
+                          file: str = "") -> list[Diagnostic]:
+    """SCHED003: worst-case relay latency vs. the d_acc window."""
+    diags: list[Diagnostic] = []
+    schedule = gateway.sides["a"].vn.cluster.schedule
+    cycle = schedule.cycle_length
+    for rule in gateway.rules:
+        src_side = gateway.sides[rule.src_side]
+        dst_side = gateway.sides["b" if rule.src_side == "a" else "a"]
+        src_port = src_side.link.port(rule.src) if src_side.link.has_port(rule.src) else None
+        dst_port = dst_side.link.port(rule.dst) if dst_side.link.has_port(rule.dst) else None
+        if dst_port is None or dst_port.semantics is not Semantics.STATE:
+            continue
+        d_acc = dst_port.temporal_accuracy
+        if d_acc is None and src_port is not None:
+            d_acc = src_port.temporal_accuracy
+        if d_acc is None:
+            continue  # SPEC004 reports the missing bound
+        loc = SourceLocation(
+            path=f"gateway[{gateway.name}]/rule[{rule.src}->{rule.dst}]",
+            file=file,
+        )
+        src_period = _tt_period(src_port) or 0
+        dst_period = _tt_period(dst_port) or 0
+        # Worst case: the source value is almost one source period old
+        # when received, waits up to one cluster cycle for the host's
+        # slot, and then up to one destination period for the dispatch
+        # instant that samples the gateway's construction.
+        worst = src_period + cycle + dst_period
+        if dst_period > d_acc or src_period > d_acc:
+            which = ("destination dispatch period" if dst_period > d_acc
+                     else "source production period")
+            period = max(dst_period, src_period)
+            diags.append(Diagnostic(
+                rule="SCHED003",
+                severity=Severity.ERROR,
+                message=(f"gateway {gateway.name!r} relays state "
+                         f"{rule.src!r}->{rule.dst!r} with d_acc={d_acc} ns "
+                         f"but the {which} alone is {period} ns: relayed "
+                         f"state is stale before it can be delivered"),
+                location=loc,
+                hint="raise temporal_accuracy (d_acc) or shorten the period",
+            ))
+        elif worst > d_acc:
+            diags.append(Diagnostic(
+                rule="SCHED003",
+                severity=Severity.WARNING,
+                message=(f"gateway {gateway.name!r} relays state "
+                         f"{rule.src!r}->{rule.dst!r} with d_acc={d_acc} ns "
+                         f"but the worst-case relay latency is {worst} ns "
+                         f"(src period {src_period} + cluster cycle {cycle} "
+                         f"+ dst period {dst_period}); unlucky phasing "
+                         f"delivers stale state"),
+                location=loc,
+                hint="align the periods with the cluster cycle or raise d_acc",
+            ))
+    return diags

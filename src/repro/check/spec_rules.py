@@ -1,0 +1,225 @@
+"""SPEC0xx — cross-checks over link / port / VN specifications.
+
+The gateway redirects *convertible elements* between virtual networks
+whose specifications were written independently (Sec. IV-A: property
+mismatches at the DAS boundary).  These rules catch the mismatches that
+otherwise surface as :class:`~repro.errors.GatewayError` at start-up —
+or worse, as silently-wrong conversions at simulation time:
+
+========  ==========================================================
+SPEC001   convertible-element name incoherence across the two links
+          coupled by a gateway (no common vocabulary / case-only
+          near-misses)
+SPEC002   datatype or width mismatch between same-named convertible
+          elements, and transfer rules referencing unknown source
+          fields
+SPEC003   control-paradigm conflicts: port paradigm vs. VN paradigm,
+          automata sending on input ports (direction conflict),
+          timing blocks contradicting the declared paradigm
+SPEC004   state-semantics transfer without a temporal-accuracy bound
+          (``d_acc``) — staleness of relayed state is unbounded
+SPEC005   dangling references: automata naming messages that have no
+          port, gateway rules naming messages absent from the link
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from ..messaging import ElementDef, Semantics
+from ..spec.link_spec import LinkSpec
+from ..spec.port_spec import ControlParadigm, PortSpec
+from ..spec.vn_spec import VirtualNetworkSpec
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+__all__ = ["check_link", "check_vn", "check_coupling"]
+
+
+def _port_loc(link: LinkSpec, port: PortSpec, file: str) -> SourceLocation:
+    return SourceLocation(
+        path=f"linkspec[{link.das}]/port[{port.name}]", file=file
+    )
+
+
+def _check_port(link: LinkSpec, port: PortSpec, file: str) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    if port.semantics is Semantics.STATE and port.temporal_accuracy is None:
+        diags.append(Diagnostic(
+            rule="SPEC004",
+            severity=Severity.WARNING,
+            message=(f"state port {port.name!r} in link for DAS {link.das!r} "
+                     f"declares no temporal-accuracy bound (d_acc); the "
+                     f"staleness of relayed state is unbounded"),
+            location=_port_loc(link, port, file),
+            hint="set temporal_accuracy= on the PortSpec (dacc= in XML)",
+        ))
+    if port.control is ControlParadigm.TIME_TRIGGERED and port.et is not None:
+        diags.append(Diagnostic(
+            rule="SPEC003",
+            severity=Severity.WARNING,
+            message=(f"time-triggered port {port.name!r} carries an "
+                     f"event-triggered interarrival block, which is ignored"),
+            location=_port_loc(link, port, file),
+            hint="drop the ET timing or change the control paradigm",
+        ))
+    if port.control is ControlParadigm.EVENT_TRIGGERED and port.tt is not None:
+        diags.append(Diagnostic(
+            rule="SPEC003",
+            severity=Severity.WARNING,
+            message=(f"event-triggered port {port.name!r} carries a TT "
+                     f"period/phase block, which is ignored"),
+            location=_port_loc(link, port, file),
+            hint="drop the TT timing or change the control paradigm",
+        ))
+    return diags
+
+
+def _check_transfer(link: LinkSpec, file: str) -> list[Diagnostic]:
+    """Transfer rules must reference fields that some port can supply."""
+    diags: list[Diagnostic] = []
+    available: set[str] = set()
+    for p in link.ports:
+        for e in p.message_type.convertible_elements():
+            available.add(e.name.lower())
+            for f in e.fields:
+                available.add(f.name.lower())
+    for name in link.transfer.names():
+        loc = SourceLocation(
+            path=f"linkspec[{link.das}]/transfersemantics/element[{name}]",
+            file=file,
+        )
+        for ref in sorted(link.transfer.sources_for(name)):
+            if ref.lower() in available or ref == "t_now":
+                continue
+            diags.append(Diagnostic(
+                rule="SPEC002",
+                severity=Severity.WARNING if not link.ports else Severity.ERROR,
+                message=(f"transfer rule for derived element {name!r} in link "
+                         f"for DAS {link.das!r} references {ref!r}, which no "
+                         f"convertible element of this link supplies"),
+                location=loc,
+                hint="fix the field name or add the source element to a port",
+            ))
+    return diags
+
+
+def check_link(link: LinkSpec, file: str = "") -> list[Diagnostic]:
+    """Run all per-link SPEC0xx rules."""
+    diags: list[Diagnostic] = []
+    for port in link.ports:
+        diags.extend(_check_port(link, port, file))
+    diags.extend(_check_transfer(link, file))
+    for problem in link.validate_against_automata():
+        loc = SourceLocation(path=f"linkspec[{link.das}]", file=file)
+        if "unknown message" in problem:
+            diags.append(Diagnostic(
+                rule="SPEC005",
+                severity=Severity.ERROR,
+                message=f"link for DAS {link.das!r}: {problem}",
+                location=loc,
+                hint="declare a port for the message or fix the automaton label",
+            ))
+        else:  # receives on non-input / sends on non-output
+            diags.append(Diagnostic(
+                rule="SPEC003",
+                severity=Severity.ERROR,
+                message=f"link for DAS {link.das!r}: {problem}",
+                location=loc,
+                hint="flip the port direction or the automaton's !/? label",
+            ))
+    return diags
+
+
+def check_vn(vn: VirtualNetworkSpec, file: str = "") -> list[Diagnostic]:
+    """Run VN-level SPEC0xx rules (plus per-link rules on each link)."""
+    diags: list[Diagnostic] = []
+    for problem in vn.validate_control_paradigm():
+        diags.append(Diagnostic(
+            rule="SPEC003",
+            severity=Severity.ERROR,
+            message=f"VN spec for DAS {vn.das!r}: {problem}",
+            location=SourceLocation(path=f"vnspec[{vn.das}]", file=file),
+            hint="a virtual network runs one paradigm; move the port or the VN",
+        ))
+    for link in vn.links:
+        diags.extend(check_link(link, file))
+    return diags
+
+
+def _structure(e: ElementDef) -> tuple[tuple[str, str], ...]:
+    return tuple((f.name, type(f.ftype).__name__) for f in e.fields)
+
+
+def check_coupling(
+    link_a: LinkSpec,
+    link_b: LinkSpec,
+    gateway: str = "",
+    file: str = "",
+) -> list[Diagnostic]:
+    """SPEC001/SPEC002 across the two links coupled by one gateway."""
+    diags: list[Diagnostic] = []
+    label = gateway or f"{link_a.das}<->{link_b.das}"
+    loc = SourceLocation(path=f"gateway[{label}]", file=file)
+
+    def conv(link: LinkSpec) -> dict[str, ElementDef]:
+        out: dict[str, ElementDef] = {}
+        for p in link.ports:
+            for e in p.message_type.convertible_elements():
+                out.setdefault(e.name, e)
+        return out
+
+    conv_a, conv_b = conv(link_a), conv(link_b)
+    derived = set(link_a.transfer.names()) | set(link_b.transfer.names())
+    common = conv_a.keys() & conv_b.keys()
+    bridged = common | (derived & (conv_a.keys() | conv_b.keys())) \
+        | (set(link_a.transfer.names()) & set(link_b.transfer.names()))
+    if not bridged and (conv_a or conv_b):
+        diags.append(Diagnostic(
+            rule="SPEC001",
+            severity=Severity.ERROR,
+            message=(f"gateway {label!r} couples links with no common "
+                     f"convertible elements and no transfer-semantics bridge "
+                     f"(side a: {sorted(conv_a) or '[]'}, side b: "
+                     f"{sorted(conv_b) or '[]'}); nothing can be redirected"),
+            location=loc,
+            hint=("align the element names across the DASs or add a "
+                  "<transfersemantics> derived element"),
+        ))
+    # Case-only near-misses are almost always naming incoherence between
+    # independently-written DAS specifications (Sec. IV-A).
+    lower_a = {n.lower(): n for n in conv_a}
+    lower_b = {n.lower(): n for n in conv_b}
+    for low in lower_a.keys() & lower_b.keys():
+        na, nb = lower_a[low], lower_b[low]
+        if na != nb:
+            diags.append(Diagnostic(
+                rule="SPEC001",
+                severity=Severity.WARNING,
+                message=(f"gateway {label!r}: convertible elements {na!r} "
+                         f"(side a) and {nb!r} (side b) differ only in case "
+                         f"and will NOT be matched"),
+                location=loc,
+                hint="unify the spelling in both DAS specifications",
+            ))
+    for name in sorted(common):
+        ea, eb = conv_a[name], conv_b[name]
+        if ea.bit_width() != eb.bit_width():
+            diags.append(Diagnostic(
+                rule="SPEC002",
+                severity=Severity.ERROR,
+                message=(f"gateway {label!r}: convertible element {name!r} is "
+                         f"{ea.bit_width()} bits on side a but "
+                         f"{eb.bit_width()} bits on side b"),
+                location=loc,
+                hint="redirected elements must agree on width; fix the datatypes",
+            ))
+        elif _structure(ea) != _structure(eb):
+            diags.append(Diagnostic(
+                rule="SPEC002",
+                severity=Severity.WARNING,
+                message=(f"gateway {label!r}: convertible element {name!r} has "
+                         f"matching width but different field layout "
+                         f"({_structure(ea)} vs {_structure(eb)})"),
+                location=loc,
+                hint="field-by-field conversion may reinterpret values",
+            ))
+    return diags

@@ -122,6 +122,7 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .errors import PreflightError
     from .runner import SweepRunner, default_registry, filter_scenarios, sweep_table
 
     registry = default_registry(base_seed=args.base_seed)
@@ -141,8 +142,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return _sweep_bench_compare(args, specs)
 
     runner = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
-                         use_cache=not args.no_cache)
-    report = runner.run(specs)
+                         use_cache=not args.no_cache, strict=args.strict)
+    try:
+        report = runner.run(specs)
+    except PreflightError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         import json
 
@@ -384,6 +389,62 @@ def _cmd_obs_bench_overhead(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+# ----------------------------------------------------------------------
+# repro check — the pre-simulation static verifier
+# ----------------------------------------------------------------------
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the static analyzers (spec / automata / schedule families)
+    and the determinism lint without executing any scenario."""
+    from .check import (
+        RULES,
+        Baseline,
+        CheckReport,
+        builtin_targets,
+        gather_targets,
+        lint_paths,
+        render_json,
+        render_text,
+        scenario_targets,
+    )
+
+    if args.rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return 0
+
+    targets = []
+    if args.paths:
+        targets.extend(gather_targets(args.paths))
+    if args.scenarios is not None:
+        tokens = [t for expr in args.scenarios for t in expr.split(",") if t]
+        targets.extend(scenario_targets(tokens or None))
+    if not args.paths and args.scenarios is None and not args.self:
+        targets.extend(builtin_targets())
+        targets.extend(scenario_targets())
+
+    report = CheckReport()
+    for target in targets:
+        report.extend(target.diagnostics())
+        report.targets_checked += 1
+    if args.self:
+        report.extend(lint_paths())
+        report.targets_checked += 1
+
+    if args.update_baseline:
+        Baseline.load(args.update_baseline).record(report).save(args.update_baseline)
+        print(f"baseline updated: {args.update_baseline}")
+    elif args.baseline:
+        Baseline.load(args.baseline).apply(report)
+
+    render = render_json if args.format == "json" else render_text
+    print(render(report))
+    if not report.ok:
+        return 1
+    if args.strict and report.warnings():
+        return 1
+    return 0
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     from . import __version__
 
@@ -451,7 +512,33 @@ def main(argv: list[str] | None = None) -> int:
                               "record the sweep section of BENCH_substrate.json")
     p_sweep.add_argument("--bench-out", default="BENCH_substrate.json",
                          metavar="PATH", help="BENCH file for --bench-compare")
+    p_sweep.add_argument("--strict", action="store_true",
+                         help="pre-flight every scenario statically and "
+                              "refuse the sweep if any has errors")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_check = sub.add_parser(
+        "check", help="static verifier: specs, automata, schedules, lint")
+    p_check.add_argument("paths", nargs="*", metavar="PATH",
+                         help="XML specs, python sources, or directories "
+                              "(e.g. examples/)")
+    p_check.add_argument("--scenarios", action="append", nargs="?", const="",
+                         metavar="EXPR",
+                         help="check registered sweep scenarios (optionally "
+                              "filtered by tag/name; repeatable)")
+    p_check.add_argument("--self", action="store_true",
+                         help="run the determinism lint over the simulator core")
+    p_check.add_argument("--format", choices=("text", "json"), default="text")
+    p_check.add_argument("--rules", action="store_true",
+                         help="list every rule id with its description")
+    p_check.add_argument("--baseline", default=None, metavar="FILE",
+                         help="accepted-warning baseline: recorded warnings "
+                              "pass, new warnings still show")
+    p_check.add_argument("--update-baseline", default=None, metavar="FILE",
+                         help="record current non-error findings as accepted")
+    p_check.add_argument("--strict", action="store_true",
+                         help="exit nonzero on warnings too, not just errors")
+    p_check.set_defaults(func=_cmd_check)
 
     p_obs = sub.add_parser(
         "obs", help="observability: flow journeys, aggregation, comparison")

@@ -153,4 +153,6 @@ class ClusterBuilder:
                 self.sim, n.name, bus, schedule, clock=clock,
                 sync_k=self.sync_k, membership_threshold=self.membership_threshold,
             )
-        return Cluster(self.sim, bus, schedule, guardian, controllers)
+        cluster = Cluster(self.sim, bus, schedule, guardian, controllers)
+        self.sim.register_checkable(cluster)
+        return cluster

@@ -12,6 +12,7 @@ __all__ = [
     "SimulationError",
     "SchedulingError",
     "ConfigurationError",
+    "PreflightError",
     "SpecificationError",
     "CodecError",
     "NamingError",
@@ -40,6 +41,10 @@ class SchedulingError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when a system model is assembled inconsistently."""
+
+
+class PreflightError(ConfigurationError):
+    """Raised when the static pre-flight check rejects a configuration."""
 
 
 class SpecificationError(ReproError):

@@ -137,6 +137,7 @@ class VirtualGateway(Process):
         self._m_forwarded = m.counter("gateway.forwards")
         self._m_blocked = m.counter("gateway.blocks")
         self._m_restarts = m.counter("gateway.restarts")
+        sim.register_checkable(self)
 
     # ------------------------------------------------------------------
     # configuration

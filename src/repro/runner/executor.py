@@ -92,13 +92,35 @@ class SweepRunner:
         When True, a scenario whose (spec, code digest) key has a cached
         result is not re-run.  Fresh results are written to the cache
         either way, so ``use_cache=False`` acts as a forced refresh.
+    strict:
+        When True, every to-be-executed scenario is built once in this
+        process and run through the static pre-flight check
+        (:func:`repro.check.check_simulator`) *before* any worker
+        process spawns; a scenario with error-severity findings aborts
+        the whole sweep with :class:`~repro.errors.PreflightError`.
+        Cache hits skip pre-flight (their spec already ran clean).
     """
 
     def __init__(self, workers: int = 1, cache_dir: str = ".repro_cache",
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True, strict: bool = False) -> None:
         self.workers = max(1, int(workers))
         self.cache = ResultCache(cache_dir)
         self.use_cache = use_cache
+        self.strict = strict
+
+    def preflight(self, specs: list[ScenarioSpec]) -> None:
+        """Statically check ``specs``; raise on the first broken one."""
+        from ..check import check_scenario
+        from ..check.diagnostics import render_text
+        from ..errors import PreflightError
+
+        for spec in specs:
+            report = check_scenario(spec)
+            if not report.ok:
+                raise PreflightError(
+                    f"scenario {spec.name!r} failed pre-flight:\n"
+                    + render_text(report)
+                )
 
     def run(self, specs: list[ScenarioSpec]) -> dict:
         """Execute ``specs``; returns the aggregated sweep report.
@@ -128,6 +150,9 @@ class SweepRunner:
                 hits += 1
             else:
                 to_run.append(spec)
+
+        if self.strict:
+            self.preflight(to_run)
 
         for name, result in self._execute(to_run):
             result = dict(result, cached=False)

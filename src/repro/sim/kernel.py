@@ -23,7 +23,7 @@ Design notes
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
-from time import perf_counter_ns
+from time import perf_counter_ns  # det-ok: DET001 — profiler instrumentation only
 
 from ..errors import SimulationError
 from .events import EventPriority, EventQueue, ScheduledEvent
@@ -134,6 +134,9 @@ class Simulator:
         self.events_executed = 0
         self._profiling = False
         self._profile_cache: dict[str, Histogram] = {}
+        #: Artifacts registered for static pre-flight verification
+        #: (systems, clusters, VNs, link specs) — see :meth:`preflight`.
+        self.checkables: list[object] = []
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -193,6 +196,39 @@ class Simulator:
                             priority=priority, label=label)
 
     # ------------------------------------------------------------------
+    # static pre-flight verification
+    # ------------------------------------------------------------------
+    def register_checkable(self, obj: object) -> None:
+        """Register a model artifact for :meth:`preflight` analysis.
+
+        Builders call this as they assemble the model (SystemBuilder,
+        ClusterBuilder, VN constructors), so a fully built simulator
+        knows every statically-checkable artifact it hosts.
+        """
+        if all(existing is not obj for existing in self.checkables):
+            self.checkables.append(obj)
+
+    def preflight(self, strict: bool = True):
+        """Run the static analyzers over every registered artifact.
+
+        Returns the :class:`~repro.check.CheckReport`; with ``strict``
+        (the default) a report containing error-severity diagnostics
+        raises :class:`~repro.errors.PreflightError` instead of letting
+        a broken configuration burn simulation time.
+        """
+        from ..check.analyzer import check_simulator
+
+        report = check_simulator(self)
+        if strict and not report.ok:
+            from ..check.diagnostics import render_text
+            from ..errors import PreflightError
+
+            raise PreflightError(
+                "pre-flight check failed:\n" + render_text(report)
+            )
+        return report
+
+    # ------------------------------------------------------------------
     # profiling (off by default: wall-clock handler attribution)
     # ------------------------------------------------------------------
     @property
@@ -224,11 +260,13 @@ class Simulator:
         return h
 
     def _profiled_call(self, ev: ScheduledEvent) -> None:
-        t0 = perf_counter_ns()
+        t0 = perf_counter_ns()  # det-ok: DET001 — profiler instrumentation only
         try:
             ev.callback()
         finally:
-            self._profile_histogram(ev.label).observe(perf_counter_ns() - t0)
+            self._profile_histogram(ev.label).observe(
+                perf_counter_ns() - t0  # det-ok: DET001 — profiler only
+            )
 
     # ------------------------------------------------------------------
     # execution

@@ -219,10 +219,12 @@ class SystemBuilder:
         vns = self._build_vns(cluster)
         jobs = self._build_jobs(partitions, vns)
         gateways = self._build_gateways(vns, partitions)
-        return System(
+        system = System(
             sim=self.sim, cluster=cluster, components=components,
             partitions=partitions, vns=vns, jobs=jobs, gateways=gateways,
         )
+        self.sim.register_checkable(system)
+        return system
 
     # ------------------------------------------------------------------
     def _message_bytes(self, spec: PortSpec) -> int:

@@ -91,6 +91,7 @@ class VirtualNetworkBase:
         m = sim.metrics
         self._m_delivered = m.counter("vn.instances_delivered")
         self._m_chunk_drop = m.counter("vn.chunk_drops")
+        sim.register_checkable(self)
 
     # ------------------------------------------------------------------
     # attachment

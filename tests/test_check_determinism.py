@@ -1,0 +1,118 @@
+"""Determinism lint: every forbidden pattern fires, pragmas waive,
+and the shipped simulator core is clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import DEFAULT_LINT_PACKAGES, lint_paths, lint_source
+from repro.check.diagnostics import Severity
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+class TestForbiddenPatterns:
+    def test_det001_time_import(self):
+        src = "from time import perf_counter\n"
+        assert rules_of(lint_source(src, "x.py")) == {"DET001"}
+
+    def test_det001_time_attribute_call(self):
+        src = "import time\nt = time.monotonic()\n"
+        assert "DET001" in rules_of(lint_source(src, "x.py"))
+
+    def test_det001_datetime_now(self):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert "DET001" in rules_of(lint_source(src, "x.py"))
+
+    def test_det002_import_random(self):
+        assert rules_of(lint_source("import random\n", "x.py")) == {"DET002"}
+
+    def test_det002_from_random_import(self):
+        src = "from random import choice\n"
+        assert rules_of(lint_source(src, "x.py")) == {"DET002"}
+
+    def test_det002_relative_random_is_sanctioned(self):
+        # `from .random import RandomStreams` is the seeded in-repo module.
+        src = "from .random import RandomStreams\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_det003_iteration_over_set_literal(self):
+        src = "for x in {1, 2, 3}:\n    pass\n"
+        assert rules_of(lint_source(src, "x.py")) == {"DET003"}
+
+    def test_det003_iteration_over_set_call(self):
+        src = "for x in set(items):\n    pass\n"
+        assert "DET003" in rules_of(lint_source(src, "x.py"))
+
+    def test_det003_comprehension_over_set_union(self):
+        src = "out = [x for x in a_set | b_set if x]\n"
+        # a_set/b_set are plain names — undecidable, must NOT flag...
+        assert lint_source(src, "x.py") == []
+        # ...but an explicit set expression in the union must.
+        src2 = "out = [x for x in {1} | other]\n"
+        assert "DET003" in rules_of(lint_source(src2, "x.py"))
+
+    def test_det003_sorted_iteration_is_fine(self):
+        src = "for x in sorted({1, 2, 3}):\n    pass\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_det004_uuid_import(self):
+        assert "DET004" in rules_of(lint_source("import uuid\n", "x.py"))
+
+    def test_det004_os_environ(self):
+        src = "import os\nhome = os.environ['HOME']\n"
+        assert "DET004" in rules_of(lint_source(src, "x.py"))
+
+    def test_det004_listdir(self):
+        src = "from os import listdir\n"
+        assert "DET004" in rules_of(lint_source(src, "x.py"))
+
+    def test_all_findings_are_errors(self):
+        src = ("import random\nimport uuid\n"
+               "from time import time\nfor x in {1}:\n    pass\n")
+        diags = lint_source(src, "x.py")
+        assert len(diags) >= 4
+        assert all(d.severity is Severity.ERROR for d in diags)
+        assert all(d.location.line is not None for d in diags)
+
+
+class TestPragmas:
+    def test_bare_pragma_waives_all(self):
+        src = "from time import perf_counter  # det-ok\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_scoped_pragma_waives_named_rule(self):
+        src = "from time import perf_counter  # det-ok: DET001\n"
+        assert lint_source(src, "x.py") == []
+
+    def test_scoped_pragma_does_not_waive_other_rules(self):
+        src = "import random  # det-ok: DET001\n"
+        assert rules_of(lint_source(src, "x.py")) == {"DET002"}
+
+    def test_pragma_only_covers_its_line(self):
+        src = ("from time import perf_counter  # det-ok\n"
+               "import random\n")
+        assert rules_of(lint_source(src, "x.py")) == {"DET002"}
+
+
+class TestShippedCore:
+    def test_default_packages_are_lint_clean(self):
+        diags = lint_paths()
+        assert diags == [], "\n".join(
+            f"{d.location.file}:{d.location.line} {d.rule} {d.message}"
+            for d in diags)
+
+    def test_default_packages_cover_the_four_core_packages(self):
+        assert DEFAULT_LINT_PACKAGES == ("sim", "core_network", "gateway", "vn")
+
+    def test_cli_tool_matches_library(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        diags = lint_paths([str(bad)])
+        assert rules_of(diags) == {"DET002"}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,159 @@
+"""The pre-flight gate: Simulator.preflight, SweepRunner(strict=True),
+and the ``repro check`` CLI surface."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+import repro.runner.executor as executor_mod
+from repro.check import Baseline, check_scenario, preflight
+from repro.cli import main as cli_main
+from repro.errors import PreflightError
+from repro.runner.executor import SweepRunner
+from repro.runner.scenarios import build_scenario, default_registry
+
+
+def broken_pipeline_spec(name="gw-broken"):
+    """The gateway pipeline with a destination dispatch period (2 s) far
+    beyond the destination port's 500 ms d_acc -> SCHED003 error."""
+    spec = default_registry()["gw-pipeline-smoke"]
+    params = tuple(p for p in spec.params if p[0] != "dst_period_ns")
+    return replace(spec, name=name,
+                   params=params + (("dst_period_ns", 2_000_000_000),))
+
+
+class TestSimulatorPreflight:
+    def test_clean_scenario_passes(self):
+        sim = build_scenario(default_registry()["gw-pipeline-smoke"])
+        report = sim.preflight(strict=True)
+        assert report.ok
+        assert report.targets_checked > 0
+
+    def test_broken_scenario_raises(self):
+        sim = build_scenario(broken_pipeline_spec())
+        with pytest.raises(PreflightError, match="SCHED003"):
+            sim.preflight(strict=True)
+
+    def test_non_strict_returns_report(self):
+        sim = build_scenario(broken_pipeline_spec())
+        report = sim.preflight(strict=False)
+        assert not report.ok
+        assert any(d.rule == "SCHED003" for d in report.errors())
+
+    def test_module_level_preflight_matches(self):
+        sim = build_scenario(broken_pipeline_spec())
+        with pytest.raises(PreflightError):
+            preflight(sim, strict=True)
+
+    def test_builders_register_checkables(self):
+        sim = build_scenario(default_registry()["gw-pipeline-smoke"])
+        assert sim.checkables  # builders self-registered
+
+
+class TestSweepGate:
+    def test_strict_rejects_before_any_worker_spawns(self, tmp_path, monkeypatch):
+        spawned = []
+
+        class ExplodingPool:
+            def __init__(self, *a, **kw):
+                spawned.append(True)
+                raise AssertionError("worker pool must not spawn")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", ExplodingPool)
+        runner = SweepRunner(workers=4, cache_dir=str(tmp_path),
+                             use_cache=False, strict=True)
+        specs = [broken_pipeline_spec(f"gw-broken-{i}") for i in range(3)]
+        with pytest.raises(PreflightError, match="gw-broken-0"):
+            runner.run(specs)
+        assert spawned == []
+
+    def test_strict_passes_clean_specs_through(self, tmp_path):
+        spec = default_registry()["gw-pipeline-smoke"]
+        runner = SweepRunner(workers=1, cache_dir=str(tmp_path),
+                             use_cache=False, strict=True)
+        report = runner.run([spec])
+        assert report["errors"] == []
+
+    def test_default_is_not_strict(self, tmp_path):
+        runner = SweepRunner(workers=1, cache_dir=str(tmp_path))
+        assert runner.strict is False
+
+
+class TestCheckScenario:
+    def test_report_names_the_scenario(self):
+        report = check_scenario(broken_pipeline_spec("gw-named"))
+        assert any(d.target == "gw-named" for d in report.errors())
+
+    def test_all_registered_scenarios_are_clean(self):
+        for name, spec in default_registry().items():
+            report = check_scenario(spec)
+            assert report.ok, (name, [d.message for d in report.errors()])
+
+
+class TestCheckCli:
+    def test_examples_report_zero_errors(self, capsys):
+        assert cli_main(["check", "examples/"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_json_format(self, capsys):
+        assert cli_main(["check", "examples/", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert payload["targets_checked"] == 2  # fig6 verbatim + canonical
+
+    def test_rules_listing(self, capsys):
+        assert cli_main(["check", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("SPEC001", "AUTO001", "SCHED003", "DET004"):
+            assert rule in out
+
+    def test_self_lint_is_clean(self, capsys):
+        assert cli_main(["check", "--self"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_scenario_filter(self, capsys):
+        assert cli_main(["check", "--scenarios", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        base = tmp_path / "baseline.json"
+        # Record current warnings (fig6 INFO findings) as accepted.
+        assert cli_main(["check", "examples/",
+                        "--update-baseline", str(base)]) == 0
+        capsys.readouterr()
+        # With the baseline applied, the same findings move to accepted.
+        assert cli_main(["check", "examples/", "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "accepted (baseline)" in out
+
+    def test_baseline_never_accepts_errors(self):
+        from repro.check.diagnostics import (
+            CheckReport,
+            Diagnostic,
+            Severity,
+        )
+
+        d = Diagnostic(rule="SCHED001", severity=Severity.ERROR, message="x")
+        b = Baseline(accepted={d.fingerprint()})
+        report = b.apply(CheckReport(diagnostics=[d]))
+        assert report.errors() == [d]
+        assert report.accepted == []
+
+    def test_sweep_strict_flag_blocks(self, tmp_path, capsys, monkeypatch):
+        # CLI sweep --strict uses the same gate; shipped registry is
+        # clean, so just verify the flag is accepted and succeeds on
+        # the cheapest smoke scenario.
+        monkeypatch.chdir(tmp_path)
+        rc = cli_main(["sweep", "--strict", "--filter", "tdma-smoke",
+                       "--workers", "1"])
+        assert rc == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,348 @@
+"""Golden-diagnostic tests: each analyzer rule id has a fixture that
+triggers it and a clean fixture that does not."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import AutomatonBuilder
+from repro.check import check_link_spec
+from repro.check.automata_rules import check_automaton
+from repro.check.diagnostics import Severity
+from repro.check.schedule_rules import check_slots
+from repro.check.spec_rules import check_coupling, check_link
+from repro.core_network.schedule import Slot
+from repro.messaging import ElementDef, FieldDef, MessageType, Semantics
+from repro.messaging.datatypes import IntType, UIntType
+from repro.sim import MS
+from repro.spec import (
+    ControlParadigm,
+    Direction,
+    InteractionType,
+    LinkSpec,
+    PortSpec,
+    TTTiming,
+    parse_link_spec,
+)
+
+
+def rules_of(diags, severity=None):
+    return {
+        d.rule
+        for d in diags
+        if severity is None or d.severity is severity
+    }
+
+
+def mtype(name="msgDemo", width=32, element="Position", fname="value"):
+    return MessageType(name, elements=(
+        ElementDef(element, fields=(FieldDef(fname, UIntType(width)),),
+                   convertible=True, semantics=Semantics.STATE),
+    ))
+
+
+def state_port(mt, direction=Direction.INPUT, d_acc=100 * MS, period=10 * MS):
+    return PortSpec(message_type=mt, direction=direction,
+                    semantics=Semantics.STATE,
+                    control=ControlParadigm.TIME_TRIGGERED,
+                    tt=TTTiming(period=period), temporal_accuracy=d_acc)
+
+
+# ----------------------------------------------------------------------
+# SPEC0xx
+# ----------------------------------------------------------------------
+class TestSpecRules:
+    def test_spec001_no_common_vocabulary(self):
+        a = LinkSpec(das="a", ports=(state_port(mtype(element="Position")),))
+        b = LinkSpec(das="b", ports=(state_port(
+            mtype(name="msgOther", element="Velocity"),
+            direction=Direction.OUTPUT),))
+        diags = check_coupling(a, b, gateway="gw")
+        assert "SPEC001" in rules_of(diags, Severity.ERROR)
+
+    def test_spec001_case_only_near_miss(self):
+        a = LinkSpec(das="a", ports=(state_port(mtype(element="position")),))
+        b = LinkSpec(das="b", ports=(state_port(
+            mtype(name="msgOther", element="Position"),
+            direction=Direction.OUTPUT),))
+        warn = [d for d in check_coupling(a, b) if d.rule == "SPEC001"
+                and d.severity is Severity.WARNING]
+        assert warn and "differ only in case" in warn[0].message
+
+    def test_spec002_width_mismatch(self):
+        a = LinkSpec(das="a", ports=(state_port(mtype(width=32)),))
+        b = LinkSpec(das="b", ports=(state_port(
+            mtype(name="msgOther", width=16), direction=Direction.OUTPUT),))
+        diags = check_coupling(a, b)
+        assert "SPEC002" in rules_of(diags, Severity.ERROR)
+
+    def test_spec002_same_width_different_layout(self):
+        layout_b = MessageType("msgOther", elements=(
+            ElementDef("Position", fields=(FieldDef("value", IntType(32)),),
+                       convertible=True, semantics=Semantics.STATE),
+        ))
+        a = LinkSpec(das="a", ports=(state_port(mtype(width=32)),))
+        b = LinkSpec(das="b", ports=(state_port(
+            layout_b, direction=Direction.OUTPUT),))
+        diags = check_coupling(a, b)
+        assert "SPEC002" in rules_of(diags, Severity.WARNING)
+
+    def test_spec003_paradigm_timing_conflict(self):
+        port = PortSpec(message_type=mtype(), direction=Direction.INPUT,
+                        semantics=Semantics.STATE,
+                        control=ControlParadigm.EVENT_TRIGGERED,
+                        interaction=InteractionType.PULL,
+                        tt=TTTiming(period=10 * MS),
+                        temporal_accuracy=100 * MS)
+        diags = check_link(LinkSpec(das="a", ports=(port,)))
+        assert "SPEC003" in rules_of(diags)
+
+    def test_spec004_state_port_without_d_acc(self):
+        link = LinkSpec(das="a", ports=(state_port(mtype(), d_acc=None),))
+        diags = check_link(link)
+        assert "SPEC004" in rules_of(diags, Severity.WARNING)
+
+    def test_spec005_automaton_message_without_port(self):
+        auto = (AutomatonBuilder("mon")
+                .location("idle", initial=True)
+                .location("busy")
+                .on_receive("msgGhost", "idle", "busy")
+                .build())
+        link = LinkSpec(das="a", ports=(state_port(mtype()),),
+                        automata=(auto,))
+        diags = check_link(link)
+        assert "SPEC005" in rules_of(diags, Severity.ERROR)
+
+    def test_clean_link_has_no_spec_findings(self):
+        link = LinkSpec(das="a", ports=(state_port(mtype()),))
+        assert check_link(link) == []
+
+    def test_clean_coupling_has_no_findings(self):
+        a = LinkSpec(das="a", ports=(state_port(mtype()),))
+        b = LinkSpec(das="b", ports=(state_port(
+            mtype(name="msgOther"), direction=Direction.OUTPUT),))
+        assert check_coupling(a, b) == []
+
+
+# ----------------------------------------------------------------------
+# AUTO0xx
+# ----------------------------------------------------------------------
+class TestAutomataRules:
+    def test_auto001_overlapping_receive_guards(self):
+        auto = (AutomatonBuilder("mon")
+                .parameter("tmin", 2 * MS)
+                .location("idle", initial=True)
+                .location("active")
+                .location("err", error=True)
+                .on_receive("m", "idle", "active", guard="x >= tmin")
+                .on_receive("m", "idle", "err", guard="x >= 0")
+                .build())
+        errs = [d for d in check_automaton(auto) if d.rule == "AUTO001"]
+        assert errs and errs[0].severity is Severity.ERROR
+        assert "location[idle]" in errs[0].location.path
+
+    def test_auto001_disjoint_guards_are_clean(self):
+        auto = (AutomatonBuilder("mon")
+                .parameter("tmin", 2 * MS)
+                .location("idle", initial=True)
+                .location("active")
+                .location("err", error=True)
+                .on_receive("m", "idle", "active", guard="x >= tmin")
+                .on_receive("m", "idle", "err", guard="x < tmin")
+                .build())
+        assert not [d for d in check_automaton(auto) if d.rule == "AUTO001"]
+
+    def test_auto001_undecidable_guard_degrades_to_warning(self):
+        auto = (AutomatonBuilder("mon")
+                .location("idle", initial=True)
+                .location("a")
+                .location("b")
+                .on_receive("m", "idle", "a", guard="horizon(m) > 0")
+                .on_receive("m", "idle", "b", guard="horizon(m) <= 0")
+                .build())
+        hits = [d for d in check_automaton(auto) if d.rule == "AUTO001"]
+        assert hits and all(d.severity is Severity.WARNING for d in hits)
+
+    def test_auto002_unreachable_location(self):
+        auto = (AutomatonBuilder("mon")
+                .location("idle", initial=True)
+                .location("island")
+                .on_receive("m", "island", "idle")
+                .build())
+        hits = [d for d in check_automaton(auto) if d.rule == "AUTO002"]
+        assert hits and "island" in hits[0].message
+
+    def test_auto003_unsatisfiable_guard(self):
+        auto = (AutomatonBuilder("mon")
+                .parameter("tmax", 5 * MS)
+                .location("idle", initial=True)
+                .location("late")
+                .on_receive("m", "idle", "late", guard="x > tmax, x < tmax")
+                .build())
+        hits = [d for d in check_automaton(auto)
+                if d.rule == "AUTO003" and d.severity is Severity.ERROR]
+        assert hits and "unsatisfiable" in hits[0].message
+
+    def test_auto003_negative_clock_bound(self):
+        auto = (AutomatonBuilder("mon")
+                .location("idle", initial=True)
+                .location("never")
+                .on_receive("m", "idle", "never", guard="x < -1")
+                .build())
+        hits = [d for d in check_automaton(auto)
+                if d.rule == "AUTO003" and d.severity is Severity.ERROR]
+        assert hits  # clocks never go negative
+
+    def test_auto004_unreachable_error_location(self):
+        auto = (AutomatonBuilder("mon")
+                .location("idle", initial=True)
+                .location("err", error=True)
+                .transition("idle", "idle", guard="x >= 1", assign="x := 0")
+                .build())
+        hits = [d for d in check_automaton(auto) if d.rule == "AUTO004"]
+        assert hits and "never signal" in hits[0].message
+
+    def test_auto004_wedging_location(self):
+        auto = (AutomatonBuilder("mon")
+                .location("idle", initial=True)
+                .location("stuck")
+                .on_receive("m", "idle", "stuck")
+                .build())
+        hits = [d for d in check_automaton(auto) if d.rule == "AUTO004"]
+        assert hits and "wedges" in hits[0].message
+
+    def test_fig6_canonical_is_clean(self):
+        from repro.spec.fig6 import FIG6_CANONICAL
+
+        link = parse_link_spec(FIG6_CANONICAL)
+        diags = [d for d in check_link_spec(link)
+                 if d.severity is not Severity.INFO and d.rule != "SPEC004"]
+        assert diags == []
+
+    def test_fig6_verbatim_flags_stale_horizon_states(self):
+        from repro.spec.fig6 import FIG6_TMAX, FIG6_TMIN, FIG6_VERBATIM
+
+        link = parse_link_spec(
+            FIG6_VERBATIM, parameters={"tmin": FIG6_TMIN, "tmax": FIG6_TMAX})
+        diags = check_link_spec(link)
+        assert "AUTO001" in rules_of(diags)
+
+
+# ----------------------------------------------------------------------
+# SCHED0xx
+# ----------------------------------------------------------------------
+class TestScheduleRules:
+    def test_sched001_overlapping_slots(self):
+        slots = [
+            Slot(0, "n0", offset=0, duration=100_000, capacity_bytes=64),
+            Slot(1, "n1", offset=50_000, duration=100_000, capacity_bytes=64),
+        ]
+        diags = check_slots(slots, cycle_length=1_000_000)
+        hits = [d for d in diags if d.rule == "SCHED001"]
+        assert hits and hits[0].severity is Severity.ERROR
+        assert "overlaps" in hits[0].message
+
+    def test_sched001_duplicate_slot_id(self):
+        slots = [
+            Slot(0, "n0", offset=0, duration=100_000, capacity_bytes=64),
+            Slot(0, "n1", offset=200_000, duration=100_000, capacity_bytes=64),
+        ]
+        diags = check_slots(slots, cycle_length=1_000_000)
+        assert any(d.rule == "SCHED001" and "duplicate" in d.message
+                   for d in diags)
+
+    def test_sched001_cycle_overrun(self):
+        slots = [Slot(0, "n0", offset=900_000, duration=200_000,
+                      capacity_bytes=64)]
+        diags = check_slots(slots, cycle_length=1_000_000)
+        assert any(d.rule == "SCHED001" and "beyond the cycle" in d.message
+                   for d in diags)
+
+    def test_sched002_reservation_oversubscription(self):
+        slots = [Slot(0, "n0", offset=0, duration=100_000, capacity_bytes=64,
+                      reservations={"a": 48, "b": 48})]
+        diags = check_slots(slots, cycle_length=1_000_000)
+        hits = [d for d in diags if d.rule == "SCHED002"]
+        assert hits and hits[0].severity is Severity.ERROR
+
+    def test_clean_schedule_has_no_findings(self):
+        slots = [
+            Slot(0, "n0", offset=0, duration=100_000, capacity_bytes=64,
+                 reservations={"a": 32}),
+            Slot(1, "n1", offset=200_000, duration=100_000, capacity_bytes=64),
+        ]
+        assert check_slots(slots, cycle_length=1_000_000) == []
+
+    def test_sched003_relay_latency_exceeds_d_acc(self):
+        # The gateway-pipeline scenario with a destination dispatch
+        # period far beyond the 500 ms d_acc of the destination port.
+        from repro.check import check_scenario
+        from repro.runner.scenarios import default_registry
+
+        from dataclasses import replace
+
+        spec = default_registry()["gw-pipeline-smoke"]
+        params = tuple(p for p in spec.params if p[0] != "dst_period_ns")
+        broken = replace(spec, name="gw-broken",
+                         params=params + (("dst_period_ns", 2_000_000_000),))
+        report = check_scenario(broken)
+        errors = [d for d in report.errors() if d.rule == "SCHED003"]
+        assert errors and "stale before it can be delivered" in errors[0].message
+
+    def test_sched003_clean_on_shipped_pipeline(self):
+        from repro.check import check_scenario
+        from repro.runner.scenarios import default_registry
+
+        report = check_scenario(default_registry()["gw-pipeline-smoke"])
+        assert report.by_rule("SCHED003") == []
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# the seeded-fault fixtures named in the acceptance criteria
+# ----------------------------------------------------------------------
+class TestSeededFaults:
+    def test_name_incoherence_fixture(self):
+        a = LinkSpec(das="sensors", ports=(state_port(
+            mtype(name="msgS", element="WheelSpeed")),))
+        b = LinkSpec(das="nav", ports=(state_port(
+            mtype(name="msgN", element="Odometry"),
+            direction=Direction.OUTPUT),))
+        diags = check_coupling(a, b, gateway="gw-x")
+        assert "SPEC001" in rules_of(diags, Severity.ERROR)
+
+    def test_overlapping_guard_fixture(self):
+        auto = (AutomatonBuilder("mon")
+                .parameter("tmin", 1 * MS)
+                .location("s0", initial=True)
+                .location("s1")
+                .on_send("m", "s0", "s1", guard="x >= tmin")
+                .on_send("m", "s0", "s0", guard="x >= 0")
+                .build())
+        assert "AUTO001" in rules_of(check_automaton(auto), Severity.ERROR)
+
+    def test_slot_conflict_fixture(self):
+        slots = [
+            Slot(0, "ecu-a", offset=0, duration=300_000, capacity_bytes=32),
+            Slot(1, "ecu-b", offset=100_000, duration=300_000,
+                 capacity_bytes=32),
+        ]
+        assert "SCHED001" in rules_of(
+            check_slots(slots, cycle_length=2_000_000), Severity.ERROR)
+
+    def test_stale_horizon_state_fixture(self):
+        # A state automaton location that can only be entered after the
+        # value expired: guard lower bound above any satisfiable clock
+        # value given the conjunction.
+        auto = (AutomatonBuilder("mon")
+                .parameter("dacc", 5 * MS)
+                .location("fresh", initial=True)
+                .location("served")
+                .on_send("m", "fresh", "served",
+                         guard="x >= dacc, x < dacc")
+                .build())
+        assert "AUTO003" in rules_of(check_automaton(auto), Severity.ERROR)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

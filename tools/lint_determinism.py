@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Determinism lint for the simulator core (standalone entry point).
+
+Scans ``repro.sim``, ``repro.core_network``, ``repro.gateway``, and
+``repro.vn`` (or explicit paths) for sources of nondeterminism that
+would break the bit-identical replay guarantee: wall-clock reads
+(DET001), the stdlib ``random`` module (DET002), iteration over set
+expressions (DET003), and environment-dependent values such as uuid /
+os.environ / directory listings (DET004).
+
+Sanctioned call sites are waived with a ``# det-ok`` or
+``# det-ok: DET001`` pragma on the offending line.
+
+Usage::
+
+    python tools/lint_determinism.py [--format json] [paths...]
+
+Exit status is 1 when any finding survives the pragmas.  The same
+analysis is reachable as ``repro check --self``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.check import CheckReport, lint_paths, render_json, render_text  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the four core packages)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+
+    diags = lint_paths(args.paths or None)
+    report = CheckReport(diagnostics=diags, targets_checked=1)
+    render = render_json if args.format == "json" else render_text
+    print(render(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
