@@ -389,3 +389,69 @@ def test_perf_gateway_trace_modes(run_once):
     assert gp["trace_ops"] > 10_000
     # Counters-only skips record construction entirely: >= 25% faster.
     assert gp["replay_counters_s"] <= 0.75 * gp["replay_full_s"], gp
+
+
+# ----------------------------------------------------------------------
+# round-template steady-state fast-forward
+# ----------------------------------------------------------------------
+def test_perf_round_template_fast_forward(run_once):
+    """Compiled-round replay vs exact event-by-event execution.
+
+    The two pure-TT sweep scenarios run twice each: once with the
+    round-template engine (the sweep default) and once with
+    ``round_template: False`` (the ``--no-round-template`` escape
+    hatch).  Both sides produce byte-identical trace digests — that is
+    asserted here, and proven scenario-by-scenario in
+    ``tests/test_round_template.py`` — so the speedup is pure
+    fast-forward, not behavioural drift.  Each pure-TT scenario must be
+    at least 3x faster; numbers land in the ``round_template`` section
+    of ``BENCH_substrate.json``.
+    """
+    from repro.runner.executor import run_scenario
+    from repro.runner.scenarios import build_scenario, default_registry
+
+    SCENARIOS = ("tdma-cluster", "tt-vn-pipeline")
+    REPS = 3
+    registry = default_registry()
+
+    def best_of(spec) -> tuple[float, dict]:
+        best = float("inf")
+        result: dict = {}
+        for _ in range(REPS):
+            t0 = time.perf_counter()
+            result = run_scenario(spec)
+            best = min(best, time.perf_counter() - t0)
+        assert "error" not in result, result
+        return best, result
+
+    def run() -> dict:
+        section: dict = {}
+        for name in SCENARIOS:
+            spec = registry[name]
+            fast_s, fast = best_of(spec)
+            slow_s, slow = best_of(spec.with_param("round_template", False))
+            assert fast["digest"] == slow["digest"], name
+            sim = build_scenario(spec)
+            sim.run_until(spec.horizon_ns)
+            sim.trace.close()
+            stats = sim.round_template.stats()
+            assert stats["rounds_replayed"] > 0, name
+            section[name.replace("-", "_")] = {
+                "fast_forward_s": round(fast_s, 6),
+                "event_by_event_s": round(slow_s, 6),
+                "speedup": round(slow_s / fast_s, 3),
+                "rounds_replayed": stats["rounds_replayed"],
+                "round_length_ns": stats["round_length_ns"],
+                "digests_identical": True,
+            }
+        section["provenance"] = provenance(
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            iterations=REPS)
+        return section
+
+    rt = run_once(run)
+    out = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    update_bench_json(out, "round_template", rt)
+    for name in SCENARIOS:
+        entry = rt[name.replace("-", "_")]
+        assert entry["speedup"] >= 3.0, (name, entry)

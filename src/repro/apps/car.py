@@ -102,6 +102,10 @@ class CarConfig:
     #: observe per-event-label callback durations into profile.*
     #: histograms.  Off by default (wall time is nondeterministic).
     profile: bool = False
+    #: Round-template fast-forward (repro.sim.round_template).  On by
+    #: default; the car's ET VNs and gateways are permanent interleaving
+    #: sources, so the engine stays disengaged but records its reason.
+    round_template: bool = True
     #: Optional value-domain filter chain on the abs->navigation
     #: gateway (e.g. plausibility bounds on imported wheel speeds).
     nav_import_filters: object = None  # FilterChain | None
@@ -187,6 +191,8 @@ def build_car(config: CarConfig | None = None) -> CarSystem:
         sim.flows.enable()
     if cfg.profile:
         sim.enable_profiling()
+    if cfg.round_template:
+        sim.round_template.activate()
     builder = SystemBuilder(sim=sim, major_frame=cfg.major_frame,
                             guardian_enabled=cfg.guardian_enabled)
     for node in ("front-ecu", "center-ecu", "body-ecu", "nav-ecu"):

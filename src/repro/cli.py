@@ -14,6 +14,7 @@ without writing any code:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .sim import MS, SEC
@@ -29,7 +30,8 @@ def _cmd_car(args: argparse.Namespace) -> int:
     car = build_car(CarConfig(seed=args.seed, trace_mode=args.trace_mode,
                               trace_stream=args.trace_file,
                               flow_tracing=args.flow_tracing,
-                              profile=args.profile))
+                              profile=args.profile,
+                              round_template=args.round_template))
     horizon = int(args.seconds * SEC)
     # The trace is a context manager: stream / flight-recorder sinks are
     # flushed and closed on every exit path, exceptions included.
@@ -137,6 +139,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not specs:
         print(f"error: no scenarios match filter {tokens!r}", file=sys.stderr)
         return 2
+    if not args.round_template:
+        specs = [spec.with_param("round_template", False) for spec in specs]
 
     if args.bench_compare:
         return _sweep_bench_compare(args, specs)
@@ -162,48 +166,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _sweep_bench_compare(args: argparse.Namespace, specs) -> int:
     """Serial-cold vs parallel-cold vs warm-cache comparison, recorded
-    as the ``sweep`` section of BENCH_substrate.json."""
+    as the ``sweep`` section of BENCH_substrate.json.
+
+    On a single-core host a "parallel" pool can only time-slice one CPU,
+    so the parallel comparison would be noise presented as signal — it
+    is skipped and the section says so, instead of recording a
+    sub-1.0x "speedup" with a straight face.
+    """
     import json
     from datetime import datetime, timezone
 
     from .runner import SweepRunner, provenance, update_bench_json
 
+    cpu_count = os.cpu_count() or 1
     names = [s.name for s in specs]
     print(f"bench-compare over {len(specs)} scenarios: {', '.join(names)}")
     serial = SweepRunner(workers=1, cache_dir=args.cache_dir,
                          use_cache=False).run(specs)
     print(f"  serial cold   ({serial['workers']} worker):  {serial['wall_s']:.2f}s")
-    parallel = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
-                           use_cache=False).run(specs)
-    print(f"  parallel cold ({parallel['workers']} workers): {parallel['wall_s']:.2f}s")
+    compare_parallel = cpu_count > 1 and args.workers > 1
+    if compare_parallel:
+        parallel = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
+                               use_cache=False).run(specs)
+        print(f"  parallel cold ({parallel['workers']} workers): "
+              f"{parallel['wall_s']:.2f}s")
+    else:
+        parallel = None
+        print(f"  parallel cold: skipped (cpu_count={cpu_count}, "
+              f"workers={args.workers} — no real parallelism to measure)")
     warm = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
                        use_cache=True).run(specs)
     print(f"  warm cache    ({warm['workers']} workers): {warm['wall_s']:.2f}s "
           f"({warm['cache_hits']} hits)")
 
-    digests = [
-        [r.get("digest") for r in report["scenarios"]]
-        for report in (serial, parallel, warm)
-    ]
-    identical = digests[0] == digests[1] == digests[2]
-    errors = serial["errors"] or parallel["errors"] or warm["errors"]
+    reports = [serial, warm] if parallel is None else [serial, parallel, warm]
+    digests = [[r.get("digest") for r in report["scenarios"]]
+               for report in reports]
+    identical = all(d == digests[0] for d in digests)
+    errors = any(report["errors"] for report in reports)
+    cold_s = serial["wall_s"] if parallel is None else parallel["wall_s"]
     section = {
         "scenarios": names,
+        "cpu_count": cpu_count,
         "serial_s": serial["wall_s"],
-        "parallel_s": parallel["wall_s"],
-        "parallel_workers": parallel["workers"],
-        "parallel_speedup": round(serial["wall_s"] / parallel["wall_s"], 3),
+        "parallel_s": None if parallel is None else parallel["wall_s"],
+        "parallel_workers": None if parallel is None else parallel["workers"],
+        "parallel_speedup": None if parallel is None else round(
+            serial["wall_s"] / parallel["wall_s"], 3),
+        "parallel_skipped": parallel is None,
         "warm_s": warm["wall_s"],
-        "warm_speedup_vs_cold": round(parallel["wall_s"] / warm["wall_s"], 3),
+        "warm_speedup_vs_cold": round(cold_s / warm["wall_s"], 3),
         "warm_cache_hits": warm["cache_hits"],
         "digests_identical": identical,
         "provenance": provenance(
             timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds")),
     }
     update_bench_json(args.bench_out, "sweep", section)
-    print(f"  parallel speedup {section['parallel_speedup']}x, "
-          f"warm speedup {section['warm_speedup_vs_cold']}x, "
-          f"digests identical: {identical}")
+    if parallel is None:
+        print(f"  warm speedup {section['warm_speedup_vs_cold']}x vs serial "
+              f"cold, digests identical: {identical}")
+    else:
+        print(f"  parallel speedup {section['parallel_speedup']}x, "
+              f"warm speedup {section['warm_speedup_vs_cold']}x, "
+              f"digests identical: {identical}")
     print(f"  wrote sweep section to {args.bench_out}")
     if args.json:
         print(json.dumps(section, indent=2, sort_keys=True))
@@ -445,6 +470,33 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or empty the sweep result cache."""
+    import json
+
+    from .runner.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir, max_bytes=args.max_bytes)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {args.cache_dir}")
+        return 0
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"cache {stats['root']}: {stats['entries']} entries, "
+          f"{stats['total_bytes']:,} bytes "
+          f"(cap {stats['max_bytes']:,} bytes)")
+    for name, count in stats["scenarios"].items():
+        print(f"  {name:28s} {count} entr{'y' if count == 1 else 'ies'}")
+    if stats["oldest"]:
+        print(f"  oldest: {stats['oldest']}")
+        print(f"  newest: {stats['newest']}")
+    return 0
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
     from . import __version__
 
@@ -478,6 +530,10 @@ def main(argv: list[str] | None = None) -> int:
     p_car.add_argument("--profile", action="store_true",
                        help="profile wall-clock handler time into profile.* "
                             "histograms (nondeterministic; never digested)")
+    p_car.add_argument("--no-round-template", dest="round_template",
+                       action="store_false",
+                       help="disable round-template fast-forward (exact "
+                            "event-by-event execution)")
     p_car.set_defaults(func=_cmd_car)
 
     p_roof = sub.add_parser("roof", help="Fig. 6 sliding-roof XML demo")
@@ -492,8 +548,10 @@ def main(argv: list[str] | None = None) -> int:
 
     p_sweep = sub.add_parser(
         "sweep", help="run the scenario registry (parallel, cached)")
-    p_sweep.add_argument("--workers", type=int, default=4,
-                         help="process-pool size; 1 = serial (default: 4)")
+    p_sweep.add_argument("--workers", type=int,
+                         default=max(1, os.cpu_count() or 1),
+                         help="process-pool size; 1 = serial "
+                              "(default: the host's cpu count)")
     p_sweep.add_argument("--filter", action="append", metavar="EXPR",
                          help="select scenarios by tag or name glob "
                               "(comma-separated, repeatable, OR-ed)")
@@ -515,6 +573,10 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--strict", action="store_true",
                          help="pre-flight every scenario statically and "
                               "refuse the sweep if any has errors")
+    p_sweep.add_argument("--no-round-template", dest="round_template",
+                         action="store_false",
+                         help="run every scenario without round-template "
+                              "fast-forward (exact event-by-event execution)")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_check = sub.add_parser(
@@ -588,6 +650,26 @@ def main(argv: list[str] | None = None) -> int:
                          metavar="PATH")
     p_bench.add_argument("--json", action="store_true")
     p_bench.set_defaults(func=_cmd_obs_bench_overhead)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or empty the sweep result cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    from .runner.cache import DEFAULT_CACHE_MAX_BYTES
+
+    p_cstats = cache_sub.add_parser("stats", help="cache size and contents")
+    p_cstats.add_argument("--cache-dir", default=".repro_cache", metavar="PATH")
+    p_cstats.add_argument("--max-bytes", type=int,
+                          default=DEFAULT_CACHE_MAX_BYTES,
+                          help="size cap shown in the report")
+    p_cstats.add_argument("--json", action="store_true")
+    p_cstats.set_defaults(func=_cmd_cache)
+
+    p_cclear = cache_sub.add_parser("clear", help="delete every cache entry")
+    p_cclear.add_argument("--cache-dir", default=".repro_cache", metavar="PATH")
+    p_cclear.add_argument("--max-bytes", type=int,
+                          default=DEFAULT_CACHE_MAX_BYTES)
+    p_cclear.add_argument("--json", action="store_true")
+    p_cclear.set_defaults(func=_cmd_cache)
 
     p_ver = sub.add_parser("version", help="print the package version")
     p_ver.set_defaults(func=_cmd_version)

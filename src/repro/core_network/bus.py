@@ -67,6 +67,7 @@ class PhysicalBus:
         self._m_collisions = m.counter("bus.collisions")
         self._m_bytes = m.counter("bus.bytes_tx")
         self._m_frame_bytes = m.histogram("bus.frame_bytes")
+        self._deliver_label = f"{name}.deliver"
 
     # ------------------------------------------------------------------
     def attach(self, listener: BusListener) -> None:
@@ -159,7 +160,7 @@ class PhysicalBus:
             arrival,
             lambda f=frame, t=arrival: self._deliver(f, t),
             priority=EventPriority.NETWORK,
-            label=f"{self.name}.deliver",
+            label=self._deliver_label,
         )
         return True
 
@@ -173,6 +174,38 @@ class PhysicalBus:
                            corrupted=frame.corrupted)
         for listener in self._listeners:
             listener.on_frame(frame, arrival)
+
+    # ------------------------------------------------------------------
+    # round-template participant protocol (see repro.sim.round_template)
+    # ------------------------------------------------------------------
+    # ``bus.deliver`` events are deliberately NOT registered as template
+    # labels: their closures capture absolute arrival instants, so a
+    # delivery pending across a round boundary blocks fast-forward for
+    # that window (in a correct TDMA round every delivery completes
+    # inside the round).  ``_busy_until`` and ``_in_flight`` may go
+    # stale across a replay, which is harmless: ``busy`` only compares
+    # against ``now`` (always past the stale horizon after a skip) and
+    # stale in-flight entries are pruned by the ``e > now`` filter on
+    # the next transmit.
+
+    _RT_LINEAR = frozenset({"frames_sent", "frames_blocked", "collisions"})
+
+    def rt_state(self) -> dict[str, int]:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_blocked": self.frames_blocked,
+            "collisions": self.collisions,
+            "in_flight": len(self._in_flight),
+        }
+
+    def rt_check(self, delta: dict[str, int]) -> bool:
+        linear = self._RT_LINEAR
+        return all(d == 0 or key in linear for key, d in delta.items())
+
+    def rt_advance(self, delta: dict[str, int], k: int) -> None:
+        self.frames_sent += delta["frames_sent"] * k
+        self.frames_blocked += delta["frames_blocked"] * k
+        self.collisions += delta["collisions"] * k
 
     @property
     def busy(self) -> bool:

@@ -155,4 +155,5 @@ class ClusterBuilder:
             )
         cluster = Cluster(self.sim, bus, schedule, guardian, controllers)
         self.sim.register_checkable(cluster)
+        self.sim.round_template.register_cluster(cluster)
         return cluster

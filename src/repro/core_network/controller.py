@@ -74,6 +74,19 @@ class CommunicationController(Process):
             (slot, slot.offset) for slot in schedule.slots_of(component)
         )
         self._cycle_length = schedule.cycle_length
+        # Precomputed per-slot dispatch table: guard closure and label
+        # are built once instead of per cycle (the schedule-loop used to
+        # allocate one lambda + one f-string per slot per cycle).  The
+        # callbacks read ``self._cycle`` at fire time, which also makes
+        # them translation-invariant — a requirement for round-template
+        # fast-forward, which shifts pending events in time.
+        self._slot_dispatch: tuple[tuple[int, Callable[[], None], str], ...] = tuple(
+            (offset, self._guarded(lambda s=slot: self._slot_action(s)),
+             f"{self.name}.slot{slot.slot_id}")
+            for slot, offset in self._own_slots
+        )
+        self._cycle_end_cb = self._guarded(self._end_of_cycle)
+        self._cycle_end_label = f"{self.name}.cycle_end"
         self._tx: dict[str, deque[FrameChunk]] = {}
         self._chunk_sources: dict[str, Callable[[Slot, int], list[FrameChunk]]] = {}
         self._receivers: dict[str, list[ChunkReceiver]] = {}
@@ -103,7 +116,7 @@ class CommunicationController(Process):
     # lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
-        self._schedule_cycle(0)
+        self._schedule_cycle()
 
     def _ref_for_local(self, local_t: int) -> int:
         """Reference instant when the local clock reads ``local_t``;
@@ -116,22 +129,29 @@ class CommunicationController(Process):
         except SimulationError:
             return self.sim.now
 
-    def _schedule_cycle(self, cycle: int) -> None:
-        """Schedule this cycle's slot actions and the cycle-end event,
-        all at instants where the *local* clock reads the TDMA times."""
-        cycle_start_local = cycle * self._cycle_length
-        send_offset = self.send_offset
-        for slot, offset in self._own_slots:
-            local_t = cycle_start_local + offset + send_offset
-            ref_t = self._ref_for_local(local_t)
-            self.call_at(ref_t, lambda s=slot, c=cycle: self._slot_action(s, c),
-                         label=f"{self.name}.slot{slot.slot_id}")
-        end_local = cycle_start_local + self._cycle_length
-        ref_end = self._ref_for_local(end_local)
-        self.call_at(ref_end, lambda c=cycle: self._end_of_cycle(c),
-                     label=f"{self.name}.cycle_end")
+    def _schedule_cycle(self) -> None:
+        """Schedule the current cycle's slot actions and cycle-end event,
+        all at instants where the *local* clock reads the TDMA times.
 
-    def _end_of_cycle(self, cycle: int) -> None:
+        The scheduled callbacks are the precomputed guarded closures
+        from ``__init__``; they read ``self._cycle`` when they fire
+        rather than capturing the cycle number here, so a pending cycle
+        chain stays valid if fast-forward translates it in time.
+        """
+        sim = self.sim
+        priority = self.priority
+        cycle_start_local = self._cycle * self._cycle_length
+        send_offset = self.send_offset
+        for offset, action, label in self._slot_dispatch:
+            local_t = cycle_start_local + offset + send_offset
+            sim.at(self._ref_for_local(local_t), action,
+                   priority=priority, label=label)
+        end_local = cycle_start_local + self._cycle_length
+        sim.at(self._ref_for_local(end_local), self._cycle_end_cb,
+               priority=priority, label=self._cycle_end_label)
+
+    def _end_of_cycle(self) -> None:
+        cycle = self._cycle
         self.sync.resynchronize(self.sim.now)
         self.membership.end_of_cycle()
         self._m_sync.inc()
@@ -142,7 +162,7 @@ class CommunicationController(Process):
         else:
             tr.tick(TraceCategory.SYNC_ROUND)
         self._cycle = cycle + 1
-        self._schedule_cycle(cycle + 1)
+        self._schedule_cycle()
 
     # ------------------------------------------------------------------
     # transmit path
@@ -215,7 +235,7 @@ class CommunicationController(Process):
             out = [self.chunk_corruptor(c) for c in out]
         return tuple(out)
 
-    def _slot_action(self, slot: Slot, cycle: int) -> None:
+    def _slot_action(self, slot: Slot) -> None:
         if self.crashed:
             return
         if self.omit_cycles > 0:
@@ -224,7 +244,7 @@ class CommunicationController(Process):
         chunks = self._build_chunks(slot)
         kind = FrameKind.DATA if chunks else FrameKind.SYNC
         frame = PhysicalFrame(
-            sender=self.component, slot_id=slot.slot_id, cycle=cycle,
+            sender=self.component, slot_id=slot.slot_id, cycle=self._cycle,
             chunks=chunks, kind=kind,
         )
         # Scheduled transmissions occupy the whole fixed slot window so
@@ -295,6 +315,84 @@ class CommunicationController(Process):
         expected_local = start + slot.duration + self.bus.propagation_delay
         local_arrival = self.clock.local_time(arrival)
         self.sync.observe(frame.sender, local_arrival - expected_local)
+
+    # ------------------------------------------------------------------
+    # round-template participant protocol (see repro.sim.round_template)
+    # ------------------------------------------------------------------
+    #: Keys whose per-round delta may be linearly extrapolated during
+    #: fast-forward.  Everything else in :meth:`rt_state` must show a
+    #: zero delta between recorded rounds or the fast path disarms —
+    #: e.g. a clock correction, a pending-queue level change, a crash
+    #: flag flip, or a membership event all make the round unreplayable.
+    _RT_LINEAR = frozenset({
+        "cycle", "frames_tx", "frames_rx", "frames_corrupt",
+        "chunks_delivered", "chunks_enqueued", "tx_overflow", "sync_rounds",
+    })
+
+    def rt_state(self) -> dict[str, int]:
+        sync = self.sync
+        membership = self.membership
+        state = {
+            "cycle": self._cycle,
+            "frames_tx": self.frames_transmitted,
+            "frames_rx": self.frames_received,
+            "frames_corrupt": self.frames_dropped_corrupt,
+            "chunks_delivered": self.chunks_delivered,
+            "chunks_enqueued": self.chunks_enqueued,
+            "tx_overflow": self.tx_overflow,
+            "sync_rounds": sync.rounds,
+            "pending_tx": sum(len(q) for q in self._tx.values()),
+            "crashed": int(self.crashed),
+            "omit": self.omit_cycles,
+            "send_offset": self.send_offset,
+            "corruptor": int(self.chunk_corruptor is not None),
+            "clock_corr": self.clock.corrections_applied,
+            "sync_last": sync.last_correction,
+            "sync_pending": len(sync._deviations),
+            "sync_dev_sum": sum(sync._deviations.values()),
+            "mem_changes": len(membership.changes),
+            "mem_seen": len(membership._seen_this_cycle),
+            "alive": membership.alive_count(),
+        }
+        for comp, missed in membership._missed.items():
+            state[f"missed.{comp}"] = missed
+        return state
+
+    def rt_check(self, delta: dict[str, int]) -> bool:
+        linear = self._RT_LINEAR
+        alive = self.membership.is_alive
+        for key, d in delta.items():
+            if d == 0 or key in linear:
+                continue
+            # A dead sender's miss counter climbs steadily — replayable.
+            # A *live* sender accumulating misses is approaching the
+            # fail threshold: the flip would be a discrete membership
+            # event, so refuse to extrapolate.
+            if key.startswith("missed.") and not alive(key[7:]):
+                continue
+            return False
+        return True
+
+    def rt_advance(self, delta: dict[str, int], k: int) -> None:
+        self._cycle += delta["cycle"] * k
+        self.frames_transmitted += delta["frames_tx"] * k
+        self.frames_received += delta["frames_rx"] * k
+        self.frames_dropped_corrupt += delta["frames_corrupt"] * k
+        self.chunks_delivered += delta["chunks_delivered"] * k
+        self.chunks_enqueued += delta["chunks_enqueued"] * k
+        self.tx_overflow += delta["tx_overflow"] * k
+        d_sync = delta["sync_rounds"]
+        if d_sync:
+            sync = self.sync
+            sync.rounds += d_sync * k
+            # Per-round history entries for the skipped rounds: the
+            # correction is constant across a replayable round (delta of
+            # sync_last is zero), so each skipped round appended it.
+            sync.correction_history.extend([sync.last_correction] * (d_sync * k))
+        missed = self.membership._missed
+        for key, d in delta.items():
+            if d and key.startswith("missed."):
+                missed[key[7:]] += d * k
 
     # ------------------------------------------------------------------
     @property

@@ -32,7 +32,7 @@ class FrameKind(str, Enum):
     SYNC = "sync"  # rate-correction frames without payload (unused slots)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameChunk:
     """One encoded message instance of one virtual network."""
 

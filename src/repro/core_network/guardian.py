@@ -76,6 +76,34 @@ class CentralGuardian:
             )
         return ok
 
+    # ------------------------------------------------------------------
+    # round-template participant protocol (see repro.sim.round_template)
+    # ------------------------------------------------------------------
+    # ``blocked_by_sender`` keys appear on first block, so the round
+    # that first blocks a sender changes the state's key set and is not
+    # replayed; from then on the per-sender counters extrapolate.
+
+    def rt_state(self) -> dict[str, int]:
+        state = {
+            "admitted": self.admitted_count,
+            "blocked": self.blocked_count,
+            "enabled": int(self.enabled),
+        }
+        for sender, count in self.blocked_by_sender.items():
+            state[f"blocked.{sender}"] = count
+        return state
+
+    def rt_check(self, delta: dict[str, int]) -> bool:
+        return all(d == 0 or key != "enabled" for key, d in delta.items())
+
+    def rt_advance(self, delta: dict[str, int], k: int) -> None:
+        self.admitted_count += delta["admitted"] * k
+        self.blocked_count += delta["blocked"] * k
+        blocked = self.blocked_by_sender
+        for key, d in delta.items():
+            if d and key.startswith("blocked."):
+                blocked[key[8:]] += d * k
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"
         return f"<CentralGuardian {state} admitted={self.admitted_count} blocked={self.blocked_count}>"

@@ -115,6 +115,9 @@ class FaultInjector:
         fault.activate(self.sim)
         self.activations += 1
         self.sim.metrics.inc("injector.activations")
+        # The model's dynamics just changed discontinuously: any compiled
+        # round template is stale, so puncture the fast path.
+        self.sim.round_template.puncture()
         # Black-box semantics: a fault activation is exactly the moment
         # the window of records leading up to it becomes interesting.
         recorder = self.sim.trace.flight_recorder
@@ -125,3 +128,4 @@ class FaultInjector:
         fault.deactivate(self.sim)
         self.deactivations += 1
         self.sim.metrics.inc("injector.deactivations")
+        self.sim.round_template.puncture()

@@ -138,6 +138,10 @@ class VirtualGateway(Process):
         self._m_blocked = m.counter("gateway.blocks")
         self._m_restarts = m.counter("gateway.restarts")
         sim.register_checkable(self)
+        # Gateway redirection reacts to message arrivals (and halts and
+        # restarts on faults) — aperiodic by nature, so it disables
+        # round-template fast-forward.
+        sim.round_template.add_interleaving_source(self.name)
 
     # ------------------------------------------------------------------
     # configuration

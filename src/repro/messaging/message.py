@@ -223,7 +223,7 @@ class MessageType:
         return replace(self, name=new_name)
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageInstance:
     """One concrete message: values for every field of every element."""
 

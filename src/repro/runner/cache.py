@@ -49,16 +49,25 @@ def result_key(spec: ScenarioSpec, code: str) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
+#: Default size cap for a cache directory (see ResultCache.max_bytes).
+DEFAULT_CACHE_MAX_BYTES = 64 * 1024 * 1024
+
+
 class ResultCache:
     """One JSON file per scenario under ``root``.
 
     Files are named ``<scenario>-<key>.json``; a ``put`` removes stale
     entries of the same scenario (older code states) so the directory
-    never grows beyond one file per scenario.
+    never grows beyond one file per scenario.  On top of that, a size
+    cap (``max_bytes``) evicts the oldest entries — by file mtime, i.e.
+    least-recently-written digest first — so a long-lived checkout
+    accumulating many scenario names still cannot grow unboundedly.
     """
 
-    def __init__(self, root: str | Path = ".repro_cache") -> None:
+    def __init__(self, root: str | Path = ".repro_cache",
+                 max_bytes: int = DEFAULT_CACHE_MAX_BYTES) -> None:
         self.root = Path(root)
+        self.max_bytes = max_bytes
 
     def path_for(self, spec: ScenarioSpec, key: str) -> Path:
         return self.root / f"{spec.name}-{key}.json"
@@ -88,6 +97,7 @@ class ResultCache:
             {"key": key, "spec": spec.as_dict(), "result": result},
             indent=2, sort_keys=True,
         ) + "\n")
+        self.evict_to_cap(keep=path)
         return path
 
     def clear(self) -> int:
@@ -98,3 +108,48 @@ class ResultCache:
                 path.unlink(missing_ok=True)
                 n += 1
         return n
+
+    def entries(self) -> list[Path]:
+        """Every cache file, oldest (by mtime) first."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json"),
+                      key=lambda p: (p.stat().st_mtime, p.name))
+
+    def evict_to_cap(self, keep: Path | None = None) -> int:
+        """Evict oldest entries until the directory fits ``max_bytes``;
+        returns how many files were removed.  ``keep`` (the entry just
+        written) is never evicted, even if it alone exceeds the cap."""
+        if self.max_bytes is None or self.max_bytes <= 0:
+            return 0
+        entries = [(p, p.stat().st_size) for p in self.entries()]
+        total = sum(size for _, size in entries)
+        removed = 0
+        for path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            path.unlink(missing_ok=True)
+            total -= size
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        """JSON-ready summary of the cache directory."""
+        entries = self.entries()
+        sizes = [p.stat().st_size for p in entries]
+        per_scenario: dict[str, int] = {}
+        for p in entries:
+            # <scenario>-<24 hex chars>.json
+            name = p.stem[:-25] if len(p.stem) > 25 else p.stem
+            per_scenario[name] = per_scenario.get(name, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(sizes),
+            "max_bytes": self.max_bytes,
+            "scenarios": dict(sorted(per_scenario.items())),
+            "oldest": entries[0].name if entries else None,
+            "newest": entries[-1].name if entries else None,
+        }

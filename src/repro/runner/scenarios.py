@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fnmatch import fnmatch
 from typing import Any
 
@@ -65,6 +65,13 @@ class ScenarioSpec:
             if k == key:
                 return v
         return default
+
+    def with_param(self, key: str, value: Any) -> "ScenarioSpec":
+        """A copy with one parameter set/overridden (sorted, so the
+        cache key stays canonical)."""
+        merged = {k: v for k, v in self.params}
+        merged[key] = value
+        return replace(self, params=tuple(sorted(merged.items())))
 
     def as_dict(self) -> dict:
         """Canonical JSON-able form (the cache-key input)."""
@@ -331,6 +338,11 @@ def build_scenario(spec: ScenarioSpec) -> Simulator:
         sim.flows.enable()
     if spec.param("profile"):
         sim.enable_profiling()
+    if spec.param("round_template", True):
+        # Steady-state fast-forward, on by default for scenario runs
+        # (``round_template: False`` — the CLI's --no-round-template —
+        # keeps exact event-by-event execution).
+        sim.round_template.activate()
     return sim
 
 

@@ -13,6 +13,7 @@ from .kernel import PeriodicTask, Simulator
 from .metrics import Counter, Histogram, Metrics
 from .process import Process
 from .random import RandomStreams
+from .round_template import RoundTemplateEngine
 from .time import (
     MS,
     NEVER,
@@ -51,6 +52,7 @@ __all__ = [
     "EventPriority",
     "EventQueue",
     "ScheduledEvent",
+    "RoundTemplateEngine",
     "LocalClock",
     "RandomStreams",
     "Counter",

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 
 from ..errors import SimulationError
-from .time import Instant
+from .time import Duration, Instant
 
 __all__ = ["EventPriority", "ScheduledEvent", "EventQueue"]
 
@@ -216,6 +216,33 @@ class EventQueue:
             ev._queue = self
             self._live += 1
             heapq.heappush(heap, (ev.time, ev.priority, ev.seq, ev))
+
+    def shift_span(self, bound: Instant, dt: Duration) -> None:
+        """Shift every live event with ``time < bound`` forward by ``dt``.
+
+        This is the heap half of round-template fast-forward (see
+        :mod:`repro.sim.round_template`): the events pending inside a
+        replayed round are exactly the periodic activity whose next
+        occurrence lies ``k`` rounds later, so translating them in time
+        — preserving their relative ``(time, priority, seq)`` order —
+        reproduces the queue state event-by-event execution would have
+        reached.  Cancelled entries are purged while we're rewriting the
+        heap anyway.
+        """
+        heap = self._heap
+        out = []
+        for tm, pr, sq, ev in heap:
+            if ev.cancelled:
+                ev._queue = None
+                continue
+            if tm < bound:
+                ev.time = tm + dt
+                out.append((tm + dt, pr, sq, ev))
+            else:
+                out.append((tm, pr, sq, ev))
+        heap[:] = out
+        heapq.heapify(heap)
+        self._dead = 0
 
     def clear(self) -> None:
         """Drop every pending event."""

@@ -30,6 +30,7 @@ from .events import EventPriority, EventQueue, ScheduledEvent
 from .flow import FlowTracer
 from .metrics import Histogram, Metrics
 from .random import RandomStreams
+from .round_template import RoundTemplateEngine
 from .time import Duration, Instant
 from .trace import TraceLog
 
@@ -134,6 +135,9 @@ class Simulator:
         self.events_executed = 0
         self._profiling = False
         self._profile_cache: dict[str, Histogram] = {}
+        #: Steady-state fast-forward engine (dormant until activated —
+        #: see :mod:`repro.sim.round_template`).
+        self.round_template = RoundTemplateEngine(self)
         #: Artifacts registered for static pre-flight verification
         #: (systems, clusters, VNs, link specs) — see :meth:`preflight`.
         self.checkables: list[object] = []
@@ -311,6 +315,14 @@ class Simulator:
         callback schedules an event that precedes the rest of the batch
         — same instant, lower priority value — the remainder is handed
         back to the heap and re-drained in order.
+
+        When the round-template engine is active (scenario runs), the
+        drain bound is held at the next round boundary; each time the
+        queue is drained up to a boundary the engine gets a chance to
+        record or bulk-replay whole rounds (see
+        :mod:`repro.sim.round_template`).  A dormant or disengaged
+        engine leaves this loop byte-for-byte identical to plain
+        batched execution.
         """
         if t < self._now:
             raise SimulationError(f"run_until({t}) is in the past (now={self._now})")
@@ -321,11 +333,33 @@ class Simulator:
         heap = queue._heap
         pop_ready = queue.pop_ready
         executed = 0
+        engine = self.round_template.begin(t)
+        bound = t
+        if engine is not None:
+            nb = engine.next_boundary
+            if nb <= t:
+                bound = nb - 1
+            else:
+                engine = None
         try:
             while not self._stopped:
-                batch = pop_ready(t)
+                batch = pop_ready(bound)
                 if not batch:
-                    break
+                    if engine is None:
+                        break
+                    # Queue drained up to (excluding) the boundary: let
+                    # the engine observe/replay.  Flush the executed
+                    # count first — snapshots read events_executed.
+                    self.events_executed += executed
+                    executed = 0
+                    engine.on_boundary(t)
+                    nb = engine.next_boundary
+                    if not engine.engaged or nb > t:
+                        engine = None
+                        bound = t
+                    else:
+                        bound = nb - 1
+                    continue
                 i = 0
                 n = len(batch)
                 try:

@@ -1,0 +1,591 @@
+"""Compiled TDMA round templates: steady-state fast-forward execution.
+
+The paper's premise — every virtual network is an overlay on *one*
+time-triggered physical network with a statically known TDMA schedule —
+means that in steady state the simulation repeats itself every
+communication round: the same controller slot actions, frame
+transmissions, bus deliveries, and TT dispatches at the same offsets
+within every round.  This module compiles that repetition into a
+**round template** and lets the kernel *replay* whole rounds in bulk
+instead of executing them event by event.
+
+How it works
+------------
+The engine observes the simulation at **round boundaries** (multiples of
+the cluster-cycle LCM).  After a short warm-up it records two full
+consecutive rounds: a state snapshot at each boundary (metric counters,
+histograms, trace tick counts, and every registered participant's
+``rt_state()``) plus the exact trace records the round emitted.  If the
+two rounds produced *identical* deltas and *identical* record sequences
+(same categories/sources/details at the same offsets, allowing an
+integer per-round stride on whitelisted keys like ``cycle``), the round
+is provably in steady state and the pair compiles into a template.
+
+Replaying ``k`` rounds then means: emit ``k`` copies of the record
+prototypes (with strided details) into the record sinks, bump tick
+counts, counters, histogram buckets, ``events_executed``, and every
+participant's statistics by ``k`` times the per-round delta, advance the
+pending heap events of the round by ``k`` round lengths, and skip ahead.
+Byte-for-byte trace parity is *checked, not assumed*: the template is
+built from observed equality, the boundary **signature** (the pending
+heap events' (offset, priority, label) tuples restricted to registered
+labels) is re-verified before every replay, and any deviation — an
+unregistered event, a non-linear state delta, a membership flip, a
+clock correction — aborts the fast path back to event-by-event
+execution with exponential back-off.
+
+Interleaving-source contract
+----------------------------
+Dynamic activity that is *not* part of the periodic round must either
+
+* register a permanent **interleaving source**
+  (:meth:`RoundTemplateEngine.add_interleaving_source`) — ET virtual
+  networks and gateways do this at construction, which disables the
+  fast path for their simulator entirely, or
+* **puncture** the fast path at the instant the dynamics change
+  (:meth:`RoundTemplateEngine.puncture`) — the fault injector does this
+  on every activation/deactivation, which drops the compiled template
+  and restarts recording from scratch, or
+* simply schedule events with labels the engine does not know: an
+  unregistered label pending at a round boundary blocks both recording
+  and replay for that window (this is what makes one-shot test events
+  safe by default).
+
+The engine is **dormant until** :meth:`activate` is called.  Scenario
+builders (:func:`repro.runner.scenarios.build_scenario`), the CLI, and
+the benchmarks activate it by default (``--no-round-template`` opts
+out); hand-built simulators — unit tests poking at model internals
+between events — keep exact event-by-event execution unless they opt
+in.
+
+Participant protocol (duck-typed)
+---------------------------------
+``rt_state() -> dict[str, int]``
+    Integer-valued statistics snapshot with a *stable key set*.
+``rt_check(delta: dict[str, int]) -> bool``
+    True iff the per-round delta is legal to linearly extrapolate
+    (every non-zero key is a plain monotonic statistic).
+``rt_advance(delta: dict[str, int], k: int) -> None``
+    Apply ``k`` rounds' worth of ``delta`` to the model state.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
+from .trace import CounterSink, TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+__all__ = ["RoundTemplateEngine", "STRIDE_KEYS", "WARMUP", "MAX_BACKOFF"]
+
+#: Trace-detail keys allowed to advance by a constant integer stride per
+#: round (everything else must be bit-identical between rounds).
+STRIDE_KEYS = ("cycle", "nominal")
+
+#: Rounds skipped after activation/reset before recording begins, so
+#: start-up transients (first sync round, membership settling) never
+#: land in a template.
+WARMUP = 2
+
+#: Ceiling for the exponential recording back-off, in rounds.
+MAX_BACKOFF = 64
+
+_IDLE, _REC1, _REC2, _ARMED = 0, 1, 2, 3
+
+
+class RoundTemplateEngine:
+    """Round-template compiler and fast-forward executor for one simulator."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._active = False
+        self._round_len = 0
+        self._participants: list[Any] = []
+        self._labels: set[str] = set()
+        self._sources: set[str] = set()
+        self._state = _IDLE
+        self._boundary = 0
+        self._skip = WARMUP
+        self._backoff = 1
+        self._snap: dict | None = None
+        self._first_delta: dict | None = None
+        self._capture: list[TraceRecord] = []
+        self._capture_listener = self._capture.append
+        self._unsub: Callable[[], None] | None = None
+        self._template: dict | None = None
+        # statistics ----------------------------------------------------
+        self.rounds_replayed = 0
+        self.replays = 0
+        self.recordings = 0
+        self.failed_recordings = 0
+        self.punctures = 0
+
+    # ------------------------------------------------------------------
+    # configuration & registration
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        """Enable the fast path (dormant by default — see module docs)."""
+        self._active = True
+
+    def deactivate(self) -> None:
+        self._active = False
+        self._reset()
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def engaged(self) -> bool:
+        """Could the fast path run right now (active, no permanent
+        interleaving sources)?"""
+        return self._active and not self._sources
+
+    @property
+    def next_boundary(self) -> int:
+        return self._boundary
+
+    @property
+    def round_length(self) -> int:
+        return self._round_len
+
+    def register_cluster(self, cluster: Any) -> None:
+        """Fold one TT cluster's round into the template domain.
+
+        Registers the cluster's cycle length, every controller's slot and
+        cycle-end event labels, and the controllers, bus, and guardian as
+        participants.  A controller on an imperfect (drifting) clock is
+        a permanent interleaving source: its clock state mutates every
+        sync round, which linear extrapolation cannot reproduce.
+        """
+        self._fold_period(cluster.schedule.cycle_length)
+        for ctrl in cluster.controllers.values():
+            self._labels.add(f"{ctrl.name}.cycle_end")
+            for slot, _offset in ctrl._own_slots:
+                self._labels.add(f"{ctrl.name}.slot{slot.slot_id}")
+            self._participants.append(ctrl)
+            if not ctrl.clock._perfect:
+                self._sources.add(f"clock.{ctrl.component}")
+        self._participants.append(cluster.bus)
+        self._participants.append(cluster.guardian)
+        self._touch_config()
+
+    def register_labels(self, labels: Any, period: int | None = None) -> None:
+        """Declare event labels as template-covered; ``period`` (if any)
+        is folded into the round length."""
+        self._labels.update(labels)
+        if period is not None:
+            self._fold_period(period)
+        self._touch_config()
+
+    def register_participant(self, obj: Any) -> None:
+        """Register an object implementing the participant protocol."""
+        if all(existing is not obj for existing in self._participants):
+            self._participants.append(obj)
+        self._touch_config()
+
+    def add_interleaving_source(self, name: str) -> None:
+        """Permanently disable the fast path for this simulator (used by
+        inherently aperiodic subsystems: ET networks, gateways)."""
+        self._sources.add(name)
+        self._reset()
+
+    def puncture(self) -> None:
+        """Drop any compiled template and restart recording (called at
+        the instant the model's dynamics change, e.g. fault injection)."""
+        self._reset()
+        self.punctures += 1
+
+    def _fold_period(self, period: int) -> None:
+        if period <= 0:
+            return
+        self._round_len = (math.lcm(self._round_len, period)
+                           if self._round_len else period)
+
+    def _touch_config(self) -> None:
+        """Registration changed mid-run: drop state, re-derive boundary."""
+        self._reset()
+        if self._round_len > 0:
+            self._boundary = (self.sim._now // self._round_len + 1) * self._round_len
+
+    def _reset(self) -> None:
+        self._abort_capture()
+        self._capture.clear()
+        self._template = None
+        self._snap = None
+        self._first_delta = None
+        self._state = _IDLE
+        self._skip = WARMUP
+        self._backoff = 1
+
+    def _abort_capture(self) -> None:
+        if self._unsub is not None:
+            self._unsub()
+            self._unsub = None
+
+    # ------------------------------------------------------------------
+    # kernel entry points
+    # ------------------------------------------------------------------
+    def begin(self, t: int) -> "RoundTemplateEngine | None":
+        """Arm the engine for one ``run_until(t)`` call; None = stay off.
+
+        Recording always restarts from scratch: model state may have been
+        mutated between runs (tests crash controllers, tweak queues), so
+        a template from a previous run is never trusted.
+        """
+        if not self._active or self._round_len <= 0 or self._sources:
+            return None
+        self._reset()
+        sim = self.sim
+        if sim.flows.enabled or sim._profiling:
+            return None
+        if sim.trace._listeners:
+            # A live listener observes records one by one; bulk replay
+            # would change what it sees relative to model state.
+            return None
+        self._boundary = (sim._now // self._round_len + 1) * self._round_len
+        return self
+
+    def on_boundary(self, t: int) -> None:
+        """Called by the kernel with the queue drained up to (excluding)
+        ``next_boundary``; advances the recording state machine and/or
+        fast-forwards.  Always either advances the boundary or replays,
+        so kernel progress is guaranteed."""
+        B = self._boundary
+        L = self._round_len
+        state = self._state
+        if state == _ARMED:
+            self._replay(B, t)
+            return
+        if state == _IDLE:
+            if self._skip > 0:
+                self._skip -= 1
+                self._boundary = B + L
+                return
+            snap = self._snapshot(B)
+            if snap is None:
+                self._fail()
+            else:
+                self._snap = snap
+                self._capture.clear()
+                self._unsub = self.sim.trace.subscribe(self._capture_listener)
+                self._state = _REC1
+            self._boundary = B + L
+            return
+        # _REC1 / _REC2: one more recorded round just completed
+        snap = self._snapshot(B)
+        delta = self._delta(self._snap, snap) if snap is not None else None
+        if delta is None:
+            self._abort_capture()
+            self._fail()
+            self._boundary = B + L
+            return
+        if state == _REC1:
+            self._first_delta = delta
+            self._snap = snap
+            self._state = _REC2
+            self._boundary = B + L
+            return
+        # _REC2: two consecutive rounds observed — compile and arm
+        self._abort_capture()
+        template = self._compile(self._first_delta, delta, B)
+        self._snap = None
+        self._first_delta = None
+        if template is None:
+            self._fail()
+            self._boundary = B + L
+            return
+        self._template = template
+        self._state = _ARMED
+        self._backoff = 1
+        self.recordings += 1
+        self._replay(B, t)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _fail(self) -> None:
+        self._state = _IDLE
+        self._snap = None
+        self._first_delta = None
+        self._skip = self._backoff
+        self._backoff = min(self._backoff * 2, MAX_BACKOFF)
+        self.failed_recordings += 1
+
+    def _signature(self, B: int) -> tuple[tuple, int | None] | None:
+        """The pending queue's shape at boundary ``B``.
+
+        Returns ``(sig, far_min)`` where ``sig`` is the sorted tuple of
+        ``(offset-in-round, priority, label)`` for every live event
+        inside the next round and ``far_min`` is the earliest live event
+        at or beyond the round's end (None if none) — or None if any
+        in-round event carries an unregistered label.
+        """
+        horizon = B + self._round_len
+        labels = self._labels
+        near: list[tuple[int, int, int, str]] = []
+        far_min: int | None = None
+        for tm, pr, sq, ev in self.sim._queue._heap:
+            if ev.cancelled:
+                continue
+            if tm >= horizon:
+                if far_min is None or tm < far_min:
+                    far_min = tm
+            elif ev.label not in labels:
+                return None
+            else:
+                near.append((tm - B, pr, sq, ev.label))
+        near.sort()
+        return tuple((rel, pr, label) for rel, pr, _sq, label in near), far_min
+
+    def _snapshot(self, B: int) -> dict | None:
+        """Full observable-state snapshot at boundary ``B`` (None if the
+        queue shape or sink configuration is not template-compatible)."""
+        sig = self._signature(B)
+        if sig is None:
+            return None
+        sim = self.sim
+        tick_sinks = tuple(sim.trace._tick_sinks)
+        for sink in tick_sinks:
+            if not isinstance(sink, CounterSink):
+                return None  # unknown tick semantics — cannot bulk-apply
+        return {
+            "sig": sig,
+            "ticks": tick_sinks,
+            "tick_counts": [dict(s.counts) for s in tick_sinks],
+            "counters": {name: c.value
+                         for name, c in sim.metrics._counters.items()},
+            "hists": {name: (h.count, h.total, h.minimum, h.maximum,
+                             tuple(h.buckets))
+                      for name, h in sim.metrics._histograms.items()},
+            "events": sim.events_executed,
+            "parts": [p.rt_state() for p in self._participants],
+        }
+
+    def _delta(self, prev: dict | None, cur: dict) -> dict | None:
+        """Per-round delta between two boundary snapshots, or None if the
+        round is not linearly replayable."""
+        if prev is None:
+            return None
+        if prev["sig"][0] != cur["sig"][0]:
+            return None
+        pt, ct = prev["ticks"], cur["ticks"]
+        if len(pt) != len(ct) or any(a is not b for a, b in zip(pt, ct)):
+            return None
+        records = list(self._capture)
+        self._capture.clear()
+        tick_deltas = []
+        for pc, cc in zip(prev["tick_counts"], cur["tick_counts"]):
+            tick_deltas.append({cat: n - pc.get(cat, 0)
+                                for cat, n in cc.items()})
+        pc_counters = prev["counters"]
+        if tuple(pc_counters) != tuple(cur["counters"]):
+            return None  # a counter was created mid-round
+        counter_deltas = {name: v - pc_counters[name]
+                          for name, v in cur["counters"].items()}
+        ph = prev["hists"]
+        hist_deltas: dict[str, tuple[int, int, tuple]] = {}
+        for name, (hc, htot, hmin, hmax, hbuckets) in cur["hists"].items():
+            p = ph.get(name)
+            if p is None:
+                return None  # histogram created mid-round
+            if p[2] != hmin or p[3] != hmax:
+                return None  # min/max moved — not linearly replayable
+            bucket_delta = tuple(
+                (i, b - pb) for i, (b, pb) in enumerate(zip(hbuckets, p[4]))
+                if b != pb
+            )
+            hist_deltas[name] = (hc - p[0], htot - p[1], bucket_delta)
+        part_deltas: list[dict[str, int]] = []
+        for p_prev, p_cur, part in zip(prev["parts"], cur["parts"],
+                                       self._participants):
+            if tuple(p_prev) != tuple(p_cur):
+                return None  # participant key set changed
+            d = {key: v - p_prev[key] for key, v in p_cur.items()}
+            if not part.rt_check(d):
+                return None
+            part_deltas.append(d)
+        return {
+            "records": records,
+            "ticks": tick_deltas,
+            "counters": counter_deltas,
+            "hists": hist_deltas,
+            "events": cur["events"] - prev["events"],
+            "parts": part_deltas,
+        }
+
+    def _compile(self, d1: dict | None, d2: dict, B2: int) -> dict | None:
+        """Compile two equal consecutive round deltas into a template.
+
+        ``d2``'s round spans ``[B2 - L, B2)``; it becomes the template's
+        base round.  Record prototypes pair off the two rounds' records:
+        equal category/source/detail (with an optional integer stride on
+        :data:`STRIDE_KEYS`) at equal in-round offsets.
+        """
+        if d1 is None:
+            return None
+        if (d1["ticks"] != d2["ticks"] or d1["counters"] != d2["counters"]
+                or d1["hists"] != d2["hists"] or d1["events"] != d2["events"]
+                or d1["parts"] != d2["parts"]):
+            return None
+        r1s, r2s = d1["records"], d2["records"]
+        if len(r1s) != len(r2s):
+            return None
+        L = self._round_len
+        base = B2 - L
+        protos: list[tuple[int, str, str, dict, tuple]] = []
+        for r1, r2 in zip(r1s, r2s):
+            if r1.category != r2.category or r1.source != r2.source:
+                return None
+            if r2.time - r1.time != L:
+                return None
+            rel = r2.time - base
+            if not 0 <= rel < L:
+                return None
+            dd1, dd2 = r1.detail, r2.detail
+            if tuple(sorted(dd1)) != tuple(sorted(dd2)):
+                return None
+            strides: list[tuple[str, int, int]] = []
+            for key, v2 in dd2.items():
+                v1 = dd1[key]
+                if v1 == v2:
+                    continue
+                if (key in STRIDE_KEYS and isinstance(v1, int)
+                        and isinstance(v2, int)):
+                    strides.append((key, v2, v2 - v1))
+                else:
+                    return None
+            protos.append((rel, r1.category, r1.source, dd2, tuple(strides)))
+        return {
+            "base": base,
+            "protos": protos,
+            "ticks": d2["ticks"],
+            "counters": d2["counters"],
+            "hists": d2["hists"],
+            "events": d2["events"],
+            "parts": d2["parts"],
+            "sig": self._snap["sig"][0] if self._snap else None,
+        }
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def _replay(self, B: int, t: int) -> None:
+        L = self._round_len
+        tpl = self._template
+        sig = self._signature(B)
+        if tpl is None or sig is None or sig[0] != tpl["sig"]:
+            # The queue no longer matches the compiled round — invalidate.
+            self._template = None
+            self._fail()
+            self._boundary = B + L
+            return
+        far_min = sig[1]
+        k = (t - B) // L
+        if far_min is not None:
+            k = min(k, (far_min - B - 1) // L)
+        if k < 1:
+            # Not a whole template-safe round of headroom: run it live
+            # (the template stays armed for the next boundary).
+            self._boundary = B + L
+            return
+        self._apply(k, B)
+        self._boundary = B + k * L
+        self.rounds_replayed += k
+        self.replays += 1
+
+    def _apply(self, k: int, B: int) -> None:
+        """Apply ``k`` rounds' worth of the template starting at ``B``."""
+        from .kernel import PeriodicTask  # local import: kernel imports us
+
+        sim = self.sim
+        tpl = self._template
+        L = self._round_len
+        base = tpl["base"]
+        trace = sim.trace
+
+        # 1. trace records, byte-for-byte (strided details re-derived
+        #    exactly as live execution would have produced them)
+        record_sinks = trace._record_sinks if trace.enabled else ()
+        if record_sinks and tpl["protos"]:
+            protos = tpl["protos"]
+            for j in range(k):
+                rb = B + j * L
+                m = (rb - base) // L
+                for rel, category, source, detail, strides in protos:
+                    if strides:
+                        detail = dict(detail)
+                        for key, bval, stride in strides:
+                            detail[key] = bval + stride * m
+                    rec = TraceRecord(time=rb + rel, category=category,
+                                      source=source, detail=detail)
+                    for sink in record_sinks:
+                        sink.emit(rec)
+
+        # 2. tick counts (counter-mode sinks)
+        if trace.enabled:
+            for sink, dmap in zip(trace._tick_sinks, tpl["ticks"]):
+                for cat, d in dmap.items():
+                    if d:
+                        sink.tick(cat, d * k)
+
+        # 3. metrics
+        counters = sim.metrics._counters
+        for name, d in tpl["counters"].items():
+            if d:
+                counters[name].value += d * k
+        hists = sim.metrics._histograms
+        for name, (dc, dtot, bucket_delta) in tpl["hists"].items():
+            if dc or dtot:
+                h = hists[name]
+                h.count += dc * k
+                h.total += dtot * k
+                for i, db in bucket_delta:
+                    h.buckets[i] += db * k
+
+        # 4. kernel accounting
+        sim.events_executed += tpl["events"] * k
+
+        # 5. participants (controllers, buses, guardians, TT VNs)
+        for part, delta in zip(self._participants, tpl["parts"]):
+            part.rt_advance(delta, k)
+
+        # 6. pending events: periodic-task owners advance their nominal
+        #    instants, then every in-round event shifts forward k rounds
+        shift = k * L
+        horizon = B + L
+        for tm, _pr, _sq, ev in sim._queue._heap:
+            if ev.cancelled or tm >= horizon:
+                continue
+            owner = getattr(ev.callback, "__self__", None)
+            if isinstance(owner, PeriodicTask):
+                owner.next_time += shift
+        sim._queue.shift_span(horizon, shift)
+        # sim._now is deliberately left alone: the next executed event
+        # (or the run_until tail) advances it, exactly as if the skipped
+        # rounds had run.
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready engine statistics (for results and debugging)."""
+        return {
+            "active": self._active,
+            "round_length_ns": self._round_len,
+            "interleaving_sources": sorted(self._sources),
+            "rounds_replayed": self.rounds_replayed,
+            "replays": self.replays,
+            "recordings": self.recordings,
+            "failed_recordings": self.failed_recordings,
+            "punctures": self.punctures,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("dormant" if not self._active
+                 else "blocked" if self._sources
+                 else ("idle", "rec1", "rec2", "armed")[self._state])
+        return (f"<RoundTemplateEngine {state} L={self._round_len} "
+                f"replayed={self.rounds_replayed}>")

@@ -95,7 +95,7 @@ class TraceCategory:
     FLOW_HOP = "flow.hop"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace entry: when, what, who, and free-form details."""
 

@@ -59,6 +59,9 @@ class ETVirtualNetwork(VirtualNetworkBase):
         self._m_sends = m.counter("vn.et.sends")
         self._m_drops = m.counter("vn.et.send_drops")
         self._m_depth = m.histogram("vn.et.queue_depth")
+        # ET sends are demand-driven — inherently aperiodic — so the
+        # presence of an ET VN disables round-template fast-forward.
+        sim.round_template.add_interleaving_source(f"etvn.{das}")
 
     # ------------------------------------------------------------------
     # send path (sender-push)

@@ -127,6 +127,10 @@ class TTVirtualNetwork(VirtualNetworkBase):
                 label=f"ttvn.{self.das}.{message}",
             )
             self._cancels.append(cancel)
+            self.sim.round_template.register_labels(
+                (f"ttvn.{self.das}.{message}",), period=timing.period)
+        if self._producers:
+            self.sim.round_template.register_participant(self)
         if self.implicit_naming:
             self._check_implicit_disjoint()
 
@@ -134,6 +138,37 @@ class TTVirtualNetwork(VirtualNetworkBase):
         for cancel in self._cancels:
             cancel()
         self._cancels.clear()
+
+    # ------------------------------------------------------------------
+    # round-template participant protocol (see repro.sim.round_template)
+    # ------------------------------------------------------------------
+    # Every statistic of a TT VN is a monotonic per-dispatch count, so
+    # the whole state is linear; non-linear behaviour (an implicit-name
+    # failure, say) still blocks replay because the *trace records* it
+    # emits would differ between the recorded rounds.
+
+    def rt_state(self) -> dict[str, int]:
+        return {
+            "chunks_sent": self.chunks_sent,
+            "bytes_sent": self.bytes_sent,
+            "instances_delivered": self.instances_delivered,
+            "dispatches": self.dispatches,
+            "empty_dispatches": self.empty_dispatches,
+            "implicit_resolutions": self.implicit_resolutions,
+            "implicit_failures": self.implicit_failures,
+        }
+
+    def rt_check(self, delta: dict[str, int]) -> bool:
+        return True
+
+    def rt_advance(self, delta: dict[str, int], k: int) -> None:
+        self.chunks_sent += delta["chunks_sent"] * k
+        self.bytes_sent += delta["bytes_sent"] * k
+        self.instances_delivered += delta["instances_delivered"] * k
+        self.dispatches += delta["dispatches"] * k
+        self.empty_dispatches += delta["empty_dispatches"] * k
+        self.implicit_resolutions += delta["implicit_resolutions"] * k
+        self.implicit_failures += delta["implicit_failures"] * k
 
     # ------------------------------------------------------------------
     # implicit naming (Sec. II-E)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Guard recorded benchmark speedups against regression.
+
+Re-runs nothing itself: it compares the speedups a fresh benchmark run
+just wrote into ``BENCH_substrate.json`` against the hard floors the
+repo promises (kernel ``batched_speedup`` >= 1.2, round-template
+fast-forward >= 3.0 on each pure-TT scenario).
+
+Shared CI runners are noisy, so each floor is first scaled by
+``--tolerance`` (default 0.85): a value below ``floor * tolerance``
+fails the job, a value between the scaled and the nominal floor only
+warns.  ``--tolerance 1.0`` makes every floor hard.
+
+Usage::
+
+    python tools/check_bench_thresholds.py [BENCH_substrate.json]
+        [--tolerance 0.85] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (section, key-path, nominal floor) — key-path walks nested dicts.
+THRESHOLDS: tuple[tuple[str, tuple[str, ...], float], ...] = (
+    ("kernel", ("batched_speedup",), 1.2),
+    ("round_template", ("tdma_cluster", "speedup"), 3.0),
+    ("round_template", ("tt_vn_pipeline", "speedup"), 3.0),
+)
+
+
+def _lookup(section: dict, path: tuple[str, ...]) -> float | None:
+    node = section
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bench", nargs="?", default="BENCH_substrate.json",
+                    help="path to the recorded benchmark JSON")
+    ap.add_argument("--tolerance", type=float, default=0.85,
+                    help="factor applied to each floor before failing; "
+                         "values between floor*tolerance and floor warn "
+                         "(default: 0.85, for noisy shared runners)")
+    ap.add_argument("--strict", action="store_true",
+                    help="shorthand for --tolerance 1.0")
+    args = ap.parse_args(argv)
+    tolerance = 1.0 if args.strict else args.tolerance
+
+    path = Path(args.bench)
+    try:
+        bench = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL cannot read {path}: {exc}")
+        return 2
+
+    failures = warnings = 0
+    for section_name, key_path, floor in THRESHOLDS:
+        label = f"{section_name}.{'.'.join(key_path)}"
+        section = bench.get(section_name)
+        if not isinstance(section, dict):
+            print(f"FAIL {label}: section {section_name!r} missing from {path}")
+            failures += 1
+            continue
+        value = _lookup(section, key_path)
+        if value is None:
+            print(f"FAIL {label}: key missing from section")
+            failures += 1
+        elif value < floor * tolerance:
+            print(f"FAIL {label}: {value:.3f} < {floor * tolerance:.3f} "
+                  f"(floor {floor} x tolerance {tolerance})")
+            failures += 1
+        elif value < floor:
+            print(f"WARN {label}: {value:.3f} below nominal floor {floor} "
+                  f"(within tolerance {tolerance})")
+            warnings += 1
+        else:
+            print(f"OK   {label}: {value:.3f} >= {floor}")
+
+    if failures:
+        print(f"{failures} benchmark threshold(s) regressed")
+        return 1
+    if warnings:
+        print(f"{warnings} threshold(s) in the warn band — shared-runner "
+              "noise, or the start of a regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
