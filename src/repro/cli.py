@@ -17,11 +17,12 @@ import argparse
 import os
 import sys
 
-from .sim import MS, SEC
+from .sim import MS, RUNTIME_NAMES, SEC
 
 
 def _cmd_car(args: argparse.Namespace) -> int:
     from .apps import CarConfig, build_car
+    from .errors import ConfigurationError
 
     if args.trace_mode == "stream" and not args.trace_file:
         print("error: --trace-mode stream requires --trace-file",
@@ -32,6 +33,14 @@ def _cmd_car(args: argparse.Namespace) -> int:
                               flow_tracing=args.flow_tracing,
                               profile=args.profile,
                               round_template=args.round_template))
+    if args.runtime != "sim" or args.pace is not None:
+        from .sim import make_runtime
+
+        try:
+            car.sim.set_runtime(make_runtime(args.runtime, pace=args.pace))
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     horizon = int(args.seconds * SEC)
     # The trace is a context manager: stream / flight-recorder sinks are
     # flushed and closed on every exit path, exceptions included.
@@ -55,6 +64,16 @@ def _cmd_car(args: argparse.Namespace) -> int:
         if counts:
             total = sum(counts.values())
             print(f"  trace: {total:,} records in {len(counts)} categories")
+        if args.runtime != "sim":
+            stats = car.sim.runtime.stats()
+            line = f"  runtime {stats['name']}"
+            if stats.get("pace") is not None:
+                line += f" (pace {stats['pace']:g}x)"
+            if "deadline_misses" in stats:
+                line += (f": deadline misses={stats['deadline_misses']} "
+                         f"max lag={stats['max_lag_ns'] / MS:.2f}ms "
+                         f"slept={stats['slept_ns'] / SEC:.2f}s")
+            print(line)
         if args.flow_tracing and trace.memory is not None:
             from .analysis import FlowSet
 
@@ -141,6 +160,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     if not args.round_template:
         specs = [spec.with_param("round_template", False) for spec in specs]
+    if args.pace is not None and args.runtime == "sim":
+        print("error: --pace requires --runtime realtime or asyncio",
+              file=sys.stderr)
+        return 2
+    if args.runtime != "sim":
+        # Recorded in the spec params, so cache keys (and worker-side
+        # construction) carry the runtime choice.
+        specs = [spec.with_param("runtime", args.runtime) for spec in specs]
+        if args.pace is not None:
+            specs = [spec.with_param("pace", args.pace) for spec in specs]
 
     if args.bench_compare:
         return _sweep_bench_compare(args, specs)
@@ -414,6 +443,65 @@ def _cmd_obs_bench_overhead(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_runtime(args: argparse.Namespace) -> int:
+    """Paced-runtime overhead guard: the paced dispatch loop (at a high
+    pacing ratio, so sleeping is negligible and the loop itself is what
+    gets measured) must stay within a small factor of the simulated
+    runtime on the same scenario, with byte-identical digests."""
+    import json
+    from datetime import datetime, timezone
+
+    from .runner import default_registry, provenance, run_scenario, update_bench_json
+
+    registry = default_registry()
+    spec = registry.get(args.scenario)
+    if spec is None:
+        print(f"error: unknown scenario {args.scenario!r} "
+              f"(see `repro sweep --list`)", file=sys.stderr)
+        return 2
+
+    def measure(label: str, s):
+        best = None
+        for _ in range(args.repeat):
+            result = run_scenario(s)
+            if best is None or result["wall_s"] < best["wall_s"]:
+                best = result
+        print(f"  {label:24s} {best['wall_s']:.3f}s (best of {args.repeat})")
+        return best
+
+    print(f"runtime-overhead guard over scenario {spec.name!r}:")
+    base = measure("simulated", spec)
+    paced_spec = (spec.with_param("runtime", "realtime")
+                      .with_param("pace", args.pace))
+    paced = measure(f"paced {args.pace:g}x", paced_spec)
+
+    overhead_x = paced["wall_s"] / base["wall_s"] if base["wall_s"] else 1.0
+    digest_match = paced["digest"] == base["digest"]
+    stats = paced.get("runtime_stats", {})
+    section = {
+        "scenario": spec.name,
+        "pace": args.pace,
+        "sim_s": base["wall_s"],
+        "paced_s": paced["wall_s"],
+        "paced_overhead_x": round(overhead_x, 3),
+        "digest_match": digest_match,
+        "deadline_misses": stats.get("deadline_misses"),
+        "max_lag_ms": round(stats.get("max_lag_ns", 0) / MS, 3),
+        "slept_s": round(stats.get("slept_ns", 0) / SEC, 6),
+        "provenance": provenance(
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            iterations=args.repeat),
+    }
+    update_bench_json(args.bench_out, "runtime", section)
+    print(f"  paced overhead {overhead_x:.2f}x vs simulated, "
+          f"digests identical: {digest_match}, "
+          f"deadline misses: {stats.get('deadline_misses')}")
+    print(f"  wrote runtime section to {args.bench_out}")
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    return 0 if digest_match else 1
+
+
 # ----------------------------------------------------------------------
 # repro check — the pre-simulation static verifier
 # ----------------------------------------------------------------------
@@ -534,6 +622,14 @@ def main(argv: list[str] | None = None) -> int:
                        action="store_false",
                        help="disable round-template fast-forward (exact "
                             "event-by-event execution)")
+    p_car.add_argument("--runtime", choices=RUNTIME_NAMES, default="sim",
+                       help="execution runtime: sim (fast as possible), "
+                            "realtime (paced against the wall clock), or "
+                            "asyncio (event-loop bridged)")
+    p_car.add_argument("--pace", type=float, default=None,
+                       help="simulated-to-wall time ratio for realtime/"
+                            "asyncio (e.g. 100 = 100x faster than real "
+                            "time; realtime default: 1.0)")
     p_car.set_defaults(func=_cmd_car)
 
     p_roof = sub.add_parser("roof", help="Fig. 6 sliding-roof XML demo")
@@ -577,7 +673,28 @@ def main(argv: list[str] | None = None) -> int:
                          action="store_false",
                          help="run every scenario without round-template "
                               "fast-forward (exact event-by-event execution)")
+    p_sweep.add_argument("--runtime", choices=RUNTIME_NAMES, default="sim",
+                         help="execution runtime for every selected scenario "
+                              "(default: sim)")
+    p_sweep.add_argument("--pace", type=float, default=None,
+                         help="simulated-to-wall time ratio for "
+                              "--runtime realtime/asyncio")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_brt = sub.add_parser(
+        "bench-runtime",
+        help="guard: paced-runtime dispatch overhead vs the simulated runtime")
+    p_brt.add_argument("--scenario", default="car-smoke",
+                       help="registry scenario to measure (default: car-smoke)")
+    p_brt.add_argument("--pace", type=float, default=1e6,
+                       help="pacing ratio for the paced leg; high so the "
+                            "loop, not sleeping, is measured (default: 1e6)")
+    p_brt.add_argument("--repeat", type=int, default=3,
+                       help="best-of-N timing (default: 3)")
+    p_brt.add_argument("--bench-out", default="BENCH_substrate.json",
+                       metavar="PATH")
+    p_brt.add_argument("--json", action="store_true")
+    p_brt.set_defaults(func=_cmd_bench_runtime)
 
     p_check = sub.add_parser(
         "check", help="static verifier: specs, automata, schedules, lint")

@@ -62,7 +62,10 @@ def run_scenario(spec: ScenarioSpec) -> dict:
         "digest": trace_digest(sim),
         "metrics": sim.metrics.snapshot(),
         "wall_s": round(wall_s, 6),
+        "runtime": sim.runtime.name,
     }
+    if sim.runtime.name != "sim":
+        result["runtime_stats"] = sim.runtime.stats()
     if sim.flows.enabled and sim.trace.memory is not None:
         from ..analysis.flows import FlowSet
 

@@ -320,11 +320,14 @@ BUILDERS: dict[str, Callable[[ScenarioSpec], Simulator]] = {
 def build_scenario(spec: ScenarioSpec) -> Simulator:
     """Instantiate the model a spec describes on a fresh simulator.
 
-    Two cross-builder params are honored here so every scenario kind
+    Cross-builder params are honored here so every scenario kind
     supports them uniformly: ``flow_tracing`` (causal flow records; off
     by default so the golden digests of untagged scenarios are
-    untouched) and ``profile`` (wall-clock handler attribution — never
-    use it in a digest-compared scenario, wall time is nondeterministic).
+    untouched), ``profile`` (wall-clock handler attribution — never use
+    it in a digest-compared scenario, wall time is nondeterministic),
+    and ``runtime``/``pace`` (execution runtime by CLI name, see
+    :mod:`repro.sim.runtime`; the default ``"sim"`` leaves the builder's
+    zero-cost simulated runtime in place so digests are untouched).
     """
     try:
         builder = BUILDERS[spec.builder]
@@ -334,6 +337,11 @@ def build_scenario(spec: ScenarioSpec) -> Simulator:
             f"(known: {sorted(BUILDERS)})"
         ) from None
     sim = builder(spec)
+    runtime_name = spec.param("runtime", "sim")
+    if runtime_name != "sim":
+        from ..sim import make_runtime
+
+        sim.set_runtime(make_runtime(runtime_name, pace=spec.param("pace")))
     if spec.param("flow_tracing"):
         sim.flows.enable()
     if spec.param("profile"):
@@ -341,7 +349,8 @@ def build_scenario(spec: ScenarioSpec) -> Simulator:
     if spec.param("round_template", True):
         # Steady-state fast-forward, on by default for scenario runs
         # (``round_template: False`` — the CLI's --no-round-template —
-        # keeps exact event-by-event execution).
+        # keeps exact event-by-event execution).  Arming additionally
+        # requires a runtime that supports templates (only ``sim``).
         sim.round_template.activate()
     return sim
 

@@ -14,6 +14,15 @@ from .metrics import Counter, Histogram, Metrics
 from .process import Process
 from .random import RandomStreams
 from .round_template import RoundTemplateEngine
+from .runtime import (
+    RUNTIME_NAMES,
+    AsyncioBridgedRuntime,
+    AsyncPort,
+    PacedRealTimeRuntime,
+    Runtime,
+    SimulatedRuntime,
+    make_runtime,
+)
 from .time import (
     MS,
     NEVER,
@@ -53,6 +62,13 @@ __all__ = [
     "EventQueue",
     "ScheduledEvent",
     "RoundTemplateEngine",
+    "Runtime",
+    "SimulatedRuntime",
+    "PacedRealTimeRuntime",
+    "AsyncioBridgedRuntime",
+    "AsyncPort",
+    "RUNTIME_NAMES",
+    "make_runtime",
     "LocalClock",
     "RandomStreams",
     "Counter",

@@ -14,7 +14,12 @@ Design notes
   :class:`~repro.sim.events.EventPriority`, which matters for
   reproducibility claims; generator-based processes would hide ordering
   inside the scheduler.
-* **No wall-clock anywhere.**  ``now`` is the only notion of time.
+* **No wall-clock anywhere.**  ``now`` is the only notion of time
+  *inside the model*.  How virtual time relates to wall time is the
+  business of the bound :class:`~repro.sim.runtime.Runtime` — the
+  default :class:`~repro.sim.runtime.SimulatedRuntime` runs as fast as
+  the host allows, while the paced and asyncio runtimes gate dispatch
+  against an external clock without changing virtual-time behaviour.
 * **Stop conditions.**  ``run_until(t)`` executes every event with
   ``time <= t`` and then sets ``now = t``; ``run()`` drains the queue or
   stops at an optional event budget (a runaway-loop backstop).
@@ -25,12 +30,13 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from time import perf_counter_ns  # det-ok: DET001 — profiler instrumentation only
 
-from ..errors import SimulationError
+from ..errors import ConfigurationError, SimulationError
 from .events import EventPriority, EventQueue, ScheduledEvent
 from .flow import FlowTracer
 from .metrics import Histogram, Metrics
 from .random import RandomStreams
 from .round_template import RoundTemplateEngine
+from .runtime import Runtime, SimulatedRuntime
 from .time import Duration, Instant
 from .trace import TraceLog
 
@@ -120,10 +126,15 @@ class Simulator:
         Optional pre-built metrics registry; a fresh one is created by
         default.  Metrics are always-on and O(1) per update, independent
         of the trace configuration.
+    runtime:
+        Optional :class:`~repro.sim.runtime.Runtime` owning the dispatch
+        loop; the zero-cost :class:`~repro.sim.runtime.SimulatedRuntime`
+        is bound by default.
     """
 
     def __init__(self, seed: int = 0, trace: TraceLog | None = None,
-                 metrics: Metrics | None = None) -> None:
+                 metrics: Metrics | None = None,
+                 runtime: Runtime | None = None) -> None:
         self._now: Instant = 0
         self._queue = EventQueue()
         self._running = False
@@ -141,6 +152,30 @@ class Simulator:
         #: Artifacts registered for static pre-flight verification
         #: (systems, clusters, VNs, link specs) — see :meth:`preflight`.
         self.checkables: list[object] = []
+        self._runtime: Runtime = runtime if runtime is not None else SimulatedRuntime()
+        self._runtime.bind(self)
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self) -> Runtime:
+        """The bound execution runtime (see :mod:`repro.sim.runtime`)."""
+        return self._runtime
+
+    def set_runtime(self, runtime: Runtime) -> None:
+        """Swap the execution runtime (e.g. after building a system).
+
+        Only the dispatch loop changes — virtual time, the event queue,
+        and everything scheduled so far are untouched.  Not allowed
+        while a ``run*`` call is in flight.
+        """
+        if self._running:
+            raise ConfigurationError(
+                "cannot swap the runtime while the simulator is running"
+            )
+        runtime.bind(self)
+        self._runtime = runtime
 
     # ------------------------------------------------------------------
     # time & scheduling
@@ -290,116 +325,33 @@ class Simulator:
         return True
 
     def run(self, max_events: int | None = None) -> None:
-        """Run until the event queue drains (or ``max_events`` executed)."""
-        self._guard_reentry()
-        try:
-            budget = max_events
-            while not self._stopped:
-                if budget is not None:
-                    if budget <= 0:
-                        break
-                    budget -= 1
-                if not self.step():
-                    break
-        finally:
-            self._running = False
-            self._stopped = False
+        """Run until the event queue drains (or ``max_events`` executed).
+
+        Delegates the dispatch loop to the bound runtime (the default
+        :class:`~repro.sim.runtime.SimulatedRuntime` runs at maximum
+        speed; see :mod:`repro.sim.runtime` for the paced and asyncio
+        variants).
+        """
+        self._runtime.run(max_events)
 
     def run_until(self, t: Instant) -> None:
         """Run every event with ``time <= t`` and advance ``now`` to ``t``.
 
-        Ready events are drained in batches
-        (:meth:`~repro.sim.events.EventQueue.pop_ready`) so the hot loop
-        pays one heap touch per event instead of the peek+pop pair.
-        Execution order is identical to the one-at-a-time loop: if a
-        callback schedules an event that precedes the rest of the batch
-        — same instant, lower priority value — the remainder is handed
-        back to the heap and re-drained in order.
-
-        When the round-template engine is active (scenario runs), the
-        drain bound is held at the next round boundary; each time the
-        queue is drained up to a boundary the engine gets a chance to
-        record or bulk-replay whole rounds (see
-        :mod:`repro.sim.round_template`).  A dormant or disengaged
-        engine leaves this loop byte-for-byte identical to plain
-        batched execution.
+        The dispatch loop itself lives in the bound runtime — event
+        *order* is identical across runtimes; only wall-clock pacing
+        differs.  Target validation is uniform here: a target before
+        ``now`` is a configuration error under every runtime.
         """
         if t < self._now:
-            raise SimulationError(f"run_until({t}) is in the past (now={self._now})")
-        self._guard_reentry()
-        queue = self._queue
-        # Safe to hold across callbacks: EventQueue.compact()/clear()
-        # mutate the heap list in place, never rebind it.
-        heap = queue._heap
-        pop_ready = queue.pop_ready
-        executed = 0
-        engine = self.round_template.begin(t)
-        bound = t
-        if engine is not None:
-            nb = engine.next_boundary
-            if nb <= t:
-                bound = nb - 1
-            else:
-                engine = None
-        try:
-            while not self._stopped:
-                batch = pop_ready(bound)
-                if not batch:
-                    if engine is None:
-                        break
-                    # Queue drained up to (excluding) the boundary: let
-                    # the engine observe/replay.  Flush the executed
-                    # count first — snapshots read events_executed.
-                    self.events_executed += executed
-                    executed = 0
-                    engine.on_boundary(t)
-                    nb = engine.next_boundary
-                    if not engine.engaged or nb > t:
-                        engine = None
-                        bound = t
-                    else:
-                        bound = nb - 1
-                    continue
-                i = 0
-                n = len(batch)
-                try:
-                    while i < n:
-                        ev = batch[i]
-                        i += 1
-                        if ev.cancelled:
-                            continue
-                        self._now = ev.time
-                        executed += 1
-                        if self._profiling:
-                            self._profiled_call(ev)
-                        else:
-                            ev.callback()
-                        if self._stopped:
-                            break
-                        if i < n and heap:
-                            # A callback may have scheduled an event that
-                            # precedes the batch remainder (same instant,
-                            # lower priority value): fall back to the heap.
-                            head = heap[0]
-                            nxt = batch[i]
-                            if head[0] < nxt.time or (
-                                head[0] == nxt.time and head[1] < nxt.priority
-                            ):
-                                break
-                finally:
-                    # Hand unexecuted events back (stop(), preemption, or
-                    # a raising callback) — none may be lost.
-                    if i < n:
-                        queue.requeue(batch[i:])
-            if not self._stopped and self._now < t:
-                self._now = t
-        finally:
-            self.events_executed += executed
-            self._running = False
-            self._stopped = False
+            raise ConfigurationError(
+                f"run_until({t}) is in the past (now={self._now})"
+            )
+        self._runtime.run_until(t)
 
     def run_for(self, d: Duration) -> None:
         """Run for ``d`` nanoseconds of virtual time from ``now``."""
+        if d < 0:
+            raise ConfigurationError(f"run_for({d}): duration must be >= 0")
         self.run_until(self._now + d)
 
     def stop(self) -> None:

@@ -241,6 +241,11 @@ class RoundTemplateEngine:
             return None
         self._reset()
         sim = self.sim
+        if not sim._runtime.supports_round_templates:
+            # Bulk round replay is only sound when nothing outside the
+            # event queue observes intermediate instants; paced/asyncio
+            # runtimes gate every event against an external clock.
+            return None
         if sim.flows.enabled or sim._profiling:
             return None
         if sim.trace._listeners:

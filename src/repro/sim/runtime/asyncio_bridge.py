@@ -1,0 +1,286 @@
+"""Asyncio-bridged runtime: coroutines and subprocesses as partitions.
+
+The simulated DECOS network stays fully deterministic in virtual time,
+but the dispatch loop is driven *from inside an asyncio event loop*:
+after every simulated event (configurable via ``yield_every``) control
+is yielded to asyncio, so ordinary coroutines — or coroutines wrapping
+``asyncio.create_subprocess_exec`` pipes — can run interleaved with the
+simulation and act as software-in-the-loop partitions.
+
+Partition coroutines talk to the simulated network through
+:class:`AsyncPort`:
+
+* ``port.deliver`` is a plain callable suitable for wiring as a job's
+  ``on_message`` handler (or any delivery callback) — it enqueues the
+  delivery for the coroutine side.
+* ``await port.recv()`` waits for the next enqueued delivery.
+* ``await port.send(vn, name, instance)`` injects an ET message into a
+  virtual network and yields so the simulation can propagate it.
+* ``await runtime.sleep(d)`` suspends the coroutine for ``d`` virtual
+  nanoseconds (scheduled on the simulator, not the wall clock).
+
+When ``pace`` is set the loop additionally gates virtual time against
+the wall clock exactly like the paced runtime (``pace`` = sim-ns per
+wall-ns); unpaced, the simulation runs as fast as the asyncio loop
+allows while still yielding between events.  When the event queue goes
+empty but the horizon has not been reached (partitions may still be
+computing), virtual time advances in ``idle_quantum_ns`` hops so
+virtual-time sleeps and timeouts keep their meaning.
+
+Cancellation (``asyncio.CancelledError`` or KeyboardInterrupt) mid-run
+flushes the simulator's trace sinks before propagating, mirroring the
+CLI exit-path guarantee, and is counted in ``runtime.cancelled_runs``.
+
+This module is sanctioned for wall-clock access in the determinism lint
+(see :data:`repro.check.determinism.SANCTIONED_FILES`): bridging to a
+wall-clock event loop is its entire purpose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from time import perf_counter_ns
+
+from ...errors import ConfigurationError
+from .base import Runtime
+
+__all__ = ["AsyncioBridgedRuntime", "AsyncPort"]
+
+#: Virtual-time hop used while the event queue is empty (1 ms): keeps
+#: virtual time moving so partition-side timeouts stay meaningful.
+DEFAULT_IDLE_QUANTUM_NS = 1_000_000
+
+
+class AsyncPort:
+    """Awaitable mailbox pairing a partition coroutine with the sim.
+
+    Deliveries arrive via :meth:`deliver` (wired as a delivery callback
+    inside the simulation) and are consumed with ``await recv()``;
+    injections go the other way with ``await send(...)``.
+    """
+
+    def __init__(self, runtime: AsyncioBridgedRuntime) -> None:
+        self._runtime = runtime
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self.delivered = 0
+        self.sent = 0
+
+    # -- sim side ------------------------------------------------------
+    def deliver(self, *args) -> None:
+        """Delivery callback (e.g. assign to a job's ``on_message``)."""
+        self.delivered += 1
+        self._queue.put_nowait(args)
+
+    # -- coroutine side ------------------------------------------------
+    async def recv(self):
+        """Await the next delivery; returns the callback's arg tuple."""
+        return await self._queue.get()
+
+    async def send(self, vn, name: str, instance, sender_job: str = "") -> bool:
+        """Inject an ET message into ``vn`` and yield to the simulation."""
+        ok = vn.send(name, instance, sender_job=sender_job)
+        if ok:
+            self.sent += 1
+        # Yield so the dispatch loop can propagate the injection before
+        # the caller awaits the response.
+        await asyncio.sleep(0)
+        return ok
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+
+class AsyncioBridgedRuntime(Runtime):
+    """Drive the kernel from asyncio; coroutines act as partitions."""
+
+    name = "asyncio"
+    supports_round_templates = False
+
+    def __init__(self, pace: float | None = None,
+                 idle_quantum_ns: int = DEFAULT_IDLE_QUANTUM_NS,
+                 yield_every: int = 1) -> None:
+        if pace is not None and pace <= 0:
+            raise ConfigurationError(f"pace must be positive, got {pace}")
+        if idle_quantum_ns <= 0:
+            raise ConfigurationError(
+                f"idle quantum must be positive, got {idle_quantum_ns}"
+            )
+        if yield_every < 1:
+            raise ConfigurationError(
+                f"yield_every must be >= 1, got {yield_every}"
+            )
+        super().__init__()
+        self.pace = pace
+        self.idle_quantum_ns = idle_quantum_ns
+        self.yield_every = yield_every
+        self._partitions: list = []
+        self._ports: list[AsyncPort] = []
+        self._partition_error: BaseException | None = None
+        # statistics ----------------------------------------------------
+        self.yields = 0
+        self.idle_hops = 0
+        self.cancelled_runs = 0
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self._m_cancelled = sim.metrics.counter("runtime.cancelled_runs")
+
+    # ------------------------------------------------------------------
+    # partition / port API
+    # ------------------------------------------------------------------
+    def add_partition(self, factory) -> None:
+        """Register a partition: ``factory(runtime)`` must return a
+        coroutine.  Partitions are spawned as tasks when the sync
+        facade (:meth:`run_until`) starts its event loop, and cancelled
+        when the run ends."""
+        self._partitions.append(factory)
+
+    def port(self) -> AsyncPort:
+        """Create an :class:`AsyncPort` mailbox bound to this runtime."""
+        p = AsyncPort(self)
+        self._ports.append(p)
+        return p
+
+    async def sleep(self, d: int) -> None:
+        """Suspend the calling coroutine for ``d`` virtual nanoseconds."""
+        sim = self._bound()
+        fut = asyncio.get_running_loop().create_future()
+
+        def wake() -> None:
+            if not fut.done():
+                fut.set_result(None)
+
+        sim.after(d, wake, label="runtime.asyncio.wake")
+        await fut
+
+    # ------------------------------------------------------------------
+    # the dispatch loop
+    # ------------------------------------------------------------------
+    async def run_until_async(self, t: int) -> None:
+        """Async core: drive the kernel to ``t`` inside a running loop."""
+        sim = self._bound()
+        if t < sim._now:
+            raise ConfigurationError(
+                f"run_until({t}) is in the past (now={sim._now})"
+            )
+        sim._guard_reentry()
+        queue = sim._queue
+        step = sim.step
+        anchor_wall = perf_counter_ns()
+        anchor_sim = sim._now
+        since_yield = 0
+        try:
+            while not sim._stopped:
+                if self._partition_error is not None:
+                    raise self._partition_error
+                nxt = queue.peek_time()
+                if nxt is None or nxt > t:
+                    if sim._now >= t:
+                        break
+                    # Idle: the queue has nothing before the horizon but
+                    # partitions may still be computing — hop virtual
+                    # time forward and give asyncio a turn.
+                    hop = min(sim._now + self.idle_quantum_ns,
+                              nxt if nxt is not None else t, t)
+                    sim._now = hop
+                    self.idle_hops += 1
+                    await self._breathe(hop, anchor_wall, anchor_sim)
+                    continue
+                if self.pace is not None:
+                    deadline = anchor_wall + int((nxt - anchor_sim) / self.pace)
+                    lag = deadline - perf_counter_ns()
+                    if lag > 0:
+                        await asyncio.sleep(lag / 1e9)
+                step()
+                since_yield += 1
+                if since_yield >= self.yield_every:
+                    since_yield = 0
+                    self.yields += 1
+                    await asyncio.sleep(0)
+            if not sim._stopped and sim._now < t:
+                sim._now = t
+        except (asyncio.CancelledError, KeyboardInterrupt):
+            self._on_cancel()
+            raise
+        finally:
+            sim._running = False
+            sim._stopped = False
+
+    async def _breathe(self, hop_t: int, anchor_wall: int,
+                       anchor_sim: int) -> None:
+        """Yield during an idle hop (paced: sleep to the hop deadline)."""
+        if self.pace is not None:
+            deadline = anchor_wall + int((hop_t - anchor_sim) / self.pace)
+            lag = deadline - perf_counter_ns()
+            await asyncio.sleep(max(lag / 1e9, 0))
+        else:
+            await asyncio.sleep(0)
+
+    def _on_cancel(self) -> None:
+        """Mid-flight cancellation: flush trace sinks, count, propagate."""
+        self.cancelled_runs += 1
+        self._m_cancelled.inc()
+        sim = self.sim
+        if sim is not None:
+            sim.trace.close()
+
+    # ------------------------------------------------------------------
+    # sync facade
+    # ------------------------------------------------------------------
+    def run_until(self, t: int) -> None:
+        """Own an event loop: spawn registered partitions, drive the sim
+        to ``t``, then cancel the partitions.  A partition that crashes
+        aborts the run and its exception propagates."""
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise ConfigurationError(
+                "an asyncio event loop is already running: await "
+                "run_until_async() instead of calling run_until()"
+            )
+        asyncio.run(self._drive(t))
+
+    def run(self, max_events: int | None = None) -> None:
+        raise ConfigurationError(
+            "the asyncio runtime has no open-ended run(): partitions need "
+            "a horizon — use run_until()/run_for()"
+        )
+
+    async def _drive(self, t: int) -> None:
+        self._partition_error = None
+        tasks = [asyncio.ensure_future(factory(self))
+                 for factory in self._partitions]
+
+        def _observe(task: asyncio.Task) -> None:
+            if task.cancelled():
+                return
+            exc = task.exception()
+            if exc is not None and self._partition_error is None:
+                self._partition_error = exc
+
+        for task in tasks:
+            task.add_done_callback(_observe)
+        try:
+            await self.run_until_async(t)
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "pace": self.pace,
+            "idle_quantum_ns": self.idle_quantum_ns,
+            "yield_every": self.yield_every,
+            "partitions": len(self._partitions),
+            "ports": len(self._ports),
+            "yields": self.yields,
+            "idle_hops": self.idle_hops,
+            "injected": sum(p.sent for p in self._ports),
+            "delivered": sum(p.delivered for p in self._ports),
+            "cancelled_runs": self.cancelled_runs,
+        }

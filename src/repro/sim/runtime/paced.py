@@ -1,0 +1,196 @@
+"""Paced real-time runtime: virtual time gated against the wall clock.
+
+Every event keeps its exact virtual-time semantics — identical order,
+identical trace digest — but execution is *paced*: before dispatching an
+event at virtual instant ``T`` the runtime sleeps until the wall clock
+reaches ``anchor + (T - anchor_sim) / pace``.  ``pace`` is the ratio of
+virtual to wall time: ``1.0`` is real time, ``100.0`` advances 100
+simulated seconds per wall second (the CI smoke setting), ``0.5`` runs
+at half speed for demonstrations.
+
+Deadline accounting
+-------------------
+A callback that overruns (or a loaded host) makes the next event late.
+Lateness beyond ``miss_tolerance_ns`` is a **deadline miss**, counted in
+the ``runtime.deadline_misses`` metric with the observed lag in the
+``runtime.lag_ns`` histogram.  What happens next is the catch-up policy:
+
+``slip`` (default)
+    The wall anchor is re-based at the miss, so the whole schedule
+    slips and one long stall counts once.  This is the ``tolerant``
+    middleware behaviour: cadence matters, absolute wall alignment
+    does not.
+``hurry``
+    The original anchor is kept: the runtime dispatches late events
+    back-to-back (no sleeping) until it has caught up, counting every
+    event that individually missed its deadline.  This is the strict
+    interpretation: lateness is visible until the backlog clears.
+
+Cancellation (KeyboardInterrupt) mid-run flushes the simulator's trace
+sinks before propagating, mirroring the CLI exit-path guarantee, and is
+counted in ``runtime.cancelled_runs``.
+
+This module is sanctioned for wall-clock access in the determinism lint
+(see :data:`repro.check.determinism.SANCTIONED_FILES`): pacing against
+``perf_counter_ns`` is its entire purpose.  Virtual-time behaviour stays
+deterministic; only the ``runtime.*`` metrics are wall-clock-tainted.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns, sleep
+
+from ...errors import ConfigurationError
+from .base import Runtime
+
+__all__ = ["PacedRealTimeRuntime", "CATCH_UP_POLICIES"]
+
+#: Recognized catch-up policies (see module docs).
+CATCH_UP_POLICIES = ("slip", "hurry")
+
+#: Lateness below this threshold is scheduling noise, not a miss (1 ms).
+DEFAULT_MISS_TOLERANCE_NS = 1_000_000
+
+
+class PacedRealTimeRuntime(Runtime):
+    """Dispatch events against the wall clock at a configurable ratio."""
+
+    name = "realtime"
+    supports_round_templates = False
+
+    def __init__(self, pace: float = 1.0,
+                 miss_tolerance_ns: int = DEFAULT_MISS_TOLERANCE_NS,
+                 catch_up: str = "slip") -> None:
+        if pace <= 0:
+            raise ConfigurationError(f"pace must be positive, got {pace}")
+        if catch_up not in CATCH_UP_POLICIES:
+            raise ConfigurationError(
+                f"unknown catch-up policy {catch_up!r} "
+                f"(choose from {CATCH_UP_POLICIES})"
+            )
+        if miss_tolerance_ns < 0:
+            raise ConfigurationError(
+                f"miss tolerance must be >= 0, got {miss_tolerance_ns}"
+            )
+        super().__init__()
+        self.pace = float(pace)
+        self.miss_tolerance_ns = miss_tolerance_ns
+        self.catch_up = catch_up
+        # statistics ----------------------------------------------------
+        self.deadline_misses = 0
+        self.max_lag_ns = 0
+        self.slept_ns = 0
+        self.cancelled_runs = 0
+        self._anchor_wall = 0
+        self._anchor_sim = 0
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        m = sim.metrics
+        self._m_misses = m.counter("runtime.deadline_misses")
+        self._m_lag = m.histogram("runtime.lag_ns")
+        self._m_cancelled = m.counter("runtime.cancelled_runs")
+
+    # ------------------------------------------------------------------
+    # pacing
+    # ------------------------------------------------------------------
+    def _pace_to(self, sim_t: int) -> None:
+        """Sleep until the wall deadline for virtual instant ``sim_t``;
+        account a deadline miss (and apply the catch-up policy) if the
+        deadline has already passed by more than the tolerance."""
+        deadline = self._anchor_wall + int((sim_t - self._anchor_sim) / self.pace)
+        now = perf_counter_ns()
+        if now < deadline:
+            sleep((deadline - now) / 1e9)
+            self.slept_ns += deadline - now
+            return
+        lag = now - deadline
+        if lag > self.miss_tolerance_ns:
+            self.deadline_misses += 1
+            self._m_misses.inc()
+            self._m_lag.observe(lag)
+            if lag > self.max_lag_ns:
+                self.max_lag_ns = lag
+            if self.catch_up == "slip":
+                # Re-base: future deadlines are measured from the missed
+                # instant, so one long stall is one miss, not a cascade.
+                self._anchor_wall = now
+                self._anchor_sim = sim_t
+
+    def _rebase(self) -> None:
+        """Anchor wall time to the current virtual instant (run start)."""
+        self._anchor_wall = perf_counter_ns()
+        self._anchor_sim = self._bound()._now
+
+    def _on_cancel(self) -> None:
+        """Mid-flight cancellation: flush trace sinks, count, propagate."""
+        self.cancelled_runs += 1
+        self._m_cancelled.inc()
+        sim = self.sim
+        if sim is not None:
+            sim.trace.close()
+
+    # ------------------------------------------------------------------
+    # the dispatch loop
+    # ------------------------------------------------------------------
+    def run_until(self, t: int) -> None:
+        sim = self._bound()
+        sim._guard_reentry()
+        self._rebase()
+        queue = sim._queue
+        step = sim.step
+        try:
+            while not sim._stopped:
+                nxt = queue.peek_time()
+                if nxt is None or nxt > t:
+                    break
+                self._pace_to(nxt)
+                step()
+            if not sim._stopped and sim._now < t:
+                # Idle tail: the horizon itself is a deadline too.
+                self._pace_to(t)
+                sim._now = t
+        except KeyboardInterrupt:
+            self._on_cancel()
+            raise
+        finally:
+            sim._running = False
+            sim._stopped = False
+
+    def run(self, max_events: int | None = None) -> None:
+        sim = self._bound()
+        sim._guard_reentry()
+        self._rebase()
+        queue = sim._queue
+        step = sim.step
+        try:
+            budget = max_events
+            while not sim._stopped:
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    budget -= 1
+                nxt = queue.peek_time()
+                if nxt is None:
+                    break
+                self._pace_to(nxt)
+                step()
+        except KeyboardInterrupt:
+            self._on_cancel()
+            raise
+        finally:
+            sim._running = False
+            sim._stopped = False
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "pace": self.pace,
+            "catch_up": self.catch_up,
+            "miss_tolerance_ns": self.miss_tolerance_ns,
+            "deadline_misses": self.deadline_misses,
+            "max_lag_ns": self.max_lag_ns,
+            "slept_ns": self.slept_ns,
+            "cancelled_runs": self.cancelled_runs,
+        }

@@ -1,0 +1,360 @@
+"""The pluggable runtime layer: parity, pacing, and the asyncio bridge.
+
+The refactor's correctness claim is that a runtime changes *when* events
+execute on the wall clock, never *what* executes in virtual time: every
+registered scenario must produce a byte-identical trace digest under
+every runtime.  On top of parity these tests cover the paced runtime's
+deadline-miss accounting (both catch-up policies), uniform past-target
+validation, cancellation flushing, round-template refusal under
+non-simulated runtimes, and a software-in-the-loop round trip where a
+coroutine partition injects an ET message and awaits its cross-VN
+delivery through the gateway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.executor import run_scenario, trace_digest
+from repro.runner.scenarios import build_scenario, default_registry
+from repro.sim import (
+    MS,
+    SEC,
+    AsyncioBridgedRuntime,
+    PacedRealTimeRuntime,
+    SimulatedRuntime,
+    Simulator,
+    TraceCategory,
+    make_runtime,
+    make_trace,
+)
+
+from .support import e5_gateway_system
+
+REGISTRY = default_registry()
+
+#: Smoke-horizon scenarios cheap enough to run under wall-clock pacing.
+SMOKE = ("gw-pipeline-smoke", "tdma-smoke", "car-smoke")
+
+
+# ----------------------------------------------------------------------
+# digest parity: the simulated runtime IS the old kernel loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_simulated_runtime_reproduces_golden_digests(name: str) -> None:
+    """Every registered scenario (round templates armed, per defaults)
+    must produce the same digest whether it runs on the builder's
+    default runtime or on an explicitly constructed SimulatedRuntime
+    swapped in via ``set_runtime`` — the refactor moved the loop, it
+    must not have changed it."""
+    spec = REGISTRY[name]
+    golden = run_scenario(spec)
+    assert "error" not in golden
+    assert golden["runtime"] == "sim"
+    assert "runtime_stats" not in golden
+
+    sim = build_scenario(spec)
+    sim.set_runtime(SimulatedRuntime())
+    try:
+        sim.run_until(spec.horizon_ns)
+    finally:
+        sim.trace.close()
+    assert trace_digest(sim) == golden["digest"]
+    assert sim.events_executed == golden["events_executed"]
+
+
+@pytest.mark.parametrize("name", SMOKE)
+def test_paced_runtime_digest_parity_at_high_ratio(name: str) -> None:
+    """At pacing ratios >= 100x the paced runtime must reproduce the
+    simulated digest exactly, while still accounting deadline misses
+    into the metrics registry."""
+    spec = REGISTRY[name]
+    base = run_scenario(spec)
+    paced = run_scenario(
+        spec.with_param("runtime", "realtime").with_param("pace", 1e6))
+    assert "error" not in paced
+    assert paced["runtime"] == "realtime"
+    assert paced["digest"] == base["digest"]
+    assert paced["now_ns"] == base["now_ns"]
+    stats = paced["runtime_stats"]
+    assert stats["pace"] == 1e6
+    # The miss counter exists (the runtime bound its instruments) and
+    # matches the metrics registry, whatever the host's timing did.
+    assert (paced["metrics"]["counters"]["runtime.deadline_misses"]
+            == stats["deadline_misses"])
+
+
+def test_asyncio_runtime_digest_parity() -> None:
+    """An unpaced asyncio bridge run is virtual-time identical too."""
+    spec = REGISTRY["gw-pipeline-smoke"]
+    base = run_scenario(spec)
+    bridged = run_scenario(spec.with_param("runtime", "asyncio"))
+    assert "error" not in bridged
+    assert bridged["runtime"] == "asyncio"
+    assert bridged["digest"] == base["digest"]
+
+
+def test_round_templates_refuse_under_paced_runtime() -> None:
+    """tdma-smoke replays rounds under the simulated runtime; under the
+    paced runtime the engine must stay dormant (bulk replay would skip
+    the wall-clock gating of every intermediate event) while the digest
+    stays identical."""
+    spec = REGISTRY["tdma-smoke"]
+    base = run_scenario(spec)
+    sim = build_scenario(
+        spec.with_param("runtime", "realtime").with_param("pace", 1e6))
+    try:
+        sim.run_until(spec.horizon_ns)
+    finally:
+        sim.trace.close()
+    stats = sim.round_template.stats()
+    assert stats["active"]  # activation requested, arming refused
+    assert stats["recordings"] == 0
+    assert stats["replays"] == 0
+    assert trace_digest(sim) == base["digest"]
+
+
+# ----------------------------------------------------------------------
+# paced runtime: pacing and deadline-miss accounting
+# ----------------------------------------------------------------------
+def test_paced_runtime_actually_paces() -> None:
+    """1 simulated second at pace 100 must take roughly 10 ms of wall
+    time (lower-bounded; an unpaced run finishes in microseconds)."""
+    rt = PacedRealTimeRuntime(pace=100.0)
+    sim = Simulator(seed=0, runtime=rt)
+    ticks: list[int] = []
+    sim.every(10 * MS, lambda: ticks.append(sim.now), label="tick")
+    t0 = time.perf_counter()
+    sim.run_until(1 * SEC)
+    elapsed = time.perf_counter() - t0
+    assert len(ticks) == 101  # t=0 .. t=1s inclusive
+    assert sim.now == 1 * SEC
+    assert elapsed >= 0.008  # ~10 ms nominal, generous floor
+    assert rt.slept_ns > 0
+
+
+def _stalled_run(catch_up: str) -> PacedRealTimeRuntime:
+    """50 events 1 ms apart at real-time pace; the 5th stalls 30 ms."""
+    rt = PacedRealTimeRuntime(pace=1.0, catch_up=catch_up)
+    sim = Simulator(seed=0, runtime=rt)
+    for i in range(1, 51):
+        cb = (lambda: time.sleep(0.03)) if i == 5 else (lambda: None)
+        sim.at(i * MS, cb, label="tick")
+    sim.run_until(50 * MS)
+    return rt
+
+
+def test_deadline_miss_policies() -> None:
+    """A single long stall is one miss under ``slip`` (the schedule is
+    re-anchored) but a cascade under ``hurry`` (every late event counts
+    until the backlog clears)."""
+    slip = _stalled_run("slip")
+    assert slip.deadline_misses >= 1
+    assert slip.max_lag_ns > slip.miss_tolerance_ns
+    hurry = _stalled_run("hurry")
+    assert hurry.deadline_misses > slip.deadline_misses
+
+
+def test_deadline_misses_recorded_in_metrics() -> None:
+    rt = PacedRealTimeRuntime(pace=1.0)
+    sim = Simulator(seed=0, runtime=rt)
+    sim.at(1 * MS, lambda: time.sleep(0.02))
+    sim.at(2 * MS, lambda: None)
+    sim.run_until(2 * MS)
+    snapshot = sim.metrics.snapshot()
+    assert snapshot["counters"]["runtime.deadline_misses"] == rt.deadline_misses
+    assert rt.deadline_misses >= 1
+    assert "runtime.lag_ns" in snapshot["histograms"]
+
+
+def test_paced_runtime_rejects_bad_config() -> None:
+    with pytest.raises(ConfigurationError):
+        PacedRealTimeRuntime(pace=0)
+    with pytest.raises(ConfigurationError):
+        PacedRealTimeRuntime(catch_up="panic")
+    with pytest.raises(ConfigurationError):
+        PacedRealTimeRuntime(miss_tolerance_ns=-1)
+
+
+# ----------------------------------------------------------------------
+# uniform validation and binding rules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("runtime_name", ("sim", "realtime", "asyncio"))
+def test_past_target_raises_uniformly(runtime_name: str) -> None:
+    sim = Simulator(seed=0, runtime=make_runtime(runtime_name, pace=None))
+    sim.run_until(10)
+    with pytest.raises(ConfigurationError):
+        sim.run_until(5)
+    with pytest.raises(ConfigurationError):
+        sim.run_for(-1)
+    assert sim.now == 10  # failed validation must not move time
+
+
+def test_async_entry_point_validates_past_target_too() -> None:
+    rt = AsyncioBridgedRuntime()
+    sim = Simulator(seed=0, runtime=rt)
+    sim.run_until(10)
+    with pytest.raises(ConfigurationError):
+        asyncio.run(rt.run_until_async(5))
+
+
+def test_make_runtime_validation() -> None:
+    with pytest.raises(ConfigurationError):
+        make_runtime("warp")
+    with pytest.raises(ConfigurationError):
+        make_runtime("sim", pace=2.0)
+    assert make_runtime("realtime").pace == 1.0
+    assert make_runtime("realtime", pace=50.0).pace == 50.0
+    assert make_runtime("asyncio").pace is None
+
+
+def test_runtime_binds_to_exactly_one_simulator() -> None:
+    rt = SimulatedRuntime()
+    Simulator(seed=0, runtime=rt)
+    with pytest.raises(ConfigurationError):
+        Simulator(seed=1, runtime=rt)
+
+
+def test_set_runtime_refused_while_running() -> None:
+    sim = Simulator(seed=0)
+    sim.at(5, lambda: sim.set_runtime(SimulatedRuntime()))
+    with pytest.raises(ConfigurationError):
+        sim.run_until(10)
+
+
+# ----------------------------------------------------------------------
+# cancellation mid-flight must flush trace sinks
+# ----------------------------------------------------------------------
+def _stream_sim(tmp_path, runtime):
+    path = tmp_path / "trace.ndjson"
+    sim = Simulator(seed=0, trace=make_trace("stream", str(path)),
+                    runtime=runtime)
+    def emit() -> None:
+        sim.trace.record(sim.now, TraceCategory.SLOT_START, "test.src",
+                         note="cancellation-flush")
+    sim.every(1 * MS, emit, label="emit")
+    return sim, path
+
+
+def test_paced_keyboard_interrupt_flushes_stream_sink(tmp_path) -> None:
+    rt = PacedRealTimeRuntime(pace=1e6)
+    sim, path = _stream_sim(tmp_path, rt)
+
+    def boom() -> None:
+        raise KeyboardInterrupt
+
+    sim.at(10 * MS, boom, label="boom")
+    with pytest.raises(KeyboardInterrupt):
+        sim.run_until(1 * SEC)
+    assert rt.cancelled_runs == 1
+    assert sim.metrics.snapshot()["counters"]["runtime.cancelled_runs"] == 1
+    # The stream sink was flushed and closed: records written before the
+    # interrupt are on disk, not stranded in a dead buffer.
+    assert path.exists() and path.stat().st_size > 0
+    assert sum(1 for _ in open(path)) >= 10
+
+
+def test_asyncio_cancellation_flushes_stream_sink(tmp_path) -> None:
+    rt = AsyncioBridgedRuntime()
+    sim, path = _stream_sim(tmp_path, rt)
+
+    async def drive() -> None:
+        task = asyncio.ensure_future(rt.run_until_async(10**15))
+        # yield_every=1: each pass lets one event through
+        for _ in range(300):
+            await asyncio.sleep(0)
+        task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await task
+
+    asyncio.run(drive())
+    assert rt.cancelled_runs == 1
+    assert path.exists() and path.stat().st_size > 0
+
+
+# ----------------------------------------------------------------------
+# the asyncio bridge as a software-in-the-loop substrate
+# ----------------------------------------------------------------------
+def test_asyncio_partition_round_trip_through_gateway() -> None:
+    """A coroutine partition injects an ET message into the sensor DAS
+    and awaits its delivery on the TT climate DAS — i.e. the full
+    ET VN -> gateway -> TT VN path crossed from application code living
+    outside the simulator."""
+    rt = AsyncioBridgedRuntime()
+    sim = Simulator(seed=5, runtime=rt)
+    system = e5_gateway_system(sim=sim)
+    # Silence the built-in periodic sender: the only traffic is the
+    # partition's, so a delivery proves *its* message crossed.
+    system.job("sender").vn = None
+    vn = system.vn("sensors")
+    src_type = vn.namespace.lookup("msgSensorBundle")
+    port = rt.port()
+    system.job("viewer").on_message = port.deliver
+
+    log: list[tuple] = []
+
+    async def partition(runtime: AsyncioBridgedRuntime) -> None:
+        ok = await port.send(
+            vn, "msgSensorBundle",
+            src_type.instance(Temp={"c": 21, "t_src": 0},
+                              Humidity={"pct": 55}),
+            sender_job="sil")
+        assert ok
+        log.append(("sent", sim.now))
+        port_name, instance, arrival = await port.recv()
+        log.append(("delivered", sim.now, port_name,
+                    instance.get("Temp", "c")))
+
+    rt.add_partition(partition)
+    sim.run_until(200 * MS)
+
+    assert [entry[0] for entry in log] == ["sent", "delivered"]
+    sent_at = log[0][1]
+    _, delivered_at, port_name, temp_c = log[1]
+    assert delivered_at > sent_at
+    assert temp_c == 21  # the payload survived gateway conversion
+    assert port.delivered >= 1
+    assert rt.stats()["injected"] == 1
+
+
+def test_asyncio_partition_crash_aborts_run() -> None:
+    rt = AsyncioBridgedRuntime()
+    sim = Simulator(seed=0, runtime=rt)
+    sim.every(1 * MS, lambda: None, label="tick")
+
+    async def bad_partition(runtime: AsyncioBridgedRuntime) -> None:
+        await asyncio.sleep(0)
+        raise RuntimeError("partition died")
+
+    rt.add_partition(bad_partition)
+    with pytest.raises(RuntimeError, match="partition died"):
+        sim.run_until(1 * SEC)
+
+
+def test_asyncio_virtual_time_sleep() -> None:
+    rt = AsyncioBridgedRuntime()
+    sim = Simulator(seed=0, runtime=rt)
+    sim.every(1 * MS, lambda: None, label="tick")
+    wakes: list[int] = []
+
+    async def sleeper(runtime: AsyncioBridgedRuntime) -> None:
+        await runtime.sleep(5 * MS)
+        wakes.append(sim.now)
+        await runtime.sleep(10 * MS)
+        wakes.append(sim.now)
+
+    rt.add_partition(sleeper)
+    sim.run_until(50 * MS)
+    assert len(wakes) == 2
+    assert wakes[1] - wakes[0] == 10 * MS
+
+
+def test_asyncio_open_ended_run_is_refused() -> None:
+    rt = AsyncioBridgedRuntime()
+    Simulator(seed=0, runtime=rt)
+    with pytest.raises(ConfigurationError):
+        rt.run(None)

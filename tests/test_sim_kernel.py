@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim import EventPriority, Simulator
 
 
@@ -79,8 +79,10 @@ def test_run_until_executes_events_at_exact_boundary():
 def test_run_until_past_raises():
     sim = Simulator()
     sim.run_until(10)
-    with pytest.raises(SimulationError):
+    with pytest.raises(ConfigurationError):
         sim.run_until(5)
+    with pytest.raises(ConfigurationError):
+        sim.run_for(-1)
 
 
 def test_run_for():

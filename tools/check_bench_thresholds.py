@@ -1,15 +1,18 @@
 #!/usr/bin/env python
 """Guard recorded benchmark speedups against regression.
 
-Re-runs nothing itself: it compares the speedups a fresh benchmark run
-just wrote into ``BENCH_substrate.json`` against the hard floors the
-repo promises (kernel ``batched_speedup`` >= 1.2, round-template
-fast-forward >= 3.0 on each pure-TT scenario).
+Re-runs nothing itself: it compares the numbers a fresh benchmark run
+just wrote into ``BENCH_substrate.json`` against the bounds the repo
+promises (kernel ``batched_speedup`` >= 1.2, round-template
+fast-forward >= 3.0 on each pure-TT scenario, paced-runtime dispatch
+overhead <= 10x the simulated runtime).
 
-Shared CI runners are noisy, so each floor is first scaled by
-``--tolerance`` (default 0.85): a value below ``floor * tolerance``
-fails the job, a value between the scaled and the nominal floor only
-warns.  ``--tolerance 1.0`` makes every floor hard.
+Shared CI runners are noisy, so each bound is first relaxed by
+``--tolerance`` (default 0.85): for a ``min`` bound a value below
+``floor * tolerance`` fails the job and one between the scaled and the
+nominal floor only warns; a ``max`` bound mirrors this (fail above
+``ceiling / tolerance``, warn above the nominal ceiling).
+``--tolerance 1.0`` makes every bound hard.
 
 Usage::
 
@@ -24,11 +27,13 @@ import json
 import sys
 from pathlib import Path
 
-#: (section, key-path, nominal floor) — key-path walks nested dicts.
-THRESHOLDS: tuple[tuple[str, tuple[str, ...], float], ...] = (
-    ("kernel", ("batched_speedup",), 1.2),
-    ("round_template", ("tdma_cluster", "speedup"), 3.0),
-    ("round_template", ("tt_vn_pipeline", "speedup"), 3.0),
+#: (section, key-path, nominal bound, direction) — key-path walks nested
+#: dicts; direction "min" is a floor, "max" a ceiling.
+THRESHOLDS: tuple[tuple[str, tuple[str, ...], float, str], ...] = (
+    ("kernel", ("batched_speedup",), 1.2, "min"),
+    ("round_template", ("tdma_cluster", "speedup"), 3.0, "min"),
+    ("round_template", ("tt_vn_pipeline", "speedup"), 3.0, "min"),
+    ("runtime", ("paced_overhead_x",), 10.0, "max"),
 )
 
 
@@ -62,7 +67,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     failures = warnings = 0
-    for section_name, key_path, floor in THRESHOLDS:
+    for section_name, key_path, bound, direction in THRESHOLDS:
         label = f"{section_name}.{'.'.join(key_path)}"
         section = bench.get(section_name)
         if not isinstance(section, dict):
@@ -73,16 +78,28 @@ def main(argv: list[str] | None = None) -> int:
         if value is None:
             print(f"FAIL {label}: key missing from section")
             failures += 1
-        elif value < floor * tolerance:
-            print(f"FAIL {label}: {value:.3f} < {floor * tolerance:.3f} "
-                  f"(floor {floor} x tolerance {tolerance})")
-            failures += 1
-        elif value < floor:
-            print(f"WARN {label}: {value:.3f} below nominal floor {floor} "
-                  f"(within tolerance {tolerance})")
-            warnings += 1
+        elif direction == "min":
+            if value < bound * tolerance:
+                print(f"FAIL {label}: {value:.3f} < {bound * tolerance:.3f} "
+                      f"(floor {bound} x tolerance {tolerance})")
+                failures += 1
+            elif value < bound:
+                print(f"WARN {label}: {value:.3f} below nominal floor {bound} "
+                      f"(within tolerance {tolerance})")
+                warnings += 1
+            else:
+                print(f"OK   {label}: {value:.3f} >= {bound}")
         else:
-            print(f"OK   {label}: {value:.3f} >= {floor}")
+            if value > bound / tolerance:
+                print(f"FAIL {label}: {value:.3f} > {bound / tolerance:.3f} "
+                      f"(ceiling {bound} / tolerance {tolerance})")
+                failures += 1
+            elif value > bound:
+                print(f"WARN {label}: {value:.3f} above nominal ceiling "
+                      f"{bound} (within tolerance {tolerance})")
+                warnings += 1
+            else:
+                print(f"OK   {label}: {value:.3f} <= {bound}")
 
     if failures:
         print(f"{failures} benchmark threshold(s) regressed")
