@@ -455,3 +455,87 @@ def test_perf_round_template_fast_forward(run_once):
     for name in SCENARIOS:
         entry = rt[name.replace("-", "_")]
         assert entry["speedup"] >= 3.0, (name, entry)
+
+
+# ----------------------------------------------------------------------
+# round-template v2: quasi-periodic arming + persistent template bank
+# ----------------------------------------------------------------------
+def test_perf_round_template_v2(run_once, tmp_path):
+    """Quasi-periodic fast path and warm starts on the car scenario.
+
+    ``car-baseline`` mixes TT rounds with ET chunk traffic, GPS bursts
+    and partition-guard windows, so strict mode disarms and v1 ran it
+    entirely live.  The quasi-periodic engine replays the recurring
+    round classes between those live punctuations.  Three configurations
+    run, all byte-identical by digest:
+
+    - *event_by_event* — ``round_template: False``, the honest baseline;
+    - *cold* — quasi-periodic arming, empty template store (compiles
+      templates while running, persists the bank);
+    - *warm* — same spec again, templates loaded from the persisted
+      bank, so replay starts from the first recurrence.
+
+    The speedups here are bounded by structure, not implementation: the
+    partition-guard windows fire every 2 ms against a 224.4 us round, so
+    ~96% of replay spans cap at 1-4 rounds and the live-event share is
+    irreducible.  The recorded numbers are the measured reality (about
+    1.5x cold / 1.6x warm on the 1-CPU CI box), and the floors assert
+    against regression, not against an aspirational 10x.
+    """
+    from repro.runner.executor import run_scenario
+    from repro.runner.scenarios import default_registry
+
+    REPS = 3
+    spec = default_registry()["car-baseline"]
+    root = str(tmp_path / "tpl")
+
+    def best_of(spec, template_root=None) -> tuple[float, dict]:
+        best = float("inf")
+        result: dict = {}
+        for _ in range(REPS):
+            t0 = time.perf_counter()
+            result = run_scenario(spec, template_root=template_root)
+            best = min(best, time.perf_counter() - t0)
+        assert "error" not in result, result
+        return best, result
+
+    def run() -> dict:
+        slow_s, slow = best_of(spec.with_param("round_template", False))
+        # Populate the store once (not timed), then time cold and warm.
+        seed = run_scenario(spec, template_root=root)
+        assert seed["template_cache"]["stored"], seed["template_cache"]
+        cold_s, cold = best_of(spec)
+        warm_s, warm = best_of(spec, template_root=root)
+        assert cold["digest"] == slow["digest"]
+        assert warm["digest"] == slow["digest"]
+        assert warm["template_cache"]["hit"]
+        assert warm["template_cache"]["templates_loaded"] >= 1
+        assert warm["template_cache"]["load_failures"] == 0
+        return {
+            "scenario": spec.name,
+            "event_by_event_s": round(slow_s, 6),
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "cold_speedup": round(slow_s / cold_s, 3),
+            "warm_speedup": round(slow_s / warm_s, 3),
+            "warm_load_speedup": round(cold_s / warm_s, 3),
+            "rounds_replayed_cold": cold["round_template"]["rounds_replayed"],
+            "rounds_replayed_warm": warm["round_template"]["rounds_replayed"],
+            "templates_loaded_warm":
+                warm["template_cache"]["templates_loaded"],
+            "digests_identical": True,
+            "provenance": provenance(
+                timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                iterations=REPS),
+        }
+
+    v2 = run_once(run)
+    out = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+    update_bench_json(out, "round_template_v2", v2)
+    # Measured: ~1.5x cold, ~1.6x warm.  Floors are regression guards;
+    # the warm run re-parses the persisted bank each rep, so its edge
+    # over cold is real but thin (~7%) — assert it is not a slowdown.
+    assert v2["cold_speedup"] >= 1.2, v2
+    assert v2["warm_speedup"] >= 1.3, v2
+    assert v2["warm_load_speedup"] >= 0.95, v2
+    assert v2["rounds_replayed_warm"] >= v2["rounds_replayed_cold"]

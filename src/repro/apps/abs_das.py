@@ -49,6 +49,24 @@ class WheelSpeedSensor(Job):
         self.port("msgWheelSpeed").write(self._mtype.instance(WheelSpeeds=fields))
         self.samples_published += 1
 
+    # -- round-template support (see repro.sim.round_template) ---------
+    def rt_counters(self) -> dict[str, int]:
+        c = super().rt_counters()
+        c["pub"] = self.samples_published
+        return c
+
+    def rt_advance(self, delta: dict[str, int], k: int, prefix: str) -> None:
+        super().rt_advance(delta, k, prefix)
+        self.samples_published += delta[prefix + "pub"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        # A distortion hook makes published payloads value-dependent in
+        # ways replay cannot reproduce; sampling itself is stateless.
+        return None if self.value_distortion is not None else ()
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        return None
+
 
 class DynamicsSensor(Job):
     """Publishes ``msgVehicleDynamics`` (yaw rate + brake pressure)."""
@@ -73,3 +91,19 @@ class DynamicsSensor(Job):
             self._mtype.instance(Dynamics=fields)
         )
         self.samples_published += 1
+
+    # -- round-template support (see repro.sim.round_template) ---------
+    def rt_counters(self) -> dict[str, int]:
+        c = super().rt_counters()
+        c["pub"] = self.samples_published
+        return c
+
+    def rt_advance(self, delta: dict[str, int], k: int, prefix: str) -> None:
+        super().rt_advance(delta, k, prefix)
+        self.samples_published += delta[prefix + "pub"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        return None if self.value_distortion is not None else ()
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        return None

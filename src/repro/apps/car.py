@@ -55,7 +55,7 @@ from .comfort_das import SlidingRoofController
 from .common import RecorderJob
 from .navigation_das import GpsReceiver, NavigationEstimator
 from .presafe_das import PreSafeController
-from .vehicle import VehicleModel, skid_trip
+from .vehicle import VehicleFingerprint, VehicleModel, skid_trip
 
 __all__ = ["CarConfig", "CarSystem", "build_car"]
 
@@ -103,8 +103,11 @@ class CarConfig:
     #: histograms.  Off by default (wall time is nondeterministic).
     profile: bool = False
     #: Round-template fast-forward (repro.sim.round_template).  On by
-    #: default; the car's ET VNs and gateways are permanent interleaving
-    #: sources, so the engine stays disengaged but records its reason.
+    #: default in *strict* mode: the car's ET VNs and gateways are
+    #: dynamic sources that block strict replay, so the engine stays
+    #: disengaged here but records its reason.  The scenario runner
+    #: re-activates quasi-periodic mode, where the same dynamics
+    #: participate via fingerprints instead (see runner/scenarios.py).
     round_template: bool = True
     #: Optional value-domain filter chain on the abs->navigation
     #: gateway (e.g. plausibility bounds on imported wheel speeds).
@@ -193,6 +196,10 @@ def build_car(config: CarConfig | None = None) -> CarSystem:
         sim.enable_profiling()
     if cfg.round_template:
         sim.round_template.activate()
+        # Pin the vehicle model's behavioural phase for quasi-periodic
+        # replay (no-op in strict mode): transitions of the quantized
+        # dynamics veto replay around them, steady phases are replayable.
+        sim.round_template.register_participant(VehicleFingerprint(vehicle))
     builder = SystemBuilder(sim=sim, major_frame=cfg.major_frame,
                             guardian_enabled=cfg.guardian_enabled)
     for node in ("front-ecu", "center-ecu", "body-ecu", "nav-ecu"):

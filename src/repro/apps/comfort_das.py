@@ -76,6 +76,31 @@ class SlidingRoofController(Job):
         self.vn.send("msgSlidingRoof", inst, sender_job=self.name)
         self.events_emitted += 1
 
+    # -- round-template support (see repro.sim.round_template) ---------
+    def rt_counters(self) -> dict[str, int]:
+        c = super().rt_counters()
+        c["emit"] = self.events_emitted
+        return c
+
+    def rt_advance(self, delta: dict[str, int], k: int, prefix: str) -> None:
+        super().rt_advance(delta, k, prefix)
+        self.events_emitted += delta[prefix + "emit"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        # Motion steps and chatter emit ET events and mutate position —
+        # those rounds run live; a due plan entry pops state (veto
+        # self-sustains until the live step consumes it).
+        if self.motion_plan and self.motion_plan[0][0] < boundary + round_len:
+            return None
+        if self.position != self.target or self.extra_chatter:
+            return None
+        return ("idle", self.position)
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        if self.motion_plan:
+            return max(0, (self.motion_plan[0][0] - boundary) // round_len)
+        return None
+
     # ------------------------------------------------------------------
     def on_message(self, port_name, instance, arrival) -> None:
         if port_name == "msgRoofCommand" and instance.get("Command", "close"):

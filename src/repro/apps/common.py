@@ -30,3 +30,13 @@ class RecorderJob(Job):
 
     def reception_times(self, port_name: str | None = None) -> list[int]:
         return [t for t, p, _ in self.received if port_name is None or p == port_name]
+
+    # -- round-template support (see repro.sim.round_template) ---------
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        # The reception log is observational only (not part of the
+        # parity surface); replayed spans advance the msg counter while
+        # the python-level log legitimately skips those entries.
+        return ()
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        return None

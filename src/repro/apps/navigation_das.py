@@ -66,6 +66,43 @@ class GpsReceiver(Job):
         }), sender_job=self.name)
         self.fixes_published += 1
 
+    # -- round-template support (see repro.sim.round_template) ---------
+    def _rt_next_fire(self) -> int:
+        """Earliest instant at which a fix could be published."""
+        cand = 0 if self._last_fix is None else self._last_fix + self.fix_period
+        moved = True
+        while moved:
+            moved = False
+            for a, b in self.outages:
+                if a <= cand < b:
+                    cand = b
+                    moved = True
+        return cand
+
+    def rt_counters(self) -> dict[str, int]:
+        c = super().rt_counters()
+        c["pub"] = self.fixes_published
+        return c
+
+    def rt_advance(self, delta: dict[str, int], k: int, prefix: str) -> None:
+        super().rt_advance(delta, k, prefix)
+        self.fixes_published += delta[prefix + "pub"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        if self.vn is None:
+            return ("unbound",)
+        # A fix fire mutates _last_fix and emits an ET send; neither can
+        # be replayed.  Veto while the next fire is due — the veto
+        # self-sustains until the live step actually performs it.
+        if self._rt_next_fire() < boundary + round_len:
+            return None
+        return ()
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        if self.vn is None:
+            return None
+        return max(0, (self._rt_next_fire() - boundary) // round_len - 1)
+
 
 class NavigationEstimator(Job):
     """Maintains (x, y, heading); GPS-first, dead reckoning as fallback.
@@ -145,6 +182,52 @@ class NavigationEstimator(Job):
         v = (left + right) / 2.0
         yaw = (right - left) / self.track_width
         return v, yaw
+
+    # -- round-template support (see repro.sim.round_template) ---------
+    # The float estimate (x, y, heading, errors) is observational — not
+    # part of the scenario parity surface — so replayed spans may skip
+    # its updates.  What must stay exact are the branch counters below,
+    # whose per-step increments depend only on which branch of on_step
+    # runs: that branch is pinned by the fingerprint cells.
+    def rt_counters(self) -> dict[str, int]:
+        c = super().rt_counters()
+        c["snap"] = self.gps_snaps
+        c["dr"] = self.dead_reckoning_steps
+        return c
+
+    def rt_advance(self, delta: dict[str, int], k: int, prefix: str) -> None:
+        super().rt_advance(delta, k, prefix)
+        self.gps_snaps += delta[prefix + "snap"] * k
+        self.dead_reckoning_steps += delta[prefix + "dr"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        gps = self._ports.get("msgGpsFix")
+        if gps is None:
+            cls = "noport"
+        else:
+            t_fix = gps._t_update
+            if gps._value is None or t_fix is None:
+                cls = "nofix"
+            else:
+                cut = t_fix + self.gps_fresh_ns
+                if cut >= boundary + round_len:
+                    cls = "fresh"
+                elif cut > boundary:
+                    return None  # freshness expires mid-round — run live
+                else:
+                    cls = "stale"
+        odo = self._ports.get("msgOdometry")
+        has_odo = odo is not None and odo._value is not None
+        return (cls, has_odo, self._last_step is None)
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        gps = self._ports.get("msgGpsFix")
+        if gps is None or gps._value is None or gps._t_update is None:
+            return None
+        cut = gps._t_update + self.gps_fresh_ns
+        if cut <= boundary:
+            return None  # already stale — no freshness transition ahead
+        return max(0, (cut - boundary) // round_len)
 
     # ------------------------------------------------------------------
     def error_during(self, since: int, until: int) -> list[float]:

@@ -81,3 +81,33 @@ class PreSafeController(Job):
             "close": True, "t_cmd": obs_time(now),
         }), sender_job=self.name)
         self.commands_sent.append(now)
+
+    # -- round-template support (see repro.sim.round_template) ---------
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        if not self._armed:
+            if self._last_fire is None:
+                return None  # inconsistent — be conservative
+            due = self._last_fire + self.rearm_after
+            if due < boundary + round_len:
+                return None  # re-arm flips _armed this round — run live
+            return ("disarmed",)
+        port = self._ports.get("msgDynamicsPreSafe")
+        if port is None:
+            return ("noimport",)
+        dyn = port._value
+        if dyn is None:
+            return ("armed", "nodata")
+        # Same hazard predicate as on_step (side-effect-free peek): a
+        # firing round mutates _armed/_last_fire and emits ET sends, so
+        # it must run live; the veto self-sustains until the fire.
+        yaw = abs(from_mrad_per_s(dyn.get("Dynamics", "yaw_rate")))
+        brake = dyn.get("Dynamics", "brake") / 1000.0
+        if yaw >= self.yaw_threshold or brake >= self.brake_threshold:
+            return None
+        return ("armed", "calm")
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        if not self._armed and self._last_fire is not None:
+            due = self._last_fire + self.rearm_after
+            return max(0, (due - boundary) // round_len - 1)
+        return None

@@ -24,7 +24,10 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..sim import MS, SEC
 
-__all__ = ["Phase", "VehicleState", "VehicleModel", "standard_trip", "skid_trip"]
+__all__ = [
+    "Phase", "VehicleState", "VehicleModel", "VehicleFingerprint",
+    "standard_trip", "skid_trip",
+]
 
 _GRID = 1 * MS  # precomputation step
 
@@ -160,6 +163,70 @@ class VehicleModel:
                 onsets.append(int(self._t[i]))
             prev = bool(s)
         return onsets
+
+
+class VehicleFingerprint:
+    """Round-template participant pinning the vehicle's behavioural phase.
+
+    The car's control flow branches only on the *quantized* dynamics the
+    sensors publish — wire yaw rate (mrad/s), wire brake pressure
+    (millis), and the skid flag (Pre-Safe's hazard predicate, the
+    brake-by-wire slip limiter).  Between transitions of that class the
+    scenario's reaction structure repeats round for round, which is what
+    makes the integrated car quasi-periodic.  Around each transition a
+    propagation margin keeps rounds live until sampled values have
+    traversed sensor → TT network → gateway → ET network → consumer.
+
+    Holds no mutable state: the participant protocol's snapshot hooks
+    are trivially empty.
+    """
+
+    #: sensor window + TT transport + gateway poll + ET transport +
+    #: consumer window, with slack — effects of a ground-truth change
+    #: are in flight for at most this long.
+    PIPELINE_LAG = 25 * MS
+
+    def __init__(self, vehicle: VehicleModel) -> None:
+        self.vehicle = vehicle
+        yaw_q = np.clip(
+            np.rint(vehicle._yaw * 1000.0), -(2 ** 15), 2 ** 15 - 1
+        ).astype(np.int64)
+        brake_q = np.minimum(1000, np.rint(vehicle._braking * 1000.0)).astype(np.int64)
+        skid_q = vehicle._skid.astype(np.int64)
+        change = (
+            (np.diff(yaw_q) != 0)
+            | (np.diff(brake_q) != 0)
+            | (np.diff(skid_q) != 0)
+        )
+        self._transitions = vehicle._t[np.nonzero(change)[0] + 1]
+        self._yaw_q, self._brake_q, self._skid_q = yaw_q, brake_q, skid_q
+
+    # -- participant protocol (see repro.sim.round_template) -----------
+    def rt_state(self) -> dict[str, int]:
+        return {}
+
+    def rt_check(self, delta: dict[str, int]) -> bool:
+        return True
+
+    def rt_advance(self, delta: dict[str, int], k: int) -> None:
+        pass
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        t = self._transitions
+        # Veto while a transition's effects may still be in flight, or
+        # while one lands inside this round.
+        i = int(np.searchsorted(t, boundary - self.PIPELINE_LAG, side="right"))
+        if i < len(t) and int(t[i]) < boundary + round_len:
+            return None
+        j = min(max(boundary, 0) // _GRID, len(self._yaw_q) - 1)
+        return (int(self._yaw_q[j]), int(self._brake_q[j]), int(self._skid_q[j]))
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        t = self._transitions
+        i = int(np.searchsorted(t, boundary, side="right"))
+        if i >= len(t):
+            return None  # class constant to the horizon
+        return max(0, (int(t[i]) - boundary) // round_len)
 
 
 def standard_trip(seconds: float = 60.0) -> VehicleModel:

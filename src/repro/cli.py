@@ -234,9 +234,17 @@ def _sweep_bench_compare(args: argparse.Namespace, specs) -> int:
     identical = all(d == digests[0] for d in digests)
     errors = any(report["errors"] for report in reports)
     cold_s = serial["wall_s"] if parallel is None else parallel["wall_s"]
+
+    def tpl_hits(report: dict) -> int:
+        return sum(1 for r in report["scenarios"]
+                   if r.get("template_cache", {}).get("hit"))
+
     section = {
         "scenarios": names,
         "cpu_count": cpu_count,
+        "round_template": bool(args.round_template),
+        "template_hits_serial": tpl_hits(serial),
+        "template_hits_warm": tpl_hits(warm),
         "serial_s": serial["wall_s"],
         "parallel_s": None if parallel is None else parallel["wall_s"],
         "parallel_workers": None if parallel is None else parallel["workers"],
@@ -559,29 +567,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or empty the sweep result cache."""
+    """Inspect or empty the sweep result + template caches."""
     import json
 
-    from .runner.cache import ResultCache
+    from .runner.cache import ResultCache, TemplateStore
 
     cache = ResultCache(args.cache_dir, max_bytes=args.max_bytes)
+    store = TemplateStore(args.cache_dir, max_bytes=args.max_bytes)
     if args.cache_command == "clear":
+        if getattr(args, "templates", False):
+            removed = store.clear()
+            print(f"removed {removed} template bank"
+                  f"{'' if removed == 1 else 's'} from {store.root}")
+            return 0
         removed = cache.clear()
+        removed_tpl = store.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
-              f"from {args.cache_dir}")
+              f"and {removed_tpl} template bank"
+              f"{'' if removed_tpl == 1 else 's'} from {args.cache_dir}")
         return 0
-    stats = cache.stats()
+    stats = {"results": cache.stats(), "templates": store.stats()}
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
-    print(f"cache {stats['root']}: {stats['entries']} entries, "
-          f"{stats['total_bytes']:,} bytes "
-          f"(cap {stats['max_bytes']:,} bytes)")
-    for name, count in stats["scenarios"].items():
-        print(f"  {name:28s} {count} entr{'y' if count == 1 else 'ies'}")
-    if stats["oldest"]:
-        print(f"  oldest: {stats['oldest']}")
-        print(f"  newest: {stats['newest']}")
+    for label, s in stats.items():
+        print(f"{label} {s['root']}: {s['entries']} entries, "
+              f"{s['total_bytes']:,} bytes "
+              f"(cap {s['max_bytes']:,} bytes, "
+              f"{s['evictions']} eviction{'' if s['evictions'] == 1 else 's'})")
+        for name, count in s["scenarios"].items():
+            print(f"  {name:28s} {count} entr{'y' if count == 1 else 'ies'}")
+        if s["oldest"]:
+            print(f"  oldest: {s['oldest']}")
+            print(f"  newest: {s['newest']}")
     return 0
 
 
@@ -781,10 +799,13 @@ def main(argv: list[str] | None = None) -> int:
     p_cstats.add_argument("--json", action="store_true")
     p_cstats.set_defaults(func=_cmd_cache)
 
-    p_cclear = cache_sub.add_parser("clear", help="delete every cache entry")
+    p_cclear = cache_sub.add_parser(
+        "clear", help="delete every cache entry (results and templates)")
     p_cclear.add_argument("--cache-dir", default=".repro_cache", metavar="PATH")
     p_cclear.add_argument("--max-bytes", type=int,
                           default=DEFAULT_CACHE_MAX_BYTES)
+    p_cclear.add_argument("--templates", action="store_true",
+                          help="clear only the persistent template banks")
     p_cclear.add_argument("--json", action="store_true")
     p_cclear.set_defaults(func=_cmd_cache)
 

@@ -394,6 +394,25 @@ class CommunicationController(Process):
             if d and key.startswith("missed."):
                 missed[key[7:]] += d * k
 
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        """Quasi-periodic-mode fingerprint (strict mode never calls this).
+
+        A drifting clock's slot phase never recurs exactly, so imperfect
+        clocks veto every boundary — those clusters run live, as before.
+        Perfect clocks (the common case in large models) contribute the
+        fault-hook state; corrections shift all of the controller's
+        events uniformly, which the engine's phase normalization absorbs.
+        Queued chunks carry payload identity that bulk replay cannot
+        extrapolate, so a non-empty transmit queue vetoes the boundary.
+        """
+        if not self.clock._perfect:
+            return None
+        for q in self._tx.values():
+            if q:
+                return None
+        return (int(self.crashed), self.omit_cycles, self.send_offset,
+                int(self.chunk_corruptor is not None))
+
     # ------------------------------------------------------------------
     @property
     def cycle(self) -> int:

@@ -39,7 +39,7 @@ latency that E5 measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..errors import GatewayError
 from ..messaging import MessageInstance, MessageType, NameMapping, Semantics
@@ -125,6 +125,8 @@ class VirtualGateway(Process):
         self._monitors: dict[tuple[str, str], MessageMonitor] = {}
         self._conversions: list[tuple[DerivedElement, ConversionState, str]] = []
         self._halted: set[tuple[str, str]] = set()
+        self._rt_mons: tuple[tuple[tuple[str, str], str, MessageMonitor], ...] | None = None
+        self._rt_halted_fp: tuple[tuple[str, str], ...] = ()
         self._started_rules = False
         # statistics ----------------------------------------------------
         self.instances_received = 0
@@ -138,10 +140,15 @@ class VirtualGateway(Process):
         self._m_blocked = m.counter("gateway.blocks")
         self._m_restarts = m.counter("gateway.restarts")
         sim.register_checkable(self)
-        # Gateway redirection reacts to message arrivals (and halts and
-        # restarts on faults) — aperiodic by nature, so it disables
-        # round-template fast-forward.
-        sim.round_template.add_interleaving_source(self.name)
+        # Gateway redirection reacts to message arrivals — a blocking
+        # interleaving source under strict round templates, but a
+        # fingerprinted dynamic participant in quasi-periodic mode:
+        # steady-state periodic redirection repeats at the hyperperiod,
+        # and the fingerprint (monitor locations and clock cells,
+        # repository availability classes, halted rules) forces any
+        # transient — restarts, expiring images, queued events — to run
+        # live.
+        sim.round_template.register_dynamic(self.name, self)
 
     # ------------------------------------------------------------------
     # configuration
@@ -347,6 +354,12 @@ class VirtualGateway(Process):
                     "requ": self._fn_requ,
                 },
             )
+            # Timeout polls are legitimate in-round events for the
+            # round-template engine (the ``{gateway}.restart`` label
+            # stays unregistered on purpose: restart rounds run live).
+            self.sim.round_template.register_labels(
+                {f"{self.name}.monitor.{rule.src}.poll"}
+            )
 
     # ------------------------------------------------------------------
     # reception pipeline
@@ -549,6 +562,7 @@ class VirtualGateway(Process):
         if key in self._halted:
             return
         self._halted.add(key)
+        self._rt_halted_fp = tuple(sorted(self._halted))
         self.sim.metrics.inc("gateway.monitor_errors")
         self.trace(
             TraceCategory.GATEWAY_ERROR, message=key[1], side=key[0],
@@ -565,12 +579,106 @@ class VirtualGateway(Process):
         if monitor is not None:
             monitor.restart()
         self._halted.discard(key)
+        self._rt_halted_fp = tuple(sorted(self._halted))
         self.restarts += 1
         self._m_restarts.inc()
         self.trace(TraceCategory.GATEWAY_RESTART, message=key[1], side=key[0])
 
     def is_halted(self, message: str, side: str = "a") -> bool:
         return (side, message) in self._halted
+
+    # ------------------------------------------------------------------
+    # round-template participant protocol (see repro.sim.round_template)
+    # ------------------------------------------------------------------
+    def _monitor_prefix(self, key: tuple[str, str]) -> str:
+        return f"m.{key[0]}.{key[1]}."
+
+    def _rt_monitors(self) -> tuple[tuple[tuple[str, str], str, MessageMonitor], ...]:
+        """(key, delta prefix, monitor) in sorted-key order, cached —
+        the participant hooks run every round boundary and re-sorting
+        a never-changing dict dominates their cost.  Monitors are only
+        ever added (at setup), so a length check invalidates."""
+        mons = self._rt_mons
+        if mons is None or len(mons) != len(self._monitors):
+            mons = self._rt_mons = tuple(
+                (key, self._monitor_prefix(key), self._monitors[key])
+                for key in sorted(self._monitors)
+            )
+        return mons
+
+    def rt_state(self) -> dict[str, int]:
+        state = {
+            "received": self.instances_received,
+            "forwarded": self.instances_forwarded,
+            "blocked": self.instances_blocked,
+            "conversions": self.conversion_applications,
+            "restarts": self.restarts,
+        }
+        for i, rule in enumerate(self.rules):
+            state[f"r{i}.forwarded"] = rule.forwarded
+            state[f"r{i}.blocked_filter"] = rule.blocked_filter
+            state[f"r{i}.blocked_monitor"] = rule.blocked_monitor
+            state[f"r{i}.blocked_halted"] = rule.blocked_halted
+            state[f"r{i}.skipped"] = rule.skipped_unrequested
+        for _key, prefix, monitor in self._rt_monitors():
+            for name, v in monitor.rt_counters().items():
+                state[prefix + name] = v
+        for name, v in self.repository.rt_counters().items():
+            state["rep." + name] = v
+        return state
+
+    def rt_check(self, delta: dict[str, int]) -> bool:
+        # Plain monotonic statistics plus forward-moving timestamps
+        # (repository t_update, monitor clock resets).  A negative delta
+        # is a re-anchoring event, an astronomical one a None->value
+        # sentinel transition — both discrete, both unreplayable.
+        for d in delta.values():
+            if d < 0 or d > 2**60:
+                return False
+        return True
+
+    def rt_advance(self, delta: dict[str, int], k: int) -> None:
+        self.instances_received += delta["received"] * k
+        self.instances_forwarded += delta["forwarded"] * k
+        self.instances_blocked += delta["blocked"] * k
+        self.conversion_applications += delta["conversions"] * k
+        self.restarts += delta["restarts"] * k
+        for i, rule in enumerate(self.rules):
+            rule.forwarded += delta[f"r{i}.forwarded"] * k
+            rule.blocked_filter += delta[f"r{i}.blocked_filter"] * k
+            rule.blocked_monitor += delta[f"r{i}.blocked_monitor"] * k
+            rule.blocked_halted += delta[f"r{i}.blocked_halted"] * k
+            rule.skipped_unrequested += delta[f"r{i}.skipped"] * k
+        for _key, prefix, monitor in self._rt_monitors():
+            monitor.rt_advance(delta, k, prefix)
+        self.repository.rt_advance(delta, k, "rep.")
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        # Value filters and conditional imports make forward/block
+        # decisions from message payloads and repository request state;
+        # replay would extrapolate their counters from stale values.
+        for rule in self.rules:
+            if len(rule.filters) or rule.conditional_import:
+                return None
+        fp: list[Any] = [self._rt_halted_fp]
+        for key, _prefix, monitor in self._rt_monitors():
+            mfp = monitor.rt_fingerprint(boundary, round_len)
+            if mfp is None:
+                return None
+            fp.append((key[0], key[1]) + mfp)
+        rfp = self.repository.rt_fingerprint(boundary, round_len)
+        if rfp is None:
+            return None
+        fp.append(rfp)
+        return tuple(fp)
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        best = self.repository.rt_headroom(boundary, round_len)
+        for _key, _prefix, monitor in self._rt_monitors():
+            h = monitor.rt_headroom(boundary, round_len)
+            if h is not None and (best is None or h < best):
+                best = h
+        return best
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -112,6 +112,7 @@ class GatewayRepository:
     def __init__(self) -> None:
         self._state: dict[str, StateEntry] = {}
         self._event: dict[str, EventEntry] = {}
+        self._rt_entries: tuple[tuple[StateEntry, ...], tuple[EventEntry, ...]] | None = None
         self.stale_blocks = 0
 
     # ------------------------------------------------------------------
@@ -121,6 +122,7 @@ class GatewayRepository:
                 d_acc: int | None = None, depth: int = 16) -> None:
         """Create the buffer for one convertible element (idempotent for
         identical declarations, error on semantic conflicts)."""
+        self._rt_entries = None
         if semantics is Semantics.STATE:
             if name in self._event:
                 raise GatewayError(f"element {name!r} already declared with event semantics")
@@ -260,6 +262,99 @@ class GatewayRepository:
                 if rem is None:
                     return None
                 best = rem if best is None else min(best, rem)
+        return best
+
+    # ------------------------------------------------------------------
+    # round-template support (consumed by the owning gateway's hooks)
+    # ------------------------------------------------------------------
+    #: sentinel standing in for a never-stored ``t_update`` in integer
+    #: round-template state; a None->timestamp transition then shows up
+    #: as an astronomically large delta the gateway's rt_check rejects.
+    RT_T_UNSET = -(2**62)
+
+    def _rt_sorted(self) -> tuple[tuple[StateEntry, ...], tuple[EventEntry, ...]]:
+        """Entries in sorted-name order, cached between declarations —
+        the participant hooks run every round boundary."""
+        entries = self._rt_entries
+        if entries is None:
+            entries = self._rt_entries = (
+                tuple(self._state[n] for n in sorted(self._state)),
+                tuple(self._event[n] for n in sorted(self._event)),
+            )
+        return entries
+
+    def rt_counters(self) -> dict[str, int]:
+        states, events = self._rt_sorted()
+        out = {"stale_blocks": self.stale_blocks}
+        for e in states:
+            out[f"s.{e.name}.stores"] = e.stores
+            out[f"s.{e.name}.t"] = (e.t_update if e.t_update is not None
+                                    else self.RT_T_UNSET)
+        for ev in events:
+            out[f"e.{ev.name}.stores"] = ev.stores
+            out[f"e.{ev.name}.takes"] = ev.takes
+            out[f"e.{ev.name}.drops"] = ev.drops
+        return out
+
+    def rt_advance(self, delta: dict[str, int], k: int, prefix: str) -> None:
+        states, events = self._rt_sorted()
+        self.stale_blocks += delta[prefix + "stale_blocks"] * k
+        for e in states:
+            e.stores += delta[prefix + f"s.{e.name}.stores"] * k
+            dt = delta[prefix + f"s.{e.name}.t"]
+            if dt and e.t_update is not None:
+                e.t_update += dt * k
+        for ev in events:
+            ev.stores += delta[prefix + f"e.{ev.name}.stores"] * k
+            ev.takes += delta[prefix + f"e.{ev.name}.takes"] * k
+            ev.drops += delta[prefix + f"e.{ev.name}.drops"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        """Behavioural repository state at a round boundary (None vetoes).
+
+        A state entry's behaviour is its availability class — never
+        stored, never expiring, stale, expiring within the upcoming
+        round, or comfortably live — plus the ``b_req`` bit; the exact
+        expiry instant is deliberately *not* keyed (it shrinks every
+        round, which would defeat template reuse for no behavioural
+        reason) and the live->stale flip is bounded by
+        :meth:`rt_headroom` instead.  Queued event instances carry
+        payload identity that replay cannot extrapolate: veto.
+        """
+        states, events = self._rt_sorted()
+        cells = []
+        for e in states:
+            if e.value is None or e.t_update is None:
+                cls = "unset"
+            elif e.d_acc is None:
+                cls = "inf"
+            else:
+                exp_rel = e.t_update + e.d_acc - boundary
+                if exp_rel <= 0:
+                    cls = "stale"
+                elif exp_rel <= round_len:
+                    cls = "edge"
+                else:
+                    cls = "live"
+            cells.append((e.name, cls, int(e.b_req)))
+        for ev in events:
+            if ev.queue:
+                return None
+            cells.append((ev.name, "event", int(ev.b_req)))
+        return tuple(cells)
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        """Whole rounds before any live state image goes stale."""
+        best: int | None = None
+        for e in self._rt_sorted()[0]:
+            if e.t_update is None or e.d_acc is None or e.value is None:
+                continue
+            exp_rel = e.t_update + e.d_acc - boundary
+            if exp_rel <= 0:
+                continue  # already stale; no upcoming flip
+            h = (exp_rel - 1) // round_len
+            if best is None or h < best:
+                best = h
         return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -110,11 +110,16 @@ class Component(Process):
         first = frame_start + part.window.offset
         if first < now:
             first += self.major_frame
+        label = f"{self.name}.window.{part.name}"
+        # Window activations are legitimate periodic in-round events for
+        # the round-template engine; the partition itself participates
+        # via its own fingerprint (see Partition's rt_* hooks).
+        self.sim.round_template.register_labels({label})
         self.call_every(
             self.major_frame,
             (lambda p=part: self._run_window(p)),
             start=first,
-            label=f"{self.name}.window.{part.name}",
+            label=label,
         )
 
     def _run_window(self, part: Partition) -> None:

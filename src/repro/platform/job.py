@@ -103,6 +103,29 @@ class Job:
         """Override: react to a delivered message instance."""
 
     # ------------------------------------------------------------------
+    # round-template support (aggregated by the owning partition)
+    # ------------------------------------------------------------------
+    def rt_counters(self) -> dict[str, int]:
+        """Integer statistics whose per-round delta may be extrapolated.
+        Subclasses extend the dict; every key must move monotonically."""
+        return {"act": self.activations, "msg": self.messages_handled}
+
+    def rt_advance(self, delta: dict[str, int], k: int, prefix: str) -> None:
+        self.activations += delta[prefix + "act"] * k
+        self.messages_handled += delta[prefix + "msg"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        """Behavioural state at a round boundary; None (the default)
+        vetoes fast-forward — a job that has not declared its hidden
+        control state replayable always runs live."""
+        return None
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        """Upper bound on rounds of phase-repeating behaviour (None =
+        unbounded); override alongside :meth:`rt_fingerprint`."""
+        return None
+
+    # ------------------------------------------------------------------
     def halt(self) -> None:
         """Software-FCR crash: the job stops producing and consuming."""
         self.active = False

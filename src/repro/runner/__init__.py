@@ -13,7 +13,7 @@ from .aggregate import (
     load_cached_results,
     observability_report,
 )
-from .cache import ResultCache, code_digest, result_key
+from .cache import ResultCache, TemplateStore, code_digest, result_key, template_key
 from .executor import SweepRunner, run_scenario, trace_digest
 from .report import provenance, sweep_table, update_bench_json
 from .scenarios import (
@@ -30,6 +30,7 @@ __all__ = [
     "ResultCache",
     "ScenarioSpec",
     "SweepRunner",
+    "TemplateStore",
     "aggregate_results",
     "compare_snapshots",
     "load_cached_results",
@@ -42,6 +43,7 @@ __all__ = [
     "provenance",
     "result_key",
     "run_scenario",
+    "template_key",
     "sweep_table",
     "trace_digest",
     "update_bench_json",

@@ -17,10 +17,11 @@ from pathlib import Path
 
 from .scenarios import ScenarioSpec
 
-__all__ = ["ResultCache", "code_digest", "result_key"]
+__all__ = ["ResultCache", "TemplateStore", "code_digest", "result_key",
+           "template_key"]
 
 #: bump to invalidate every existing cache entry on format changes
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 
 def _file_sha(path: Path) -> str:
@@ -49,12 +50,30 @@ def result_key(spec: ScenarioSpec, code: str) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
+def template_key(spec: ScenarioSpec, code: str) -> str:
+    """Persistent-template-bank key for one scenario under one code state.
+
+    Separate from :func:`result_key` so the two namespaces can never
+    collide, and salted with the round-template engine's wire-format
+    version: a bank written by an older engine is unreachable (not
+    merely rejected at validation) after a format bump.
+    """
+    from ..sim.round_template import ENGINE_VERSION
+
+    payload = json.dumps(
+        {"format": CACHE_FORMAT, "kind": "templates",
+         "engine": ENGINE_VERSION, "spec": spec.as_dict(), "code": code},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
 #: Default size cap for a cache directory (see ResultCache.max_bytes).
 DEFAULT_CACHE_MAX_BYTES = 64 * 1024 * 1024
 
 
-class ResultCache:
-    """One JSON file per scenario under ``root``.
+class _DirCache:
+    """Shared machinery for a digest-keyed directory of JSON entries.
 
     Files are named ``<scenario>-<key>.json``; a ``put`` removes stale
     entries of the same scenario (older code states) so the directory
@@ -62,6 +81,8 @@ class ResultCache:
     cap (``max_bytes``) evicts the oldest entries — by file mtime, i.e.
     least-recently-written digest first — so a long-lived checkout
     accumulating many scenario names still cannot grow unboundedly.
+    Evictions are tallied in a ``_meta.json`` sidecar (never itself an
+    entry) so ``repro cache stats`` can report them across processes.
     """
 
     def __init__(self, root: str | Path = ".repro_cache",
@@ -72,19 +93,39 @@ class ResultCache:
     def path_for(self, spec: ScenarioSpec, key: str) -> Path:
         return self.root / f"{spec.name}-{key}.json"
 
-    def get(self, spec: ScenarioSpec, key: str) -> dict | None:
-        """The cached result payload, or ``None`` on miss/corruption."""
+    # -- eviction bookkeeping ------------------------------------------
+    @property
+    def _meta_path(self) -> Path:
+        return self.root / "_meta.json"
+
+    def eviction_count(self) -> int:
+        try:
+            meta = json.loads(self._meta_path.read_text())
+            return int(meta.get("evictions", 0))
+        except (OSError, ValueError, TypeError):
+            return 0
+
+    def _count_evictions(self, n: int) -> None:
+        if n <= 0:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._meta_path.write_text(json.dumps(
+            {"evictions": self.eviction_count() + n}) + "\n")
+
+    # -- entry lifecycle -----------------------------------------------
+    def _read(self, spec: ScenarioSpec, key: str) -> dict | None:
+        """The entry payload for ``key``, or ``None`` on miss/corruption."""
         path = self.path_for(spec, key)
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
-        if payload.get("key") != key:
+        if not isinstance(payload, dict) or payload.get("key") != key:
             return None
-        result = payload.get("result")
-        return result if isinstance(result, dict) else None
+        return payload
 
-    def put(self, spec: ScenarioSpec, key: str, result: dict) -> Path:
+    def _write(self, spec: ScenarioSpec, key: str, payload: dict,
+               indent: int | None = 2) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         for stale in self.root.glob(f"{spec.name}-*.json"):
             suffix = stale.stem.removeprefix(f"{spec.name}-")
@@ -94,17 +135,20 @@ class ResultCache:
                 stale.unlink(missing_ok=True)
         path = self.path_for(spec, key)
         path.write_text(json.dumps(
-            {"key": key, "spec": spec.as_dict(), "result": result},
-            indent=2, sort_keys=True,
+            dict(payload, key=key), indent=indent, sort_keys=True,
         ) + "\n")
         self.evict_to_cap(keep=path)
         return path
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry (and the meta sidecar); returns how many
+        entry files were removed."""
         n = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
+                if path.name == "_meta.json":
+                    path.unlink(missing_ok=True)
+                    continue
                 path.unlink(missing_ok=True)
                 n += 1
         return n
@@ -113,7 +157,8 @@ class ResultCache:
         """Every cache file, oldest (by mtime) first."""
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*.json"),
+        return sorted((p for p in self.root.glob("*.json")
+                       if p.name != "_meta.json"),
                       key=lambda p: (p.stat().st_mtime, p.name))
 
     def evict_to_cap(self, keep: Path | None = None) -> int:
@@ -133,6 +178,7 @@ class ResultCache:
             path.unlink(missing_ok=True)
             total -= size
             removed += 1
+        self._count_evictions(removed)
         return removed
 
     def stats(self) -> dict:
@@ -149,7 +195,53 @@ class ResultCache:
             "entries": len(entries),
             "total_bytes": sum(sizes),
             "max_bytes": self.max_bytes,
+            "evictions": self.eviction_count(),
             "scenarios": dict(sorted(per_scenario.items())),
             "oldest": entries[0].name if entries else None,
             "newest": entries[-1].name if entries else None,
         }
+
+
+class ResultCache(_DirCache):
+    """One JSON result file per scenario under ``root``."""
+
+    def get(self, spec: ScenarioSpec, key: str) -> dict | None:
+        """The cached result payload, or ``None`` on miss/corruption."""
+        payload = self._read(spec, key)
+        if payload is None:
+            return None
+        result = payload.get("result")
+        return result if isinstance(result, dict) else None
+
+    def put(self, spec: ScenarioSpec, key: str, result: dict) -> Path:
+        return self._write(spec, key, {"spec": spec.as_dict(),
+                                       "result": result})
+
+
+class TemplateStore(_DirCache):
+    """Persistent bank of compiled round templates, one file per
+    scenario, under ``<cache root>/templates/``.
+
+    A stored bank is advisory: the engine re-validates it against the
+    live registration (engine version, mode, round length, label set,
+    participant count) at ``begin`` and signature/fingerprint-checks
+    every replay, so a stale or hand-edited file can only cost a warm
+    start, never correctness.  Banks are written compact (no indent) —
+    a car-class bank runs to thousands of templates.
+    """
+
+    def __init__(self, root: str | Path = ".repro_cache",
+                 max_bytes: int = DEFAULT_CACHE_MAX_BYTES) -> None:
+        super().__init__(Path(root) / "templates", max_bytes=max_bytes)
+
+    def get(self, spec: ScenarioSpec, key: str) -> dict | None:
+        """The stored template bank, or ``None`` on miss/corruption."""
+        payload = self._read(spec, key)
+        if payload is None:
+            return None
+        bank = payload.get("bank")
+        return bank if isinstance(bank, dict) else None
+
+    def put(self, spec: ScenarioSpec, key: str, bank: dict) -> Path:
+        return self._write(spec, key, {"spec": spec.as_dict(),
+                                       "bank": bank}, indent=None)

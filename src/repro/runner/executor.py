@@ -18,12 +18,26 @@ import json
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from functools import lru_cache
 
 from ..errors import ConfigurationError
-from .cache import ResultCache, code_digest, result_key
+from .cache import (
+    ResultCache,
+    TemplateStore,
+    code_digest,
+    result_key,
+    template_key,
+)
 from .scenarios import ScenarioSpec, build_scenario
 
 __all__ = ["SweepRunner", "run_scenario", "trace_digest"]
+
+
+@lru_cache(maxsize=1)
+def _process_code_digest() -> str:
+    """Code digest, hashed once per process (workers reuse it across
+    the scenarios they execute)."""
+    return code_digest()
 
 
 def trace_digest(sim) -> str:
@@ -43,10 +57,28 @@ def trace_digest(sim) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def run_scenario(spec: ScenarioSpec) -> dict:
-    """Build, run, and summarize one scenario (the worker function)."""
+def run_scenario(spec: ScenarioSpec,
+                 template_root: str | None = None) -> dict:
+    """Build, run, and summarize one scenario (the worker function).
+
+    With ``template_root`` set, a persisted round-template bank for
+    this (spec, code) key is loaded before the run (warm start) and a
+    bank enriched by this run is written back afterwards — unless the
+    run punctured, in which case the surviving bank reflects mutated
+    dynamics and is not trusted for persistence.
+    """
     t0 = time.perf_counter()
     sim = build_scenario(spec)
+    engine = sim.round_template
+    store = tpl_key = None
+    tpl_hit = False
+    if template_root is not None:
+        store = TemplateStore(template_root)
+        tpl_key = template_key(spec, _process_code_digest())
+        bank = store.get(spec, tpl_key)
+        tpl_hit = bank is not None
+        if tpl_hit:
+            engine.load_bank(bank)
     try:
         sim.run_until(spec.horizon_ns)
     finally:
@@ -63,7 +95,21 @@ def run_scenario(spec: ScenarioSpec) -> dict:
         "metrics": sim.metrics.snapshot(),
         "wall_s": round(wall_s, 6),
         "runtime": sim.runtime.name,
+        "round_template": engine.stats(),
     }
+    if store is not None:
+        stored = False
+        if engine.bank_dirty and engine.punctures == 0:
+            dump = engine.dump_bank()
+            if dump is not None:
+                store.put(spec, tpl_key, dump)
+                stored = True
+        result["template_cache"] = {
+            "hit": tpl_hit,
+            "stored": stored,
+            "templates_loaded": engine.templates_loaded,
+            "load_failures": engine.template_load_failures,
+        }
     if sim.runtime.name != "sim":
         result["runtime_stats"] = sim.runtime.stats()
     if sim.flows.enabled and sim.trace.memory is not None:
@@ -73,10 +119,11 @@ def run_scenario(spec: ScenarioSpec) -> dict:
     return result
 
 
-def _pool_worker(spec: ScenarioSpec) -> dict:
+def _pool_worker(spec: ScenarioSpec,
+                 template_root: str | None = None) -> dict:
     """Top-level pool entry point; never raises across the pipe."""
     try:
-        return run_scenario(spec)
+        return run_scenario(spec, template_root=template_root)
     except Exception:
         return {"name": spec.name, "seed": spec.seed,
                 "error": traceback.format_exc(limit=8)}
@@ -95,6 +142,13 @@ class SweepRunner:
         When True, a scenario whose (spec, code digest) key has a cached
         result is not re-run.  Fresh results are written to the cache
         either way, so ``use_cache=False`` acts as a forced refresh.
+    use_templates:
+        When True (the default), executed scenarios warm-start from the
+        persistent round-template store under ``<cache_dir>/templates/``
+        and persist any newly compiled bank.  Independent of
+        ``use_cache``: a forced result refresh still benefits from (and
+        refreshes) warm templates, and replay parity guarantees the
+        digest is byte-identical either way.
     strict:
         When True, every to-be-executed scenario is built once in this
         process and run through the static pre-flight check
@@ -105,11 +159,13 @@ class SweepRunner:
     """
 
     def __init__(self, workers: int = 1, cache_dir: str = ".repro_cache",
-                 use_cache: bool = True, strict: bool = False) -> None:
+                 use_cache: bool = True, strict: bool = False,
+                 use_templates: bool = True) -> None:
         self.workers = max(1, int(workers))
         self.cache = ResultCache(cache_dir)
         self.use_cache = use_cache
         self.strict = strict
+        self.template_root = str(cache_dir) if use_templates else None
 
     def preflight(self, specs: list[ScenarioSpec]) -> None:
         """Statically check ``specs``; raise on the first broken one."""
@@ -135,6 +191,14 @@ class SweepRunner:
         instead of silently overwriting.
         """
         t0 = time.perf_counter()
+        # Pin the effective round-template flag into every spec, so the
+        # flag is visible in results/cache entries and flipping it (or
+        # its default) re-keys exactly the affected runs.
+        specs = [
+            spec if spec.param("round_template") is not None
+            else spec.with_param("round_template", True)
+            for spec in specs
+        ]
         seen: set[str] = set()
         for spec in specs:
             if spec.name in seen:
@@ -184,10 +248,11 @@ class SweepRunner:
             return
         if self.workers == 1 or len(specs) == 1:
             for spec in specs:
-                yield spec.name, _pool_worker(spec)
+                yield spec.name, _pool_worker(spec, self.template_root)
             return
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            pending = {pool.submit(_pool_worker, spec): spec for spec in specs}
+            pending = {pool.submit(_pool_worker, spec, self.template_root): spec
+                       for spec in specs}
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:

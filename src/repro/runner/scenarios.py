@@ -237,6 +237,7 @@ def _build_car(spec: ScenarioSpec) -> Simulator:
         roof_command_export=spec.param("roof_command_export", True),
         dashboard_import=spec.param("dashboard_import", True),
         gps_outages=[tuple(o) for o in spec.param("gps_outages", ())],
+        round_template=spec.param("round_template", True),
     )
     return build_car(config).sim
 
@@ -349,9 +350,12 @@ def build_scenario(spec: ScenarioSpec) -> Simulator:
     if spec.param("round_template", True):
         # Steady-state fast-forward, on by default for scenario runs
         # (``round_template: False`` — the CLI's --no-round-template —
-        # keeps exact event-by-event execution).  Arming additionally
-        # requires a runtime that supports templates (only ``sim``).
-        sim.round_template.activate()
+        # keeps exact event-by-event execution).  Quasi-periodic mode
+        # lets scenarios with ET traffic and gateways (the car family)
+        # arm too: their dynamics participate via fingerprints instead
+        # of blocking outright.  Arming additionally requires a runtime
+        # that supports templates (only ``sim``).
+        sim.round_template.activate(quasi_periodic=True)
     return sim
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 __all__ = ["Counter", "Histogram", "Metrics"]
 
 
@@ -112,6 +114,26 @@ class Histogram:
                 hi = self.maximum if self.maximum is not None else edge
                 return max(lo, min(hi, edge))
         return self.maximum  # pragma: no cover - unreachable (seen == count)
+
+    def bulk_apply(self, dcount: int, dtotal: int, idx, deltas,
+                   k: int = 1) -> None:
+        """Apply ``k`` rounds' worth of a compiled per-round delta.
+
+        The round-template engine (:mod:`repro.sim.round_template`)
+        compiles a round's histogram activity into ``(dcount, dtotal,
+        bucket indices, bucket deltas)``; replaying ``k`` rounds is then
+        one vectorized bucket update instead of per-sample ``observe``
+        calls.  Deltas were compiled under constant min/max, so the
+        extremes are untouched.  Buckets are written back as plain
+        Python ints (``tolist``) to keep snapshots and JSON exports
+        byte-identical with live execution.
+        """
+        self.count += dcount * k
+        self.total += dtotal * k
+        if len(idx):
+            buckets = np.asarray(self.buckets, dtype=np.int64)
+            buckets[idx] += np.asarray(deltas, dtype=np.int64) * k
+            self.buckets = buckets.tolist()
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram into this one (exact: counts, totals,

@@ -1,4 +1,4 @@
-"""Compiled TDMA round templates: steady-state fast-forward execution.
+"""Compiled round templates: steady-state fast-forward execution.
 
 The paper's premise — every virtual network is an overlay on *one*
 time-triggered physical network with a statically known TDMA schedule —
@@ -9,54 +9,93 @@ within every round.  This module compiles that repetition into a
 **round template** and lets the kernel *replay* whole rounds in bulk
 instead of executing them event by event.
 
+Two eligibility modes (see DESIGN 6.w for the full matrix):
+
+**Strict** (``activate()``) is the original engine: pure-TT clusters
+only.  Any event-triggered virtual network, gateway, or drifting clock
+permanently blocks the fast path, and a template requires two identical
+*consecutive* rounds.
+
+**Quasi-periodic** (``activate(quasi_periodic=True)``) extends capture
+to gateway scenarios whose ET traffic reaches steady state: periodic
+senders whose send pattern repeats at the hyperperiod.  Instead of one
+template it maintains a **bank** keyed by the *phase-normalized* heap
+signature plus a participant **fingerprint**, so rounds that recur at
+different offsets against the round grid (drifting producers, window
+orbits) re-arm by re-timestamping the template deltas against the
+observed boundary phase.  ET networks and gateways register as *dynamic
+participants* (:meth:`RoundTemplateEngine.register_dynamic`) rather
+than permanent blockers: their per-round state deltas are checked and
+extrapolated like any other participant, and their fingerprints veto
+rounds whose hidden state (pending ET queues, message freshness) does
+not exactly match the compiled occurrence.
+
 How it works
 ------------
-The engine observes the simulation at **round boundaries** (multiples of
-the cluster-cycle LCM).  After a short warm-up it records two full
-consecutive rounds: a state snapshot at each boundary (metric counters,
-histograms, trace tick counts, and every registered participant's
-``rt_state()``) plus the exact trace records the round emitted.  If the
-two rounds produced *identical* deltas and *identical* record sequences
-(same categories/sources/details at the same offsets, allowing an
-integer per-round stride on whitelisted keys like ``cycle``), the round
-is provably in steady state and the pair compiles into a template.
+The engine observes the simulation at **round boundaries** (multiples
+of the cluster-cycle LCM; in quasi-periodic mode registered *label*
+periods are deliberately not folded in, so ET/TT dispatch periods above
+the cycle hyperperiod show up as far events instead of exploding the
+round).  While recording it snapshots observable state at boundaries
+(metric counters, histograms, trace tick counts, and every registered
+participant's ``rt_state()``) plus the exact trace records a round
+emitted.  A strict template compiles from two identical consecutive
+rounds; a quasi-periodic template compiles per bank key — immediately
+in counter-trace runs (no records to prototype), or from two paired
+occurrences of the same key in full-trace runs (record offsets must
+match relative to each occurrence's phase, with an integer per-round
+stride on whitelisted keys like ``cycle``).
 
-Replaying ``k`` rounds then means: emit ``k`` copies of the record
-prototypes (with strided details) into the record sinks, bump tick
-counts, counters, histogram buckets, ``events_executed``, and every
-participant's statistics by ``k`` times the per-round delta, advance the
-pending heap events of the round by ``k`` round lengths, and skip ahead.
-Byte-for-byte trace parity is *checked, not assumed*: the template is
-built from observed equality, the boundary **signature** (the pending
-heap events' (offset, priority, label) tuples restricted to registered
-labels) is re-verified before every replay, and any deviation — an
-unregistered event, a non-linear state delta, a membership flip, a
-clock correction — aborts the fast path back to event-by-event
-execution with exponential back-off.
+Replaying ``k`` rounds then means: bulk-emit ``k`` copies of the record
+prototypes re-timestamped against the current boundary phase (the
+timestamp grid is a preallocated numpy outer sum), bump tick counts,
+counters (numpy delta vector), histogram buckets
+(:meth:`~repro.sim.metrics.Histogram.bulk_apply`), ``events_executed``,
+and every participant's statistics by ``k`` times the per-round delta,
+advance the pending heap events by their observed successor strides,
+and skip ahead.  Byte-for-byte trace parity is *checked, not assumed*:
+templates are built from observed equality, the boundary signature and
+fingerprint are re-verified before every replay (in quasi-periodic mode
+the bank lookup *is* that verification), and any deviation — an
+unregistered event, a non-linear state delta, a fingerprint mismatch —
+falls back to event-by-event execution for that round.
+
+Persistent template store
+-------------------------
+``dump_bank()``/``load_bank()`` serialize compiled templates so a
+sweep's second run — and every parallel worker — skips warm-up (see
+:class:`repro.runner.cache.TemplateStore`; keyed by spec + code digest
++ :data:`ENGINE_VERSION`).  A loaded bank is validated eagerly against
+the engine's mode, round length, label set, and participant count;
+any mismatch or parse error discards it and falls back to live
+compilation.  Runs that punctured never persist their bank.
 
 Interleaving-source contract
 ----------------------------
 Dynamic activity that is *not* part of the periodic round must either
 
 * register a permanent **interleaving source**
-  (:meth:`RoundTemplateEngine.add_interleaving_source`) — ET virtual
-  networks and gateways do this at construction, which disables the
-  fast path for their simulator entirely, or
+  (:meth:`RoundTemplateEngine.add_interleaving_source`) — a true
+  unknown, disabling the fast path in both modes, or
+* register as a **dynamic participant**
+  (:meth:`RoundTemplateEngine.register_dynamic`) — ET virtual networks
+  and gateways do this at construction: blocking in strict mode,
+  delta-checked and fingerprinted in quasi-periodic mode, or
 * **puncture** the fast path at the instant the dynamics change
   (:meth:`RoundTemplateEngine.puncture`) — the fault injector does this
-  on every activation/deactivation, which drops the compiled template
-  and restarts recording from scratch, or
+  on every activation/deactivation, which drops every compiled template
+  (a post-fault steady state may collide with a pre-fault bank key) and
+  restarts recording from scratch, or
 * simply schedule events with labels the engine does not know: an
   unregistered label pending at a round boundary blocks both recording
   and replay for that window (this is what makes one-shot test events
   safe by default).
 
 The engine is **dormant until** :meth:`activate` is called.  Scenario
-builders (:func:`repro.runner.scenarios.build_scenario`), the CLI, and
-the benchmarks activate it by default (``--no-round-template`` opts
-out); hand-built simulators — unit tests poking at model internals
-between events — keep exact event-by-event execution unless they opt
-in.
+builders (:func:`repro.runner.scenarios.build_scenario`) activate the
+quasi-periodic mode by default (``--no-round-template`` opts out);
+hand-built simulators — unit tests poking at model internals between
+events — keep exact event-by-event execution unless they opt in.
 
 Participant protocol (duck-typed)
 ---------------------------------
@@ -67,34 +106,72 @@ Participant protocol (duck-typed)
     (every non-zero key is a plain monotonic statistic).
 ``rt_advance(delta: dict[str, int], k: int) -> None``
     Apply ``k`` rounds' worth of ``delta`` to the model state.
+``rt_fingerprint(boundary: int, round_len: int) -> tuple | None``
+    *(optional, quasi-periodic only)* JSON-safe tuple of the hidden
+    state that must match exactly for a compiled round to be replayed
+    at this boundary (queue occupancy, freshness ages, value-driven
+    mode bits — including look-ahead over the round when behaviour can
+    change mid-round).  ``None`` vetoes the boundary entirely: the
+    round runs live and is not recorded.  **Invariance contract**: a
+    replay of ``k`` rounds re-verifies the fingerprint only at entry,
+    so a participant's fingerprint must be invariant under its own
+    round delta (``rt_advance(delta, 1)`` at ``B`` must reproduce the
+    fingerprint at ``B + round_len``) — or the participant must bound
+    the span via ``rt_headroom``.
+``rt_headroom(boundary: int, round_len: int) -> int | None``
+    *(optional, quasi-periodic only)* Upper bound on the number of
+    whole rounds from ``boundary`` over which the participant's
+    behaviour is guaranteed phase-repeating (None = unbounded).  Used
+    by model-driven participants whose behaviour changes at known
+    future instants (scenario plan transitions, freshness expiry): a
+    replay never extrapolates past the bound, and a bound of 0 forces
+    the round to run live.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
+
+import numpy as np
 
 from .trace import CounterSink, TraceRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
 
-__all__ = ["RoundTemplateEngine", "STRIDE_KEYS", "WARMUP", "MAX_BACKOFF"]
+__all__ = ["RoundTemplateEngine", "STRIDE_KEYS", "WARMUP", "MAX_BACKOFF",
+           "ENGINE_VERSION"]
 
 #: Trace-detail keys allowed to advance by a constant integer stride per
 #: round (everything else must be bit-identical between rounds).
 STRIDE_KEYS = ("cycle", "nominal")
 
-#: Rounds skipped after activation/reset before recording begins, so
-#: start-up transients (first sync round, membership settling) never
+#: Rounds skipped after activation/reset before strict recording begins,
+#: so start-up transients (first sync round, membership settling) never
 #: land in a template.
 WARMUP = 2
 
-#: Ceiling for the exponential recording back-off, in rounds.
+#: Ceiling for the exponential strict-recording back-off, in rounds.
 MAX_BACKOFF = 64
 
+#: Template wire-format / semantics version.  Bumped whenever the
+#: compiled-template shape or replay semantics change; the persistent
+#: store keys on it so stale files can never be misread.
+ENGINE_VERSION = 2
+
 _IDLE, _REC1, _REC2, _ARMED = 0, 1, 2, 3
+
+
+def _canon(value: Any) -> Any:
+    """Recursively turn JSON lists back into tuples (bank keys and
+    fingerprints round-trip through JSON as lists)."""
+    if isinstance(value, list):
+        return tuple(_canon(v) for v in value)
+    return value
 
 
 class RoundTemplateEngine:
@@ -103,36 +180,63 @@ class RoundTemplateEngine:
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._active = False
+        self._quasi = False
         self._round_len = 0
+        self._cycle_periods: list[int] = []
+        self._label_periods: list[int] = []
         self._participants: list[Any] = []
+        self._dynamics: list[tuple[str, Any]] = []
         self._labels: set[str] = set()
         self._sources: set[str] = set()
+        self._clock_sources: set[str] = set()
+        self._parts_cache: list[Any] | None = None
+        self._hooks_cache: tuple[list[Any], list[Any]] | None = None
         self._state = _IDLE
         self._boundary = 0
         self._skip = WARMUP
         self._backoff = 1
         self._snap: dict | None = None
         self._first_delta: dict | None = None
+        self._first_records: list[TraceRecord] | None = None
         self._capture: list[TraceRecord] = []
         self._capture_listener = self._capture.append
         self._unsub: Callable[[], None] | None = None
+        self._qp_capture_wanted = False
         self._template: dict | None = None
+        # quasi-periodic bank -------------------------------------------
+        self._bank: dict[tuple, dict] = {}
+        self._cands: dict[tuple, dict] = {}
+        self._qp_prev: tuple | None = None
+        self._pending_bank: dict | None = None
+        self._loaded_strict: dict | None = None
+        self._dirty = False
         # statistics ----------------------------------------------------
         self.rounds_replayed = 0
         self.replays = 0
         self.recordings = 0
         self.failed_recordings = 0
         self.punctures = 0
+        self.templates_loaded = 0
+        self.template_load_failures = 0
 
     # ------------------------------------------------------------------
     # configuration & registration
     # ------------------------------------------------------------------
-    def activate(self) -> None:
-        """Enable the fast path (dormant by default — see module docs)."""
+    def activate(self, quasi_periodic: bool = False) -> None:
+        """Enable the fast path (dormant by default — see module docs).
+
+        ``quasi_periodic=True`` selects the extended eligibility mode:
+        dynamic participants are fingerprinted instead of blocking, and
+        the round length folds only cluster cycles (not label periods).
+        """
         self._active = True
+        if quasi_periodic != self._quasi:
+            self._quasi = quasi_periodic
+            self._touch_config()
 
     def deactivate(self) -> None:
         self._active = False
+        self._qp_capture_wanted = False
         self._reset()
 
     @property
@@ -140,10 +244,14 @@ class RoundTemplateEngine:
         return self._active
 
     @property
+    def quasi_periodic(self) -> bool:
+        return self._quasi
+
+    @property
     def engaged(self) -> bool:
-        """Could the fast path run right now (active, no permanent
-        interleaving sources)?"""
-        return self._active and not self._sources
+        """Could the fast path run right now (active, no blocking
+        interleaving sources for the current mode)?"""
+        return self._active and not self._blockers()
 
     @property
     def next_boundary(self) -> int:
@@ -153,33 +261,79 @@ class RoundTemplateEngine:
     def round_length(self) -> int:
         return self._round_len
 
+    @property
+    def bank_dirty(self) -> bool:
+        """True iff this run compiled at least one new template."""
+        return self._dirty
+
+    def _blockers(self) -> set[str]:
+        """Names blocking the fast path in the current mode."""
+        if self._quasi:
+            return self._sources
+        blockers = self._sources | self._clock_sources
+        for name, _obj in self._dynamics:
+            blockers.add(name)
+        return blockers
+
+    @property
+    def _eff_parts(self) -> list[Any]:
+        """Participants in delta order: explicit registrations first,
+        then dynamic participants in registration order."""
+        parts = self._parts_cache
+        if parts is None:
+            parts = list(self._participants)
+            for _name, obj in self._dynamics:
+                if all(existing is not obj for existing in parts):
+                    parts.append(obj)
+            self._parts_cache = parts
+        return parts
+
+    @property
+    def _part_hooks(self) -> tuple[list[Any], list[Any]]:
+        """Bound ``rt_fingerprint`` / ``rt_headroom`` methods of every
+        participant that has one, cached alongside :attr:`_eff_parts`
+        (the getattr probe per participant per boundary is measurable
+        on hot runs)."""
+        hooks = self._hooks_cache
+        if hooks is None:
+            parts = self._eff_parts
+            fps = [fn for fn in (getattr(p, "rt_fingerprint", None)
+                                 for p in parts) if fn is not None]
+            hrs = [fn for fn in (getattr(p, "rt_headroom", None)
+                                 for p in parts) if fn is not None]
+            hooks = self._hooks_cache = (fps, hrs)
+        return hooks
+
     def register_cluster(self, cluster: Any) -> None:
         """Fold one TT cluster's round into the template domain.
 
         Registers the cluster's cycle length, every controller's slot and
         cycle-end event labels, and the controllers, bus, and guardian as
-        participants.  A controller on an imperfect (drifting) clock is
-        a permanent interleaving source: its clock state mutates every
-        sync round, which linear extrapolation cannot reproduce.
+        participants.  A controller on an imperfect (drifting) clock
+        blocks the strict mode (its clock state mutates every sync
+        round, which linear extrapolation cannot reproduce); in
+        quasi-periodic mode the controller's clock-phase fingerprint
+        decides round by round instead.
         """
-        self._fold_period(cluster.schedule.cycle_length)
+        self._cycle_periods.append(cluster.schedule.cycle_length)
         for ctrl in cluster.controllers.values():
             self._labels.add(f"{ctrl.name}.cycle_end")
             for slot, _offset in ctrl._own_slots:
                 self._labels.add(f"{ctrl.name}.slot{slot.slot_id}")
             self._participants.append(ctrl)
             if not ctrl.clock._perfect:
-                self._sources.add(f"clock.{ctrl.component}")
+                self._clock_sources.add(f"clock.{ctrl.component}")
         self._participants.append(cluster.bus)
         self._participants.append(cluster.guardian)
         self._touch_config()
 
     def register_labels(self, labels: Any, period: int | None = None) -> None:
         """Declare event labels as template-covered; ``period`` (if any)
-        is folded into the round length."""
+        is folded into the strict round length (quasi-periodic rounds
+        fold cluster cycles only)."""
         self._labels.update(labels)
-        if period is not None:
-            self._fold_period(period)
+        if period is not None and period > 0:
+            self._label_periods.append(period)
         self._touch_config()
 
     def register_participant(self, obj: Any) -> None:
@@ -188,26 +342,44 @@ class RoundTemplateEngine:
             self._participants.append(obj)
         self._touch_config()
 
+    def register_dynamic(self, name: str, obj: Any) -> None:
+        """Register an inherently event-triggered subsystem (ET virtual
+        network, gateway).  Blocks the strict mode like an interleaving
+        source; participates (delta-checked + fingerprinted) in
+        quasi-periodic mode."""
+        if all(existing is not obj for _n, existing in self._dynamics):
+            self._dynamics.append((name, obj))
+        self._touch_config()
+
     def add_interleaving_source(self, name: str) -> None:
-        """Permanently disable the fast path for this simulator (used by
-        inherently aperiodic subsystems: ET networks, gateways)."""
+        """Permanently disable the fast path for this simulator (a true
+        unknown the engine cannot model in any mode)."""
         self._sources.add(name)
         self._reset()
 
     def puncture(self) -> None:
-        """Drop any compiled template and restart recording (called at
-        the instant the model's dynamics change, e.g. fault injection)."""
+        """Drop every compiled template and restart recording (called at
+        the instant the model's dynamics change, e.g. fault injection).
+        The whole bank is dropped, not just the current template: a
+        post-fault steady state may collide with a pre-fault bank key,
+        and a stale hit would replay the wrong deltas."""
         self._reset()
         self.punctures += 1
 
-    def _fold_period(self, period: int) -> None:
-        if period <= 0:
-            return
-        self._round_len = (math.lcm(self._round_len, period)
-                           if self._round_len else period)
+    def _recompute_round_len(self) -> None:
+        periods = list(self._cycle_periods)
+        if not (self._quasi and periods):
+            periods += self._label_periods
+        length = 0
+        for period in periods:
+            length = math.lcm(length, period) if length else period
+        self._round_len = length
 
     def _touch_config(self) -> None:
         """Registration changed mid-run: drop state, re-derive boundary."""
+        self._parts_cache = None
+        self._hooks_cache = None
+        self._recompute_round_len()
         self._reset()
         if self._round_len > 0:
             self._boundary = (self.sim._now // self._round_len + 1) * self._round_len
@@ -218,14 +390,134 @@ class RoundTemplateEngine:
         self._template = None
         self._snap = None
         self._first_delta = None
+        self._first_records = None
         self._state = _IDLE
         self._skip = WARMUP
         self._backoff = 1
+        self._bank.clear()
+        self._cands.clear()
+        self._qp_prev = None
+        self._loaded_strict = None
+        self._ensure_capture()
 
     def _abort_capture(self) -> None:
         if self._unsub is not None:
             self._unsub()
             self._unsub = None
+
+    def _ensure_capture(self) -> None:
+        """Keep the quasi-periodic record capture subscribed across
+        resets; without it, every template compiled after a puncture
+        would pair empty record lists and replay record-less rounds."""
+        if self._qp_capture_wanted and self._unsub is None:
+            self._unsub = self.sim.trace.subscribe(self._capture_listener)
+
+    # ------------------------------------------------------------------
+    # persistent template store
+    # ------------------------------------------------------------------
+    def load_bank(self, data: dict | None) -> None:
+        """Stash a previously dumped template bank; it is validated and
+        materialized at the next :meth:`begin` (registration must be
+        complete before the bank can be checked against it)."""
+        self._pending_bank = data
+
+    def _labels_digest(self) -> str:
+        payload = json.dumps(sorted(self._labels))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def _strip(self, tpl: dict) -> dict:
+        return {k: v for k, v in tpl.items() if not k.startswith("_")}
+
+    def dump_bank(self) -> dict | None:
+        """JSON-able snapshot of every compiled template (None if there
+        is nothing worth persisting)."""
+        strict_tpl = None
+        if not self._quasi and self._state == _ARMED and self._template:
+            strict_tpl = self._strip(self._template)
+        if not self._bank and strict_tpl is None:
+            return None
+        entries = []
+        for key in sorted(self._bank, key=repr):
+            entries.append({"key": [key[0], key[1]],
+                            "tpl": self._strip(self._bank[key])})
+        return {
+            "version": ENGINE_VERSION,
+            "mode": "qp" if self._quasi else "strict",
+            "round_len": self._round_len,
+            "labels": self._labels_digest(),
+            "parts": len(self._eff_parts),
+            "strict_tpl": strict_tpl,
+            "templates": entries,
+        }
+
+    def _canon_tpl(self, raw: dict) -> dict:
+        protos = tuple(
+            (int(nrel), str(cat), str(src), dict(detail),
+             tuple((str(k), v, int(s)) for k, v, s in strides))
+            for nrel, cat, src, detail, strides in raw["protos"]
+        )
+        tpl = {
+            "protos": protos,
+            "ticks": [{str(c): int(n) for c, n in d.items()}
+                      for d in raw["ticks"]],
+            "counters": {str(n): int(v) for n, v in raw["counters"].items()},
+            "hists": {str(n): (int(dc), int(dtot),
+                               tuple((int(i), int(db)) for i, db in bd))
+                      for n, (dc, dtot, bd) in raw["hists"].items()},
+            "events": int(raw["events"]),
+            "parts": [{str(k): int(v) for k, v in d.items()}
+                      for d in raw["parts"]],
+            "mbase": int(raw["mbase"]),
+            "uniform": None if raw["uniform"] is None else int(raw["uniform"]),
+            "strides": tuple(int(s) for s in raw["strides"]),
+        }
+        if raw.get("sig") is not None:
+            tpl["sig"] = tuple((int(r), int(p), str(lb))
+                               for r, p, lb in raw["sig"])
+        return tpl
+
+    def _materialize_bank(self) -> None:
+        data = self._pending_bank
+        # One-shot: a puncture drops loaded templates on purpose (their
+        # keys may collide with post-fault state), so a later run_until
+        # must not quietly resurrect the same bank.
+        self._pending_bank = None
+        if data is None:
+            return
+        if not isinstance(data, dict):
+            self.template_load_failures += 1
+            return
+        try:
+            if data.get("version") != ENGINE_VERSION:
+                raise ValueError("engine version mismatch")
+            if data.get("mode") != ("qp" if self._quasi else "strict"):
+                raise ValueError("mode mismatch")
+            if data.get("round_len") != self._round_len:
+                raise ValueError("round length mismatch")
+            if data.get("labels") != self._labels_digest():
+                raise ValueError("label set mismatch")
+            if data.get("parts") != len(self._eff_parts):
+                raise ValueError("participant count mismatch")
+            bank: dict[tuple, dict] = {}
+            count = 0
+            for entry in data.get("templates", ()):
+                norm, fp = entry["key"]
+                key = (_canon(norm), _canon(fp))
+                bank[key] = self._canon_tpl(entry["tpl"])
+                count += 1
+            loaded_strict = None
+            strict_raw = data.get("strict_tpl")
+            if strict_raw is not None and not self._quasi:
+                loaded_strict = self._canon_tpl(strict_raw)
+                if loaded_strict.get("sig") is None:
+                    raise ValueError("strict template without signature")
+                count += 1
+        except Exception:
+            self.template_load_failures += 1
+            return
+        self._bank.update(bank)
+        self._loaded_strict = loaded_strict
+        self.templates_loaded = count
 
     # ------------------------------------------------------------------
     # kernel entry points
@@ -235,9 +527,13 @@ class RoundTemplateEngine:
 
         Recording always restarts from scratch: model state may have been
         mutated between runs (tests crash controllers, tweak queues), so
-        a template from a previous run is never trusted.
+        an in-process template from a previous run is never trusted.  A
+        *persisted* bank (``load_bank``) is the one exception: it is
+        validated against the freshly built registration and its
+        templates remain signature/fingerprint-verified before every
+        replay.
         """
-        if not self._active or self._round_len <= 0 or self._sources:
+        if not self._active or self._round_len <= 0 or self._blockers():
             return None
         self._reset()
         sim = self.sim
@@ -252,14 +548,25 @@ class RoundTemplateEngine:
             # A live listener observes records one by one; bulk replay
             # would change what it sees relative to model state.
             return None
+        self._materialize_bank()
+        # Quasi-periodic recording is continuous: every live round is a
+        # potential template occurrence, so capture stays subscribed for
+        # the whole run (cleared at each boundary) — and must survive
+        # mid-run resets (punctures, registrations), which re-establish
+        # it via ``_ensure_capture``.
+        self._qp_capture_wanted = self._quasi and sim.trace.wants_records
+        self._ensure_capture()
         self._boundary = (sim._now // self._round_len + 1) * self._round_len
         return self
 
     def on_boundary(self, t: int) -> None:
         """Called by the kernel with the queue drained up to (excluding)
-        ``next_boundary``; advances the recording state machine and/or
+        ``next_boundary``; advances the recording machinery and/or
         fast-forwards.  Always either advances the boundary or replays,
         so kernel progress is guaranteed."""
+        if self._quasi:
+            self._qp_on_boundary(t)
+            return
         B = self._boundary
         L = self._round_len
         state = self._state
@@ -267,6 +574,17 @@ class RoundTemplateEngine:
             self._replay(B, t)
             return
         if state == _IDLE:
+            if self._loaded_strict is not None:
+                sig = self._signature(B)
+                if sig is not None and sig[0] == self._loaded_strict["sig"]:
+                    # Persisted-template warm start: skip the warm-up and
+                    # the two-round recording entirely.
+                    self._template = self._loaded_strict
+                    self._loaded_strict = None
+                    self._state = _ARMED
+                    self._backoff = 1
+                    self._replay(B, t)
+                    return
             if self._skip > 0:
                 self._skip -= 1
                 self._boundary = B + L
@@ -283,7 +601,10 @@ class RoundTemplateEngine:
             return
         # _REC1 / _REC2: one more recorded round just completed
         snap = self._snapshot(B)
-        delta = self._delta(self._snap, snap) if snap is not None else None
+        records = list(self._capture)
+        self._capture.clear()
+        delta = (self._delta(self._snap, snap)
+                 if snap is not None else None)
         if delta is None:
             self._abort_capture()
             self._fail()
@@ -291,15 +612,18 @@ class RoundTemplateEngine:
             return
         if state == _REC1:
             self._first_delta = delta
+            self._first_records = records
             self._snap = snap
             self._state = _REC2
             self._boundary = B + L
             return
         # _REC2: two consecutive rounds observed — compile and arm
         self._abort_capture()
-        template = self._compile(self._first_delta, delta, B)
+        template = self._compile(self._first_delta, self._first_records,
+                                 delta, records, B)
         self._snap = None
         self._first_delta = None
+        self._first_records = None
         if template is None:
             self._fail()
             self._boundary = B + L
@@ -308,27 +632,29 @@ class RoundTemplateEngine:
         self._state = _ARMED
         self._backoff = 1
         self.recordings += 1
+        self._dirty = True
         self._replay(B, t)
 
     # ------------------------------------------------------------------
-    # recording
+    # shared observation machinery
     # ------------------------------------------------------------------
     def _fail(self) -> None:
         self._state = _IDLE
         self._snap = None
         self._first_delta = None
+        self._first_records = None
         self._skip = self._backoff
         self._backoff = min(self._backoff * 2, MAX_BACKOFF)
         self.failed_recordings += 1
 
-    def _signature(self, B: int) -> tuple[tuple, int | None] | None:
+    def _scan(self, B: int) -> tuple[tuple, int | None] | None:
         """The pending queue's shape at boundary ``B``.
 
-        Returns ``(sig, far_min)`` where ``sig`` is the sorted tuple of
-        ``(offset-in-round, priority, label)`` for every live event
-        inside the next round and ``far_min`` is the earliest live event
-        at or beyond the round's end (None if none) — or None if any
-        in-round event carries an unregistered label.
+        Returns ``(near, far_min)`` where ``near`` is the sorted tuple
+        of ``(time, priority, label)`` for every live event inside the
+        next round and ``far_min`` is the earliest live event at or
+        beyond the round's end (None if none) — or None if any in-round
+        event carries an unregistered label.
         """
         horizon = B + self._round_len
         labels = self._labels
@@ -343,23 +669,36 @@ class RoundTemplateEngine:
             elif ev.label not in labels:
                 return None
             else:
-                near.append((tm - B, pr, sq, ev.label))
+                near.append((tm, pr, sq, ev.label))
         near.sort()
-        return tuple((rel, pr, label) for rel, pr, _sq, label in near), far_min
+        return tuple((tm, pr, label) for tm, pr, _sq, label in near), far_min
 
-    def _snapshot(self, B: int) -> dict | None:
+    def _signature(self, B: int) -> tuple[tuple, int | None] | None:
+        """Strict-mode view of :meth:`_scan`: boundary-relative offsets."""
+        scan = self._scan(B)
+        if scan is None:
+            return None
+        near, far_min = scan
+        return tuple((tm - B, pr, label) for tm, pr, label in near), far_min
+
+    def _snapshot(self, B: int,
+                  scan: tuple | None = None) -> dict | None:
         """Full observable-state snapshot at boundary ``B`` (None if the
         queue shape or sink configuration is not template-compatible)."""
-        sig = self._signature(B)
-        if sig is None:
-            return None
+        if scan is None:
+            scan = self._scan(B)
+            if scan is None:
+                return None
+        near, far_min = scan
         sim = self.sim
         tick_sinks = tuple(sim.trace._tick_sinks)
         for sink in tick_sinks:
             if not isinstance(sink, CounterSink):
                 return None  # unknown tick semantics — cannot bulk-apply
         return {
-            "sig": sig,
+            "sig": (tuple((tm - B, pr, label) for tm, pr, label in near),
+                    far_min),
+            "near": near,
             "ticks": tick_sinks,
             "tick_counts": [dict(s.counts) for s in tick_sinks],
             "counters": {name: c.value
@@ -368,21 +707,23 @@ class RoundTemplateEngine:
                              tuple(h.buckets))
                       for name, h in sim.metrics._histograms.items()},
             "events": sim.events_executed,
-            "parts": [p.rt_state() for p in self._participants],
+            "parts": [p.rt_state() for p in self._eff_parts],
         }
 
-    def _delta(self, prev: dict | None, cur: dict) -> dict | None:
+    def _delta(self, prev: dict | None, cur: dict,
+               require_sig_match: bool = True) -> dict | None:
         """Per-round delta between two boundary snapshots, or None if the
-        round is not linearly replayable."""
+        round is not linearly replayable.  ``require_sig_match`` enforces
+        the strict-mode invariant that the round exits looking exactly
+        like it entered; the quasi-periodic bank keys rounds by entry
+        signature instead."""
         if prev is None:
             return None
-        if prev["sig"][0] != cur["sig"][0]:
+        if require_sig_match and prev["sig"][0] != cur["sig"][0]:
             return None
         pt, ct = prev["ticks"], cur["ticks"]
         if len(pt) != len(ct) or any(a is not b for a, b in zip(pt, ct)):
             return None
-        records = list(self._capture)
-        self._capture.clear()
         tick_deltas = []
         for pc, cc in zip(prev["tick_counts"], cur["tick_counts"]):
             tick_deltas.append({cat: n - pc.get(cat, 0)
@@ -407,7 +748,7 @@ class RoundTemplateEngine:
             hist_deltas[name] = (hc - p[0], htot - p[1], bucket_delta)
         part_deltas: list[dict[str, int]] = []
         for p_prev, p_cur, part in zip(prev["parts"], cur["parts"],
-                                       self._participants):
+                                       self._eff_parts):
             if tuple(p_prev) != tuple(p_cur):
                 return None  # participant key set changed
             d = {key: v - p_prev[key] for key, v in p_cur.items()}
@@ -415,7 +756,6 @@ class RoundTemplateEngine:
                 return None
             part_deltas.append(d)
         return {
-            "records": records,
             "ticks": tick_deltas,
             "counters": counter_deltas,
             "hists": hist_deltas,
@@ -423,7 +763,25 @@ class RoundTemplateEngine:
             "parts": part_deltas,
         }
 
-    def _compile(self, d1: dict | None, d2: dict, B2: int) -> dict | None:
+    def _make_tpl(self, delta: dict, protos: tuple, mbase: int,
+                  uniform: int | None, strides: tuple) -> dict:
+        return {
+            "protos": protos,
+            "ticks": delta["ticks"],
+            "counters": delta["counters"],
+            "hists": delta["hists"],
+            "events": delta["events"],
+            "parts": delta["parts"],
+            "mbase": mbase,
+            "uniform": uniform,
+            "strides": strides,
+        }
+
+    # ------------------------------------------------------------------
+    # strict compilation (two identical consecutive rounds)
+    # ------------------------------------------------------------------
+    def _compile(self, d1: dict | None, r1s: list | None,
+                 d2: dict, r2s: list, B2: int) -> dict | None:
         """Compile two equal consecutive round deltas into a template.
 
         ``d2``'s round spans ``[B2 - L, B2)``; it becomes the template's
@@ -431,25 +789,40 @@ class RoundTemplateEngine:
         equal category/source/detail (with an optional integer stride on
         :data:`STRIDE_KEYS`) at equal in-round offsets.
         """
-        if d1 is None:
+        if d1 is None or r1s is None:
             return None
         if (d1["ticks"] != d2["ticks"] or d1["counters"] != d2["counters"]
                 or d1["hists"] != d2["hists"] or d1["events"] != d2["events"]
                 or d1["parts"] != d2["parts"]):
             return None
-        r1s, r2s = d1["records"], d2["records"]
         if len(r1s) != len(r2s):
             return None
         L = self._round_len
         base = B2 - L
+        protos = self._pair_records(r1s, r2s, base - L, 0, base, 0, 1)
+        if protos is None:
+            return None
+        tpl = self._make_tpl(d2, protos, base, L, ())
+        tpl["sig"] = self._snap["sig"][0] if self._snap else None
+        return tpl
+
+    def _pair_records(self, r1s: list, r2s: list, B1: int, phi1: int,
+                      B2: int, phi2: int, n: int) -> tuple | None:
+        """Pair two occurrences' record lists into prototypes.
+
+        Offsets are compared relative to each occurrence's boundary and
+        phase; whitelisted detail keys may advance by an integer stride
+        per round (``n`` = rounds between the occurrences).
+        """
+        L = self._round_len
         protos: list[tuple[int, str, str, dict, tuple]] = []
         for r1, r2 in zip(r1s, r2s):
             if r1.category != r2.category or r1.source != r2.source:
                 return None
-            if r2.time - r1.time != L:
+            nrel = r2.time - B2 - phi2
+            if nrel != r1.time - B1 - phi1:
                 return None
-            rel = r2.time - base
-            if not 0 <= rel < L:
+            if not 0 <= nrel < L:
                 return None
             dd1, dd2 = r1.detail, r2.detail
             if tuple(sorted(dd1)) != tuple(sorted(dd2)):
@@ -460,24 +833,219 @@ class RoundTemplateEngine:
                 if v1 == v2:
                     continue
                 if (key in STRIDE_KEYS and isinstance(v1, int)
-                        and isinstance(v2, int)):
-                    strides.append((key, v2, v2 - v1))
+                        and isinstance(v2, int) and (v2 - v1) % n == 0):
+                    strides.append((key, v2, (v2 - v1) // n))
                 else:
                     return None
-            protos.append((rel, r1.category, r1.source, dd2, tuple(strides)))
-        return {
-            "base": base,
-            "protos": protos,
-            "ticks": d2["ticks"],
-            "counters": d2["counters"],
-            "hists": d2["hists"],
-            "events": d2["events"],
-            "parts": d2["parts"],
-            "sig": self._snap["sig"][0] if self._snap else None,
-        }
+            protos.append((nrel, r1.category, r1.source, dd2, tuple(strides)))
+        return tuple(protos)
 
     # ------------------------------------------------------------------
-    # replay
+    # quasi-periodic bank
+    # ------------------------------------------------------------------
+    def _fingerprint(self, B: int) -> tuple | None:
+        """Participant fingerprint tuple at boundary ``B`` (None vetoes
+        the boundary: the round runs live and is never recorded)."""
+        L = self._round_len
+        fps = []
+        for fn in self._part_hooks[0]:
+            v = fn(B, L)
+            if v is None:
+                return None
+            fps.append(_canon(v))
+        return tuple(fps)
+
+    def _qp_key(self, B: int, near: tuple) -> tuple | None:
+        fp = self._fingerprint(B)
+        if fp is None:
+            return None
+        phi = near[0][0] - B if near else 0
+        norm = tuple((tm - B - phi, pr, label) for tm, pr, label in near)
+        return (norm, fp)
+
+    def _successor_strides(self, near: tuple) -> list[int] | None:
+        """Per-event heap advance for one replayed round, measured at the
+        recorded round's *exit* boundary: each entry event's pending
+        successor (same priority and label) minus its entry time.  None
+        if any entry has no successor (one-shot chains) or ``(priority,
+        label)`` is ambiguous."""
+        want: dict[tuple[int, str], int] = {}
+        for tm, pr, label in near:
+            k = (pr, label)
+            if k in want:
+                return None  # ambiguous chain identity
+            want[k] = tm
+        succ: dict[tuple[int, str], int] = {}
+        for tm2, pr2, _sq, ev in self.sim._queue._heap:
+            if ev.cancelled:
+                continue
+            k = (pr2, ev.label)
+            base = want.get(k)
+            if base is None or tm2 <= base:
+                continue
+            cur = succ.get(k)
+            if cur is None or tm2 < cur:
+                succ[k] = tm2
+        strides = []
+        for tm, pr, label in near:
+            s = succ.get((pr, label))
+            if s is None:
+                return None
+            strides.append(s - tm)
+        return strides
+
+    def _qp_on_boundary(self, t: int) -> None:
+        B = self._boundary
+        L = self._round_len
+        scan = self._scan(B)
+        snap: dict | None = None
+        prev = self._qp_prev
+        self._qp_prev = None
+        if prev is not None and scan is not None:
+            key, psnap, entry_B = prev
+            snap = self._snapshot(B, scan)
+            if snap is not None:
+                records = list(self._capture)
+                delta = self._delta(psnap, snap, require_sig_match=False)
+                if delta is not None:
+                    self._qp_compile(key, psnap, delta, records, entry_B)
+                else:
+                    self.failed_recordings += 1
+        self._capture.clear()
+        if scan is None:
+            self._boundary = B + L
+            return
+        near, far_min = scan
+        key = self._qp_key(B, near)
+        if key is None:
+            self._boundary = B + L
+            return
+        tpl = self._bank.get(key)
+        if tpl is not None:
+            k = self._qp_replay(tpl, near, far_min, B, t)
+            if k:
+                self.rounds_replayed += k
+                self.replays += 1
+                self._boundary = B + k * L
+                return
+            # No whole-round headroom: run this round live (the
+            # template stays banked for the next occurrence).
+            self._boundary = B + L
+            return
+        if snap is None:
+            snap = self._snapshot(B, scan)
+        if snap is not None:
+            self._qp_prev = (key, snap, B)
+        self._boundary = B + L
+
+    def _qp_compile(self, key: tuple, psnap: dict, delta: dict,
+                    records: list, entry_B: int) -> None:
+        """One fully observed round for ``key`` just completed (entry at
+        ``entry_B``, exit now): compile it, or pair it with an earlier
+        occurrence when record prototypes are needed."""
+        L = self._round_len
+        near = psnap["near"]
+        strides = self._successor_strides(near)
+        if strides is None:
+            self.failed_recordings += 1
+            return
+        if strides:
+            s0 = strides[0]
+            uniform: int | None = s0 if all(s == s0 for s in strides) else None
+        else:
+            uniform = L
+        phi = near[0][0] - entry_B if near else 0
+        if not self.sim.trace.wants_records:
+            # Counter-mode run: nothing to prototype — one observed
+            # round whose delta passed every linearity check compiles
+            # directly (the fingerprint guards hidden-state reuse).
+            self._bank[key] = self._make_tpl(delta, (), entry_B, uniform,
+                                             tuple(strides))
+            self.recordings += 1
+            self._dirty = True
+            return
+        cur = {"delta": delta, "records": records, "B": entry_B,
+               "phi": phi, "uniform": uniform, "strides": list(strides)}
+        cand = self._cands.get(key)
+        if cand is None:
+            self._cands[key] = cur
+            return
+        tpl = self._qp_pair(cand, cur)
+        if tpl is None:
+            self._cands[key] = cur  # drift toward the newer occurrence
+            self.failed_recordings += 1
+            return
+        self._bank[key] = tpl
+        del self._cands[key]
+        self.recordings += 1
+        self._dirty = True
+
+    def _qp_pair(self, cand: dict, cur: dict) -> dict | None:
+        """Pair two occurrences of the same bank key into a template."""
+        d1, d2 = cand["delta"], cur["delta"]
+        if (d1["ticks"] != d2["ticks"] or d1["counters"] != d2["counters"]
+                or d1["hists"] != d2["hists"] or d1["events"] != d2["events"]
+                or d1["parts"] != d2["parts"]):
+            return None
+        if (cand["uniform"] != cur["uniform"]
+                or cand["strides"] != cur["strides"]):
+            return None
+        r1s, r2s = cand["records"], cur["records"]
+        if len(r1s) != len(r2s):
+            return None
+        n = (cur["B"] - cand["B"]) // self._round_len
+        if n < 1:
+            return None
+        protos = self._pair_records(r1s, r2s, cand["B"], cand["phi"],
+                                    cur["B"], cur["phi"], n)
+        if protos is None:
+            return None
+        u = cur["uniform"]
+        if (protos and u is not None and u < self._round_len
+                and max(p[0] for p in protos) >= u):
+            # Shrinking-phase chains (s < L) whose records span past the
+            # per-round stride would interleave across replayed rounds;
+            # bulk emission could not keep them time-ordered.
+            return None
+        return self._make_tpl(d2, protos, cur["B"], cur["uniform"],
+                              tuple(cur["strides"]))
+
+    def _qp_replay(self, tpl: dict, near: tuple, far_min: int | None,
+                   B: int, t: int) -> int:
+        L = self._round_len
+        k = (t - B) // L
+        if far_min is not None:
+            k = min(k, (far_min - B - 1) // L)
+        if k < 1:
+            return 0
+        phi = near[0][0] - B if near else 0
+        s = tpl["uniform"]
+        if s is None:
+            k = 1
+        elif s > L:
+            # Drifting chains gain (s - L) of phase per round; stop
+            # before the earliest event would slip past the round end.
+            k = min(k, (L - 1 - phi) // (s - L))
+        elif s < L:
+            # Phase shrinks by (L - s) per round; stop before an event
+            # would fall behind its boundary (double-fire in one round).
+            k = min(k, phi // (L - s))
+        if k < 1:
+            return 0
+        # Model-driven participants bound how far extrapolation may run
+        # past their last fingerprint check (rt_headroom); 0 forces the
+        # round to run live.
+        for fn in self._part_hooks[1]:
+            h = fn(B, L)
+            if h is not None and h < k:
+                k = h
+                if k < 1:
+                    return 0
+        self._apply(tpl, B, phi, k, near)
+        return k
+
+    # ------------------------------------------------------------------
+    # replay (shared by both modes)
     # ------------------------------------------------------------------
     def _replay(self, B: int, t: int) -> None:
         L = self._round_len
@@ -498,35 +1066,80 @@ class RoundTemplateEngine:
             # (the template stays armed for the next boundary).
             self._boundary = B + L
             return
-        self._apply(k, B)
+        self._apply(tpl, B, 0, k, None)
         self._boundary = B + k * L
         self.rounds_replayed += k
         self.replays += 1
 
-    def _apply(self, k: int, B: int) -> None:
-        """Apply ``k`` rounds' worth of the template starting at ``B``."""
+    def _prep(self, tpl: dict) -> dict:
+        """Preallocate the numpy buffers a template's bulk apply uses
+        (cached on the template; never serialized)."""
+        counters = tpl["counters"]
+        cnames = tuple(counters)
+        npd = {
+            "nrel": np.asarray([p[0] for p in tpl["protos"]], dtype=np.int64),
+            "cnames": cnames,
+            "cdelta": np.asarray([counters[n] for n in cnames],
+                                 dtype=np.int64),
+            "hists": [
+                (name, dc, dtot,
+                 np.asarray([i for i, _ in bucket_delta], dtype=np.int64),
+                 np.asarray([db for _, db in bucket_delta], dtype=np.int64))
+                for name, (dc, dtot, bucket_delta) in tpl["hists"].items()
+            ],
+            # Participants whose delta is all-zero for this template
+            # need no rt_advance call (every implementation is a strict
+            # ``+= delta * k`` accumulator); precompute the survivors.
+            # Registration changes drop the whole bank, so the pairing
+            # with _eff_parts cannot go stale while "_np" lives.
+            "padv": [
+                (part, delta)
+                for part, delta in zip(self._eff_parts, tpl["parts"])
+                if any(delta.values())
+            ],
+        }
+        tpl["_np"] = npd
+        return npd
+
+    def _apply(self, tpl: dict, B: int, phi: int, k: int,
+               near: tuple | None) -> None:
+        """Apply ``k`` rounds' worth of ``tpl`` starting at ``B`` with
+        the observed boundary phase ``phi``."""
         from .kernel import PeriodicTask  # local import: kernel imports us
 
         sim = self.sim
-        tpl = self._template
         L = self._round_len
-        base = tpl["base"]
         trace = sim.trace
+        npd = tpl.get("_np")
+        if npd is None:
+            npd = self._prep(tpl)
 
-        # 1. trace records, byte-for-byte (strided details re-derived
-        #    exactly as live execution would have produced them)
+        # 1. trace records, byte-for-byte: the timestamp grid for all
+        #    k rounds is one numpy outer sum (re-timestamped against the
+        #    current phase), strided details re-derived exactly as live
+        #    execution would have produced them.
         record_sinks = trace._record_sinks if trace.enabled else ()
-        if record_sinks and tpl["protos"]:
-            protos = tpl["protos"]
+        protos = tpl["protos"]
+        if record_sinks and protos:
+            # Each replayed round's records sit at its chains' phase:
+            # uniform chains advance by the observed successor stride
+            # per round (== L for perfectly periodic rounds, != L for
+            # drifting producers), so the per-round base advances by
+            # that stride, not by the round length.
+            step = tpl["uniform"] if tpl["uniform"] is not None else L
+            bases = B + phi + step * np.arange(k, dtype=np.int64)
+            times = np.add.outer(bases, npd["nrel"]).tolist()
+            m0 = (B - tpl["mbase"]) // L
             for j in range(k):
-                rb = B + j * L
-                m = (rb - base) // L
-                for rel, category, source, detail, strides in protos:
+                row = times[j]
+                m = m0 + j
+                for i, (_nrel, category, source, detail,
+                        strides) in enumerate(protos):
                     if strides:
                         detail = dict(detail)
                         for key, bval, stride in strides:
                             detail[key] = bval + stride * m
-                    rec = TraceRecord(time=rb + rel, category=category,
+                    rec = TraceRecord(time=row[i], category=category,
                                       source=source, detail=detail)
                     for sink in record_sinks:
                         sink.emit(rec)
@@ -538,38 +1151,56 @@ class RoundTemplateEngine:
                     if d:
                         sink.tick(cat, d * k)
 
-        # 3. metrics
-        counters = sim.metrics._counters
-        for name, d in tpl["counters"].items():
-            if d:
-                counters[name].value += d * k
+        # 3. metrics (numpy delta vector + histogram bulk apply)
+        if npd["cnames"]:
+            vals = (npd["cdelta"] * k).tolist()
+            counters = sim.metrics._counters
+            for name, dv in zip(npd["cnames"], vals):
+                if dv:
+                    counters[name].value += dv
         hists = sim.metrics._histograms
-        for name, (dc, dtot, bucket_delta) in tpl["hists"].items():
-            if dc or dtot:
-                h = hists[name]
-                h.count += dc * k
-                h.total += dtot * k
-                for i, db in bucket_delta:
-                    h.buckets[i] += db * k
+        for name, dc, dtot, idx, db in npd["hists"]:
+            if dc or dtot or idx.size:
+                hists[name].bulk_apply(dc, dtot, idx, db, k)
 
         # 4. kernel accounting
         sim.events_executed += tpl["events"] * k
 
-        # 5. participants (controllers, buses, guardians, TT VNs)
-        for part, delta in zip(self._participants, tpl["parts"]):
+        # 5. participants (controllers, buses, guardians, VNs, gateways)
+        for part, delta in npd["padv"]:
             part.rt_advance(delta, k)
 
-        # 6. pending events: periodic-task owners advance their nominal
-        #    instants, then every in-round event shifts forward k rounds
-        shift = k * L
+        # 6. pending events advance by their observed successor strides:
+        #    uniformly (one heap shift) when every chain advances by the
+        #    same amount per round, per-event otherwise.
+        queue = sim._queue
         horizon = B + L
-        for tm, _pr, _sq, ev in sim._queue._heap:
-            if ev.cancelled or tm >= horizon:
-                continue
-            owner = getattr(ev.callback, "__self__", None)
-            if isinstance(owner, PeriodicTask):
-                owner.next_time += shift
-        sim._queue.shift_span(horizon, shift)
+        s = tpl["uniform"]
+        if s is not None:
+            shift = k * s
+            for tm, _pr, _sq, ev in queue._heap:
+                if ev.cancelled or tm >= horizon:
+                    continue
+                owner = getattr(ev.callback, "__self__", None)
+                if isinstance(owner, PeriodicTask):
+                    owner.next_time += shift
+            queue.shift_span(horizon, shift)
+        else:
+            pending: dict[tuple[int, int, str], list[int]] = {}
+            for (tm, pr, label), st in zip(near or (), tpl["strides"]):
+                pending.setdefault((tm, pr, label), []).append(st * k)
+
+            def _retime(tm: int, pr: int, ev: Any) -> int | None:
+                lst = pending.get((tm, pr, ev.label))
+                if not lst:
+                    return None
+                st = lst.pop(0)
+                owner = getattr(ev.callback, "__self__", None)
+                if isinstance(owner, PeriodicTask):
+                    owner.next_time += st
+                return tm + st
+
+            queue.retime_span(horizon, _retime)
         # sim._now is deliberately left alone: the next executed event
         # (or the run_until tail) advances it, exactly as if the skipped
         # rounds had run.
@@ -579,18 +1210,24 @@ class RoundTemplateEngine:
         """JSON-ready engine statistics (for results and debugging)."""
         return {
             "active": self._active,
+            "mode": "quasi-periodic" if self._quasi else "strict",
             "round_length_ns": self._round_len,
-            "interleaving_sources": sorted(self._sources),
+            "interleaving_sources": sorted(self._blockers()),
+            "dynamic_sources": sorted(name for name, _obj in self._dynamics),
             "rounds_replayed": self.rounds_replayed,
             "replays": self.replays,
             "recordings": self.recordings,
             "failed_recordings": self.failed_recordings,
             "punctures": self.punctures,
+            "bank_templates": len(self._bank),
+            "templates_loaded": self.templates_loaded,
+            "template_load_failures": self.template_load_failures,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "qp" if self._quasi else "strict"
         state = ("dormant" if not self._active
-                 else "blocked" if self._sources
+                 else "blocked" if self._blockers()
                  else ("idle", "rec1", "rec2", "armed")[self._state])
-        return (f"<RoundTemplateEngine {state} L={self._round_len} "
-                f"replayed={self.rounds_replayed}>")
+        return (f"<RoundTemplateEngine {mode}/{state} L={self._round_len} "
+                f"replayed={self.rounds_replayed} bank={len(self._bank)}>")

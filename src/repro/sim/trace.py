@@ -340,6 +340,18 @@ class TraceLog:
     # configuration
     # ------------------------------------------------------------------
     @property
+    def wants_records(self) -> bool:
+        """Would any *sink* keep full records right now?
+
+        Unlike :meth:`wants`, listeners do not count: the round-template
+        engine uses this to decide whether replayed rounds must re-emit
+        record prototypes (full-trace runs) or only bump tick counts
+        (counter-mode runs), and its own capture listener must not flip
+        that decision.
+        """
+        return self.enabled and bool(self._record_sinks)
+
+    @property
     def sinks(self) -> tuple[TraceSink, ...]:
         return tuple(self._sinks)
 

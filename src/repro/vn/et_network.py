@@ -59,9 +59,11 @@ class ETVirtualNetwork(VirtualNetworkBase):
         self._m_sends = m.counter("vn.et.sends")
         self._m_drops = m.counter("vn.et.send_drops")
         self._m_depth = m.histogram("vn.et.queue_depth")
-        # ET sends are demand-driven — inherently aperiodic — so the
-        # presence of an ET VN disables round-template fast-forward.
-        sim.round_template.add_interleaving_source(f"etvn.{das}")
+        # ET sends are demand-driven: a blocking interleaving source in
+        # strict round-template mode, a fingerprinted dynamic
+        # participant in quasi-periodic mode (steady-state periodic
+        # senders repeat at the hyperperiod; queued chunks veto).
+        sim.round_template.register_dynamic(f"etvn.{das}", self)
 
     # ------------------------------------------------------------------
     # send path (sender-push)
@@ -166,6 +168,45 @@ class ETVirtualNetwork(VirtualNetworkBase):
         self.chunks_sent += len(out)
         self.bytes_sent += used
         return out
+
+    # ------------------------------------------------------------------
+    # round-template participant protocol (quasi-periodic mode)
+    # ------------------------------------------------------------------
+    def rt_state(self) -> dict[str, int]:
+        return {
+            "sends": self.sends,
+            "arbitration_wins": self.arbitration_wins,
+            "send_drops": self.send_drops,
+            "seq": self._seq,
+            "chunks_sent": self.chunks_sent,
+            "bytes_sent": self.bytes_sent,
+            "instances_delivered": self.instances_delivered,
+        }
+
+    def rt_check(self, delta: dict[str, int]) -> bool:
+        # Every key is a plain monotonic statistic (seq included: the
+        # arbitration tie-breaker must keep advancing during replay).
+        return True
+
+    def rt_advance(self, delta: dict[str, int], k: int) -> None:
+        self.sends += delta["sends"] * k
+        self.arbitration_wins += delta["arbitration_wins"] * k
+        self.send_drops += delta["send_drops"] * k
+        self._seq += delta["seq"] * k
+        self.chunks_sent += delta["chunks_sent"] * k
+        self.bytes_sent += delta["bytes_sent"] * k
+        self.instances_delivered += delta["instances_delivered"] * k
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        # Chunks waiting in arbitration carry payload identity that
+        # linear extrapolation cannot reproduce: veto the boundary so
+        # the round runs live.  Empty queues — the steady-state norm at
+        # boundaries, since sends drain at the component's next slot —
+        # contribute nothing to the key.
+        for queue in self._pending.values():
+            if queue:
+                return None
+        return ()
 
     # ------------------------------------------------------------------
     def pending_count(self, component: str | None = None) -> int:

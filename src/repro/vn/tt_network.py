@@ -24,7 +24,7 @@ from ..core_network import FrameChunk
 from ..errors import ConfigurationError
 from ..messaging import MessageInstance
 from ..sim import EventPriority, FlowStage, TraceCategory
-from ..spec import ControlParadigm, TTTiming
+from ..spec import ControlParadigm, InteractionType, TTTiming
 from .service import ProducerBinding, VirtualNetworkBase
 
 __all__ = ["TTVirtualNetwork"]
@@ -79,6 +79,7 @@ class TTVirtualNetwork(VirtualNetworkBase):
         #: message -> (first nominal instant, period): the a-priori
         #: knowledge implicit naming resolves against.
         self._effective_start: dict[str, tuple[int, int]] = {}
+        self._rt_push_sched: list[tuple[int, int]] | None = None
 
     # ------------------------------------------------------------------
     def set_timing(self, message: str, timing: TTTiming) -> None:
@@ -173,6 +174,52 @@ class TTVirtualNetwork(VirtualNetworkBase):
     # ------------------------------------------------------------------
     # implicit naming (Sec. II-E)
     # ------------------------------------------------------------------
+    def _rt_push_schedule(self) -> list[tuple[int, int]]:
+        """(first dispatch-event instant, period) of every message whose
+        delivery lands in a job-owned PUSH port.  Replaying a round that
+        contains such a dispatch would skip the partition deferral the
+        push delivery triggers, so those rounds must run live."""
+        sched = self._rt_push_sched
+        if sched is None:
+            sched = []
+            for message, (nominal, period) in sorted(self._effective_start.items()):
+                binding = self._consumers.get(message)
+                if binding is None:
+                    continue
+                for _comp, port in binding.ports:
+                    if (port.spec.interaction is InteractionType.PUSH
+                            and port.owner_job is not None):
+                        sched.append((nominal - self.dispatch_lead, period))
+                        break
+            self._rt_push_sched = sched
+        return sched
+
+    def _rt_next_push(self, t: int) -> int | None:
+        """Earliest push-delivering dispatch event at or after ``t``."""
+        best: int | None = None
+        for first, period in self._rt_push_schedule():
+            d = first
+            if t > d:
+                d = first + (-(-(t - first) // period)) * period
+            if best is None or d < best:
+                best = d
+        return best
+
+    def rt_fingerprint(self, boundary: int, round_len: int) -> tuple | None:
+        # Veto while a push-delivering dispatch lands in this round or
+        # its delivery chain (slot wait + bus transit) may still be in
+        # flight from a recent one.
+        d = self._rt_next_push(boundary - 2 * round_len)
+        if d is not None and d < boundary + round_len:
+            return None
+        return ()
+
+    def rt_headroom(self, boundary: int, round_len: int) -> int | None:
+        d = self._rt_next_push(boundary)
+        if d is None:
+            return None
+        return max(0, (d - boundary) // round_len)
+
     def _check_implicit_disjoint(self) -> None:
         """Implicit naming is sound only if no two messages ever share a
         dispatch instant: ``s1 + k*p1 == s2 + m*p2`` has a solution iff

@@ -28,9 +28,14 @@ REGISTRY = default_registry()
 REPLAYING = ("tdma-cluster", "tdma-smoke", "tt-vn-pipeline")
 
 
+_VOLATILE = ("wall_s", "round_template", "template_cache")
+
+
 def _comparable(result: dict) -> dict:
-    """Everything observable in a result, minus wall-clock noise."""
-    return {k: v for k, v in result.items() if k != "wall_s"}
+    """Everything observable in a result, minus wall-clock noise and the
+    engine's own bookkeeping (replay counts legitimately differ between
+    fast and slow runs; behaviour must not)."""
+    return {k: v for k, v in result.items() if k not in _VOLATILE}
 
 
 @pytest.mark.parametrize("name", sorted(REGISTRY))
@@ -62,19 +67,38 @@ def test_fast_forward_actually_engages(name: str) -> None:
     assert stats["rounds_replayed"] > 100
 
 
-def test_interleaving_sources_disable_fast_path() -> None:
-    """ET virtual networks and gateways register permanent interleaving
-    sources, so the gateway pipeline never arms a template."""
-    spec = REGISTRY["gw-pipeline-smoke"]
+def _run_registry(name: str) -> dict:
+    spec = REGISTRY[name]
     sim = build_scenario(spec)
     try:
         sim.run_until(spec.horizon_ns)
     finally:
         sim.trace.close()
-    stats = sim.round_template.stats()
+    return sim.round_template.stats()
+
+
+def test_quasi_periodic_arms_but_unported_jobs_veto() -> None:
+    """In quasi-periodic mode ET virtual networks and gateways are
+    dynamic participants, not permanent blockers — the gateway pipeline
+    arms.  Its jobs never declare a replayable fingerprint, though, so
+    every boundary is vetoed and every round still runs live."""
+    stats = _run_registry("gw-pipeline-smoke")
     assert stats["active"]
-    assert stats["interleaving_sources"]  # etvn.* / gateway.*
+    assert stats["mode"] == "quasi-periodic"
+    assert stats["interleaving_sources"] == []
     assert stats["replays"] == 0
+
+
+def test_quasi_periodic_flips_car_from_ineligible_to_armed() -> None:
+    """The integrated car carries the same ET/gateway machinery that
+    blocks the strict mode, but its jobs and environment all fingerprint
+    their behavioural state: steady-state detection arms and bulk-replays
+    most of the drive."""
+    stats = _run_registry("car-smoke")
+    assert stats["active"]
+    assert stats["recordings"] >= 1
+    assert stats["replays"] >= 1
+    assert stats["rounds_replayed"] > 100
 
 
 def _run_with_midround_event(spec, fast: bool) -> tuple[dict, dict]:
@@ -134,6 +158,162 @@ def test_fault_injector_punctures_template() -> None:
     stats = sim.round_template.stats()
     assert stats["punctures"] >= 1
     assert stats["replays"] >= 1  # fast path recovers after the fault
+
+
+# ----------------------------------------------------------------------
+# quasi-periodic mode: drifting clocks
+# ----------------------------------------------------------------------
+def _drifting_cluster(fast: bool):
+    """A TT cluster with one imperfect clock."""
+    from repro.core_network import ClusterBuilder, FrameChunk, NodeConfig
+    from repro.sim import Simulator, make_trace
+
+    sim = Simulator(seed=11, trace=make_trace("full"))
+    if fast:
+        sim.round_template.activate(quasi_periodic=True)
+    builder = ClusterBuilder(sim)
+    builder.add_node(NodeConfig("n0", slot_capacity_bytes=32,
+                                reservations={"v": 20}))
+    builder.add_node(NodeConfig("n1", slot_capacity_bytes=32,
+                                reservations={"v": 20}, drift_ppm=120.0))
+    cluster = builder.build()
+    cluster.start()
+    cluster.controller("n0").register_chunk_source(
+        "v", lambda slot, budget: [FrameChunk(vn="v", message="m",
+                                              data=b"\x03\x04")])
+    return sim
+
+
+def test_drifting_clock_cluster_stays_armed_but_runs_live() -> None:
+    """A drifting controller blocks the strict mode outright; the
+    quasi-periodic mode stays armed but the imperfect clock vetoes every
+    boundary (its slot phase never recurs exactly: a 120 ppm rate is
+    25003/25000, so slot-event ns-rounding phases repeat only every
+    25000 cycles), so the cluster runs fully live — and must remain
+    byte-identical to the engine-off run."""
+    from repro.runner.executor import trace_digest
+
+    horizon = 1_000_000_000
+    results = {}
+    for fast in (True, False):
+        sim = _drifting_cluster(fast)
+        try:
+            sim.run_until(horizon)
+        finally:
+            sim.trace.close()
+        results[fast] = {
+            "digest": trace_digest(sim),
+            "events": sim.events_executed,
+            "now": sim.now,
+            "metrics": sim.metrics.snapshot(),
+        }
+        if fast:
+            stats = sim.round_template.stats()
+            assert stats["active"]
+            assert stats["mode"] == "quasi-periodic"
+            assert stats["replays"] == 0
+            assert stats["recordings"] == 0
+    assert results[True] == results[False]
+
+
+# ----------------------------------------------------------------------
+# persistent template bank
+# ----------------------------------------------------------------------
+def _run_engine(name: str, bank: dict | None = None,
+                round_template: bool = True):
+    from repro.runner.executor import trace_digest
+
+    spec = REGISTRY[name].with_param("round_template", round_template)
+    sim = build_scenario(spec)
+    if bank is not None:
+        sim.round_template.load_bank(bank)
+    try:
+        sim.run_until(spec.horizon_ns)
+    finally:
+        sim.trace.close()
+    observable = {
+        "digest": trace_digest(sim),
+        "events": sim.events_executed,
+        "now": sim.now,
+        "metrics": sim.metrics.snapshot(),
+    }
+    return sim, observable
+
+
+def test_persisted_bank_warm_start_is_byte_identical() -> None:
+    """dump_bank -> load_bank across two fresh simulators: the warm run
+    replays from the loaded templates (no re-recording needed for known
+    keys) and stays byte-identical with the cold run."""
+    cold_sim, cold = _run_engine("car-smoke")
+    bank = cold_sim.round_template.dump_bank()
+    assert bank is not None and bank["templates"]
+    warm_sim, warm = _run_engine("car-smoke", bank=bank)
+    stats = warm_sim.round_template.stats()
+    assert stats["templates_loaded"] == len(bank["templates"])
+    assert stats["template_load_failures"] == 0
+    assert stats["rounds_replayed"] >= 1
+    assert warm == cold
+
+
+def test_fault_punctures_persisted_bank_mid_run() -> None:
+    """A fault injector firing mid-run must drop a *loaded* bank exactly
+    like a live-compiled one: replay stops, the fault executes at its
+    exact instant, and the observable run stays identical to the slow
+    path."""
+    cold_sim, _ = _run_engine("fault-babbling-idiot")
+    bank = cold_sim.round_template.dump_bank()
+    assert bank is not None
+    warm_sim, warm = _run_engine("fault-babbling-idiot", bank=bank)
+    stats = warm_sim.round_template.stats()
+    assert stats["templates_loaded"] >= 1
+    assert stats["punctures"] >= 1  # loaded bank dropped at the fault
+    assert stats["replays"] >= 1
+    _, slow = _run_engine("fault-babbling-idiot", round_template=False)
+    assert warm == slow
+
+
+def test_stale_or_corrupt_bank_falls_back_to_live_compile() -> None:
+    """A bank from another engine version, another registration, or a
+    corrupted file must be rejected at validation — counted, never
+    trusted — and the run must land byte-identical anyway."""
+    cold_sim, cold = _run_engine("tdma-smoke")
+    bank = cold_sim.round_template.dump_bank()
+    assert bank is not None
+    stale = dict(bank, version=bank["version"] + 1)
+    mismatched = dict(bank, labels="0" * 16)
+    garbled = dict(bank, templates=[{"oops": 1}])
+    for bad in (stale, mismatched, garbled, "not a bank"):
+        sim, observable = _run_engine("tdma-smoke", bank=bad)
+        stats = sim.round_template.stats()
+        assert stats["templates_loaded"] == 0
+        assert stats["template_load_failures"] == 1
+        assert stats["replays"] >= 1  # live compile still engages
+        assert observable == cold
+
+
+def test_template_store_roundtrip_through_executor(tmp_path) -> None:
+    """run_scenario with a template root: first run stores the bank,
+    second run warm-loads it, digests byte-identical; a truncated store
+    file degrades to a cold run instead of failing."""
+    from repro.runner import TemplateStore, run_scenario
+
+    spec = REGISTRY["tdma-smoke"]
+    first = run_scenario(spec, template_root=str(tmp_path))
+    assert first["template_cache"] == {
+        "hit": False, "stored": True, "templates_loaded": 0,
+        "load_failures": 0}
+    second = run_scenario(spec, template_root=str(tmp_path))
+    assert second["template_cache"]["hit"]
+    assert second["template_cache"]["templates_loaded"] >= 1
+    assert second["digest"] == first["digest"]
+    assert _comparable(second) == _comparable(first)
+
+    store = TemplateStore(tmp_path)
+    (entry,) = store.entries()
+    entry.write_text(entry.read_text()[: entry.stat().st_size // 2])
+    third = run_scenario(spec, template_root=str(tmp_path))
+    assert not third["template_cache"]["hit"]
+    assert third["digest"] == first["digest"]
 
 
 # ----------------------------------------------------------------------
