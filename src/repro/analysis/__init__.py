@@ -14,6 +14,7 @@ from .export import (
 )
 from .flows import FlowHop, FlowSet, Journey
 from .probes import BandwidthProbe, CountProbe, LatencyProbe, MetricsProbe
+from .prometheus import metrics_to_prometheus, write_prometheus
 from .report import Series, Table, banner, metrics_table
 from .stats import SampleStats, histogram_stats, jitter, percentile, summarize
 
@@ -39,4 +40,6 @@ __all__ = [
     "write_csv",
     "metrics_to_json",
     "write_metrics_json",
+    "metrics_to_prometheus",
+    "write_prometheus",
 ]

@@ -71,18 +71,24 @@ def metrics_table(metrics: "Metrics", title: str = "metrics",
 
     Counters get one row each; histograms one row with count/mean/max.
     ``prefix`` filters by instrument-name prefix (e.g. ``"gateway."``).
+    Rows are sorted by instrument name across both kinds, so the
+    rendered table is byte-stable for equal registries (same guarantee
+    ``write_metrics_json`` makes for the JSON artifact).
     """
-    table = Table(title, ["instrument", "kind", "value"])
+    rows: list[tuple[str, str, Any]] = []
     for name, value in metrics.counters().items():
         if name.startswith(prefix):
-            table.add_row(name, "counter", value)
+            rows.append((name, "counter", value))
     for name, hist in metrics.histograms().items():
         if name.startswith(prefix):
-            table.add_row(
+            rows.append((
                 name, "histogram",
                 f"n={hist.count:,} mean={hist.mean:,.1f} max={hist.maximum:,}"
                 if hist.count else "n=0",
-            )
+            ))
+    table = Table(title, ["instrument", "kind", "value"])
+    for name, kind, value in sorted(rows, key=lambda row: row[0]):
+        table.add_row(name, kind, value)
     return table
 
 

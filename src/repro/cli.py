@@ -89,6 +89,11 @@ def _cmd_car(args: argparse.Namespace) -> int:
 
             write_metrics_json(car.sim.metrics, args.metrics_json)
             print(f"  metrics snapshot written to {args.metrics_json}")
+        if args.metrics_prom:
+            from .analysis import write_prometheus
+
+            write_prometheus(car.sim.metrics, args.metrics_prom)
+            print(f"  prometheus exposition written to {args.metrics_prom}")
     if args.trace_file and args.trace_mode == "stream":
         print(f"  trace stream written to {args.trace_file}")
     return 0
@@ -174,13 +179,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.bench_compare:
         return _sweep_bench_compare(args, specs)
 
+    monitor = None
+    if args.progress or args.events:
+        from .runner import SweepMonitor
+
+        monitor = SweepMonitor(events_path=args.events, render=args.progress)
     runner = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
-                         use_cache=not args.no_cache, strict=args.strict)
+                         use_cache=not args.no_cache, strict=args.strict,
+                         use_ledger=not args.no_ledger, monitor=monitor)
     try:
         report = runner.run(specs)
     except PreflightError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.events:
+        print(f"telemetry events streamed to {args.events}", file=sys.stderr)
     if args.json:
         import json
 
@@ -566,6 +579,201 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# repro ledger — provenance ledger: history, trends, replay-parity audit
+# ----------------------------------------------------------------------
+def _ledger(args: argparse.Namespace):
+    from pathlib import Path
+
+    from .ledger import RunLedger
+    from .runner import LEDGER_FILENAME
+
+    return RunLedger(Path(args.cache_dir) / LEDGER_FILENAME)
+
+
+def _cmd_ledger_show(args: argparse.Namespace) -> int:
+    """Print recorded runs (newest last), or the ledger stats summary."""
+    import json
+
+    ledger = _ledger(args)
+    entries = ledger.entries(name=args.scenario, include_rotated=True)
+    if args.last:
+        entries = entries[-args.last:]
+    if args.json:
+        print(json.dumps({"stats": ledger.stats(), "entries": entries},
+                         indent=2, sort_keys=True))
+        return 0
+    stats = ledger.stats()
+    print(f"ledger {stats['path']}: {stats['entries']} entries, "
+          f"{stats['total_bytes']:,} bytes in {len(stats['files'])} file"
+          f"{'' if len(stats['files']) == 1 else 's'}"
+          + (f", {stats['skipped_lines']} unparseable line"
+             f"{'' if stats['skipped_lines'] == 1 else 's'} skipped"
+             if stats["skipped_lines"] else ""))
+    if not entries:
+        print("  (no matching entries — run `repro sweep` to record some)")
+        return 0
+    for e in entries:
+        tpl = e.get("round_template") or {}
+        print(f"  {e.get('ts', '?'):25s} {e['name']:28s} "
+              f"digest={e['digest'][:12]} code={e.get('code_digest', '?')[:8]} "
+              f"wall={e.get('wall_s', 0):.3f}s runtime={e.get('runtime', 'sim')}"
+              + (f" ff={tpl.get('events_fast_forwarded', 0):,}" if tpl else ""))
+    return 0
+
+
+def _cmd_ledger_trends(args: argparse.Namespace) -> int:
+    """Per-scenario history roll-up: wall-time trend, digest stability."""
+    import json
+
+    from .ledger import ledger_trends
+
+    ledger = _ledger(args)
+    trends = ledger_trends(ledger.entries(include_rotated=True))
+    if args.json:
+        print(json.dumps(trends, indent=2, sort_keys=True))
+        return 0
+    if not trends["scenarios"]:
+        print("ledger is empty — run `repro sweep` to record some runs")
+        return 0
+    print(f"ledger trends over {trends['entries']} entries:")
+    for name, row in trends["scenarios"].items():
+        wall = row["wall_s"]
+        print(f"  {name:28s} n={row['entries']:<4d} "
+              f"wall min={wall['min']}s last={wall['last']}s "
+              f"codes={row['codes']} digests={row['digests']} "
+              f"stable={'yes' if row['digest_stable'] else 'NO'}")
+    print(f"  digest-stable across all recorded configurations: "
+          f"{'yes' if trends['all_stable'] else 'NO'}")
+    return 0
+
+
+def _cmd_ledger_verify(args: argparse.Namespace) -> int:
+    """Replay-parity audit: re-run recorded entries, compare digests."""
+    import json
+
+    from .ledger import verify_entries
+    from .runner import code_digest
+
+    ledger = _ledger(args)
+    entries = ledger.entries(name=args.scenario, include_rotated=True)
+    if not entries:
+        print(f"error: no ledger entries under {args.cache_dir!r} "
+              "(run `repro sweep` first)", file=sys.stderr)
+        return 2
+
+    def progress(outcome: dict) -> None:
+        if not args.json:
+            print(f"  {outcome['name']:28s} {outcome['verdict']:8s} "
+                  f"recorded={outcome['recorded_digest'][:12]} "
+                  f"replayed={outcome['replayed_digest'][:12]} "
+                  f"({outcome['wall_s']:.3f}s)")
+
+    sample = None if args.all else args.sample
+    if not args.json:
+        scope = "all" if sample is None else f"newest {sample}"
+        print(f"replay-parity audit ({scope} distinct configurations, "
+              f"{len(entries)} entries on record):")
+    report = verify_entries(entries, code_digest(), sample=sample,
+                            strict=args.strict, progress=progress)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"  checked {report['checked']}/{report['distinct']} distinct: "
+              f"{report['parity']} parity, {report['drift']} drift, "
+              f"{report['mismatch']} mismatch -> "
+              f"{'OK' if report['ok'] else 'FAIL'}")
+        if report["drift"] and not args.strict:
+            print("  (drift is attributed to a code-digest change; "
+                  "--strict makes it a failure)")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_ledger_bench(args: argparse.Namespace) -> int:
+    """Ledger-overhead guard: running scenarios with the durable ledger
+    enabled must stay within ``--budget``x of running them without it."""
+    import json
+    import tempfile
+    import time
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    from .ledger import RunLedger, record_from_result
+    from .runner import (
+        code_digest,
+        default_registry,
+        filter_scenarios,
+        provenance,
+        run_scenario,
+        update_bench_json,
+    )
+
+    registry = default_registry()
+    specs = filter_scenarios(registry, [args.filter])
+    if not specs:
+        print(f"error: no scenarios match filter {args.filter!r}",
+              file=sys.stderr)
+        return 2
+    specs = [s.with_param("round_template", False) for s in specs]
+    names = [s.name for s in specs]
+    print(f"ledger-overhead guard over {len(specs)} scenarios: "
+          f"{', '.join(names)}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = str(Path(tmp) / "bench-ledger.ndjsonl")
+
+        def leg(path: str | None) -> float:
+            t0 = time.perf_counter()
+            for spec in specs:
+                run_scenario(spec, ledger_path=path)
+            return time.perf_counter() - t0
+
+        # Warm-up (imports, first model build), then interleave the two
+        # legs so machine-state drift hits both equally: the measured
+        # ratio isolates the ledger append, not the benchmark's weather.
+        leg(None)
+        off = on = float("inf")
+        for _ in range(args.repeat):
+            off = min(off, leg(None))
+            on = min(on, leg(ledger_path))
+        print(f"  {'ledger off':24s} {off:.3f}s (best of {args.repeat})")
+        print(f"  {'ledger on':24s} {on:.3f}s (best of {args.repeat})")
+
+        # Micro append rate: serialize + O_APPEND + fsync for one record.
+        sample = run_scenario(specs[0])
+        record = record_from_result(specs[0], sample, code_digest())
+        micro = RunLedger(Path(tmp) / "micro.ndjsonl")
+        appends = 64
+        t0 = time.perf_counter()
+        for _ in range(appends):
+            micro.append(record)
+        append_s = (time.perf_counter() - t0) / appends
+
+    overhead_x = on / off if off else 1.0
+    ok = overhead_x <= args.budget
+    section = {
+        "scenarios": names,
+        "off_s": round(off, 6),
+        "on_s": round(on, 6),
+        "append_overhead_x": round(overhead_x, 3),
+        "append_ms": round(append_s * 1e3, 3),
+        "appends_per_s": round(1.0 / append_s, 1) if append_s else None,
+        "budget_x": args.budget,
+        "within_budget": ok,
+        "provenance": provenance(
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            iterations=args.repeat),
+    }
+    update_bench_json(args.bench_out, "ledger", section)
+    print(f"  ledger overhead {overhead_x:.3f}x of ledger-off "
+          f"(budget {args.budget:.2f}x), one fsync'd append "
+          f"{section['append_ms']:.2f}ms -> {'OK' if ok else 'OVER BUDGET'}")
+    print(f"  wrote ledger section to {args.bench_out}")
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    return 0 if ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or empty the sweep result + template caches."""
     import json
@@ -631,6 +839,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="print the metrics registry after the run")
     p_car.add_argument("--metrics-json", default=None, metavar="PATH",
                        help="write the metrics snapshot as JSON")
+    p_car.add_argument("--metrics-prom", default=None, metavar="PATH",
+                       help="write the metrics registry in Prometheus "
+                            "text exposition format")
     p_car.add_argument("--flow-tracing", action="store_true",
                        help="assign causal flow ids and emit flow.* records")
     p_car.add_argument("--profile", action="store_true",
@@ -697,7 +908,66 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--pace", type=float, default=None,
                          help="simulated-to-wall time ratio for "
                               "--runtime realtime/asyncio")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="render a live one-line fleet status to "
+                              "stderr while the sweep runs")
+    p_sweep.add_argument("--events", default=None, metavar="PATH",
+                         help="stream worker telemetry events to PATH as "
+                              "NDJSON (start/heartbeat/finish/cache_hit)")
+    p_sweep.add_argument("--no-ledger", action="store_true",
+                         help="skip the durable run-ledger append for "
+                              "this sweep's executions")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_ledger = sub.add_parser(
+        "ledger", help="provenance ledger: history, trends, replay audit")
+    ledger_sub = p_ledger.add_subparsers(dest="ledger_command", required=True)
+
+    p_lshow = ledger_sub.add_parser(
+        "show", help="list recorded runs (newest last)")
+    p_lshow.add_argument("--cache-dir", default=".repro_cache", metavar="PATH")
+    p_lshow.add_argument("--scenario", default=None, metavar="NAME",
+                         help="restrict to one scenario name")
+    p_lshow.add_argument("--last", type=int, default=None, metavar="N",
+                         help="only the N most recent entries")
+    p_lshow.add_argument("--json", action="store_true")
+    p_lshow.set_defaults(func=_cmd_ledger_show)
+
+    p_ltr = ledger_sub.add_parser(
+        "trends", help="per-scenario wall-time trend and digest stability")
+    p_ltr.add_argument("--cache-dir", default=".repro_cache", metavar="PATH")
+    p_ltr.add_argument("--json", action="store_true")
+    p_ltr.set_defaults(func=_cmd_ledger_trends)
+
+    p_lver = ledger_sub.add_parser(
+        "verify",
+        help="replay-parity audit: re-run recorded entries, compare digests")
+    p_lver.add_argument("--cache-dir", default=".repro_cache", metavar="PATH")
+    p_lver.add_argument("--scenario", default=None, metavar="NAME",
+                        help="restrict the audit to one scenario name")
+    p_lver.add_argument("--sample", type=int, default=5, metavar="N",
+                        help="audit the N most recent distinct "
+                             "configurations (default: 5)")
+    p_lver.add_argument("--all", action="store_true",
+                        help="audit every distinct configuration on record")
+    p_lver.add_argument("--strict", action="store_true",
+                        help="fail on drift too (mismatches always fail); "
+                             "demands full-history parity")
+    p_lver.add_argument("--json", action="store_true")
+    p_lver.set_defaults(func=_cmd_ledger_verify)
+
+    p_lbench = ledger_sub.add_parser(
+        "bench", help="guard: ledger-append overhead vs ledger-off wall time")
+    p_lbench.add_argument("--filter", default="smoke", metavar="EXPR",
+                          help="scenario filter to measure (default: smoke)")
+    p_lbench.add_argument("--repeat", type=int, default=3,
+                          help="best-of-N timing (default: 3)")
+    p_lbench.add_argument("--budget", type=float, default=1.05,
+                          help="max allowed overhead factor (default: 1.05)")
+    p_lbench.add_argument("--bench-out", default="BENCH_substrate.json",
+                          metavar="PATH")
+    p_lbench.add_argument("--json", action="store_true")
+    p_lbench.set_defaults(func=_cmd_ledger_bench)
 
     p_brt = sub.add_parser(
         "bench-runtime",

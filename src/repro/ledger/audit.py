@@ -1,0 +1,187 @@
+"""Replay-parity audit and history queries over the run ledger.
+
+The trust claim of the ledger is that any recorded result can be
+*re-derived*: rebuilding the scenario from the recorded spec and
+re-running it must reproduce the recorded golden trace digest byte for
+byte.  :func:`verify_entry` does exactly that and classifies the
+outcome:
+
+* ``parity``   — digest, event/time counts, and comparable metrics all
+  match the record: the result is still re-derivable.
+* ``drift``    — something differs, **and** the package code digest has
+  changed since the record was written: the drift is attributed to the
+  code delta (expected across development; ``--strict`` turns it into
+  a failure so release branches can demand full-history parity).
+* ``mismatch`` — the code digest is *unchanged* and the result still
+  differs: nondeterminism or environment leakage, always a failure.
+
+Metrics comparison excludes the wall-clock instrument families
+(``runtime.*`` deadline accounting, ``profile.*`` handler timing) —
+those are honest about being nondeterministic and are never part of
+the determinism contract.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = [
+    "comparable_metrics",
+    "dedupe_entries",
+    "ledger_trends",
+    "verify_entries",
+    "verify_entry",
+]
+
+#: instrument-name prefixes excluded from parity comparison
+NONDETERMINISTIC_PREFIXES = ("runtime.", "profile.")
+
+
+def comparable_metrics(snapshot: dict) -> dict:
+    """A metrics snapshot with the nondeterministic families removed."""
+    def keep(name: str) -> bool:
+        return not name.startswith(NONDETERMINISTIC_PREFIXES)
+
+    return {
+        "counters": {k: v for k, v in snapshot.get("counters", {}).items()
+                     if keep(k)},
+        "histograms": {k: v for k, v in snapshot.get("histograms", {}).items()
+                       if keep(k)},
+    }
+
+
+def dedupe_entries(entries: list[dict]) -> list[dict]:
+    """The latest entry per (name, spec digest, code digest), in first-
+    appearance order.
+
+    Re-verifying every raw entry would re-run byte-identical
+    configurations over and over; one representative per distinct
+    configuration-under-code covers the same claim.
+    """
+    latest: dict[tuple, dict] = {}
+    for entry in entries:
+        key = (entry.get("name"), entry.get("spec_digest"),
+               entry.get("code_digest"))
+        latest[key] = entry
+    return list(latest.values())
+
+
+def verify_entry(entry: dict, current_code: str) -> dict:
+    """Re-execute one ledger entry and compare against the record."""
+    from ..runner.executor import run_scenario
+    from ..runner.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec.from_dict(entry["spec"])
+    result = run_scenario(spec)
+    digest_match = result["digest"] == entry["digest"]
+    counts_match = (result["events_executed"] == entry["events_executed"]
+                    and result["now_ns"] == entry["now_ns"])
+    metrics_match = (comparable_metrics(result["metrics"])
+                     == comparable_metrics(entry.get("metrics", {})))
+    code_match = entry.get("code_digest") == current_code
+    if digest_match and counts_match and metrics_match:
+        verdict = "parity"
+    elif not code_match:
+        verdict = "drift"
+    else:
+        verdict = "mismatch"
+    return {
+        "name": entry["name"],
+        "ts": entry.get("ts"),
+        "verdict": verdict,
+        "digest_match": digest_match,
+        "counts_match": counts_match,
+        "metrics_match": metrics_match,
+        "code_match": code_match,
+        "recorded_digest": entry["digest"],
+        "replayed_digest": result["digest"],
+        "recorded_code": entry.get("code_digest"),
+        "wall_s": result["wall_s"],
+    }
+
+
+def verify_entries(entries: list[dict], current_code: str,
+                   sample: int | None = None, strict: bool = False,
+                   progress: Callable[[dict], None] | None = None) -> dict:
+    """Audit a set of ledger entries; returns the audit report.
+
+    Entries are deduplicated (see :func:`dedupe_entries`); ``sample``
+    restricts the audit to the N most recent distinct configurations
+    (``None`` audits all of them).  ``progress`` is called with each
+    per-entry result as it lands, so a CLI can stream status.
+    """
+    distinct = dedupe_entries(entries)
+    if sample is not None:
+        distinct = distinct[-sample:]
+    results = []
+    for entry in distinct:
+        outcome = verify_entry(entry, current_code)
+        results.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    counts = {"parity": 0, "drift": 0, "mismatch": 0}
+    for outcome in results:
+        counts[outcome["verdict"]] += 1
+    ok = counts["mismatch"] == 0 and (not strict or counts["drift"] == 0)
+    return {
+        "entries": len(entries),
+        "distinct": len(dedupe_entries(entries)),
+        "checked": len(results),
+        "strict": strict,
+        "code_digest": current_code,
+        "ok": ok,
+        **counts,
+        "results": results,
+    }
+
+
+def ledger_trends(entries: list[dict]) -> dict:
+    """Per-scenario history roll-up: wall-time trend and digest stability.
+
+    A scenario is *digest-stable* when every (spec digest, code digest)
+    pair it was ever recorded under maps to exactly one golden digest —
+    i.e. no two runs of the same configuration on the same code ever
+    disagreed.
+    """
+    per: dict[str, dict] = {}
+    for entry in entries:
+        name = str(entry.get("name"))
+        row = per.setdefault(name, {
+            "entries": 0, "walls": [],
+            "first_ts": entry.get("ts"), "last_ts": entry.get("ts"),
+            "codes": set(), "digests": set(), "by_config": {},
+        })
+        row["entries"] += 1
+        row["last_ts"] = entry.get("ts")
+        wall = entry.get("wall_s")
+        if isinstance(wall, (int, float)):
+            row["walls"].append(float(wall))
+        row["codes"].add(entry.get("code_digest"))
+        row["digests"].add(entry.get("digest"))
+        config = (entry.get("spec_digest"), entry.get("code_digest"))
+        row["by_config"].setdefault(config, set()).add(entry.get("digest"))
+    scenarios = {}
+    for name, row in sorted(per.items()):
+        walls = row["walls"]
+        digests_per_config = max(
+            (len(d) for d in row["by_config"].values()), default=0)
+        scenarios[name] = {
+            "entries": row["entries"],
+            "first_ts": row["first_ts"],
+            "last_ts": row["last_ts"],
+            "wall_s": {
+                "min": round(min(walls), 6) if walls else None,
+                "max": round(max(walls), 6) if walls else None,
+                "mean": round(sum(walls) / len(walls), 6) if walls else None,
+                "last": round(walls[-1], 6) if walls else None,
+            },
+            "codes": len(row["codes"]),
+            "digests": len(row["digests"]),
+            "digests_per_config_max": digests_per_config,
+            "digest_stable": digests_per_config <= 1,
+        }
+    return {
+        "entries": len(entries),
+        "scenarios": scenarios,
+        "all_stable": all(s["digest_stable"] for s in scenarios.values()),
+    }

@@ -14,7 +14,7 @@ from .aggregate import (
     observability_report,
 )
 from .cache import ResultCache, TemplateStore, code_digest, result_key, template_key
-from .executor import SweepRunner, run_scenario, trace_digest
+from .executor import LEDGER_FILENAME, SweepRunner, run_scenario, trace_digest
 from .report import provenance, sweep_table, update_bench_json
 from .scenarios import (
     BUILDERS,
@@ -24,11 +24,14 @@ from .scenarios import (
     derive_seed,
     filter_scenarios,
 )
+from .telemetry import SweepMonitor
 
 __all__ = [
     "BUILDERS",
+    "LEDGER_FILENAME",
     "ResultCache",
     "ScenarioSpec",
+    "SweepMonitor",
     "SweepRunner",
     "TemplateStore",
     "aggregate_results",

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from functools import lru_cache
+from pathlib import Path
 
 from ..errors import ConfigurationError
 from .cache import (
@@ -29,8 +31,19 @@ from .cache import (
     template_key,
 )
 from .scenarios import ScenarioSpec, build_scenario
+from .telemetry import (
+    SweepMonitor,
+    configure_worker_telemetry,
+    init_worker_telemetry,
+    reset_worker_telemetry,
+    worker_heartbeat,
+    worker_post,
+)
 
-__all__ = ["SweepRunner", "run_scenario", "trace_digest"]
+__all__ = ["LEDGER_FILENAME", "SweepRunner", "run_scenario", "trace_digest"]
+
+#: ledger file name inside a cache directory
+LEDGER_FILENAME = "ledger.ndjsonl"
 
 
 @lru_cache(maxsize=1)
@@ -58,7 +71,8 @@ def trace_digest(sim) -> str:
 
 
 def run_scenario(spec: ScenarioSpec,
-                 template_root: str | None = None) -> dict:
+                 template_root: str | None = None,
+                 ledger_path: str | None = None) -> dict:
     """Build, run, and summarize one scenario (the worker function).
 
     With ``template_root`` set, a persisted round-template bank for
@@ -66,6 +80,11 @@ def run_scenario(spec: ScenarioSpec,
     bank enriched by this run is written back afterwards — unless the
     run punctured, in which case the surviving bank reflects mutated
     dynamics and is not trusted for persistence.
+
+    With ``ledger_path`` set, a provenance record for the finished run
+    (spec + digests + metrics; see :mod:`repro.ledger`) is durably
+    appended to that file.  Append failures never fail the run — the
+    result instead carries a ``ledger_error`` field.
     """
     t0 = time.perf_counter()
     sim = build_scenario(spec)
@@ -116,15 +135,32 @@ def run_scenario(spec: ScenarioSpec,
         from ..analysis.flows import FlowSet
 
         result["flows"] = FlowSet.from_trace(sim.trace).summary()
+    if ledger_path is not None:
+        from ..ledger import RunLedger, record_from_result
+
+        try:
+            RunLedger(ledger_path).append(
+                record_from_result(spec, result, _process_code_digest()))
+        except OSError as exc:
+            result["ledger_error"] = str(exc)
     return result
 
 
 def _pool_worker(spec: ScenarioSpec,
-                 template_root: str | None = None) -> dict:
+                 template_root: str | None = None,
+                 ledger_path: str | None = None) -> dict:
     """Top-level pool entry point; never raises across the pipe."""
+    worker_post({"event": "start", "scenario": spec.name})
     try:
-        return run_scenario(spec, template_root=template_root)
+        with worker_heartbeat(spec.name):
+            result = run_scenario(spec, template_root=template_root,
+                                  ledger_path=ledger_path)
+        worker_post({"event": "finish", "scenario": spec.name,
+                     "wall_s": result["wall_s"],
+                     "digest": result["digest"][:12]})
+        return result
     except Exception:
+        worker_post({"event": "finish", "scenario": spec.name, "error": True})
         return {"name": spec.name, "seed": spec.seed,
                 "error": traceback.format_exc(limit=8)}
 
@@ -156,16 +192,29 @@ class SweepRunner:
         process spawns; a scenario with error-severity findings aborts
         the whole sweep with :class:`~repro.errors.PreflightError`.
         Cache hits skip pre-flight (their spec already ran clean).
+    use_ledger:
+        When True (the default), every executed scenario appends a
+        provenance record to ``<cache_dir>/ledger.ndjsonl`` (see
+        :mod:`repro.ledger`); cache hits are served without touching
+        the ledger — their execution was already recorded.
+    monitor:
+        A :class:`~repro.runner.telemetry.SweepMonitor` to receive live
+        events (worker start/heartbeat/finish, cache hits, sweep
+        start/end).  None runs silent.
     """
 
     def __init__(self, workers: int = 1, cache_dir: str = ".repro_cache",
                  use_cache: bool = True, strict: bool = False,
-                 use_templates: bool = True) -> None:
+                 use_templates: bool = True, use_ledger: bool = True,
+                 monitor: SweepMonitor | None = None) -> None:
         self.workers = max(1, int(workers))
         self.cache = ResultCache(cache_dir)
         self.use_cache = use_cache
         self.strict = strict
         self.template_root = str(cache_dir) if use_templates else None
+        self.ledger_path = (str(Path(cache_dir) / LEDGER_FILENAME)
+                            if use_ledger else None)
+        self.monitor = monitor
 
     def preflight(self, specs: list[ScenarioSpec]) -> None:
         """Statically check ``specs``; raise on the first broken one."""
@@ -206,6 +255,8 @@ class SweepRunner:
             seen.add(spec.name)
         code = code_digest()
         keys = {spec.name: result_key(spec, code) for spec in specs}
+        if self.monitor is not None:
+            self.monitor.begin(len(specs))
         results: dict[str, dict] = {}
         to_run: list[ScenarioSpec] = []
         hits = 0
@@ -215,6 +266,9 @@ class SweepRunner:
                 cached = dict(cached, cached=True)
                 results[spec.name] = cached
                 hits += 1
+                if self.monitor is not None:
+                    self.monitor.post({"event": "cache_hit",
+                                       "scenario": spec.name})
             else:
                 to_run.append(spec)
 
@@ -231,7 +285,7 @@ class SweepRunner:
 
         ordered = [results[spec.name] for spec in specs]
         errors = [r["name"] for r in ordered if "error" in r]
-        return {
+        report = {
             "scenarios": ordered,
             "count": len(ordered),
             "cache_hits": hits,
@@ -241,26 +295,83 @@ class SweepRunner:
             "code_digest": code,
             "wall_s": round(time.perf_counter() - t0, 6),
         }
+        if self.monitor is not None:
+            self.monitor.finish(report)
+        return report
 
     # ------------------------------------------------------------------
     def _execute(self, specs: list[ScenarioSpec]):
         if not specs:
             return
         if self.workers == 1 or len(specs) == 1:
-            for spec in specs:
-                yield spec.name, _pool_worker(spec, self.template_root)
+            if self.monitor is not None:
+                # The serial path emits the same event stream a pool
+                # worker would, straight into the monitor.
+                configure_worker_telemetry(_DirectSink(self.monitor),
+                                           self.monitor.heartbeat_s)
+            try:
+                for spec in specs:
+                    yield spec.name, _pool_worker(spec, self.template_root,
+                                                  self.ledger_path)
+            finally:
+                reset_worker_telemetry()
             return
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            pending = {pool.submit(_pool_worker, spec, self.template_root): spec
-                       for spec in specs}
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    spec = pending.pop(future)
-                    try:
-                        yield spec.name, future.result()
-                    except Exception:  # worker died (signal, pool failure)
-                        yield spec.name, {
-                            "name": spec.name, "seed": spec.seed,
-                            "error": traceback.format_exc(limit=8),
-                        }
+        init = initargs = None
+        pump = queue = manager = None
+        if self.monitor is not None:
+            import multiprocessing
+
+            # A managed queue proxy pickles into workers regardless of
+            # start method; a pump thread drains it into the monitor.
+            manager = multiprocessing.Manager()
+            queue = manager.Queue()
+            pump = threading.Thread(target=_pump_events,
+                                    args=(queue, self.monitor), daemon=True)
+            pump.start()
+            init = init_worker_telemetry
+            initargs = (queue, self.monitor.heartbeat_s)
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers,
+                                     initializer=init,
+                                     initargs=initargs or ()) as pool:
+                pending = {pool.submit(_pool_worker, spec, self.template_root,
+                                       self.ledger_path): spec
+                           for spec in specs}
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        spec = pending.pop(future)
+                        try:
+                            yield spec.name, future.result()
+                        except Exception:  # worker died (signal, pool failure)
+                            yield spec.name, {
+                                "name": spec.name, "seed": spec.seed,
+                                "error": traceback.format_exc(limit=8),
+                            }
+        finally:
+            if queue is not None:
+                queue.put(None)
+                pump.join(timeout=5.0)
+                manager.shutdown()
+
+
+class _DirectSink:
+    """Adapter giving the serial path the worker queue interface."""
+
+    def __init__(self, monitor: SweepMonitor) -> None:
+        self._monitor = monitor
+
+    def put_nowait(self, event: dict) -> None:
+        self._monitor.post(event)
+
+
+def _pump_events(queue, monitor: SweepMonitor) -> None:
+    """Drain worker events into the monitor until the None sentinel."""
+    while True:
+        try:
+            event = queue.get()
+        except (EOFError, OSError):  # manager torn down
+            return
+        if event is None:
+            return
+        monitor.post(event)

@@ -85,6 +85,25 @@ class ScenarioSpec:
             "tags": list(self.tags),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from its :meth:`as_dict` form (the ledger's
+        replay audit re-executes recorded specs through this).
+
+        JSON round-trips tuples into lists; builders already accept
+        list-valued params (e.g. ``gps_outages``), so values are kept
+        as deserialized.
+        """
+        return cls(
+            name=str(data["name"]),
+            builder=str(data["builder"]),
+            horizon_ns=int(data["horizon_ns"]),
+            seed=int(data["seed"]),
+            trace_mode=str(data.get("trace_mode", "full")),
+            params=tuple(sorted(dict(data.get("params", {})).items())),
+            tags=tuple(data.get("tags", ())),
+        )
+
 
 def _spec(name: str, builder: str, horizon_ns: int, *, seed: int | None = None,
           base_seed: int = 0, trace_mode: str = "full", tags: tuple[str, ...] = (),

@@ -1,0 +1,270 @@
+"""Live sweep telemetry: worker events, progress rendering, NDJSON stream.
+
+While a sweep runs, workers emit small event dicts — ``start`` when a
+scenario begins executing, ``heartbeat`` every second while it runs,
+``finish`` when it lands — over a managed multiprocessing queue; the
+parent adds ``cache_hit`` events for warm results and pumps everything
+into one :class:`SweepMonitor`.  The monitor
+
+* maintains fleet state (completed/total, runs per second, warm-hit
+  rate, ETA, what every worker is executing right now),
+* optionally renders a live single-line status (one ``\\r``-refresh per
+  event, rate-limited) to a terminal stream, and
+* optionally appends every event as one NDJSON line to a file
+  (``repro sweep --events FILE``) for external consumers.
+
+Telemetry is strictly an observer: it reads worker-side wall clocks
+never simulation state, events are timestamped by the *monitor* on
+receipt (no cross-process clock agreement needed), and a full queue
+drops events rather than ever blocking a worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = [
+    "SweepMonitor",
+    "configure_worker_telemetry",
+    "init_worker_telemetry",
+    "reset_worker_telemetry",
+    "worker_heartbeat",
+    "worker_post",
+]
+
+#: default seconds between worker heartbeats
+DEFAULT_HEARTBEAT_S = 1.0
+
+# ----------------------------------------------------------------------
+# worker side — a module-global sink set up by the pool initializer
+# ----------------------------------------------------------------------
+_SINK: Any = None
+_HEARTBEAT_S: float = DEFAULT_HEARTBEAT_S
+
+
+def init_worker_telemetry(queue: Any, heartbeat_s: float) -> None:
+    """Pool-initializer entry point: install the event queue in this
+    worker process (must be a top-level function to pickle)."""
+    configure_worker_telemetry(queue, heartbeat_s)
+
+
+def configure_worker_telemetry(sink: Any, heartbeat_s: float
+                               = DEFAULT_HEARTBEAT_S) -> None:
+    """Install ``sink`` (anything with ``put_nowait``) as this process's
+    event outlet.  The serial sweep path installs the monitor directly;
+    pool workers get a managed queue proxy."""
+    global _SINK, _HEARTBEAT_S
+    _SINK = sink
+    _HEARTBEAT_S = heartbeat_s
+
+
+def reset_worker_telemetry() -> None:
+    """Remove the installed sink (telemetry becomes a no-op again)."""
+    global _SINK
+    _SINK = None
+
+
+def worker_post(event: dict) -> None:
+    """Best-effort event emission: never blocks, never raises.
+
+    Telemetry must not be able to fail a sweep — a full queue or a
+    torn-down manager just drops the event.
+    """
+    sink = _SINK
+    if sink is None:
+        return
+    try:
+        sink.put_nowait(dict(event, worker=os.getpid()))
+    except Exception:
+        pass
+
+
+class worker_heartbeat:
+    """Context manager emitting periodic heartbeats for one scenario.
+
+    A daemon thread posts ``{"event": "heartbeat", "scenario": ...}``
+    every heartbeat interval until the body exits, so the monitor can
+    show per-worker liveness on long runs.  With no sink installed it
+    does nothing at all (no thread is started).
+    """
+
+    def __init__(self, scenario: str) -> None:
+        self.scenario = scenario
+        self._stop: threading.Event | None = None
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "worker_heartbeat":
+        if _SINK is not None:
+            self._stop = threading.Event()
+            self._thread = threading.Thread(target=self._beat, daemon=True)
+            self._thread.start()
+        return self
+
+    def _beat(self) -> None:
+        assert self._stop is not None
+        while not self._stop.wait(_HEARTBEAT_S):
+            worker_post({"event": "heartbeat", "scenario": self.scenario})
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._stop is not None:
+            self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# parent side — the monitor
+# ----------------------------------------------------------------------
+class SweepMonitor:
+    """Consume sweep events; keep fleet state; render and/or stream them.
+
+    ``post`` is thread-safe (the pump thread and the runner's own
+    cache-hit path both call it).  Event dicts are augmented with ``t``
+    (seconds since :meth:`begin`) on receipt; with ``events_path`` set,
+    every augmented event is appended to the file as one JSON line.
+    """
+
+    def __init__(self, stream: IO[str] | None = None,
+                 events_path: str | Path | None = None,
+                 render: bool = False, refresh_s: float = 0.2,
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.events_path = Path(events_path) if events_path else None
+        self.render = render
+        self.refresh_s = refresh_s
+        self.heartbeat_s = heartbeat_s
+        self._events_fh: IO[str] | None = None
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter()
+        self._last_render = 0.0
+        self._rendered = False
+        # fleet state
+        self.total = 0
+        self.completed = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.errors = 0
+        self.events_seen = 0
+        self.workers: dict[int, str] = {}
+        self._exec_walls: list[float] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def begin(self, total: int) -> None:
+        """Reset the clock and announce the sweep size."""
+        self._t0 = time.perf_counter()
+        self.total = total
+        self.post({"event": "sweep_start", "total": total})
+
+    def finish(self, report: dict) -> None:
+        """Emit the closing event and release the events file."""
+        self.post({"event": "sweep_end",
+                   "count": report.get("count"),
+                   "cache_hits": report.get("cache_hits"),
+                   "executed": report.get("executed"),
+                   "errors": len(report.get("errors", ())),
+                   "wall_s": report.get("wall_s")})
+        with self._lock:
+            if self._rendered:
+                self.stream.write("\n")
+                self.stream.flush()
+                self._rendered = False
+            if self._events_fh is not None:
+                self._events_fh.close()
+                self._events_fh = None
+
+    # -- event intake --------------------------------------------------
+    def post(self, event: dict) -> None:
+        """Stamp, record, and fold one event into the fleet state."""
+        with self._lock:
+            event = dict(event, t=round(time.perf_counter() - self._t0, 3))
+            self.events_seen += 1
+            kind = event.get("event")
+            worker = event.get("worker")
+            if kind == "start" and worker is not None:
+                self.workers[worker] = str(event.get("scenario"))
+            elif kind == "heartbeat" and worker is not None:
+                self.workers[worker] = str(event.get("scenario"))
+            elif kind == "finish":
+                self.completed += 1
+                self.executed += 1
+                if worker is not None:
+                    self.workers.pop(worker, None)
+                if event.get("error"):
+                    self.errors += 1
+                wall = event.get("wall_s")
+                if isinstance(wall, (int, float)):
+                    self._exec_walls.append(float(wall))
+            elif kind == "cache_hit":
+                self.completed += 1
+                self.cache_hits += 1
+            if self._events_fh is None and self.events_path is not None:
+                self.events_path.parent.mkdir(parents=True, exist_ok=True)
+                self._events_fh = open(self.events_path, "w")
+            if self._events_fh is not None:
+                self._events_fh.write(json.dumps(event, sort_keys=True) + "\n")
+                self._events_fh.flush()
+            self._maybe_render(force=kind in
+                               ("finish", "cache_hit", "sweep_end"))
+
+    # -- rendering -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """The current fleet state as plain data (what the line shows)."""
+        elapsed = time.perf_counter() - self._t0
+        rate = self.completed / elapsed if elapsed > 0 else 0.0
+        remaining = max(self.total - self.completed, 0)
+        mean_wall = (sum(self._exec_walls) / len(self._exec_walls)
+                     if self._exec_walls else None)
+        slots = max(len(self.workers), 1)
+        eta = (remaining * mean_wall / slots
+               if mean_wall is not None and remaining else
+               (remaining / rate if rate > 0 else None))
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "errors": self.errors,
+            "elapsed_s": round(elapsed, 3),
+            "runs_per_s": round(rate, 3),
+            "warm_rate": (round(self.cache_hits / self.completed, 3)
+                          if self.completed else 0.0),
+            "eta_s": round(eta, 1) if eta is not None else None,
+            "workers": dict(sorted(self.workers.items())),
+        }
+
+    def status_line(self) -> str:
+        """One-line fleet status (what ``--progress`` renders)."""
+        s = self.snapshot()
+        parts = [f"sweep {s['completed']}/{s['total']}"]
+        if s["cache_hits"]:
+            parts.append(f"{s['cache_hits']} warm")
+        if s["errors"]:
+            parts.append(f"{s['errors']} errors")
+        parts.append(f"{s['runs_per_s']:.1f}/s")
+        if s["eta_s"] is not None:
+            parts.append(f"eta {s['eta_s']:.0f}s")
+        busy = " ".join(f"[{pid}]{name}" for pid, name in s["workers"].items())
+        if busy:
+            parts.append(busy)
+        return " · ".join(parts)
+
+    def _maybe_render(self, force: bool = False) -> None:
+        # caller holds the lock
+        if not self.render:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_render < self.refresh_s:
+            return
+        self._last_render = now
+        width = max(shutil.get_terminal_size((100, 24)).columns - 1, 20)
+        line = self.status_line()[:width]
+        self.stream.write("\r" + line.ljust(width))
+        self.stream.flush()
+        self._rendered = True

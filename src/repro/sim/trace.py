@@ -223,9 +223,14 @@ class StreamSink(TraceSink):
         self._target = target
         self._fh: IO[str] | None = None
         self._owns_fh = False
+        self._closed = False
         self.emitted = 0
 
     def _handle(self) -> IO[str]:
+        if self._closed:
+            raise SimulationError(
+                "stream sink is closed (a re-opened path target would "
+                "truncate the records already written)")
         if self._fh is None:
             if isinstance(self._target, (str, Path)):
                 self._fh = open(self._target, "w")
@@ -239,11 +244,21 @@ class StreamSink(TraceSink):
         self.emitted += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
+        """Flush (and, for owned files, close) the handle; idempotent.
+
+        A second close is a no-op, and a caller-owned handle that was
+        already closed externally is tolerated — the double-exit paths
+        (``with trace: ... trace.close()``, CLI plus executor cleanup)
+        must never raise on the way out.
+        """
+        fh, self._fh = self._fh, None
+        self._closed = True
+        if fh is None:
+            return
+        if not fh.closed:
+            fh.flush()
             if self._owns_fh:
-                self._fh.close()
-            self._fh = None
+                fh.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<StreamSink emitted={self.emitted}>"
@@ -273,6 +288,7 @@ class FlightRecorderSink(TraceSink):
         self.buffer: deque[TraceRecord] = deque(maxlen=capacity)
         self.seen = 0
         self.dumps = 0
+        self._closed = False
 
     def emit(self, rec: TraceRecord) -> None:
         self.buffer.append(rec)
@@ -296,7 +312,16 @@ class FlightRecorderSink(TraceSink):
         return target
 
     def close(self) -> None:
-        """Dump the final window to ``dump_path``, if one is configured."""
+        """Dump the final window to ``dump_path``, if one is configured.
+
+        Idempotent: only the first close dumps, so the double-exit
+        paths (context manager + explicit close) write the final
+        window exactly once.  Explicit :meth:`dump_to` calls still
+        work after close.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self.dump_path is not None and self.buffer:
             self.dump_to(self.dump_path)
 

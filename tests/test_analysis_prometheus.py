@@ -1,0 +1,113 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+Counters become ``_total`` counters, power-of-two histograms become
+cumulative ``_bucket`` series with the standard ``+Inf``/``_sum``/
+``_count`` triple, and two identical registries must expose
+byte-identical text.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import metrics_to_prometheus, write_prometheus
+from repro.sim.metrics import Metrics
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def sample_metrics() -> Metrics:
+    m = Metrics()
+    m.inc("gw.instances_forwarded", 3)
+    m.inc("bus.frames-tx", 7)
+    for v in (0, 1, 2, 3, 9, 70):
+        m.observe("vn.latency_ns", v)
+    return m
+
+
+def test_counters_render_with_total_suffix_and_sanitized_names():
+    text = metrics_to_prometheus(sample_metrics())
+    assert "# TYPE repro_gw_instances_forwarded_total counter" in text
+    assert "repro_gw_instances_forwarded_total 3" in text
+    # Dots and dashes both flatten to underscores.
+    assert "repro_bus_frames_tx_total 7" in text
+
+
+def test_histogram_buckets_are_cumulative_with_pow2_edges():
+    text = metrics_to_prometheus(sample_metrics())
+    lines = text.splitlines()
+    # Samples 0|1|2,3|9|70 land in buckets 0,1,2,4,7 (by bit_length);
+    # the exposition is cumulative at upper edges 0,1,3,7,15,31,63,127.
+    assert 'repro_vn_latency_ns_bucket{le="0"} 1' in lines
+    assert 'repro_vn_latency_ns_bucket{le="1"} 2' in lines
+    assert 'repro_vn_latency_ns_bucket{le="3"} 4' in lines
+    assert 'repro_vn_latency_ns_bucket{le="7"} 4' in lines
+    assert 'repro_vn_latency_ns_bucket{le="15"} 5' in lines
+    assert 'repro_vn_latency_ns_bucket{le="127"} 6' in lines
+    assert 'repro_vn_latency_ns_bucket{le="+Inf"} 6' in lines
+    assert "repro_vn_latency_ns_sum 85" in lines
+    assert "repro_vn_latency_ns_count 6" in lines
+    # Cumulative counts never decrease.
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines
+              if line.startswith("repro_vn_latency_ns_bucket")]
+    assert counts == sorted(counts)
+
+
+def test_empty_histogram_has_inf_bucket_only():
+    m = Metrics()
+    m.histogram("quiet.hist")
+    text = metrics_to_prometheus(m)
+    assert 'repro_quiet_hist_bucket{le="+Inf"} 0' in text
+    assert 'le="0"' not in text
+
+
+def test_output_is_byte_stable_for_equal_registries():
+    assert (metrics_to_prometheus(sample_metrics())
+            == metrics_to_prometheus(sample_metrics()))
+
+
+def test_namespace_and_leading_digit_handling():
+    m = Metrics()
+    m.inc("9lives", 1)
+    text = metrics_to_prometheus(m, namespace="")
+    assert "_9lives_total 1" in text
+    assert metrics_to_prometheus(Metrics()) == ""
+
+
+def test_write_prometheus_round_trips_to_file(tmp_path):
+    path = tmp_path / "metrics.prom"
+    write_prometheus(sample_metrics(), path)
+    assert path.read_text() == metrics_to_prometheus(sample_metrics())
+    assert path.read_text().endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# the other exposition surfaces share the determinism guarantee
+# ----------------------------------------------------------------------
+def test_metrics_table_rows_are_name_sorted_across_kinds():
+    from repro.analysis import metrics_table
+
+    m = Metrics()
+    m.inc("zz.counter", 1)
+    m.observe("aa.hist", 5)
+    m.inc("mm.counter", 2)
+    table = metrics_table(m)
+    names = [row[0] for row in table.rows]
+    # Histograms interleave with counters in one global name order —
+    # not counters-then-histograms.
+    assert names == ["aa.hist", "mm.counter", "zz.counter"]
+    assert table.render() == metrics_table(sample_and_merge(m)).render()
+
+
+def sample_and_merge(m: Metrics) -> Metrics:
+    # A registry rebuilt from its own snapshot must render identically.
+    return Metrics.from_snapshot(m.snapshot())
+
+
+def test_write_metrics_json_is_byte_stable(tmp_path):
+    from repro.analysis import write_metrics_json
+
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    write_metrics_json(sample_metrics(), a)
+    write_metrics_json(sample_and_merge(sample_metrics()), b)
+    assert a.read_bytes() == b.read_bytes()

@@ -87,3 +87,60 @@ def test_obs_aggregate_and_compare(tmp_path, capsys):
 def test_obs_aggregate_empty_cache_fails(tmp_path, capsys):
     assert main(["obs", "aggregate", "--cache-dir",
                  str(tmp_path / "empty")]) == 2
+
+
+def test_car_metrics_prom_writes_exposition(tmp_path, capsys):
+    path = tmp_path / "metrics.prom"
+    assert main(["car", "--seconds", "1", "--metrics-prom", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "prometheus exposition written" in out
+    text = path.read_text()
+    assert "# TYPE repro_bus_frames_tx_total counter" in text
+    assert '_bucket{le="+Inf"}' in text
+
+
+def test_ledger_show_verify_and_trends_cycle(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    events = tmp_path / "events.ndjsonl"
+    assert main(["sweep", "--filter", "tdma-smoke", "--workers", "1",
+                 "--cache-dir", str(cache), "--events", str(events)]) == 0
+    capsys.readouterr()
+    assert events.read_text().strip()
+
+    assert main(["ledger", "show", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "tdma-smoke" in out and "1 entries" in out
+
+    assert main(["ledger", "verify", "--all", "--strict",
+                 "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "1 parity, 0 drift, 0 mismatch" in out
+
+    assert main(["ledger", "trends", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "digest-stable across all recorded configurations: yes" in out
+
+
+def test_ledger_verify_fails_on_tampered_digest(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    assert main(["sweep", "--filter", "tdma-smoke", "--workers", "1",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    path = cache / "ledger.ndjsonl"
+    entry = json.loads(path.read_text())
+    entry["digest"] = "0" * 64  # same code digest -> mismatch, not drift
+    path.write_text(json.dumps(entry) + "\n")
+    assert main(["ledger", "verify", "--all", "--cache-dir", str(cache)]) == 1
+    out = capsys.readouterr().out
+    assert "mismatch" in out and "FAIL" in out
+
+
+def test_ledger_commands_on_empty_cache(tmp_path, capsys):
+    assert main(["ledger", "verify", "--cache-dir",
+                 str(tmp_path / "empty")]) == 2
+    assert main(["ledger", "show", "--cache-dir",
+                 str(tmp_path / "empty")]) == 0
+    out = capsys.readouterr().out
+    assert "no matching entries" in out

@@ -1,0 +1,199 @@
+"""Live sweep telemetry: worker events, the fleet monitor, and the
+NDJSON event stream.
+
+Telemetry is an observer: with a monitor attached, a sweep's results
+and digests must be exactly what they were without one; the monitor's
+job is to fold the event stream into live fleet state without ever
+being able to block or fail a worker.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.runner import ScenarioSpec, SweepMonitor, SweepRunner
+from repro.runner.telemetry import (
+    configure_worker_telemetry,
+    reset_worker_telemetry,
+    worker_heartbeat,
+    worker_post,
+)
+from repro.sim import MS
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def tiny_spec(name: str = "tiny-gw", *, seed: int = 5,
+              horizon: int = 60 * MS) -> ScenarioSpec:
+    return ScenarioSpec(name=name, builder="gateway_pipeline",
+                        horizon_ns=horizon, seed=seed)
+
+
+@pytest.fixture(autouse=True)
+def _clean_worker_sink():
+    yield
+    reset_worker_telemetry()
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def test_worker_post_is_a_noop_without_a_sink():
+    reset_worker_telemetry()
+    worker_post({"event": "start"})  # must not raise
+
+
+def test_worker_post_stamps_pid_and_never_raises():
+    class Explosive:
+        def put_nowait(self, event):
+            raise RuntimeError("queue torn down")
+
+    received: list[dict] = []
+
+    class Sink:
+        def put_nowait(self, event):
+            received.append(event)
+
+    configure_worker_telemetry(Sink())
+    worker_post({"event": "start", "scenario": "x"})
+    assert received[0]["event"] == "start"
+    assert isinstance(received[0]["worker"], int)
+    configure_worker_telemetry(Explosive())
+    worker_post({"event": "start"})  # swallowed
+
+
+def test_worker_heartbeat_emits_periodically():
+    received: list[dict] = []
+
+    class Sink:
+        def put_nowait(self, event):
+            received.append(event)
+
+    configure_worker_telemetry(Sink(), heartbeat_s=0.02)
+    import time
+
+    with worker_heartbeat("scn"):
+        time.sleep(0.1)
+    beats = [e for e in received if e["event"] == "heartbeat"]
+    assert len(beats) >= 2
+    assert all(b["scenario"] == "scn" for b in beats)
+
+
+def test_worker_heartbeat_without_sink_starts_no_thread():
+    reset_worker_telemetry()
+    hb = worker_heartbeat("scn")
+    with hb:
+        assert hb._thread is None
+
+
+# ----------------------------------------------------------------------
+# monitor state
+# ----------------------------------------------------------------------
+def test_monitor_folds_events_into_fleet_state():
+    monitor = SweepMonitor(stream=io.StringIO())
+    monitor.begin(3)
+    monitor.post({"event": "start", "scenario": "a", "worker": 1})
+    monitor.post({"event": "start", "scenario": "b", "worker": 2})
+    snap = monitor.snapshot()
+    assert snap["workers"] == {1: "a", 2: "b"}
+    monitor.post({"event": "finish", "scenario": "a", "worker": 1,
+                  "wall_s": 0.5})
+    monitor.post({"event": "cache_hit", "scenario": "c"})
+    snap = monitor.snapshot()
+    assert snap["completed"] == 2 and snap["total"] == 3
+    assert snap["executed"] == 1 and snap["cache_hits"] == 1
+    assert snap["workers"] == {2: "b"}
+    assert snap["warm_rate"] == 0.5
+    monitor.post({"event": "finish", "scenario": "b", "worker": 2,
+                  "error": True})
+    assert monitor.snapshot()["errors"] == 1
+
+
+def test_monitor_status_line_mentions_progress_and_workers():
+    monitor = SweepMonitor(stream=io.StringIO())
+    monitor.begin(4)
+    monitor.post({"event": "start", "scenario": "car-smoke", "worker": 7})
+    monitor.post({"event": "cache_hit", "scenario": "warm-one"})
+    line = monitor.status_line()
+    assert "sweep 1/4" in line
+    assert "1 warm" in line
+    assert "[7]car-smoke" in line
+
+
+def test_monitor_renders_one_line_with_carriage_returns():
+    stream = io.StringIO()
+    monitor = SweepMonitor(stream=stream, render=True, refresh_s=0.0)
+    monitor.begin(1)
+    monitor.post({"event": "finish", "scenario": "a", "worker": 1})
+    monitor.finish({"count": 1, "errors": []})
+    out = stream.getvalue()
+    assert "\r" in out and out.endswith("\n")
+    assert "sweep 1/1" in out
+
+
+def test_monitor_streams_events_as_ndjson(tmp_path):
+    path = tmp_path / "sub" / "events.ndjsonl"
+    monitor = SweepMonitor(stream=io.StringIO(), events_path=path)
+    monitor.begin(1)
+    monitor.post({"event": "start", "scenario": "a", "worker": 1})
+    monitor.finish({"count": 1, "errors": []})
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [e["event"] for e in events] == ["sweep_start", "start",
+                                            "sweep_end"]
+    assert all("t" in e for e in events)  # stamped on receipt
+
+
+# ----------------------------------------------------------------------
+# sweep integration
+# ----------------------------------------------------------------------
+def test_serial_sweep_with_monitor_reports_and_digests_unchanged(tmp_path):
+    specs = [tiny_spec("mon-a", seed=5), tiny_spec("mon-b", seed=6)]
+    plain = SweepRunner(workers=1, cache_dir=tmp_path / "plain").run(specs)
+    monitor = SweepMonitor(stream=io.StringIO(),
+                           events_path=tmp_path / "events.ndjsonl")
+    watched = SweepRunner(workers=1, cache_dir=tmp_path / "watched",
+                          monitor=monitor).run(specs)
+    assert ([r["digest"] for r in plain["scenarios"]]
+            == [r["digest"] for r in watched["scenarios"]])
+    assert monitor.completed == 2 and monitor.executed == 2
+    events = [json.loads(line) for line in
+              (tmp_path / "events.ndjsonl").read_text().splitlines()]
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "sweep_start" and kinds[-1] == "sweep_end"
+    assert kinds.count("start") == 2 and kinds.count("finish") == 2
+    finishes = [e for e in events if e["event"] == "finish"]
+    assert {e["scenario"] for e in finishes} == {"mon-a", "mon-b"}
+    assert all(e["digest"] for e in finishes)
+
+
+def test_parallel_sweep_with_monitor_sees_every_worker_event(tmp_path):
+    specs = [tiny_spec("pmon-a", seed=5), tiny_spec("pmon-b", seed=6),
+             tiny_spec("pmon-c", seed=7)]
+    monitor = SweepMonitor(stream=io.StringIO())
+    report = SweepRunner(workers=2, cache_dir=tmp_path,
+                         monitor=monitor).run(specs)
+    assert report["errors"] == []
+    assert monitor.completed == 3 and monitor.executed == 3
+    assert monitor.errors == 0
+    assert monitor.workers == {}  # every start matched by a finish
+
+
+def test_monitor_counts_cache_hits_on_warm_sweeps(tmp_path):
+    specs = [tiny_spec("warm-a", seed=5)]
+    SweepRunner(workers=1, cache_dir=tmp_path).run(specs)
+    monitor = SweepMonitor(stream=io.StringIO())
+    SweepRunner(workers=1, cache_dir=tmp_path, monitor=monitor).run(specs)
+    assert monitor.cache_hits == 1 and monitor.executed == 0
+
+
+def test_failing_scenario_surfaces_as_error_event(tmp_path):
+    bad = ScenarioSpec(name="bad", builder="no-such-builder",
+                       horizon_ns=10 * MS, seed=0)
+    monitor = SweepMonitor(stream=io.StringIO())
+    report = SweepRunner(workers=1, cache_dir=tmp_path,
+                         monitor=monitor).run([bad])
+    assert report["errors"] == ["bad"]
+    assert monitor.errors == 1 and monitor.completed == 1

@@ -20,6 +20,7 @@ from repro.sim import (
     MS,
     SEC,
     CounterSink,
+    FlightRecorderSink,
     MemorySink,
     Simulator,
     StreamSink,
@@ -160,6 +161,51 @@ def test_stream_sink_opens_file_lazily(tmp_path):
     assert sink.emitted == 1
 
 
+def test_stream_sink_close_is_idempotent_on_path_target(tmp_path):
+    # The CLI path closes the trace twice: once leaving the `with trace`
+    # block, once in executor cleanup.  The second close must be a
+    # no-op — above all it must NOT lazily re-open the path in "w" mode,
+    # which would truncate everything the run just wrote.
+    path = tmp_path / "trace.ndjson"
+    tr = TraceLog(sinks=[StreamSink(path)])
+    with tr:
+        tr.record(1, TraceCategory.APP, "x")
+    tr.close()
+    tr.close()
+    assert path.read_text().count("\n") == 1
+
+
+def test_stream_sink_close_is_idempotent_on_handle_target():
+    buf = io.StringIO()
+    sink = StreamSink(buf)
+    tr = TraceLog(sinks=[sink])
+    tr.record(1, TraceCategory.APP, "x")
+    tr.close()
+    tr.close()  # second close: no flush on a dead handle, no raise
+    assert buf.getvalue().count("\n") == 1
+
+
+def test_stream_sink_tolerates_externally_closed_handle(tmp_path):
+    # A caller-owned handle the caller already closed: close() must not
+    # raise "I/O operation on closed file" on the way out.
+    with open(tmp_path / "t.ndjson", "w") as fh:
+        sink = StreamSink(fh)
+        tr = TraceLog(sinks=[sink])
+        tr.record(1, TraceCategory.APP, "x")
+    tr.close()  # fh.closed is True here
+    tr.close()
+
+
+def test_stream_sink_refuses_emit_after_close(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    tr = TraceLog(sinks=[StreamSink(path)])
+    tr.record(1, TraceCategory.APP, "x")
+    tr.close()
+    with pytest.raises(SimulationError, match="closed"):
+        tr.record(2, TraceCategory.APP, "y")
+    assert path.read_text().count("\n") == 1  # nothing truncated
+
+
 def test_count_falls_back_to_counter_sink_without_memory():
     tr = TraceLog(sinks=[CounterSink()])
     tr.record(1, TraceCategory.APP, "x")
@@ -184,6 +230,38 @@ def test_extend_from_requires_memory_sink():
     tr = TraceLog(sinks=[CounterSink()])
     with pytest.raises(SimulationError):
         tr.extend_from([])
+
+
+def test_flight_recorder_at_exactly_capacity_keeps_everything():
+    sink = FlightRecorderSink(capacity=4)
+    tr = TraceLog(sinks=[sink])
+    for i in range(4):
+        tr.record(i, TraceCategory.APP, "src", i=i)
+    assert len(sink) == 4 and sink.seen == 4
+    assert [r.get("i") for r in sink.records()] == [0, 1, 2, 3]
+
+
+def test_flight_recorder_at_capacity_plus_one_evicts_only_the_oldest():
+    sink = FlightRecorderSink(capacity=4)
+    tr = TraceLog(sinks=[sink])
+    for i in range(5):
+        tr.record(i, TraceCategory.APP, "src", i=i)
+    assert len(sink) == 4 and sink.seen == 5
+    assert [r.get("i") for r in sink.records()] == [1, 2, 3, 4]
+
+
+def test_flight_recorder_close_dumps_exactly_once(tmp_path):
+    dump = tmp_path / "window.ndjson"
+    sink = FlightRecorderSink(capacity=4, dump_path=dump)
+    tr = TraceLog(sinks=[sink])
+    with tr:
+        tr.record(1, TraceCategory.APP, "x")
+    tr.close()  # double-exit path: context manager already closed
+    assert sink.dumps == 1
+    assert dump.read_text().count("\n") == 1
+    # An explicit dump after close is still an available escape hatch.
+    sink.dump_to(tmp_path / "again.ndjson")
+    assert sink.dumps == 2
 
 
 # ----------------------------------------------------------------------
