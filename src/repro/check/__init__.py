@@ -14,6 +14,13 @@ way a schedulability analyzer gates a TTP/TTA deployment:
 * :mod:`repro.check.schedule_rules` — SCHED0xx: TDMA slot conflicts,
   per-VN bandwidth over-subscription, and gateway-relay latency vs.
   the ``horizon(m)`` temporal-accuracy windows,
+* :mod:`repro.check.flow_graph` / :mod:`repro.check.flow_rules` —
+  FLOW0xx: whole-cluster flow paths (producer port -> TDMA slot -> VN
+  dispatch -> gateway relay chain -> consumer port) with static
+  end-to-end latency / information-age / buffer-occupancy bounds,
+* :mod:`repro.check.validate` — bound-vs-simulation cross-validation
+  (``repro check bounds``): every traced observation must stay within
+  its static bound,
 * :mod:`repro.check.determinism` — DET0xx: an AST lint keeping
   wall-clock / ``random``-module / unordered-iteration nondeterminism
   out of the simulator core (``repro check --self``),
@@ -44,7 +51,9 @@ from .diagnostics import (
     render_text,
 )
 from .determinism import DEFAULT_LINT_PACKAGES, lint_file, lint_paths, lint_source
+from .flow_graph import FlowGraph, FlowPath, HopBound
 from .targets import CheckTarget, builtin_targets, gather_targets, scenario_targets
+from .validate import validate_registry, validate_scenario
 
 __all__ = [
     "RULES",
@@ -53,6 +62,9 @@ __all__ = [
     "CheckTarget",
     "DEFAULT_LINT_PACKAGES",
     "Diagnostic",
+    "FlowGraph",
+    "FlowPath",
+    "HopBound",
     "Severity",
     "SourceLocation",
     "builtin_targets",
@@ -68,4 +80,6 @@ __all__ = [
     "render_json",
     "render_text",
     "scenario_targets",
+    "validate_registry",
+    "validate_scenario",
 ]

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..automata.automaton import TimedAutomaton
 from ..spec.link_spec import LinkSpec
-from . import automata_rules, schedule_rules, spec_rules
+from . import automata_rules, flow_rules, schedule_rules, spec_rules
 from .diagnostics import CheckReport, Diagnostic, render_text
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,6 +60,10 @@ RULES: dict[str, str] = {
     "DET002": "stdlib random module in the simulator core",
     "DET003": "iteration over a set expression (hash-seed order)",
     "DET004": "environment-dependent value (uuid/env/dir listing) in the core",
+    "FLOW001": "unreachable consumer: message has consumers but no producer",
+    "FLOW002": "worst-case end-to-end information age exceeds the consumer's d_acc",
+    "FLOW003": "gateway event-queue overflow: arrivals per drain exceed depth",
+    "FLOW004": "VN demand exceeds its total per-cycle byte reservation",
 }
 
 
@@ -100,6 +104,7 @@ def _check_gateway(gateway: Any, target: str,
     diags.extend(check_link_spec(link_a, target=target, waivers=waivers))
     diags.extend(check_link_spec(link_b, target=target, waivers=waivers))
     diags.extend(schedule_rules.check_gateway_latency(gateway))
+    diags.extend(flow_rules.check_gateway_buffers(gateway))
     return _finish(diags, target or f"gateway:{gateway.name}", waivers)
 
 
@@ -122,11 +127,18 @@ def _check_vn(vn: Any, target: str,
 def check_system(system: Any, target: str = "",
                  waivers: dict[str, str] | None = None) -> list[Diagnostic]:
     """All families over an assembled :class:`System`."""
+    from .flow_graph import FlowGraph
+
     diags = schedule_rules.check_schedule(system.cluster.schedule)
     for das in sorted(system.vns):
         diags.extend(_check_vn(system.vns[das], target, waivers))
     for name in sorted(system.gateways):
         diags.extend(_check_gateway(system.gateways[name], target, waivers))
+    # Whole-cluster flow analysis (FLOW001/002/004); FLOW003 is emitted
+    # per gateway above so each rule id has exactly one emitter.
+    diags.extend(_finish(
+        flow_rules.check_flow_graph(FlowGraph.from_system(system)),
+        target, waivers))
     return _finish(diags, target, waivers)
 
 
@@ -159,6 +171,9 @@ def check_simulator(sim: "Simulator", target: str = "",
             report.extend(_check_gateway(obj, target, waivers))
         elif isinstance(obj, VirtualNetworkBase):
             report.extend(_check_vn(obj, target, waivers))
+            report.extend(_finish(
+                flow_rules.check_vn_flow(obj), target or f"vn:{obj.das}",
+                waivers))
         elif isinstance(obj, Cluster):
             report.extend(_finish(
                 schedule_rules.check_schedule(obj.schedule), target, waivers))

@@ -34,6 +34,7 @@ from pathlib import Path
 from .diagnostics import Diagnostic, Severity, SourceLocation
 
 __all__ = [
+    "DEFAULT_LINT_FILES",
     "DEFAULT_LINT_PACKAGES",
     "SANCTIONED_FILES",
     "lint_source",
@@ -42,7 +43,11 @@ __all__ = [
 ]
 
 #: Packages under ``src/repro/`` the lint guards by default.
-DEFAULT_LINT_PACKAGES = ("sim", "core_network", "gateway", "vn")
+DEFAULT_LINT_PACKAGES = ("sim", "core_network", "gateway", "vn", "ledger")
+
+#: Individual files outside the guarded packages that feed digest-
+#: compared artifacts and therefore ride along in the default lint.
+DEFAULT_LINT_FILES = ("runner/telemetry.py",)
 
 #: Files allowed to touch the forbidden APIs (relative suffix match).
 #: The paced/asyncio runtimes exist to gate virtual time against the
@@ -247,9 +252,11 @@ def lint_file(path: str | Path) -> list[Diagnostic]:
 
 
 def default_lint_roots() -> list[Path]:
-    """The guarded package directories, resolved next to this package."""
+    """The guarded package directories (plus guarded single files),
+    resolved next to this package."""
     base = Path(__file__).resolve().parent.parent
-    return [base / pkg for pkg in DEFAULT_LINT_PACKAGES]
+    return ([base / pkg for pkg in DEFAULT_LINT_PACKAGES]
+            + [base / f for f in DEFAULT_LINT_FILES])
 
 
 def lint_paths(paths: list[str | Path] | None = None) -> list[Diagnostic]:

@@ -99,6 +99,30 @@ class Diagnostic:
             "fingerprint": self.fingerprint(),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Diagnostic":
+        """Inverse of :meth:`as_dict` (the check-cache payload format).
+
+        The stored fingerprint is ignored — it is derived state and is
+        recomputed from the rehydrated fields.
+        """
+        loc = data.get("location")
+        if not isinstance(loc, dict):
+            loc = {}
+        line = loc.get("line")
+        return cls(
+            rule=str(data.get("rule", "")),
+            severity=Severity(str(data.get("severity", "info"))),
+            message=str(data.get("message", "")),
+            location=SourceLocation(
+                path=str(loc.get("path", "")),
+                file=str(loc.get("file", "")),
+                line=int(line) if isinstance(line, int) else None,
+            ),
+            hint=str(data.get("hint", "")),
+            target=str(data.get("target", "")),
+        )
+
 
 @dataclass
 class CheckReport:

@@ -1,0 +1,547 @@
+"""Static whole-cluster message-flow graph (DESIGN 6.aa).
+
+Where the per-artifact analyzers look at one link, one schedule, or one
+gateway at a time, this module assembles the *whole-cluster* picture:
+every producer binding, every TDMA slot reservation, every gateway
+redirection rule, and every consumer port, stitched into directed flow
+paths ``producer port -> TDMA slot -> VN dispatch -> gateway relay
+chain -> consumer port`` (multi-hop across VNs, Sec. III of the paper).
+
+Two quantities are computed per hop:
+
+* ``latency`` — a *sound* worst-case bound on the hop's contribution to
+  observed origin-to-delivery time, validated empirically against every
+  FlowTracer journey by :mod:`repro.check.validate`.  ``None`` means
+  the hop is statically unbounded (e.g. a state element without d_acc
+  and no horizon to clamp against).
+* ``age`` — the hop's contribution to worst-case *information age* at
+  the final consumer under nominal (no-backlog) operation, the
+  multi-hop generalization of SCHED003's relay-latency formula.  Age is
+  always finite, so FLOW002 can compare it against the consumer's
+  temporal accuracy without a horizon.
+
+The split matters: the sound latency bound must absorb the gateway
+repository's pairing tail (a stored state element may legally seed
+constructions for its whole d_acc window, so observed "residence" spans
+up to the availability window), which would make a d_acc-relative
+deadline check vacuously self-satisfied.  The age formula instead
+counts only the structural waits — sampling period, cluster cycle,
+destination dispatch period, partition window — exactly the terms the
+paper's temporal-accuracy argument composes.
+
+Per-hop bound formulas (``cycle`` = cluster cycle length, ``wire`` =
+max slot duration + bus propagation delay — scheduled frames occupy
+their whole slot and arrive at slot end):
+
+===============================  ======================================
+hop                              sound latency bound
+===============================  ======================================
+VN, consumer co-hosted           0  (loopback delivery at the send /
+                                 dispatch instant)
+VN, remote, time-triggered       dispatch_lead + cycle + wire
+VN, remote, event-triggered      2 * cycle + wire  (bounded-backlog
+                                 assumption: demand within reservation,
+                                 see FLOW004 / SCHED002)
+gateway, ET dst, no automaton    0  (construction fires at the store
+                                 instant via the push path)
+gateway, ET dst, automaton       avail_window  (a monitor may send any
+                                 time the needed elements stay fresh)
+gateway, TT dst                  avail_window + dst_period
+===============================  ======================================
+
+``avail_window`` is the longest time the rule's needed elements remain
+usable after a store: max over needed elements of d_acc (state), the
+run horizon (state without d_acc), or depth * dst_period (event queue
+drained one per construction).  A visible gateway adds one host major
+frame (partition-window wait) to both latency and age.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..core_network.frame import CHUNK_HEADER_BYTES
+from ..core_network.schedule import TDMASchedule
+from ..errors import ConfigurationError, SchedulingError
+from ..gateway import VirtualGateway
+from ..gateway.gateway import RedirectionRule
+from ..messaging import Semantics
+from ..vn import TTVirtualNetwork, VirtualNetworkBase
+
+__all__ = ["FlowGraph", "FlowPath", "HopBound", "GATEWAY_JOB_PREFIX"]
+
+#: Producer bindings installed by gateways carry this job-name prefix
+#: (see VirtualGateway._wire_rule) — they are relay sources, not roots.
+GATEWAY_JOB_PREFIX = "gateway@"
+
+#: Default event-queue depth, mirroring GatewayRepository/EventEntry.
+DEFAULT_EVENT_DEPTH = 16
+
+
+@dataclass(frozen=True)
+class HopBound:
+    """One hop of a static flow path with its two temporal weights."""
+
+    kind: str  #: ``"vn"`` or ``"gateway"``
+    where: str  #: DAS name for VN hops, gateway name for relay hops
+    message: str
+    latency: int | None  #: sound worst-case contribution (ns), None = unbounded
+    age: int  #: information-age contribution (ns), always finite
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FlowPath:
+    """One producer-to-terminal path through the flow graph."""
+
+    root_das: str
+    root_message: str
+    hops: tuple[HopBound, ...]
+    terminal: str  #: ``"port"`` or ``"tap"``
+    consumer: str  #: component hosting the terminal port/tap
+    #: d_acc of the terminal state port (None for event ports and taps)
+    d_acc: int | None = None
+
+    def e2e_bound(self) -> int | None:
+        """Sound end-to-end latency bound; None when any hop is
+        unbounded or the path ends in a raw tap (taps produce no
+        ``port.recv`` hop, so there is no observed quantity to bound)."""
+        if self.terminal != "port":
+            return None
+        total = 0
+        for hop in self.hops:
+            if hop.latency is None:
+                return None
+            total += hop.latency
+        return total
+
+    def age_bound(self) -> int:
+        """Worst-case information age at the terminal (ns)."""
+        return sum(hop.age for hop in self.hops)
+
+    def describe(self) -> str:
+        parts = [f"{self.root_das}:{self.root_message}"]
+        for hop in self.hops:
+            if hop.kind == "gateway":
+                parts.append(f"gw[{hop.where}]")
+        parts.append(f"{self.hops[-1].message if self.hops else self.root_message}"
+                     f"@{self.consumer}")
+        return " -> ".join(parts)
+
+
+class FlowGraph:
+    """The assembled whole-cluster flow graph.
+
+    Build with :meth:`from_system` for a full :class:`System`, or
+    directly from VN / gateway collections for partial models.  All
+    queries degrade gracefully on half-built artifacts (un-started
+    gateways have unresolved rules and simply contribute no relays).
+    """
+
+    def __init__(
+        self,
+        vns: dict[str, VirtualNetworkBase],
+        gateways: Iterable[VirtualGateway] = (),
+        schedule: TDMASchedule | None = None,
+        major_frame_of: Callable[[str], int | None] | None = None,
+        horizon: int | None = None,
+    ) -> None:
+        self.vns = dict(vns)
+        self.gateways = list(gateways)
+        self._schedule = schedule
+        self._major_frame_of = major_frame_of
+        self.horizon = horizon
+
+    @classmethod
+    def from_system(cls, system: object, horizon: int | None = None) -> "FlowGraph":
+        """Build from a :class:`repro.systems.System` (duck-typed to keep
+        the check package import-light)."""
+        components = getattr(system, "components", {})
+        frames = {name: comp.major_frame for name, comp in components.items()}
+        cluster = getattr(system, "cluster")
+        return cls(
+            vns=getattr(system, "vns", {}),
+            gateways=list(getattr(system, "gateways", {}).values()),
+            schedule=cluster.schedule,
+            major_frame_of=frames.get,
+            horizon=horizon,
+        )
+
+    # ------------------------------------------------------------------
+    # schedule helpers
+    # ------------------------------------------------------------------
+    def schedule_for(self, vn: VirtualNetworkBase) -> TDMASchedule:
+        if self._schedule is not None:
+            return self._schedule
+        return vn.cluster.schedule
+
+    def _major_frame(self, host: str) -> int | None:
+        if self._major_frame_of is None:
+            return None
+        return self._major_frame_of(host)
+
+    # ------------------------------------------------------------------
+    # per-VN aggregates
+    # ------------------------------------------------------------------
+    def unreachable_consumers(self, vn: VirtualNetworkBase) -> list[str]:
+        """Messages with consumer bindings but no producer (FLOW001)."""
+        out = []
+        for message in vn.messages():
+            if vn.producer_of(message) is not None:
+                continue
+            binding = vn.consumers_of(message)
+            if binding is not None and (binding.ports or binding.taps):
+                out.append(message)
+        return out
+
+    def vn_utilization(self, vn: VirtualNetworkBase) -> tuple[float, float] | None:
+        """(demand, supply) in bytes per cluster cycle for one VN.
+
+        Demand sums every producer's worst-case bytes per cycle (the
+        SCHED002 per-port formulas, with a 1-send-per-cycle floor for
+        port-less gateway producers whose dst VN is event-triggered);
+        supply sums the VN's byte reservation — or the full slot
+        capacity on un-partitioned slots — over every slot in the
+        cycle.  None when the VN has no schedule yet.
+        """
+        try:
+            schedule = self.schedule_for(vn)
+        except AttributeError:  # pragma: no cover - defensive
+            return None
+        cycle = schedule.cycle_length
+        demand = 0.0
+        for message in vn.messages():
+            binding = vn.producer_of(message)
+            if binding is None:
+                continue
+            nbytes = CHUNK_HEADER_BYTES + vn.namespace.lookup(message).byte_width()
+            demand += nbytes * self._sends_per_cycle(vn, message, binding, cycle)
+        supply = float(sum(
+            s.reserved_for(vn.das) if s.reservations else s.capacity_bytes
+            for s in schedule.slots
+        ))
+        return demand, supply
+
+    @staticmethod
+    def _sends_per_cycle(
+        vn: VirtualNetworkBase, message: str, binding: object, cycle: int
+    ) -> float:
+        port = getattr(binding, "port", None)
+        spec = port.spec if port is not None else None
+        if spec is not None and spec.tt is not None and spec.tt.period > 0:
+            return float(-(-cycle // spec.tt.period))
+        if spec is not None and spec.et is not None and spec.et.min_interarrival > 0:
+            return float(-(-cycle // spec.et.min_interarrival))
+        if isinstance(vn, TTVirtualNetwork):
+            try:
+                period = vn.timing_of(message).period
+            except ConfigurationError:
+                period = 0
+            if period > 0:
+                return float(-(-cycle // period))
+        # Port-less ET producer (gateway relay output): at least one
+        # send per cycle, same floor as SCHED002.
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # path enumeration
+    # ------------------------------------------------------------------
+    def paths(self) -> list[FlowPath]:
+        """Every producer-rooted path to a terminal port or tap.
+
+        Roots are messages produced by application jobs (gateway-
+        installed producer bindings are relay internals, reached by
+        following redirection rules instead).  Relay cycles are cut by
+        never traversing the same (gateway, rule) edge twice in one
+        path.
+        """
+        out: list[FlowPath] = []
+        for das in sorted(self.vns):
+            vn = self.vns[das]
+            for message in vn.messages():
+                binding = vn.producer_of(message)
+                if binding is None:
+                    continue
+                if binding.job_name.startswith(GATEWAY_JOB_PREFIX):
+                    continue
+                self._walk(das, message, binding.component,
+                           root=(das, message), hops=(), out=out,
+                           visited=frozenset())
+        return out
+
+    def _relays_from(self, vn: VirtualNetworkBase, message: str
+                     ) -> list[tuple[VirtualGateway, RedirectionRule]]:
+        out = []
+        for gw in self.gateways:
+            for rule in gw.rules:
+                if rule.src == message and gw.sides[rule.src_side].vn is vn:
+                    out.append((gw, rule))
+        return out
+
+    def _walk(
+        self,
+        das: str,
+        message: str,
+        producer_component: str,
+        root: tuple[str, str],
+        hops: tuple[HopBound, ...],
+        out: list[FlowPath],
+        visited: frozenset[tuple[str, str, str]],
+    ) -> None:
+        vn = self.vns[das]
+        relays = self._relays_from(vn, message)
+        relay_hosts = {gw.host for gw, _ in relays}
+        binding = vn.consumers_of(message)
+        if binding is not None:
+            for component, port in binding.ports:
+                hop = self._vn_hop(vn, message, producer_component, component)
+                spec = port.spec
+                d_acc = (spec.temporal_accuracy
+                         if spec.semantics is Semantics.STATE else None)
+                out.append(FlowPath(
+                    root_das=root[0], root_message=root[1],
+                    hops=hops + (hop,), terminal="port",
+                    consumer=component, d_acc=d_acc,
+                ))
+            for component, _cb in binding.taps:
+                if component in relay_hosts:
+                    continue  # a gateway's own input tap, followed below
+                hop = self._vn_hop(vn, message, producer_component, component)
+                out.append(FlowPath(
+                    root_das=root[0], root_message=root[1],
+                    hops=hops + (hop,), terminal="tap",
+                    consumer=component,
+                ))
+        for gw, rule in relays:
+            edge = (gw.name, rule.src, rule.dst)
+            if edge in visited:
+                continue
+            dst_side = gw.sides[VirtualGateway._other(rule.src_side)]
+            dst_das = dst_side.vn.das
+            if dst_das not in self.vns:  # pragma: no cover - defensive
+                continue
+            vn_hop = self._vn_hop(vn, message, producer_component, gw.host)
+            gw_hop = self._gateway_hop(gw, rule)
+            self._walk(dst_das, rule.dst, gw.host, root=root,
+                       hops=hops + (vn_hop, gw_hop), out=out,
+                       visited=visited | {edge})
+
+    # ------------------------------------------------------------------
+    # hop bounds
+    # ------------------------------------------------------------------
+    def _vn_hop(self, vn: VirtualNetworkBase, message: str,
+                producer_component: str, consumer_component: str) -> HopBound:
+        schedule = self.schedule_for(vn)
+        cycle = schedule.cycle_length
+        tt = isinstance(vn, TTVirtualNetwork)
+        period = 0
+        if tt:
+            try:
+                period = vn.timing_of(message).period
+            except ConfigurationError:
+                period = 0
+        if producer_component == consumer_component:
+            # Loopback delivery happens at the send/dispatch instant.
+            return HopBound(kind="vn", where=vn.das, message=message,
+                            latency=0, age=period, detail="local")
+        wire = self._wire_slack(vn, schedule)
+        if tt:
+            lead = getattr(vn, "dispatch_lead", 0)
+            return HopBound(kind="vn", where=vn.das, message=message,
+                            latency=lead + cycle + wire, age=period + cycle,
+                            detail="tt-remote")
+        return HopBound(kind="vn", where=vn.das, message=message,
+                        latency=2 * cycle + wire, age=cycle,
+                        detail="et-remote")
+
+    @staticmethod
+    def _wire_slack(vn: VirtualNetworkBase, schedule: TDMASchedule) -> int:
+        """Completion slack of one bus crossing.  Scheduled frames occupy
+        their whole slot and arrive at slot end plus propagation, so
+        after the (cycle-bounded) wait for the sender's slot *start* the
+        receiver sees the chunk up to one max slot duration plus the
+        propagation delay later."""
+        slot_max = max((s.duration for s in schedule.slots), default=0)
+        bus = getattr(getattr(vn, "cluster", None), "bus", None)
+        return slot_max + getattr(bus, "propagation_delay", 0)
+
+    def _gateway_hop(self, gw: VirtualGateway, rule: RedirectionRule) -> HopBound:
+        frame = 0 if gw.partition is None else self._major_frame(gw.host)
+
+        latency = self.residence_bound(gw, rule)
+        if latency is not None and gw.partition is not None:
+            # The partition-window wait precedes the store, so it is
+            # part of the path latency but not of the observed
+            # (stored -> construct) residence leg.
+            latency = None if frame is None else latency + frame
+
+        # Age: the dispatch wait on the destination VN is charged by the
+        # following VN hop (its period term), so the relay itself only
+        # adds the partition-window wait of a visible gateway.
+        age = frame or 0
+        return HopBound(kind="gateway", where=gw.name, message=rule.dst,
+                        latency=latency, age=age,
+                        detail="visible" if gw.partition is not None else "hidden")
+
+    def residence_bound(self, gw: VirtualGateway,
+                        rule: RedirectionRule) -> int | None:
+        """Sound bound on the observed repository residence of ``rule``:
+        a parent's ``gw.stored`` hop to a child's construction origin.
+
+        This is the gateway hop's latency *minus* the visible-partition
+        frame (``partition.defer`` runs before the store, so the wait is
+        outside the stored -> construct interval the FlowTracer
+        measures).  ``None`` when the rule is unresolved or an element's
+        availability window is statically unbounded.
+        """
+        if rule.dst_type is None:
+            # Gateway not started: rules unresolved, no sound bound.
+            return None
+        dst_side = gw.sides[VirtualGateway._other(rule.src_side)]
+        dst_vn = dst_side.vn
+        dst_tt = isinstance(dst_vn, TTVirtualNetwork)
+        dst_period = 0
+        if dst_tt:
+            try:
+                dst_period = dst_vn.timing_of(rule.dst).period
+            except (ConfigurationError, SchedulingError):
+                dst_period = 0
+        avail = self._avail_window(gw, rule, dst_period)
+        if avail is None:
+            return None
+        if dst_tt:
+            return avail + dst_period
+        if self._automaton_sends(gw, rule.dst):
+            return avail
+        return 0
+
+    def _avail_window(self, gw: VirtualGateway, rule: RedirectionRule,
+                      dst_period: int) -> int | None:
+        """Longest time the rule's needed elements stay usable after a
+        store — the pairing tail of the observed residence leg."""
+        assert rule.dst_type is not None
+        worst = 0
+        for name in rule.needed_elements:
+            elem = None
+            for side in gw.sides.values():
+                for port in side.link.ports:
+                    if port.message_type.has_element(name):
+                        elem = port.message_type.element(name)
+                        break
+                if elem is not None:
+                    break
+            if elem is None and rule.dst_type.has_element(name):
+                elem = rule.dst_type.element(name)
+            if elem is None:  # pragma: no cover - defensive
+                return None
+            if elem.semantics is Semantics.EVENT:
+                depth = self._event_depth(gw, name)
+                worst = max(worst, depth * dst_period)
+                continue
+            d_acc = self._element_d_acc(gw, name)
+            if d_acc is not None:
+                worst = max(worst, d_acc)
+            elif self.horizon is not None:
+                # A state element without d_acc stays available forever
+                # (Eq. 1 with no bound); the run horizon clamps it.
+                worst = max(worst, self.horizon)
+            else:
+                return None
+        return worst
+
+    @staticmethod
+    def _element_d_acc(gw: VirtualGateway, element: str) -> int | None:
+        """d_acc declared for ``element`` on either link (mirrors
+        VirtualGateway._d_acc_for; declarations must agree, so any
+        match is authoritative)."""
+        for side in gw.sides.values():
+            for port in side.link.ports:
+                if (port.message_type.has_element(element)
+                        and port.temporal_accuracy is not None):
+                    return port.temporal_accuracy
+        return None
+
+    @staticmethod
+    def _event_depth(gw: VirtualGateway, element: str) -> int:
+        """Queue depth declared for an event element (mirrors
+        VirtualGateway._depth_for)."""
+        depth = 0
+        for side in gw.sides.values():
+            for port in side.link.ports:
+                if (port.message_type.has_element(element)
+                        and port.semantics is Semantics.EVENT):
+                    depth = max(depth, max(port.queue_depth, 1))
+        return depth or DEFAULT_EVENT_DEPTH
+
+    @staticmethod
+    def _automaton_sends(gw: VirtualGateway, message: str) -> bool:
+        return any(
+            message in automaton.send_messages()
+            for side in gw.sides.values()
+            for automaton in side.link.automata
+        )
+
+    # ------------------------------------------------------------------
+    # buffer analysis (FLOW003)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def buffer_pressure(gw: VirtualGateway, rule: RedirectionRule
+                        ) -> tuple[str, int, int, int] | None:
+        """Worst-case arrivals per drain interval for each *consumed*
+        event element of ``rule``.
+
+        Returns ``(element, arrivals, depth, drain_interval)`` for the
+        worst element, or None when the rule consumes no event element,
+        is unresolved, or the source rate is unknown.  Only elements in
+        ``needed_elements`` count: an event queue that is stored but
+        never taken overflows by design (oldest instances drop) and is
+        not a correctness problem.
+
+        Event queues drain one instance per construction.  An ET
+        destination constructs at every store (drain interval 0: never
+        accumulates beyond transient bursts); a TT destination drains
+        every ``dst_period``, so ``ceil(dst_period / src_interval)``
+        arrivals can pile up between drains and must fit the depth.
+        """
+        if rule.dst_type is None or rule.src_type is None:
+            return None
+        dst_side = gw.sides[VirtualGateway._other(rule.src_side)]
+        if not isinstance(dst_side.vn, TTVirtualNetwork):
+            return None
+        try:
+            dst_period = dst_side.vn.timing_of(rule.dst).period
+        except (ConfigurationError, SchedulingError):
+            return None
+        src_interval = FlowGraph._src_interval(gw, rule)
+        if src_interval is None or src_interval <= 0 or dst_period <= 0:
+            return None
+        worst: tuple[str, int, int, int] | None = None
+        for name in rule.needed_elements:
+            if not rule.src_type.has_element(name):
+                continue
+            if rule.src_type.element(name).semantics is not Semantics.EVENT:
+                continue
+            arrivals = -(-dst_period // src_interval)  # ceil
+            depth = FlowGraph._event_depth(gw, name)
+            if worst is None or arrivals - depth > worst[1] - worst[2]:
+                worst = (name, arrivals, depth, dst_period)
+        return worst
+
+    @staticmethod
+    def _src_interval(gw: VirtualGateway, rule: RedirectionRule) -> int | None:
+        """Minimum interarrival of the rule's source message: TT period,
+        declared et.min_interarrival, or None (unknown)."""
+        src_side = gw.sides[rule.src_side]
+        if isinstance(src_side.vn, TTVirtualNetwork):
+            try:
+                return src_side.vn.timing_of(rule.src).period
+            except (ConfigurationError, SchedulingError):
+                pass
+        if src_side.link.has_port(rule.src):
+            spec = src_side.link.port(rule.src)
+            if spec.tt is not None and spec.tt.period > 0:
+                return spec.tt.period
+            if spec.et is not None and spec.et.min_interarrival > 0:
+                return spec.et.min_interarrival
+        return None

@@ -1,0 +1,164 @@
+"""FLOW0xx — whole-cluster flow analysis over the static flow graph.
+
+These rules consume :class:`repro.check.flow_graph.FlowGraph` rather
+than individual artifacts: they are only decidable once producers,
+consumers, redirection rules, and the TDMA schedule are all known.
+
+========  ==========================================================
+FLOW001   unreachable consumer: a message has consumer bindings
+          (ports or taps) but no producer on its VN — deliveries can
+          never happen
+FLOW002   end-to-end deadline: the worst-case information age along
+          a producer-to-consumer path (sampling period + cluster
+          cycle per VN hop + partition-window wait per visible
+          gateway) exceeds the consuming state port's temporal
+          accuracy d_acc — every delivery arrives stale
+FLOW003   gateway buffer overflow: a redirection rule consumes an
+          event element whose worst-case arrivals per drain interval
+          exceed the declared queue depth — instances are dropped
+          before they can be forwarded
+FLOW004   VN over-utilization: the aggregate worst-case demand of a
+          VN's producers exceeds the VN's total byte reservation per
+          cluster cycle — backlog grows without bound
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import Diagnostic, Severity, SourceLocation
+from .flow_graph import FlowGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gateway.gateway import VirtualGateway
+    from ..vn.service import VirtualNetworkBase
+
+__all__ = [
+    "check_flow_graph",
+    "check_gateway_buffers",
+    "check_vn_flow",
+]
+
+
+def _vn_loc(das: str, file: str) -> SourceLocation:
+    return SourceLocation(path=f"vn[{das}]", file=file)
+
+
+def _check_unreachable(graph: FlowGraph, vn: "VirtualNetworkBase",
+                       file: str) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for message in graph.unreachable_consumers(vn):
+        binding = vn.consumers_of(message)
+        assert binding is not None
+        sinks = sorted({c for c, _ in binding.ports} | {c for c, _ in binding.taps})
+        diags.append(Diagnostic(
+            rule="FLOW001",
+            severity=Severity.WARNING,
+            message=(f"message {message!r} on VN {vn.das!r} has consumers on "
+                     f"{sinks} but no producer; those ports can never "
+                     f"receive an instance"),
+            location=SourceLocation(path=f"vn[{vn.das}]/message[{message}]",
+                                    file=file),
+            hint="attach a producing port or gateway rule, or drop the consumers",
+        ))
+    return diags
+
+
+def _check_utilization(graph: FlowGraph, vn: "VirtualNetworkBase",
+                       file: str) -> list[Diagnostic]:
+    usage = graph.vn_utilization(vn)
+    if usage is None:
+        return []
+    demand, supply = usage
+    if supply <= 0 or demand <= supply:
+        return []
+    return [Diagnostic(
+        rule="FLOW004",
+        severity=Severity.ERROR,
+        message=(f"VN {vn.das!r} demands up to {demand:.0f} bytes per "
+                 f"cluster cycle but only {supply:.0f} bytes are reserved "
+                 f"across all slots ({demand / supply:.0%} utilization); "
+                 f"backlog grows without bound"),
+        location=_vn_loc(vn.das, file),
+        hint="widen the reservations, slow the producers, or split the DAS",
+    )]
+
+
+def check_vn_flow(vn: "VirtualNetworkBase", file: str = "",
+                  graph: FlowGraph | None = None) -> list[Diagnostic]:
+    """FLOW001 + FLOW004 for a single virtual network.
+
+    Used for bare VN checkables that are not part of a full
+    :class:`System`; ``graph`` lets a caller share one graph instance.
+    """
+    if graph is None:
+        graph = FlowGraph(vns={vn.das: vn})
+    return (_check_unreachable(graph, vn, file)
+            + _check_utilization(graph, vn, file))
+
+
+def check_gateway_buffers(gateway: "VirtualGateway",
+                          file: str = "") -> list[Diagnostic]:
+    """FLOW003: event-queue pressure per redirection rule.
+
+    Silently skips unresolved rules (gateway not started) and rules
+    whose source rate is statically unknown.
+    """
+    diags: list[Diagnostic] = []
+    for rule in gateway.rules:
+        pressure = FlowGraph.buffer_pressure(gateway, rule)
+        if pressure is None:
+            continue
+        element, arrivals, depth, drain = pressure
+        if arrivals <= depth:
+            continue
+        diags.append(Diagnostic(
+            rule="FLOW003",
+            severity=Severity.ERROR,
+            message=(f"gateway {gateway.name!r} rule {rule.src!r}->"
+                     f"{rule.dst!r} consumes event element {element!r}: up "
+                     f"to {arrivals} instances arrive per {drain} ns drain "
+                     f"interval but the queue holds only {depth}; instances "
+                     f"are dropped before forwarding"),
+            location=SourceLocation(
+                path=f"gateway[{gateway.name}]/rule[{rule.src}->{rule.dst}]",
+                file=file,
+            ),
+            hint="deepen the event queue_depth or shorten the destination period",
+        ))
+    return diags
+
+
+def check_flow_graph(graph: FlowGraph, file: str = "") -> list[Diagnostic]:
+    """FLOW001/FLOW002/FLOW004 over an assembled whole-cluster graph.
+
+    FLOW003 is emitted per gateway by :func:`check_gateway_buffers`
+    (the analyzer calls it from its gateway pass), keeping each rule
+    owned by exactly one emitter.
+    """
+    diags: list[Diagnostic] = []
+    for das in sorted(graph.vns):
+        vn = graph.vns[das]
+        diags.extend(_check_unreachable(graph, vn, file))
+        diags.extend(_check_utilization(graph, vn, file))
+    for path in graph.paths():
+        if path.terminal != "port" or path.d_acc is None:
+            continue
+        age = path.age_bound()
+        if age <= path.d_acc:
+            continue
+        diags.append(Diagnostic(
+            rule="FLOW002",
+            severity=Severity.ERROR,
+            message=(f"flow {path.describe()} has worst-case information "
+                     f"age {age} ns but the consuming state port requires "
+                     f"d_acc={path.d_acc} ns; every delivery arrives stale"),
+            location=SourceLocation(
+                path=(f"flow[{path.root_das}:{path.root_message}->"
+                      f"{path.consumer}]"),
+                file=file,
+            ),
+            hint="raise temporal_accuracy (d_acc) or shorten the path's periods",
+        ))
+    return diags

@@ -21,8 +21,12 @@ import re
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .diagnostics import Diagnostic, Severity, SourceLocation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runner.cache import CheckCache
 
 __all__ = ["CheckTarget", "builtin_targets", "gather_targets", "scenario_targets"]
 
@@ -191,18 +195,41 @@ def gather_targets(paths: list[str | Path]) -> list[CheckTarget]:
 # ----------------------------------------------------------------------
 # scenarios: the registered sweep configurations
 # ----------------------------------------------------------------------
-def scenario_targets(tokens: list[str] | None = None) -> list[CheckTarget]:
-    """One target per registered sweep scenario (optionally filtered)."""
+def scenario_targets(tokens: list[str] | None = None,
+                     cache: "CheckCache | None" = None) -> list[CheckTarget]:
+    """One target per registered sweep scenario (optionally filtered).
+
+    With a :class:`repro.runner.cache.CheckCache`, each target first
+    consults the digest-keyed report store (spec digest + package code
+    digest): an unchanged scenario rehydrates its serialized diagnostics
+    in O(1) instead of rebuilding the simulator.  Misses run the full
+    analysis and persist the report for the next invocation.
+    """
     from ..runner.scenarios import default_registry, filter_scenarios
 
     registry = default_registry()
     specs = filter_scenarios(registry, tokens)
+    code = ""
+    if cache is not None:
+        from ..runner.cache import code_digest
+
+        code = code_digest()
     out: list[CheckTarget] = []
     for spec in specs:
         def run(s=spec) -> list[Diagnostic]:
             from .analyzer import check_scenario
 
-            return check_scenario(s).diagnostics
+            if cache is None:
+                return check_scenario(s).diagnostics
+            from ..runner.cache import check_key
+
+            key = check_key(s, code)
+            stored = cache.get(s, key)
+            if stored is not None:
+                return [Diagnostic.from_dict(d) for d in stored]
+            diags = check_scenario(s).diagnostics
+            cache.put(s, key, [d.as_dict() for d in diags])
+            return diags
 
         out.append(CheckTarget(name=spec.name, kind="scenario", run=run,
                                source=f"scenario builder {spec.builder!r}"))

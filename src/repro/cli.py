@@ -526,9 +526,80 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # repro check — the pre-simulation static verifier
 # ----------------------------------------------------------------------
+def _select_rules(expr: str) -> tuple[set[str], list[str]]:
+    """Resolve a ``--rules`` expression to rule ids.
+
+    Comma-separated tokens, each an exact rule id or a family prefix
+    (``FLOW``, ``SCHED``); returns (selected ids, unknown tokens).
+    """
+    from .check import RULES
+
+    selected: set[str] = set()
+    unknown: list[str] = []
+    for token in (t.strip() for t in expr.split(",")):
+        if not token:
+            continue
+        matches = {rid for rid in RULES if rid == token or rid.startswith(token)}
+        if matches:
+            selected |= matches
+        else:
+            unknown.append(token)
+    return selected, unknown
+
+
+def _cmd_check_bounds(args: argparse.Namespace) -> int:
+    """``repro check bounds`` — empirical soundness cross-validation of
+    the static flow bounds (FLOW family) against traced scenario runs."""
+    import json
+    from datetime import datetime, timezone
+
+    from .check.validate import validate_registry
+    from .runner import provenance, update_bench_json
+
+    tokens = [t for expr in args.paths[1:] for t in expr.split(",") if t]
+    summary = validate_registry(None if args.all or not tokens else tokens)
+
+    for name, result in summary["scenarios"].items():
+        tight = result["min_tightness"]
+        print(f"  {name:28s} flows={result['flows']:6d} "
+              f"violations={len(result['violations'])} "
+              f"min_tightness={'-' if tight is None else f'{tight:.2f}x'}")
+        for v in result["violations"]:
+            print(f"    VIOLATION {v['kind']} {v['name']}: observed "
+                  f"{v['observed_ns']}ns > bound {v['bound_ns']}ns")
+
+    section = {
+        "scenario_count": summary["scenario_count"],
+        "compared": summary["compared"],
+        "violations": summary["violations"],
+        "min_tightness": summary["min_tightness"],
+        "per_scenario": {
+            name: result["min_tightness"]
+            for name, result in summary["scenarios"].items()
+        },
+        "provenance": provenance(
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds")),
+    }
+    update_bench_json(args.bench_out, "flow_bounds", section)
+    ok = summary["violations"] == 0
+    tight = summary["min_tightness"]
+    print(f"  {summary['compared']} bounds compared over "
+          f"{summary['scenario_count']} scenarios: "
+          f"{summary['violations']} violation"
+          f"{'' if summary['violations'] == 1 else 's'}, min tightness "
+          f"{'-' if tight is None else f'{tight:.2f}x'} -> "
+          f"{'SOUND' if ok else 'UNSOUND'}")
+    print(f"  wrote flow_bounds section to {args.bench_out}")
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run the static analyzers (spec / automata / schedule families)
     and the determinism lint without executing any scenario."""
+    import sys
+
     from .check import (
         RULES,
         Baseline,
@@ -541,20 +612,38 @@ def _cmd_check(args: argparse.Namespace) -> int:
         scenario_targets,
     )
 
-    if args.rules:
+    if args.rules == "":
         for rule in sorted(RULES):
             print(f"{rule}  {RULES[rule]}")
         return 0
+    selected: set[str] | None = None
+    if args.rules is not None:
+        selected, unknown = _select_rules(args.rules)
+        if unknown:
+            known = ", ".join(sorted(RULES))
+            print(f"repro check: unknown rule or family "
+                  f"{', '.join(repr(t) for t in unknown)} (known: {known})",
+                  file=sys.stderr)
+            return 2
+
+    if args.paths and args.paths[0] == "bounds":
+        return _cmd_check_bounds(args)
+
+    cache = None
+    if not args.no_cache:
+        from .runner.cache import CheckCache
+
+        cache = CheckCache(args.cache_dir)
 
     targets = []
     if args.paths:
         targets.extend(gather_targets(args.paths))
     if args.scenarios is not None:
         tokens = [t for expr in args.scenarios for t in expr.split(",") if t]
-        targets.extend(scenario_targets(tokens or None))
+        targets.extend(scenario_targets(tokens or None, cache=cache))
     if not args.paths and args.scenarios is None and not args.self:
         targets.extend(builtin_targets())
-        targets.extend(scenario_targets())
+        targets.extend(scenario_targets(cache=cache))
 
     report = CheckReport()
     for target in targets:
@@ -563,6 +652,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.self:
         report.extend(lint_paths())
         report.targets_checked += 1
+
+    if selected is not None:
+        report.diagnostics = [d for d in report.diagnostics
+                              if d.rule in selected]
 
     if args.update_baseline:
         Baseline.load(args.update_baseline).record(report).save(args.update_baseline)
@@ -775,13 +868,14 @@ def _cmd_ledger_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or empty the sweep result + template caches."""
+    """Inspect or empty the sweep result + template + check caches."""
     import json
 
-    from .runner.cache import ResultCache, TemplateStore
+    from .runner.cache import CheckCache, ResultCache, TemplateStore
 
     cache = ResultCache(args.cache_dir, max_bytes=args.max_bytes)
     store = TemplateStore(args.cache_dir, max_bytes=args.max_bytes)
+    checks = CheckCache(args.cache_dir, max_bytes=args.max_bytes)
     if args.cache_command == "clear":
         if getattr(args, "templates", False):
             removed = store.clear()
@@ -790,11 +884,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             return 0
         removed = cache.clear()
         removed_tpl = store.clear()
-        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
-              f"and {removed_tpl} template bank"
-              f"{'' if removed_tpl == 1 else 's'} from {args.cache_dir}")
+        removed_chk = checks.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}, "
+              f"{removed_tpl} template bank"
+              f"{'' if removed_tpl == 1 else 's'}, and {removed_chk} check "
+              f"report{'' if removed_chk == 1 else 's'} from {args.cache_dir}")
         return 0
-    stats = {"results": cache.stats(), "templates": store.stats()}
+    stats = {"results": cache.stats(), "templates": store.stats(),
+             "checks": checks.stats()}
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
@@ -802,7 +899,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"{label} {s['root']}: {s['entries']} entries, "
               f"{s['total_bytes']:,} bytes "
               f"(cap {s['max_bytes']:,} bytes, "
-              f"{s['evictions']} eviction{'' if s['evictions'] == 1 else 's'})")
+              f"{s['evictions']} eviction{'' if s['evictions'] == 1 else 's'})"
+              + (f", {s['hits']} hit{'' if s['hits'] == 1 else 's'} / "
+                 f"{s['misses']} miss{'' if s['misses'] == 1 else 'es'}"
+                 if "hits" in s else ""))
         for name, count in s["scenarios"].items():
             print(f"  {name:28s} {count} entr{'y' if count == 1 else 'ies'}")
         if s["oldest"]:
@@ -988,7 +1088,9 @@ def main(argv: list[str] | None = None) -> int:
         "check", help="static verifier: specs, automata, schedules, lint")
     p_check.add_argument("paths", nargs="*", metavar="PATH",
                          help="XML specs, python sources, or directories "
-                              "(e.g. examples/)")
+                              "(e.g. examples/); the special first path "
+                              "'bounds' cross-validates the static flow "
+                              "bounds against traced runs")
     p_check.add_argument("--scenarios", action="append", nargs="?", const="",
                          metavar="EXPR",
                          help="check registered sweep scenarios (optionally "
@@ -996,8 +1098,22 @@ def main(argv: list[str] | None = None) -> int:
     p_check.add_argument("--self", action="store_true",
                          help="run the determinism lint over the simulator core")
     p_check.add_argument("--format", choices=("text", "json"), default="text")
-    p_check.add_argument("--rules", action="store_true",
-                         help="list every rule id with its description")
+    p_check.add_argument("--rules", nargs="?", const="", default=None,
+                         metavar="EXPR",
+                         help="bare: list every rule id; with a comma-"
+                              "separated expression of rule ids or family "
+                              "prefixes (FLOW, SCHED001): report only those")
+    p_check.add_argument("--no-cache", action="store_true",
+                         help="bypass the incremental check-report cache")
+    p_check.add_argument("--cache-dir", default=".repro_cache", metavar="PATH",
+                         help="check-report cache root (default: .repro_cache)")
+    p_check.add_argument("--all", action="store_true",
+                         help="with 'bounds': validate every registry "
+                              "scenario (also the default with no filter)")
+    p_check.add_argument("--bench-out", default="BENCH_substrate.json",
+                         metavar="PATH",
+                         help="with 'bounds': where the flow_bounds section "
+                              "is recorded")
     p_check.add_argument("--baseline", default=None, metavar="FILE",
                          help="accepted-warning baseline: recorded warnings "
                               "pass, new warnings still show")

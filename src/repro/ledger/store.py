@@ -74,7 +74,8 @@ def record_from_result(spec: Any, result: dict, code: str,
     record = {
         "v": LEDGER_VERSION,
         "ts": timestamp if timestamp is not None else (
-            datetime.now(timezone.utc).isoformat(timespec="seconds")),
+            # human-facing timestamp, never compared by the audit
+            datetime.now(timezone.utc).isoformat(timespec="seconds")),  # det-ok: DET001
         "name": spec_dict["name"],
         "spec": spec_dict,
         "spec_digest": spec_digest(spec_dict),

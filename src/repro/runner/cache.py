@@ -17,8 +17,8 @@ from pathlib import Path
 
 from .scenarios import ScenarioSpec
 
-__all__ = ["ResultCache", "TemplateStore", "code_digest", "result_key",
-           "template_key"]
+__all__ = ["CheckCache", "ResultCache", "TemplateStore", "check_key",
+           "code_digest", "result_key", "template_key"]
 
 #: bump to invalidate every existing cache entry on format changes
 CACHE_FORMAT = 2
@@ -63,6 +63,24 @@ def template_key(spec: ScenarioSpec, code: str) -> str:
     payload = json.dumps(
         {"format": CACHE_FORMAT, "kind": "templates",
          "engine": ENGINE_VERSION, "spec": spec.as_dict(), "code": code},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def check_key(spec: ScenarioSpec, code: str) -> str:
+    """Check-report cache key for one scenario under one code state.
+
+    Keyed on the full spec plus the whole-package code digest: any
+    source edit anywhere in ``repro`` invalidates every cached report.
+    Deliberately conservative — analyzer results depend on builders,
+    VN/gateway internals, and the rule implementations alike, and a
+    static check re-run costs milliseconds while a stale verdict could
+    admit a broken configuration to a thousand-scenario sweep.
+    """
+    payload = json.dumps(
+        {"format": CACHE_FORMAT, "kind": "checks",
+         "spec": spec.as_dict(), "code": code},
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
@@ -245,3 +263,69 @@ class TemplateStore(_DirCache):
     def put(self, spec: ScenarioSpec, key: str, bank: dict) -> Path:
         return self._write(spec, key, {"spec": spec.as_dict(),
                                        "bank": bank}, indent=None)
+
+
+class CheckCache(_DirCache):
+    """Persistent static-check reports, one file per scenario, under
+    ``<cache root>/checks/`` (the incremental ``repro check`` path).
+
+    The payload is the serialized diagnostic list of one
+    ``check_scenario`` run.  Hits and misses are tallied in a
+    ``_stats.json`` sidecar so a later ``repro cache stats`` invocation
+    (a different process) can report whether the warm path actually
+    engaged.
+    """
+
+    def __init__(self, root: str | Path = ".repro_cache",
+                 max_bytes: int = DEFAULT_CACHE_MAX_BYTES) -> None:
+        super().__init__(Path(root) / "checks", max_bytes=max_bytes)
+
+    @property
+    def _stats_path(self) -> Path:
+        return self.root / "_stats.json"
+
+    def _tallies(self) -> dict:
+        try:
+            data = json.loads(self._stats_path.read_text())
+            if isinstance(data, dict):
+                return {"hits": int(data.get("hits", 0)),
+                        "misses": int(data.get("misses", 0))}
+        except (OSError, ValueError, TypeError):
+            pass
+        return {"hits": 0, "misses": 0}
+
+    def _tally(self, field: str) -> None:
+        tallies = self._tallies()
+        tallies[field] += 1
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._stats_path.write_text(json.dumps(tallies) + "\n")
+
+    def get(self, spec: ScenarioSpec, key: str) -> list[dict] | None:
+        """The cached diagnostic dicts, or ``None`` on miss/corruption."""
+        payload = self._read(spec, key)
+        if payload is not None:
+            report = payload.get("report")
+            if isinstance(report, list):
+                self._tally("hits")
+                return report
+        self._tally("misses")
+        return None
+
+    def put(self, spec: ScenarioSpec, key: str,
+            report: list[dict]) -> Path:
+        return self._write(spec, key, {"spec": spec.as_dict(),
+                                       "report": report})
+
+    def clear(self) -> int:
+        # The tally sidecar goes first so the base sweep does not count
+        # it as an evicted entry.
+        self._stats_path.unlink(missing_ok=True)
+        return super().clear()
+
+    def entries(self) -> list[Path]:
+        return [p for p in super().entries() if p.name != "_stats.json"]
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out.update(self._tallies())
+        return out

@@ -142,7 +142,7 @@ class SweepMonitor:
         self.heartbeat_s = heartbeat_s
         self._events_fh: IO[str] | None = None
         self._lock = threading.Lock()
-        self._t0 = time.perf_counter()
+        self._t0 = time.perf_counter()  # det-ok: DET001 — live-progress wall clock
         self._last_render = 0.0
         self._rendered = False
         # fleet state
@@ -158,7 +158,7 @@ class SweepMonitor:
     # -- lifecycle -----------------------------------------------------
     def begin(self, total: int) -> None:
         """Reset the clock and announce the sweep size."""
-        self._t0 = time.perf_counter()
+        self._t0 = time.perf_counter()  # det-ok: DET001 — live-progress wall clock
         self.total = total
         self.post({"event": "sweep_start", "total": total})
 
@@ -183,7 +183,7 @@ class SweepMonitor:
     def post(self, event: dict) -> None:
         """Stamp, record, and fold one event into the fleet state."""
         with self._lock:
-            event = dict(event, t=round(time.perf_counter() - self._t0, 3))
+            event = dict(event, t=round(time.perf_counter() - self._t0, 3))  # det-ok: DET001 — live-progress wall clock
             self.events_seen += 1
             kind = event.get("event")
             worker = event.get("worker")
@@ -216,7 +216,7 @@ class SweepMonitor:
     # -- rendering -----------------------------------------------------
     def snapshot(self) -> dict:
         """The current fleet state as plain data (what the line shows)."""
-        elapsed = time.perf_counter() - self._t0
+        elapsed = time.perf_counter() - self._t0  # det-ok: DET001 — live-progress wall clock
         rate = self.completed / elapsed if elapsed > 0 else 0.0
         remaining = max(self.total - self.completed, 0)
         mean_wall = (sum(self._exec_walls) / len(self._exec_walls)
@@ -259,7 +259,7 @@ class SweepMonitor:
         # caller holds the lock
         if not self.render:
             return
-        now = time.perf_counter()
+        now = time.perf_counter()  # det-ok: DET001 — live-progress wall clock
         if not force and now - self._last_render < self.refresh_s:
             return
         self._last_render = now

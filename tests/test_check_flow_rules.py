@@ -1,0 +1,373 @@
+"""Golden-diagnostic tests for the FLOW0xx whole-cluster flow rules,
+the flow-graph path enumeration, and the preflight gate they feed."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.check import Baseline, FlowGraph, check_system
+from repro.check.diagnostics import CheckReport, Severity
+from repro.check.flow_rules import check_gateway_buffers, check_vn_flow
+from repro.errors import PreflightError
+from repro.messaging import Namespace, Semantics
+from repro.platform import Job
+from repro.sim import MS, Simulator
+from repro.spec import (
+    ControlParadigm,
+    Direction,
+    ETTiming,
+    InteractionType,
+    LinkSpec,
+    PortSpec,
+    TTTiming,
+)
+from repro.systems import GatewayDecl, SystemBuilder
+from repro.vn import TTVirtualNetwork
+
+from .support import (
+    et_in_spec,
+    event_message,
+    make_component,
+    state_message,
+    tt_in_spec,
+    tt_out_spec,
+    two_node_cluster,
+)
+
+
+def rules_of(diags, severity=None):
+    return {d.rule for d in diags
+            if severity is None or d.severity is severity}
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+def tt_pair_system(d_acc=500 * MS, sim=None):
+    """One TT DAS, a writer on n0 and a remote push reader on n1: the
+    minimal system with a nonzero-age flow path."""
+    mtype = state_message("msgSpeed")
+    builder = SystemBuilder(sim=sim, seed=3)
+    builder.add_node("n0").add_node("n1")
+    builder.add_das("ctrl", ControlParadigm.TIME_TRIGGERED)
+    builder.add_job("writer", "ctrl", "n0", Job,
+                    ports=(tt_out_spec(mtype, period=10 * MS),))
+    builder.add_job("reader", "ctrl", "n1", Job,
+                    ports=(tt_in_spec(mtype, period=10 * MS,
+                                      interaction=InteractionType.PUSH,
+                                      temporal_accuracy=d_acc),))
+    system = builder.build()
+    system.start()
+    return system
+
+
+def ghost_consumer_system():
+    """A consumer port on a message nothing produces (FLOW001)."""
+    builder = SystemBuilder(seed=4)
+    builder.add_node("n0")
+    builder.add_das("sensors", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_job("listener", "sensors", "n0", Job,
+                    ports=(et_in_spec(event_message("msgGhost")),))
+    system = builder.build()
+    system.start()
+    return system
+
+
+def event_relay_system(dst_period=50 * MS, queue_depth=2,
+                       min_interarrival=1 * MS, sim=None):
+    """ET alarm DAS -> hidden gateway -> TT panel DAS, relaying an
+    event element.  With a fast source, a slow destination dispatch, and
+    a shallow queue the relay must drop instances (FLOW003)."""
+    src = event_message("msgAlarm", msg_id=1)
+    dst = event_message("msgAlarmOut", msg_id=2)
+    builder = SystemBuilder(sim=sim, seed=6)
+    builder.add_node("src-ecu").add_node("gw-ecu").add_node("dst-ecu")
+    builder.add_das("alarms", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("panel", ControlParadigm.TIME_TRIGGERED)
+    builder.add_job(
+        "raiser", "alarms", "src-ecu", Job,
+        ports=(PortSpec(message_type=src, direction=Direction.OUTPUT,
+                        semantics=Semantics.EVENT,
+                        control=ControlParadigm.EVENT_TRIGGERED,
+                        et=ETTiming(min_interarrival=min_interarrival),
+                        queue_depth=32),),
+    )
+    builder.add_gateway(GatewayDecl(
+        name="gw", host="gw-ecu", das_a="alarms", das_b="panel",
+        link_a=LinkSpec(das="alarms", ports=(PortSpec(
+            message_type=src, direction=Direction.INPUT,
+            semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+            et=ETTiming(min_interarrival=min_interarrival),
+            queue_depth=queue_depth,
+        ),)),
+        link_b=LinkSpec(das="panel", ports=(PortSpec(
+            message_type=dst, direction=Direction.OUTPUT,
+            semantics=Semantics.EVENT, control=ControlParadigm.TIME_TRIGGERED,
+            tt=TTTiming(period=dst_period), queue_depth=queue_depth,
+        ),)),
+        rules=[("msgAlarm", "msgAlarmOut", "a_to_b", None)],
+        partition=None,
+    ))
+    system = builder.build()
+    system.start()
+    return system
+
+
+def two_gateway_chain_system():
+    """sensors(ET) --gw1--> mid(TT) --gw2--> display(ET): a state value
+    relayed across two gateways to a remote consumer."""
+    msg_a = state_message("msgA", 1)
+    msg_b = state_message("msgB", 2)
+    msg_c = state_message("msgC", 3)
+    d_acc = 500 * MS
+    builder = SystemBuilder(seed=9)
+    for node in ("src-ecu", "gw1-ecu", "gw2-ecu", "dst-ecu"):
+        builder.add_node(node)
+    builder.add_das("sensors", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_das("mid", ControlParadigm.TIME_TRIGGERED)
+    builder.add_das("display", ControlParadigm.EVENT_TRIGGERED)
+    builder.add_job(
+        "sender", "sensors", "src-ecu", Job,
+        ports=(PortSpec(message_type=msg_a, direction=Direction.OUTPUT,
+                        semantics=Semantics.EVENT,
+                        control=ControlParadigm.EVENT_TRIGGERED,
+                        queue_depth=32),),
+    )
+    builder.add_job(
+        "viewer", "display", "dst-ecu", Job,
+        ports=(PortSpec(message_type=msg_c, direction=Direction.INPUT,
+                        semantics=Semantics.STATE,
+                        control=ControlParadigm.EVENT_TRIGGERED,
+                        interaction=InteractionType.PUSH,
+                        temporal_accuracy=d_acc),),
+    )
+    builder.add_gateway(GatewayDecl(
+        name="gw1", host="gw1-ecu", das_a="sensors", das_b="mid",
+        link_a=LinkSpec(das="sensors", ports=(PortSpec(
+            message_type=msg_a, direction=Direction.INPUT,
+            semantics=Semantics.EVENT, control=ControlParadigm.EVENT_TRIGGERED,
+            queue_depth=32,
+        ),)),
+        link_b=LinkSpec(das="mid", ports=(PortSpec(
+            message_type=msg_b, direction=Direction.OUTPUT,
+            semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
+            tt=TTTiming(period=20 * MS), temporal_accuracy=d_acc,
+        ),)),
+        rules=[("msgA", "msgB", "a_to_b", None)],
+    ))
+    builder.add_gateway(GatewayDecl(
+        name="gw2", host="gw2-ecu", das_a="mid", das_b="display",
+        link_a=LinkSpec(das="mid", ports=(PortSpec(
+            message_type=msg_b, direction=Direction.INPUT,
+            semantics=Semantics.STATE, control=ControlParadigm.TIME_TRIGGERED,
+            tt=TTTiming(period=20 * MS), temporal_accuracy=d_acc,
+        ),)),
+        link_b=LinkSpec(das="display", ports=(PortSpec(
+            message_type=msg_c, direction=Direction.OUTPUT,
+            semantics=Semantics.STATE, control=ControlParadigm.EVENT_TRIGGERED,
+            temporal_accuracy=d_acc,
+        ),)),
+        rules=[("msgB", "msgC", "a_to_b", None)],
+    ))
+    system = builder.build()
+    system.start()
+    return system
+
+
+# ----------------------------------------------------------------------
+# FLOW001 — unreachable consumer
+# ----------------------------------------------------------------------
+class TestFlow001:
+    def test_consumer_without_producer_warns(self):
+        diags = check_system(ghost_consumer_system())
+        hits = [d for d in diags if d.rule == "FLOW001"]
+        assert hits and hits[0].severity is Severity.WARNING
+        assert "msgGhost" in hits[0].message
+        assert "never" in hits[0].message
+
+    def test_produced_message_is_clean(self):
+        diags = check_system(tt_pair_system())
+        assert "FLOW001" not in rules_of(diags)
+
+
+# ----------------------------------------------------------------------
+# FLOW002 — worst-case information age vs d_acc
+# ----------------------------------------------------------------------
+class TestFlow002:
+    def test_unreachable_d_acc_errors(self):
+        # 1 us accuracy against a 10 ms sampling period: every delivery
+        # is stale by construction.
+        diags = check_system(tt_pair_system(d_acc=1000))
+        hits = [d for d in diags
+                if d.rule == "FLOW002" and d.severity is Severity.ERROR]
+        assert hits and "arrives stale" in hits[0].message
+
+    def test_generous_d_acc_is_clean(self):
+        diags = check_system(tt_pair_system(d_acc=500 * MS))
+        assert "FLOW002" not in rules_of(diags)
+
+    def test_age_bound_counts_period_and_cycle(self):
+        system = tt_pair_system(d_acc=500 * MS)
+        graph = FlowGraph.from_system(system)
+        paths = [p for p in graph.paths() if p.terminal == "port"]
+        assert paths
+        cycle = system.cluster.schedule.cycle_length
+        assert paths[0].age_bound() >= 10 * MS + cycle
+
+
+# ----------------------------------------------------------------------
+# FLOW003 — gateway event-queue overflow
+# ----------------------------------------------------------------------
+class TestFlow003:
+    def test_shallow_queue_vs_slow_drain_errors(self):
+        system = event_relay_system(dst_period=50 * MS, queue_depth=2,
+                                    min_interarrival=1 * MS)
+        diags = check_gateway_buffers(system.gateway("gw"))
+        hits = [d for d in diags
+                if d.rule == "FLOW003" and d.severity is Severity.ERROR]
+        assert hits
+        assert "'Change'" in hits[0].message
+        assert "queue holds only 2" in hits[0].message
+
+    def test_deep_queue_is_clean(self):
+        system = event_relay_system(dst_period=10 * MS, queue_depth=64,
+                                    min_interarrival=5 * MS)
+        assert check_gateway_buffers(system.gateway("gw")) == []
+
+    def test_unstarted_gateway_is_skipped(self):
+        # Unresolved rules (dst_type None) produce no findings instead
+        # of crashing the analyzer.
+        system = event_relay_system()
+        gw = system.gateway("gw")
+        for rule in gw.rules:
+            rule.dst_type = None
+        assert check_gateway_buffers(gw) == []
+
+    def test_check_system_carries_flow003(self):
+        diags = check_system(event_relay_system(dst_period=50 * MS,
+                                                queue_depth=2))
+        assert "FLOW003" in rules_of(diags, Severity.ERROR)
+
+
+# ----------------------------------------------------------------------
+# FLOW004 — VN demand vs per-cycle reservation
+# ----------------------------------------------------------------------
+def build_reserved_vn(sim, reserved_bytes, period=None):
+    cluster = two_node_cluster(sim, {"dasA": reserved_bytes})
+    mtype = state_message("msgBig")
+    ns = Namespace("dasA")
+    ns.register(mtype)
+    vn = TTVirtualNetwork(sim, "dasA", cluster, ns)
+    comp = make_component(sim, cluster, "n0")
+    part = comp.add_partition("p", "dasA", offset=0, duration=MS)
+    writer = Job(sim, "writer", "dasA", part)
+    cycle = cluster.schedule.cycle_length
+    vn.attach_job(writer, "n0",
+                  (tt_out_spec(mtype, period=period or cycle),))
+    return vn, cycle
+
+
+class TestFlow004:
+    def test_demand_beyond_reservation_errors(self):
+        sim = Simulator()
+        # 10 bytes/slot reserved, but one chunk every cycle/8 demands
+        # far more than the two slots supply.
+        vn, cycle = build_reserved_vn(sim, reserved_bytes=10,
+                                      period=max(1, cycle_div8(sim)))
+        diags = check_vn_flow(vn)
+        hits = [d for d in diags
+                if d.rule == "FLOW004" and d.severity is Severity.ERROR]
+        assert hits and "backlog grows without bound" in hits[0].message
+
+    def test_matched_reservation_is_clean(self):
+        sim = Simulator()
+        vn, cycle = build_reserved_vn(sim, reserved_bytes=200)
+        assert "FLOW004" not in rules_of(check_vn_flow(vn))
+
+
+def cycle_div8(sim):
+    """One eighth of the default two-node cluster cycle (fresh sim so
+    the probe cluster does not collide with the caller's)."""
+    probe = two_node_cluster(Simulator(), {"dasA": 10})
+    return probe.schedule.cycle_length // 8
+
+
+# ----------------------------------------------------------------------
+# multi-hop paths
+# ----------------------------------------------------------------------
+class TestMultiHopPaths:
+    def test_two_gateway_chain_reaches_the_terminal_port(self):
+        system = two_gateway_chain_system()
+        graph = FlowGraph.from_system(system)
+        chains = [p for p in graph.paths()
+                  if p.terminal == "port"
+                  and sum(h.kind == "gateway" for h in p.hops) == 2]
+        assert chains, [p.describe() for p in graph.paths()]
+        path = chains[0]
+        assert path.root_das == "sensors" and path.root_message == "msgA"
+        assert [h.message for h in path.hops if h.kind == "gateway"] == [
+            "msgB", "msgC"]
+        assert "gw[gateway.gw1]" in path.describe()
+        assert path.e2e_bound() is not None
+        assert path.age_bound() > 0
+
+    def test_chain_is_clean_under_generous_d_acc(self):
+        diags = check_system(two_gateway_chain_system())
+        assert {"FLOW002", "FLOW003", "FLOW004"}.isdisjoint(
+            rules_of(diags, Severity.ERROR))
+
+
+# ----------------------------------------------------------------------
+# the preflight gate (acceptance criterion: rejected before any event)
+# ----------------------------------------------------------------------
+class TestPreflightGate:
+    def test_flow002_rejected_before_any_event_executes(self):
+        sim = Simulator(seed=11)
+        tt_pair_system(d_acc=1000, sim=sim)
+        with pytest.raises(PreflightError, match="FLOW002"):
+            sim.preflight(strict=True)
+        assert sim.events_executed == 0
+
+    def test_flow003_rejected_before_any_event_executes(self):
+        sim = Simulator(seed=12)
+        event_relay_system(dst_period=50 * MS, queue_depth=2,
+                           min_interarrival=1 * MS, sim=sim)
+        with pytest.raises(PreflightError, match="FLOW003"):
+            sim.preflight(strict=True)
+        assert sim.events_executed == 0
+
+    def test_clean_system_passes_preflight(self):
+        sim = Simulator(seed=13)
+        tt_pair_system(d_acc=500 * MS, sim=sim)
+        report = sim.preflight(strict=True)
+        assert report.ok
+
+
+# ----------------------------------------------------------------------
+# fingerprint stability (baseline survives diagnostic rewording)
+# ----------------------------------------------------------------------
+class TestFingerprintStability:
+    def flow001_warnings(self):
+        diags = check_system(ghost_consumer_system())
+        return [d for d in diags if d.rule == "FLOW001"]
+
+    def test_rewording_preserves_the_fingerprint(self):
+        warn = self.flow001_warnings()
+        assert warn
+        reworded = replace(warn[0], message="entirely different wording")
+        assert reworded.fingerprint() == warn[0].fingerprint()
+
+    def test_baseline_still_suppresses_reworded_warnings(self):
+        warn = self.flow001_warnings()
+        base = Baseline().record(CheckReport(diagnostics=list(warn)))
+        reworded = [replace(d, message=d.message + " (reworded)")
+                    for d in warn]
+        report = base.apply(CheckReport(diagnostics=reworded))
+        assert len(report.accepted) == len(warn)
+        assert all(d.rule != "FLOW001" for d in report.diagnostics)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

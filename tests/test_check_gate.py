@@ -109,8 +109,36 @@ class TestCheckCli:
     def test_rules_listing(self, capsys):
         assert cli_main(["check", "--rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("SPEC001", "AUTO001", "SCHED003", "DET004"):
+        for rule in ("SPEC001", "AUTO001", "SCHED003", "DET004", "FLOW002"):
             assert rule in out
+
+    def test_rules_family_filter(self, capsys):
+        assert cli_main(["check", "--rules", "FLOW",
+                         "--scenarios", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_rules_exact_id_filter(self, capsys):
+        assert cli_main(["check", "--rules", "FLOW002,SCHED001",
+                         "--scenarios", "tdma-smoke"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_unknown_rule_token_exits_2(self, capsys):
+        assert cli_main(["check", "--rules", "BOGUS,FLOW",
+                         "--scenarios", "smoke"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err and "BOGUS" in err
+
+    def test_bounds_subcommand_is_sound(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH.json"
+        assert cli_main(["check", "bounds", "car-smoke",
+                         "--bench-out", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "SOUND" in out
+        section = json.loads(bench.read_text())["flow_bounds"]
+        assert section["violations"] == 0
+        assert section["compared"] > 0
+        assert section["min_tightness"] >= 1.0
 
     def test_self_lint_is_clean(self, capsys):
         assert cli_main(["check", "--self"]) == 0

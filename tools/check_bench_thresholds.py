@@ -44,6 +44,7 @@ THRESHOLDS: tuple[tuple[str, tuple[str, ...], float, str], ...] = (
     # scenarios with the fsync'd ledger enabled may cost at most 5% over
     # running them without it (ISSUE 8 acceptance bound).
     ("ledger", ("append_overhead_x",), 1.05, "max"),
+    ("flow_bounds", ("min_tightness",), 2.0, "max"),
 )
 
 

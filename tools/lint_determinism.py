@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Determinism lint for the simulator core (standalone entry point).
 
-Scans ``repro.sim``, ``repro.core_network``, ``repro.gateway``, and
-``repro.vn`` (or explicit paths) for sources of nondeterminism that
-would break the bit-identical replay guarantee: wall-clock reads
+Scans ``repro.sim``, ``repro.core_network``, ``repro.gateway``,
+``repro.vn``, ``repro.ledger``, and ``repro.runner.telemetry`` (or
+explicit paths) for sources of nondeterminism that would break the
+bit-identical replay guarantee: wall-clock reads
 (DET001), the stdlib ``random`` module (DET002), iteration over set
 expressions (DET003), and environment-dependent values such as uuid /
 os.environ / directory listings (DET004).
@@ -34,7 +35,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint "
-                             "(default: the four core packages)")
+                             "(default: the guarded core packages)")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     args = parser.parse_args(argv)
 
