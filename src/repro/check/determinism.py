@@ -9,7 +9,13 @@ DET001    wall-clock access (``time.time``, ``perf_counter_ns``,
           ``datetime.now`` ...) — simulated time comes from
           ``sim.now``; wall time is only sanctioned in the profiler
 DET002    the stdlib ``random`` module — all randomness must flow
-          through the seeded streams of :mod:`repro.sim.random`
+          through the seeded streams of :mod:`repro.sim.random`.
+          The scenario generator (``repro.generate``) is linted in a
+          relaxed mode instead: explicitly seeded ``random.Random(...)``
+          instances are its sanctioned source of bounded randomness,
+          but the module-level functions (``random.random``,
+          ``random.randint`` — the process-global unseeded stream),
+          unseeded ``Random()``, and ``random.seed`` remain DET002
 DET003    iteration over a set/frozenset expression — set order
           depends on the per-process hash seed; wrap in ``sorted()``
 DET004    environment-dependent values: ``uuid``/``secrets``,
@@ -37,13 +43,19 @@ __all__ = [
     "DEFAULT_LINT_FILES",
     "DEFAULT_LINT_PACKAGES",
     "SANCTIONED_FILES",
+    "SEEDED_RANDOM_PACKAGES",
     "lint_source",
     "lint_file",
     "lint_paths",
 ]
 
 #: Packages under ``src/repro/`` the lint guards by default.
-DEFAULT_LINT_PACKAGES = ("sim", "core_network", "gateway", "vn", "ledger")
+DEFAULT_LINT_PACKAGES = ("sim", "core_network", "gateway", "vn", "ledger",
+                         "generate")
+
+#: Packages linted with the relaxed DET002 mode: seeded
+#: ``random.Random(seed)`` is allowed, the global stream is not.
+SEEDED_RANDOM_PACKAGES = ("generate",)
 
 #: Individual files outside the guarded packages that feed digest-
 #: compared artifacts and therefore ride along in the default lint.
@@ -88,13 +100,17 @@ def _pragmas(source: str) -> dict[int, set[str] | None]:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, filename: str) -> None:
+    def __init__(self, filename: str,
+                 allow_seeded_random: bool = False) -> None:
         self.filename = filename
+        self.allow_seeded_random = allow_seeded_random
         self.findings: list[tuple[str, int, str, str]] = []
         #: local aliases of the ``time`` module (``import time as t``).
         self._time_aliases: set[str] = set()
         self._datetime_aliases: set[str] = set()
         self._os_aliases: set[str] = set()
+        self._random_aliases: set[str] = set()
+        self._random_class_aliases: set[str] = set()
 
     # -- helpers --------------------------------------------------------
     def _add(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
@@ -111,9 +127,12 @@ class _Visitor(ast.NodeVisitor):
             elif root == "os":
                 self._os_aliases.add(alias.asname or "os")
             elif root == "random":
-                self._add("DET002", node,
-                          "import of the stdlib 'random' module",
-                          "use the seeded streams in repro.sim.random")
+                if self.allow_seeded_random:
+                    self._random_aliases.add(alias.asname or "random")
+                else:
+                    self._add("DET002", node,
+                              "import of the stdlib 'random' module",
+                              "use the seeded streams in repro.sim.random")
             elif root in _ENV_MODULES:
                 self._add("DET004", node,
                           f"import of environment-dependent module {root!r}",
@@ -127,9 +146,20 @@ class _Visitor(ast.NodeVisitor):
         mod = (node.module or "").split(".")[0]
         names = {a.name for a in node.names}
         if mod == "random":
-            self._add("DET002", node,
-                      "import from the stdlib 'random' module",
-                      "use the seeded streams in repro.sim.random")
+            if self.allow_seeded_random:
+                for a in node.names:
+                    if a.name == "Random":
+                        self._random_class_aliases.add(a.asname or a.name)
+                    else:
+                        self._add(
+                            "DET002", node,
+                            f"import of random.{a.name} "
+                            "(the process-global unseeded stream)",
+                            "draw from an explicitly seeded random.Random")
+            else:
+                self._add("DET002", node,
+                          "import from the stdlib 'random' module",
+                          "use the seeded streams in repro.sim.random")
         elif mod == "time" and names & _WALLCLOCK_FUNCS:
             bad = ", ".join(sorted(names & _WALLCLOCK_FUNCS))
             self._add("DET001", node,
@@ -179,6 +209,30 @@ class _Visitor(ast.NodeVisitor):
                       "sort the entries before iterating")
         self.generic_visit(node)
 
+    # -- calls (relaxed DET002 mode) -------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self._random_aliases):
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    self._add("DET002", node,
+                              "unseeded random.Random()",
+                              "pass an explicit seed: random.Random(seed)")
+            else:
+                self._add("DET002", node,
+                          f"call of random.{func.attr} "
+                          "(the process-global unseeded stream)",
+                          "draw from an explicitly seeded random.Random")
+        elif (isinstance(func, ast.Name)
+              and func.id in self._random_class_aliases
+              and not node.args and not node.keywords):
+            self._add("DET002", node,
+                      f"unseeded {func.id}()",
+                      "pass an explicit seed: Random(seed)")
+        self.generic_visit(node)
+
     # -- set iteration ---------------------------------------------------
     @staticmethod
     def _is_set_expr(node: ast.expr) -> bool:
@@ -216,10 +270,18 @@ class _Visitor(ast.NodeVisitor):
     visit_GeneratorExp = visit_comprehension_node
 
 
-def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
-    """Lint one source string; returns DET0xx diagnostics."""
+def lint_source(source: str, filename: str = "<string>",
+                allow_seeded_random: bool | None = None) -> list[Diagnostic]:
+    """Lint one source string; returns DET0xx diagnostics.
+
+    ``allow_seeded_random`` switches DET002 to the relaxed mode of
+    :data:`SEEDED_RANDOM_PACKAGES`; ``None`` infers it from the
+    filename's path segments.
+    """
+    if allow_seeded_random is None:
+        allow_seeded_random = _seeded_random_allowed(Path(filename))
     tree = ast.parse(source, filename=filename)
-    visitor = _Visitor(filename)
+    visitor = _Visitor(filename, allow_seeded_random=allow_seeded_random)
     visitor.visit(tree)
     pragmas = _pragmas(source)
     diags: list[Diagnostic] = []
@@ -242,6 +304,10 @@ def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
 def _is_sanctioned(path: Path) -> bool:
     posix = path.as_posix()
     return any(posix.endswith(s) for s in SANCTIONED_FILES)
+
+
+def _seeded_random_allowed(path: Path) -> bool:
+    return any(part in SEEDED_RANDOM_PACKAGES for part in path.parts)
 
 
 def lint_file(path: str | Path) -> list[Diagnostic]:

@@ -27,8 +27,15 @@ from .diagnostics import Diagnostic, Severity, SourceLocation
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runner.cache import CheckCache
+    from ..runner.scenarios import ScenarioSpec
 
-__all__ = ["CheckTarget", "builtin_targets", "gather_targets", "scenario_targets"]
+__all__ = [
+    "CheckTarget",
+    "builtin_targets",
+    "cached_scenario_diagnostics",
+    "gather_targets",
+    "scenario_targets",
+]
 
 
 @dataclass
@@ -195,6 +202,35 @@ def gather_targets(paths: list[str | Path]) -> list[CheckTarget]:
 # ----------------------------------------------------------------------
 # scenarios: the registered sweep configurations
 # ----------------------------------------------------------------------
+def cached_scenario_diagnostics(spec: "ScenarioSpec", cache: "CheckCache | None",
+                                code: str) -> list[Diagnostic]:
+    """Full static diagnostics for one scenario spec, cache-served.
+
+    The shared check path for everything that admission-gates specs:
+    ``repro check --scenarios`` targets, the generator's campaign
+    oracle (:func:`repro.generate.admit`), and warm ``--strict``
+    pre-flights.  With a :class:`~repro.runner.cache.CheckCache`, an
+    unchanged (spec digest, ``code`` digest) pair rehydrates its
+    serialized diagnostics in O(1); misses run the full build+analyze
+    and persist the report.  Builder exceptions propagate (and are
+    never cached) — callers decide whether a crash is a finding or a
+    rejection.
+    """
+    from .analyzer import check_scenario
+
+    if cache is None:
+        return check_scenario(spec).diagnostics
+    from ..runner.cache import check_key
+
+    key = check_key(spec, code)
+    stored = cache.get(spec, key)
+    if stored is not None:
+        return [Diagnostic.from_dict(d) for d in stored]
+    diags = check_scenario(spec).diagnostics
+    cache.put(spec, key, [d.as_dict() for d in diags])
+    return diags
+
+
 def scenario_targets(tokens: list[str] | None = None,
                      cache: "CheckCache | None" = None) -> list[CheckTarget]:
     """One target per registered sweep scenario (optionally filtered).
@@ -216,20 +252,8 @@ def scenario_targets(tokens: list[str] | None = None,
         code = code_digest()
     out: list[CheckTarget] = []
     for spec in specs:
-        def run(s=spec) -> list[Diagnostic]:
-            from .analyzer import check_scenario
-
-            if cache is None:
-                return check_scenario(s).diagnostics
-            from ..runner.cache import check_key
-
-            key = check_key(s, code)
-            stored = cache.get(s, key)
-            if stored is not None:
-                return [Diagnostic.from_dict(d) for d in stored]
-            diags = check_scenario(s).diagnostics
-            cache.put(s, key, [d.as_dict() for d in diags])
-            return diags
+        def run(s: "ScenarioSpec" = spec) -> list[Diagnostic]:
+            return cached_scenario_diagnostics(s, cache, code)
 
         out.append(CheckTarget(name=spec.name, kind="scenario", run=run,
                                source=f"scenario builder {spec.builder!r}"))

@@ -151,9 +151,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .errors import PreflightError
     from .runner import SweepRunner, default_registry, filter_scenarios, sweep_table
 
-    registry = default_registry(base_seed=args.base_seed)
-    tokens = [t for expr in (args.filter or []) for t in expr.split(",") if t]
-    specs = filter_scenarios(registry, tokens)
+    admission = None
+    if args.generated:
+        from .generate import admit, generate_candidates
+        from .runner.cache import CheckCache
+
+        candidates = generate_candidates(args.generated, args.gen_profile,
+                                         base_seed=args.base_seed)
+        check_cache = None if args.no_cache else CheckCache(args.cache_dir)
+        specs, summary = admit(candidates, check_cache)
+        admission = summary.as_dict()
+        rules = ", ".join(f"{r}x{n}"
+                          for r, n in admission["rejected_rules"].items())
+        print(f"generated {summary.total} candidates "
+              f"(profile={args.gen_profile}, base_seed={args.base_seed}): "
+              f"{summary.admitted} admitted, {summary.rejected} rejected "
+              f"({summary.rejection_rate:.0%})"
+              + (f" [{rules}]" if rules else ""), file=sys.stderr)
+    else:
+        registry = default_registry(base_seed=args.base_seed)
+        tokens = [t for expr in (args.filter or [])
+                  for t in expr.split(",") if t]
+        specs = filter_scenarios(registry, tokens)
     if args.list:
         for spec in specs:
             tags = ",".join(spec.tags)
@@ -161,7 +180,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"horizon={spec.horizon_ns / SEC:g}s seed={spec.seed} [{tags}]")
         return 0
     if not specs:
-        print(f"error: no scenarios match filter {tokens!r}", file=sys.stderr)
+        if args.generated:
+            print("error: every generated candidate was rejected by "
+                  "admission", file=sys.stderr)
+        else:
+            print(f"error: no scenarios match filter {tokens!r}",
+                  file=sys.stderr)
         return 2
     if not args.round_template:
         specs = [spec.with_param("round_template", False) for spec in specs]
@@ -192,12 +216,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except PreflightError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if admission is not None:
+        report["generated"] = admission
     if args.events:
         print(f"telemetry events streamed to {args.events}", file=sys.stderr)
     if args.json:
         import json
 
         print(json.dumps(report, indent=2, sort_keys=True))
+    elif args.generated and report["count"] > 50:
+        # A thousand-row table helps nobody; campaigns get a summary.
+        print(f"campaign: {report['count']} scenarios, "
+              f"{report['executed']} executed, "
+              f"{report['cache_hits']} warm, "
+              f"{len(report['errors'])} errors, "
+              f"{report['wall_s']:.2f}s "
+              f"({report['count'] / report['wall_s']:.1f} runs/s)")
+        for name in report["errors"][:10]:
+            result = next(r for r in report["scenarios"] if r["name"] == name)
+            print(f"--- {name} failed ---\n{result['error']}", file=sys.stderr)
     else:
         sweep_table(report).print()
         for name in report["errors"]:
@@ -867,6 +904,149 @@ def _cmd_ledger_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_campaign_bench(args: argparse.Namespace) -> int:
+    """Campaign throughput guard: cold and warm generated-sweep rates
+    plus the batched-durability overhead vs a persistence-free baseline."""
+    import json
+    import tempfile
+    import time
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    from .generate import admit, generate_candidates
+    from .runner import SweepRunner, provenance, run_scenario, update_bench_json
+
+    t0 = time.perf_counter()
+    candidates = generate_candidates(args.n, args.profile,
+                                     base_seed=args.base_seed)
+    specs, summary = admit(candidates)
+    admission_s = time.perf_counter() - t0
+    if not specs:
+        print("error: every generated candidate was rejected by admission",
+              file=sys.stderr)
+        return 2
+    print(f"campaign bench: {args.n} candidates (profile={args.profile}), "
+          f"{len(specs)} admitted in {admission_s:.2f}s "
+          f"({summary.rejection_rate:.0%} rejected)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Warm-up (imports, first model build, template bank), then
+        # interleave the two legs so machine-state drift hits both
+        # equally — the measured ratio isolates the batched durability
+        # machinery (result cache + ledger), not the benchmark weather.
+        # The bare leg runs the same executions with no result cache
+        # and no ledger but the same (orthogonal, pre-existing)
+        # template-bank persistence; every leg repetition gets fresh
+        # directories so both start cold.
+        for spec in specs[:8]:
+            run_scenario(spec, ledger_path=None)
+        off_s = cold_s = float("inf")
+        bare: list = []
+        cold: dict = {}
+        for rep in range(args.repeat):
+            bare_tpl = str(Path(tmp) / f"bare{rep}")
+            t0 = time.perf_counter()
+            bare = [run_scenario(spec, template_root=bare_tpl,
+                                 ledger_path=None) for spec in specs]
+            off_s = min(off_s, time.perf_counter() - t0)
+            runner = SweepRunner(workers=args.workers,
+                                 cache_dir=str(Path(tmp) / f"cache{rep}"))
+            t0 = time.perf_counter()
+            cold = runner.run(specs)
+            cold_s = min(cold_s, time.perf_counter() - t0)
+        print(f"  {'no persistence':24s} {off_s:.3f}s "
+              f"({len(specs) / off_s:.1f} runs/s, best of {args.repeat})")
+        print(f"  {'cold (cache+ledger)':24s} {cold_s:.3f}s "
+              f"({len(specs) / cold_s:.1f} runs/s, best of {args.repeat})")
+        t0 = time.perf_counter()
+        warm = runner.run(specs)
+        warm_s = time.perf_counter() - t0
+        print(f"  {'warm (all cached)':24s} {warm_s:.3f}s "
+              f"({len(specs) / warm_s:.1f} runs/s)")
+        chunk = runner._chunk_size_for(len(specs))
+
+    digests_identical = (
+        [r["digest"] for r in bare]
+        == [r.get("digest") for r in cold["scenarios"]]
+        == [r.get("digest") for r in warm["scenarios"]])
+    overhead_x = cold_s / off_s if off_s else 1.0
+    ok = overhead_x <= args.budget and digests_identical and not cold["errors"]
+    section = {
+        "n_candidates": args.n,
+        "profile": args.profile,
+        "admitted": len(specs),
+        "rejection_rate": round(summary.rejection_rate, 4),
+        "admission_s": round(admission_s, 3),
+        "off_s": round(off_s, 3),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "cold_runs_per_s": round(len(specs) / cold_s, 2) if cold_s else None,
+        "warm_runs_per_s": round(len(specs) / warm_s, 2) if warm_s else None,
+        "batch_overhead_x": round(overhead_x, 3),
+        "chunk_size": chunk,
+        "workers": args.workers,
+        "digests_identical": digests_identical,
+        "budget_x": args.budget,
+        "within_budget": ok,
+        "provenance": provenance(
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            iterations=args.repeat),
+    }
+    update_bench_json(args.bench_out, "campaign", section)
+    print(f"  durability overhead {overhead_x:.3f}x of persistence-free "
+          f"(budget {args.budget:.2f}x), digests "
+          f"{'identical' if digests_identical else 'DIVERGED'} "
+          f"-> {'OK' if ok else 'FAIL'}")
+    print(f"  wrote campaign section to {args.bench_out}")
+    if args.json:
+        print(json.dumps(section, indent=2, sort_keys=True))
+    return 0 if ok else 1
+
+
+def _cmd_campaign_faults(args: argparse.Namespace) -> int:
+    """Run a Monte-Carlo fault campaign and fold it into survival and
+    containment rates per fault kind (the EXPERIMENTS table source)."""
+    import json
+
+    from .generate import admit, fault_summary, generate_candidates
+    from .runner import SweepRunner
+    from .runner.cache import CheckCache
+
+    candidates = generate_candidates(args.seeds, "faults",
+                                     base_seed=args.base_seed)
+    specs, summary = admit(candidates, CheckCache(args.cache_dir))
+    print(f"fault campaign: {args.seeds} seeds, {len(specs)} admitted, "
+          f"{summary.rejected} rejected "
+          f"({summary.rejection_rate:.0%})", file=sys.stderr)
+    if not specs:
+        print("error: every generated candidate was rejected by admission",
+              file=sys.stderr)
+        return 2
+    runner = SweepRunner(workers=args.workers, cache_dir=args.cache_dir,
+                         strict=True)
+    report = runner.run(specs)
+    table = fault_summary(report["scenarios"], specs)
+    out = {"seeds": args.seeds, "base_seed": args.base_seed,
+           "admission": summary.as_dict(), "wall_s": report["wall_s"],
+           "errors": report["errors"], "faults": table}
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 1 if report["errors"] else 0
+    header = (f"{'fault':10s} {'runs':>5s} {'survived':>9s} "
+              f"{'delivering':>11s} {'survival':>9s} {'containment':>12s}")
+    print(header)
+    print("-" * len(header))
+    for kind, row in table.items():
+        contain = (f"{row['containment_rate']:.2f}"
+                   if row["containment_rate"] is not None else "n/a")
+        print(f"{kind:10s} {row['runs']:>5d} {row['survived']:>9d} "
+              f"{row['delivering']:>11d} {row['survival_rate']:>9.2f} "
+              f"{contain:>12s}")
+    print(f"({report['executed']} executed, {report['cache_hits']} warm, "
+          f"{report['wall_s']:.1f}s)")
+    return 1 if report["errors"] else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or empty the sweep result + template + check caches."""
     import json
@@ -892,10 +1072,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     stats = {"results": cache.stats(), "templates": store.stats(),
              "checks": checks.stats()}
+    # One-document campaign rollup: a thousand-scenario sweep wants a
+    # single set of totals, not three lists to re-aggregate.
+    stats["totals"] = {
+        "entries": sum(s["entries"] for s in
+                       (stats["results"], stats["templates"],
+                        stats["checks"])),
+        "total_bytes": sum(s["total_bytes"] for s in
+                           (stats["results"], stats["templates"],
+                            stats["checks"])),
+        "evictions": sum(s["evictions"] for s in
+                         (stats["results"], stats["templates"],
+                          stats["checks"])),
+        "check_hits": stats["checks"].get("hits", 0),
+        "check_misses": stats["checks"].get("misses", 0),
+        "scenarios": len(set().union(*(s["scenarios"]
+                                       for s in (stats["results"],
+                                                 stats["templates"],
+                                                 stats["checks"])))),
+    }
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
-    for label, s in stats.items():
+    for label in ("results", "templates", "checks"):
+        s = stats[label]
         print(f"{label} {s['root']}: {s['entries']} entries, "
               f"{s['total_bytes']:,} bytes "
               f"(cap {s['max_bytes']:,} bytes, "
@@ -903,11 +1103,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               + (f", {s['hits']} hit{'' if s['hits'] == 1 else 's'} / "
                  f"{s['misses']} miss{'' if s['misses'] == 1 else 'es'}"
                  if "hits" in s else ""))
-        for name, count in s["scenarios"].items():
+        shown = list(s["scenarios"].items())
+        omitted = len(shown) - 12
+        if omitted > 1:  # campaigns: don't print a thousand lines
+            shown = shown[:12]
+        for name, count in shown:
             print(f"  {name:28s} {count} entr{'y' if count == 1 else 'ies'}")
+        if omitted > 1:
+            print(f"  ... and {omitted} more scenarios")
         if s["oldest"]:
             print(f"  oldest: {s['oldest']}")
             print(f"  newest: {s['newest']}")
+    t = stats["totals"]
+    print(f"totals: {t['entries']} entries, {t['total_bytes']:,} bytes, "
+          f"{t['evictions']} eviction{'' if t['evictions'] == 1 else 's'}, "
+          f"{t['scenarios']} scenario{'' if t['scenarios'] == 1 else 's'}, "
+          f"check {t['check_hits']} hit{'' if t['check_hits'] == 1 else 's'} "
+          f"/ {t['check_misses']} "
+          f"miss{'' if t['check_misses'] == 1 else 'es'}")
     return 0
 
 
@@ -1017,6 +1230,13 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--no-ledger", action="store_true",
                          help="skip the durable run-ledger append for "
                               "this sweep's executions")
+    p_sweep.add_argument("--generated", type=int, default=0, metavar="N",
+                         help="run N seeded generated scenarios instead of "
+                              "the registry (admission-gated before any run)")
+    p_sweep.add_argument("--gen-profile", default="mixed", metavar="NAME",
+                         help="generator profile for --generated "
+                              "(mixed/small/large/faults/bench; "
+                              "default: mixed)")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_ledger = sub.add_parser(
@@ -1068,6 +1288,42 @@ def main(argv: list[str] | None = None) -> int:
                           metavar="PATH")
     p_lbench.add_argument("--json", action="store_true")
     p_lbench.set_defaults(func=_cmd_ledger_bench)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="generated campaigns: throughput bench, fault sweeps")
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_command",
+                                             required=True)
+    p_cbench = campaign_sub.add_parser(
+        "bench", help="guard: campaign throughput (cold/warm runs per "
+                      "second, batched-durability overhead)")
+    p_cbench.add_argument("--n", type=int, default=1000, metavar="N",
+                          help="generated candidates to run (default: 1000)")
+    p_cbench.add_argument("--profile", default="bench",
+                          help="generator profile (default: bench)")
+    p_cbench.add_argument("--base-seed", type=int, default=0)
+    p_cbench.add_argument("--workers", type=int, default=1,
+                          help="sweep worker processes (default: 1)")
+    p_cbench.add_argument("--repeat", type=int, default=3,
+                          help="best-of-N interleaved timing (default: 3)")
+    p_cbench.add_argument("--budget", type=float, default=1.05,
+                          help="max allowed cold-vs-bare overhead factor "
+                               "(default: 1.05)")
+    p_cbench.add_argument("--bench-out", default="BENCH_substrate.json",
+                          metavar="PATH")
+    p_cbench.add_argument("--json", action="store_true")
+    p_cbench.set_defaults(func=_cmd_campaign_bench)
+
+    p_cfaults = campaign_sub.add_parser(
+        "faults", help="Monte-Carlo fault campaign: survival/containment "
+                       "rates per fault kind")
+    p_cfaults.add_argument("--seeds", type=int, default=200, metavar="N",
+                           help="fault-profile candidates (default: 200)")
+    p_cfaults.add_argument("--base-seed", type=int, default=0)
+    p_cfaults.add_argument("--workers", type=int, default=1)
+    p_cfaults.add_argument("--cache-dir", default=".repro_cache",
+                           metavar="PATH")
+    p_cfaults.add_argument("--json", action="store_true")
+    p_cfaults.set_defaults(func=_cmd_campaign_faults)
 
     p_brt = sub.add_parser(
         "bench-runtime",

@@ -1,0 +1,38 @@
+"""Seeded procedural scenario generation for campaign-scale sweeps.
+
+The generator turns the scenario substrate inside out: instead of a
+hand-written registry of 16 configurations, ``(profile, seed)`` pairs
+deterministically mint N-node × M-VN × K-gateway relay-chain clusters
+— bounded random link specs, port sets, TDMA schedules, and optional
+Monte-Carlo fault plans — and the static verifier (SPEC/SCHED/FLOW
+rules) acts as the admission oracle: candidates whose drawn queue
+depths or temporal accuracies are infeasible are counted and rejected
+before any simulation.
+
+Entry points: :func:`generate_candidates` + :func:`admit` (used by
+``repro sweep --generated``), :func:`fault_summary` (used by ``repro
+campaign faults``), and :func:`build_generated` (the ``"generated"``
+scenario builder, registered lazily in the runner's builder registry).
+
+Determinism contract: the only randomness in this package is a
+``random.Random`` seeded from the scenario spec, enforced by the
+determinism lint (see :mod:`repro.check.determinism`).
+"""
+
+from .builder import build_generated
+from .campaign import AdmissionSummary, admit, fault_summary, generate_candidates
+from .params import PROFILES, GenProfile, profile_by_name
+from .topology import Topology, draw_topology
+
+__all__ = [
+    "AdmissionSummary",
+    "GenProfile",
+    "PROFILES",
+    "Topology",
+    "admit",
+    "build_generated",
+    "draw_topology",
+    "fault_summary",
+    "generate_candidates",
+    "profile_by_name",
+]

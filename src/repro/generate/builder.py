@@ -1,0 +1,312 @@
+"""Materialize a generated topology into a live simulator.
+
+``build_generated`` is the ``"generated"`` entry in the scenario
+builder registry: it re-draws the :class:`~repro.generate.topology.
+Topology` from the spec's seed and profile name (both plain data in
+the spec, so the draw replays identically in any worker process) and
+assembles it through the same :class:`~repro.systems.SystemBuilder`
+path the hand-written scenarios use — generated N×M×K clusters
+exercise exactly the gateway/VN/TDMA code the registry exercises.
+
+Every generated scenario maintains ``gen.*`` metrics counters
+(chain/noise deliveries, split at the fault-injection instant) so
+Monte-Carlo campaigns can aggregate survival and containment without
+parsing traces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..sim import Simulator, make_trace
+from .params import profile_by_name
+from .topology import Topology, draw_topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..messaging import MessageType
+    from ..runner.scenarios import ScenarioSpec
+
+__all__ = ["build_generated"]
+
+#: Element names shared by every chain hop message, so gateway rules
+#: convert them straight through (static key IDs differ per hop).
+_STATE_ELEMENT = "Val"
+_EVENT_ELEMENT = "Tick"
+
+
+def _hop_message(index: int, has_event: bool) -> "MessageType":
+    from ..messaging import (
+        ElementDef,
+        FieldDef,
+        IntType,
+        MessageType,
+        Semantics,
+        TimestampType,
+    )
+
+    elements = [
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True,
+                                    static_value=index + 1),)),
+        ElementDef(_STATE_ELEMENT, convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("v", IntType(16)),
+                           FieldDef("t_src", TimestampType(32)),)),
+    ]
+    if has_event:
+        elements.append(
+            ElementDef(_EVENT_ELEMENT, convertible=True,
+                       semantics=Semantics.EVENT,
+                       fields=(FieldDef("n", IntType(16)),)))
+    return MessageType(f"msgHop{index}", elements=tuple(elements))
+
+
+def _noise_message(index: int) -> "MessageType":
+    from ..messaging import (
+        ElementDef,
+        FieldDef,
+        IntType,
+        MessageType,
+        Semantics,
+        TimestampType,
+    )
+
+    return MessageType(f"msgNoise{index}", elements=(
+        ElementDef("Name", key=True,
+                   fields=(FieldDef("ID", IntType(16), static=True,
+                                    static_value=100 + index),)),
+        ElementDef(_STATE_ELEMENT, convertible=True, semantics=Semantics.STATE,
+                   fields=(FieldDef("v", IntType(16)),
+                           FieldDef("t_src", TimestampType(32)),)),
+    ))
+
+
+def build_generated(spec: "ScenarioSpec") -> Simulator:
+    """Build the generated scenario ``spec`` describes."""
+    from ..messaging import Semantics
+    from ..platform import Job
+    from ..spec import (
+        ControlParadigm,
+        Direction,
+        ETTiming,
+        InteractionType,
+        LinkSpec,
+        PortSpec,
+        TTTiming,
+    )
+    from ..systems import GatewayDecl, SystemBuilder
+
+    profile = profile_by_name(str(spec.param("gen_profile", "mixed")))
+    topo: Topology = draw_topology(spec.seed, profile)
+    fault_at = topo.fault.at_ns if topo.fault is not None else None
+
+    chain_messages = [_hop_message(i, topo.has_event_element)
+                      for i in range(len(topo.chain_vns))]
+
+    class GenSender(Job):
+        """ET producer at the head of the relay chain.  The integer
+        ``period`` attribute is the contract JobTimingFailure distorts."""
+
+        def __init__(self, jsim: Any, name: str, das: Any, partition: Any,
+                     message: Any = chain_messages[0],
+                     message_name: str = chain_messages[0].name,
+                     period: int = topo.sender_period_ns,
+                     has_event: bool = topo.has_event_element) -> None:
+            super().__init__(jsim, name, das, partition)
+            self.vn: Any = None
+            self.message = message
+            self.message_name = message_name
+            self.period = period
+            self.has_event = has_event
+            self.sent = 0
+            self._last: int | None = None
+
+        def on_step(self) -> None:
+            if self.vn is None:
+                return
+            now = self.sim.now
+            if self._last is not None and now - self._last < self.period:
+                return
+            self._last = now
+            self.sent += 1
+            payload: dict[str, dict[str, int]] = {
+                _STATE_ELEMENT: {"v": self.sent % 100,
+                                 "t_src": (now // 1000) % 2**32},
+            }
+            if self.has_event:
+                payload[_EVENT_ELEMENT] = {"n": self.sent % 100}
+            self.vn.send(self.message_name,
+                         self.message.instance(**payload),
+                         sender_job=self.name)
+
+    class GenConsumer(Job):
+        """Terminal/noise consumer feeding the ``gen.*`` campaign
+        counters, split at the fault instant for survival stats."""
+
+        def __init__(self, jsim: Any, name: str, das: Any, partition: Any,
+                     counter: str = "chain") -> None:
+            super().__init__(jsim, name, das, partition)
+            self.counter = counter
+            self.deliveries = 0
+            self._last_v: int | None = None
+
+        def on_message(self, port_name: str, instance: Any,
+                       arrival: int) -> None:
+            self.deliveries += 1
+            self.sim.metrics.inc(f"gen.{self.counter}_deliveries")
+            # TT state semantics re-dispatch the last value after an
+            # upstream crash (fail-silent staleness), so post-fault
+            # survival is split into raw deliveries vs *fresh* values.
+            value = instance.get(_STATE_ELEMENT, "v")
+            fresh = value != self._last_v
+            self._last_v = value
+            if fault_at is not None and self.sim.now >= fault_at:
+                self.sim.metrics.inc(f"gen.{self.counter}_post_fault")
+                if fresh:
+                    self.sim.metrics.inc(f"gen.{self.counter}_fresh_post_fault")
+
+    sim = Simulator(seed=spec.seed, trace=make_trace(spec.trace_mode))
+    builder = SystemBuilder(sim=sim)
+    for node in topo.nodes:
+        builder.add_node(node)
+    for vn in topo.chain_vns:
+        builder.add_das(vn.name, ControlParadigm.TIME_TRIGGERED
+                        if vn.kind == "TT" else ControlParadigm.EVENT_TRIGGERED)
+    for ns in topo.noise:
+        builder.add_das(ns.vn, ControlParadigm.EVENT_TRIGGERED)
+
+    # --- chain endpoints ----------------------------------------------
+    head = topo.chain_vns[0]
+    builder.add_job(
+        "sender", head.name, topo.sender_node,
+        lambda s, n, d, p: GenSender(s, n, d, p),
+        ports=(PortSpec(message_type=chain_messages[0],
+                        direction=Direction.OUTPUT,
+                        semantics=Semantics.EVENT,
+                        control=ControlParadigm.EVENT_TRIGGERED,
+                        et=ETTiming(min_interarrival=topo.sender_period_ns),
+                        queue_depth=32),),
+    )
+    last_hop = topo.hops[-1]
+    tail = topo.chain_vns[-1]
+    builder.add_job(
+        "consumer", tail.name, topo.consumer_node,
+        lambda s, n, d, p: GenConsumer(s, n, d, p, counter="chain"),
+        ports=(PortSpec(message_type=chain_messages[-1],
+                        direction=Direction.INPUT,
+                        semantics=Semantics.STATE,
+                        control=ControlParadigm.TIME_TRIGGERED,
+                        tt=TTTiming(period=last_hop.dst_period_ns),
+                        interaction=InteractionType.PUSH,
+                        temporal_accuracy=topo.terminal_d_acc_ns),),
+    )
+
+    # --- the gateway relay chain --------------------------------------
+    # ``rate`` tracks the message interarrival entering each hop: the
+    # sender's period at hop 0, replaced by the TT dispatch period after
+    # every TT destination (the declared min_interarrival on ET input
+    # ports downstream — FLOW003's denominator).
+    rate = topo.sender_period_ns
+    prev_period = 0
+    prev_d_acc = 0
+    for hop in topo.hops:
+        src_vn = topo.chain_vns[hop.index]
+        dst_vn = topo.chain_vns[hop.index + 1]
+        src_msg = chain_messages[hop.index]
+        dst_msg = chain_messages[hop.index + 1]
+        if src_vn.kind == "ET":
+            in_port = PortSpec(message_type=src_msg, direction=Direction.INPUT,
+                               semantics=Semantics.EVENT,
+                               control=ControlParadigm.EVENT_TRIGGERED,
+                               et=ETTiming(min_interarrival=rate),
+                               queue_depth=hop.src_queue_depth)
+        else:
+            in_port = PortSpec(message_type=src_msg, direction=Direction.INPUT,
+                               semantics=Semantics.STATE,
+                               control=ControlParadigm.TIME_TRIGGERED,
+                               tt=TTTiming(period=prev_period),
+                               interaction=InteractionType.PUSH,
+                               temporal_accuracy=prev_d_acc)
+        if hop.dst_kind == "TT":
+            out_port = PortSpec(message_type=dst_msg,
+                                direction=Direction.OUTPUT,
+                                semantics=Semantics.STATE,
+                                control=ControlParadigm.TIME_TRIGGERED,
+                                tt=TTTiming(period=hop.dst_period_ns),
+                                temporal_accuracy=hop.dst_d_acc_ns)
+            rate = hop.dst_period_ns
+            prev_period = hop.dst_period_ns
+            prev_d_acc = hop.dst_d_acc_ns
+        else:
+            out_port = PortSpec(message_type=dst_msg,
+                                direction=Direction.OUTPUT,
+                                semantics=Semantics.EVENT,
+                                control=ControlParadigm.EVENT_TRIGGERED,
+                                et=ETTiming(min_interarrival=rate),
+                                queue_depth=hop.dst_queue_depth)
+        builder.add_gateway(GatewayDecl(
+            name=f"gw{hop.index}", host=hop.host,
+            das_a=src_vn.name, das_b=dst_vn.name,
+            link_a=LinkSpec(das=src_vn.name, ports=(in_port,)),
+            link_b=LinkSpec(das=dst_vn.name, ports=(out_port,)),
+            rules=[(src_msg.name, dst_msg.name, "a_to_b", None)],
+        ))
+
+    # --- background noise traffic -------------------------------------
+    for j, ns in enumerate(topo.noise):
+        msg = _noise_message(j)
+        builder.add_job(
+            f"noise{j}-sender", ns.vn, ns.sender_node,
+            lambda s, n, d, p, m=msg, period=ns.period_ns:
+                GenSender(s, n, d, p, message=m, message_name=m.name,
+                          period=period, has_event=False),
+            ports=(PortSpec(message_type=msg, direction=Direction.OUTPUT,
+                            semantics=Semantics.EVENT,
+                            control=ControlParadigm.EVENT_TRIGGERED,
+                            et=ETTiming(min_interarrival=ns.period_ns),
+                            queue_depth=32),),
+        )
+        builder.add_job(
+            f"noise{j}-consumer", ns.vn, ns.consumer_node,
+            lambda s, n, d, p: GenConsumer(s, n, d, p, counter="noise"),
+            ports=(PortSpec(message_type=msg, direction=Direction.INPUT,
+                            semantics=Semantics.EVENT,
+                            control=ControlParadigm.EVENT_TRIGGERED,
+                            queue_depth=32),),
+        )
+
+    system = builder.build()
+    system.start()
+    sender = system.job("sender")
+    sender.vn = system.vn(head.name)
+    for j, ns in enumerate(topo.noise):
+        noise_sender = system.job(f"noise{j}-sender")
+        noise_sender.vn = system.vn(ns.vn)
+
+    # --- the Monte-Carlo fault plan -----------------------------------
+    if topo.fault is not None:
+        from ..faults import (
+            BabblingIdiot,
+            ComponentCrash,
+            FaultInjector,
+            JobTimingFailure,
+        )
+
+        plan = topo.fault
+        injector = FaultInjector(sim, name="gen-injector")
+        if plan.kind == "crash":
+            injector.inject_at(
+                ComponentCrash(name=f"crash.{plan.target}",
+                               component=system.component(plan.target)),
+                at=plan.at_ns)
+        elif plan.kind == "babble":
+            injector.inject_at(
+                BabblingIdiot(name=f"babble.{plan.target}",
+                              controller=system.cluster.controller(plan.target),
+                              burst_period=plan.burst_period_ns),
+                at=plan.at_ns, until=plan.until_ns)
+        else:
+            injector.inject_at(
+                JobTimingFailure(name="timing.sender", job=sender,
+                                 speedup=plan.speedup),
+                at=plan.at_ns, until=plan.until_ns)
+    return sim

@@ -1,0 +1,182 @@
+"""Campaign assembly: candidate streams, admission gating, aggregation.
+
+``generate_candidates`` mints seeded :class:`ScenarioSpec`\\ s whose
+only generator-specific payload is the profile name — the topology is
+re-drawn from the spec seed wherever the spec lands.  ``admit`` runs
+every candidate through the static verifier (the SPEC/SCHED/FLOW
+admission rules, served through the digest-keyed check cache) and
+splits the stream into runnable scenarios and counted rejections;
+rejected configurations are **never** simulated.  ``fault_summary``
+folds a finished Monte-Carlo campaign's ``gen.*`` metrics counters
+into per-fault-kind survival/containment statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..runner.scenarios import ScenarioSpec, derive_seed
+from .params import GenProfile, profile_by_name
+from .topology import draw_topology
+
+__all__ = [
+    "AdmissionSummary",
+    "admit",
+    "fault_summary",
+    "generate_candidates",
+]
+
+
+def generate_candidates(count: int, profile: str | GenProfile = "mixed",
+                        base_seed: int = 0) -> list[ScenarioSpec]:
+    """Mint ``count`` candidate specs for a profile.
+
+    Names embed the profile and campaign seed, and per-candidate seeds
+    are hash-derived from the name (like the registry), so candidate
+    ``i`` of campaign ``(profile, base_seed)`` is globally stable: the
+    same triple always denotes the same topology.
+    """
+    prof = profile if isinstance(profile, GenProfile) else profile_by_name(profile)
+    specs = []
+    for i in range(count):
+        name = f"gen-{prof.name}-{base_seed}-{i:05d}"
+        specs.append(ScenarioSpec(
+            name=name,
+            builder="generated",
+            horizon_ns=prof.horizon_ns,
+            seed=derive_seed(name, base_seed),
+            trace_mode=prof.trace_mode,
+            # round_template is pinned here (not left for the sweep
+            # runner's pin) so admission and pre-flight key the check
+            # cache under the same spec digest — one entry per
+            # candidate, warm on both paths.
+            params=(("gen_profile", prof.name), ("round_template", True)),
+            tags=("generated", prof.name),
+        ))
+    return specs
+
+
+@dataclass
+class AdmissionSummary:
+    """What the oracle did to a candidate stream."""
+
+    total: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    #: rejecting rule -> count (a rejected candidate counts once per
+    #: distinct rule it violated; ``BUILD`` marks builder crashes)
+    rejected_rules: dict[str, int] = field(default_factory=dict)
+    rejected_names: list[str] = field(default_factory=list)
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "rejection_rate": round(self.rejection_rate, 4),
+            "rejected_rules": dict(sorted(self.rejected_rules.items())),
+        }
+
+
+def admit(specs: list[ScenarioSpec],
+          cache: object | None = None) -> tuple[list[ScenarioSpec], AdmissionSummary]:
+    """Gate candidates through the static verifier; never run rejects.
+
+    ``cache`` is an optional :class:`repro.runner.cache.CheckCache`:
+    with it, re-admitting an unchanged candidate (same spec digest +
+    code digest) rehydrates its stored diagnostics in O(1) — which also
+    makes a subsequent ``--strict`` pre-flight over the admitted set
+    warm.  Rejection is exactly the pre-flight criterion (any
+    error-severity diagnostic), so nothing that passes admission can
+    fail ``--strict`` later: zero gate escapes by construction.
+    """
+    from ..check.diagnostics import Severity
+    from ..check.targets import cached_scenario_diagnostics
+
+    code = ""
+    if cache is not None:
+        from ..runner.cache import code_digest
+
+        code = code_digest()
+    summary = AdmissionSummary(total=len(specs))
+    admitted: list[ScenarioSpec] = []
+    for spec in specs:
+        try:
+            diags = cached_scenario_diagnostics(spec, cache, code)
+            errors = sorted({d.rule for d in diags
+                             if d.severity is Severity.ERROR})
+        except Exception:  # a crashing builder is a rejection, not an abort
+            errors = ["BUILD"]
+        if errors:
+            summary.rejected += 1
+            summary.rejected_names.append(spec.name)
+            for rule in errors:
+                summary.rejected_rules[rule] = summary.rejected_rules.get(rule, 0) + 1
+        else:
+            summary.admitted += 1
+            admitted.append(spec)
+    return admitted, summary
+
+
+def fault_summary(results: list[dict], specs: list[ScenarioSpec]) -> dict:
+    """Survival/containment statistics for a finished fault campaign.
+
+    For each run the topology is re-drawn from its spec (cheap, pure)
+    to learn which fault it carried; the run's ``gen.*`` counters then
+    classify it:
+
+    * **survived** — the relay chain delivered *fresh* values after the
+      fault instant (``gen.chain_fresh_post_fault > 0``; plain
+      ``delivering`` additionally counts TT state re-dispatch of stale
+      values, the fail-silent masking the paper's state semantics
+      provide),
+    * **contained** — background traffic on fault-disjoint VNs kept
+      flowing after the fault (``gen.noise_post_fault > 0``; only runs
+      that have noise VNs enter this denominator).
+    """
+    by_name = {spec.name: spec for spec in specs}
+    kinds: dict[str, dict[str, int]] = {}
+    for result in results:
+        spec = by_name.get(result.get("name", ""))
+        if spec is None or "error" in result:
+            continue
+        topo = draw_topology(spec.seed,
+                             profile_by_name(str(spec.param("gen_profile",
+                                                            "mixed"))))
+        kind = topo.fault.kind if topo.fault is not None else "none"
+        bucket = kinds.setdefault(kind, {
+            "runs": 0, "survived": 0, "delivering": 0,
+            "containment_runs": 0, "contained": 0,
+        })
+        snapshot = result.get("metrics", {}) or {}
+        metrics = snapshot.get("counters", snapshot)
+        bucket["runs"] += 1
+        if topo.fault is None:
+            survived = delivering = metrics.get("gen.chain_deliveries", 0) > 0
+        else:
+            # "delivering" counts TT state re-dispatch of stale values
+            # (fail-silent masking); "survived" demands fresh values.
+            survived = metrics.get("gen.chain_fresh_post_fault", 0) > 0
+            delivering = metrics.get("gen.chain_post_fault", 0) > 0
+        if survived:
+            bucket["survived"] += 1
+        if delivering:
+            bucket["delivering"] += 1
+        if topo.noise:
+            bucket["containment_runs"] += 1
+            if topo.fault is None or metrics.get("gen.noise_post_fault", 0) > 0:
+                bucket["contained"] += 1
+    out: dict[str, dict] = {}
+    for kind, bucket in sorted(kinds.items()):
+        entry: dict[str, object] = dict(bucket)
+        entry["survival_rate"] = (round(bucket["survived"] / bucket["runs"], 4)
+                                  if bucket["runs"] else 0.0)
+        entry["containment_rate"] = (
+            round(bucket["contained"] / bucket["containment_runs"], 4)
+            if bucket["containment_runs"] else None)
+        out[kind] = entry
+    return out

@@ -1,0 +1,83 @@
+"""The generator's parameter space: named, bounded campaign profiles.
+
+A profile is pure data describing the *bounds* of the procedural draw —
+node counts, virtual-network counts, gateway-chain lengths, the period
+and queue-depth palettes, temporal-accuracy choices, and the fault-
+campaign mix.  The draw itself (:mod:`repro.generate.topology`) is a
+pure function of ``(seed, profile)``: a scenario spec only needs to
+carry the profile *name*, and every worker process re-derives the
+identical topology from the scenario seed.
+
+All times are nanoseconds (the simulator's unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim import MS
+
+__all__ = ["GenProfile", "PROFILES", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class GenProfile:
+    """Bounds of the procedural draw for one campaign flavor."""
+
+    name: str
+    #: inclusive (lo, hi) bounds on cluster node count N
+    nodes: tuple[int, int]
+    #: inclusive (lo, hi) bounds on virtual-network count M (>= 2)
+    vns: tuple[int, int]
+    #: inclusive (lo, hi) bounds on gateway-chain length K (clamped to M-1)
+    gateways: tuple[int, int]
+    #: run horizon of every generated scenario
+    horizon_ns: int
+    #: palette of TT dispatch periods for chain hops and noise traffic
+    periods_ns: tuple[int, ...] = (5 * MS, 10 * MS, 20 * MS, 40 * MS)
+    #: palette of ET sender periods (also the declared min_interarrival)
+    sender_periods_ns: tuple[int, ...] = (2 * MS, 3 * MS, 5 * MS, 7 * MS, 10 * MS)
+    #: palette of event queue depths (FLOW003's rejection surface)
+    queue_depths: tuple[int, ...] = (2, 4, 8, 16, 32)
+    #: palette of terminal temporal accuracies (FLOW002's rejection surface)
+    d_acc_ns: tuple[int, ...] = (30 * MS, 60 * MS, 120 * MS, 250 * MS, 500 * MS)
+    #: palette of intermediate-hop temporal accuracies (they feed the
+    #: age bound of everything downstream, so they stay moderate)
+    hop_d_acc_ns: tuple[int, ...] = (60 * MS, 100 * MS, 150 * MS)
+    #: probability the chain also relays an event-semantic element
+    #: (arming the FLOW003 queue-pressure check on TT-destination hops)
+    event_element_rate: float = 0.5
+    #: probability a candidate carries a fault plan (Monte-Carlo mode)
+    fault_rate: float = 0.0
+    #: trace mode of generated scenarios (counters keeps digests cheap)
+    trace_mode: str = "counters"
+
+
+#: The built-in campaign profiles, by name.
+PROFILES: dict[str, GenProfile] = {
+    p.name: p
+    for p in (
+        GenProfile(name="mixed", nodes=(3, 8), vns=(2, 5), gateways=(1, 3),
+                   horizon_ns=120 * MS),
+        GenProfile(name="small", nodes=(3, 4), vns=(2, 3), gateways=(1, 2),
+                   horizon_ns=80 * MS),
+        GenProfile(name="large", nodes=(6, 12), vns=(4, 8), gateways=(2, 5),
+                   horizon_ns=150 * MS),
+        GenProfile(name="faults", nodes=(3, 8), vns=(2, 5), gateways=(1, 3),
+                   horizon_ns=200 * MS, fault_rate=1.0),
+        # Throughput benchmarking: small clusters, short horizon, so the
+        # measured runs/s isolates the campaign engine's constant costs.
+        GenProfile(name="bench", nodes=(3, 5), vns=(2, 3), gateways=(1, 2),
+                   horizon_ns=60 * MS),
+    )
+}
+
+
+def profile_by_name(name: str) -> GenProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown generator profile {name!r} (known: {sorted(PROFILES)})"
+        ) from None

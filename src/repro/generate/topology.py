@@ -1,0 +1,195 @@
+"""Deterministic topology draws: ``(seed, profile) -> Topology``.
+
+The draw is the generator's only source of randomness, and it is a
+pure function: one ``random.Random(seed)`` instance, consumed in a
+fixed order, produces every structural choice — node count, the
+virtual-network relay chain, per-hop link specs, noise traffic, and
+the optional fault plan.  The resulting :class:`Topology` is plain
+frozen data, so two draws from the same seed compare equal and the
+builder (:mod:`repro.generate.builder`) rebuilds byte-identical
+simulators in every worker process.
+
+The draw is *bounded but not admissible by construction*: queue depths
+and temporal accuracies are sampled from palettes wide enough that a
+fraction of candidates violates the FLOW admission rules (gateway
+buffer pressure FLOW003, end-to-end age FLOW002).  That is the point —
+the static verifier is the oracle that separates runnable
+configurations from rejected ones (see :mod:`repro.generate.campaign`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from .params import GenProfile
+
+__all__ = ["FaultPlan", "HopSpec", "NoiseSpec", "Topology", "VNSpec", "draw_topology"]
+
+
+@dataclass(frozen=True)
+class VNSpec:
+    """One virtual network (= one DAS) in the generated cluster."""
+
+    name: str
+    kind: str  # "TT" | "ET"
+
+
+@dataclass(frozen=True)
+class HopSpec:
+    """Gateway ``i`` relaying ``msgHop{i}`` (chain VN ``i``) into
+    ``msgHop{i+1}`` (chain VN ``i+1``)."""
+
+    index: int
+    host: str
+    #: depth of the ET-side input port (meaningful when the source VN
+    #: is ET; this is FLOW003's queue under pressure)
+    src_queue_depth: int
+    dst_kind: str  # kind of chain VN i+1
+    #: TT dispatch period of the destination port (TT destinations)
+    dst_period_ns: int
+    #: temporal accuracy declared on the destination port (TT destinations)
+    dst_d_acc_ns: int
+    #: depth of the ET-side output port (ET destinations)
+    dst_queue_depth: int
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Background ET traffic on a VN disjoint from the relay chain —
+    the containment witness in fault campaigns."""
+
+    vn: str
+    sender_node: str
+    consumer_node: str
+    period_ns: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The Monte-Carlo fault draw: what breaks, where, and when."""
+
+    kind: str  # "crash" | "babble" | "timing"
+    target: str  # node name (crash/babble) or job name (timing)
+    at_ns: int
+    until_ns: int | None = None
+    burst_period_ns: int = 50_000  # babble only
+    speedup: float = 4.0  # timing only
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Everything the builder needs, as comparable frozen data."""
+
+    seed: int
+    profile: str
+    nodes: tuple[str, ...]
+    #: the relay chain, length K+1; chain_vns[0] is ET (the sender's
+    #: DAS), chain_vns[-1] is TT (the terminal consumer's DAS)
+    chain_vns: tuple[VNSpec, ...]
+    hops: tuple[HopSpec, ...]  # length K
+    sender_node: str
+    sender_period_ns: int
+    consumer_node: str
+    #: temporal accuracy the terminal consumer demands end to end
+    #: (FLOW002 rejects chains whose age bound exceeds it)
+    terminal_d_acc_ns: int
+    #: whether chain messages carry an event-semantic ``Tick`` element
+    #: (arming FLOW003 on every TT-destination hop)
+    has_event_element: bool
+    noise: tuple[NoiseSpec, ...]
+    fault: FaultPlan | None
+
+
+_BURST_PERIODS_NS = (20_000, 50_000, 100_000)
+_TIMING_SPEEDUPS = (2.0, 4.0, 8.0)
+
+
+def draw_topology(seed: int, profile: GenProfile) -> Topology:
+    """Draw one candidate topology; pure in ``(seed, profile)``."""
+    rng = Random(seed)
+
+    n_nodes = rng.randint(*profile.nodes)
+    n_vns = rng.randint(*profile.vns)
+    chain_len = max(1, min(rng.randint(*profile.gateways), n_vns - 1))
+    nodes = tuple(f"node{i}" for i in range(n_nodes))
+
+    # --- the relay chain: ET entry, drawn middle, TT terminal ---------
+    kinds = ["ET"]
+    for _ in range(chain_len - 1):
+        kinds.append("TT" if rng.random() < 0.5 else "ET")
+    kinds.append("TT")
+    chain_vns = tuple(VNSpec(name=f"vn{i}", kind=kind)
+                      for i, kind in enumerate(kinds))
+
+    sender_node = rng.choice(nodes)
+    sender_period = rng.choice(profile.sender_periods_ns)
+    consumer_node = rng.choice(nodes)
+    terminal_d_acc = rng.choice(profile.d_acc_ns)
+    has_event = rng.random() < profile.event_element_rate
+
+    hops = []
+    for i in range(chain_len):
+        dst = chain_vns[i + 1]
+        terminal = i == chain_len - 1
+        hops.append(HopSpec(
+            index=i,
+            host=rng.choice(nodes),
+            src_queue_depth=rng.choice(profile.queue_depths),
+            dst_kind=dst.kind,
+            dst_period_ns=(rng.choice(profile.periods_ns)
+                           if dst.kind == "TT" else 0),
+            dst_d_acc_ns=(terminal_d_acc if terminal
+                          else rng.choice(profile.hop_d_acc_ns)),
+            dst_queue_depth=rng.choice(profile.queue_depths),
+        ))
+
+    # --- background ET traffic on the VNs the chain does not use ------
+    noise = tuple(
+        NoiseSpec(
+            vn=f"noise{j}",
+            sender_node=rng.choice(nodes),
+            consumer_node=rng.choice(nodes),
+            period_ns=rng.choice(profile.sender_periods_ns),
+        )
+        for j in range(n_vns - chain_len - 1)
+    )
+
+    # --- the Monte-Carlo fault draw -----------------------------------
+    fault: FaultPlan | None = None
+    if rng.random() < profile.fault_rate:
+        kind = rng.choice(("crash", "babble", "timing"))
+        at = rng.randint(int(profile.horizon_ns * 0.3),
+                         int(profile.horizon_ns * 0.6))
+        if kind == "crash":
+            # Crash something load-bearing: the sender's node or a
+            # gateway host, so the chain actually loses a stage.
+            target = rng.choice([sender_node] + [h.host for h in hops])
+            fault = FaultPlan(kind=kind, target=target, at_ns=at)
+        elif kind == "babble":
+            until = at + rng.randint(profile.horizon_ns // 10,
+                                     profile.horizon_ns // 4)
+            fault = FaultPlan(kind=kind, target=rng.choice(nodes), at_ns=at,
+                              until_ns=until,
+                              burst_period_ns=rng.choice(_BURST_PERIODS_NS))
+        else:
+            until = at + rng.randint(profile.horizon_ns // 10,
+                                     profile.horizon_ns // 4)
+            fault = FaultPlan(kind=kind, target="sender", at_ns=at,
+                              until_ns=until,
+                              speedup=rng.choice(_TIMING_SPEEDUPS))
+
+    return Topology(
+        seed=seed,
+        profile=profile.name,
+        nodes=nodes,
+        chain_vns=chain_vns,
+        hops=tuple(hops),
+        sender_node=sender_node,
+        sender_period_ns=sender_period,
+        consumer_node=consumer_node,
+        terminal_d_acc_ns=terminal_d_acc,
+        has_event_element=has_event,
+        noise=noise,
+        fault=fault,
+    )

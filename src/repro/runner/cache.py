@@ -107,9 +107,27 @@ class _DirCache:
                  max_bytes: int = DEFAULT_CACHE_MAX_BYTES) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
+        # In-instance incremental index (filename -> byte size, oldest
+        # first): loaded with one directory scan on the first write,
+        # then maintained across puts, so storing N entries costs O(N)
+        # instead of the O(N^2) a per-put rescan gives at campaign
+        # scale.  Advisory only — other processes mutating the directory
+        # at worst skew eviction order, never correctness.
+        self._index: dict[str, int] | None = None
+        self._index_total = 0
+        self._by_scenario: dict[str, str] = {}
 
     def path_for(self, spec: ScenarioSpec, key: str) -> Path:
         return self.root / f"{spec.name}-{key}.json"
+
+    @staticmethod
+    def _scenario_of(filename: str) -> str | None:
+        """Scenario name encoded in ``<scenario>-<24 hex>.json``, or
+        ``None`` for files not following the entry naming scheme."""
+        stem = filename[:-5] if filename.endswith(".json") else filename
+        if len(stem) > 25 and stem[-25] == "-" and "-" not in stem[-24:]:
+            return stem[:-25]
+        return None
 
     # -- eviction bookkeeping ------------------------------------------
     @property
@@ -142,21 +160,93 @@ class _DirCache:
             return None
         return payload
 
+    def _load_index(self) -> None:
+        """One-time directory scan seeding the incremental index."""
+        if self._index is not None:
+            return
+        self._index = {}
+        self._index_total = 0
+        self._by_scenario = {}
+        for path in self.entries():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            self._index[path.name] = size
+            self._index_total += size
+            scenario = self._scenario_of(path.name)
+            if scenario is not None:
+                self._by_scenario[scenario] = path.name
+
+    def _drop_index(self) -> None:
+        """Forget the index after an out-of-band directory mutation."""
+        self._index = None
+        self._index_total = 0
+        self._by_scenario = {}
+
     def _write(self, spec: ScenarioSpec, key: str, payload: dict,
                indent: int | None = 2) -> Path:
+        return self.put_entries([(spec, key, payload)], indent=indent)[0]
+
+    def put_entries(self, items: list[tuple[ScenarioSpec, str, dict]],
+                    indent: int | None = 2) -> list[Path]:
+        """Store a batch of entries with O(1)-amortized bookkeeping.
+
+        Stale same-scenario entries (older code states) are reaped via
+        the index instead of a directory glob, and the size-cap
+        eviction walks the index's oldest end instead of re-stat-ing
+        every file.  The end state matches the equivalent sequence of
+        single ``put`` calls exactly: the newest entry is never
+        evicted, older batch entries are fair game once the cap is hit.
+        """
+        self._load_index()
+        assert self._index is not None
         self.root.mkdir(parents=True, exist_ok=True)
-        for stale in self.root.glob(f"{spec.name}-*.json"):
-            suffix = stale.stem.removeprefix(f"{spec.name}-")
-            # Only reap true older keys of THIS scenario, not entries of
-            # another scenario whose name happens to share the prefix.
-            if suffix != key and len(suffix) == 24 and not suffix.count("-"):
-                stale.unlink(missing_ok=True)
-        path = self.path_for(spec, key)
-        path.write_text(json.dumps(
-            dict(payload, key=key), indent=indent, sort_keys=True,
-        ) + "\n")
-        self.evict_to_cap(keep=path)
-        return path
+        written: list[Path] = []
+        for spec, key, payload in items:
+            filename = f"{spec.name}-{key}.json"
+            stale = self._by_scenario.get(spec.name)
+            # Only reap true older keys of THIS scenario, never entries
+            # of another scenario whose name shares the prefix (the
+            # index maps exact scenario names, so that holds by
+            # construction).
+            if stale is not None and stale != filename:
+                (self.root / stale).unlink(missing_ok=True)
+                self._index_total -= self._index.pop(stale, 0)
+            data = json.dumps(dict(payload, key=key), indent=indent,
+                              sort_keys=True) + "\n"
+            path = self.root / filename
+            path.write_text(data)
+            size = len(data.encode())
+            # re-insert at the newest end of the (insertion-ordered) index
+            self._index_total -= self._index.pop(filename, 0)
+            self._index[filename] = size
+            self._index_total += size
+            self._by_scenario[spec.name] = filename
+            written.append(path)
+        self._evict_indexed(
+            protect={written[-1].name} if written else set())
+        return written
+
+    def _evict_indexed(self, protect: set[str]) -> int:
+        """Evict oldest indexed entries until the total fits the cap."""
+        assert self._index is not None
+        if self.max_bytes is None or self.max_bytes <= 0:
+            return 0
+        removed = 0
+        for filename in list(self._index):
+            if self._index_total <= self.max_bytes:
+                break
+            if filename in protect:
+                continue
+            (self.root / filename).unlink(missing_ok=True)
+            self._index_total -= self._index.pop(filename)
+            scenario = self._scenario_of(filename)
+            if scenario is not None and self._by_scenario.get(scenario) == filename:
+                del self._by_scenario[scenario]
+            removed += 1
+        self._count_evictions(removed)
+        return removed
 
     def clear(self) -> int:
         """Delete every entry (and the meta sidecar); returns how many
@@ -169,6 +259,7 @@ class _DirCache:
                     continue
                 path.unlink(missing_ok=True)
                 n += 1
+        self._drop_index()
         return n
 
     def entries(self) -> list[Path]:
@@ -197,6 +288,8 @@ class _DirCache:
             total -= size
             removed += 1
         self._count_evictions(removed)
+        if removed:
+            self._drop_index()
         return removed
 
     def stats(self) -> dict:
@@ -234,6 +327,14 @@ class ResultCache(_DirCache):
     def put(self, spec: ScenarioSpec, key: str, result: dict) -> Path:
         return self._write(spec, key, {"spec": spec.as_dict(),
                                        "result": result})
+
+    def put_many(self, items: list[tuple[ScenarioSpec, str, dict]]) -> list[Path]:
+        """Batch store: one index pass and one eviction sweep for the
+        whole chunk (the sweep runner's campaign write path)."""
+        return self.put_entries([
+            (spec, key, {"spec": spec.as_dict(), "result": result})
+            for spec, key, result in items
+        ])
 
 
 class TemplateStore(_DirCache):

@@ -53,6 +53,17 @@ def _process_code_digest() -> str:
     return code_digest()
 
 
+@lru_cache(maxsize=8)
+def _process_template_store(root: str) -> TemplateStore:
+    """Per-process persistent :class:`TemplateStore` (one per root).
+
+    Worker state that amortizes across a campaign: the store's
+    incremental directory index survives between the scenarios a
+    worker executes, so a thousand template writes cost one directory
+    scan instead of a thousand."""
+    return TemplateStore(root)
+
+
 def trace_digest(sim) -> str:
     """Deterministic digest of a finished run's observable behaviour.
 
@@ -86,13 +97,29 @@ def run_scenario(spec: ScenarioSpec,
     appended to that file.  Append failures never fail the run — the
     result instead carries a ``ledger_error`` field.
     """
+    result = _execute_scenario(spec, template_root)
+    if ledger_path is not None:
+        from ..ledger import RunLedger, record_from_result
+
+        try:
+            RunLedger(ledger_path).append(
+                record_from_result(spec, result, _process_code_digest()))
+        except OSError as exc:
+            result["ledger_error"] = str(exc)
+    return result
+
+
+def _execute_scenario(spec: ScenarioSpec,
+                      template_root: str | None = None) -> dict:
+    """Build, run, and summarize one scenario — no ledger side effects
+    (chunked execution batches those; see :func:`_pool_worker_chunk`)."""
     t0 = time.perf_counter()
     sim = build_scenario(spec)
     engine = sim.round_template
     store = tpl_key = None
     tpl_hit = False
     if template_root is not None:
-        store = TemplateStore(template_root)
+        store = _process_template_store(template_root)
         tpl_key = template_key(spec, _process_code_digest())
         bank = store.get(spec, tpl_key)
         tpl_hit = bank is not None
@@ -135,14 +162,6 @@ def run_scenario(spec: ScenarioSpec,
         from ..analysis.flows import FlowSet
 
         result["flows"] = FlowSet.from_trace(sim.trace).summary()
-    if ledger_path is not None:
-        from ..ledger import RunLedger, record_from_result
-
-        try:
-            RunLedger(ledger_path).append(
-                record_from_result(spec, result, _process_code_digest()))
-        except OSError as exc:
-            result["ledger_error"] = str(exc)
     return result
 
 
@@ -150,19 +169,52 @@ def _pool_worker(spec: ScenarioSpec,
                  template_root: str | None = None,
                  ledger_path: str | None = None) -> dict:
     """Top-level pool entry point; never raises across the pipe."""
-    worker_post({"event": "start", "scenario": spec.name})
-    try:
-        with worker_heartbeat(spec.name):
-            result = run_scenario(spec, template_root=template_root,
-                                  ledger_path=ledger_path)
-        worker_post({"event": "finish", "scenario": spec.name,
-                     "wall_s": result["wall_s"],
-                     "digest": result["digest"][:12]})
-        return result
-    except Exception:
-        worker_post({"event": "finish", "scenario": spec.name, "error": True})
-        return {"name": spec.name, "seed": spec.seed,
-                "error": traceback.format_exc(limit=8)}
+    return _pool_worker_chunk([spec], template_root, ledger_path)[0]
+
+
+def _pool_worker_chunk(specs: list[ScenarioSpec],
+                       template_root: str | None = None,
+                       ledger_path: str | None = None) -> list[dict]:
+    """Execute a chunk of scenarios in one task; never raises.
+
+    The campaign fast path: per-scenario telemetry (start/heartbeat/
+    finish) is unchanged, but the chunk's provenance records are
+    appended to the ledger with **one** durable write + fsync
+    (:meth:`~repro.ledger.RunLedger.append_many`) instead of one per
+    run.  An append failure never fails the runs — every successful
+    result of the chunk instead carries a ``ledger_error`` field.
+    """
+    results: list[dict] = []
+    records: list[dict] = []
+    for spec in specs:
+        worker_post({"event": "start", "scenario": spec.name})
+        try:
+            with worker_heartbeat(spec.name):
+                result = _execute_scenario(spec, template_root=template_root)
+            worker_post({"event": "finish", "scenario": spec.name,
+                         "wall_s": result["wall_s"],
+                         "digest": result["digest"][:12]})
+            if ledger_path is not None:
+                from ..ledger import record_from_result
+
+                records.append(record_from_result(spec, result,
+                                                  _process_code_digest()))
+        except Exception:
+            worker_post({"event": "finish", "scenario": spec.name,
+                         "error": True})
+            result = {"name": spec.name, "seed": spec.seed,
+                      "error": traceback.format_exc(limit=8)}
+        results.append(result)
+    if records:
+        from ..ledger import RunLedger
+
+        try:
+            RunLedger(ledger_path).append_many(records)
+        except OSError as exc:
+            for result in results:
+                if "error" not in result:
+                    result["ledger_error"] = str(exc)
+    return results
 
 
 class SweepRunner:
@@ -206,8 +258,10 @@ class SweepRunner:
     def __init__(self, workers: int = 1, cache_dir: str = ".repro_cache",
                  use_cache: bool = True, strict: bool = False,
                  use_templates: bool = True, use_ledger: bool = True,
-                 monitor: SweepMonitor | None = None) -> None:
+                 monitor: SweepMonitor | None = None,
+                 chunk_size: int | None = None) -> None:
         self.workers = max(1, int(workers))
+        self.cache_dir = str(cache_dir)
         self.cache = ResultCache(cache_dir)
         self.use_cache = use_cache
         self.strict = strict
@@ -215,19 +269,42 @@ class SweepRunner:
         self.ledger_path = (str(Path(cache_dir) / LEDGER_FILENAME)
                             if use_ledger else None)
         self.monitor = monitor
+        #: scenarios per pool task; ``None`` auto-sizes (see
+        #: :meth:`_chunk_size_for`).  Chunking bounds the scheduler to
+        #: O(N/chunk) future rescans and gives workers batched ledger
+        #: appends, while staying small enough that worker loss or a
+        #: crash forfeits at most one chunk of progress.
+        self.chunk_size = chunk_size
+
+    def _chunk_size_for(self, n: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        # ~4 waves per worker for load balance, capped so a chunk stays
+        # a small durability/retry window even at N=1000.
+        return max(1, min(32, -(-n // (self.workers * 4))))
 
     def preflight(self, specs: list[ScenarioSpec]) -> None:
-        """Statically check ``specs``; raise on the first broken one."""
-        from ..check import check_scenario
-        from ..check.diagnostics import render_text
-        from ..errors import PreflightError
+        """Statically check ``specs``; raise on the first broken one.
 
+        Served through the digest-keyed check cache under this runner's
+        cache directory, so a campaign whose candidates were already
+        admission-gated (:func:`repro.generate.admit` with the same
+        cache) pre-flights warm in O(1) per scenario.
+        """
+        from ..check.diagnostics import CheckReport, Severity, render_text
+        from ..check.targets import cached_scenario_diagnostics
+        from ..errors import PreflightError
+        from .cache import CheckCache
+
+        cache = CheckCache(self.cache_dir)
+        code = code_digest()
         for spec in specs:
-            report = check_scenario(spec)
-            if not report.ok:
+            diags = cached_scenario_diagnostics(spec, cache, code)
+            if any(d.severity is Severity.ERROR for d in diags):
                 raise PreflightError(
                     f"scenario {spec.name!r} failed pre-flight:\n"
-                    + render_text(report)
+                    + render_text(CheckReport(diagnostics=diags,
+                                              targets_checked=1))
                 )
 
     def run(self, specs: list[ScenarioSpec]) -> dict:
@@ -275,13 +352,20 @@ class SweepRunner:
         if self.strict:
             self.preflight(to_run)
 
+        by_name = {spec.name: spec for spec in to_run}
+        cache_batch: list[tuple[ScenarioSpec, str, dict]] = []
         for name, result in self._execute(to_run):
             result = dict(result, cached=False)
             results[name] = result
             if "error" not in result:
-                spec = next(s for s in to_run if s.name == name)
-                self.cache.put(spec, keys[name], {k: v for k, v in result.items()
-                                                  if k != "cached"})
+                cache_batch.append((by_name[name], keys[name],
+                                    {k: v for k, v in result.items()
+                                     if k != "cached"}))
+                if len(cache_batch) >= 32:
+                    self.cache.put_many(cache_batch)
+                    cache_batch = []
+        if cache_batch:
+            self.cache.put_many(cache_batch)
 
         ordered = [results[spec.name] for spec in specs]
         errors = [r["name"] for r in ordered if "error" in r]
@@ -303,6 +387,8 @@ class SweepRunner:
     def _execute(self, specs: list[ScenarioSpec]):
         if not specs:
             return
+        chunk = self._chunk_size_for(len(specs))
+        chunks = [specs[i:i + chunk] for i in range(0, len(specs), chunk)]
         if self.workers == 1 or len(specs) == 1:
             if self.monitor is not None:
                 # The serial path emits the same event stream a pool
@@ -310,9 +396,12 @@ class SweepRunner:
                 configure_worker_telemetry(_DirectSink(self.monitor),
                                            self.monitor.heartbeat_s)
             try:
-                for spec in specs:
-                    yield spec.name, _pool_worker(spec, self.template_root,
-                                                  self.ledger_path)
+                for batch in chunks:
+                    for spec, result in zip(
+                            batch, _pool_worker_chunk(batch,
+                                                      self.template_root,
+                                                      self.ledger_path)):
+                        yield spec.name, result
             finally:
                 reset_worker_telemetry()
             return
@@ -334,20 +423,29 @@ class SweepRunner:
             with ProcessPoolExecutor(max_workers=self.workers,
                                      initializer=init,
                                      initargs=initargs or ()) as pool:
-                pending = {pool.submit(_pool_worker, spec, self.template_root,
-                                       self.ledger_path): spec
-                           for spec in specs}
+                # One future per *chunk*, not per scenario: at N=1000
+                # the completion loop rescans O(N/chunk) futures per
+                # wait instead of O(N), and each worker amortizes its
+                # ledger fsync and template-store index over the chunk.
+                pending = {pool.submit(_pool_worker_chunk, batch,
+                                       self.template_root,
+                                       self.ledger_path): batch
+                           for batch in chunks}
                 while pending:
                     done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
-                        spec = pending.pop(future)
+                        batch = pending.pop(future)
                         try:
-                            yield spec.name, future.result()
+                            batch_results = future.result()
                         except Exception:  # worker died (signal, pool failure)
-                            yield spec.name, {
-                                "name": spec.name, "seed": spec.seed,
-                                "error": traceback.format_exc(limit=8),
-                            }
+                            err = traceback.format_exc(limit=8)
+                            batch_results = [
+                                {"name": spec.name, "seed": spec.seed,
+                                 "error": err}
+                                for spec in batch
+                            ]
+                        for spec, result in zip(batch, batch_results):
+                            yield spec.name, result
         finally:
             if queue is not None:
                 queue.put(None)

@@ -329,11 +329,22 @@ def _build_tt_vn(spec: ScenarioSpec) -> Simulator:
     return sim
 
 
+def _build_generated(spec: ScenarioSpec) -> Simulator:
+    """Procedurally generated N×M×K relay-chain cluster (lazy import so
+    the generator package never loads unless a generated spec runs —
+    and so ledger replay of recorded generated specs resolves through
+    the ordinary registry)."""
+    from ..generate import build_generated
+
+    return build_generated(spec)
+
+
 BUILDERS: dict[str, Callable[[ScenarioSpec], Simulator]] = {
     "gateway_pipeline": _build_gateway_pipeline,
     "car": _build_car,
     "tdma_cluster": _build_tdma_cluster,
     "tt_vn": _build_tt_vn,
+    "generated": _build_generated,
 }
 
 

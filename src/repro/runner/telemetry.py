@@ -153,7 +153,10 @@ class SweepMonitor:
         self.errors = 0
         self.events_seen = 0
         self.workers: dict[int, str] = {}
-        self._exec_walls: list[float] = []
+        # Running sum/count (not a per-run list): the fold and the
+        # snapshot both stay O(1) at campaign scale.
+        self._wall_sum = 0.0
+        self._wall_n = 0
 
     # -- lifecycle -----------------------------------------------------
     def begin(self, total: int) -> None:
@@ -200,7 +203,8 @@ class SweepMonitor:
                     self.errors += 1
                 wall = event.get("wall_s")
                 if isinstance(wall, (int, float)):
-                    self._exec_walls.append(float(wall))
+                    self._wall_sum += float(wall)
+                    self._wall_n += 1
             elif kind == "cache_hit":
                 self.completed += 1
                 self.cache_hits += 1
@@ -210,8 +214,11 @@ class SweepMonitor:
             if self._events_fh is not None:
                 self._events_fh.write(json.dumps(event, sort_keys=True) + "\n")
                 self._events_fh.flush()
-            self._maybe_render(force=kind in
-                               ("finish", "cache_hit", "sweep_end"))
+            # Only the closing event forces a redraw past the rate
+            # limiter: finish/cache_hit land thousands of times in a
+            # campaign, and forcing each one turns the limiter off
+            # exactly when it matters most.
+            self._maybe_render(force=kind == "sweep_end")
 
     # -- rendering -----------------------------------------------------
     def snapshot(self) -> dict:
@@ -219,8 +226,7 @@ class SweepMonitor:
         elapsed = time.perf_counter() - self._t0  # det-ok: DET001 — live-progress wall clock
         rate = self.completed / elapsed if elapsed > 0 else 0.0
         remaining = max(self.total - self.completed, 0)
-        mean_wall = (sum(self._exec_walls) / len(self._exec_walls)
-                     if self._exec_walls else None)
+        mean_wall = self._wall_sum / self._wall_n if self._wall_n else None
         slots = max(len(self.workers), 1)
         eta = (remaining * mean_wall / slots
                if mean_wall is not None and remaining else

@@ -107,7 +107,7 @@ class TestShippedCore:
 
     def test_default_packages_cover_the_guarded_packages(self):
         assert DEFAULT_LINT_PACKAGES == (
-            "sim", "core_network", "gateway", "vn", "ledger")
+            "sim", "core_network", "gateway", "vn", "ledger", "generate")
         assert DEFAULT_LINT_FILES == ("runner/telemetry.py",)
 
     def test_default_roots_include_ledger_and_telemetry(self):
@@ -135,6 +135,64 @@ class TestShippedCore:
         bad.write_text("import random\n")
         diags = lint_paths([str(bad)])
         assert rules_of(diags) == {"DET002"}
+
+
+class TestSeededRandomMode:
+    """The scenario generator's relaxed DET002: seeded Random only."""
+
+    GEN = "src/repro/generate/x.py"
+
+    def test_seeded_random_instance_is_allowed(self):
+        src = "from random import Random\nr = Random(42)\n"
+        assert lint_source(src, self.GEN) == []
+
+    def test_module_alias_seeded_random_is_allowed(self):
+        src = "import random\nr = random.Random(seed)\n"
+        assert lint_source(src, self.GEN) == []
+
+    def test_unseeded_random_instance_flags(self):
+        src = "from random import Random\nr = Random()\n"
+        assert rules_of(lint_source(src, self.GEN)) == {"DET002"}
+
+    def test_unseeded_module_random_instance_flags(self):
+        src = "import random\nr = random.Random()\n"
+        assert rules_of(lint_source(src, self.GEN)) == {"DET002"}
+
+    def test_global_stream_call_flags(self):
+        src = "import random\nx = random.random()\n"
+        assert rules_of(lint_source(src, self.GEN)) == {"DET002"}
+
+    def test_global_stream_import_flags(self):
+        src = "from random import randint\n"
+        assert rules_of(lint_source(src, self.GEN)) == {"DET002"}
+
+    def test_global_seed_call_flags(self):
+        src = "import random\nrandom.seed(1)\n"
+        assert rules_of(lint_source(src, self.GEN)) == {"DET002"}
+
+    def test_wall_clock_still_forbidden_in_generate(self):
+        src = "import time\nt = time.time()\n"
+        assert "DET001" in rules_of(lint_source(src, self.GEN))
+
+    def test_core_packages_keep_the_strict_mode(self):
+        src = "from random import Random\nr = Random(42)\n"
+        assert rules_of(lint_source(src, "src/repro/sim/x.py")) == {"DET002"}
+
+    def test_generate_package_is_covered_and_clean(self):
+        # Coverage self-test: the generator package is in the default
+        # roots, the lint visits its seeded-Random sites (strict mode
+        # over the same files would flag them), and the relaxed mode
+        # leaves the shipped sources clean.
+        roots = default_lint_roots()
+        gen = [r for r in roots if r.name == "generate"]
+        assert gen and gen[0].is_dir()
+        topo = gen[0] / "topology.py"
+        source = topo.read_text()
+        assert lint_source(source, str(topo)) == []
+        strict = lint_source(source, str(topo), allow_seeded_random=False)
+        assert "DET002" in rules_of(strict), (
+            "coverage self-test: the lint no longer sees the generator's "
+            "Random sites")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -144,3 +144,62 @@ def test_ledger_commands_on_empty_cache(tmp_path, capsys):
                  str(tmp_path / "empty")]) == 0
     out = capsys.readouterr().out
     assert "no matching entries" in out
+
+
+def test_sweep_generated_campaign_end_to_end(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    args = ["sweep", "--generated", "8", "--gen-profile", "small",
+            "--strict", "--workers", "1", "--cache-dir", str(cache),
+            "--json"]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)
+    assert report["generated"]["total"] == 8
+    assert report["count"] == report["generated"]["admitted"]
+    assert not report["errors"]
+    assert "admitted" in captured.err
+    digests = [r["digest"] for r in report["scenarios"]]
+
+    # the identical campaign again: fully warm, byte-identical digests
+    assert main(args) == 0
+    report2 = json.loads(capsys.readouterr().out)
+    assert report2["cache_hits"] == report2["count"]
+    assert [r["digest"] for r in report2["scenarios"]] == digests
+
+    # the recorded campaign survives the replay audit
+    assert main(["ledger", "verify", "--all", "--strict",
+                 "--cache-dir", str(cache)]) == 0
+
+
+def test_cache_stats_totals_rollup(tmp_path, capsys):
+    import json
+
+    cache = tmp_path / "cache"
+    assert main(["sweep", "--generated", "4", "--gen-profile", "small",
+                 "--workers", "1", "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(cache),
+                 "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    totals = stats["totals"]
+    assert totals["entries"] == (stats["results"]["entries"]
+                                 + stats["templates"]["entries"]
+                                 + stats["checks"]["entries"])
+    assert totals["total_bytes"] > 0
+    assert "check_hits" in totals and "check_misses" in totals
+    assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+    assert "totals:" in capsys.readouterr().out
+
+
+def test_campaign_faults_table(tmp_path, capsys):
+    import json
+
+    assert main(["campaign", "faults", "--seeds", "6", "--workers", "1",
+                 "--cache-dir", str(tmp_path / "cache"), "--json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["seeds"] == 6
+    assert out["admission"]["total"] == 6
+    assert sum(row["runs"] for row in out["faults"].values()) \
+        == out["admission"]["admitted"]

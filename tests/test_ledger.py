@@ -82,6 +82,36 @@ def test_truncated_final_line_is_skipped_not_fatal(tmp_path):
     assert [e["name"] for e in ledger.entries()] == ["a", "c"]
 
 
+def test_append_many_batches_whole_lines(tmp_path):
+    path = tmp_path / "ledger.ndjsonl"
+    ledger = RunLedger(path)
+    ledger.append_many([fake_entry(f"s{i}", digest=f"d{i}")
+                        for i in range(5)])
+    entries = ledger.entries()
+    assert [e["name"] for e in entries] == [f"s{i}" for i in range(5)]
+    # the batch is indistinguishable from five single appends on disk
+    lines = path.read_text().splitlines()
+    assert len(lines) == 5
+    assert all(json.loads(line)["v"] for line in lines)
+
+
+def test_append_many_empty_batch_touches_nothing(tmp_path):
+    path = tmp_path / "ledger.ndjsonl"
+    RunLedger(path).append_many([])
+    assert not path.exists()
+
+
+def test_append_many_after_crash_tail_starts_fresh_line(tmp_path):
+    path = tmp_path / "ledger.ndjsonl"
+    ledger = RunLedger(path)
+    ledger.append(fake_entry("a"))
+    with open(path, "a") as fh:
+        fh.write('{"torn')  # crash mid-write: unterminated tail
+    ledger.append_many([fake_entry("b"), fake_entry("c")])
+    assert [e["name"] for e in ledger.entries()] == ["a", "b", "c"]
+    assert ledger.skipped_lines == 1  # only the torn tail is lost
+
+
 def test_foreign_and_non_record_lines_are_counted_skipped(tmp_path):
     path = tmp_path / "ledger.ndjsonl"
     path.write_text('not json\n[1, 2]\n{"no": "digest"}\n'

@@ -114,6 +114,51 @@ def test_cache_roundtrip_and_stale_key_reaping(tmp_path):
     assert cache.clear() == 1
 
 
+def test_cache_put_many_batches_and_reaps_stale_keys(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    specs = [tiny_spec(f"s{i}", seed=i) for i in range(6)]
+    cache.put_many([(s, result_key(s, "old"), {"digest": f"old{i}"})
+                    for i, s in enumerate(specs)])
+    assert all(cache.get(s, result_key(s, "old")) is not None for s in specs)
+    # a batched refresh under a new code digest reaps every stale entry
+    cache.put_many([(s, result_key(s, "new"), {"digest": f"new{i}"})
+                    for i, s in enumerate(specs)])
+    assert all(cache.get(s, result_key(s, "old")) is None for s in specs)
+    assert all(cache.get(s, result_key(s, "new"))["digest"] == f"new{i}"
+               for i, s in enumerate(specs))
+    assert len(list((tmp_path / "cache").glob("*.json"))) == len(specs)
+
+
+def test_cache_put_many_evicts_to_cap_incrementally(tmp_path):
+    cache = ResultCache(tmp_path / "cache", max_bytes=2048)
+    specs = [tiny_spec(f"s{i:02d}", seed=i) for i in range(30)]
+    payload = {"digest": "x" * 200}
+    cache.put_many([(s, result_key(s, "c"), payload) for s in specs])
+    stats = cache.stats()
+    assert stats["total_bytes"] <= 2048
+    assert stats["evictions"] > 0
+    # newest entries survive, oldest were evicted
+    assert cache.get(specs[-1], result_key(specs[-1], "c")) is not None
+    assert cache.get(specs[0], result_key(specs[0], "c")) is None
+    # the on-disk reality agrees with the incremental index
+    on_disk = sum(p.stat().st_size
+                  for p in (tmp_path / "cache").glob("*.json"))
+    assert on_disk <= 2048
+
+
+def test_cache_put_many_matches_serial_puts(tmp_path):
+    batched = ResultCache(tmp_path / "a")
+    serial = ResultCache(tmp_path / "b")
+    specs = [tiny_spec(f"s{i}", seed=i) for i in range(4)]
+    items = [(s, result_key(s, "c"), {"digest": f"d{i}"})
+             for i, s in enumerate(specs)]
+    batched.put_many(items)
+    for s, key, payload in items:
+        serial.put(s, key, payload)
+    for s, key, _ in items:
+        assert batched.get(s, key) == serial.get(s, key)
+
+
 def test_cache_ignores_corrupt_entries(tmp_path):
     cache = ResultCache(tmp_path)
     spec = tiny_spec()
@@ -152,6 +197,41 @@ def test_serial_parallel_and_cached_digests_are_byte_identical(tmp_path):
     assert digests(serial) == digests(parallel) == digests(warm)
     assert [r["cached"] for r in warm["scenarios"]] == [True, True, True]
     assert warm["cache_hits"] == 3 and warm["executed"] == 0
+
+
+def test_chunked_execution_digests_match_unchunked(tmp_path):
+    specs = [tiny_spec(f"chunk-{i}", seed=i) for i in range(5)]
+    one = SweepRunner(workers=1, cache_dir=str(tmp_path / "a"),
+                      chunk_size=1).run(specs)
+    big = SweepRunner(workers=1, cache_dir=str(tmp_path / "b"),
+                      chunk_size=4).run(specs)
+    assert not one["errors"] and not big["errors"]
+    assert ([r["digest"] for r in one["scenarios"]]
+            == [r["digest"] for r in big["scenarios"]])
+
+
+def test_chunk_size_policy_bounds_the_durability_window(tmp_path):
+    runner = SweepRunner(workers=1, cache_dir=str(tmp_path))
+    assert runner._chunk_size_for(1) == 1
+    assert runner._chunk_size_for(4) == 1
+    assert runner._chunk_size_for(1000) == 32  # capped retry window
+    runner4 = SweepRunner(workers=4, cache_dir=str(tmp_path))
+    assert runner4._chunk_size_for(16) == 1  # one spec per wave slot
+    assert runner4._chunk_size_for(1000) == 32
+    fixed = SweepRunner(workers=1, cache_dir=str(tmp_path), chunk_size=7)
+    assert fixed._chunk_size_for(1000) == 7
+
+
+def test_chunk_failure_isolates_to_the_failing_scenario(tmp_path):
+    good = tiny_spec("ok-0", seed=1)
+    bad = ScenarioSpec(name="boom", builder="gateway_pipeline",
+                       horizon_ns=-1, seed=1, trace_mode="full")
+    good2 = tiny_spec("ok-1", seed=2)
+    report = SweepRunner(workers=1, cache_dir=str(tmp_path),
+                         chunk_size=3).run([good, bad, good2])
+    assert report["errors"] == ["boom"]
+    by_name = {r["name"]: r for r in report["scenarios"]}
+    assert "digest" in by_name["ok-0"] and "digest" in by_name["ok-1"]
 
 
 def test_no_cache_forces_rerun_but_refreshes_entries(tmp_path):

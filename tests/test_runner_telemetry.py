@@ -134,6 +134,34 @@ def test_monitor_renders_one_line_with_carriage_returns():
     assert "sweep 1/1" in out
 
 
+def test_monitor_rate_limiter_holds_at_campaign_scale():
+    # Thousands of finish events must not each redraw the status line:
+    # only sweep_end forces a render past the refresh_s limiter.
+    stream = io.StringIO()
+    monitor = SweepMonitor(stream=stream, render=True, refresh_s=3600.0)
+    monitor.begin(2000)
+    for i in range(2000):
+        monitor.post({"event": "finish", "scenario": f"s{i}", "worker": 1,
+                      "wall_s": 0.01})
+    renders = stream.getvalue().count("\r")
+    assert renders <= 2  # sweep_start slot + the limiter, not 2000 lines
+    monitor.finish({"count": 2000, "errors": []})
+    assert stream.getvalue().count("\r") == renders + 1  # forced closer
+    snap = monitor.snapshot()
+    assert snap["completed"] == 2000 and snap["executed"] == 2000
+
+
+def test_monitor_wall_stats_fold_is_running_sum():
+    monitor = SweepMonitor(stream=io.StringIO())
+    monitor.begin(3)
+    for wall in (1.0, 2.0, 6.0):
+        monitor.post({"event": "finish", "scenario": "s", "wall_s": wall})
+    assert monitor._wall_n == 3
+    assert monitor._wall_sum == pytest.approx(9.0)
+    # eta comes from the running mean, no per-run list is kept
+    assert not hasattr(monitor, "_exec_walls")
+
+
 def test_monitor_streams_events_as_ndjson(tmp_path):
     path = tmp_path / "sub" / "events.ndjsonl"
     monitor = SweepMonitor(stream=io.StringIO(), events_path=path)
